@@ -1,0 +1,92 @@
+//===- bench/BenchCommon.h - Shared bench plumbing ---------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: dataset
+/// scaling via the GJS_BENCH_SCALE environment variable (percent of the
+/// paper's dataset sizes; default 100), per-class grouping, and the tool
+/// pair runner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_BENCH_BENCHCOMMON_H
+#define GJS_BENCH_BENCHCOMMON_H
+
+#include "eval/Harness.h"
+#include "workload/Datasets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace bench {
+
+/// GJS_BENCH_SCALE: percentage of the paper's dataset sizes (default 100).
+inline unsigned scalePercent() {
+  const char *Env = std::getenv("GJS_BENCH_SCALE");
+  if (!Env)
+    return 100;
+  int V = std::atoi(Env);
+  return V < 1 ? 1 : (V > 100 ? 100 : static_cast<unsigned>(V));
+}
+
+inline size_t scaled(size_t N) {
+  size_t S = (N * scalePercent() + 99) / 100;
+  return S == 0 ? 1 : S;
+}
+
+/// The combined ground-truth datasets at the configured scale.
+inline std::vector<workload::Package> groundTruth(uint64_t Seed = 2024) {
+  unsigned P = scalePercent();
+  if (P == 100)
+    return workload::makeGroundTruth(Seed);
+  auto Scale = [&](const workload::DatasetCounts &C) {
+    workload::DatasetCounts Out;
+    Out.PathTraversal = scaled(C.PathTraversal);
+    Out.CommandInjection = scaled(C.CommandInjection);
+    Out.CodeInjection = scaled(C.CodeInjection);
+    Out.PrototypePollution = scaled(C.PrototypePollution);
+    return Out;
+  };
+  auto A = workload::makeDataset(Seed ^ 0x56554C43, Scale(workload::VulcaNCounts));
+  auto B = workload::makeDataset(Seed ^ 0x53454342,
+                                 Scale(workload::SecBenchCounts));
+  A.insert(A.end(), std::make_move_iterator(B.begin()),
+           std::make_move_iterator(B.end()));
+  return A;
+}
+
+/// The per-class ordering used by the paper's tables.
+inline const std::vector<queries::VulnType> &tableOrder() {
+  static const std::vector<queries::VulnType> Order = {
+      queries::VulnType::PathTraversal, queries::VulnType::CommandInjection,
+      queries::VulnType::CodeInjection,
+      queries::VulnType::PrototypePollution};
+  return Order;
+}
+
+/// Which class a package belongs to (by its first annotation; packages
+/// without annotations return false).
+inline bool classOf(const workload::Package &P, queries::VulnType &Out) {
+  if (P.Annotations.empty())
+    return false;
+  Out = P.Annotations[0].Type;
+  return true;
+}
+
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s; GJS_BENCH_SCALE=%u%%)\n", Title, PaperRef,
+              scalePercent());
+  std::printf("================================================================\n\n");
+}
+
+} // namespace bench
+} // namespace gjs
+
+#endif // GJS_BENCH_BENCHCOMMON_H

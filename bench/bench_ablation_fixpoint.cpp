@@ -1,0 +1,142 @@
+//===- bench/bench_ablation_fixpoint.cpp - Design-choice ablations --------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Ablates the design decisions DESIGN.md calls out:
+//
+//   A. single-version-node-per-site (the §5.5 cyclic representation)
+//      vs. per-(site, old-version) allocation — graph size and build
+//      work on loop-heavy code;
+//   B. the UntaintedPath exclusion (Table 1) on vs. off — precision on
+//      sanitized-overwrite decoys;
+//   C. interprocedural inlining depth — pollution recall on recursive
+//      merge patterns (why summaries for recursion matter).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Normalizer.h"
+#include "queries/QueryRunner.h"
+#include "support/TablePrinter.h"
+
+using namespace gjs;
+using namespace gjs::bench;
+using queries::VulnType;
+
+namespace {
+
+std::unique_ptr<core::Program> normalize(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return core::normalizeJS(Source, Diags);
+}
+
+bool hasPollution(const std::vector<queries::VulnReport> &Rs) {
+  for (const queries::VulnReport &R : Rs)
+    if (R.Type == VulnType::PrototypePollution)
+      return true;
+  return false;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablations: fixpoint versioning, UntaintedPath, inlining",
+              "DESIGN.md design-choice index");
+
+  // -- A: allocation-site version reuse --------------------------------------
+  std::printf("[A] version-node allocation on loop-heavy code "
+              "(set-value + nested merge):\n");
+  auto LoopHeavy = normalize(
+      "function merge(target, source) {\n"
+      "  for (var key in source) {\n"
+      "    var val = source[key];\n"
+      "    if (typeof val === 'object') { merge(target[key], val); }\n"
+      "    else { target[key] = val; }\n"
+      "  }\n"
+      "  return target;\n"
+      "}\n"
+      "function setAll(target, props, values) {\n"
+      "  for (var i = 0; i < props.length; i++) {\n"
+      "    target[props[i]] = values[i];\n"
+      "  }\n"
+      "  return target;\n"
+      "}\n"
+      "module.exports = {merge: merge, setAll: setAll};\n");
+  TablePrinter A({"allocator", "nodes", "edges", "build work"});
+  for (bool Reuse : {true, false}) {
+    analysis::BuilderOptions BO;
+    BO.SiteVersionReuse = Reuse;
+    BO.MaxFixpointIters = 16;
+    analysis::BuildResult R = analysis::buildMDG(*LoopHeavy, BO);
+    A.addRow({Reuse ? "per-site (paper)" : "per-(site,version) [ablated]",
+              std::to_string(R.Graph.numNodes()),
+              std::to_string(R.Graph.numEdges()),
+              std::to_string(R.WorkDone)});
+  }
+  std::printf("%s\n", A.str().c_str());
+
+  // -- B: UntaintedPath exclusion --------------------------------------------
+  // The tainted *object* has its property overwritten with a safe value:
+  // the BasicPath src -V(cmd)-> v -P(cmd)-> safe exists in the graph, and
+  // only the UntaintedPath exclusion keeps it from becoming a report.
+  std::printf("[B] UntaintedPath exclusion on the sanitized-overwrite "
+              "pattern:\n");
+  auto Sanitized = normalize(
+      "var cp = require('child_process');\n"
+      "function f(opts, cb) {\n"
+      "  opts.cmd = 'git status';\n"
+      "  cp.exec(opts.cmd, cb);\n"
+      "}\n"
+      "module.exports = f;\n");
+  analysis::BuildResult SB = analysis::buildMDG(*Sanitized);
+  TablePrinter B({"TaintPath", "reports on sanitized code"});
+  for (bool Exclusion : {true, false}) {
+    queries::GraphDBRunner Runner(SB, {}, Exclusion);
+    auto Rs = Runner.detect(queries::SinkConfig::defaults());
+    size_t Cmd = 0;
+    for (const queries::VulnReport &R : Rs)
+      Cmd += R.Type == VulnType::CommandInjection;
+    B.addRow({Exclusion ? "BasicPath \\ UntaintedPath (paper)"
+                        : "BasicPath only [ablated]",
+              std::to_string(Cmd)});
+  }
+  std::printf("%s", B.str().c_str());
+  std::printf("(0 vs >0: the exclusion is what makes overwrites "
+              "sanitize, Table 1)\n\n");
+
+  // -- C: inlining depth on nested-wrapper pollution --------------------------
+  // The polluting write sits three helper calls below the exported entry;
+  // shallow inlining never reaches it. (Direct recursion is depth-free:
+  // recursive calls only rebind parameters and the fixpoint does the rest.)
+  std::printf("[C] interprocedural depth vs. wrapped-merge pollution "
+              "detection:\n");
+  auto Merge = normalize(
+      "function merge(target, source) {\n"
+      "  for (var key in source) {\n"
+      "    var val = source[key];\n"
+      "    if (typeof val === 'object') { merge(target[key], val); }\n"
+      "    else { target[key] = val; }\n"
+      "  }\n"
+      "  return target;\n"
+      "}\n"
+      "function l1(t, s) { return merge(t, s); }\n"
+      "function l2(t, s) { return l1(t, s); }\n"
+      "function entry(t, s) { return l2(t, s); }\n"
+      "module.exports = entry;\n");
+  TablePrinter C({"MaxInlineDepth", "pollution detected", "build work"});
+  for (unsigned Depth : {1u, 2u, 3u, 6u}) {
+    analysis::BuilderOptions BO;
+    BO.MaxInlineDepth = Depth;
+    analysis::BuildResult R = analysis::buildMDG(*Merge, BO);
+    queries::GraphDBRunner Runner(R);
+    bool Found =
+        hasPollution(Runner.detect(queries::SinkConfig::defaults()));
+    C.addRow({std::to_string(Depth), Found ? "yes" : "no",
+              std::to_string(R.WorkDone)});
+  }
+  std::printf("%s", C.str().c_str());
+  std::printf("(the recursive self-call only rebinds parameters; the "
+              "fixpoint then exposes the lookup-then-assign pattern)\n");
+  return 0;
+}

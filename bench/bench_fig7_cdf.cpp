@@ -1,0 +1,89 @@
+//===- bench/bench_fig7_cdf.cpp - Figure 7 --------------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Reproduces Figure 7: the CDF of per-package total analysis time for
+// Graph.js and ODGen on the reference datasets. Shapes to reproduce:
+//
+//   - ODGen is *faster at the head* (native traversals, no DB import:
+//     "by the 2-second mark, ODGen had already analyzed 39.5%");
+//   - Graph.js *completes far more packages* overall (98.2% vs 71.5%);
+//     timed-out packages never complete and form the missing tail.
+//
+// Absolute times differ from the paper's testbed; the series' crossing
+// shape is the reproduction target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gjs;
+using namespace gjs::bench;
+using namespace gjs::eval;
+
+int main() {
+  printHeader("Figure 7: CDF of total analysis time", "paper Figure 7");
+
+  auto Packages = groundTruth();
+  HarnessOptions O = HarnessOptions::defaults();
+  auto GJ = runGraphJS(Packages, O.Scan);
+  auto OD = runODGen(Packages, O.ODGen);
+
+  // Completed-package times; timeouts are excluded (they cap the CDF).
+  std::vector<double> GJTimes, ODTimes;
+  size_t GJTimeouts = 0, ODTimeouts = 0;
+  for (const PackageOutcome &R : GJ) {
+    if (R.TimedOut)
+      ++GJTimeouts;
+    else
+      GJTimes.push_back(R.Seconds);
+  }
+  for (const PackageOutcome &R : OD) {
+    if (R.TimedOut)
+      ++ODTimeouts;
+    else
+      ODTimes.push_back(R.Seconds);
+  }
+
+  const size_t N = Packages.size();
+  std::vector<double> Marks = {0.0005, 0.001, 0.002, 0.005, 0.01,
+                               0.02,   0.05,  0.1,   0.2,   0.5,
+                               1.0,    2.0,   5.0};
+  auto GJCdf = cdf(GJTimes, Marks);
+  auto ODCdf = cdf(ODTimes, Marks);
+  // Rescale to the full package population (timeouts never complete).
+  for (double &V : GJCdf)
+    V *= double(GJTimes.size()) / double(N);
+  for (double &V : ODCdf)
+    V *= double(ODTimes.size()) / double(N);
+
+  std::printf("%s\n",
+              renderCDF({"Graph.js", "ODGen"}, {GJCdf, ODCdf}, Marks)
+                  .c_str());
+
+  double GJDone = 100.0 * double(N - GJTimeouts) / double(N);
+  double ODDone = 100.0 * double(N - ODTimeouts) / double(N);
+  std::printf("completion: Graph.js %.1f%% (paper 98.2%%), ODGen %.1f%% "
+              "(paper 71.5%%)\n",
+              GJDone, ODDone);
+
+  // The head-of-curve contrast: who has analyzed more at small budgets?
+  size_t HeadIdx = 2; // Second-smallest mark.
+  std::printf("head of curve (t = %.3gs): ODGen %.1f%% vs Graph.js %.1f%% "
+              "(paper at 2s: 39.5%% vs 1.1%%)\n",
+              Marks[HeadIdx], ODCdf[HeadIdx] * 100, GJCdf[HeadIdx] * 100);
+
+  double GJAvg = 0, ODAvg = 0;
+  for (double T : GJTimes)
+    GJAvg += T;
+  for (double T : ODTimes)
+    ODAvg += T;
+  if (!GJTimes.empty())
+    GJAvg /= double(GJTimes.size());
+  if (!ODTimes.empty())
+    ODAvg /= double(ODTimes.size());
+  std::printf("average completed-package time: Graph.js %.4fs, ODGen "
+              "%.4fs (paper: 4.61s vs 5.41s on their testbed)\n",
+              GJAvg, ODAvg);
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/bench_fig9_casestudy.cpp - Figures 8 & 9 ---------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Reproduces the §5.5 case study: the set-value v3.0.0 prototype pollution
+// (CVE-2021-23440, Figure 8) and its loop-fixpoint MDG (Figure 9). The
+// bench prints the MDG edge list grouped by kind (the Figure 9 structure),
+// demonstrates that the graph is loop-stable (more loop iterations do not
+// add nodes), and contrasts the two tools' outcomes and costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "odgen/ODGenAnalyzer.h"
+#include "queries/QueryRunner.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace gjs;
+
+static const char *SetValue =
+    "function set_value(target, prop, value) {\n"
+    "  const path = prop.split('.');\n"
+    "  const len = path.length;\n"
+    "  var obj = target;\n"
+    "  for (var i = 0; i < len; i++) {\n"
+    "    const p = path[i];\n"
+    "    if (i === len - 1) {\n"
+    "      obj[p] = value;\n"
+    "    }\n"
+    "    obj = obj[p];\n"
+    "  }\n"
+    "  return target;\n"
+    "}\n"
+    "module.exports = set_value;\n";
+
+int main() {
+  std::printf("\n================================================================\n");
+  std::printf("Case study: set-value v3.0.0 / CVE-2021-23440\n"
+              "(reproduces paper §5.5, Figures 8 and 9)\n");
+  std::printf("================================================================\n\n");
+
+  DiagnosticEngine Diags;
+  auto Program = core::normalizeJS(SetValue, Diags);
+  if (Diags.hasErrors())
+    return 1;
+
+  Timer T;
+  analysis::BuildResult Build = analysis::buildMDG(*Program);
+  double BuildSeconds = T.elapsedSeconds();
+
+  // Figure 9's structure: the edges by kind.
+  size_t ByKind[5] = {0, 0, 0, 0, 0};
+  for (mdg::NodeId N : Build.Graph.nodeIds())
+    for (const mdg::Edge &E : Build.Graph.out(N))
+      ++ByKind[static_cast<int>(E.Kind)];
+  std::printf("MDG: %zu nodes, %zu edges in %.3fms\n",
+              Build.Graph.numNodes(), Build.Graph.numEdges(),
+              BuildSeconds * 1000);
+  std::printf("  D: %zu   P(p): %zu   P(*): %zu   V(p): %zu   V(*): %zu\n\n",
+              ByKind[0], ByKind[1], ByKind[2], ByKind[3], ByKind[4]);
+
+  // Loop-stability: the fixpoint cap does not change the result — the
+  // cyclic representation converges (the alternative would be a graph
+  // that grows with every extra permitted iteration).
+  std::printf("fixpoint stability (MaxFixpointIters -> nodes/edges):\n");
+  for (unsigned Iters : {2u, 4u, 16u, 64u}) {
+    analysis::BuilderOptions BO;
+    BO.MaxFixpointIters = Iters;
+    analysis::BuildResult R = analysis::buildMDG(*Program, BO);
+    std::printf("  %3u iters: %zu nodes, %zu edges\n", Iters,
+                R.Graph.numNodes(), R.Graph.numEdges());
+  }
+
+  // Detection: Graph.js finds the pollution pattern.
+  queries::GraphDBRunner Runner(Build);
+  T.reset();
+  std::vector<queries::VulnReport> Reports =
+      Runner.detect(queries::SinkConfig::defaults());
+  double QuerySeconds = T.elapsedSeconds();
+  std::printf("\nGraph.js query phase: %.3fms, findings:\n",
+              QuerySeconds * 1000);
+  for (const queries::VulnReport &R : Reports)
+    std::printf("  %s\n", R.str().c_str());
+
+  // The baseline: state forking on the dynamic property chain.
+  std::printf("\nODGen baseline under growing work budgets:\n");
+  for (uint64_t Budget : {5000ull, 50000ull, 500000ull, 5000000ull}) {
+    odgen::ODGenOptions OO;
+    OO.WorkBudget = Budget;
+    odgen::ODGenResult R = odgen::ODGenAnalyzer(OO).analyze(SetValue);
+    std::printf("  budget %8llu: %s (graph: %zu nodes, work: %llu)\n",
+                static_cast<unsigned long long>(Budget),
+                R.TimedOut ? "TIMEOUT" : "completed", R.NumNodes,
+                static_cast<unsigned long long>(R.Work));
+  }
+  std::printf("\npaper: \"Graph.js's version edges and summary "
+              "fixed-pointed representation for loops enable a speedy "
+              "detection, whereas ODGen times out.\"\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/bench_micro_construction.cpp - Pipeline microbenchmarks ------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Microbenchmarks of the MDG-generation pipeline phases (parse, lower,
+// build) across program sizes, backing the Takeaway-4 claim that "MDGs
+// grow linearly with the number of lines of code".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "frontend/Parser.h"
+#include "workload/Packages.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gjs;
+
+namespace {
+
+/// A representative package source of roughly `LoC` lines.
+std::string makeSource(size_t LoC) {
+  workload::PackageGenerator Gen(7);
+  workload::Package P =
+      Gen.vulnerable(queries::VulnType::CommandInjection,
+                     workload::Complexity::Loop,
+                     workload::VariantKind::Plain, LoC);
+  return P.Files[0].Contents;
+}
+
+} // namespace
+
+static void BM_Parse(benchmark::State &State) {
+  std::string Source = makeSource(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto P = parseJS(Source, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Parse)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
+
+static void BM_Normalize(benchmark::State &State) {
+  std::string Source = makeSource(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto P = core::normalizeJS(Source, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Normalize)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
+    ->Complexity();
+
+static void BM_BuildMDG(benchmark::State &State) {
+  std::string Source = makeSource(static_cast<size_t>(State.range(0)));
+  DiagnosticEngine Diags;
+  auto Prog = core::normalizeJS(Source, Diags);
+  size_t Nodes = 0;
+  for (auto _ : State) {
+    analysis::BuildResult R = analysis::buildMDG(*Prog);
+    Nodes = R.Graph.numNodes();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["mdg_nodes"] = static_cast<double>(Nodes);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BuildMDG)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
+    ->Complexity();
+
+static void BM_ImportToGraphDB(benchmark::State &State) {
+  std::string Source = makeSource(static_cast<size_t>(State.range(0)));
+  DiagnosticEngine Diags;
+  auto Prog = core::normalizeJS(Source, Diags);
+  analysis::BuildResult R = analysis::buildMDG(*Prog);
+  for (auto _ : State) {
+    auto Imported = graphdb::importMDG(R.Graph, R.Props);
+    benchmark::DoNotOptimize(Imported);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ImportToGraphDB)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
+    ->Complexity();
+
+BENCHMARK_MAIN();

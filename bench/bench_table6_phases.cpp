@@ -1,0 +1,116 @@
+//===- bench/bench_table6_phases.cpp - Table 6 ----------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Reproduces Table 6: average per-package time for each analysis phase
+// (graph construction vs. query/traversal), per CWE and per tool, over
+// packages that completed. Shapes to reproduce:
+//
+//   - Graph.js's query phase is comparatively expensive for taint-style
+//     classes (the interpreted query engine vs. ODGen's native scans);
+//   - for prototype pollution the situation reverses: ODGen's graph and
+//     traversal work balloons (state forking + exploded ODG), while
+//     Graph.js stays flat.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/TablePrinter.h"
+
+using namespace gjs;
+using namespace gjs::bench;
+using namespace gjs::eval;
+using queries::VulnType;
+
+int main() {
+  printHeader("Table 6: average time per analysis phase", "paper Table 6");
+
+  auto Packages = groundTruth();
+  HarnessOptions O = HarnessOptions::defaults();
+  auto GJ = runGraphJS(Packages, O.Scan);
+  auto OD = runODGen(Packages, O.ODGen);
+
+  struct Acc {
+    double Graph = 0, Query = 0;
+    size_t N = 0;
+  };
+  Acc GJAcc[queries::NumVulnTypes], ODAcc[queries::NumVulnTypes];
+  size_t Counts[queries::NumVulnTypes] = {0, 0, 0, 0};
+
+  for (size_t I = 0; I < Packages.size(); ++I) {
+    VulnType T;
+    if (!classOf(Packages[I], T))
+      continue;
+    ++Counts[static_cast<int>(T)];
+    if (!GJ[I].TimedOut) {
+      Acc &A = GJAcc[static_cast<int>(T)];
+      A.Graph += GJ[I].GraphSeconds;
+      A.Query += GJ[I].QuerySeconds;
+      ++A.N;
+    }
+    if (!OD[I].TimedOut) {
+      Acc &A = ODAcc[static_cast<int>(T)];
+      A.Graph += OD[I].GraphSeconds;
+      A.Query += OD[I].QuerySeconds;
+      ++A.N;
+    }
+  }
+
+  TablePrinter Table({"CWE", "#", "GJ Graph", "GJ Trav", "GJ Total",
+                      "OD Graph", "OD Trav", "OD Total"});
+  auto Ms = [](double S, size_t N) {
+    return N ? TablePrinter::fmt(S / double(N) * 1000.0, 3) + "ms"
+             : std::string("-");
+  };
+  Acc GJTot, ODTot;
+  size_t CntTot = 0;
+  for (VulnType T : tableOrder()) {
+    int I = static_cast<int>(T);
+    const Acc &A = GJAcc[I];
+    const Acc &B = ODAcc[I];
+    GJTot.Graph += A.Graph;
+    GJTot.Query += A.Query;
+    GJTot.N += A.N;
+    ODTot.Graph += B.Graph;
+    ODTot.Query += B.Query;
+    ODTot.N += B.N;
+    CntTot += Counts[I];
+    Table.addRow({cweOf(T), std::to_string(Counts[I]), Ms(A.Graph, A.N),
+                  Ms(A.Query, A.N), Ms(A.Graph + A.Query, A.N),
+                  Ms(B.Graph, B.N), Ms(B.Query, B.N),
+                  Ms(B.Graph + B.Query, B.N)});
+  }
+  Table.addSeparator();
+  Table.addRow({"Total", std::to_string(CntTot), Ms(GJTot.Graph, GJTot.N),
+                Ms(GJTot.Query, GJTot.N),
+                Ms(GJTot.Graph + GJTot.Query, GJTot.N),
+                Ms(ODTot.Graph, ODTot.N), Ms(ODTot.Query, ODTot.N),
+                Ms(ODTot.Graph + ODTot.Query, ODTot.N)});
+  std::printf("%s\n", Table.str().c_str());
+
+  // The two phase-structure claims, computed.
+  auto Avg = [](double S, size_t N) { return N ? S / double(N) : 0.0; };
+  double GJTaintQ = 0, ODTaintQ = 0;
+  size_t GJTaintN = 0, ODTaintN = 0;
+  for (VulnType T : {VulnType::PathTraversal, VulnType::CommandInjection,
+                     VulnType::CodeInjection}) {
+    GJTaintQ += GJAcc[static_cast<int>(T)].Query;
+    GJTaintN += GJAcc[static_cast<int>(T)].N;
+    ODTaintQ += ODAcc[static_cast<int>(T)].Query;
+    ODTaintN += ODAcc[static_cast<int>(T)].N;
+  }
+  double R1 = Avg(ODTaintQ, ODTaintN) > 0
+                  ? Avg(GJTaintQ, GJTaintN) / Avg(ODTaintQ, ODTaintN)
+                  : 0;
+  std::printf("taint-style traversals: Graph.js %.1fx ODGen's cost "
+              "(paper: up to 4.8x slower — the Neo4j-engine effect)\n",
+              R1);
+  int PP = static_cast<int>(VulnType::PrototypePollution);
+  std::printf("prototype pollution totals: ODGen %.3fms vs Graph.js "
+              "%.3fms per completed package (paper: 15.45s vs 5.47s — "
+              "reversed in ODGen's disfavor)\n",
+              Avg(ODAcc[PP].Graph + ODAcc[PP].Query, ODAcc[PP].N) * 1000,
+              Avg(GJAcc[PP].Graph + GJAcc[PP].Query, GJAcc[PP].N) * 1000);
+  return 0;
+}

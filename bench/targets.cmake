@@ -1,0 +1,31 @@
+# Benchmark binaries — one per paper table/figure, plus microbenchmarks
+# and ablations. All binaries land in ${CMAKE_BINARY_DIR}/bench so that
+#   for b in build/bench/*; do $b; done
+# runs the whole harness.
+
+function(gjs_add_bench NAME)
+  add_executable(${NAME} ${CMAKE_SOURCE_DIR}/bench/${NAME}.cpp)
+  target_link_libraries(${NAME} PRIVATE
+    gjs_eval gjs_workload gjs_odgen gjs_scanner gjs_queries gjs_graphdb
+    gjs_analysis gjs_mdg gjs_coreir gjs_cfg gjs_frontend gjs_support)
+  set_target_properties(${NAME} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+gjs_add_bench(bench_table3_datasets)
+gjs_add_bench(bench_table4_effectiveness)
+gjs_add_bench(bench_table5_collected)
+gjs_add_bench(bench_table6_phases)
+gjs_add_bench(bench_table7_graphsize)
+gjs_add_bench(bench_fig6_venn)
+gjs_add_bench(bench_fig7_cdf)
+gjs_add_bench(bench_fig9_casestudy)
+gjs_add_bench(bench_ablation_fixpoint)
+
+function(gjs_add_gbench NAME)
+  gjs_add_bench(${NAME})
+  target_link_libraries(${NAME} PRIVATE benchmark::benchmark)
+endfunction()
+
+gjs_add_gbench(bench_micro_construction)
+gjs_add_gbench(bench_micro_querylatency)

@@ -1,0 +1,96 @@
+//===- examples/case_study_set_value.cpp - The §5.5 case study ------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// CVE-2021-23440 (npm `set-value` v3.0.0): a prototype pollution inside a
+// loop. The paper's §5.5 uses it to show why MDGs win: the cyclic,
+// fixed-point loop representation keeps the graph tiny and the pattern
+// visible, while ODGen's unrolling + state forking times out.
+//
+// This example builds the Figure 9 MDG, shows the loop-versioning cycle,
+// runs both detectors, and contrasts the outcomes.
+//
+// Build & run:  ./build/examples/case_study_set_value
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "odgen/ODGenAnalyzer.h"
+#include "queries/QueryRunner.h"
+
+#include <cstdio>
+
+using namespace gjs;
+
+static const char *SetValue =
+    "function set_value(target, prop, value) {\n"
+    "  const path = prop.split('.');\n"
+    "  const len = path.length;\n"
+    "  var obj = target;\n"
+    "  for (var i = 0; i < len; i++) {\n"
+    "    const p = path[i];\n"
+    "    if (i === len - 1) {\n"
+    "      obj[p] = value;\n"
+    "    }\n"
+    "    obj = obj[p];\n"
+    "  }\n"
+    "  return target;\n"
+    "}\n"
+    "module.exports = set_value;\n";
+
+int main() {
+  std::printf("== set-value v3.0.0 (CVE-2021-23440), Figure 8 ==\n%s\n",
+              SetValue);
+
+  // Graph.js: summary fixpoint, one node per allocation site.
+  DiagnosticEngine Diags;
+  auto Program = core::normalizeJS(SetValue, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  analysis::BuildResult Build = analysis::buildMDG(*Program);
+  std::printf("Graph.js MDG: %zu nodes, %zu edges (no object explosion)\n",
+              Build.Graph.numNodes(), Build.Graph.numEdges());
+
+  // The cyclic representation: version edges that fold loop iterations
+  // back onto the same nodes.
+  size_t VersionEdges = 0, CyclicEdges = 0;
+  for (mdg::NodeId N : Build.Graph.nodeIds())
+    for (const mdg::Edge &E : Build.Graph.out(N)) {
+      if (E.Kind == mdg::EdgeKind::Version ||
+          E.Kind == mdg::EdgeKind::VersionUnknown) {
+        ++VersionEdges;
+        if (Build.Graph.isVersionAncestor(E.To, E.From))
+          ++CyclicEdges;
+      }
+    }
+  std::printf("version edges: %zu (%zu participate in cycles)\n\n",
+              VersionEdges, CyclicEdges);
+
+  queries::GraphDBRunner Runner(Build);
+  std::vector<queries::VulnReport> Reports =
+      Runner.detect(queries::SinkConfig::defaults());
+  std::printf("Graph.js findings:\n");
+  for (const queries::VulnReport &R : Reports)
+    std::printf("  %s\n", R.str().c_str());
+
+  // ODGen: unrolling + abstract-state forking on the dynamic property
+  // chain exhausts its budget (the paper: "ODGen times out").
+  odgen::ODGenAnalyzer OD;
+  odgen::ODGenResult ODR = OD.analyze(SetValue);
+  std::printf("\nODGen baseline: %s (graph grew to %zu nodes before "
+              "stopping)\n",
+              ODR.TimedOut ? "TIMED OUT — no findings" : "completed",
+              ODR.NumNodes);
+
+  bool GraphJSFound = false;
+  for (const queries::VulnReport &R : Reports)
+    GraphJSFound |= R.Type == queries::VulnType::PrototypePollution;
+  std::printf("\nsummary: Graph.js %s the CVE-2021-23440 pattern; "
+              "ODGen %s.\n",
+              GraphJSFound ? "detects" : "misses",
+              ODR.TimedOut ? "times out" : "completes");
+  return GraphJSFound ? 0 : 1;
+}

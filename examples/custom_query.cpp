@@ -1,0 +1,84 @@
+//===- examples/custom_query.cpp - Extending Graph.js ---------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The paper's §6: "Graph.js's queries can be expanded to identify other
+// taint-style vulnerabilities, such as SQL injection, without modifying
+// the underlying MDG. For instance, to detect SQL injections, one can
+// supply common sinks like mysql.connection.query."
+//
+// This example does exactly that — a JSON sink configuration adds a SQL
+// injection sink class — and then goes one level deeper: it runs a
+// hand-written query in the Cypher-like language directly against the
+// imported MDG.
+//
+// Build & run:  ./build/examples/custom_query
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "graphdb/QueryEngine.h"
+#include "queries/QueryRunner.h"
+
+#include <cstdio>
+
+using namespace gjs;
+
+static const char *WebApp =
+    "var mysql = require('mysql');\n"
+    "var db = mysql.createConnection({host: 'localhost'});\n"
+    "function findUser(name, cb) {\n"
+    "  var q = \"SELECT * FROM users WHERE name = '\" + name + \"'\";\n"
+    "  db.query(q, cb);\n"
+    "}\n"
+    "module.exports = findUser;\n";
+
+// SQL injection is not a built-in class; CWE-94's slot carries it here
+// (the report type labels come from the config's class name).
+static const char *SinkConfigJSON = R"({
+  "code-injection": [
+    {"name": "query", "args": [0]},
+    {"name": "mysql.createConnection.query", "args": [0]}
+  ]
+})";
+
+int main() {
+  std::printf("== web app with a SQL injection ==\n%s\n", WebApp);
+
+  DiagnosticEngine Diags;
+  auto Program = core::normalizeJS(WebApp, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  analysis::BuildResult Build = analysis::buildMDG(*Program);
+
+  // Part 1: user-supplied sink configuration (§4, §6).
+  queries::SinkConfig Custom;
+  std::string Error;
+  if (!queries::SinkConfig::fromJSON(SinkConfigJSON, Custom, &Error)) {
+    std::fprintf(stderr, "bad sink config: %s\n", Error.c_str());
+    return 1;
+  }
+  queries::GraphDBRunner Runner(Build);
+  std::vector<queries::VulnReport> Reports = Runner.detect(Custom);
+  std::printf("== findings with the custom sink list ==\n");
+  for (const queries::VulnReport &R : Reports)
+    std::printf("  sink '%s' reached by tainted data at line %u\n",
+                R.SinkName.c_str(), R.SinkLoc.Line);
+
+  // Part 2: a raw query against the graph database. Find every call whose
+  // argument an exported-function parameter reaches.
+  graphdb::QueryEngine Engine(Runner.database());
+  graphdb::ResultSet RS = Engine.run(
+      "MATCH (src:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(arg)"
+      "-[:D]->(call:Call) RETURN src.label, call.name, call.line");
+  std::printf("\n== raw query: tainted call arguments ==\n");
+  std::printf("%-14s %-12s %s\n", "source", "call", "line");
+  for (const graphdb::ResultRow &Row : RS.Rows)
+    std::printf("%-14s %-12s %s\n", Row.Values[0].c_str(),
+                Row.Values[1].c_str(), Row.Values[2].c_str());
+
+  return Reports.empty() ? 1 : 0;
+}

@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - Figure 1 end to end ----------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The paper's motivating example (Figure 1a): a `git_reset` helper with
+// both an OS command injection and a prototype pollution. This example
+// walks the whole public API surface:
+//
+//   1. parse JavaScript and lower it to Core JavaScript;
+//   2. build the Multiversion Dependency Graph;
+//   3. print the MDG (the Figure 1c structure);
+//   4. run the Table 2 vulnerability queries through the graph database;
+//   5. print the findings as JSON.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "queries/QueryRunner.h"
+#include "scanner/Scanner.h"
+
+#include <cstdio>
+
+using namespace gjs;
+
+static const char *Figure1a =
+    "const { exec } = require('child_process');\n"
+    "function git_reset(config, op, branch_name, url) {\n"
+    "  var options = config[op];\n"
+    "  options[branch_name] = url;\n"
+    "  options.cmd = 'git reset';\n"
+    "  exec(options.cmd + ' HEAD~' + options.commit);\n"
+    "}\n"
+    "module.exports = git_reset;\n";
+
+int main() {
+  std::printf("== Figure 1a source ==\n%s\n", Figure1a);
+
+  // Step 1: parse + normalize to Core JavaScript (§3.2).
+  DiagnosticEngine Diags;
+  auto Program = core::normalizeJS(Figure1a, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("== Core JavaScript ==\n%s\n", core::dump(*Program).c_str());
+
+  // Step 2: build the MDG (§3).
+  analysis::BuildResult Build = analysis::buildMDG(*Program);
+  std::printf("== MDG (%zu nodes, %zu edges) ==\n%s\n",
+              Build.Graph.numNodes(), Build.Graph.numEdges(),
+              Build.Graph.dump(Build.Props).c_str());
+
+  // Step 3: run the vulnerability queries (§4, Table 2).
+  queries::GraphDBRunner Runner(Build);
+  queries::DetectStats Stats;
+  std::vector<queries::VulnReport> Reports =
+      Runner.detect(queries::SinkConfig::defaults(), &Stats);
+
+  std::printf("== Findings (query work: %llu steps) ==\n",
+              static_cast<unsigned long long>(Stats.QueryWork));
+  for (const queries::VulnReport &R : Reports)
+    std::printf("  %s\n", R.str().c_str());
+  std::printf("\n== JSON ==\n%s\n", scanner::reportsToJSON(Reports).c_str());
+
+  // The paper's two findings: CWE-78 at the exec call (line 6) and
+  // CWE-1321 at the dynamic assignment (line 4).
+  return Reports.size() >= 2 ? 0 : 1;
+}

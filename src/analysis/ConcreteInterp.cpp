@@ -1,0 +1,826 @@
+//===- analysis/ConcreteInterp.cpp - Instrumented concrete semantics ------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConcreteInterp.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::analysis;
+using namespace gjs::mdg;
+using core::Operand;
+using core::StmtKind;
+
+bool ConcreteValue::truthy() const {
+  switch (K) {
+  case Kind::Undefined:
+  case Kind::Null:
+    return false;
+  case Kind::Boolean:
+    return Bool;
+  case Kind::Number:
+    return Num != 0 && !std::isnan(Num);
+  case Kind::String:
+    return !Str.empty();
+  case Kind::Object:
+  case Kind::Function:
+    return true;
+  }
+  return false;
+}
+
+std::string ConcreteValue::toDisplayString() const {
+  switch (K) {
+  case Kind::Undefined:
+    return "undefined";
+  case Kind::Null:
+    return "null";
+  case Kind::Boolean:
+    return Bool ? "true" : "false";
+  case Kind::Number: {
+    std::ostringstream OS;
+    OS << Num;
+    return OS.str();
+  }
+  case Kind::String:
+    return Str;
+  case Kind::Object:
+    return "[object Object]";
+  case Kind::Function:
+    return "[function]";
+  }
+  return "";
+}
+
+namespace {
+
+using Loc = uint32_t;
+constexpr Loc NoLoc = static_cast<Loc>(-1);
+
+/// The actual interpreter state. Every heap location has a parallel graph
+/// node (possibly tagged None = untracked).
+class Machine {
+public:
+  Machine(const core::Program &Prog, const InterpOptions &O,
+          ConcreteResult &Out)
+      : Prog(Prog), Options(O), Out(Out) {}
+
+  void runTopLevel() { execBlock(Prog.TopLevel); }
+
+  Loc callFunction(const core::Function &Fn, const std::vector<Loc> &Args,
+                   Loc This);
+
+  Loc allocLoc(ConcreteValue V, LocTag Tag) {
+    Loc L = static_cast<Loc>(Heap.size());
+    Heap.push_back(std::move(V));
+    NodeId N = Out.Graph.addNode(NodeKind::Object, Tag.Site, SourceLocation(),
+                                 Tag.Name);
+    assert(N == L && "heap locations and graph nodes must stay aligned");
+    (void)N;
+    Out.Tags.push_back(std::move(Tag));
+    return L;
+  }
+
+  ConcreteValue &value(Loc L) { return Heap[L]; }
+  bool tracked(Loc L) const {
+    return L != NoLoc && Out.Tags[L].K != LocTag::Kind::None;
+  }
+
+  std::map<std::string, Loc> Store;
+  std::vector<ConcreteValue> Heap;
+
+private:
+  const core::Program &Prog;
+  const InterpOptions &Options;
+  ConcreteResult &Out;
+  uint64_t Steps = 0;
+  unsigned CallDepth = 0;
+  bool ReturnHit = false;
+  Loc RetLoc = NoLoc;
+
+  bool step() {
+    if (++Steps > Options.MaxSteps) {
+      Out.Diverged = true;
+      return false;
+    }
+    return true;
+  }
+
+  Loc untracked(ConcreteValue V) { return allocLoc(std::move(V), LocTag()); }
+
+  Loc evalOperand(const Operand &O, bool Track, core::StmtIndex Site,
+                  LocTag::Kind TagKind);
+  ConcreteValue literalValue(const Operand &O);
+  void execBlock(const std::vector<core::StmtPtr> &Block);
+  void execStmt(const core::Stmt &S);
+  void execUpdate(const core::Stmt &S, const std::string &PropName,
+                  bool Dynamic, Loc NameLoc);
+  void execCall(const core::Stmt &S);
+  ConcreteValue applyBinOp(const std::string &Op, const ConcreteValue &A,
+                           const ConcreteValue &B);
+
+  /// Concrete models of common string/array builtins (`split`, `join`,
+  /// `slice`, ...). Returns true and binds the call target when modeled.
+  /// Keeping these concrete is what lets witness replay confirm findings
+  /// in real package idioms like `prop.split('.')`.
+  bool tryBuiltinMethod(const core::Stmt &S, Loc ReceiverLoc,
+                        const std::vector<Loc> &ArgLocs, Loc CallLoc);
+};
+
+ConcreteValue Machine::literalValue(const Operand &O) {
+  ConcreteValue V;
+  switch (O.K) {
+  case Operand::Kind::Var:
+    assert(false && "not a literal");
+    break;
+  case Operand::Kind::Number:
+    V.K = ConcreteValue::Kind::Number;
+    V.Num = O.Num;
+    break;
+  case Operand::Kind::String:
+    V.K = ConcreteValue::Kind::String;
+    V.Str = O.Name;
+    break;
+  case Operand::Kind::Boolean:
+    V.K = ConcreteValue::Kind::Boolean;
+    V.Bool = O.Bool;
+    break;
+  case Operand::Kind::Null:
+    V.K = ConcreteValue::Kind::Null;
+    break;
+  case Operand::Kind::Undefined:
+    break;
+  }
+  return V;
+}
+
+Loc Machine::evalOperand(const Operand &O, bool Track, core::StmtIndex Site,
+                         LocTag::Kind TagKind) {
+  if (O.isVar()) {
+    auto It = Store.find(O.Name);
+    if (It != Store.end())
+      return It->second;
+    // Unbound variable. The abstract side over-approximates every branch,
+    // so it may have bound this name where the concrete run did not;
+    // concretely the read is an untracked undefined/global object.
+    ConcreteValue V;
+    V.K = ConcreteValue::Kind::Object;
+    Loc L = untracked(std::move(V));
+    Store[O.Name] = L;
+    return L;
+  }
+  // Literal: tracked only where the abstract side allocates a node.
+  if (Track) {
+    LocTag Tag;
+    Tag.K = TagKind;
+    Tag.Site = Site;
+    return allocLoc(literalValue(O), std::move(Tag));
+  }
+  return untracked(literalValue(O));
+}
+
+void Machine::execBlock(const std::vector<core::StmtPtr> &Block) {
+  for (const core::StmtPtr &S : Block) {
+    if (ReturnHit || Out.Diverged)
+      return;
+    execStmt(*S);
+  }
+}
+
+ConcreteValue Machine::applyBinOp(const std::string &Op,
+                                  const ConcreteValue &A,
+                                  const ConcreteValue &B) {
+  ConcreteValue R;
+  auto Num = [](const ConcreteValue &V) -> double {
+    switch (V.K) {
+    case ConcreteValue::Kind::Number:
+      return V.Num;
+    case ConcreteValue::Kind::Boolean:
+      return V.Bool ? 1 : 0;
+    case ConcreteValue::Kind::String: {
+      char *End = nullptr;
+      double D = std::strtod(V.Str.c_str(), &End);
+      return End && *End == '\0' && !V.Str.empty() ? D : 0;
+    }
+    default:
+      return 0;
+    }
+  };
+  if (Op == "+") {
+    if (A.K == ConcreteValue::Kind::String ||
+        B.K == ConcreteValue::Kind::String) {
+      R.K = ConcreteValue::Kind::String;
+      R.Str = A.toDisplayString() + B.toDisplayString();
+    } else {
+      R.K = ConcreteValue::Kind::Number;
+      R.Num = Num(A) + Num(B);
+    }
+    return R;
+  }
+  if (Op == "-" || Op == "*" || Op == "/" || Op == "%" || Op == "**" ||
+      Op == "&" || Op == "|" || Op == "^" || Op == "<<" || Op == ">>" ||
+      Op == ">>>") {
+    R.K = ConcreteValue::Kind::Number;
+    double X = Num(A), Y = Num(B);
+    if (Op == "-")
+      R.Num = X - Y;
+    else if (Op == "*")
+      R.Num = X * Y;
+    else if (Op == "/")
+      R.Num = Y != 0 ? X / Y : 0;
+    else if (Op == "%")
+      R.Num = Y != 0 ? std::fmod(X, Y) : 0;
+    else if (Op == "**")
+      R.Num = std::pow(X, Y);
+    else {
+      long LX = static_cast<long>(X), LY = static_cast<long>(Y);
+      if (Op == "&")
+        R.Num = static_cast<double>(LX & LY);
+      else if (Op == "|")
+        R.Num = static_cast<double>(LX | LY);
+      else if (Op == "^")
+        R.Num = static_cast<double>(LX ^ LY);
+      else if (Op == "<<")
+        R.Num = static_cast<double>(LX << (LY & 31));
+      else
+        R.Num = static_cast<double>(LX >> (LY & 31));
+    }
+    return R;
+  }
+  if (Op == "==" || Op == "===" || Op == "!=" || Op == "!==") {
+    bool Eq = A.K == B.K && A.Num == B.Num && A.Str == B.Str &&
+              A.Bool == B.Bool;
+    R.K = ConcreteValue::Kind::Boolean;
+    R.Bool = (Op[0] == '=') == Eq;
+    return R;
+  }
+  if (Op == "<" || Op == ">" || Op == "<=" || Op == ">=") {
+    R.K = ConcreteValue::Kind::Boolean;
+    double X = Num(A), Y = Num(B);
+    if (A.K == ConcreteValue::Kind::String &&
+        B.K == ConcreteValue::Kind::String) {
+      R.Bool = Op == "<"    ? A.Str < B.Str
+               : Op == ">"  ? A.Str > B.Str
+               : Op == "<=" ? A.Str <= B.Str
+                            : A.Str >= B.Str;
+    } else {
+      R.Bool = Op == "<"    ? X < Y
+               : Op == ">"  ? X > Y
+               : Op == "<=" ? X <= Y
+                            : X >= Y;
+    }
+    return R;
+  }
+  if (Op == "&&")
+    return A.truthy() ? B : A;
+  if (Op == "||" || Op == "??")
+    return A.truthy() ? A : B;
+  if (Op == "in") {
+    R.K = ConcreteValue::Kind::Boolean;
+    R.Bool = B.K == ConcreteValue::Kind::Object &&
+             B.Props.count(A.toDisplayString()) != 0;
+    return R;
+  }
+  // instanceof and anything else: false.
+  R.K = ConcreteValue::Kind::Boolean;
+  return R;
+}
+
+void Machine::execStmt(const core::Stmt &S) {
+  if (!step())
+    return;
+
+  switch (S.K) {
+  case StmtKind::Assign: {
+    if (S.Value.isVar()) {
+      Store[S.Target] = evalOperand(S.Value, false, S.Index,
+                                    LocTag::Kind::None);
+    } else {
+      // Mirror the abstract side: literal assignments allocate at the site.
+      Store[S.Target] =
+          evalOperand(S.Value, true, S.Index, LocTag::Kind::Site);
+    }
+    break;
+  }
+  case StmtKind::BinOp: {
+    Loc L1 = S.LHS.isVar() ? evalOperand(S.LHS, false, 0, LocTag::Kind::None)
+                           : NoLoc;
+    Loc L2 = S.RHS.isVar() ? evalOperand(S.RHS, false, 0, LocTag::Kind::None)
+                           : NoLoc;
+    ConcreteValue A = L1 != NoLoc ? value(L1) : literalValue(S.LHS);
+    ConcreteValue B = L2 != NoLoc ? value(L2) : literalValue(S.RHS);
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Site;
+    Tag.Site = S.Index;
+    Loc R = allocLoc(applyBinOp(S.Op, A, B), std::move(Tag));
+    if (L1 != NoLoc && tracked(L1))
+      Out.Graph.addEdge(L1, R, EdgeKind::Dep);
+    if (L2 != NoLoc && tracked(L2))
+      Out.Graph.addEdge(L2, R, EdgeKind::Dep);
+    Store[S.Target] = R;
+    break;
+  }
+  case StmtKind::UnOp: {
+    Loc L = S.Value.isVar()
+                ? evalOperand(S.Value, false, 0, LocTag::Kind::None)
+                : NoLoc;
+    ConcreteValue In = L != NoLoc ? value(L) : literalValue(S.Value);
+    ConcreteValue V;
+    if (S.Op == "!") {
+      V.K = ConcreteValue::Kind::Boolean;
+      V.Bool = !In.truthy();
+    } else if (S.Op == "-") {
+      V.K = ConcreteValue::Kind::Number;
+      V.Num = In.K == ConcreteValue::Kind::Number ? -In.Num : 0;
+    } else if (S.Op == "typeof") {
+      V.K = ConcreteValue::Kind::String;
+      V.Str = In.K == ConcreteValue::Kind::Object     ? "object"
+              : In.K == ConcreteValue::Kind::String   ? "string"
+              : In.K == ConcreteValue::Kind::Number   ? "number"
+              : In.K == ConcreteValue::Kind::Function ? "function"
+                                                      : "undefined";
+    } else if (S.Op == "key-of") {
+      // for-in key: the first property name of the object.
+      if (In.K == ConcreteValue::Kind::Object && !In.Props.empty()) {
+        V.K = ConcreteValue::Kind::String;
+        V.Str = In.Props.begin()->first;
+      }
+    } else if (S.Op == "keys" || S.Op == "iter") {
+      V.K = ConcreteValue::Kind::Number;
+      V.Num = In.K == ConcreteValue::Kind::Object
+                  ? static_cast<double>(In.Props.size())
+                  : 0;
+    } else {
+      V = In; // await/yield/rest/+ pass values through.
+    }
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Site;
+    Tag.Site = S.Index;
+    Loc R = allocLoc(std::move(V), std::move(Tag));
+    if (L != NoLoc && tracked(L))
+      Out.Graph.addEdge(L, R, EdgeKind::Dep);
+    Store[S.Target] = R;
+    break;
+  }
+  case StmtKind::NewObject: {
+    ConcreteValue V;
+    V.K = ConcreteValue::Kind::Object;
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Site;
+    Tag.Site = S.Index;
+    Store[S.Target] = allocLoc(std::move(V), std::move(Tag));
+    break;
+  }
+  case StmtKind::FuncDef: {
+    ConcreteValue V;
+    V.K = ConcreteValue::Kind::Function;
+    V.Fn = S.Func.get();
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Site;
+    Tag.Site = S.Index;
+    Store[S.Target] = allocLoc(std::move(V), std::move(Tag));
+    break;
+  }
+  case StmtKind::StaticLookup:
+  case StmtKind::DynamicLookup: {
+    bool Dynamic = S.K == StmtKind::DynamicLookup;
+    std::string PropName;
+    Loc NameLoc = NoLoc;
+    if (!Dynamic) {
+      PropName = S.Prop;
+    } else if (S.PropOperand.isVar()) {
+      NameLoc = evalOperand(S.PropOperand, false, 0, LocTag::Kind::None);
+      PropName = value(NameLoc).toDisplayString();
+    } else {
+      PropName = literalValue(S.PropOperand).toDisplayString();
+    }
+    Loc ObjLoc = evalOperand(S.Obj, false, 0, LocTag::Kind::None);
+    // String length is a real value (guards like `s.length < 4` must
+    // evaluate faithfully for witness replay).
+    if (value(ObjLoc).K == ConcreteValue::Kind::String &&
+        PropName == "length") {
+      ConcreteValue LenV;
+      LenV.K = ConcreteValue::Kind::Number;
+      LenV.Num = static_cast<double>(value(ObjLoc).Str.size());
+      Store[S.Target] = untracked(std::move(LenV));
+      break;
+    }
+    ConcreteValue &OV = value(ObjLoc);
+    Loc ResultLoc;
+    if (OV.K == ConcreteValue::Kind::Object && OV.Props.count(PropName)) {
+      ResultLoc = OV.Props.at(PropName);
+      // Pre-existing fields (nested attacker inputs) get their abstract
+      // image on first read: the lazy AP/AP* node of this lookup site.
+      if (!tracked(ResultLoc)) {
+        LocTag &T = Out.Tags[ResultLoc];
+        T.K = Dynamic ? LocTag::Kind::UnknownProp : LocTag::Kind::LazyProp;
+        T.Site = S.Index;
+        T.Name = PropName;
+      }
+    } else {
+      // Missing property: plain `undefined`, untracked (§3.3 note).
+      ResultLoc = untracked(ConcreteValue());
+    }
+    // Dynamic lookup: the property name flows into the value read
+    // ([Dynamic Property Lookup], l2 →D l').
+    if (Dynamic && NameLoc != NoLoc && tracked(NameLoc) &&
+        tracked(ResultLoc))
+      Out.Graph.addEdge(NameLoc, ResultLoc, EdgeKind::Dep);
+    Store[S.Target] = ResultLoc;
+    break;
+  }
+  case StmtKind::StaticUpdate:
+    execUpdate(S, S.Prop, /*Dynamic=*/false, NoLoc);
+    break;
+  case StmtKind::DynamicUpdate: {
+    std::string PropName;
+    Loc NameLoc = NoLoc;
+    if (S.PropOperand.isVar()) {
+      NameLoc = evalOperand(S.PropOperand, false, 0, LocTag::Kind::None);
+      PropName = value(NameLoc).toDisplayString();
+    } else {
+      PropName = literalValue(S.PropOperand).toDisplayString();
+    }
+    execUpdate(S, PropName, /*Dynamic=*/true, NameLoc);
+    break;
+  }
+  case StmtKind::Call:
+    execCall(S);
+    break;
+  case StmtKind::Return: {
+    RetLoc = evalOperand(S.Value, false, 0, LocTag::Kind::None);
+    if (!S.Value.isVar())
+      RetLoc = untracked(literalValue(S.Value));
+    ReturnHit = true;
+    break;
+  }
+  case StmtKind::If: {
+    Loc C = S.Cond.isVar() ? evalOperand(S.Cond, false, 0, LocTag::Kind::None)
+                           : NoLoc;
+    bool Truthy = C != NoLoc ? value(C).truthy()
+                             : literalValue(S.Cond).truthy();
+    execBlock(Truthy ? S.Then : S.Else);
+    break;
+  }
+  case StmtKind::While: {
+    unsigned Iters = 0;
+    while (!ReturnHit && !Out.Diverged) {
+      Loc C = S.Cond.isVar()
+                  ? evalOperand(S.Cond, false, 0, LocTag::Kind::None)
+                  : NoLoc;
+      bool Truthy = C != NoLoc ? value(C).truthy()
+                               : literalValue(S.Cond).truthy();
+      if (!Truthy || ++Iters > Options.MaxLoopIters)
+        break;
+      execBlock(S.Body);
+    }
+    break;
+  }
+  case StmtKind::Nop:
+    break;
+  }
+}
+
+void Machine::execUpdate(const core::Stmt &S, const std::string &PropName,
+                         bool Dynamic, Loc NameLoc) {
+  // NB: the paper's Core JavaScript applies NV_c to any value — primitives
+  // are objectified on property update (real JS silently drops the write;
+  // keeping the write is the sound over-approximating choice shared with
+  // the abstract side, and what Definition 3.1 is checked against).
+  Loc ObjLoc = evalOperand(S.Obj, false, 0, LocTag::Kind::None);
+  Loc ValLoc = S.Value.isVar()
+                   ? evalOperand(S.Value, false, 0, LocTag::Kind::None)
+                   : evalOperand(S.Value, true, S.Index, LocTag::Kind::Value);
+
+  // NV_c: a new version of the object, props copied, the updated one set.
+  ConcreteValue NewV = value(ObjLoc);
+  NewV.Props[PropName] = ValLoc;
+  LocTag Tag;
+  Tag.K = LocTag::Kind::Version;
+  Tag.Site = S.Index;
+  Loc NewLoc = allocLoc(std::move(NewV), std::move(Tag));
+
+  Symbol P = Out.Props.intern(PropName);
+  if (tracked(ObjLoc))
+    Out.Graph.addEdge(ObjLoc, NewLoc, EdgeKind::Version, P);
+  if (Dynamic) {
+    WriteObservation Obs;
+    Obs.Line = S.Loc.Line;
+    Obs.PropName = PropName;
+    Obs.Value = value(ValLoc).toDisplayString();
+    Out.DynWrites.push_back(std::move(Obs));
+  }
+  if (Dynamic && NameLoc != NoLoc && tracked(NameLoc))
+    Out.Graph.addEdge(NameLoc, NewLoc, EdgeKind::Dep);
+  if (tracked(ValLoc))
+    Out.Graph.addEdge(NewLoc, ValLoc, EdgeKind::Prop, P);
+
+  // All variables referring to the old version now see the new one.
+  for (auto &[Var, L] : Store)
+    if (L == ObjLoc)
+      L = NewLoc;
+}
+
+bool Machine::tryBuiltinMethod(const core::Stmt &S, Loc ReceiverLoc,
+                               const std::vector<Loc> &ArgLocs,
+                               Loc CallLoc) {
+  if (ReceiverLoc == NoLoc)
+    return false;
+  const ConcreteValue Recv = value(ReceiverLoc); // Copy: heap may grow.
+  const std::string &Name = S.CalleeName;
+
+  auto ArgStr = [&](size_t I) {
+    return I < ArgLocs.size() ? value(ArgLocs[I]).toDisplayString()
+                              : std::string();
+  };
+  auto ArgNum = [&](size_t I, double Default) {
+    if (I >= ArgLocs.size())
+      return Default;
+    const ConcreteValue &V = value(ArgLocs[I]);
+    return V.K == ConcreteValue::Kind::Number ? V.Num : Default;
+  };
+  // Binds a derived result: tagged through the call site (Ret) with a
+  // D edge from the call node, so soundness obligations still map.
+  auto BindValue = [&](ConcreteValue V) {
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Ret;
+    Tag.Site = S.Index;
+    Loc L = allocLoc(std::move(V), std::move(Tag));
+    Out.Graph.addEdge(CallLoc, L, EdgeKind::Dep);
+    Store[S.Target] = L;
+    return L;
+  };
+  auto BindStr = [&](std::string Text) {
+    ConcreteValue V;
+    V.K = ConcreteValue::Kind::String;
+    V.Str = std::move(Text);
+    BindValue(std::move(V));
+    return true;
+  };
+
+  // String receiver methods.
+  if (Recv.K == ConcreteValue::Kind::String) {
+    const std::string &Str = Recv.Str;
+    if (Name == "split") {
+      std::string Sep = ArgStr(0);
+      ConcreteValue Arr;
+      Arr.K = ConcreteValue::Kind::Object;
+      Loc ArrLoc = BindValue(std::move(Arr));
+      size_t Count = 0;
+      size_t Pos = 0;
+      while (true) {
+        size_t Next = Sep.empty() ? std::string::npos : Str.find(Sep, Pos);
+        std::string Part = Next == std::string::npos
+                               ? Str.substr(Pos)
+                               : Str.substr(Pos, Next - Pos);
+        ConcreteValue PV;
+        PV.K = ConcreteValue::Kind::String;
+        PV.Str = std::move(Part);
+        Loc PL = untracked(std::move(PV));
+        value(ArrLoc).Props[std::to_string(Count)] = PL;
+        ++Count;
+        if (Next == std::string::npos)
+          break;
+        Pos = Next + Sep.size();
+      }
+      ConcreteValue LenV;
+      LenV.K = ConcreteValue::Kind::Number;
+      LenV.Num = static_cast<double>(Count);
+      value(ArrLoc).Props["length"] = untracked(std::move(LenV));
+      return true;
+    }
+    if (Name == "slice" || Name == "substring") {
+      size_t From = static_cast<size_t>(std::max(0.0, ArgNum(0, 0)));
+      size_t To = static_cast<size_t>(
+          std::max(0.0, ArgNum(1, static_cast<double>(Str.size()))));
+      From = std::min(From, Str.size());
+      To = std::min(std::max(To, From), Str.size());
+      return BindStr(Str.substr(From, To - From));
+    }
+    if (Name == "trim" || Name == "toString")
+      return BindStr(Str);
+    if (Name == "toLowerCase" || Name == "toUpperCase") {
+      std::string Text = Str;
+      for (char &C : Text)
+        C = static_cast<char>(
+            Name == "toLowerCase"
+                ? std::tolower(static_cast<unsigned char>(C))
+                : std::toupper(static_cast<unsigned char>(C)));
+      return BindStr(Text);
+    }
+    if (Name == "concat")
+      return BindStr(Str + ArgStr(0));
+    if (Name == "charAt") {
+      size_t I = static_cast<size_t>(std::max(0.0, ArgNum(0, 0)));
+      return BindStr(I < Str.size() ? std::string(1, Str[I])
+                                    : std::string());
+    }
+    if (Name == "replace") {
+      std::string Needle = ArgStr(0), With = ArgStr(1);
+      std::string Text = Str;
+      if (!Needle.empty()) {
+        size_t P = Text.find(Needle);
+        if (P != std::string::npos)
+          Text.replace(P, Needle.size(), With);
+      }
+      return BindStr(Text);
+    }
+    if (Name == "indexOf") {
+      ConcreteValue V;
+      V.K = ConcreteValue::Kind::Number;
+      size_t P = Str.find(ArgStr(0));
+      V.Num = P == std::string::npos ? -1 : static_cast<double>(P);
+      BindValue(std::move(V));
+      return true;
+    }
+  }
+
+  // Array-like receiver: join concatenates the indexed properties.
+  if (Recv.K == ConcreteValue::Kind::Object && Name == "join") {
+    std::string Sep = ArgLocs.empty() ? "," : ArgStr(0);
+    std::string Joined;
+    for (size_t I = 0;; ++I) {
+      auto It = Recv.Props.find(std::to_string(I));
+      if (It == Recv.Props.end())
+        break;
+      if (I)
+        Joined += Sep;
+      Joined += value(It->second).toDisplayString();
+    }
+    return BindStr(Joined);
+  }
+
+  return false;
+}
+
+void Machine::execCall(const core::Stmt &S) {
+  Loc CalleeLoc = evalOperand(S.Callee, false, 0, LocTag::Kind::None);
+
+  // Concrete call node, mirroring the abstract f_i.
+  LocTag CTag;
+  CTag.K = LocTag::Kind::Call;
+  CTag.Site = S.Index;
+  ConcreteValue CV;
+  Loc CallLoc = allocLoc(std::move(CV), std::move(CTag));
+
+  std::vector<Loc> ArgLocs;
+  for (const Operand &A : S.Args) {
+    Loc L = A.isVar() ? evalOperand(A, false, 0, LocTag::Kind::None)
+                      : untracked(literalValue(A));
+    if (tracked(L))
+      Out.Graph.addEdge(L, CallLoc, EdgeKind::Dep);
+    ArgLocs.push_back(L);
+  }
+
+  // Record what this call actually received (witness replay evidence).
+  {
+    CallObservation Obs;
+    Obs.Line = S.Loc.Line;
+    Obs.CalleeName = S.CalleeName;
+    Obs.CalleePath = S.CalleePath;
+    for (Loc L : ArgLocs)
+      Obs.ArgValues.push_back(value(L).toDisplayString());
+    Out.Calls.push_back(std::move(Obs));
+  }
+
+  // The receiver flows into the call (mirrors the abstract builder).
+  Loc ReceiverLoc = NoLoc;
+  if (S.Receiver.isVar()) {
+    ReceiverLoc = evalOperand(S.Receiver, false, 0, LocTag::Kind::None);
+    if (tracked(ReceiverLoc))
+      Out.Graph.addEdge(ReceiverLoc, CallLoc, EdgeKind::Dep);
+  }
+
+  if (tryBuiltinMethod(S, ReceiverLoc, ArgLocs, CallLoc))
+    return;
+
+  const ConcreteValue &Callee = value(CalleeLoc);
+  if (Callee.K == ConcreteValue::Kind::Function && Callee.Fn &&
+      CallDepth < Options.MaxCallDepth) {
+    Loc ThisLoc = NoLoc;
+    if (S.IsNew) {
+      ConcreteValue O;
+      O.K = ConcreteValue::Kind::Object;
+      LocTag Tag;
+      Tag.K = LocTag::Kind::Ret;
+      Tag.Site = S.Index;
+      ThisLoc = allocLoc(std::move(O), std::move(Tag));
+      Out.Graph.addEdge(CallLoc, ThisLoc, EdgeKind::Dep);
+    } else {
+      ThisLoc = ReceiverLoc;
+    }
+    ++CallDepth;
+    Loc R = callFunction(*Callee.Fn, ArgLocs, ThisLoc);
+    --CallDepth;
+    Store[S.Target] = S.IsNew ? ThisLoc : R;
+    return;
+  }
+
+  // Unknown callee: result depends on the call.
+  LocTag RTag;
+  RTag.K = LocTag::Kind::Ret;
+  RTag.Site = S.Index;
+  ConcreteValue RV;
+  if (S.IsNew)
+    RV.K = ConcreteValue::Kind::Object;
+  Loc Ret = allocLoc(std::move(RV), std::move(RTag));
+  Out.Graph.addEdge(CallLoc, Ret, EdgeKind::Dep);
+  Store[S.Target] = Ret;
+}
+
+Loc Machine::callFunction(const core::Function &Fn,
+                          const std::vector<Loc> &Args, Loc This) {
+  // Save and rebind parameter slots (plus `this`) for re-entrancy.
+  std::vector<std::pair<std::string, Loc>> Saved;
+  auto Bind = [&](const std::string &Name, Loc L) {
+    auto It = Store.find(Name);
+    Saved.push_back({Name, It != Store.end() ? It->second : NoLoc});
+    if (L != NoLoc)
+      Store[Name] = L;
+    else
+      Store[Name] = untracked(ConcreteValue());
+  };
+  for (size_t I = 0; I < Fn.Params.size(); ++I)
+    Bind(Fn.Params[I], I < Args.size() ? Args[I] : NoLoc);
+  Bind("this", This);
+
+  bool SavedReturnHit = ReturnHit;
+  Loc SavedRetLoc = RetLoc;
+  ReturnHit = false;
+  RetLoc = NoLoc;
+
+  execBlock(Fn.Body);
+
+  Loc Result = ReturnHit ? RetLoc : untracked(ConcreteValue());
+  ReturnHit = SavedReturnHit;
+  RetLoc = SavedRetLoc;
+
+  for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
+    if (It->second == NoLoc)
+      Store.erase(It->first);
+    else
+      Store[It->first] = It->second;
+  }
+  return Result;
+}
+
+} // namespace
+
+ConcreteInterp::ConcreteInterp(InterpOptions O) : Options(O) {}
+
+/// Materializes a spec into the machine's heap. Nested field locations are
+/// untracked: the abstract side represents a whole parameter with one node
+/// and discovers its structure lazily.
+static Loc materialize(Machine &M, const ValueSpec &Spec, LocTag Tag) {
+  ConcreteValue V;
+  V.K = Spec.K;
+  V.Num = Spec.Num;
+  V.Str = Spec.Str;
+  V.Bool = Spec.Bool;
+  Loc L = M.allocLoc(std::move(V), std::move(Tag));
+  for (const auto &[Name, FieldSpec] : Spec.Fields) {
+    Loc F = materialize(M, FieldSpec, LocTag());
+    M.value(L).Props[Name] = F;
+  }
+  return L;
+}
+
+ConcreteResult ConcreteInterp::run(const core::Program &Program,
+                                   const std::string &EntryFunction,
+                                   const std::vector<ValueSpec> &Args) {
+  ConcreteResult Out;
+  Machine M(Program, Options, Out);
+  M.runTopLevel();
+
+  auto It = Program.Functions.find(EntryFunction);
+  if (It == Program.Functions.end())
+    return Out;
+  const core::Function &Fn = *It->second;
+
+  // Materialize entry arguments as tracked parameter locations.
+  std::vector<Loc> ArgLocs;
+  for (size_t I = 0; I < Fn.Params.size(); ++I) {
+    LocTag Tag;
+    Tag.K = LocTag::Kind::Param;
+    Tag.Name = Fn.Name + ":" + Fn.Params[I];
+    Loc L = I < Args.size()
+                ? materialize(M, Args[I], std::move(Tag))
+                : M.allocLoc(ConcreteValue(), std::move(Tag));
+    ArgLocs.push_back(L);
+    Out.ParamNodes.push_back(L);
+  }
+  LocTag ThisTag;
+  ThisTag.K = LocTag::Kind::Param;
+  ThisTag.Name = Fn.Name + ":this";
+  ConcreteValue ThisV;
+  ThisV.K = ConcreteValue::Kind::Object;
+  Loc ThisLoc = M.allocLoc(std::move(ThisV), std::move(ThisTag));
+
+  M.callFunction(Fn, ArgLocs, ThisLoc);
+  return Out;
+}

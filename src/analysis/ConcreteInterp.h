@@ -1,0 +1,166 @@
+//===- analysis/ConcreteInterp.h - Instrumented concrete semantics -*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented big-step concrete semantics of §3.3:
+/// ⟨g, h, ρ, s⟩ ⇓_c ⟨g', h', ρ'⟩. Executing a Core JavaScript program on
+/// concrete inputs both computes values AND builds a *concrete* MDG, whose
+/// edges all carry known property names.
+///
+/// Each concrete location is tagged with the allocation key the abstract
+/// analysis would use for the same statement (site, version-site, lazy-prop
+/// site, ...). The soundness property tests use those tags as the
+/// abstraction function α of Definition 3.1 and check that every concrete
+/// D/P/V edge has an abstract counterpart — the executable content of
+/// Theorem 3.2 (Soundness with Full Knowledge).
+///
+/// Deviations from real JavaScript are deliberate and shared with the
+/// abstract side: constants carry no dependencies, missing-property reads
+/// yield untracked `undefined`, and exceptions are not modeled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_ANALYSIS_CONCRETEINTERP_H
+#define GJS_ANALYSIS_CONCRETEINTERP_H
+
+#include "core/CoreIR.h"
+#include "mdg/MDG.h"
+#include "support/StringInterner.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gjs {
+namespace analysis {
+
+/// How a concrete location was allocated — the key α uses to map it to an
+/// abstract location.
+struct LocTag {
+  enum class Kind {
+    None,        ///< Untracked (literal temporaries, missing-prop reads).
+    Site,        ///< Created by statement i (objects, binops, literals).
+    Version,     ///< New object version created by update statement i.
+    Value,       ///< Literal RHS of update statement i.
+    Call,        ///< Call node of call statement i.
+    Ret,         ///< Result of unknown call statement i.
+    Global,      ///< Unbound variable (name in Name).
+    Param,       ///< Entry parameter ("fn:param" in Name).
+    LazyProp,    ///< Pre-existing field first read by static lookup i
+                 ///< (property name in Name) — α maps it to the abstract
+                 ///< AP node of that site.
+    UnknownProp, ///< Pre-existing field first read by dynamic lookup i —
+                 ///< α maps it to the abstract AP* node of that site.
+  };
+  Kind K = Kind::None;
+  core::StmtIndex Site = 0;
+  std::string Name;
+};
+
+/// A concrete runtime value.
+struct ConcreteValue {
+  enum class Kind { Undefined, Null, Boolean, Number, String, Object, Function };
+  Kind K = Kind::Undefined;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  /// Object payload: property name -> location.
+  std::map<std::string, uint32_t> Props;
+  /// Function payload.
+  const core::Function *Fn = nullptr;
+
+  bool truthy() const;
+  std::string toDisplayString() const;
+};
+
+/// What a concrete run observed at a call site (witness replay relies on
+/// these to confirm taint-style findings: did an attacker-controlled
+/// canary string reach the sink's arguments?).
+struct CallObservation {
+  uint32_t Line = 0;
+  std::string CalleeName;
+  std::string CalleePath;
+  std::vector<std::string> ArgValues;
+};
+
+/// A dynamic property write observed at runtime (pollution witnesses).
+struct WriteObservation {
+  uint32_t Line = 0;
+  std::string PropName;
+  std::string Value;
+};
+
+/// Result of a concrete run.
+struct ConcreteResult {
+  mdg::Graph Graph;          ///< The concrete MDG.
+  StringInterner Props;      ///< Property names used on edges.
+  std::vector<LocTag> Tags;  ///< Tag per graph node id.
+  bool Diverged = false;     ///< Hit the step/loop cap.
+  /// Locations (graph node ids) of the entry function's parameters.
+  std::vector<mdg::NodeId> ParamNodes;
+  /// Every call executed, with rendered argument values.
+  std::vector<CallObservation> Calls;
+  /// Every dynamic property write executed.
+  std::vector<WriteObservation> DynWrites;
+};
+
+/// Options for a concrete run.
+struct InterpOptions {
+  uint64_t MaxSteps = 100000;
+  unsigned MaxLoopIters = 64;
+  unsigned MaxCallDepth = 32;
+};
+
+/// A JSON-like argument spec for entry-function inputs, so property tests
+/// can randomize nested objects without touching the heap directly.
+struct ValueSpec {
+  ConcreteValue::Kind K = ConcreteValue::Kind::Undefined;
+  double Num = 0;
+  std::string Str;
+  bool Bool = false;
+  std::vector<std::pair<std::string, ValueSpec>> Fields;
+
+  static ValueSpec number(double N) {
+    ValueSpec S;
+    S.K = ConcreteValue::Kind::Number;
+    S.Num = N;
+    return S;
+  }
+  static ValueSpec string(std::string Text) {
+    ValueSpec S;
+    S.K = ConcreteValue::Kind::String;
+    S.Str = std::move(Text);
+    return S;
+  }
+  static ValueSpec object(
+      std::vector<std::pair<std::string, ValueSpec>> Fields = {}) {
+    ValueSpec S;
+    S.K = ConcreteValue::Kind::Object;
+    S.Fields = std::move(Fields);
+    return S;
+  }
+};
+
+class ConcreteInterp {
+public:
+  explicit ConcreteInterp(InterpOptions O = {});
+
+  /// Runs the top-level code, then calls the named entry function with
+  /// \p Args (materialized recursively).
+  ConcreteResult run(const core::Program &Program,
+                     const std::string &EntryFunction,
+                     const std::vector<ValueSpec> &Args);
+
+private:
+  InterpOptions Options;
+};
+
+} // namespace analysis
+} // namespace gjs
+
+#endif // GJS_ANALYSIS_CONCRETEINTERP_H

@@ -1,0 +1,495 @@
+//===- cfg/CFG.cpp - Control-flow graphs over the AST ----------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+
+#include <deque>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::ast;
+using namespace gjs::cfg;
+
+BlockId FunctionCFG::newBlock(std::string Note) {
+  BlockId Id = static_cast<BlockId>(Blocks.size());
+  BasicBlock B;
+  B.Note = std::move(Note);
+  Blocks.push_back(std::move(B));
+  return Id;
+}
+
+void FunctionCFG::addEdge(BlockId From, BlockId To, EdgeLabel Label) {
+  Blocks[From].Successors.push_back({To, Label});
+  Blocks[To].Predecessors.push_back(From);
+}
+
+size_t FunctionCFG::numStatements() const {
+  size_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    N += B.Statements.size();
+  return N;
+}
+
+size_t FunctionCFG::numEdges() const {
+  size_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    N += B.Successors.size();
+  return N;
+}
+
+std::vector<BlockId> FunctionCFG::unreachableBlocks() const {
+  std::vector<bool> Seen(Blocks.size(), false);
+  std::deque<BlockId> Work{Entry};
+  Seen[Entry] = true;
+  while (!Work.empty()) {
+    BlockId B = Work.front();
+    Work.pop_front();
+    for (const BlockEdge &E : Blocks[B].Successors)
+      if (!Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+  }
+  std::vector<BlockId> Out;
+  for (size_t I = 0; I < Blocks.size(); ++I)
+    if (!Seen[I] && I != Entry && I != Exit)
+      Out.push_back(static_cast<BlockId>(I));
+  return Out;
+}
+
+std::string FunctionCFG::dump() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    const BasicBlock &B = Blocks[I];
+    OS << "B" << I;
+    if (!B.Note.empty())
+      OS << " (" << B.Note << ")";
+    OS << " [" << B.Statements.size() << " stmts] ->";
+    for (const BlockEdge &E : B.Successors) {
+      OS << " B" << E.To;
+      if (E.Label == EdgeLabel::True)
+        OS << ":T";
+      else if (E.Label == EdgeLabel::False)
+        OS << ":F";
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Builds one function's CFG with structured control flow; collects nested
+/// functions for separate CFGs.
+class Builder {
+public:
+  Builder(FunctionCFG &G, std::vector<const FunctionExpr *> &NestedFns,
+          std::vector<const ArrowFunctionExpr *> &NestedArrows)
+      : G(G), NestedFns(NestedFns), NestedArrows(NestedArrows) {}
+
+  void build(const std::vector<StmtPtr> &Body) {
+    G.setEntry(G.newBlock("entry"));
+    G.setExit(G.newBlock("exit"));
+    Current = G.newBlock();
+    G.addEdge(G.entry(), Current);
+    for (const StmtPtr &S : Body)
+      visitStmt(S.get());
+    if (Current != InvalidBlock)
+      G.addEdge(Current, G.exit());
+  }
+
+private:
+  FunctionCFG &G;
+  std::vector<const FunctionExpr *> &NestedFns;
+  std::vector<const ArrowFunctionExpr *> &NestedArrows;
+  BlockId Current = InvalidBlock;
+  std::vector<BlockId> BreakTargets;
+  std::vector<BlockId> ContinueTargets;
+
+  /// Appends a statement to the current block (starting one if needed).
+  void append(const ast::Stmt *S) {
+    if (Current == InvalidBlock) {
+      // Dead code after return/break: still gets a block.
+      Current = G.newBlock("dead");
+    }
+    G.blockMutable(Current).Statements.push_back(S);
+  }
+
+  void collectFunctions(const Expr *E);
+
+  void visitStmt(const ast::Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case ast::Stmt::Kind::Block:
+      for (const StmtPtr &C : cast<BlockStatement>(S)->Body)
+        visitStmt(C.get());
+      return;
+    case ast::Stmt::Kind::If: {
+      const auto *I = cast<IfStatement>(S);
+      append(S);
+      collectFunctions(I->Cond.get());
+      BlockId CondBlock = Current;
+      BlockId Join = G.newBlock("join");
+
+      Current = G.newBlock("then");
+      G.addEdge(CondBlock, Current, EdgeLabel::True);
+      visitStmt(I->Then.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Join);
+
+      if (I->Else) {
+        Current = G.newBlock("else");
+        G.addEdge(CondBlock, Current, EdgeLabel::False);
+        visitStmt(I->Else.get());
+        if (Current != InvalidBlock)
+          G.addEdge(Current, Join);
+      } else {
+        G.addEdge(CondBlock, Join, EdgeLabel::False);
+      }
+      Current = Join;
+      return;
+    }
+    case ast::Stmt::Kind::While: {
+      const auto *W = cast<WhileStatement>(S);
+      BlockId Header = G.newBlock("loop-header");
+      G.blockMutable(Header).Statements.push_back(S);
+      collectFunctions(W->Cond.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BlockId After = G.newBlock("after-loop");
+      G.addEdge(Header, After, EdgeLabel::False);
+
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Header);
+      Current = G.newBlock("loop-body");
+      G.addEdge(Header, Current, EdgeLabel::True);
+      visitStmt(W->Body.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Current = After;
+      return;
+    }
+    case ast::Stmt::Kind::DoWhile: {
+      const auto *D = cast<DoWhileStatement>(S);
+      BlockId Body = G.newBlock("do-body");
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Body);
+      BlockId After = G.newBlock("after-loop");
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Body);
+      Current = Body;
+      G.blockMutable(Body).Statements.push_back(S);
+      visitStmt(D->Body.get());
+      collectFunctions(D->Cond.get());
+      if (Current != InvalidBlock) {
+        G.addEdge(Current, Body, EdgeLabel::True);
+        G.addEdge(Current, After, EdgeLabel::False);
+      }
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Current = After;
+      return;
+    }
+    case ast::Stmt::Kind::For: {
+      const auto *F = cast<ForStatement>(S);
+      if (F->Init)
+        visitStmt(F->Init.get());
+      BlockId Header = G.newBlock("loop-header");
+      G.blockMutable(Header).Statements.push_back(S);
+      if (F->Cond)
+        collectFunctions(F->Cond.get());
+      if (F->Update)
+        collectFunctions(F->Update.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BlockId After = G.newBlock("after-loop");
+      G.addEdge(Header, After, EdgeLabel::False);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Header);
+      Current = G.newBlock("loop-body");
+      G.addEdge(Header, Current, EdgeLabel::True);
+      visitStmt(F->Body.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Current = After;
+      return;
+    }
+    case ast::Stmt::Kind::ForIn:
+    case ast::Stmt::Kind::ForOf: {
+      const auto *F = cast<ForInOfStatement>(S);
+      BlockId Header = G.newBlock("loop-header");
+      G.blockMutable(Header).Statements.push_back(S);
+      collectFunctions(F->Object.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BlockId After = G.newBlock("after-loop");
+      G.addEdge(Header, After, EdgeLabel::False);
+      BreakTargets.push_back(After);
+      ContinueTargets.push_back(Header);
+      Current = G.newBlock("loop-body");
+      G.addEdge(Header, Current, EdgeLabel::True);
+      visitStmt(F->Body.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, Header);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Current = After;
+      return;
+    }
+    case ast::Stmt::Kind::Return:
+      append(S);
+      if (const auto *R = cast<ReturnStatement>(S); R->Argument)
+        collectFunctions(R->Argument.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, G.exit());
+      Current = InvalidBlock;
+      return;
+    case ast::Stmt::Kind::Break:
+      append(S);
+      if (!BreakTargets.empty() && Current != InvalidBlock)
+        G.addEdge(Current, BreakTargets.back());
+      Current = InvalidBlock;
+      return;
+    case ast::Stmt::Kind::Continue:
+      append(S);
+      if (!ContinueTargets.empty() && Current != InvalidBlock)
+        G.addEdge(Current, ContinueTargets.back());
+      Current = InvalidBlock;
+      return;
+    case ast::Stmt::Kind::Try: {
+      const auto *T = cast<TryStatement>(S);
+      append(S);
+      // The handler may run after any point in the block: approximate
+      // with an edge from the block's end and from its start.
+      BlockId Before = Current;
+      visitStmt(T->Block.get());
+      if (T->Handler) {
+        BlockId Handler = G.newBlock("catch");
+        G.addEdge(Before, Handler);
+        if (Current != InvalidBlock)
+          G.addEdge(Current, Handler);
+        BlockId AfterTry = Current;
+        Current = Handler;
+        visitStmt(T->Handler.get());
+        BlockId Join = G.newBlock("join");
+        if (Current != InvalidBlock)
+          G.addEdge(Current, Join);
+        if (AfterTry != InvalidBlock)
+          G.addEdge(AfterTry, Join);
+        Current = Join;
+      }
+      if (T->Finalizer)
+        visitStmt(T->Finalizer.get());
+      return;
+    }
+    case ast::Stmt::Kind::Switch: {
+      const auto *W = cast<SwitchStatement>(S);
+      append(S);
+      collectFunctions(W->Discriminant.get());
+      BlockId Disc = Current;
+      BlockId After = G.newBlock("after-switch");
+      BreakTargets.push_back(After);
+      BlockId PrevCase = InvalidBlock;
+      for (const SwitchCase &C : W->Cases) {
+        BlockId CaseBlock = G.newBlock(C.Test ? "case" : "default");
+        G.addEdge(Disc, CaseBlock);
+        if (PrevCase != InvalidBlock)
+          G.addEdge(PrevCase, CaseBlock); // Fall-through.
+        Current = CaseBlock;
+        for (const StmtPtr &B : C.Body)
+          visitStmt(B.get());
+        PrevCase = Current;
+      }
+      if (PrevCase != InvalidBlock)
+        G.addEdge(PrevCase, After);
+      BreakTargets.pop_back();
+      G.addEdge(Disc, After); // No case taken.
+      Current = After;
+      return;
+    }
+    case ast::Stmt::Kind::Labeled:
+      visitStmt(cast<LabeledStatement>(S)->Body.get());
+      return;
+    case ast::Stmt::Kind::FunctionDecl: {
+      append(S);
+      const auto *FD = cast<FunctionDeclaration>(S);
+      if (const auto *F = dyn_cast<FunctionExpr>(FD->Function.get()))
+        NestedFns.push_back(F);
+      return;
+    }
+    case ast::Stmt::Kind::ExprStmt:
+      append(S);
+      collectFunctions(cast<ExpressionStatement>(S)->Expression.get());
+      return;
+    case ast::Stmt::Kind::VarDecl: {
+      append(S);
+      for (const VarDeclarator &D :
+           cast<VariableDeclaration>(S)->Declarators)
+        if (D.Init)
+          collectFunctions(D.Init.get());
+      return;
+    }
+    case ast::Stmt::Kind::Throw:
+      append(S);
+      collectFunctions(cast<ThrowStatement>(S)->Argument.get());
+      if (Current != InvalidBlock)
+        G.addEdge(Current, G.exit());
+      Current = InvalidBlock;
+      return;
+    default:
+      append(S);
+      return;
+    }
+  }
+};
+
+void Builder::collectFunctions(const Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::Function:
+    NestedFns.push_back(cast<FunctionExpr>(E));
+    return;
+  case Expr::Kind::Arrow:
+    NestedArrows.push_back(cast<ArrowFunctionExpr>(E));
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collectFunctions(B->LHS.get());
+    collectFunctions(B->RHS.get());
+    return;
+  }
+  case Expr::Kind::Logical: {
+    const auto *L = cast<LogicalExpr>(E);
+    collectFunctions(L->LHS.get());
+    collectFunctions(L->RHS.get());
+    return;
+  }
+  case Expr::Kind::Assignment: {
+    const auto *A = cast<AssignmentExpr>(E);
+    collectFunctions(A->Target.get());
+    collectFunctions(A->Value.get());
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    collectFunctions(C->Callee.get());
+    for (const ExprPtr &A : C->Arguments)
+      collectFunctions(A.get());
+    return;
+  }
+  case Expr::Kind::New: {
+    const auto *N = cast<NewExpr>(E);
+    collectFunctions(N->Callee.get());
+    for (const ExprPtr &A : N->Arguments)
+      collectFunctions(A.get());
+    return;
+  }
+  case Expr::Kind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    collectFunctions(M->Object.get());
+    if (M->Computed)
+      collectFunctions(M->Index.get());
+    return;
+  }
+  case Expr::Kind::Object: {
+    for (const ObjectProperty &P : cast<ObjectLiteral>(E)->Properties) {
+      if (P.KeyExpr)
+        collectFunctions(P.KeyExpr.get());
+      if (P.Value)
+        collectFunctions(P.Value.get());
+    }
+    return;
+  }
+  case Expr::Kind::Array: {
+    for (const ExprPtr &El : cast<ArrayLiteral>(E)->Elements)
+      collectFunctions(El.get());
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    collectFunctions(C->Cond.get());
+    collectFunctions(C->Then.get());
+    collectFunctions(C->Else.get());
+    return;
+  }
+  case Expr::Kind::Unary:
+    collectFunctions(cast<UnaryExpr>(E)->Operand.get());
+    return;
+  case Expr::Kind::Sequence:
+    for (const ExprPtr &P : cast<SequenceExpr>(E)->Expressions)
+      collectFunctions(P.get());
+    return;
+  case Expr::Kind::Template:
+    for (const ExprPtr &Sub : cast<TemplateLiteral>(E)->Substitutions)
+      collectFunctions(Sub.get());
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+size_t ModuleCFG::totalBlocks() const {
+  size_t N = TopLevel.numBlocks();
+  for (const auto &[Name, F] : Functions)
+    N += F.numBlocks();
+  return N;
+}
+
+size_t ModuleCFG::totalEdges() const {
+  size_t N = TopLevel.numEdges();
+  for (const auto &[Name, F] : Functions)
+    N += F.numEdges();
+  return N;
+}
+
+ModuleCFG cfg::buildCFG(const ast::Program &Module) {
+  ModuleCFG Out;
+  std::vector<const FunctionExpr *> Fns;
+  std::vector<const ArrowFunctionExpr *> Arrows;
+
+  {
+    Builder B(Out.TopLevel, Fns, Arrows);
+    B.build(Module.Body);
+  }
+
+  unsigned AnonId = 0;
+  // Functions may nest: process the worklist until exhausted.
+  size_t FnIdx = 0, ArrowIdx = 0;
+  while (FnIdx < Fns.size() || ArrowIdx < Arrows.size()) {
+    if (FnIdx < Fns.size()) {
+      const FunctionExpr *F = Fns[FnIdx++];
+      std::string Name = F->Name.empty()
+                             ? "<anon" + std::to_string(AnonId++) + ">"
+                             : F->Name;
+      while (Out.Functions.count(Name))
+        Name += "'";
+      FunctionCFG &G = Out.Functions[Name];
+      Builder B(G, Fns, Arrows);
+      if (const auto *Body = dyn_cast<BlockStatement>(F->Body.get()))
+        B.build(Body->Body);
+    } else {
+      const ArrowFunctionExpr *A = Arrows[ArrowIdx++];
+      std::string Name = "<arrow" + std::to_string(AnonId++) + ">";
+      FunctionCFG &G = Out.Functions[Name];
+      Builder B(G, Fns, Arrows);
+      if (A->Body) {
+        if (const auto *Body = dyn_cast<BlockStatement>(A->Body.get()))
+          B.build(Body->Body);
+      } else {
+        B.build({});
+      }
+    }
+  }
+  return Out;
+}

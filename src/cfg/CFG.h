@@ -1,0 +1,104 @@
+//===- cfg/CFG.h - Control-flow graphs over the AST --------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow-graph construction over the JavaScript AST — the CFG
+/// component of a classic Code Property Graph (Yamaguchi et al.), which
+/// the paper's §4 notes Graph.js generates "in line with the original
+/// CPGs" before building the MDG, and which the ODGen baseline keeps in
+/// its combined graph.
+///
+/// Each function (and the top level) gets its own CFG of basic blocks.
+/// Statements are AST statement pointers; edges carry an optional branch
+/// label (true/false for conditions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_CFG_CFG_H
+#define GJS_CFG_CFG_H
+
+#include "frontend/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace cfg {
+
+using BlockId = uint32_t;
+constexpr BlockId InvalidBlock = static_cast<BlockId>(-1);
+
+enum class EdgeLabel : uint8_t { Unconditional, True, False };
+
+struct BlockEdge {
+  BlockId To = InvalidBlock;
+  EdgeLabel Label = EdgeLabel::Unconditional;
+};
+
+/// One basic block: a maximal straight-line statement sequence.
+struct BasicBlock {
+  std::vector<const ast::Stmt *> Statements;
+  std::vector<BlockEdge> Successors;
+  std::vector<BlockId> Predecessors;
+  std::string Note; // "entry", "exit", "loop-header", ...
+};
+
+/// The CFG of one function (or the module top level).
+class FunctionCFG {
+public:
+  BlockId entry() const { return Entry; }
+  BlockId exit() const { return Exit; }
+  size_t numBlocks() const { return Blocks.size(); }
+  const BasicBlock &block(BlockId Id) const { return Blocks[Id]; }
+
+  /// Total statements across blocks.
+  size_t numStatements() const;
+  /// Total edges.
+  size_t numEdges() const;
+
+  /// Blocks with no path from entry (dead code), excluding entry/exit.
+  std::vector<BlockId> unreachableBlocks() const;
+
+  /// Renders a readable adjacency dump.
+  std::string dump() const;
+
+  //===--------------------------------------------------------------------===//
+  // Construction interface (used by buildCFG's builder).
+  //===--------------------------------------------------------------------===//
+
+  BlockId newBlock(std::string Note = "");
+  void addEdge(BlockId From, BlockId To,
+               EdgeLabel Label = EdgeLabel::Unconditional);
+  BasicBlock &blockMutable(BlockId Id) { return Blocks[Id]; }
+  void setEntry(BlockId Id) { Entry = Id; }
+  void setExit(BlockId Id) { Exit = Id; }
+
+private:
+  std::vector<BasicBlock> Blocks;
+  BlockId Entry = InvalidBlock;
+  BlockId Exit = InvalidBlock;
+};
+
+/// The CFGs of a whole module: the top level plus one per function
+/// (including nested ones), keyed by a display name.
+struct ModuleCFG {
+  FunctionCFG TopLevel;
+  std::map<std::string, FunctionCFG> Functions;
+
+  size_t totalBlocks() const;
+  size_t totalEdges() const;
+};
+
+/// Builds CFGs for a parsed module.
+ModuleCFG buildCFG(const ast::Program &Module);
+
+} // namespace cfg
+} // namespace gjs
+
+#endif // GJS_CFG_CFG_H

@@ -1,0 +1,172 @@
+//===- core/CoreIR.cpp - Core JavaScript IR dumping ------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoreIR.h"
+
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::core;
+
+std::string Operand::str() const {
+  switch (K) {
+  case Kind::Var:
+    return Name;
+  case Kind::Number: {
+    std::ostringstream OS;
+    OS << Num;
+    return OS.str();
+  }
+  case Kind::String:
+    return "'" + Name + "'";
+  case Kind::Boolean:
+    return Bool ? "true" : "false";
+  case Kind::Null:
+    return "null";
+  case Kind::Undefined:
+    return "undefined";
+  }
+  return "?";
+}
+
+namespace {
+
+void dumpStmt(const Stmt &S, std::ostringstream &OS, int Depth);
+
+void dumpBlock(const std::vector<StmtPtr> &Block, std::ostringstream &OS,
+               int Depth) {
+  for (const StmtPtr &S : Block)
+    dumpStmt(*S, OS, Depth);
+}
+
+void indent(std::ostringstream &OS, int Depth) {
+  for (int I = 0; I < Depth; ++I)
+    OS << "  ";
+}
+
+void dumpStmt(const Stmt &S, std::ostringstream &OS, int Depth) {
+  indent(OS, Depth);
+  switch (S.K) {
+  case StmtKind::Assign:
+    OS << S.Target << " := " << S.Value.str();
+    break;
+  case StmtKind::BinOp:
+    OS << S.Target << " :=_" << S.Index << " " << S.LHS.str() << " " << S.Op
+       << " " << S.RHS.str();
+    break;
+  case StmtKind::UnOp:
+    OS << S.Target << " :=_" << S.Index << " " << S.Op << " "
+       << S.Value.str();
+    break;
+  case StmtKind::NewObject:
+    OS << S.Target << " :=_" << S.Index << " {}";
+    break;
+  case StmtKind::StaticLookup:
+    OS << S.Target << " :=_" << S.Index << " " << S.Obj.str() << "." << S.Prop;
+    break;
+  case StmtKind::DynamicLookup:
+    OS << S.Target << " :=_" << S.Index << " " << S.Obj.str() << "["
+       << S.PropOperand.str() << "]";
+    break;
+  case StmtKind::StaticUpdate:
+    OS << S.Obj.str() << "." << S.Prop << " :=_" << S.Index << " "
+       << S.Value.str();
+    break;
+  case StmtKind::DynamicUpdate:
+    OS << S.Obj.str() << "[" << S.PropOperand.str() << "] :=_" << S.Index
+       << " " << S.Value.str();
+    break;
+  case StmtKind::Call: {
+    OS << S.Target << " :=_" << S.Index << " " << (S.IsNew ? "new " : "")
+       << S.Callee.str() << "(";
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << S.Args[I].str();
+    }
+    OS << ")";
+    if (!S.CalleePath.empty())
+      OS << " /* " << S.CalleePath << " */";
+    break;
+  }
+  case StmtKind::FuncDef: {
+    OS << S.Target << " :=_" << S.Index << " function " << S.Func->Name
+       << "(";
+    for (size_t I = 0; I < S.Func->Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << S.Func->Params[I];
+    }
+    OS << ") {\n";
+    dumpBlock(S.Func->Body, OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "}";
+    break;
+  }
+  case StmtKind::Return:
+    OS << "return " << S.Value.str();
+    break;
+  case StmtKind::If:
+    OS << "if (" << S.Cond.str() << ") {\n";
+    dumpBlock(S.Then, OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "}";
+    if (!S.Else.empty()) {
+      OS << " else {\n";
+      dumpBlock(S.Else, OS, Depth + 1);
+      indent(OS, Depth);
+      OS << "}";
+    }
+    break;
+  case StmtKind::While:
+    OS << "while (" << S.Cond.str() << ") {\n";
+    dumpBlock(S.Body, OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "}";
+    break;
+  case StmtKind::Nop:
+    OS << "nop";
+    break;
+  }
+  OS << '\n';
+}
+
+size_t countBlock(const std::vector<StmtPtr> &Block) {
+  size_t N = 0;
+  for (const StmtPtr &S : Block) {
+    ++N;
+    N += countBlock(S->Then);
+    N += countBlock(S->Else);
+    N += countBlock(S->Body);
+    if (S->K == StmtKind::FuncDef && S->Func)
+      N += countBlock(S->Func->Body);
+  }
+  return N;
+}
+
+} // namespace
+
+std::string core::dump(const std::vector<StmtPtr> &Block, int Depth) {
+  std::ostringstream OS;
+  dumpBlock(Block, OS, Depth);
+  return OS.str();
+}
+
+std::string core::dump(const Program &P) {
+  std::ostringstream OS;
+  dumpBlock(P.TopLevel, OS, 0);
+  if (!P.Exports.empty()) {
+    OS << "// exports:";
+    for (const ExportEntry &E : P.Exports)
+      OS << " " << E.ExportName << "=" << E.FunctionName;
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+size_t core::countStmts(const std::vector<StmtPtr> &Block) {
+  return countBlock(Block);
+}

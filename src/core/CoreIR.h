@@ -1,0 +1,217 @@
+//===- core/CoreIR.h - Core JavaScript IR ------------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Core JavaScript (§3.2), the input language of the MDG
+/// analysis:
+///
+///   e ::= v | x
+///   s ::= x := e | x := e1 ⊕ e2 | x := e.p | x := e1[e2]
+///       | e1.p := e2 | e1[e2] := e3 | x := {}_i
+///       | if (e) { s1 } else { s2 } | while (e) { s } | s1; s2
+///       | x := e_f(e1, ..., en)
+///
+/// extended with the constructs needed to analyze real npm packages:
+/// function definitions, return, and `for (x in e)` key iteration. Every
+/// statement that computes a new value or object carries a unique index `i`
+/// used for allocation-site abstraction ([NEW OBJECT] always returns the
+/// same abstract location for the same `i`).
+///
+/// The IR is deliberately flat (quadruple style): each statement names at
+/// most one operation over variable/literal operands, which keeps both the
+/// abstract and the concrete interpreters to one small switch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_CORE_COREIR_H
+#define GJS_CORE_COREIR_H
+
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace core {
+
+/// A unique statement index (the `i` subscript of the paper's syntax).
+using StmtIndex = uint32_t;
+
+//===----------------------------------------------------------------------===//
+// Operands
+//===----------------------------------------------------------------------===//
+
+/// A Core JavaScript expression: a variable or a literal value.
+struct Operand {
+  enum class Kind { Var, Number, String, Boolean, Null, Undefined };
+
+  Kind K = Kind::Undefined;
+  std::string Name; // Variable name or string value.
+  double Num = 0;
+  bool Bool = false;
+
+  static Operand var(std::string Name) {
+    Operand O;
+    O.K = Kind::Var;
+    O.Name = std::move(Name);
+    return O;
+  }
+  static Operand number(double V) {
+    Operand O;
+    O.K = Kind::Number;
+    O.Num = V;
+    return O;
+  }
+  static Operand string(std::string V) {
+    Operand O;
+    O.K = Kind::String;
+    O.Name = std::move(V);
+    return O;
+  }
+  static Operand boolean(bool V) {
+    Operand O;
+    O.K = Kind::Boolean;
+    O.Bool = V;
+    return O;
+  }
+  static Operand null() {
+    Operand O;
+    O.K = Kind::Null;
+    return O;
+  }
+  static Operand undefined() { return Operand(); }
+
+  bool isVar() const { return K == Kind::Var; }
+  bool isLiteral() const { return !isVar(); }
+
+  /// Printable form for IR dumps.
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+struct Function;
+
+enum class StmtKind {
+  /// x := e
+  Assign,
+  /// x := e1 ⊕ e2
+  BinOp,
+  /// x := ⊕ e (unary; also models "depends on" summaries like for-in keys)
+  UnOp,
+  /// x := {}_i
+  NewObject,
+  /// x := e.p
+  StaticLookup,
+  /// x := e1[e2]
+  DynamicLookup,
+  /// e1.p := e2
+  StaticUpdate,
+  /// e1[e2] := e3
+  DynamicUpdate,
+  /// x := e_f(e1, ..., en)
+  Call,
+  /// x := function f(...) { ... } — introduces a function value
+  FuncDef,
+  /// return e
+  Return,
+  /// if (e) { Then } else { Else }
+  If,
+  /// while (e) { Body }
+  While,
+  /// no-op (lowered break/continue/debugger)
+  Nop,
+};
+
+/// One Core JavaScript statement. Field usage depends on K; unused fields
+/// stay empty. Blocks are vectors of statements (the paper's `s1; s2`).
+struct Stmt {
+  StmtKind K = StmtKind::Nop;
+  StmtIndex Index = 0;      // Unique id for allocation-site abstraction.
+  SourceLocation Loc;       // Position in the original JS source.
+
+  std::string Target;       // `x` for statements that bind a variable.
+  Operand Obj;              // e / e1 (object being read or written).
+  std::string Prop;         // `p` for static lookup/update.
+  Operand PropOperand;      // e2 for dynamic lookup/update.
+  Operand Value;            // RHS value: e, e2, or e3 depending on K.
+  Operand LHS, RHS;         // Binary operands.
+  std::string Op;           // Operator spelling (⊕) for dumps.
+
+  Operand Callee;           // Call target (always a variable after lowering).
+  Operand Receiver;         // Method-call receiver (`o` in o.m(..)), if any.
+  std::string CalleeName;   // Syntactic callee name, e.g. "exec".
+  std::string CalleePath;   // Dotted path, e.g. "child_process.exec".
+  std::vector<Operand> Args;
+  bool IsNew = false;       // `new` call.
+
+  std::shared_ptr<Function> Func; // FuncDef payload.
+
+  /// For NewObject statements produced from `require('<module>')`: the
+  /// requested module name. The package-level builder links relative
+  /// requires to the required module's exports object.
+  std::string RequireModule;
+
+  Operand Cond;             // if/while condition.
+  std::vector<StmtPtr> Then, Else, Body;
+
+  explicit Stmt(StmtKind K) : K(K) {}
+};
+
+/// A function in Core JavaScript. Nested function definitions appear as
+/// FuncDef statements inside Body and also share ownership through the
+/// program's function registry.
+struct Function {
+  std::string Name;               // Unique within the program.
+  std::string OriginalName;       // Source-level name ("" for anonymous).
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  SourceLocation Loc;
+  StmtIndex Index = 0;            // Allocation site of the function value.
+};
+
+/// An exported entry point: `module.exports = f`, `exports.n = f`, etc.
+/// Exported functions' parameters are the analysis' taint sources (§4).
+struct ExportEntry {
+  std::string ExportName;   // Name under which the function is exported.
+  std::string FunctionName; // Core function name.
+};
+
+/// A whole normalized module.
+struct Program {
+  std::vector<StmtPtr> TopLevel;
+  /// All functions (top-level and nested), keyed by unique name.
+  std::map<std::string, std::shared_ptr<Function>> Functions;
+  std::vector<ExportEntry> Exports;
+  /// Module aliases from `x = require('m')`: variable -> module name; also
+  /// destructured members as `exec -> child_process.exec`.
+  std::map<std::string, std::string> RequireAliases;
+  /// Constructor variable -> method core-function names (for exported
+  /// classes: each method becomes an analysis entry point).
+  std::map<std::string, std::vector<std::string>> ClassMethodsByVar;
+  /// Total number of statement indices allocated (allocation sites).
+  StmtIndex NumIndices = 0;
+};
+
+/// Renders the program as readable Core JavaScript text (tests, debugging).
+std::string dump(const Program &P);
+std::string dump(const std::vector<StmtPtr> &Block, int Depth = 0);
+
+/// Counts statements recursively (used for size accounting).
+size_t countStmts(const std::vector<StmtPtr> &Block);
+
+} // namespace core
+} // namespace gjs
+
+#endif // GJS_CORE_COREIR_H

@@ -1,0 +1,1134 @@
+//===- core/Normalizer.cpp - AST to Core JavaScript lowering --------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalizer.h"
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace gjs;
+using namespace gjs::core;
+
+// Selective imports from the AST namespace: `Stmt`, `Program`, and the
+// smart-pointer aliases collide with the Core IR names, so those stay
+// qualified as ast::.
+using ast::ArrayLiteral;
+using ast::ArrowFunctionExpr;
+using ast::AssignmentExpr;
+using ast::AwaitExpr;
+using ast::BinaryExpr;
+using ast::BlockStatement;
+using ast::BooleanLiteral;
+using ast::CallExpr;
+using ast::cast;
+using ast::ClassDeclaration;
+using ast::ClassExpr;
+using ast::ClassMember;
+using ast::ConditionalExpr;
+using ast::dyn_cast;
+using ast::ExpressionStatement;
+using ast::ForInOfStatement;
+using ast::ForStatement;
+using ast::FunctionDeclaration;
+using ast::FunctionExpr;
+using ast::Identifier;
+using ast::IfStatement;
+using ast::isa;
+using ast::LabeledStatement;
+using ast::LogicalExpr;
+using ast::MemberExpr;
+using ast::NewExpr;
+using ast::NumberLiteral;
+using ast::ObjectLiteral;
+using ast::ObjectProperty;
+using ast::ReturnStatement;
+using ast::SequenceExpr;
+using ast::SpreadElement;
+using ast::StringLiteral;
+using ast::SwitchCase;
+using ast::SwitchStatement;
+using ast::TaggedTemplateExpr;
+using ast::TemplateLiteral;
+using ast::ThrowStatement;
+using ast::TryStatement;
+using ast::UnaryExpr;
+using ast::UpdateExpr;
+using ast::VarDeclarator;
+using ast::VariableDeclaration;
+using ast::WhileStatement;
+using ast::YieldExpr;
+using ast::DoWhileStatement;
+
+std::unique_ptr<Program> core::normalizeJS(const std::string &Source,
+                                           DiagnosticEngine &Diags) {
+  auto Module = parseJS(Source, Diags);
+  Normalizer N(Diags);
+  return N.normalize(*Module);
+}
+
+std::unique_ptr<Program> Normalizer::normalize(const ast::Program &Module) {
+  auto P = std::make_unique<Program>();
+  Prog = P.get();
+  Blocks.push_back(&P->TopLevel);
+  for (const ast::StmtPtr &S : Module.Body)
+    lowerStmt(S.get());
+  Blocks.pop_back();
+  P->NumIndices = NextIndex;
+  return P;
+}
+
+Stmt &Normalizer::emit(StmtKind K, SourceLocation Loc) {
+  block().push_back(std::make_unique<Stmt>(K));
+  Stmt &S = *block().back();
+  S.Loc = Loc;
+  S.Index = freshIndex();
+  return S;
+}
+
+std::string Normalizer::freshFuncName(const std::string &Base) {
+  std::string Name = ModulePrefix + (Base.empty() ? "anon" : Base);
+  Name += "#" + std::to_string(NextFuncId++);
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Normalizer::lowerStmt(const ast::Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case ast::Stmt::Kind::Program:
+    for (const auto &Child : cast<ast::Program>(S)->Body)
+      lowerStmt(Child.get());
+    break;
+  case ast::Stmt::Kind::Block:
+    for (const auto &Child : cast<BlockStatement>(S)->Body)
+      lowerStmt(Child.get());
+    break;
+  case ast::Stmt::Kind::VarDecl:
+    lowerVarDecl(cast<VariableDeclaration>(S));
+    break;
+  case ast::Stmt::Kind::Empty:
+  case ast::Stmt::Kind::Debugger:
+    break;
+  case ast::Stmt::Kind::ExprStmt:
+    lowerExpr(cast<ExpressionStatement>(S)->Expression.get());
+    break;
+  case ast::Stmt::Kind::If:
+    lowerIf(cast<IfStatement>(S));
+    break;
+  case ast::Stmt::Kind::While:
+    lowerWhile(cast<WhileStatement>(S));
+    break;
+  case ast::Stmt::Kind::DoWhile: {
+    const auto *D = cast<DoWhileStatement>(S);
+    // Body runs at least once, then as a while loop to fixpoint.
+    lowerStmt(D->Body.get());
+    Operand Cond = lowerExpr(D->Cond.get());
+    Stmt &W = emit(StmtKind::While, S->loc());
+    W.Cond = Cond;
+    Blocks.push_back(&W.Body);
+    lowerStmt(D->Body.get());
+    lowerExpr(D->Cond.get());
+    Blocks.pop_back();
+    break;
+  }
+  case ast::Stmt::Kind::For:
+    lowerFor(cast<ForStatement>(S));
+    break;
+  case ast::Stmt::Kind::ForIn:
+  case ast::Stmt::Kind::ForOf:
+    lowerForInOf(cast<ForInOfStatement>(S));
+    break;
+  case ast::Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStatement>(S);
+    Operand V = R->Argument ? lowerExpr(R->Argument.get())
+                            : Operand::undefined();
+    Stmt &Ret = emit(StmtKind::Return, S->loc());
+    Ret.Value = V;
+    break;
+  }
+  case ast::Stmt::Kind::Break:
+  case ast::Stmt::Kind::Continue:
+    emit(StmtKind::Nop, S->loc());
+    break;
+  case ast::Stmt::Kind::FunctionDecl: {
+    const auto *FD = cast<FunctionDeclaration>(S);
+    const auto *F = cast<FunctionExpr>(FD->Function.get());
+    Operand Fn = lowerFunction(F);
+    // Bind the function value to its source-level name.
+    Stmt &A = emit(StmtKind::Assign, S->loc());
+    A.Target = F->Name;
+    A.Value = Fn;
+    if (Fn.isVar()) {
+      auto It = VarToFunc.find(Fn.Name);
+      if (It != VarToFunc.end())
+        VarToFunc[F->Name] = It->second;
+    }
+    break;
+  }
+  case ast::Stmt::Kind::ClassDecl: {
+    const auto *CD = cast<ClassDeclaration>(S);
+    const auto *C = cast<ClassExpr>(CD->Class.get());
+    Operand Cls = lowerClass(C);
+    Stmt &A = emit(StmtKind::Assign, S->loc());
+    A.Target = C->Name;
+    A.Value = Cls;
+    if (Cls.isVar()) {
+      auto It = VarToClass.find(Cls.Name);
+      if (It != VarToClass.end())
+        VarToClass[C->Name] = It->second;
+    }
+    break;
+  }
+  case ast::Stmt::Kind::Throw:
+    lowerExpr(cast<ThrowStatement>(S)->Argument.get());
+    emit(StmtKind::Nop, S->loc());
+    break;
+  case ast::Stmt::Kind::Try:
+    lowerTry(cast<TryStatement>(S));
+    break;
+  case ast::Stmt::Kind::Switch:
+    lowerSwitch(cast<SwitchStatement>(S));
+    break;
+  case ast::Stmt::Kind::Labeled:
+    lowerStmt(cast<LabeledStatement>(S)->Body.get());
+    break;
+  }
+}
+
+std::vector<StmtPtr> Normalizer::lowerToBlock(const ast::Stmt *S) {
+  std::vector<StmtPtr> Out;
+  Blocks.push_back(&Out);
+  lowerStmt(S);
+  Blocks.pop_back();
+  return Out;
+}
+
+void Normalizer::lowerVarDecl(const VariableDeclaration *V) {
+  for (const VarDeclarator &D : V->Declarators) {
+    Operand Init = D.Init ? lowerExpr(D.Init.get()) : Operand::undefined();
+    if (D.Pattern) {
+      Operand Src = materialize(Init, D.Loc);
+      destructure(D.Pattern.get(), Src, D.Loc);
+      continue;
+    }
+    Stmt &A = emit(StmtKind::Assign, D.Loc);
+    A.Target = D.Name;
+    A.Value = Init;
+    if (Init.isVar()) {
+      if (auto It = VarToFunc.find(Init.Name); It != VarToFunc.end())
+        VarToFunc[D.Name] = It->second;
+      if (auto It = VarToClass.find(Init.Name); It != VarToClass.end())
+        VarToClass[D.Name] = It->second;
+      if (auto It = TempRequire.find(Init.Name); It != TempRequire.end())
+        Prog->RequireAliases[D.Name] = It->second;
+    }
+  }
+}
+
+void Normalizer::lowerIf(const IfStatement *S) {
+  Operand Cond = lowerExpr(S->Cond.get());
+  Stmt &I = emit(StmtKind::If, S->loc());
+  I.Cond = Cond;
+  Blocks.push_back(&I.Then);
+  lowerStmt(S->Then.get());
+  Blocks.pop_back();
+  if (S->Else) {
+    Blocks.push_back(&I.Else);
+    lowerStmt(S->Else.get());
+    Blocks.pop_back();
+  }
+}
+
+void Normalizer::lowerWhile(const WhileStatement *S) {
+  Operand Cond = lowerExpr(S->Cond.get());
+  Stmt &W = emit(StmtKind::While, S->loc());
+  W.Cond = Cond;
+  Blocks.push_back(&W.Body);
+  lowerStmt(S->Body.get());
+  lowerExpr(S->Cond.get()); // Re-evaluated each iteration.
+  Blocks.pop_back();
+}
+
+void Normalizer::lowerFor(const ForStatement *S) {
+  if (S->Init)
+    lowerStmt(S->Init.get());
+  Operand Cond = S->Cond ? lowerExpr(S->Cond.get()) : Operand::boolean(true);
+  Stmt &W = emit(StmtKind::While, S->loc());
+  W.Cond = Cond;
+  Blocks.push_back(&W.Body);
+  lowerStmt(S->Body.get());
+  if (S->Update)
+    lowerExpr(S->Update.get());
+  if (S->Cond)
+    lowerExpr(S->Cond.get());
+  Blocks.pop_back();
+}
+
+void Normalizer::lowerForInOf(const ForInOfStatement *S) {
+  Operand Obj = lowerToVar(S->Object.get());
+  bool IsIn = S->kind() == ast::Stmt::Kind::ForIn;
+
+  // The loop guard depends on the iterated object.
+  std::string GuardVar = freshTemp();
+  Stmt &Guard = emit(StmtKind::UnOp, S->loc());
+  Guard.Target = GuardVar;
+  Guard.Op = IsIn ? "keys" : "iter";
+  Guard.Value = Obj;
+
+  Stmt &W = emit(StmtKind::While, S->loc());
+  W.Cond = Operand::var(GuardVar);
+  Blocks.push_back(&W.Body);
+  if (IsIn) {
+    // `for (k in o)`: k is a property *name* of o — it depends on o.
+    std::string KeyTarget = S->Variable.empty() ? freshTemp() : S->Variable;
+    Stmt &Key = emit(StmtKind::UnOp, S->loc());
+    Key.Target = KeyTarget;
+    Key.Op = "key-of";
+    Key.Value = Obj;
+    if (S->Pattern)
+      destructure(S->Pattern.get(), Operand::var(KeyTarget), S->loc());
+  } else {
+    // `for (v of o)`: v is an *element* of o — an unknown-property lookup.
+    std::string ElemTarget = S->Variable.empty() ? freshTemp() : S->Variable;
+    Stmt &Elem = emit(StmtKind::DynamicLookup, S->loc());
+    Elem.Target = ElemTarget;
+    Elem.Obj = Obj;
+    Elem.PropOperand = Operand::undefined();
+    if (S->Pattern)
+      destructure(S->Pattern.get(), Operand::var(ElemTarget), S->loc());
+  }
+  lowerStmt(S->Body.get());
+  Blocks.pop_back();
+}
+
+void Normalizer::lowerSwitch(const SwitchStatement *S) {
+  Operand Disc = lowerExpr(S->Discriminant.get());
+  (void)Disc;
+  // Each case body is analyzed under its own branch; fall-through is
+  // over-approximated by the if-join of all branches.
+  for (const SwitchCase &C : S->Cases) {
+    Operand Cond = C.Test ? lowerExpr(C.Test.get()) : Operand::boolean(true);
+    Stmt &I = emit(StmtKind::If, C.Loc);
+    I.Cond = Cond;
+    Blocks.push_back(&I.Then);
+    for (const auto &B : C.Body)
+      lowerStmt(B.get());
+    Blocks.pop_back();
+  }
+}
+
+void Normalizer::lowerTry(const TryStatement *S) {
+  // Exceptions are not modeled: try, catch, and finally bodies all analyze
+  // in sequence (an over-approximation of any single real path).
+  lowerStmt(S->Block.get());
+  if (S->Handler) {
+    if (!S->CatchParam.empty()) {
+      Stmt &E = emit(StmtKind::NewObject, S->loc());
+      E.Target = S->CatchParam;
+    }
+    lowerStmt(S->Handler.get());
+  }
+  if (S->Finalizer)
+    lowerStmt(S->Finalizer.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Operand Normalizer::materialize(Operand O, SourceLocation Loc) {
+  if (O.isVar())
+    return O;
+  std::string T = freshTemp();
+  Stmt &A = emit(StmtKind::Assign, Loc);
+  A.Target = T;
+  A.Value = O;
+  return Operand::var(T);
+}
+
+Operand Normalizer::lowerToVar(const ast::Expr *E) {
+  return materialize(lowerExpr(E), E ? E->loc() : SourceLocation());
+}
+
+Operand Normalizer::lowerExpr(const ast::Expr *E) {
+  if (!E)
+    return Operand::undefined();
+  switch (E->kind()) {
+  case ast::Expr::Kind::Number:
+    return Operand::number(cast<NumberLiteral>(E)->Value);
+  case ast::Expr::Kind::String:
+    return Operand::string(cast<StringLiteral>(E)->Value);
+  case ast::Expr::Kind::Boolean:
+    return Operand::boolean(cast<BooleanLiteral>(E)->Value);
+  case ast::Expr::Kind::Null:
+    return Operand::null();
+  case ast::Expr::Kind::Undefined:
+    return Operand::undefined();
+  case ast::Expr::Kind::RegExp: {
+    // A regexp literal is an object value with no dependencies.
+    Stmt &S = emit(StmtKind::NewObject, E->loc());
+    S.Target = freshTemp();
+    return Operand::var(S.Target);
+  }
+  case ast::Expr::Kind::Identifier:
+    return Operand::var(cast<Identifier>(E)->Name);
+  case ast::Expr::Kind::This:
+    return Operand::var("this");
+  case ast::Expr::Kind::Array:
+    return lowerArrayLiteral(cast<ArrayLiteral>(E));
+  case ast::Expr::Kind::Object:
+    return lowerObjectLiteral(cast<ObjectLiteral>(E));
+  case ast::Expr::Kind::Function:
+    return lowerFunction(cast<FunctionExpr>(E));
+  case ast::Expr::Kind::Arrow:
+    return lowerArrow(cast<ArrowFunctionExpr>(E));
+  case ast::Expr::Kind::Class:
+    return lowerClass(cast<ClassExpr>(E));
+  case ast::Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Operand V = lowerExpr(U->Operand.get());
+    static const char *Names[] = {"-", "+", "!", "~", "typeof", "void",
+                                  "delete"};
+    Stmt &S = emit(StmtKind::UnOp, E->loc());
+    S.Target = freshTemp();
+    S.Op = Names[static_cast<int>(U->Op)];
+    S.Value = V;
+    return Operand::var(S.Target);
+  }
+  case ast::Expr::Kind::Update: {
+    const auto *U = cast<UpdateExpr>(E);
+    // i++ / ++i: i := i ± 1; the result approximates to i either way.
+    if (const auto *Id = dyn_cast<Identifier>(U->Operand.get())) {
+      Stmt &S = emit(StmtKind::BinOp, E->loc());
+      S.Target = Id->Name;
+      S.Op = U->IsIncrement ? "+" : "-";
+      S.LHS = Operand::var(Id->Name);
+      S.RHS = Operand::number(1);
+      return Operand::var(Id->Name);
+    }
+    // o.p++ — read-modify-write on a property.
+    if (const auto *M = dyn_cast<MemberExpr>(U->Operand.get())) {
+      Operand Old = lowerMemberLookup(M);
+      Operand ObjV = lowerToVar(M->Object.get());
+      std::string T = freshTemp();
+      Stmt &Add = emit(StmtKind::BinOp, E->loc());
+      Add.Target = T;
+      Add.Op = U->IsIncrement ? "+" : "-";
+      Add.LHS = Old;
+      Add.RHS = Operand::number(1);
+      if (M->Computed) {
+        Operand Prop = lowerExpr(M->Index.get());
+        Stmt &Upd = emit(StmtKind::DynamicUpdate, E->loc());
+        Upd.Obj = ObjV;
+        Upd.PropOperand = Prop;
+        Upd.Value = Operand::var(T);
+      } else {
+        Stmt &Upd = emit(StmtKind::StaticUpdate, E->loc());
+        Upd.Obj = ObjV;
+        Upd.Prop = M->Name;
+        Upd.Value = Operand::var(T);
+      }
+      return Operand::var(T);
+    }
+    return lowerExpr(U->Operand.get());
+  }
+  case ast::Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Operand L = lowerExpr(B->LHS.get());
+    Operand R = lowerExpr(B->RHS.get());
+    static const char *Names[] = {
+        "+",  "-",  "*",  "/",  "%",  "**", "==", "!=", "===", "!==", "<",
+        ">",  "<=", ">=", "<<", ">>", ">>>", "&", "|",  "^",   "in",
+        "instanceof"};
+    Stmt &S = emit(StmtKind::BinOp, E->loc());
+    S.Target = freshTemp();
+    S.Op = Names[static_cast<int>(B->Op)];
+    S.LHS = L;
+    S.RHS = R;
+    return Operand::var(S.Target);
+  }
+  case ast::Expr::Kind::Logical: {
+    // Both sides evaluate (over-approximation); the result depends on both.
+    const auto *L = cast<LogicalExpr>(E);
+    Operand A = lowerExpr(L->LHS.get());
+    Operand B = lowerExpr(L->RHS.get());
+    static const char *Names[] = {"&&", "||", "??"};
+    Stmt &S = emit(StmtKind::BinOp, E->loc());
+    S.Target = freshTemp();
+    S.Op = Names[static_cast<int>(L->Op)];
+    S.LHS = A;
+    S.RHS = B;
+    return Operand::var(S.Target);
+  }
+  case ast::Expr::Kind::Assignment:
+    return lowerAssignment(cast<AssignmentExpr>(E));
+  case ast::Expr::Kind::Conditional:
+    return lowerConditional(cast<ConditionalExpr>(E));
+  case ast::Expr::Kind::Call:
+    return lowerCall(cast<CallExpr>(E));
+  case ast::Expr::Kind::New:
+    return lowerNew(cast<NewExpr>(E));
+  case ast::Expr::Kind::Member:
+    return lowerMemberLookup(cast<MemberExpr>(E));
+  case ast::Expr::Kind::Sequence: {
+    Operand Last = Operand::undefined();
+    for (const auto &Part : cast<SequenceExpr>(E)->Expressions)
+      Last = lowerExpr(Part.get());
+    return Last;
+  }
+  case ast::Expr::Kind::Template:
+    return lowerTemplate(cast<TemplateLiteral>(E));
+  case ast::Expr::Kind::TaggedTemplate: {
+    const auto *T = cast<TaggedTemplateExpr>(E);
+    // tag`a${x}` — model as a call of the tag with the substitutions.
+    Operand Tag = lowerToVar(T->Tag.get());
+    const auto *Quasi = cast<TemplateLiteral>(T->Quasi.get());
+    Stmt &S = emit(StmtKind::Call, E->loc());
+    S.Target = freshTemp();
+    S.Callee = Tag;
+    S.CalleeName = Tag.Name;
+    for (const auto &Sub : Quasi->Substitutions) {
+      // Arguments must be lowered before the call statement is emitted;
+      // recompute rather than reorder (lowerExpr may emit statements).
+      (void)Sub;
+    }
+    // Re-emit correctly: remove the call, lower args, then emit.
+    // (Simplest: pop the just-added stmt, lower, re-add.)
+    StmtPtr Call = std::move(block().back());
+    block().pop_back();
+    for (const auto &Sub : Quasi->Substitutions)
+      Call->Args.push_back(lowerExpr(Sub.get()));
+    block().push_back(std::move(Call));
+    return Operand::var(block().back()->Target);
+  }
+  case ast::Expr::Kind::Spread:
+    return lowerExpr(cast<SpreadElement>(E)->Argument.get());
+  case ast::Expr::Kind::Yield: {
+    const auto *Y = cast<YieldExpr>(E);
+    if (!Y->Argument)
+      return Operand::undefined();
+    Operand V = lowerExpr(Y->Argument.get());
+    Stmt &S = emit(StmtKind::UnOp, E->loc());
+    S.Target = freshTemp();
+    S.Op = "yield";
+    S.Value = V;
+    return Operand::var(S.Target);
+  }
+  case ast::Expr::Kind::Await: {
+    // `await e` passes the value through: dependencies are preserved.
+    Operand V = lowerExpr(cast<AwaitExpr>(E)->Argument.get());
+    Stmt &S = emit(StmtKind::UnOp, E->loc());
+    S.Target = freshTemp();
+    S.Op = "await";
+    S.Value = V;
+    return Operand::var(S.Target);
+  }
+  }
+  return Operand::undefined();
+}
+
+Operand Normalizer::lowerTemplate(const TemplateLiteral *T) {
+  // `a${x}b${y}` lowers to ((('a' + x) + 'b') + y) + ... string folding.
+  Operand Acc = Operand::string(T->Quasis.empty() ? "" : T->Quasis[0]);
+  for (size_t I = 0; I < T->Substitutions.size(); ++I) {
+    Operand Sub = lowerExpr(T->Substitutions[I].get());
+    Stmt &S1 = emit(StmtKind::BinOp, T->loc());
+    S1.Target = freshTemp();
+    S1.Op = "+";
+    S1.LHS = Acc;
+    S1.RHS = Sub;
+    Acc = Operand::var(S1.Target);
+    if (I + 1 < T->Quasis.size() && !T->Quasis[I + 1].empty()) {
+      Stmt &S2 = emit(StmtKind::BinOp, T->loc());
+      S2.Target = freshTemp();
+      S2.Op = "+";
+      S2.LHS = Acc;
+      S2.RHS = Operand::string(T->Quasis[I + 1]);
+      Acc = Operand::var(S2.Target);
+    }
+  }
+  return Acc;
+}
+
+Operand Normalizer::lowerConditional(const ConditionalExpr *C) {
+  Operand Cond = lowerExpr(C->Cond.get());
+  std::string T = freshTemp();
+  Stmt &I = emit(StmtKind::If, C->loc());
+  I.Cond = Cond;
+  Blocks.push_back(&I.Then);
+  {
+    Operand V = lowerExpr(C->Then.get());
+    Stmt &A = emit(StmtKind::Assign, C->loc());
+    A.Target = T;
+    A.Value = V;
+  }
+  Blocks.pop_back();
+  Blocks.push_back(&I.Else);
+  {
+    Operand V = lowerExpr(C->Else.get());
+    Stmt &A = emit(StmtKind::Assign, C->loc());
+    A.Target = T;
+    A.Value = V;
+  }
+  Blocks.pop_back();
+  return Operand::var(T);
+}
+
+Operand Normalizer::lowerObjectLiteral(const ObjectLiteral *O) {
+  Stmt &New = emit(StmtKind::NewObject, O->loc());
+  std::string T = freshTemp();
+  New.Target = T;
+  for (const ObjectProperty &P : O->Properties) {
+    if (const auto *Spread = dyn_cast<SpreadElement>(P.Value.get())) {
+      // {...src}: unknown-property copy from src.
+      Operand Src = lowerExpr(Spread->Argument.get());
+      Stmt &U = emit(StmtKind::DynamicUpdate, P.Loc);
+      U.Obj = Operand::var(T);
+      U.PropOperand = Operand::undefined();
+      U.Value = Src;
+      continue;
+    }
+    Operand V = lowerExpr(P.Value.get());
+    if (P.Computed) {
+      Operand Key = lowerExpr(P.KeyExpr.get());
+      Stmt &U = emit(StmtKind::DynamicUpdate, P.Loc);
+      U.Obj = Operand::var(T);
+      U.PropOperand = Key;
+      U.Value = V;
+    } else {
+      Stmt &U = emit(StmtKind::StaticUpdate, P.Loc);
+      U.Obj = Operand::var(T);
+      U.Prop = P.Name;
+      U.Value = V;
+      if (V.isVar()) {
+        if (auto It = VarToFunc.find(V.Name); It != VarToFunc.end())
+          PropToFunc[{T, P.Name}] = It->second;
+      }
+    }
+  }
+  return Operand::var(T);
+}
+
+Operand Normalizer::lowerArrayLiteral(const ArrayLiteral *A) {
+  Stmt &New = emit(StmtKind::NewObject, A->loc());
+  std::string T = freshTemp();
+  New.Target = T;
+  size_t Index = 0;
+  for (const auto &El : A->Elements) {
+    if (!El) {
+      ++Index;
+      continue;
+    }
+    if (const auto *Spread = dyn_cast<SpreadElement>(El.get())) {
+      Operand Src = lowerExpr(Spread->Argument.get());
+      Stmt &U = emit(StmtKind::DynamicUpdate, A->loc());
+      U.Obj = Operand::var(T);
+      U.PropOperand = Operand::undefined();
+      U.Value = Src;
+      continue;
+    }
+    Operand V = lowerExpr(El.get());
+    Stmt &U = emit(StmtKind::StaticUpdate, A->loc());
+    U.Obj = Operand::var(T);
+    U.Prop = std::to_string(Index++);
+    U.Value = V;
+  }
+  return Operand::var(T);
+}
+
+void Normalizer::lowerFunctionBody(Function &Fn,
+                                   const std::vector<ast::Param> &Params,
+                                   const ast::Stmt *Body,
+                                   const ast::Expr *ExprBody) {
+  Blocks.push_back(&Fn.Body);
+  unsigned PatternId = 0;
+  for (const ast::Param &P : Params) {
+    if (!P.Name.empty()) {
+      Fn.Params.push_back(P.Name);
+      continue;
+    }
+    // Destructuring parameter: bind a synthetic name, then destructure.
+    std::string Synth = "%p" + std::to_string(PatternId++);
+    Fn.Params.push_back(Synth);
+    if (P.Default)
+      destructure(P.Default.get(), Operand::var(Synth), P.Loc);
+  }
+  if (Body)
+    lowerStmt(Body);
+  if (ExprBody) {
+    Operand V = lowerExpr(ExprBody);
+    Stmt &R = emit(StmtKind::Return, ExprBody->loc());
+    R.Value = V;
+  }
+  Blocks.pop_back();
+}
+
+Operand Normalizer::lowerFunction(const FunctionExpr *F) {
+  auto Fn = std::make_shared<Function>();
+  Fn->OriginalName = F->Name;
+  Fn->Name = freshFuncName(F->Name);
+  Fn->Loc = F->loc();
+  Fn->Index = freshIndex();
+  lowerFunctionBody(*Fn, F->Params, F->Body.get(), nullptr);
+  Prog->Functions[Fn->Name] = Fn;
+
+  Stmt &S = emit(StmtKind::FuncDef, F->loc());
+  S.Target = freshTemp();
+  S.Func = Fn;
+  VarToFunc[S.Target] = Fn->Name;
+  return Operand::var(S.Target);
+}
+
+Operand Normalizer::lowerArrow(const ArrowFunctionExpr *A) {
+  auto Fn = std::make_shared<Function>();
+  Fn->Name = freshFuncName("arrow");
+  Fn->Loc = A->loc();
+  Fn->Index = freshIndex();
+  lowerFunctionBody(*Fn, A->Params, A->Body.get(), A->ExprBody.get());
+  Prog->Functions[Fn->Name] = Fn;
+
+  Stmt &S = emit(StmtKind::FuncDef, A->loc());
+  S.Target = freshTemp();
+  S.Func = Fn;
+  VarToFunc[S.Target] = Fn->Name;
+  return Operand::var(S.Target);
+}
+
+Operand Normalizer::lowerClass(const ClassExpr *C) {
+  // class C { constructor(..) {..} m(..) {..} } lowers to:
+  //   C := <constructor function>; C.prototype := {}; C.prototype.m := <fn>
+  std::string ClassName = C->Name.empty() ? freshFuncName("class") : C->Name;
+  std::string CtorVar;
+  std::vector<std::string> Methods;
+
+  // Find the constructor (or synthesize an empty one).
+  const ClassMember *Ctor = nullptr;
+  for (const ClassMember &M : C->Members)
+    if (M.IsConstructor)
+      Ctor = &M;
+
+  if (Ctor && ast::dyn_cast<FunctionExpr>(Ctor->Value.get())) {
+    Operand V = lowerFunction(ast::cast<FunctionExpr>(Ctor->Value.get()));
+    CtorVar = V.Name;
+  } else {
+    auto Fn = std::make_shared<Function>();
+    Fn->OriginalName = ClassName;
+    Fn->Name = freshFuncName(ClassName + ".constructor");
+    Fn->Loc = C->loc();
+    Fn->Index = freshIndex();
+    Prog->Functions[Fn->Name] = Fn;
+    Stmt &S = emit(StmtKind::FuncDef, C->loc());
+    S.Target = freshTemp();
+    S.Func = Fn;
+    VarToFunc[S.Target] = Fn->Name;
+    CtorVar = S.Target;
+  }
+  if (auto It = VarToFunc.find(CtorVar); It != VarToFunc.end())
+    Methods.push_back(It->second);
+
+  // C.prototype := {}
+  Stmt &ProtoNew = emit(StmtKind::NewObject, C->loc());
+  ProtoNew.Target = freshTemp();
+  Stmt &ProtoSet = emit(StmtKind::StaticUpdate, C->loc());
+  ProtoSet.Obj = Operand::var(CtorVar);
+  ProtoSet.Prop = "prototype";
+  ProtoSet.Value = Operand::var(ProtoNew.Target);
+
+  for (const ClassMember &M : C->Members) {
+    if (M.IsConstructor || !M.Value)
+      continue;
+    Operand V = lowerExpr(M.Value.get());
+    Stmt &Set = emit(StmtKind::StaticUpdate, M.Loc);
+    Set.Obj = M.IsStatic ? Operand::var(CtorVar)
+                         : Operand::var(ProtoNew.Target);
+    Set.Prop = M.Name;
+    Set.Value = V;
+    if (V.isVar()) {
+      if (auto It = VarToFunc.find(V.Name); It != VarToFunc.end())
+        Methods.push_back(It->second);
+    }
+  }
+  ClassMethods[ClassName] = Methods;
+  Prog->ClassMethodsByVar[CtorVar] = Methods;
+  VarToClass[CtorVar] = ClassName;
+  return Operand::var(CtorVar);
+}
+
+void Normalizer::destructure(const ast::Expr *Pattern, const Operand &Source,
+                             SourceLocation Loc) {
+  if (const auto *O = dyn_cast<ObjectLiteral>(Pattern)) {
+    for (const ObjectProperty &P : O->Properties) {
+      if (const auto *Spread = dyn_cast<SpreadElement>(P.Value.get())) {
+        // `...rest` receives the remaining properties: depends on Source.
+        if (const auto *Id = dyn_cast<Identifier>(Spread->Argument.get())) {
+          Stmt &S = emit(StmtKind::UnOp, P.Loc);
+          S.Target = Id->Name;
+          S.Op = "rest";
+          S.Value = Source;
+        }
+        continue;
+      }
+      // Binding target: `{a}`, `{a: b}`, `{a: {nested}}`, `{a = dflt}`.
+      std::string Prop = P.Name;
+      const ast::Expr *Target = P.Value.get();
+      std::string BindName;
+      if (const auto *Id = dyn_cast<Identifier>(Target))
+        BindName = Id->Name;
+      else if (isa<ObjectLiteral>(Target) || isa<ArrayLiteral>(Target)) {
+        std::string T = freshTemp();
+        Stmt &L = emit(StmtKind::StaticLookup, P.Loc);
+        L.Target = T;
+        L.Obj = Source;
+        L.Prop = Prop;
+        destructure(Target, Operand::var(T), P.Loc);
+        continue;
+      } else {
+        // `{a = default}`: bind `a` from the property; the default's
+        // dependencies are joined in.
+        BindName = Prop;
+        lowerExpr(Target);
+      }
+      Stmt &L = emit(StmtKind::StaticLookup, P.Loc);
+      L.Target = BindName;
+      L.Obj = Source;
+      L.Prop = Prop;
+      // Destructured requires: const {exec} = require('child_process').
+      if (Source.isVar()) {
+        if (auto It = TempRequire.find(Source.Name); It != TempRequire.end())
+          Prog->RequireAliases[BindName] = It->second + "." + Prop;
+        else if (auto It2 = Prog->RequireAliases.find(Source.Name);
+                 It2 != Prog->RequireAliases.end())
+          Prog->RequireAliases[BindName] = It2->second + "." + Prop;
+      }
+    }
+    return;
+  }
+  if (const auto *A = dyn_cast<ArrayLiteral>(Pattern)) {
+    size_t Index = 0;
+    for (const auto &El : A->Elements) {
+      if (!El) {
+        ++Index;
+        continue;
+      }
+      if (const auto *Spread = dyn_cast<SpreadElement>(El.get())) {
+        if (const auto *Id = dyn_cast<Identifier>(Spread->Argument.get())) {
+          Stmt &S = emit(StmtKind::UnOp, Loc);
+          S.Target = Id->Name;
+          S.Op = "rest";
+          S.Value = Source;
+        }
+        ++Index;
+        continue;
+      }
+      if (const auto *Id = dyn_cast<Identifier>(El.get())) {
+        Stmt &L = emit(StmtKind::StaticLookup, Loc);
+        L.Target = Id->Name;
+        L.Obj = Source;
+        L.Prop = std::to_string(Index);
+      } else if (isa<ObjectLiteral>(El.get()) || isa<ArrayLiteral>(El.get())) {
+        std::string T = freshTemp();
+        Stmt &L = emit(StmtKind::StaticLookup, Loc);
+        L.Target = T;
+        L.Obj = Source;
+        L.Prop = std::to_string(Index);
+        destructure(El.get(), Operand::var(T), Loc);
+      } else if (const auto *Dflt = dyn_cast<AssignmentExpr>(El.get())) {
+        // `[a = 1]`
+        if (const auto *Id2 = dyn_cast<Identifier>(Dflt->Target.get())) {
+          Stmt &L = emit(StmtKind::StaticLookup, Loc);
+          L.Target = Id2->Name;
+          L.Obj = Source;
+          L.Prop = std::to_string(Index);
+        }
+      }
+      ++Index;
+    }
+    return;
+  }
+  Diags.warning(Loc, "unsupported destructuring pattern ignored");
+}
+
+void Normalizer::exportFunctionValue(const std::string &ExportName,
+                                     const Operand &Value) {
+  if (!Value.isVar())
+    return;
+  if (auto It = VarToFunc.find(Value.Name); It != VarToFunc.end()) {
+    Prog->Exports.push_back({ExportName, It->second});
+    return;
+  }
+  if (auto It = VarToClass.find(Value.Name); It != VarToClass.end()) {
+    auto MIt = ClassMethods.find(It->second);
+    if (MIt != ClassMethods.end())
+      for (const std::string &Method : MIt->second)
+        Prog->Exports.push_back({ExportName + "." + Method, Method});
+    return;
+  }
+  // `module.exports = obj` where obj is an object literal temp.
+  bool Found = false;
+  for (const auto &[Key, FnName] : PropToFunc) {
+    if (Key.first == Value.Name) {
+      Prog->Exports.push_back({Key.second, FnName});
+      Found = true;
+    }
+  }
+  if (!Found) {
+    // Unknown value: remember the variable so the scanner can fall back.
+    Prog->Exports.push_back({ExportName, ""});
+  }
+}
+
+void Normalizer::recordExportIfAny(const Operand &Obj, const std::string &Prop,
+                                   const Operand &Value) {
+  if (!Obj.isVar())
+    return;
+  if (Obj.Name == "module" && Prop == "exports") {
+    exportFunctionValue("default", Value);
+    return;
+  }
+  if (Obj.Name == "exports") {
+    exportFunctionValue(Prop, Value);
+    return;
+  }
+  // `module.exports.n = f` appears as a lookup of module.exports into a
+  // temp, then a static update on that temp; recognize the temp.
+  if (ModuleExportsVars.count(Obj.Name))
+    exportFunctionValue(Prop, Value);
+}
+
+Operand Normalizer::lowerAssignment(const AssignmentExpr *A) {
+  // Pattern targets: `[a, b] = f()`, `({a} = o)`.
+  if (isa<ObjectLiteral>(A->Target.get()) ||
+      isa<ArrayLiteral>(A->Target.get())) {
+    Operand V = lowerToVar(A->Value.get());
+    destructure(A->Target.get(), V, A->loc());
+    return V;
+  }
+
+  if (const auto *Id = dyn_cast<Identifier>(A->Target.get())) {
+    Operand V = lowerExpr(A->Value.get());
+    if (A->IsCompound || A->IsLogical) {
+      Stmt &S = emit(StmtKind::BinOp, A->loc());
+      S.Target = Id->Name;
+      S.Op = A->IsLogical ? "||" : "+";
+      S.LHS = Operand::var(Id->Name);
+      S.RHS = V;
+      return Operand::var(Id->Name);
+    }
+    Stmt &S = emit(StmtKind::Assign, A->loc());
+    S.Target = Id->Name;
+    S.Value = V;
+    if (V.isVar()) {
+      if (auto It = VarToFunc.find(V.Name); It != VarToFunc.end())
+        VarToFunc[Id->Name] = It->second;
+      if (auto It = VarToClass.find(V.Name); It != VarToClass.end())
+        VarToClass[Id->Name] = It->second;
+      if (auto It = TempRequire.find(V.Name); It != TempRequire.end())
+        Prog->RequireAliases[Id->Name] = It->second;
+    }
+    return Operand::var(Id->Name);
+  }
+
+  if (const auto *M = dyn_cast<MemberExpr>(A->Target.get())) {
+    Operand ObjV = lowerToVar(M->Object.get());
+    Operand V = lowerExpr(A->Value.get());
+    if (A->IsCompound || A->IsLogical) {
+      // o.p += v: read, combine, write.
+      Operand Old;
+      std::string T = freshTemp();
+      if (M->Computed) {
+        Operand Prop = lowerExpr(M->Index.get());
+        Stmt &L = emit(StmtKind::DynamicLookup, A->loc());
+        L.Target = T;
+        L.Obj = ObjV;
+        L.PropOperand = Prop;
+        Old = Operand::var(T);
+        std::string T2 = freshTemp();
+        Stmt &B = emit(StmtKind::BinOp, A->loc());
+        B.Target = T2;
+        B.Op = "+";
+        B.LHS = Old;
+        B.RHS = V;
+        Stmt &U = emit(StmtKind::DynamicUpdate, A->loc());
+        U.Obj = ObjV;
+        U.PropOperand = Prop;
+        U.Value = Operand::var(T2);
+        return Operand::var(T2);
+      }
+      Stmt &L = emit(StmtKind::StaticLookup, A->loc());
+      L.Target = T;
+      L.Obj = ObjV;
+      L.Prop = M->Name;
+      std::string T2 = freshTemp();
+      Stmt &B = emit(StmtKind::BinOp, A->loc());
+      B.Target = T2;
+      B.Op = "+";
+      B.LHS = Operand::var(T);
+      B.RHS = V;
+      Stmt &U = emit(StmtKind::StaticUpdate, A->loc());
+      U.Obj = ObjV;
+      U.Prop = M->Name;
+      U.Value = Operand::var(T2);
+      return Operand::var(T2);
+    }
+    if (M->Computed) {
+      Operand Prop = lowerExpr(M->Index.get());
+      Stmt &U = emit(StmtKind::DynamicUpdate, A->loc());
+      U.Obj = ObjV;
+      U.PropOperand = Prop;
+      U.Value = V;
+      return V;
+    }
+    Stmt &U = emit(StmtKind::StaticUpdate, A->loc());
+    U.Obj = ObjV;
+    U.Prop = M->Name;
+    U.Value = V;
+    recordExportIfAny(ObjV, M->Name, V);
+    if (V.isVar()) {
+      if (auto It = VarToFunc.find(V.Name); It != VarToFunc.end())
+        PropToFunc[{ObjV.Name, M->Name}] = It->second;
+    }
+    return V;
+  }
+
+  Diags.warning(A->loc(), "unsupported assignment target ignored");
+  lowerExpr(A->Value.get());
+  return Operand::undefined();
+}
+
+std::string Normalizer::calleePath(const ast::Expr *Callee) const {
+  // Build `a.b.c` textual path; resolve the root through require aliases.
+  std::vector<std::string> Parts;
+  const ast::Expr *E = Callee;
+  while (const auto *M = dyn_cast<MemberExpr>(E)) {
+    if (M->Computed)
+      return "";
+    Parts.push_back(M->Name);
+    E = M->Object.get();
+  }
+  const auto *Id = dyn_cast<Identifier>(E);
+  if (!Id)
+    return "";
+  std::string Root = Id->Name;
+  if (auto It = Prog->RequireAliases.find(Root);
+      It != Prog->RequireAliases.end())
+    Root = It->second;
+  std::string Path = Root;
+  for (auto It = Parts.rbegin(); It != Parts.rend(); ++It)
+    Path += "." + *It;
+  return Path;
+}
+
+Operand Normalizer::lowerCall(const CallExpr *C) {
+  // require('m') — record the alias and model the module as a fresh object.
+  if (const auto *Id = dyn_cast<Identifier>(C->Callee.get())) {
+    if (Id->Name == "require" && C->Arguments.size() == 1) {
+      if (const auto *Mod = dyn_cast<StringLiteral>(C->Arguments[0].get())) {
+        Stmt &S = emit(StmtKind::NewObject, C->loc());
+        S.Target = freshTemp();
+        S.RequireModule = Mod->Value;
+        TempRequire[S.Target] = Mod->Value;
+        return Operand::var(S.Target);
+      }
+      // Dynamic require: a code-injection sink — keep it as a call.
+    }
+  }
+
+  std::string Path = calleePath(C->Callee.get());
+  std::string Name;
+  Operand CalleeV;
+  Operand ReceiverV;
+
+  if (const auto *M = dyn_cast<MemberExpr>(C->Callee.get())) {
+    if (!M->Computed)
+      Name = M->Name;
+    // Evaluate the method lookup; the receiver also flows into the call.
+    ReceiverV = lowerToVar(M->Object.get());
+    CalleeV = lowerMemberLookupOn(M, ReceiverV);
+  } else if (const auto *Id = dyn_cast<Identifier>(C->Callee.get())) {
+    Name = Id->Name;
+    CalleeV = Operand::var(Id->Name);
+  } else {
+    CalleeV = lowerToVar(C->Callee.get());
+  }
+
+  std::vector<Operand> Args;
+  for (const auto &A : C->Arguments)
+    Args.push_back(lowerExpr(A.get()));
+
+  Stmt &S = emit(StmtKind::Call, C->loc());
+  S.Target = freshTemp();
+  S.Callee = CalleeV;
+  S.Receiver = ReceiverV;
+  S.CalleeName = Name;
+  S.CalleePath = Path;
+  S.Args = std::move(Args);
+  return Operand::var(S.Target);
+}
+
+Operand Normalizer::lowerNew(const NewExpr *N) {
+  std::string Path = calleePath(N->Callee.get());
+  std::string Name;
+  Operand CalleeV;
+  if (const auto *Id = dyn_cast<Identifier>(N->Callee.get())) {
+    Name = Id->Name;
+    CalleeV = Operand::var(Id->Name);
+  } else if (const auto *M = dyn_cast<MemberExpr>(N->Callee.get())) {
+    if (!M->Computed)
+      Name = M->Name;
+    CalleeV = lowerMemberLookup(M);
+  } else {
+    CalleeV = lowerToVar(N->Callee.get());
+  }
+  std::vector<Operand> Args;
+  for (const auto &A : N->Arguments)
+    Args.push_back(lowerExpr(A.get()));
+  Stmt &S = emit(StmtKind::Call, N->loc());
+  S.Target = freshTemp();
+  S.Callee = CalleeV;
+  S.CalleeName = Name;
+  S.CalleePath = Path;
+  S.Args = std::move(Args);
+  S.IsNew = true;
+  return Operand::var(S.Target);
+}
+
+Operand Normalizer::lowerMemberLookup(const MemberExpr *M) {
+  Operand ObjV = lowerToVar(M->Object.get());
+  return lowerMemberLookupOn(M, ObjV);
+}
+
+Operand Normalizer::lowerMemberLookupOn(const MemberExpr *M, Operand ObjV) {
+  std::string T = freshTemp();
+  if (M->Computed) {
+    Operand Prop = lowerExpr(M->Index.get());
+    Stmt &L = emit(StmtKind::DynamicLookup, M->loc());
+    L.Target = T;
+    L.Obj = ObjV;
+    L.PropOperand = Prop;
+  } else {
+    Stmt &L = emit(StmtKind::StaticLookup, M->loc());
+    L.Target = T;
+    L.Obj = ObjV;
+    L.Prop = M->Name;
+    // Track `var me = module.exports` for later `me.f = ...` exports, and
+    // propagate require aliases through member lookups (`cp.exec`).
+    if (ObjV.isVar()) {
+      if (ObjV.Name == "module" && M->Name == "exports")
+        ModuleExportsVars.insert(T);
+      if (auto It = Prog->RequireAliases.find(ObjV.Name);
+          It != Prog->RequireAliases.end())
+        Prog->RequireAliases[T] = It->second + "." + M->Name;
+      if (auto It = TempRequire.find(ObjV.Name); It != TempRequire.end())
+        Prog->RequireAliases[T] = It->second + "." + M->Name;
+    }
+  }
+  return Operand::var(T);
+}

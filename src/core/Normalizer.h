@@ -1,0 +1,155 @@
+//===- core/Normalizer.h - AST to Core JavaScript lowering ------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the JavaScript AST to the Core JavaScript IR (§3.2). The lowering
+/// is three-address style: every compound expression is split into Core
+/// statements over variables and literals, so the MDG builder sees exactly
+/// the statement forms its analysis rules cover.
+///
+/// Control flow lowering over-approximates where the paper's analysis does:
+/// `a && b` evaluates both sides, `c ? t : e` becomes an if-join,
+/// try/catch/finally bodies run in sequence, for/for-in/for-of become
+/// while loops (analyzed to fixpoint), and break/continue become no-ops.
+///
+/// The normalizer also performs the scanner-facing bookkeeping the paper's
+/// Graph.js pipeline needs:
+///   - `require` alias tracking (`cp = require('child_process')`, including
+///     destructured requires), so sink names resolve to full paths;
+///   - export extraction (`module.exports = f`, `exports.n = f`,
+///     `module.exports = {a, b}`, exported classes), so the scanner knows
+///     which functions' parameters are taint sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_CORE_NORMALIZER_H
+#define GJS_CORE_NORMALIZER_H
+
+#include "core/CoreIR.h"
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace gjs {
+namespace core {
+
+/// Lowers one parsed module to a Core JavaScript program.
+///
+/// For multi-file packages, give each file a distinct \p ModulePrefix and
+/// a disjoint \p FirstIndex range: core function names and statement
+/// indices are the analysis' allocation keys and must not collide across
+/// linked modules.
+class Normalizer {
+public:
+  explicit Normalizer(DiagnosticEngine &Diags, std::string ModulePrefix = "",
+                      StmtIndex FirstIndex = 1)
+      : Diags(Diags), ModulePrefix(std::move(ModulePrefix)),
+        NextIndex(FirstIndex) {}
+
+  std::unique_ptr<Program> normalize(const ast::Program &Module);
+
+private:
+  DiagnosticEngine &Diags;
+  std::string ModulePrefix;
+  Program *Prog = nullptr;
+  StmtIndex NextIndex = 1;
+  unsigned NextTemp = 0;
+  unsigned NextFuncId = 0;
+  std::vector<std::vector<StmtPtr> *> Blocks;
+
+  /// Variable -> core function name, for export extraction.
+  std::map<std::string, std::string> VarToFunc;
+  /// (object temp, property) -> core function name, for
+  /// `module.exports = {run: function() {...}}`.
+  std::map<std::pair<std::string, std::string>, std::string> PropToFunc;
+  /// Variable -> class name for exported classes.
+  std::map<std::string, std::string> VarToClass;
+  /// Class name -> method core-function names.
+  std::map<std::string, std::vector<std::string>> ClassMethods;
+  /// Temp var produced by `require('m')` -> module name.
+  std::map<std::string, std::string> TempRequire;
+  /// Temps bound to `module.exports` (for `var m = module.exports; m.f=...`).
+  std::set<std::string> ModuleExportsVars;
+
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  std::vector<StmtPtr> &block() { return *Blocks.back(); }
+  Stmt &emit(StmtKind K, SourceLocation Loc);
+  StmtIndex freshIndex() { return NextIndex++; }
+  std::string freshTemp() { return "%t" + std::to_string(NextTemp++); }
+  std::string freshFuncName(const std::string &Base);
+
+  //===--------------------------------------------------------------------===//
+  // Statement lowering
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const ast::Stmt *S);
+  void lowerBlockInline(const ast::Stmt *S);
+  std::vector<StmtPtr> lowerToBlock(const ast::Stmt *S);
+  void lowerVarDecl(const ast::VariableDeclaration *V);
+  void lowerIf(const ast::IfStatement *S);
+  void lowerWhile(const ast::WhileStatement *S);
+  void lowerFor(const ast::ForStatement *S);
+  void lowerForInOf(const ast::ForInOfStatement *S);
+  void lowerSwitch(const ast::SwitchStatement *S);
+  void lowerTry(const ast::TryStatement *S);
+
+  //===--------------------------------------------------------------------===//
+  // Expression lowering
+  //===--------------------------------------------------------------------===//
+
+  Operand lowerExpr(const ast::Expr *E);
+  /// Forces the result into a variable operand (emitting an Assign when the
+  /// expression lowers to a literal).
+  Operand lowerToVar(const ast::Expr *E);
+  Operand materialize(Operand O, SourceLocation Loc);
+
+  Operand lowerObjectLiteral(const ast::ObjectLiteral *O);
+  Operand lowerArrayLiteral(const ast::ArrayLiteral *A);
+  Operand lowerFunction(const ast::FunctionExpr *F);
+  Operand lowerArrow(const ast::ArrowFunctionExpr *A);
+  Operand lowerClass(const ast::ClassExpr *C);
+  Operand lowerAssignment(const ast::AssignmentExpr *A);
+  Operand lowerCall(const ast::CallExpr *C);
+  Operand lowerNew(const ast::NewExpr *N);
+  Operand lowerMemberLookup(const ast::MemberExpr *M);
+  Operand lowerMemberLookupOn(const ast::MemberExpr *M, Operand ObjV);
+  Operand lowerTemplate(const ast::TemplateLiteral *T);
+  Operand lowerConditional(const ast::ConditionalExpr *C);
+
+  /// Binds the names in a destructuring \p Pattern from \p Source.
+  void destructure(const ast::Expr *Pattern, const Operand &Source,
+                   SourceLocation Loc);
+
+  /// Lowers a function body (params + statements) into \p Fn.
+  void lowerFunctionBody(Function &Fn, const std::vector<ast::Param> &Params,
+                         const ast::Stmt *Body, const ast::Expr *ExprBody);
+
+  /// Builds the dotted callee path (with require aliases resolved) for a
+  /// call like `cp.exec(...)`. Returns "" when not statically determinable.
+  std::string calleePath(const ast::Expr *Callee) const;
+
+  /// Export bookkeeping for `o.p := v` statements.
+  void recordExportIfAny(const Operand &Obj, const std::string &Prop,
+                         const Operand &Value);
+  void exportFunctionValue(const std::string &ExportName,
+                           const Operand &Value);
+};
+
+/// Convenience: parse + normalize in one step.
+std::unique_ptr<Program> normalizeJS(const std::string &Source,
+                                     DiagnosticEngine &Diags);
+
+} // namespace core
+} // namespace gjs
+
+#endif // GJS_CORE_NORMALIZER_H

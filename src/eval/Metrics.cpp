@@ -1,0 +1,165 @@
+//===- eval/Metrics.cpp - Evaluation metrics -------------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::eval;
+using namespace gjs::queries;
+using workload::Package;
+
+ClassStats eval::scorePackage(const Package &P,
+                              const std::vector<VulnReport> &Reports,
+                              VulnType Class, ScorePolicy Policy) {
+  ClassStats S;
+  std::vector<bool> AnnotationUsed(P.Annotations.size(), false);
+  for (size_t I = 0; I < P.Annotations.size(); ++I)
+    if (P.Annotations[I].Type == Class)
+      ++S.Total;
+
+  for (const VulnReport &R : Reports) {
+    if (R.Type != Class)
+      continue;
+    // Exact (type, line) match first.
+    bool Matched = false;
+    for (size_t I = 0; I < P.Annotations.size(); ++I) {
+      if (AnnotationUsed[I] || P.Annotations[I].Type != Class)
+        continue;
+      if (P.Annotations[I].SinkLine == R.SinkLoc.Line) {
+        AnnotationUsed[I] = true;
+        Matched = true;
+        break;
+      }
+    }
+    // Type-only leniency (ODGen policy).
+    if (!Matched && Policy.TypeOnlyMatch) {
+      for (size_t I = 0; I < P.Annotations.size(); ++I) {
+        if (AnnotationUsed[I] || P.Annotations[I].Type != Class)
+          continue;
+        AnnotationUsed[I] = true;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched) {
+      ++S.TP;
+      continue;
+    }
+    ++S.FP;
+    // Reports on unannotated-but-real sinks are FPs by annotation yet not
+    // true false positives — the dataset is incomplete (§5.2).
+    bool Real = std::find(P.ExtraRealLines.begin(), P.ExtraRealLines.end(),
+                          R.SinkLoc.Line) != P.ExtraRealLines.end();
+    if (!Real)
+      ++S.TFP;
+  }
+  return S;
+}
+
+ClassStats eval::scoreDataset(const std::vector<Package> &Packages,
+                              const std::vector<PackageOutcome> &Outcomes,
+                              VulnType Class, ScorePolicy Policy) {
+  assert(Packages.size() == Outcomes.size() && "size mismatch");
+  ClassStats S;
+  for (size_t I = 0; I < Packages.size(); ++I)
+    S += scorePackage(Packages[I], Outcomes[I].Reports, Class, Policy);
+  return S;
+}
+
+std::vector<bool> eval::detectedFlags(
+    const std::vector<Package> &Packages,
+    const std::vector<PackageOutcome> &Outcomes, ScorePolicy Policy) {
+  std::vector<bool> Flags;
+  for (size_t I = 0; I < Packages.size(); ++I) {
+    const Package &P = Packages[I];
+    const std::vector<VulnReport> &Reports = Outcomes[I].Reports;
+    for (const workload::Annotation &A : P.Annotations) {
+      bool Found = false;
+      for (const VulnReport &R : Reports) {
+        if (R.Type != A.Type)
+          continue;
+        if (R.SinkLoc.Line == A.SinkLine ||
+            Policy.TypeOnlyMatch) {
+          Found = true;
+          break;
+        }
+      }
+      Flags.push_back(Found);
+    }
+  }
+  return Flags;
+}
+
+VennCounts eval::venn(const std::vector<bool> &A, const std::vector<bool> &B) {
+  assert(A.size() == B.size() && "flag vectors must align");
+  VennCounts V;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I] && B[I])
+      ++V.Both;
+    else if (A[I])
+      ++V.OnlyA;
+    else if (B[I])
+      ++V.OnlyB;
+    else
+      ++V.Neither;
+  }
+  return V;
+}
+
+std::vector<double> eval::cdf(std::vector<double> Samples,
+                              const std::vector<double> &Marks) {
+  std::sort(Samples.begin(), Samples.end());
+  std::vector<double> Out;
+  for (double M : Marks) {
+    size_t N = std::upper_bound(Samples.begin(), Samples.end(), M) -
+               Samples.begin();
+    Out.push_back(Samples.empty() ? 0 : double(N) / double(Samples.size()));
+  }
+  return Out;
+}
+
+std::string eval::renderCDF(const std::vector<std::string> &Names,
+                            const std::vector<std::vector<double>> &Series,
+                            const std::vector<double> &Marks) {
+  std::ostringstream OS;
+  OS << "  time(s) |";
+  for (const std::string &N : Names)
+    OS << " " << N << " |";
+  OS << '\n';
+  for (size_t M = 0; M < Marks.size(); ++M) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%8.4f", Marks[M]);
+    OS << Buf << " |";
+    for (size_t S = 0; S < Series.size(); ++S) {
+      std::snprintf(Buf, sizeof(Buf), " %5.1f%%", Series[S][M] * 100.0);
+      OS << Buf;
+      OS << std::string(Names[S].size() > 6 ? Names[S].size() - 6 : 1, ' ')
+         << "|";
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+const LoCBucket eval::Table7Buckets[4] = {
+    {0, 99, "< 100"},
+    {100, 499, "100 - 500"},
+    {500, 999, "500 - 1000"},
+    {1000, 0, "> 1000"},
+};
+
+int eval::bucketOf(size_t LoC) {
+  for (int I = 0; I < 4; ++I) {
+    if (Table7Buckets[I].MaxLoC == 0 || LoC <= Table7Buckets[I].MaxLoC)
+      return I;
+  }
+  return 3;
+}

@@ -1,0 +1,624 @@
+//===- frontend/Lexer.cpp - JavaScript lexer ------------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace gjs;
+
+const char *gjs::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile: return "end of file";
+  case TokenKind::Invalid: return "invalid token";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::PrivateName: return "private name";
+  case TokenKind::NumericLiteral: return "number";
+  case TokenKind::StringLiteral: return "string";
+  case TokenKind::RegExpLiteral: return "regexp";
+  case TokenKind::TemplateString: return "template string";
+  case TokenKind::TemplateHead: return "template head";
+  case TokenKind::TemplateMiddle: return "template middle";
+  case TokenKind::TemplateTail: return "template tail";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwCase: return "'case'";
+  case TokenKind::KwCatch: return "'catch'";
+  case TokenKind::KwClass: return "'class'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwDebugger: return "'debugger'";
+  case TokenKind::KwDefault: return "'default'";
+  case TokenKind::KwDelete: return "'delete'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwExport: return "'export'";
+  case TokenKind::KwExtends: return "'extends'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwFinally: return "'finally'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwFunction: return "'function'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwImport: return "'import'";
+  case TokenKind::KwIn: return "'in'";
+  case TokenKind::KwInstanceof: return "'instanceof'";
+  case TokenKind::KwLet: return "'let'";
+  case TokenKind::KwNew: return "'new'";
+  case TokenKind::KwNull: return "'null'";
+  case TokenKind::KwOf: return "'of'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::KwSuper: return "'super'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwThis: return "'this'";
+  case TokenKind::KwThrow: return "'throw'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwTry: return "'try'";
+  case TokenKind::KwTypeof: return "'typeof'";
+  case TokenKind::KwVar: return "'var'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwWith: return "'with'";
+  case TokenKind::KwYield: return "'yield'";
+  case TokenKind::KwAsync: return "'async'";
+  case TokenKind::KwAwait: return "'await'";
+  case TokenKind::KwGet: return "'get'";
+  case TokenKind::KwSet: return "'set'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semicolon: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::DotDotDot: return "'...'";
+  case TokenKind::Arrow: return "'=>'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::QuestionDot: return "'?.'";
+  case TokenKind::QuestionQuestion: return "'?\?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::StarAssign: return "'*='";
+  case TokenKind::SlashAssign: return "'/='";
+  case TokenKind::PercentAssign: return "'%='";
+  case TokenKind::StarStarAssign: return "'**='";
+  case TokenKind::LShiftAssign: return "'<<='";
+  case TokenKind::RShiftAssign: return "'>>='";
+  case TokenKind::URShiftAssign: return "'>>>='";
+  case TokenKind::AmpAssign: return "'&='";
+  case TokenKind::PipeAssign: return "'|='";
+  case TokenKind::CaretAssign: return "'^='";
+  case TokenKind::AmpAmpAssign: return "'&&='";
+  case TokenKind::PipePipeAssign: return "'||='";
+  case TokenKind::QuestionQuestionAssign: return "'?\?='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::StarStar: return "'**'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::LShift: return "'<<'";
+  case TokenKind::RShift: return "'>>'";
+  case TokenKind::URShift: return "'>>>'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::Equal: return "'=='";
+  case TokenKind::NotEqual: return "'!='";
+  case TokenKind::StrictEqual: return "'==='";
+  case TokenKind::StrictNotEqual: return "'!=='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::GreaterEqual: return "'>='";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"break", TokenKind::KwBreak},       {"case", TokenKind::KwCase},
+      {"catch", TokenKind::KwCatch},       {"class", TokenKind::KwClass},
+      {"const", TokenKind::KwConst},       {"continue", TokenKind::KwContinue},
+      {"debugger", TokenKind::KwDebugger}, {"default", TokenKind::KwDefault},
+      {"delete", TokenKind::KwDelete},     {"do", TokenKind::KwDo},
+      {"else", TokenKind::KwElse},         {"export", TokenKind::KwExport},
+      {"extends", TokenKind::KwExtends},   {"false", TokenKind::KwFalse},
+      {"finally", TokenKind::KwFinally},   {"for", TokenKind::KwFor},
+      {"function", TokenKind::KwFunction}, {"if", TokenKind::KwIf},
+      {"import", TokenKind::KwImport},     {"in", TokenKind::KwIn},
+      {"instanceof", TokenKind::KwInstanceof},
+      {"let", TokenKind::KwLet},           {"new", TokenKind::KwNew},
+      {"null", TokenKind::KwNull},         {"of", TokenKind::KwOf},
+      {"return", TokenKind::KwReturn},     {"static", TokenKind::KwStatic},
+      {"super", TokenKind::KwSuper},       {"switch", TokenKind::KwSwitch},
+      {"this", TokenKind::KwThis},         {"throw", TokenKind::KwThrow},
+      {"true", TokenKind::KwTrue},         {"try", TokenKind::KwTry},
+      {"typeof", TokenKind::KwTypeof},     {"var", TokenKind::KwVar},
+      {"void", TokenKind::KwVoid},         {"while", TokenKind::KwWhile},
+      {"with", TokenKind::KwWith},         {"yield", TokenKind::KwYield},
+      {"async", TokenKind::KwAsync},       {"await", TokenKind::KwAwait},
+      {"get", TokenKind::KwGet},           {"set", TokenKind::KwSet},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == '\n') {
+      SawNewline = true;
+      advance();
+    } else if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      advance();
+    } else if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+    } else if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\n')
+          SawNewline = true;
+        advance();
+      }
+      if (Pos < Source.size()) {
+        advance();
+        advance();
+      }
+    } else if (C == '#' && peek(1) == '!' && Pos == 0) {
+      // Shebang line at the start of a script file.
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind Kind, SourceLocation Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+bool Lexer::regExpAllowed() const {
+  switch (PrevKind) {
+  case TokenKind::Identifier:
+  case TokenKind::NumericLiteral:
+  case TokenKind::StringLiteral:
+  case TokenKind::RegExpLiteral:
+  case TokenKind::TemplateString:
+  case TokenKind::TemplateTail:
+  case TokenKind::RParen:
+  case TokenKind::RBracket:
+  case TokenKind::RBrace:
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus:
+  case TokenKind::KwThis:
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+  case TokenKind::KwNull:
+  case TokenKind::KwSuper:
+    return false;
+  default:
+    return true;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLocation Loc = here();
+  if (Pos >= Source.size())
+    return finish(make(TokenKind::EndOfFile, Loc));
+
+  char C = peek();
+  if (C == '{' && !TemplateBraceDepth.empty()) {
+    ++TemplateBraceDepth.back();
+    advance();
+    return finish(make(TokenKind::LBrace, Loc));
+  }
+  if (C == '}' && !TemplateBraceDepth.empty()) {
+    if (TemplateBraceDepth.back() == 0) {
+      Token T = lexTemplate(Loc, /*FromBrace=*/true);
+      if (T.Kind == TokenKind::TemplateTail ||
+          T.Kind == TokenKind::TemplateString)
+        TemplateBraceDepth.pop_back();
+      return finish(T);
+    }
+    --TemplateBraceDepth.back();
+    advance();
+    return finish(make(TokenKind::RBrace, Loc));
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return finish(lexIdentifierOrKeyword(Loc));
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return finish(lexNumber(Loc));
+  if (C == '"' || C == '\'') {
+    advance();
+    return finish(lexString(Loc, C));
+  }
+  if (C == '`') {
+    advance();
+    Token T = lexTemplate(Loc, /*FromBrace=*/false);
+    if (T.Kind == TokenKind::TemplateHead)
+      TemplateBraceDepth.push_back(0);
+    return finish(T);
+  }
+  if (C == '/' && regExpAllowed())
+    return finish(lexRegExp(Loc));
+  if (C == '#') {
+    advance();
+    Token T = lexIdentifierOrKeyword(Loc);
+    T.Kind = TokenKind::PrivateName;
+    return finish(T);
+  }
+  return finish(lexPunctuation(Loc));
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  std::string Name;
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+      Name += advance();
+    else
+      break;
+  }
+  auto It = keywordTable().find(Name);
+  Token T = make(It != keywordTable().end() ? It->second
+                                            : TokenKind::Identifier,
+                 Loc);
+  T.Text = std::move(Name);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  std::string Digits;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())) || peek() == '_')
+      if (char C = advance(); C != '_')
+        Digits += C;
+    Token T = make(TokenKind::NumericLiteral, Loc);
+    T.NumberValue =
+        static_cast<double>(std::strtoull(Digits.c_str(), nullptr, 16));
+    T.Text = "0x" + Digits;
+    return T;
+  }
+  if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B' || peek(1) == 'o' ||
+                        peek(1) == 'O')) {
+    advance();
+    char Base = advance();
+    int Radix = (Base == 'b' || Base == 'B') ? 2 : 8;
+    while (std::isalnum(static_cast<unsigned char>(peek())))
+      Digits += advance();
+    Token T = make(TokenKind::NumericLiteral, Loc);
+    T.NumberValue =
+        static_cast<double>(std::strtoull(Digits.c_str(), nullptr, Radix));
+    T.Text = Digits;
+    return T;
+  }
+
+  auto TakeDigits = [&] {
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_')
+      if (char C = advance(); C != '_')
+        Digits += C;
+  };
+  TakeDigits();
+  if (peek() == '.') {
+    Digits += advance();
+    TakeDigits();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    Digits += advance();
+    if (peek() == '+' || peek() == '-')
+      Digits += advance();
+    TakeDigits();
+  }
+  Token T = make(TokenKind::NumericLiteral, Loc);
+  T.NumberValue = std::strtod(Digits.c_str(), nullptr);
+  T.Text = Digits;
+  return T;
+}
+
+Token Lexer::lexString(SourceLocation Loc, char Quote) {
+  std::string Value;
+  while (Pos < Source.size() && peek() != Quote) {
+    char C = advance();
+    if (C == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      break;
+    }
+    if (C != '\\') {
+      Value += C;
+      continue;
+    }
+    if (Pos >= Source.size())
+      break;
+    char E = advance();
+    switch (E) {
+    case 'n': Value += '\n'; break;
+    case 't': Value += '\t'; break;
+    case 'r': Value += '\r'; break;
+    case 'b': Value += '\b'; break;
+    case 'f': Value += '\f'; break;
+    case 'v': Value += '\v'; break;
+    case '0': Value += '\0'; break;
+    case '\n': break; // Line continuation.
+    case 'x': {
+      char Hex[3] = {0, 0, 0};
+      for (int I = 0; I < 2 && Pos < Source.size(); ++I)
+        Hex[I] = advance();
+      Value += static_cast<char>(std::strtoul(Hex, nullptr, 16));
+      break;
+    }
+    case 'u': {
+      // \uXXXX or \u{...}; we decode to a single byte when the code point
+      // fits, otherwise keep a '?' placeholder — exactness of non-ASCII
+      // string contents does not affect the analysis.
+      unsigned Code = 0;
+      if (peek() == '{') {
+        advance();
+        while (Pos < Source.size() && peek() != '}')
+          Code = Code * 16 + (std::isdigit(static_cast<unsigned char>(peek()))
+                                  ? advance() - '0'
+                                  : (advance() | 0x20) - 'a' + 10);
+        if (Pos < Source.size())
+          advance();
+      } else {
+        for (int I = 0; I < 4 && Pos < Source.size(); ++I) {
+          char H = advance();
+          Code = Code * 16 +
+                 (std::isdigit(static_cast<unsigned char>(H))
+                      ? static_cast<unsigned>(H - '0')
+                      : static_cast<unsigned>((H | 0x20) - 'a' + 10));
+        }
+      }
+      Value += Code < 128 ? static_cast<char>(Code) : '?';
+      break;
+    }
+    default:
+      Value += E;
+    }
+  }
+  if (Pos < Source.size())
+    advance(); // Closing quote.
+  else
+    Diags.error(Loc, "unterminated string literal");
+  Token T = make(TokenKind::StringLiteral, Loc);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexTemplate(SourceLocation Loc, bool FromBrace) {
+  if (FromBrace) {
+    assert(peek() == '}' && "template continuation must start at '}'");
+    advance();
+  }
+  std::string Value;
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == '`') {
+      advance();
+      Token T = make(FromBrace ? TokenKind::TemplateTail
+                               : TokenKind::TemplateString,
+                     Loc);
+      T.Text = std::move(Value);
+      return T;
+    }
+    if (C == '$' && peek(1) == '{') {
+      advance();
+      advance();
+      Token T = make(FromBrace ? TokenKind::TemplateMiddle
+                               : TokenKind::TemplateHead,
+                     Loc);
+      T.Text = std::move(Value);
+      return T;
+    }
+    if (C == '\\') {
+      advance();
+      if (Pos < Source.size()) {
+        char E = advance();
+        switch (E) {
+        case 'n': Value += '\n'; break;
+        case 't': Value += '\t'; break;
+        case '`': Value += '`'; break;
+        case '$': Value += '$'; break;
+        case '\\': Value += '\\'; break;
+        default: Value += E;
+        }
+      }
+      continue;
+    }
+    if (C == '\n')
+      SawNewline = true;
+    Value += advance();
+  }
+  Diags.error(Loc, "unterminated template literal");
+  Token T = make(TokenKind::TemplateString, Loc);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexRegExp(SourceLocation Loc) {
+  assert(peek() == '/' && "regexp must start at '/'");
+  std::string Raw;
+  Raw += advance();
+  bool InClass = false;
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == '\n') {
+      Diags.error(Loc, "unterminated regular expression");
+      break;
+    }
+    if (C == '\\') {
+      Raw += advance();
+      if (Pos < Source.size())
+        Raw += advance();
+      continue;
+    }
+    if (C == '[')
+      InClass = true;
+    else if (C == ']')
+      InClass = false;
+    else if (C == '/' && !InClass) {
+      Raw += advance();
+      while (std::isalpha(static_cast<unsigned char>(peek())))
+        Raw += advance(); // Flags.
+      Token T = make(TokenKind::RegExpLiteral, Loc);
+      T.Text = std::move(Raw);
+      return T;
+    }
+    Raw += advance();
+  }
+  Token T = make(TokenKind::RegExpLiteral, Loc);
+  T.Text = std::move(Raw);
+  return T;
+}
+
+Token Lexer::lexPunctuation(SourceLocation Loc) {
+  char C = advance();
+  switch (C) {
+  case '{': return make(TokenKind::LBrace, Loc);
+  case '}': return make(TokenKind::RBrace, Loc);
+  case '(': return make(TokenKind::LParen, Loc);
+  case ')': return make(TokenKind::RParen, Loc);
+  case '[': return make(TokenKind::LBracket, Loc);
+  case ']': return make(TokenKind::RBracket, Loc);
+  case ';': return make(TokenKind::Semicolon, Loc);
+  case ',': return make(TokenKind::Comma, Loc);
+  case ':': return make(TokenKind::Colon, Loc);
+  case '~': return make(TokenKind::Tilde, Loc);
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return make(TokenKind::DotDotDot, Loc);
+    }
+    return make(TokenKind::Dot, Loc);
+  case '?':
+    if (match('.'))
+      return make(TokenKind::QuestionDot, Loc);
+    if (match('?'))
+      return match('=') ? make(TokenKind::QuestionQuestionAssign, Loc)
+                        : make(TokenKind::QuestionQuestion, Loc);
+    return make(TokenKind::Question, Loc);
+  case '+':
+    if (match('+'))
+      return make(TokenKind::PlusPlus, Loc);
+    return match('=') ? make(TokenKind::PlusAssign, Loc)
+                      : make(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return make(TokenKind::MinusMinus, Loc);
+    return match('=') ? make(TokenKind::MinusAssign, Loc)
+                      : make(TokenKind::Minus, Loc);
+  case '*':
+    if (match('*'))
+      return match('=') ? make(TokenKind::StarStarAssign, Loc)
+                        : make(TokenKind::StarStar, Loc);
+    return match('=') ? make(TokenKind::StarAssign, Loc)
+                      : make(TokenKind::Star, Loc);
+  case '/':
+    return match('=') ? make(TokenKind::SlashAssign, Loc)
+                      : make(TokenKind::Slash, Loc);
+  case '%':
+    return match('=') ? make(TokenKind::PercentAssign, Loc)
+                      : make(TokenKind::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return match('=') ? make(TokenKind::AmpAmpAssign, Loc)
+                        : make(TokenKind::AmpAmp, Loc);
+    return match('=') ? make(TokenKind::AmpAssign, Loc)
+                      : make(TokenKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return match('=') ? make(TokenKind::PipePipeAssign, Loc)
+                        : make(TokenKind::PipePipe, Loc);
+    return match('=') ? make(TokenKind::PipeAssign, Loc)
+                      : make(TokenKind::Pipe, Loc);
+  case '^':
+    return match('=') ? make(TokenKind::CaretAssign, Loc)
+                      : make(TokenKind::Caret, Loc);
+  case '!':
+    if (match('='))
+      return match('=') ? make(TokenKind::StrictNotEqual, Loc)
+                        : make(TokenKind::NotEqual, Loc);
+    return make(TokenKind::Bang, Loc);
+  case '=':
+    if (match('='))
+      return match('=') ? make(TokenKind::StrictEqual, Loc)
+                        : make(TokenKind::Equal, Loc);
+    return match('>') ? make(TokenKind::Arrow, Loc)
+                      : make(TokenKind::Assign, Loc);
+  case '<':
+    if (match('<'))
+      return match('=') ? make(TokenKind::LShiftAssign, Loc)
+                        : make(TokenKind::LShift, Loc);
+    return match('=') ? make(TokenKind::LessEqual, Loc)
+                      : make(TokenKind::Less, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('>'))
+        return match('=') ? make(TokenKind::URShiftAssign, Loc)
+                          : make(TokenKind::URShift, Loc);
+      return match('=') ? make(TokenKind::RShiftAssign, Loc)
+                        : make(TokenKind::RShift, Loc);
+    }
+    return match('=') ? make(TokenKind::GreaterEqual, Loc)
+                      : make(TokenKind::Greater, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return make(TokenKind::Invalid, Loc);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().Kind == TokenKind::EndOfFile)
+      return Tokens;
+  }
+}

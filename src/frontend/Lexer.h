@@ -1,0 +1,87 @@
+//===- frontend/Lexer.h - JavaScript lexer -----------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written JavaScript lexer. Replaces the Esprima dependency of the
+/// original Graph.js artifact (see DESIGN.md substitution table).
+///
+/// JavaScript cannot be tokenized context-free: `/` starts either a division
+/// operator or a regular-expression literal depending on what preceded it.
+/// The lexer resolves this with the standard "previous token" heuristic,
+/// which is exact for the grammar subset our parser accepts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_FRONTEND_LEXER_H
+#define GJS_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace gjs {
+
+/// Produces a token stream from a JavaScript source buffer.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token. At end of input, returns EndOfFile forever.
+  ///
+  /// Template literals are handled internally: the lexer tracks a stack of
+  /// brace depths so a `}` that closes a `${...}` substitution is re-lexed
+  /// as a TemplateMiddle/TemplateTail token instead of RBrace. This lets
+  /// the parser consume a flat token stream (and lexAll() stay correct).
+  Token next();
+
+  /// Lexes all tokens eagerly. The parser uses this so it can backtrack
+  /// (needed to disambiguate `(a, b) => e` from a parenthesized expression).
+  std::vector<Token> lexAll();
+
+private:
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  bool SawNewline = false;
+  TokenKind PrevKind = TokenKind::Invalid;
+  DiagnosticEngine &Diags;
+  /// One entry per open template substitution; counts nested plain braces.
+  std::vector<unsigned> TemplateBraceDepth;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  SourceLocation here() const { return SourceLocation(Line, Col); }
+
+  void skipTrivia();
+  Token make(TokenKind Kind, SourceLocation Loc);
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexString(SourceLocation Loc, char Quote);
+  Token lexTemplate(SourceLocation Loc, bool FromBrace);
+  Token lexRegExp(SourceLocation Loc);
+  Token lexPunctuation(SourceLocation Loc);
+
+  /// True if a `/` at the current position starts a regexp literal rather
+  /// than a division, judging by the previous significant token.
+  bool regExpAllowed() const;
+
+  Token finish(Token T) {
+    PrevKind = T.Kind;
+    T.NewlineBefore = SawNewline;
+    SawNewline = false;
+    return T;
+  }
+};
+
+} // namespace gjs
+
+#endif // GJS_FRONTEND_LEXER_H

@@ -1,0 +1,1180 @@
+//===- frontend/Parser.cpp - JavaScript parser ----------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <algorithm>
+
+using namespace gjs;
+using namespace gjs::ast;
+
+Parser::Parser(std::string Source, DiagnosticEngine &Diags) : Diags(Diags) {
+  Lexer L(std::move(Source), Diags);
+  Tokens = L.lexAll();
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  errorHere(std::string("expected ") + tokenKindName(K) + " " + Context +
+            ", found " + tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::errorHere(const std::string &Message) {
+  Diags.error(peek().Loc, Message);
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (accept(TokenKind::Semicolon))
+      return;
+    switch (peek().Kind) {
+    case TokenKind::RBrace:
+    case TokenKind::KwFunction:
+    case TokenKind::KwVar:
+    case TokenKind::KwLet:
+    case TokenKind::KwConst:
+    case TokenKind::KwIf:
+    case TokenKind::KwWhile:
+    case TokenKind::KwFor:
+    case TokenKind::KwReturn:
+      return;
+    default:
+      advance();
+    }
+  }
+}
+
+void Parser::consumeSemicolon() {
+  if (accept(TokenKind::Semicolon))
+    return;
+  if (check(TokenKind::RBrace) || check(TokenKind::EndOfFile))
+    return;
+  if (peek().NewlineBefore)
+    return;
+  errorHere(std::string("expected ';', found ") + tokenKindName(peek().Kind));
+  synchronize();
+}
+
+bool Parser::checkIdentifierLike() const {
+  switch (peek().Kind) {
+  case TokenKind::Identifier:
+  case TokenKind::KwOf:
+  case TokenKind::KwGet:
+  case TokenKind::KwSet:
+  case TokenKind::KwStatic:
+  case TokenKind::KwAsync:
+  case TokenKind::KwAwait:
+  case TokenKind::KwYield:
+  case TokenKind::KwLet:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Parser::expectIdentifierLike(const char *Context) {
+  if (checkIdentifierLike())
+    return advance().Text;
+  errorHere(std::string("expected identifier ") + Context + ", found " +
+            tokenKindName(peek().Kind));
+  return "<error>";
+}
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  std::vector<StmtPtr> Body;
+  while (!check(TokenKind::EndOfFile)) {
+    size_t Before = Cur;
+    StmtPtr S = parseStatement();
+    if (S)
+      Body.push_back(std::move(S));
+    if (Cur == Before) {
+      // No progress: skip the offending token so we always terminate.
+      advance();
+      synchronize();
+    }
+  }
+  return std::make_unique<Program>(std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseStatement() {
+  SourceLocation Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::Semicolon:
+    advance();
+    return std::make_unique<EmptyStatement>(Loc);
+  case TokenKind::KwVar:
+  case TokenKind::KwConst:
+    return parseVariableDeclaration();
+  case TokenKind::KwLet:
+    // `let` is contextual: `let x` declares, bare `let` is an identifier.
+    if (peek(1).is(TokenKind::Identifier) || peek(1).is(TokenKind::LBrace) ||
+        peek(1).is(TokenKind::LBracket))
+      return parseVariableDeclaration();
+    return parseExpressionStatement();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwFunction:
+    return parseFunctionDeclaration();
+  case TokenKind::KwClass:
+    return parseClassDeclaration();
+  case TokenKind::KwThrow:
+    return parseThrow();
+  case TokenKind::KwTry:
+    return parseTry();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwBreak: {
+    advance();
+    std::string Label;
+    if (check(TokenKind::Identifier) && !peek().NewlineBefore)
+      Label = advance().Text;
+    consumeSemicolon();
+    return std::make_unique<BreakStatement>(std::move(Label), Loc);
+  }
+  case TokenKind::KwContinue: {
+    advance();
+    std::string Label;
+    if (check(TokenKind::Identifier) && !peek().NewlineBefore)
+      Label = advance().Text;
+    consumeSemicolon();
+    return std::make_unique<ContinueStatement>(std::move(Label), Loc);
+  }
+  case TokenKind::KwDebugger:
+    advance();
+    consumeSemicolon();
+    return std::make_unique<DebuggerStatement>(Loc);
+  case TokenKind::KwAsync:
+    if (peek(1).is(TokenKind::KwFunction))
+      return parseFunctionDeclaration();
+    return parseExpressionStatement();
+  case TokenKind::Identifier:
+    if (peek(1).is(TokenKind::Colon)) {
+      std::string Label = advance().Text;
+      advance(); // ':'
+      StmtPtr Body = parseStatement();
+      return std::make_unique<LabeledStatement>(std::move(Label),
+                                                std::move(Body), Loc);
+    }
+    return parseExpressionStatement();
+  case TokenKind::KwImport:
+    // `import x = require(...)`-style TS is out of scope; ES import
+    // declarations are tolerated by skipping to the end of statement so a
+    // package with ESM entry points still parses.
+    Diags.warning(Loc, "ES module 'import' declaration skipped");
+    while (!check(TokenKind::EndOfFile) && !check(TokenKind::Semicolon) &&
+           !peek().NewlineBefore)
+      advance();
+    accept(TokenKind::Semicolon);
+    return std::make_unique<EmptyStatement>(Loc);
+  case TokenKind::KwExport: {
+    // `export default <expr>` and `export <decl>` are lowered to the
+    // declared entity; named re-exports are skipped with a warning.
+    advance();
+    if (accept(TokenKind::KwDefault)) {
+      ExprPtr E = parseAssignment();
+      consumeSemicolon();
+      // Treat as `module.exports = <expr>` so the scanner sees the export.
+      auto Target = std::make_unique<MemberExpr>(
+          std::make_unique<Identifier>("module", Loc), "exports", Loc);
+      auto Assign = std::make_unique<AssignmentExpr>(std::move(Target),
+                                                     std::move(E), Loc);
+      return std::make_unique<ExpressionStatement>(std::move(Assign), Loc);
+    }
+    if (check(TokenKind::KwFunction) || check(TokenKind::KwClass) ||
+        check(TokenKind::KwVar) || check(TokenKind::KwLet) ||
+        check(TokenKind::KwConst))
+      return parseStatement();
+    Diags.warning(Loc, "ES module 'export' clause skipped");
+    while (!check(TokenKind::EndOfFile) && !check(TokenKind::Semicolon) &&
+           !peek().NewlineBefore)
+      advance();
+    accept(TokenKind::Semicolon);
+    return std::make_unique<EmptyStatement>(Loc);
+  }
+  default:
+    return parseExpressionStatement();
+  }
+}
+
+StmtPtr Parser::parseBlock() {
+  SourceLocation Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<StmtPtr> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    size_t Before = Cur;
+    StmtPtr S = parseStatement();
+    if (S)
+      Body.push_back(std::move(S));
+    if (Cur == Before)
+      advance();
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStatement>(std::move(Body), Loc);
+}
+
+void Parser::parseBindingTarget(std::string &Name, ExprPtr &Pattern) {
+  if (check(TokenKind::LBrace)) {
+    Pattern = parseObjectLiteral();
+    return;
+  }
+  if (check(TokenKind::LBracket)) {
+    Pattern = parseArrayLiteral();
+    return;
+  }
+  Name = expectIdentifierLike("in binding");
+}
+
+StmtPtr Parser::parseVariableDeclaration() {
+  SourceLocation Loc = peek().Loc;
+  VarDeclKind DK = VarDeclKind::Var;
+  switch (advance().Kind) {
+  case TokenKind::KwVar:
+    DK = VarDeclKind::Var;
+    break;
+  case TokenKind::KwLet:
+    DK = VarDeclKind::Let;
+    break;
+  case TokenKind::KwConst:
+    DK = VarDeclKind::Const;
+    break;
+  default:
+    errorHere("expected var/let/const");
+  }
+  std::vector<VarDeclarator> Decls;
+  do {
+    VarDeclarator D;
+    D.Loc = peek().Loc;
+    parseBindingTarget(D.Name, D.Pattern);
+    if (accept(TokenKind::Assign))
+      D.Init = parseAssignment();
+    Decls.push_back(std::move(D));
+  } while (accept(TokenKind::Comma));
+  consumeSemicolon();
+  return std::make_unique<VariableDeclaration>(DK, std::move(Decls), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLocation Loc = advance().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return std::make_unique<IfStatement>(std::move(Cond), std::move(Then),
+                                       std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLocation Loc = advance().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<WhileStatement>(std::move(Cond), std::move(Body),
+                                          Loc);
+}
+
+StmtPtr Parser::parseDoWhile() {
+  SourceLocation Loc = advance().Loc; // 'do'
+  StmtPtr Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  accept(TokenKind::Semicolon);
+  return std::make_unique<DoWhileStatement>(std::move(Body), std::move(Cond),
+                                            Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLocation Loc = advance().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  bool Declares = check(TokenKind::KwVar) || check(TokenKind::KwLet) ||
+                  check(TokenKind::KwConst);
+
+  // Tentatively parse the head as a binding and check for `in`/`of`;
+  // rewind and parse a classic for head otherwise.
+  size_t Save = Cur;
+  if (Declares)
+    advance();
+  std::string Var;
+  ExprPtr Pattern;
+  if (checkIdentifierLike() || check(TokenKind::LBrace) ||
+      check(TokenKind::LBracket)) {
+    // Suppress diagnostics during this speculative parse: on failure we
+    // rewind and parse a classic for head instead.
+    parseBindingTarget(Var, Pattern);
+    if (check(TokenKind::KwIn) || check(TokenKind::KwOf)) {
+      bool IsIn = advance().Kind == TokenKind::KwIn;
+      ExprPtr Object = parseExpression();
+      expect(TokenKind::RParen, "after for-in/of head");
+      StmtPtr Body = parseStatement();
+      auto S = std::make_unique<ForInOfStatement>(
+          IsIn ? Stmt::Kind::ForIn : Stmt::Kind::ForOf, std::move(Var),
+          Declares, std::move(Object), std::move(Body), Loc);
+      S->Pattern = std::move(Pattern);
+      return S;
+    }
+  }
+  Cur = Save;
+
+  // Classic C-style for loop.
+  StmtPtr Init;
+  if (!check(TokenKind::Semicolon)) {
+    if (Declares) {
+      Init = parseVariableDeclaration(); // Consumes the first ';' via ASI...
+    } else {
+      ExprPtr E = parseExpression();
+      Init = std::make_unique<ExpressionStatement>(std::move(E), Loc);
+      expect(TokenKind::Semicolon, "after for initializer");
+    }
+  } else {
+    advance(); // ';'
+  }
+  ExprPtr Cond;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpression();
+  expect(TokenKind::Semicolon, "after for condition");
+  ExprPtr Update;
+  if (!check(TokenKind::RParen))
+    Update = parseExpression();
+  expect(TokenKind::RParen, "after for clauses");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<ForStatement>(std::move(Init), std::move(Cond),
+                                        std::move(Update), std::move(Body),
+                                        Loc);
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLocation Loc = advance().Loc; // 'return'
+  ExprPtr Arg;
+  if (!check(TokenKind::Semicolon) && !check(TokenKind::RBrace) &&
+      !check(TokenKind::EndOfFile) && !peek().NewlineBefore)
+    Arg = parseExpression();
+  consumeSemicolon();
+  return std::make_unique<ReturnStatement>(std::move(Arg), Loc);
+}
+
+StmtPtr Parser::parseFunctionDeclaration() {
+  SourceLocation Loc = peek().Loc;
+  bool Async = accept(TokenKind::KwAsync);
+  ExprPtr Fn = parseFunctionExpr(/*RequireName=*/true);
+  if (auto *FE = dyn_cast<FunctionExpr>(Fn.get()))
+    FE->IsAsync = Async;
+  return std::make_unique<FunctionDeclaration>(std::move(Fn), Loc);
+}
+
+StmtPtr Parser::parseClassDeclaration() {
+  SourceLocation Loc = peek().Loc;
+  ExprPtr Cls = parseClassExpr();
+  return std::make_unique<ClassDeclaration>(std::move(Cls), Loc);
+}
+
+StmtPtr Parser::parseThrow() {
+  SourceLocation Loc = advance().Loc; // 'throw'
+  ExprPtr Arg = parseExpression();
+  consumeSemicolon();
+  return std::make_unique<ThrowStatement>(std::move(Arg), Loc);
+}
+
+StmtPtr Parser::parseTry() {
+  SourceLocation Loc = advance().Loc; // 'try'
+  StmtPtr Block = parseBlock();
+  std::string CatchParam;
+  StmtPtr Handler;
+  StmtPtr Finalizer;
+  if (accept(TokenKind::KwCatch)) {
+    if (accept(TokenKind::LParen)) {
+      std::string Name;
+      ExprPtr Pattern;
+      parseBindingTarget(Name, Pattern);
+      CatchParam = Name;
+      expect(TokenKind::RParen, "after catch parameter");
+    }
+    Handler = parseBlock();
+  }
+  if (accept(TokenKind::KwFinally))
+    Finalizer = parseBlock();
+  if (!Handler && !Finalizer)
+    errorHere("expected 'catch' or 'finally' after try block");
+  return std::make_unique<TryStatement>(std::move(Block),
+                                        std::move(CatchParam),
+                                        std::move(Handler),
+                                        std::move(Finalizer), Loc);
+}
+
+StmtPtr Parser::parseSwitch() {
+  SourceLocation Loc = advance().Loc; // 'switch'
+  expect(TokenKind::LParen, "after 'switch'");
+  ExprPtr Disc = parseExpression();
+  expect(TokenKind::RParen, "after switch discriminant");
+  expect(TokenKind::LBrace, "to open switch body");
+  std::vector<SwitchCase> Cases;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    SwitchCase C;
+    C.Loc = peek().Loc;
+    if (accept(TokenKind::KwCase)) {
+      C.Test = parseExpression();
+    } else if (!accept(TokenKind::KwDefault)) {
+      errorHere("expected 'case' or 'default' in switch body");
+      synchronize();
+      break;
+    }
+    expect(TokenKind::Colon, "after case label");
+    while (!check(TokenKind::KwCase) && !check(TokenKind::KwDefault) &&
+           !check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+      size_t Before = Cur;
+      StmtPtr S = parseStatement();
+      if (S)
+        C.Body.push_back(std::move(S));
+      if (Cur == Before)
+        advance();
+    }
+    Cases.push_back(std::move(C));
+  }
+  expect(TokenKind::RBrace, "to close switch body");
+  return std::make_unique<SwitchStatement>(std::move(Disc), std::move(Cases),
+                                           Loc);
+}
+
+StmtPtr Parser::parseExpressionStatement() {
+  SourceLocation Loc = peek().Loc;
+  ExprPtr E = parseExpression();
+  consumeSemicolon();
+  return std::make_unique<ExpressionStatement>(std::move(E), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() {
+  SourceLocation Loc = peek().Loc;
+  ExprPtr First = parseAssignment();
+  if (!check(TokenKind::Comma))
+    return First;
+  std::vector<ExprPtr> Parts;
+  Parts.push_back(std::move(First));
+  while (accept(TokenKind::Comma))
+    Parts.push_back(parseAssignment());
+  return std::make_unique<SequenceExpr>(std::move(Parts), Loc);
+}
+
+bool Parser::isArrowAhead() const {
+  assert(peek().is(TokenKind::LParen) && "lookahead must start at '('");
+  int Depth = 0;
+  for (size_t I = Cur; I < Tokens.size(); ++I) {
+    switch (Tokens[I].Kind) {
+    case TokenKind::LParen:
+    case TokenKind::LBracket:
+    case TokenKind::LBrace:
+      ++Depth;
+      break;
+    case TokenKind::RParen:
+    case TokenKind::RBracket:
+    case TokenKind::RBrace:
+      --Depth;
+      if (Depth == 0)
+        return I + 1 < Tokens.size() &&
+               Tokens[I + 1].is(TokenKind::Arrow);
+      break;
+    case TokenKind::EndOfFile:
+      return false;
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+ExprPtr Parser::parseAssignment() {
+  SourceLocation Loc = peek().Loc;
+
+  // Arrow functions: `x => e`, `(a, b) => e`, `async x => e`.
+  bool Async = false;
+  size_t Save = Cur;
+  if (check(TokenKind::KwAsync) && !peek(1).NewlineBefore &&
+      (peek(1).is(TokenKind::Identifier) || peek(1).is(TokenKind::LParen))) {
+    // Tentative: only treat as async arrow when `=>` actually follows.
+    advance();
+    Async = true;
+  }
+  if (checkIdentifierLike() && peek(1).is(TokenKind::Arrow)) {
+    Param P;
+    P.Name = advance().Text;
+    P.Loc = Loc;
+    advance(); // '=>'
+    std::vector<Param> Params;
+    Params.push_back(std::move(P));
+    StmtPtr Body;
+    ExprPtr ExprBody;
+    if (check(TokenKind::LBrace))
+      Body = parseBlock();
+    else
+      ExprBody = parseAssignment();
+    auto A = std::make_unique<ArrowFunctionExpr>(
+        std::move(Params), std::move(Body), std::move(ExprBody), Loc);
+    A->IsAsync = Async;
+    return A;
+  }
+  if (check(TokenKind::LParen) && isArrowAhead()) {
+    std::vector<Param> Params = parseParams();
+    expect(TokenKind::Arrow, "after arrow parameters");
+    StmtPtr Body;
+    ExprPtr ExprBody;
+    if (check(TokenKind::LBrace))
+      Body = parseBlock();
+    else
+      ExprBody = parseAssignment();
+    auto A = std::make_unique<ArrowFunctionExpr>(
+        std::move(Params), std::move(Body), std::move(ExprBody), Loc);
+    A->IsAsync = Async;
+    return A;
+  }
+  if (Async)
+    Cur = Save; // Not an arrow: re-parse `async` as an identifier.
+
+  ExprPtr LHS = parseConditional();
+
+  auto MakeAssign = [&](bool Compound, BinaryOperator BinOp, bool Logical,
+                        LogicalOperator LogOp) -> ExprPtr {
+    advance();
+    ExprPtr RHS = parseAssignment();
+    auto A = std::make_unique<AssignmentExpr>(std::move(LHS), std::move(RHS),
+                                              Loc);
+    A->IsCompound = Compound;
+    A->CompoundOp = BinOp;
+    A->IsLogical = Logical;
+    A->LogicalOp = LogOp;
+    return A;
+  };
+
+  switch (peek().Kind) {
+  case TokenKind::Assign:
+    return MakeAssign(false, BinaryOperator::Add, false, LogicalOperator::And);
+  case TokenKind::PlusAssign:
+    return MakeAssign(true, BinaryOperator::Add, false, LogicalOperator::And);
+  case TokenKind::MinusAssign:
+    return MakeAssign(true, BinaryOperator::Sub, false, LogicalOperator::And);
+  case TokenKind::StarAssign:
+    return MakeAssign(true, BinaryOperator::Mul, false, LogicalOperator::And);
+  case TokenKind::SlashAssign:
+    return MakeAssign(true, BinaryOperator::Div, false, LogicalOperator::And);
+  case TokenKind::PercentAssign:
+    return MakeAssign(true, BinaryOperator::Mod, false, LogicalOperator::And);
+  case TokenKind::StarStarAssign:
+    return MakeAssign(true, BinaryOperator::Pow, false, LogicalOperator::And);
+  case TokenKind::LShiftAssign:
+    return MakeAssign(true, BinaryOperator::LShift, false,
+                      LogicalOperator::And);
+  case TokenKind::RShiftAssign:
+    return MakeAssign(true, BinaryOperator::RShift, false,
+                      LogicalOperator::And);
+  case TokenKind::URShiftAssign:
+    return MakeAssign(true, BinaryOperator::URShift, false,
+                      LogicalOperator::And);
+  case TokenKind::AmpAssign:
+    return MakeAssign(true, BinaryOperator::BitAnd, false,
+                      LogicalOperator::And);
+  case TokenKind::PipeAssign:
+    return MakeAssign(true, BinaryOperator::BitOr, false,
+                      LogicalOperator::And);
+  case TokenKind::CaretAssign:
+    return MakeAssign(true, BinaryOperator::BitXor, false,
+                      LogicalOperator::And);
+  case TokenKind::AmpAmpAssign:
+    return MakeAssign(false, BinaryOperator::Add, true, LogicalOperator::And);
+  case TokenKind::PipePipeAssign:
+    return MakeAssign(false, BinaryOperator::Add, true, LogicalOperator::Or);
+  case TokenKind::QuestionQuestionAssign:
+    return MakeAssign(false, BinaryOperator::Add, true,
+                      LogicalOperator::NullishCoalesce);
+  default:
+    return LHS;
+  }
+}
+
+ExprPtr Parser::parseConditional() {
+  SourceLocation Loc = peek().Loc;
+  ExprPtr Cond = parseBinary(0);
+  if (!accept(TokenKind::Question))
+    return Cond;
+  ExprPtr Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  ExprPtr Else = parseAssignment();
+  return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(Then),
+                                           std::move(Else), Loc);
+}
+
+namespace {
+struct BinOpInfo {
+  int Prec; // Higher binds tighter; -1 means "not a binary operator".
+  bool Logical;
+  BinaryOperator BinOp;
+  LogicalOperator LogOp;
+};
+} // namespace
+
+static BinOpInfo binOpInfo(TokenKind K) {
+  switch (K) {
+  case TokenKind::QuestionQuestion:
+    return {1, true, BinaryOperator::Add, LogicalOperator::NullishCoalesce};
+  case TokenKind::PipePipe:
+    return {1, true, BinaryOperator::Add, LogicalOperator::Or};
+  case TokenKind::AmpAmp:
+    return {2, true, BinaryOperator::Add, LogicalOperator::And};
+  case TokenKind::Pipe:
+    return {3, false, BinaryOperator::BitOr, LogicalOperator::And};
+  case TokenKind::Caret:
+    return {4, false, BinaryOperator::BitXor, LogicalOperator::And};
+  case TokenKind::Amp:
+    return {5, false, BinaryOperator::BitAnd, LogicalOperator::And};
+  case TokenKind::Equal:
+    return {6, false, BinaryOperator::Equal, LogicalOperator::And};
+  case TokenKind::NotEqual:
+    return {6, false, BinaryOperator::NotEqual, LogicalOperator::And};
+  case TokenKind::StrictEqual:
+    return {6, false, BinaryOperator::StrictEqual, LogicalOperator::And};
+  case TokenKind::StrictNotEqual:
+    return {6, false, BinaryOperator::StrictNotEqual, LogicalOperator::And};
+  case TokenKind::Less:
+    return {7, false, BinaryOperator::Less, LogicalOperator::And};
+  case TokenKind::Greater:
+    return {7, false, BinaryOperator::Greater, LogicalOperator::And};
+  case TokenKind::LessEqual:
+    return {7, false, BinaryOperator::LessEqual, LogicalOperator::And};
+  case TokenKind::GreaterEqual:
+    return {7, false, BinaryOperator::GreaterEqual, LogicalOperator::And};
+  case TokenKind::KwIn:
+    return {7, false, BinaryOperator::In, LogicalOperator::And};
+  case TokenKind::KwInstanceof:
+    return {7, false, BinaryOperator::InstanceOf, LogicalOperator::And};
+  case TokenKind::LShift:
+    return {8, false, BinaryOperator::LShift, LogicalOperator::And};
+  case TokenKind::RShift:
+    return {8, false, BinaryOperator::RShift, LogicalOperator::And};
+  case TokenKind::URShift:
+    return {8, false, BinaryOperator::URShift, LogicalOperator::And};
+  case TokenKind::Plus:
+    return {9, false, BinaryOperator::Add, LogicalOperator::And};
+  case TokenKind::Minus:
+    return {9, false, BinaryOperator::Sub, LogicalOperator::And};
+  case TokenKind::Star:
+    return {10, false, BinaryOperator::Mul, LogicalOperator::And};
+  case TokenKind::Slash:
+    return {10, false, BinaryOperator::Div, LogicalOperator::And};
+  case TokenKind::Percent:
+    return {10, false, BinaryOperator::Mod, LogicalOperator::And};
+  case TokenKind::StarStar:
+    return {11, false, BinaryOperator::Pow, LogicalOperator::And};
+  default:
+    return {-1, false, BinaryOperator::Add, LogicalOperator::And};
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr LHS = parseUnary();
+  while (true) {
+    BinOpInfo Info = binOpInfo(peek().Kind);
+    if (Info.Prec < 0 || Info.Prec < MinPrec)
+      return LHS;
+    SourceLocation Loc = advance().Loc;
+    // `**` is right-associative; everything else is left-associative.
+    int NextMin = Info.BinOp == BinaryOperator::Pow && !Info.Logical
+                      ? Info.Prec
+                      : Info.Prec + 1;
+    ExprPtr RHS = parseBinary(NextMin);
+    if (Info.Logical)
+      LHS = std::make_unique<LogicalExpr>(Info.LogOp, std::move(LHS),
+                                          std::move(RHS), Loc);
+    else
+      LHS = std::make_unique<BinaryExpr>(Info.BinOp, std::move(LHS),
+                                         std::move(RHS), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLocation Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::Minus:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::Minus, parseUnary(),
+                                       Loc);
+  case TokenKind::Plus:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::Plus, parseUnary(), Loc);
+  case TokenKind::Bang:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::Not, parseUnary(), Loc);
+  case TokenKind::Tilde:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::BitNot, parseUnary(),
+                                       Loc);
+  case TokenKind::KwTypeof:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::TypeOf, parseUnary(),
+                                       Loc);
+  case TokenKind::KwVoid:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::Void, parseUnary(), Loc);
+  case TokenKind::KwDelete:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOperator::Delete, parseUnary(),
+                                       Loc);
+  case TokenKind::PlusPlus:
+    advance();
+    return std::make_unique<UpdateExpr>(true, true, parseUnary(), Loc);
+  case TokenKind::MinusMinus:
+    advance();
+    return std::make_unique<UpdateExpr>(false, true, parseUnary(), Loc);
+  case TokenKind::KwAwait:
+    // `await` outside async functions is an identifier; approximate by
+    // treating it as the operator whenever an operand follows.
+    if (!peek(1).is(TokenKind::EndOfFile) &&
+        !peek(1).is(TokenKind::Semicolon) && !peek(1).is(TokenKind::RParen) &&
+        !peek(1).is(TokenKind::Comma) && !peek(1).is(TokenKind::Arrow)) {
+      advance();
+      return std::make_unique<AwaitExpr>(parseUnary(), Loc);
+    }
+    return parsePostfix();
+  case TokenKind::KwYield: {
+    advance();
+    bool Delegate = accept(TokenKind::Star);
+    ExprPtr Arg;
+    if (!check(TokenKind::Semicolon) && !check(TokenKind::RParen) &&
+        !check(TokenKind::RBrace) && !check(TokenKind::Comma) &&
+        !check(TokenKind::RBracket) && !peek().NewlineBefore)
+      Arg = parseAssignment();
+    return std::make_unique<YieldExpr>(std::move(Arg), Delegate, Loc);
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  SourceLocation Loc = peek().Loc;
+  ExprPtr E = parseCallOrMember(/*AllowCall=*/true);
+  if ((check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) &&
+      !peek().NewlineBefore) {
+    bool Inc = advance().Kind == TokenKind::PlusPlus;
+    return std::make_unique<UpdateExpr>(Inc, false, std::move(E), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseNew() {
+  SourceLocation Loc = advance().Loc; // 'new'
+  if (check(TokenKind::Dot)) {
+    // `new.target` — model as an identifier.
+    advance();
+    expectIdentifierLike("after 'new.'");
+    return std::make_unique<Identifier>("new.target", Loc);
+  }
+  ExprPtr Callee = check(TokenKind::KwNew)
+                       ? parseNew()
+                       : parseCallOrMember(/*AllowCall=*/false);
+  std::vector<ExprPtr> Args;
+  if (check(TokenKind::LParen))
+    Args = parseArguments();
+  return std::make_unique<NewExpr>(std::move(Callee), std::move(Args), Loc);
+}
+
+ExprPtr Parser::parseCallOrMember(bool AllowCall) {
+  ExprPtr E =
+      check(TokenKind::KwNew) ? parseNew() : parsePrimary();
+  while (true) {
+    SourceLocation Loc = peek().Loc;
+    if (accept(TokenKind::Dot)) {
+      std::string Name = peek().isKeyword() || checkIdentifierLike()
+                             ? advance().Text
+                             : expectIdentifierLike("after '.'");
+      E = std::make_unique<MemberExpr>(std::move(E), std::move(Name), Loc);
+    } else if (accept(TokenKind::QuestionDot)) {
+      if (check(TokenKind::LParen)) {
+        if (!AllowCall)
+          return E;
+        std::vector<ExprPtr> Args = parseArguments();
+        auto C = std::make_unique<CallExpr>(std::move(E), std::move(Args),
+                                            Loc);
+        C->Optional = true;
+        E = std::move(C);
+      } else if (accept(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpression();
+        expect(TokenKind::RBracket, "after computed member index");
+        auto M = std::make_unique<MemberExpr>(std::move(E), std::move(Index),
+                                              Loc);
+        M->Optional = true;
+        E = std::move(M);
+      } else {
+        std::string Name = peek().isKeyword() || checkIdentifierLike()
+                               ? advance().Text
+                               : expectIdentifierLike("after '?.'");
+        auto M = std::make_unique<MemberExpr>(std::move(E), std::move(Name),
+                                              Loc);
+        M->Optional = true;
+        E = std::move(M);
+      }
+    } else if (check(TokenKind::LBracket)) {
+      advance();
+      ExprPtr Index = parseExpression();
+      expect(TokenKind::RBracket, "after computed member index");
+      E = std::make_unique<MemberExpr>(std::move(E), std::move(Index), Loc);
+    } else if (check(TokenKind::LParen) && AllowCall) {
+      std::vector<ExprPtr> Args = parseArguments();
+      E = std::make_unique<CallExpr>(std::move(E), std::move(Args), Loc);
+    } else if (check(TokenKind::TemplateString) ||
+               check(TokenKind::TemplateHead)) {
+      ExprPtr Quasi = parseTemplate();
+      E = std::make_unique<TaggedTemplateExpr>(std::move(E), std::move(Quasi),
+                                               Loc);
+    } else {
+      return E;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parseArguments() {
+  expect(TokenKind::LParen, "to open argument list");
+  std::vector<ExprPtr> Args;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (check(TokenKind::RParen))
+        break; // Trailing comma.
+      SourceLocation Loc = peek().Loc;
+      if (accept(TokenKind::DotDotDot))
+        Args.push_back(
+            std::make_unique<SpreadElement>(parseAssignment(), Loc));
+      else
+        Args.push_back(parseAssignment());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+std::vector<Param> Parser::parseParams() {
+  expect(TokenKind::LParen, "to open parameter list");
+  std::vector<Param> Params;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (check(TokenKind::RParen))
+        break; // Trailing comma.
+      Param P;
+      P.Loc = peek().Loc;
+      P.Rest = accept(TokenKind::DotDotDot);
+      ExprPtr Pattern;
+      parseBindingTarget(P.Name, Pattern);
+      if (Pattern) {
+        // Desugared later by the normalizer; give the pattern a synthetic
+        // parameter name and remember the shape via Default slot reuse.
+        P.Name = "";
+        P.Default = std::move(Pattern);
+        if (accept(TokenKind::Assign))
+          parseAssignment(); // Discard pattern-level default.
+        Params.push_back(std::move(P));
+        continue;
+      }
+      if (accept(TokenKind::Assign))
+        P.Default = parseAssignment();
+      Params.push_back(std::move(P));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  return Params;
+}
+
+ExprPtr Parser::parseFunctionExpr(bool RequireName) {
+  SourceLocation Loc = peek().Loc;
+  bool Async = accept(TokenKind::KwAsync);
+  expect(TokenKind::KwFunction, "to start function");
+  bool Generator = accept(TokenKind::Star);
+  std::string Name;
+  if (checkIdentifierLike())
+    Name = advance().Text;
+  else if (RequireName)
+    errorHere("expected function name");
+  std::vector<Param> Params = parseParams();
+  StmtPtr Body = parseBlock();
+  auto F = std::make_unique<FunctionExpr>(std::move(Name), std::move(Params),
+                                          std::move(Body), Loc);
+  F->IsAsync = Async;
+  F->IsGenerator = Generator;
+  return F;
+}
+
+ExprPtr Parser::parseClassExpr() {
+  SourceLocation Loc = peek().Loc;
+  expect(TokenKind::KwClass, "to start class");
+  std::string Name;
+  if (checkIdentifierLike())
+    Name = advance().Text;
+  ExprPtr Super;
+  if (accept(TokenKind::KwExtends))
+    Super = parseCallOrMember(/*AllowCall=*/true);
+  expect(TokenKind::LBrace, "to open class body");
+  std::vector<ClassMember> Members;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (accept(TokenKind::Semicolon))
+      continue;
+    ClassMember M;
+    M.Loc = peek().Loc;
+    M.IsStatic = check(TokenKind::KwStatic) &&
+                 !peek(1).is(TokenKind::Assign) &&
+                 !peek(1).is(TokenKind::LParen);
+    if (M.IsStatic)
+      advance();
+    // Skip getter/setter markers; we model accessors as plain methods.
+    if ((check(TokenKind::KwGet) || check(TokenKind::KwSet)) &&
+        !peek(1).is(TokenKind::LParen) && !peek(1).is(TokenKind::Assign))
+      advance();
+    accept(TokenKind::KwAsync);
+    accept(TokenKind::Star);
+    if (check(TokenKind::PrivateName) || checkIdentifierLike() ||
+        peek().isKeyword() || check(TokenKind::StringLiteral)) {
+      M.Name = advance().Text;
+    } else if (check(TokenKind::LBracket)) {
+      advance();
+      parseAssignment(); // Computed member name: shape only.
+      expect(TokenKind::RBracket, "after computed member name");
+      M.Name = "<computed>";
+    } else {
+      errorHere("expected class member name");
+      synchronize();
+      break;
+    }
+    M.IsConstructor = M.Name == "constructor";
+    if (check(TokenKind::LParen)) {
+      std::vector<Param> Params = parseParams();
+      StmtPtr Body = parseBlock();
+      M.Value = std::make_unique<FunctionExpr>(M.Name, std::move(Params),
+                                               std::move(Body), M.Loc);
+    } else if (accept(TokenKind::Assign)) {
+      M.Value = parseAssignment();
+      consumeSemicolon();
+    } else {
+      consumeSemicolon(); // Bare field declaration.
+    }
+    Members.push_back(std::move(M));
+  }
+  expect(TokenKind::RBrace, "to close class body");
+  return std::make_unique<ClassExpr>(std::move(Name), std::move(Super),
+                                     std::move(Members), Loc);
+}
+
+ExprPtr Parser::parseTemplate() {
+  SourceLocation Loc = peek().Loc;
+  std::vector<std::string> Quasis;
+  std::vector<ExprPtr> Substitutions;
+  if (check(TokenKind::TemplateString)) {
+    Quasis.push_back(advance().Text);
+    return std::make_unique<TemplateLiteral>(std::move(Quasis),
+                                             std::move(Substitutions), Loc);
+  }
+  Quasis.push_back(advance().Text); // TemplateHead
+  while (true) {
+    Substitutions.push_back(parseExpression());
+    if (check(TokenKind::TemplateMiddle)) {
+      Quasis.push_back(advance().Text);
+      continue;
+    }
+    if (check(TokenKind::TemplateTail)) {
+      Quasis.push_back(advance().Text);
+      break;
+    }
+    errorHere("unterminated template literal substitution");
+    Quasis.push_back("");
+    break;
+  }
+  return std::make_unique<TemplateLiteral>(std::move(Quasis),
+                                           std::move(Substitutions), Loc);
+}
+
+ExprPtr Parser::parseObjectLiteral() {
+  SourceLocation Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open object literal");
+  std::vector<ObjectProperty> Properties;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    ObjectProperty P;
+    P.Loc = peek().Loc;
+    if (accept(TokenKind::DotDotDot)) {
+      P.Value = std::make_unique<SpreadElement>(parseAssignment(), P.Loc);
+      Properties.push_back(std::move(P));
+      if (!accept(TokenKind::Comma))
+        break;
+      continue;
+    }
+    bool IsGetSet = false;
+    if ((check(TokenKind::KwGet) || check(TokenKind::KwSet)) &&
+        !peek(1).is(TokenKind::Colon) && !peek(1).is(TokenKind::Comma) &&
+        !peek(1).is(TokenKind::RBrace) && !peek(1).is(TokenKind::LParen)) {
+      advance();
+      IsGetSet = true;
+    }
+    accept(TokenKind::KwAsync);
+    accept(TokenKind::Star);
+    if (check(TokenKind::LBracket)) {
+      advance();
+      P.KeyExpr = parseAssignment();
+      expect(TokenKind::RBracket, "after computed property key");
+      P.Computed = true;
+    } else if (checkIdentifierLike() || peek().isKeyword()) {
+      P.Name = advance().Text;
+    } else if (check(TokenKind::StringLiteral)) {
+      P.Name = advance().Text;
+    } else if (check(TokenKind::NumericLiteral)) {
+      Token T = advance();
+      P.Name = T.Text;
+    } else {
+      errorHere("expected property name in object literal");
+      synchronize();
+      break;
+    }
+    if (check(TokenKind::LParen)) {
+      // Method shorthand.
+      std::vector<Param> Params = parseParams();
+      StmtPtr Body = parseBlock();
+      P.Value = std::make_unique<FunctionExpr>(P.Name, std::move(Params),
+                                               std::move(Body), P.Loc);
+    } else if (accept(TokenKind::Colon)) {
+      P.Value = parseAssignment();
+    } else if (accept(TokenKind::Assign)) {
+      // Pattern default inside destructuring, e.g. `{a = 1} = o`.
+      P.Value = parseAssignment();
+    } else {
+      // Shorthand `{name}`.
+      P.Value = std::make_unique<Identifier>(P.Name, P.Loc);
+    }
+    (void)IsGetSet;
+    Properties.push_back(std::move(P));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RBrace, "to close object literal");
+  return std::make_unique<ObjectLiteral>(std::move(Properties), Loc);
+}
+
+ExprPtr Parser::parseArrayLiteral() {
+  SourceLocation Loc = peek().Loc;
+  expect(TokenKind::LBracket, "to open array literal");
+  std::vector<ExprPtr> Elements;
+  while (!check(TokenKind::RBracket) && !check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::Comma)) {
+      advance();
+      Elements.push_back(nullptr); // Hole.
+      continue;
+    }
+    SourceLocation ELoc = peek().Loc;
+    if (accept(TokenKind::DotDotDot))
+      Elements.push_back(
+          std::make_unique<SpreadElement>(parseAssignment(), ELoc));
+    else
+      Elements.push_back(parseAssignment());
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RBracket, "to close array literal");
+  return std::make_unique<ArrayLiteral>(std::move(Elements), Loc);
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLocation Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::NumericLiteral: {
+    Token T = advance();
+    return std::make_unique<NumberLiteral>(T.NumberValue, Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Token T = advance();
+    return std::make_unique<StringLiteral>(T.Text, Loc);
+  }
+  case TokenKind::RegExpLiteral: {
+    Token T = advance();
+    return std::make_unique<RegExpLiteral>(T.Text, Loc);
+  }
+  case TokenKind::TemplateString:
+  case TokenKind::TemplateHead:
+    return parseTemplate();
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BooleanLiteral>(true, Loc);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BooleanLiteral>(false, Loc);
+  case TokenKind::KwNull:
+    advance();
+    return std::make_unique<NullLiteral>(Loc);
+  case TokenKind::KwThis:
+    advance();
+    return std::make_unique<ThisExpr>(Loc);
+  case TokenKind::KwSuper:
+    advance();
+    return std::make_unique<Identifier>("super", Loc);
+  case TokenKind::Identifier: {
+    Token T = advance();
+    if (T.Text == "undefined")
+      return std::make_unique<UndefinedLiteral>(Loc);
+    return std::make_unique<Identifier>(T.Text, Loc);
+  }
+  case TokenKind::KwOf:
+  case TokenKind::KwGet:
+  case TokenKind::KwSet:
+  case TokenKind::KwStatic:
+  case TokenKind::KwAsync:
+  case TokenKind::KwAwait:
+  case TokenKind::KwYield:
+  case TokenKind::KwLet:
+    return std::make_unique<Identifier>(advance().Text, Loc);
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr E = parseExpression();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::LBracket:
+    return parseArrayLiteral();
+  case TokenKind::LBrace:
+    return parseObjectLiteral();
+  case TokenKind::KwFunction:
+    return parseFunctionExpr(/*RequireName=*/false);
+  case TokenKind::KwClass:
+    return parseClassExpr();
+  case TokenKind::KwNew:
+    return parseNew();
+  default:
+    errorHere(std::string("unexpected token ") + tokenKindName(peek().Kind) +
+              " in expression");
+    advance();
+    return std::make_unique<UndefinedLiteral>(Loc);
+  }
+}
+
+std::unique_ptr<Program> gjs::parseJS(const std::string &Source,
+                                      DiagnosticEngine &Diags) {
+  Parser P(Source, Diags);
+  return P.parseProgram();
+}

@@ -1,0 +1,134 @@
+//===- frontend/Parser.h - JavaScript parser ---------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent JavaScript parser producing the AST of frontend/AST.h.
+/// Covers the language subset npm package code uses (see DESIGN.md):
+/// functions/closures/arrows, classes (methods), object and array literals,
+/// static and computed member access, all expression operators, template
+/// literals, destructuring in declarations and parameters, the full
+/// statement set including try/catch and switch, and automatic semicolon
+/// insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_FRONTEND_PARSER_H
+#define GJS_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gjs {
+
+/// Parses one JavaScript source buffer into an ast::Program.
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. Always returns a Program (possibly partial);
+  /// check the diagnostic engine for errors.
+  std::unique_ptr<ast::Program> parseProgram();
+
+private:
+  std::vector<Token> Tokens;
+  size_t Cur = 0;
+  DiagnosticEngine &Diags;
+
+  //===--------------------------------------------------------------------===//
+  // Token-stream helpers
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cur + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Cur];
+    if (Cur + 1 < Tokens.size())
+      ++Cur;
+    return T;
+  }
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool accept(TokenKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokenKind K, const char *Context);
+  void errorHere(const std::string &Message);
+  /// Skips tokens until a likely statement boundary (error recovery).
+  void synchronize();
+  /// ASI: consumes `;` or accepts a virtual semicolon before `}`/EOF/newline.
+  void consumeSemicolon();
+  /// True when an identifier-like token (incl. contextual keywords) is next.
+  bool checkIdentifierLike() const;
+  /// Takes an identifier-like token's spelling.
+  std::string expectIdentifierLike(const char *Context);
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  ast::StmtPtr parseStatement();
+  ast::StmtPtr parseBlock();
+  ast::StmtPtr parseVariableDeclaration();
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseWhile();
+  ast::StmtPtr parseDoWhile();
+  ast::StmtPtr parseFor();
+  ast::StmtPtr parseReturn();
+  ast::StmtPtr parseFunctionDeclaration();
+  ast::StmtPtr parseClassDeclaration();
+  ast::StmtPtr parseThrow();
+  ast::StmtPtr parseTry();
+  ast::StmtPtr parseSwitch();
+  ast::StmtPtr parseExpressionStatement();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  ast::ExprPtr parseExpression();           // Comma operator level.
+  ast::ExprPtr parseAssignment();           // =, +=, ... and arrows.
+  ast::ExprPtr parseConditional();          // ?:
+  ast::ExprPtr parseBinary(int MinPrec);    // All binary/logical operators.
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix();
+  ast::ExprPtr parseCallOrMember(bool AllowCall);
+  ast::ExprPtr parseNew();
+  ast::ExprPtr parsePrimary();
+  ast::ExprPtr parseObjectLiteral();
+  ast::ExprPtr parseArrayLiteral();
+  ast::ExprPtr parseFunctionExpr(bool RequireName);
+  ast::ExprPtr parseClassExpr();
+  ast::ExprPtr parseTemplate();
+  std::vector<ast::ExprPtr> parseArguments();
+  std::vector<ast::Param> parseParams();
+
+  /// Parses a binding target in a declaration/parameter position: either a
+  /// plain name (into \p Name) or a destructuring pattern (into \p Pattern).
+  void parseBindingTarget(std::string &Name, ast::ExprPtr &Pattern);
+
+  /// True if the token stream starting at `(` can only be an arrow-function
+  /// parameter list (decided by scanning to the matching `)` and checking
+  /// for `=>`).
+  bool isArrowAhead() const;
+};
+
+/// Convenience: parses \p Source, returning null and filling \p Diags on
+/// error-free parses too (diagnostics may contain warnings).
+std::unique_ptr<ast::Program> parseJS(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace gjs
+
+#endif // GJS_FRONTEND_PARSER_H

@@ -1,0 +1,91 @@
+//===- frontend/Token.h - JavaScript tokens ----------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the JavaScript lexer. The set covers the ES5 grammar plus
+/// the ES2015+ features npm package code commonly uses (arrow functions,
+/// template literals, let/const, spread, optional chaining, nullish
+/// coalescing, exponentiation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_FRONTEND_TOKEN_H
+#define GJS_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace gjs {
+
+enum class TokenKind {
+  // Sentinels.
+  EndOfFile,
+  Invalid,
+
+  // Literals and names.
+  Identifier,
+  PrivateName,     // #field (lexed, rejected by the parser politely)
+  NumericLiteral,  // value in Token::NumberValue
+  StringLiteral,   // cooked value in Token::Text
+  RegExpLiteral,   // raw pattern+flags in Token::Text
+  TemplateString,  // a full `...` template with no substitutions
+  TemplateHead,    // `...${
+  TemplateMiddle,  // }...${
+  TemplateTail,    // }...`
+
+  // Keywords.
+  KwBreak, KwCase, KwCatch, KwClass, KwConst, KwContinue, KwDebugger,
+  KwDefault, KwDelete, KwDo, KwElse, KwExport, KwExtends, KwFalse,
+  KwFinally, KwFor, KwFunction, KwIf, KwImport, KwIn, KwInstanceof,
+  KwLet, KwNew, KwNull, KwOf, KwReturn, KwStatic, KwSuper, KwSwitch,
+  KwThis, KwThrow, KwTrue, KwTry, KwTypeof, KwVar, KwVoid, KwWhile,
+  KwWith, KwYield, KwAsync, KwAwait, KwGet, KwSet,
+
+  // Punctuation.
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Semicolon, Comma, Dot, DotDotDot, Arrow, Question, QuestionDot,
+  QuestionQuestion, Colon,
+
+  // Operators.
+  Assign,            // =
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  StarStarAssign, LShiftAssign, RShiftAssign, URShiftAssign,
+  AmpAssign, PipeAssign, CaretAssign, AmpAmpAssign, PipePipeAssign,
+  QuestionQuestionAssign,
+
+  Plus, Minus, Star, Slash, Percent, StarStar,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, LShift, RShift, URShift,
+  AmpAmp, PipePipe, Bang,
+  Equal, NotEqual, StrictEqual, StrictNotEqual,
+  Less, Greater, LessEqual, GreaterEqual,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLocation Loc;
+  /// Identifier spelling, cooked string value, raw regexp, or template chunk.
+  std::string Text;
+  /// Value for NumericLiteral tokens.
+  double NumberValue = 0;
+  /// True if a line terminator appeared between the previous token and this
+  /// one; drives automatic semicolon insertion.
+  bool NewlineBefore = false;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isKeyword() const {
+    return Kind >= TokenKind::KwBreak && Kind <= TokenKind::KwSet;
+  }
+};
+
+} // namespace gjs
+
+#endif // GJS_FRONTEND_TOKEN_H

@@ -1,0 +1,61 @@
+//===- graphdb/MDGImport.cpp - MDG to property-graph import ----------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graphdb/MDGImport.h"
+
+using namespace gjs;
+using namespace gjs::graphdb;
+using namespace gjs::mdg;
+
+ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props) {
+  ImportedMDG Out;
+  Out.NodeOf.reserve(MDG.numNodes());
+
+  for (NodeId N : MDG.nodeIds()) {
+    const Node &Src = MDG.node(N);
+    std::map<std::string, std::string> P;
+    P["label"] = Src.Label;
+    P["site"] = std::to_string(Src.Site);
+    P["line"] = std::to_string(Src.Loc.Line);
+    if (Src.Kind == NodeKind::Call) {
+      P["name"] = Src.CallName;
+      P["path"] = Src.CallPath;
+      Out.NodeOf.push_back(Out.Graph.addNode("Call", std::move(P)));
+    } else {
+      P["taint"] = Src.IsTaintSource ? "true" : "false";
+      Out.NodeOf.push_back(Out.Graph.addNode("Object", std::move(P)));
+    }
+  }
+
+  for (NodeId N : MDG.nodeIds()) {
+    for (const Edge &E : MDG.out(N)) {
+      std::map<std::string, std::string> P;
+      const char *Type = "D";
+      switch (E.Kind) {
+      case EdgeKind::Dep:
+        Type = "D";
+        break;
+      case EdgeKind::Prop:
+        Type = "P";
+        P["name"] = Props.str(E.Prop);
+        break;
+      case EdgeKind::PropUnknown:
+        Type = "PU";
+        break;
+      case EdgeKind::Version:
+        Type = "V";
+        P["name"] = Props.str(E.Prop);
+        break;
+      case EdgeKind::VersionUnknown:
+        Type = "VU";
+        break;
+      }
+      Out.Graph.addRel(Out.NodeOf[E.From], Out.NodeOf[E.To], Type,
+                       std::move(P));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- graphdb/PropertyGraph.cpp - Labeled property graph ------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graphdb/PropertyGraph.h"
+
+#include <cassert>
+
+using namespace gjs;
+using namespace gjs::graphdb;
+
+NodeHandle PropertyGraph::addNode(std::string Label,
+                                  std::map<std::string, std::string> Props) {
+  NodeHandle H = static_cast<NodeHandle>(Nodes.size());
+  Nodes.push_back({std::move(Label), std::move(Props)});
+  Out.emplace_back();
+  In.emplace_back();
+  return H;
+}
+
+RelHandle PropertyGraph::addRel(NodeHandle From, NodeHandle To,
+                                std::string Type,
+                                std::map<std::string, std::string> Props) {
+  assert(From < Nodes.size() && To < Nodes.size() && "bad endpoints");
+  RelHandle H = static_cast<RelHandle>(Rels.size());
+  Rels.push_back({From, To, std::move(Type), std::move(Props)});
+  Out[From].push_back(H);
+  In[To].push_back(H);
+  return H;
+}
+
+std::vector<NodeHandle>
+PropertyGraph::nodesByLabel(const std::string &Label) const {
+  std::vector<NodeHandle> Result;
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (Label.empty() || Nodes[I].Label == Label)
+      Result.push_back(static_cast<NodeHandle>(I));
+  return Result;
+}
+
+const std::string &PropertyGraph::prop(NodeHandle H,
+                                       const std::string &Key) const {
+  static const std::string Empty;
+  const auto &P = Nodes[H].Props;
+  auto It = P.find(Key);
+  return It == P.end() ? Empty : It->second;
+}
+
+const std::string &PropertyGraph::relProp(RelHandle H,
+                                          const std::string &Key) const {
+  static const std::string Empty;
+  const auto &P = Rels[H].Props;
+  auto It = P.find(Key);
+  return It == P.end() ? Empty : It->second;
+}

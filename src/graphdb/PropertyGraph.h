@@ -1,0 +1,82 @@
+//===- graphdb/PropertyGraph.h - Labeled property graph ----------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory labeled property graph — the storage model of the graph
+/// database that stands in for Neo4j (§4: "Graph.js ... stores [the MDG]
+/// in a Neo4j graph database" and queries it with Cypher).
+///
+/// Nodes carry one label (e.g. "Object", "Call") and string properties;
+/// relationships carry a type (e.g. "D", "P", "V") and string properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_GRAPHDB_PROPERTYGRAPH_H
+#define GJS_GRAPHDB_PROPERTYGRAPH_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace graphdb {
+
+using NodeHandle = uint32_t;
+using RelHandle = uint32_t;
+constexpr NodeHandle InvalidHandle = static_cast<NodeHandle>(-1);
+
+/// One stored node.
+struct StoredNode {
+  std::string Label;
+  std::map<std::string, std::string> Props;
+};
+
+/// One stored relationship (directed).
+struct StoredRel {
+  NodeHandle From = InvalidHandle;
+  NodeHandle To = InvalidHandle;
+  std::string Type;
+  std::map<std::string, std::string> Props;
+};
+
+/// The graph store. Append-only, like the analysis pipeline needs.
+class PropertyGraph {
+public:
+  NodeHandle addNode(std::string Label,
+                     std::map<std::string, std::string> Props = {});
+  RelHandle addRel(NodeHandle From, NodeHandle To, std::string Type,
+                   std::map<std::string, std::string> Props = {});
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numRels() const { return Rels.size(); }
+
+  const StoredNode &node(NodeHandle H) const { return Nodes[H]; }
+  StoredNode &node(NodeHandle H) { return Nodes[H]; }
+  const StoredRel &rel(RelHandle H) const { return Rels[H]; }
+
+  /// Outgoing / incoming relationship handles of a node.
+  const std::vector<RelHandle> &out(NodeHandle H) const { return Out[H]; }
+  const std::vector<RelHandle> &in(NodeHandle H) const { return In[H]; }
+
+  /// All node handles with the given label ("" = all nodes).
+  std::vector<NodeHandle> nodesByLabel(const std::string &Label) const;
+
+  /// Property access with "" default.
+  const std::string &prop(NodeHandle H, const std::string &Key) const;
+  const std::string &relProp(RelHandle H, const std::string &Key) const;
+
+private:
+  std::vector<StoredNode> Nodes;
+  std::vector<StoredRel> Rels;
+  std::vector<std::vector<RelHandle>> Out;
+  std::vector<std::vector<RelHandle>> In;
+};
+
+} // namespace graphdb
+} // namespace gjs
+
+#endif // GJS_GRAPHDB_PROPERTYGRAPH_H

@@ -1,0 +1,279 @@
+//===- graphdb/QueryEngine.cpp - Query evaluation --------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graphdb/QueryEngine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace gjs;
+using namespace gjs::graphdb;
+
+QueryEngine::QueryEngine(const PropertyGraph &Graph, EngineOptions O)
+    : G(Graph), Options(O) {}
+
+void QueryEngine::registerPathPredicate(const std::string &Name,
+                                        PathPredicate Pred) {
+  Predicates[Name] = std::move(Pred);
+}
+
+/// Mutable matcher state threaded through the backtracking search.
+struct QueryEngine::MatchState {
+  std::map<std::string, NodeHandle> NodeBindings;
+  std::map<std::string, Path> PathBindings;
+  /// Path accumulated for the current MatchItem.
+  Path CurrentPath;
+  /// Projected rows already emitted (RETURN DISTINCT).
+  std::set<std::vector<std::string>> SeenRows;
+  uint64_t Work = 0;
+  bool Aborted = false;
+  bool RowLimitHit = false;
+};
+
+bool QueryEngine::nodeMatches(NodeHandle H, const NodePattern &Pat) const {
+  const StoredNode &N = G.node(H);
+  if (!Pat.Label.empty() && N.Label != Pat.Label)
+    return false;
+  for (const auto &[Key, Value] : Pat.Props) {
+    auto It = N.Props.find(Key);
+    if (It == N.Props.end() || It->second != Value)
+      return false;
+  }
+  return true;
+}
+
+bool QueryEngine::relTypeMatches(RelHandle H, const RelPattern &Pat) const {
+  const StoredRel &R = G.rel(H);
+  if (!Pat.Types.empty() &&
+      std::find(Pat.Types.begin(), Pat.Types.end(), R.Type) ==
+          Pat.Types.end())
+    return false;
+  for (const auto &[Key, Value] : Pat.Props) {
+    auto It = R.Props.find(Key);
+    if (It == R.Props.end() || It->second != Value)
+      return false;
+  }
+  return true;
+}
+
+bool QueryEngine::evalWhere(const Query &Q, const MatchState &State) const {
+  for (const Condition &C : Q.Where) {
+    bool Holds = false;
+    if (C.K == Condition::Kind::Compare) {
+      auto LIt = State.NodeBindings.find(C.LHSVar);
+      if (LIt == State.NodeBindings.end())
+        return false;
+      const std::string &LHS = G.prop(LIt->second, C.LHSKey);
+      std::string RHS;
+      if (C.RHSIsLiteral) {
+        RHS = C.RHSLiteral;
+      } else {
+        auto RIt = State.NodeBindings.find(C.RHSVar);
+        if (RIt == State.NodeBindings.end())
+          return false;
+        RHS = G.prop(RIt->second, C.RHSKey);
+      }
+      Holds = C.NotEqual ? LHS != RHS : LHS == RHS;
+    } else {
+      auto PIt = Predicates.find(C.PredName);
+      auto AIt = State.PathBindings.find(C.PredArg);
+      if (PIt == Predicates.end() || AIt == State.PathBindings.end())
+        return false;
+      Holds = PIt->second(AIt->second, G);
+    }
+    if (C.Negated)
+      Holds = !Holds;
+    if (!Holds)
+      return false;
+  }
+  return true;
+}
+
+void QueryEngine::emitRow(const Query &Q, MatchState &State, ResultSet &Out) {
+  if (!evalWhere(Q, State))
+    return;
+  ResultRow Row;
+  Row.NodeBindings = State.NodeBindings;
+  Row.PathBindings = State.PathBindings;
+  for (const ReturnItem &R : Q.Returns) {
+    auto NIt = State.NodeBindings.find(R.Var);
+    if (NIt != State.NodeBindings.end()) {
+      Row.Values.push_back(R.Key.empty() ? std::to_string(NIt->second)
+                                         : G.prop(NIt->second, R.Key));
+      continue;
+    }
+    auto PIt = State.PathBindings.find(R.Var);
+    if (PIt != State.PathBindings.end()) {
+      Row.Values.push_back("path[" + std::to_string(PIt->second.Rels.size()) +
+                           "]");
+      continue;
+    }
+    Row.Values.push_back("");
+  }
+  if (Q.Distinct && !State.SeenRows.insert(Row.Values).second)
+    return;
+  Out.Rows.push_back(std::move(Row));
+  if (Options.MaxRows != 0 && Out.Rows.size() >= Options.MaxRows)
+    State.RowLimitHit = true;
+  if (Q.Limit != 0 && Out.Rows.size() >= Q.Limit)
+    State.RowLimitHit = true;
+}
+
+void QueryEngine::matchItem(const Query &Q, size_t ItemIdx, MatchState &State,
+                            ResultSet &Out) {
+  if (State.Aborted || State.RowLimitHit)
+    return;
+  if (ItemIdx == Q.Matches.size()) {
+    emitRow(Q, State, Out);
+    return;
+  }
+  const MatchItem &M = Q.Matches[ItemIdx];
+  const NodePattern &First = M.Nodes[0];
+
+  auto StartWith = [&](NodeHandle H) {
+    if (!nodeMatches(H, First))
+      return;
+    bool Bound = false;
+    if (!First.Var.empty() && !State.NodeBindings.count(First.Var)) {
+      State.NodeBindings[First.Var] = H;
+      Bound = true;
+    }
+    Path SavedPath = State.CurrentPath;
+    State.CurrentPath = Path{{H}, {}};
+    matchChain(Q, ItemIdx, 0, State, Out);
+    State.CurrentPath = SavedPath;
+    if (Bound)
+      State.NodeBindings.erase(First.Var);
+  };
+
+  // Already-bound variable joins with the previous matches.
+  if (!First.Var.empty() && State.NodeBindings.count(First.Var)) {
+    StartWith(State.NodeBindings.at(First.Var));
+    return;
+  }
+  for (NodeHandle H : G.nodesByLabel(First.Label)) {
+    if (State.Aborted || State.RowLimitHit)
+      return;
+    if (++State.Work, Options.WorkBudget != 0 &&
+                          State.Work > Options.WorkBudget) {
+      State.Aborted = true;
+      return;
+    }
+    StartWith(H);
+  }
+}
+
+void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
+                             MatchState &State, ResultSet &Out) {
+  if (State.Aborted || State.RowLimitHit)
+    return;
+  const MatchItem &M = Q.Matches[ItemIdx];
+  if (NodeIdx == M.Rels.size()) {
+    // Chain complete: bind the path variable and move to the next item.
+    bool BoundPath = false;
+    if (!M.PathVar.empty() && !State.PathBindings.count(M.PathVar)) {
+      State.PathBindings[M.PathVar] = State.CurrentPath;
+      BoundPath = true;
+    }
+    matchItem(Q, ItemIdx + 1, State, Out);
+    if (BoundPath)
+      State.PathBindings.erase(M.PathVar);
+    return;
+  }
+
+  const RelPattern &R = M.Rels[NodeIdx];
+  const NodePattern &NextPat = M.Nodes[NodeIdx + 1];
+  NodeHandle From = State.CurrentPath.Nodes.back();
+
+  uint32_t MinHops = R.VarLength ? R.MinHops : 1;
+  uint32_t MaxHops =
+      R.VarLength ? (R.Unbounded ? Options.MaxHops : R.MaxHops) : 1;
+
+  // DFS over hop sequences of length [MinHops, MaxHops]; relationships may
+  // not repeat within one segment (Cypher's relationship isomorphism).
+  // With a registered path fold, (node, foldState) pairs are visited once
+  // per segment walk — the planner-style pruning that keeps variable-
+  // length matching polynomial.
+  std::map<std::pair<NodeHandle, int64_t>, bool> Visited;
+
+  std::function<void(NodeHandle, uint32_t, int64_t)> Walk =
+      [&](NodeHandle Cur, uint32_t Hops, int64_t FoldState) {
+    if (State.Aborted || State.RowLimitHit)
+      return;
+    if (++State.Work, Options.WorkBudget != 0 &&
+                          State.Work > Options.WorkBudget) {
+      State.Aborted = true;
+      return;
+    }
+    if (Hops >= MinHops && nodeMatches(Cur, NextPat)) {
+      // Accept this endpoint; bind the next node pattern variable.
+      bool Bound = false;
+      bool Compatible = true;
+      if (!NextPat.Var.empty()) {
+        auto It = State.NodeBindings.find(NextPat.Var);
+        if (It != State.NodeBindings.end()) {
+          Compatible = It->second == Cur;
+        } else {
+          State.NodeBindings[NextPat.Var] = Cur;
+          Bound = true;
+        }
+      }
+      if (Compatible)
+        matchChain(Q, ItemIdx, NodeIdx + 1, State, Out);
+      if (Bound)
+        State.NodeBindings.erase(NextPat.Var);
+    }
+    if (Hops >= MaxHops)
+      return;
+    // `<-[...]-` walks against edge direction: candidate relationships
+    // come from the in-adjacency and continue at their From endpoint.
+    const std::vector<RelHandle> &Adjacent =
+        R.Reverse ? G.in(Cur) : G.out(Cur);
+    for (RelHandle RH : Adjacent) {
+      if (!relTypeMatches(RH, R))
+        continue;
+      if (std::find(State.CurrentPath.Rels.begin(),
+                    State.CurrentPath.Rels.end(),
+                    RH) != State.CurrentPath.Rels.end())
+        continue; // No repeated relationships within a path.
+      NodeHandle Next = R.Reverse ? G.rel(RH).From : G.rel(RH).To;
+      int64_t NextState = 0;
+      if (R.VarLength && Fold_) {
+        NextState = Fold_(FoldState, G.rel(RH));
+        if (NextState < 0)
+          continue; // Fold pruned this extension.
+        auto Key = std::make_pair(Next, NextState);
+        if (Visited.count(Key))
+          continue;
+        Visited[Key] = true;
+      }
+      State.CurrentPath.Rels.push_back(RH);
+      State.CurrentPath.Nodes.push_back(Next);
+      Walk(Next, Hops + 1, NextState);
+      State.CurrentPath.Nodes.pop_back();
+      State.CurrentPath.Rels.pop_back();
+    }
+  };
+
+  Walk(From, 0, 0);
+}
+
+ResultSet QueryEngine::run(const Query &Q) {
+  ResultSet Out;
+  MatchState State;
+  matchItem(Q, 0, State, Out);
+  Out.TimedOut = State.Aborted;
+  Out.Work = State.Work;
+  return Out;
+}
+
+ResultSet QueryEngine::run(const std::string &QueryText, std::string *Error) {
+  Query Q;
+  if (!parseQuery(QueryText, Q, Error))
+    return ResultSet();
+  return run(Q);
+}

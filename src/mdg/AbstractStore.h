@@ -1,0 +1,98 @@
+//===- mdg/AbstractStore.h - Abstract variable store -------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract variable store ρ̂ : X → ℘(L̂) of §3.2: maps program
+/// variables to sets of abstract locations. Stores form a lattice under
+/// pointwise subset inclusion; the analysis joins stores at if-statement
+/// merge points and iterates while-loop bodies until the (graph, store)
+/// pair stabilizes.
+///
+/// The store only keeps the *newest* versions of the objects a variable
+/// points to; when NV creates a new version, every binding of the old
+/// location is rewritten to the new one (§2.2, line 5 discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_MDG_ABSTRACTSTORE_H
+#define GJS_MDG_ABSTRACTSTORE_H
+
+#include "mdg/MDG.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace gjs {
+namespace mdg {
+
+/// ρ̂ : Var → ℘(NodeId), a finite-lattice abstract store.
+class AbstractStore {
+public:
+  using LocSet = std::set<NodeId>;
+
+  const LocSet &get(const std::string &Var) const {
+    static const LocSet Empty;
+    auto It = Vars.find(Var);
+    return It == Vars.end() ? Empty : It->second;
+  }
+
+  bool contains(const std::string &Var) const { return Vars.count(Var) != 0; }
+
+  /// Strong update: x ↦ Locs (assignment rebinds the variable).
+  void set(const std::string &Var, LocSet Locs) {
+    Vars[Var] = std::move(Locs);
+  }
+  void set(const std::string &Var, NodeId L) { Vars[Var] = {L}; }
+
+  /// Weak update: x ↦ ρ̂(x) ∪ Locs. Returns true if the binding grew.
+  bool join(const std::string &Var, const LocSet &Locs) {
+    LocSet &Cur = Vars[Var];
+    size_t Before = Cur.size();
+    Cur.insert(Locs.begin(), Locs.end());
+    return Cur.size() != Before;
+  }
+
+  /// ρ̂1 ⊔ ρ̂2 merged into this store. Returns true if anything grew.
+  bool joinWith(const AbstractStore &Other) {
+    bool Changed = false;
+    for (const auto &[Var, Locs] : Other.Vars)
+      Changed |= join(Var, Locs);
+    return Changed;
+  }
+
+  /// ρ̂1 ⊑ ρ̂2: pointwise subset.
+  static bool leq(const AbstractStore &S1, const AbstractStore &S2) {
+    for (const auto &[Var, Locs] : S1.Vars) {
+      const LocSet &Other = S2.get(Var);
+      for (NodeId L : Locs)
+        if (!Other.count(L))
+          return false;
+    }
+    return true;
+  }
+
+  /// Replaces every occurrence of \p OldLoc with \p NewLoc — the version
+  /// rewrite performed by NV/NV*.
+  void replaceEverywhere(NodeId OldLoc, NodeId NewLoc) {
+    for (auto &[Var, Locs] : Vars) {
+      if (Locs.erase(OldLoc))
+        Locs.insert(NewLoc);
+    }
+  }
+
+  const std::map<std::string, LocSet> &bindings() const { return Vars; }
+
+  bool operator==(const AbstractStore &O) const { return Vars == O.Vars; }
+
+private:
+  std::map<std::string, LocSet> Vars;
+};
+
+} // namespace mdg
+} // namespace gjs
+
+#endif // GJS_MDG_ABSTRACTSTORE_H

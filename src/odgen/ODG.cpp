@@ -1,0 +1,32 @@
+//===- odgen/ODG.cpp - Object Dependence Graph (baseline) ------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "odgen/ODG.h"
+
+#include <cassert>
+
+using namespace gjs;
+using namespace gjs::odgen;
+
+ODGNodeId ODG::addNode(ODGNodeKind Kind, SourceLocation Loc,
+                       std::string Label) {
+  ODGNodeId Id = static_cast<ODGNodeId>(Nodes.size());
+  ODGNode N;
+  N.Kind = Kind;
+  N.Loc = Loc;
+  N.Label = std::move(Label);
+  Nodes.push_back(std::move(N));
+  Out.emplace_back();
+  return Id;
+}
+
+void ODG::addEdge(ODGNodeId From, ODGNodeId To, ODGEdgeKind Kind,
+                  std::string Name) {
+  assert(From < Nodes.size() && To < Nodes.size() && "bad endpoints");
+  uint32_t E = static_cast<uint32_t>(Edges.size());
+  Edges.push_back({From, To, Kind, std::move(Name)});
+  Out[From].push_back(E);
+}

@@ -1,0 +1,595 @@
+//===- odgen/ODGenAnalyzer.cpp - ODGen-style baseline analyzer -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "odgen/ODGenAnalyzer.h"
+
+#include "core/Normalizer.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace gjs;
+using namespace gjs::odgen;
+using namespace gjs::queries;
+using core::Operand;
+using core::StmtKind;
+
+ODGenAnalyzer::ODGenAnalyzer(ODGenOptions Options)
+    : Options(std::move(Options)) {}
+
+namespace {
+
+/// The ODGen abstract interpreter: unrolling, fresh allocations, in-place
+/// object mutation, taint flags propagated along data flow.
+class Machine {
+public:
+  Machine(const core::Program &Prog, const ODGenOptions &O,
+          bool HasServerContext)
+      : Prog(Prog), Options(O), HasServerContext(HasServerContext) {}
+
+  ODG G;
+  bool Aborted = false;
+  uint64_t Work = 0;
+  std::vector<VulnReport> Reports;
+
+  void run();
+  void runQueries();
+
+private:
+  const core::Program &Prog;
+  const ODGenOptions &Options;
+  bool HasServerContext;
+
+  std::map<std::string, ODGNodeId> Env;
+  std::map<ODGNodeId, const core::Function *> FuncOf;
+  /// Object node -> the dynamic-lookup context it came from (for the
+  /// pollution pattern: lookup with tainted name, then tainted write).
+  struct DynLookupInfo {
+    ODGNodeId Base = InvalidODGNode;
+    bool NameTainted = false;
+  };
+  std::map<ODGNodeId, DynLookupInfo> FromDynLookup;
+  /// Call nodes with their argument nodes (for the sink queries).
+  struct CallRecord {
+    ODGNodeId Node;
+    std::string Name, Path;
+    std::vector<ODGNodeId> Args;
+    SourceLocation Loc;
+  };
+  std::vector<CallRecord> Calls;
+  /// Dynamic property writes (for the pollution query).
+  struct DynWrite {
+    ODGNodeId Obj, NameNode, Value;
+    SourceLocation Loc;
+  };
+  std::vector<DynWrite> DynWrites;
+
+  unsigned CallDepth = 0;
+  ODGNodeId RetNode = InvalidODGNode;
+  bool ReturnHit = false;
+
+  /// Abstract-state multiplicity. ODGen's interpreter forks its abstract
+  /// state when a dynamic property access on attacker-controlled data can
+  /// resolve to several names; chained dynamic accesses in loops and
+  /// recursion therefore multiply states — the mechanism behind its
+  /// prototype-pollution timeouts (§5.2, §5.5). We model the fork count
+  /// and charge each statement once per live state.
+  uint64_t StateCount = 1;
+
+  void forkStates(uint64_t Factor) {
+    if (StateCount > (1ULL << 40) / (Factor + 1))
+      StateCount = 1ULL << 40; // Saturate.
+    else
+      StateCount *= Factor;
+  }
+
+  bool step(uint64_t Cost = 1) {
+    uint64_t Charge = Cost * StateCount;
+    Work = Work > UINT64_MAX - Charge ? UINT64_MAX : Work + Charge;
+    if (Options.WorkBudget != 0 && Work > Options.WorkBudget) {
+      Aborted = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool tainted(ODGNodeId N) const {
+    return N != InvalidODGNode && G.node(N).Tainted;
+  }
+
+  ODGNodeId fresh(ODGNodeKind K, SourceLocation Loc, const std::string &L,
+                  bool Tainted = false) {
+    ODGNodeId N = G.addNode(K, Loc, L);
+    G.node(N).Tainted = Tainted;
+    return N;
+  }
+
+  ODGNodeId evalOperand(const Operand &O, SourceLocation Loc);
+  void execBlock(const std::vector<core::StmtPtr> &Block);
+  void execStmt(const core::Stmt &S);
+  void execCall(const core::Stmt &S);
+  void callFunction(const core::Function &Fn,
+                    const std::vector<ODGNodeId> &Args, ODGNodeId This,
+                    ODGNodeId Ret);
+
+  /// Builds the CPG skeleton: an AST node and a CFG node per Core
+  /// statement, with structural edges (recursing into nested blocks and
+  /// function bodies).
+  void buildCPG(const std::vector<core::StmtPtr> &Block, ODGNodeId Parent);
+};
+
+void Machine::buildCPG(const std::vector<core::StmtPtr> &Block,
+                       ODGNodeId Parent) {
+  ODGNodeId PrevCFG = InvalidODGNode;
+  for (const core::StmtPtr &S : Block) {
+    // ODGen keeps the full Esprima AST: statement, expression, and operand
+    // nodes all become graph nodes, plus a CFG node and name nodes for the
+    // variables the statement touches. This is most of its 7× node
+    // overhead over MDGs (Table 7).
+    ODGNodeId A = G.addNode(ODGNodeKind::ASTNode, S->Loc, "ast");
+    ODGNodeId E1 = G.addNode(ODGNodeKind::ASTNode, S->Loc, "expr");
+    ODGNodeId E2 = G.addNode(ODGNodeKind::ASTNode, S->Loc, "operand");
+    ODGNodeId C = G.addNode(ODGNodeKind::CFGNode, S->Loc, "cfg");
+    G.addEdge(Parent, A, ODGEdgeKind::AST);
+    G.addEdge(A, E1, ODGEdgeKind::AST);
+    G.addEdge(E1, E2, ODGEdgeKind::AST);
+    G.addEdge(A, C, ODGEdgeKind::AST);
+    G.addEdge(E2, C, ODGEdgeKind::AST);
+    G.addEdge(C, A, ODGEdgeKind::CFG);
+    if (!S->Target.empty()) {
+      ODGNodeId Name = G.addNode(ODGNodeKind::Value, S->Loc, S->Target);
+      G.addEdge(A, Name, ODGEdgeKind::Scope);
+      G.addEdge(Name, E1, ODGEdgeKind::ObjDef);
+    }
+    if (PrevCFG != InvalidODGNode)
+      G.addEdge(PrevCFG, C, ODGEdgeKind::CFG);
+    PrevCFG = C;
+    buildCPG(S->Then, A);
+    buildCPG(S->Else, A);
+    buildCPG(S->Body, A);
+    if (S->K == StmtKind::FuncDef && S->Func)
+      buildCPG(S->Func->Body, A);
+  }
+}
+
+ODGNodeId Machine::evalOperand(const Operand &O, SourceLocation Loc) {
+  if (O.isVar()) {
+    auto It = Env.find(O.Name);
+    if (It != Env.end())
+      return It->second;
+    ODGNodeId N = fresh(ODGNodeKind::Object, Loc, O.Name);
+    Env[O.Name] = N;
+    return N;
+  }
+  // Fresh value node per literal *execution* — no memoization, so loops
+  // multiply these (part of the ODG growth profile).
+  return fresh(ODGNodeKind::Value, Loc, O.str());
+}
+
+void Machine::execBlock(const std::vector<core::StmtPtr> &Block) {
+  for (const core::StmtPtr &S : Block) {
+    if (Aborted || ReturnHit)
+      return;
+    execStmt(*S);
+  }
+}
+
+void Machine::execStmt(const core::Stmt &S) {
+  if (!step())
+    return;
+
+  switch (S.K) {
+  case StmtKind::Assign: {
+    Env[S.Target] = evalOperand(S.Value, S.Loc);
+    break;
+  }
+  case StmtKind::BinOp: {
+    ODGNodeId L = evalOperand(S.LHS, S.Loc);
+    ODGNodeId R = evalOperand(S.RHS, S.Loc);
+    ODGNodeId N = fresh(ODGNodeKind::Value, S.Loc, S.Target,
+                        tainted(L) || tainted(R));
+    G.addEdge(L, N, ODGEdgeKind::DataFlow);
+    G.addEdge(R, N, ODGEdgeKind::DataFlow);
+    Env[S.Target] = N;
+    break;
+  }
+  case StmtKind::UnOp: {
+    ODGNodeId V = evalOperand(S.Value, S.Loc);
+    ODGNodeId N = fresh(ODGNodeKind::Value, S.Loc, S.Target, tainted(V));
+    G.addEdge(V, N, ODGEdgeKind::DataFlow);
+    Env[S.Target] = N;
+    break;
+  }
+  case StmtKind::NewObject: {
+    // Fresh object node per execution: the object-explosion source.
+    ODGNodeId N = fresh(ODGNodeKind::Object, S.Loc, S.Target);
+    Env[S.Target] = N;
+    break;
+  }
+  case StmtKind::FuncDef: {
+    ODGNodeId N = fresh(ODGNodeKind::Value, S.Loc, S.Func->Name);
+    FuncOf[N] = S.Func.get();
+    Env[S.Target] = N;
+    break;
+  }
+  case StmtKind::StaticLookup: {
+    ODGNodeId Obj = evalOperand(S.Obj, S.Loc);
+    ODGNode &ON = G.node(Obj);
+    ODGNodeId R;
+    auto It = ON.Props.find(S.Prop);
+    if (It != ON.Props.end()) {
+      R = It->second;
+    } else {
+      R = fresh(ODGNodeKind::Value, S.Loc, S.Target, ON.Tainted);
+      G.node(Obj).Props[S.Prop] = R;
+      G.addEdge(Obj, R, ODGEdgeKind::Property, S.Prop);
+    }
+    if (tainted(Obj))
+      G.node(R).Tainted = true; // Deep taint through objects.
+    Env[S.Target] = R;
+    break;
+  }
+  case StmtKind::DynamicLookup: {
+    ODGNodeId Obj = evalOperand(S.Obj, S.Loc);
+    ODGNodeId Name = S.PropOperand.isVar()
+                         ? evalOperand(S.PropOperand, S.Loc)
+                         : InvalidODGNode;
+    ODGNode &ON = G.node(Obj);
+    ODGNodeId R;
+    auto It = ON.Props.find("*");
+    if (It != ON.Props.end()) {
+      R = It->second;
+    } else {
+      R = fresh(ODGNodeKind::Value, S.Loc, S.Target, ON.Tainted);
+      G.node(Obj).Props["*"] = R;
+      G.addEdge(Obj, R, ODGEdgeKind::Property, "*");
+    }
+    if (tainted(Obj) || tainted(Name))
+      G.node(R).Tainted = true;
+    if (Name != InvalidODGNode)
+      G.addEdge(Name, R, ODGEdgeKind::DataFlow);
+    FromDynLookup[R] = {Obj, tainted(Name)};
+    Env[S.Target] = R;
+    // A dynamic read with attacker-influenced name forks the abstract
+    // state across the object's possible properties.
+    if (tainted(Obj) || tainted(Name))
+      forkStates(G.node(Obj).Props.size() + 2);
+    break;
+  }
+  case StmtKind::StaticUpdate: {
+    ODGNodeId Obj = evalOperand(S.Obj, S.Loc);
+    ODGNodeId Val = evalOperand(S.Value, S.Loc);
+    // In-place mutation: no version nodes, write order is lost — one of
+    // the representational differences from MDGs (§6). Once a tainted
+    // value has been written into an object, the object stays tainted:
+    // without versioning there is no way to retract on overwrite, so
+    // sanitizing rewrites still produce reports (the baseline's taint-
+    // style true-false-positive source).
+    G.node(Obj).Props[S.Prop] = Val;
+    G.addEdge(Obj, Val, ODGEdgeKind::Property, S.Prop);
+    if (tainted(Val))
+      G.node(Obj).Tainted = true;
+    break;
+  }
+  case StmtKind::DynamicUpdate: {
+    ODGNodeId Obj = evalOperand(S.Obj, S.Loc);
+    ODGNodeId Name = S.PropOperand.isVar()
+                         ? evalOperand(S.PropOperand, S.Loc)
+                         : InvalidODGNode;
+    ODGNodeId Val = evalOperand(S.Value, S.Loc);
+    G.node(Obj).Props["*"] = Val;
+    G.addEdge(Obj, Val, ODGEdgeKind::Property, "*");
+    if (Name != InvalidODGNode)
+      G.addEdge(Name, Obj, ODGEdgeKind::DataFlow);
+    if (tainted(Val))
+      G.node(Obj).Tainted = true;
+    DynWrites.push_back({Obj, Name, Val, S.Loc});
+    // A dynamic write with an attacker-influenced name forks on the
+    // possible write targets.
+    if (tainted(Name))
+      forkStates(4);
+    break;
+  }
+  case StmtKind::Call:
+    execCall(S);
+    break;
+  case StmtKind::Return: {
+    ODGNodeId V = evalOperand(S.Value, S.Loc);
+    if (RetNode != InvalidODGNode) {
+      G.addEdge(V, RetNode, ODGEdgeKind::DataFlow);
+      if (tainted(V))
+        G.node(RetNode).Tainted = true;
+    }
+    ReturnHit = true;
+    break;
+  }
+  case StmtKind::If: {
+    // Both branches execute in sequence (path-insensitive join). The body
+    // only stops afterwards when *both* branches must return — a return
+    // in one branch of a guard must not cut off the rest of the analysis.
+    bool Before = ReturnHit;
+    execBlock(S.Then);
+    bool ThenReturned = ReturnHit;
+    ReturnHit = Before;
+    execBlock(S.Else);
+    bool ElseReturned = ReturnHit;
+    ReturnHit = Before || (ThenReturned && ElseReturned && !S.Else.empty());
+    break;
+  }
+  case StmtKind::While: {
+    // Bounded unrolling: each iteration re-executes the body with fresh
+    // allocations. Nested loops multiply (UnrollLimit^depth).
+    for (unsigned I = 0; I < Options.UnrollLimit && !Aborted && !ReturnHit;
+         ++I)
+      execBlock(S.Body);
+    break;
+  }
+  case StmtKind::Nop:
+    break;
+  }
+}
+
+void Machine::execCall(const core::Stmt &S) {
+  ODGNodeId Callee = evalOperand(S.Callee, S.Loc);
+  ODGNodeId CallNode = fresh(ODGNodeKind::Call, S.Loc,
+                             S.CalleeName.empty() ? "call" : S.CalleeName);
+  G.node(CallNode).CallName = S.CalleeName;
+  G.node(CallNode).CallPath = S.CalleePath;
+
+  CallRecord Rec;
+  Rec.Node = CallNode;
+  Rec.Name = S.CalleeName;
+  Rec.Path = S.CalleePath;
+  Rec.Loc = S.Loc;
+  for (const Operand &A : S.Args) {
+    ODGNodeId AN = evalOperand(A, S.Loc);
+    G.addEdge(AN, CallNode, ODGEdgeKind::CallEdge);
+    Rec.Args.push_back(AN);
+  }
+  Calls.push_back(Rec);
+
+  ODGNodeId Ret = fresh(ODGNodeKind::Value, S.Loc, S.Target);
+  G.addEdge(CallNode, Ret, ODGEdgeKind::DataFlow);
+  for (ODGNodeId AN : Rec.Args)
+    if (tainted(AN))
+      G.node(Ret).Tainted = true;
+  // Methods on tainted receivers return tainted data (`prop.split('.')`).
+  if (S.Receiver.isVar()) {
+    ODGNodeId Recv = evalOperand(S.Receiver, S.Loc);
+    G.addEdge(Recv, CallNode, ODGEdgeKind::CallEdge);
+    if (tainted(Recv))
+      G.node(Ret).Tainted = true;
+  }
+  Env[S.Target] = Ret;
+
+  auto FIt = FuncOf.find(Callee);
+  if (FIt != FuncOf.end() && CallDepth < Options.MaxCallDepth) {
+    ODGNodeId This = InvalidODGNode;
+    if (S.IsNew) {
+      This = fresh(ODGNodeKind::Object, S.Loc, S.Target);
+      Env[S.Target] = This;
+    } else if (S.Receiver.isVar()) {
+      This = evalOperand(S.Receiver, S.Loc);
+    }
+    ++CallDepth;
+    callFunction(*FIt->second, Rec.Args, This, Ret);
+    --CallDepth;
+  }
+}
+
+void Machine::callFunction(const core::Function &Fn,
+                           const std::vector<ODGNodeId> &Args, ODGNodeId This,
+                           ODGNodeId Ret) {
+  std::vector<std::pair<std::string, ODGNodeId>> Saved;
+  auto Bind = [&](const std::string &Name, ODGNodeId N) {
+    auto It = Env.find(Name);
+    Saved.push_back({Name, It != Env.end() ? It->second : InvalidODGNode});
+    Env[Name] = N != InvalidODGNode
+                    ? N
+                    : fresh(ODGNodeKind::Value, Fn.Loc, Name);
+  };
+  for (size_t I = 0; I < Fn.Params.size(); ++I)
+    Bind(Fn.Params[I], I < Args.size() ? Args[I] : InvalidODGNode);
+  Bind("this", This);
+  // ODGen models the `arguments` object — one of its advantages over
+  // Graph.js, whose MDGs "do not provide full support for the arguments
+  // ... keyword" (§5.2). Taint flows through arguments[i].
+  {
+    ODGNodeId ArgsObj = fresh(ODGNodeKind::Object, Fn.Loc, "arguments");
+    for (size_t I = 0; I < Args.size(); ++I) {
+      G.node(ArgsObj).Props[std::to_string(I)] = Args[I];
+      G.addEdge(ArgsObj, Args[I], ODGEdgeKind::Property, std::to_string(I));
+      if (tainted(Args[I]))
+        G.node(ArgsObj).Tainted = true;
+    }
+    Bind("arguments", ArgsObj);
+  }
+
+  ODGNodeId SavedRet = RetNode;
+  bool SavedHit = ReturnHit;
+  RetNode = Ret;
+  ReturnHit = false;
+  execBlock(Fn.Body);
+  RetNode = SavedRet;
+  ReturnHit = SavedHit;
+
+  for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
+    if (It->second == InvalidODGNode)
+      Env.erase(It->first);
+    else
+      Env[It->first] = It->second;
+  }
+}
+
+void Machine::run() {
+  // CPG skeleton first (ODGen keeps the full AST/CFG in the graph).
+  ODGNodeId Root = G.addNode(ODGNodeKind::Scope, SourceLocation(), "module");
+  buildCPG(Prog.TopLevel, Root);
+  for (const auto &[Name, Fn] : Prog.Functions) {
+    (void)Name;
+    (void)Fn;
+  }
+
+  execBlock(Prog.TopLevel);
+  if (Aborted)
+    return;
+
+  // Entry points: exported functions with tainted parameters.
+  std::set<std::string> Entries;
+  for (const core::ExportEntry &E : Prog.Exports)
+    if (!E.FunctionName.empty())
+      Entries.insert(E.FunctionName);
+  if (Entries.empty())
+    for (const auto &[Name, Fn] : Prog.Functions) {
+      (void)Fn;
+      Entries.insert(Name);
+    }
+
+  for (const std::string &Name : Entries) {
+    if (Aborted)
+      return;
+    auto It = Prog.Functions.find(Name);
+    if (It == Prog.Functions.end())
+      continue;
+    const core::Function &Fn = *It->second;
+    StateCount = 1; // Forked states do not leak across entry points.
+    std::vector<ODGNodeId> Args;
+    for (const std::string &Param : Fn.Params)
+      Args.push_back(
+          fresh(ODGNodeKind::Object, Fn.Loc, Param, /*Tainted=*/true));
+    // Attackers choose the call arity: `arguments[i]` must see tainted
+    // values even in functions that declare no parameters.
+    while (Args.size() < 4)
+      Args.push_back(fresh(ODGNodeKind::Object, Fn.Loc,
+                           "arg" + std::to_string(Args.size()),
+                           /*Tainted=*/true));
+    ODGNodeId This = fresh(ODGNodeKind::Object, Fn.Loc, "this");
+    ODGNodeId Ret = fresh(ODGNodeKind::Value, Fn.Loc, "$ret");
+    callFunction(Fn, Args, This, Ret);
+  }
+}
+
+void Machine::runQueries() {
+  if (Aborted)
+    return; // ODGen's timeout behavior: no partial reports.
+
+  std::set<VulnReport> Dedup;
+  auto Report = [&](VulnType T, SourceLocation Loc, const std::string &Name,
+                    const std::string &Path) {
+    VulnReport R;
+    R.Type = T;
+    R.SinkLoc = Loc;
+    R.SinkName = Name;
+    R.SinkPath = Path;
+    if (Dedup.insert(R).second)
+      Reports.push_back(std::move(R));
+  };
+
+  // Taint-style: native scan over call records with taint flags — fast.
+  for (const CallRecord &C : Calls) {
+    if (!step(2))
+      return;
+    for (VulnType T : {VulnType::CommandInjection, VulnType::CodeInjection,
+                       VulnType::PathTraversal}) {
+      // ODGen's CWE-22 queries require a web-server context (§5.2).
+      if (T == VulnType::PathTraversal && !HasServerContext)
+        continue;
+      for (const SinkSpec &Spec : Options.Sinks.sinks(T)) {
+        if (!SinkConfig::matchesCall(Spec, C.Name, C.Path))
+          continue;
+        for (unsigned I = 0; I < C.Args.size(); ++I)
+          if (SinkConfig::argIsSensitive(Spec, I) && tainted(C.Args[I]))
+            Report(T, C.Loc, C.Name, C.Path);
+      }
+    }
+  }
+
+  // Prototype pollution: backward walks over the (possibly exploded)
+  // graph for each dynamic write — this is where ODGen spends its query
+  // time (Table 6: its CWE-1321 traversal phase dwarfs the others).
+  std::vector<std::vector<ODGNodeId>> In(G.numNodes());
+  for (const ODGEdge &E : G.edges()) {
+    if (E.Kind == ODGEdgeKind::DataFlow || E.Kind == ODGEdgeKind::Property)
+      In[E.To].push_back(E.From);
+  }
+  for (const DynWrite &W : DynWrites) {
+    if (Aborted)
+      return;
+    // Backward DFS: does attacker data flow into the written value?
+    auto BackwardTainted = [&](ODGNodeId Start) {
+      std::vector<bool> Seen(G.numNodes(), false);
+      std::vector<ODGNodeId> Stack{Start};
+      Seen[Start] = true;
+      while (!Stack.empty()) {
+        ODGNodeId N = Stack.back();
+        Stack.pop_back();
+        if (!step(1))
+          return false;
+        if (G.node(N).Tainted)
+          return true;
+        for (ODGNodeId P : In[N])
+          if (!Seen[P]) {
+            Seen[P] = true;
+            Stack.push_back(P);
+          }
+      }
+      return false;
+    };
+
+    auto LIt = FromDynLookup.find(W.Obj);
+    if (LIt == FromDynLookup.end())
+      continue; // Write target not obtained from a dynamic lookup.
+    if (!LIt->second.NameTainted)
+      continue;
+    if (W.NameNode == InvalidODGNode || !tainted(W.NameNode))
+      continue;
+    if (!tainted(W.Value) && !BackwardTainted(W.Value))
+      continue;
+    Report(VulnType::PrototypePollution, W.Loc, "", "");
+    if (Aborted)
+      return;
+  }
+}
+
+} // namespace
+
+ODGenResult ODGenAnalyzer::analyzeProgram(const core::Program &Program,
+                                          bool HasServerContext) {
+  ODGenResult Out;
+  Machine M(Program, Options, HasServerContext);
+
+  Timer Phase;
+  M.run();
+  Out.GraphSeconds = Phase.elapsedSeconds();
+
+  Phase.reset();
+  M.runQueries();
+  Out.QuerySeconds = Phase.elapsedSeconds();
+
+  Out.Reports = std::move(M.Reports);
+  Out.TimedOut = M.Aborted;
+  if (Out.TimedOut)
+    Out.Reports.clear(); // Timeouts yield no findings (§5.2).
+  Out.NumNodes = M.G.numNodes();
+  Out.NumEdges = M.G.numEdges();
+  Out.Work = M.Work;
+  return Out;
+}
+
+ODGenResult ODGenAnalyzer::analyze(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Prog = core::normalizeJS(Source, Diags);
+  if (Diags.hasErrors()) {
+    ODGenResult Out;
+    Out.ParseFailed = true;
+    return Out;
+  }
+  bool HasServerContext = Source.find("createServer") != std::string::npos ||
+                          Source.find("http.Server") != std::string::npos;
+  return analyzeProgram(*Prog, HasServerContext);
+}

@@ -1,0 +1,267 @@
+//===- queries/QueryRunner.cpp - Table 2 vulnerability queries -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "queries/QueryRunner.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gjs;
+using namespace gjs::queries;
+using namespace gjs::mdg;
+using graphdb::Path;
+using graphdb::PropertyGraph;
+using graphdb::QueryEngine;
+using graphdb::ResultRow;
+using graphdb::ResultSet;
+
+GraphDBRunner::GraphDBRunner(const analysis::BuildResult &Build,
+                             graphdb::EngineOptions Engine,
+                             bool UntaintedExclusion)
+    : Build(Build), Imported(graphdb::importMDG(Build.Graph, Build.Props)),
+      EngineOpts(Engine), UntaintedExclusion(UntaintedExclusion) {}
+
+void GraphDBRunner::registerPredicates(QueryEngine &E) const {
+  if (!UntaintedExclusion) {
+    // Ablated mode: `untainted(p)` is constant-false (TaintPath becomes
+    // BasicPath) and no pruning fold is installed.
+    E.registerPathPredicate(
+        "untainted",
+        [](const Path &, const PropertyGraph &) { return false; });
+    // A coarse reachability fold still prunes revisits (state 0 always).
+    E.setPathFold(
+        [](int64_t, const graphdb::StoredRel &) -> int64_t { return 0; });
+    return;
+  }
+  // UntaintedPath (Table 1): the path contains V(p) followed, anywhere
+  // later, by P(p) on the same property: the tainted value was overwritten.
+  E.registerPathPredicate(
+      "untainted", [](const Path &P, const PropertyGraph &G) {
+        std::set<std::string> Overwritten;
+        for (graphdb::RelHandle RH : P.Rels) {
+          const graphdb::StoredRel &R = G.rel(RH);
+          if (R.Type == "V") {
+            auto It = R.Props.find("name");
+            if (It != R.Props.end())
+              Overwritten.insert(It->second);
+          } else if (R.Type == "P") {
+            auto It = R.Props.find("name");
+            if (It != R.Props.end() && Overwritten.count(It->second))
+              return true;
+          }
+        }
+        return false;
+      });
+
+  // Path-state fold for planner-style pruning: the state is the interned
+  // set of overwritten properties, and untainted extensions (reading a
+  // property after its overwrite) are pruned outright. Consistent with the
+  // `untainted` predicate: every surviving path satisfies NOT untainted.
+  auto States = std::make_shared<std::vector<std::set<std::string>>>();
+  auto Index = std::make_shared<std::map<std::set<std::string>, int64_t>>();
+  States->push_back({});
+  (*Index)[{}] = 0;
+  E.setPathFold([States, Index](int64_t S,
+                                const graphdb::StoredRel &R) -> int64_t {
+    const std::set<std::string> &Cur = (*States)[static_cast<size_t>(S)];
+    auto NameIt = R.Props.find("name");
+    if (R.Type == "V" && NameIt != R.Props.end()) {
+      std::set<std::string> Next = Cur;
+      Next.insert(NameIt->second);
+      auto It = Index->find(Next);
+      if (It != Index->end())
+        return It->second;
+      int64_t Id = static_cast<int64_t>(States->size());
+      States->push_back(Next);
+      (*Index)[std::move(Next)] = Id;
+      return Id;
+    }
+    if (R.Type == "P" && NameIt != R.Props.end() &&
+        Cur.count(NameIt->second))
+      return -1; // Overwritten property: prune the untainted extension.
+    return S;
+  });
+}
+
+static const char *TaintQueryTemplateName =
+    "MATCH p = (src:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(arg)"
+    "-[:D]->(call:Call {name: '%'})\n"
+    "WHERE NOT untainted(p)\n"
+    "RETURN src, arg, call";
+
+static const char *TaintQueryTemplatePath =
+    "MATCH p = (src:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(arg)"
+    "-[:D]->(call:Call {path: '%'})\n"
+    "WHERE NOT untainted(p)\n"
+    "RETURN src, arg, call";
+
+/// Substitutes the sink name into a query template (single '%' hole).
+static std::string instantiate(const char *Template, const std::string &Name) {
+  std::string Out(Template);
+  size_t Hole = Out.find('%');
+  Out.replace(Hole, 1, Name);
+  return Out;
+}
+
+std::vector<VulnReport>
+GraphDBRunner::detectTaintStyle(VulnType T, const SinkConfig &Config,
+                                DetectStats *Stats) {
+  QueryEngine E(Imported.Graph, EngineOpts);
+  registerPredicates(E);
+
+  std::vector<VulnReport> Reports;
+  std::set<VulnReport> Dedup;
+
+  for (const SinkSpec &Spec : Config.sinks(T)) {
+    std::string QueryText = instantiate(
+        Spec.isPath() ? TaintQueryTemplatePath : TaintQueryTemplateName,
+        Spec.Name);
+    ResultSet R = E.run(QueryText);
+    if (Stats) {
+      Stats->QueryWork += R.Work;
+      Stats->TimedOut |= R.TimedOut;
+    }
+    for (const ResultRow &Row : R.Rows) {
+      NodeId Call = Row.NodeBindings.at("call");
+      NodeId Arg = Row.NodeBindings.at("arg");
+      // Host-side Arg_{f,n} filter: the matched arg must be one of the
+      // sink's sensitive argument positions.
+      const Node &CN = Build.Graph.node(Call);
+      bool Sensitive = false;
+      for (unsigned I = 0; I < CN.Args.size() && !Sensitive; ++I) {
+        if (!SinkConfig::argIsSensitive(Spec, I))
+          continue;
+        Sensitive = std::find(CN.Args[I].begin(), CN.Args[I].end(), Arg) !=
+                    CN.Args[I].end();
+      }
+      if (!Sensitive)
+        continue;
+      VulnReport Rep;
+      Rep.Type = T;
+      Rep.SinkLoc = CN.Loc;
+      Rep.SinkName = CN.CallName;
+      Rep.SinkPath = CN.CallPath;
+      if (Dedup.insert(Rep).second)
+        Reports.push_back(std::move(Rep));
+    }
+  }
+  return Reports;
+}
+
+static const char *PollutionQuery =
+    "MATCH (obj:Object)-[:PU]->(sub:Object)-[:VU]->(ver:Object)"
+    "-[:PU]->(val:Object),\n"
+    "  p1 = (s1:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(sub),\n"
+    "  p2 = (s2:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(ver),\n"
+    "  p3 = (s3:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(val)\n"
+    "WHERE NOT untainted(p1) AND NOT untainted(p2) AND NOT untainted(p3)\n"
+    "RETURN obj, sub, ver, val";
+
+std::vector<VulnReport>
+GraphDBRunner::detectPrototypePollution(DetectStats *Stats) {
+  QueryEngine E(Imported.Graph, EngineOpts);
+  registerPredicates(E);
+
+  ResultSet R = E.run(PollutionQuery);
+  if (Stats) {
+    Stats->QueryWork += R.Work;
+    Stats->TimedOut |= R.TimedOut;
+  }
+
+  std::vector<VulnReport> Reports;
+  std::set<VulnReport> Dedup;
+  for (const ResultRow &Row : R.Rows) {
+    NodeId Ver = Row.NodeBindings.at("ver");
+    VulnReport Rep;
+    Rep.Type = VulnType::PrototypePollution;
+    Rep.SinkLoc = Build.Graph.node(Ver).Loc;
+    if (Dedup.insert(Rep).second)
+      Reports.push_back(std::move(Rep));
+  }
+  return Reports;
+}
+
+std::vector<VulnReport> GraphDBRunner::detect(const SinkConfig &Config,
+                                              DetectStats *Stats) {
+  std::vector<VulnReport> All;
+  for (VulnType T : {VulnType::CommandInjection, VulnType::CodeInjection,
+                     VulnType::PathTraversal}) {
+    std::vector<VulnReport> R = detectTaintStyle(T, Config, Stats);
+    All.insert(All.end(), R.begin(), R.end());
+  }
+  std::vector<VulnReport> PP = detectPrototypePollution(Stats);
+  All.insert(All.end(), PP.begin(), PP.end());
+  return All;
+}
+
+//===----------------------------------------------------------------------===//
+// Native backend
+//===----------------------------------------------------------------------===//
+
+std::vector<VulnReport> queries::detectNative(
+    const analysis::BuildResult &Build, const SinkConfig &Config) {
+  const Graph &G = Build.Graph;
+  Traversals T(G);
+
+  // Precompute the taint closure of every source once.
+  std::set<NodeId> Tainted;
+  for (NodeId S : Build.TaintSources) {
+    std::set<NodeId> R = T.taintReachable(S);
+    Tainted.insert(R.begin(), R.end());
+  }
+
+  std::vector<VulnReport> Reports;
+  std::set<VulnReport> Dedup;
+
+  // Taint-style classes: tainted value reaches a sensitive sink argument.
+  for (VulnType VT : {VulnType::CommandInjection, VulnType::CodeInjection,
+                      VulnType::PathTraversal}) {
+    for (const SinkSpec &Spec : Config.sinks(VT)) {
+      for (NodeId C : Build.CallNodes) {
+        const Node &CN = G.node(C);
+        if (!SinkConfig::matchesCall(Spec, CN.CallName, CN.CallPath))
+          continue;
+        bool Hit = false;
+        for (unsigned I = 0; I < CN.Args.size() && !Hit; ++I) {
+          if (!SinkConfig::argIsSensitive(Spec, I))
+            continue;
+          for (NodeId A : CN.Args[I])
+            if (Tainted.count(A)) {
+              Hit = true;
+              break;
+            }
+        }
+        if (!Hit)
+          continue;
+        VulnReport Rep;
+        Rep.Type = VT;
+        Rep.SinkLoc = CN.Loc;
+        Rep.SinkName = CN.CallName;
+        Rep.SinkPath = CN.CallPath;
+        if (Dedup.insert(Rep).second)
+          Reports.push_back(std::move(Rep));
+      }
+    }
+  }
+
+  // Prototype pollution: ObjLookup* ∘ ObjAssignment* with all three
+  // controlled positions tainted (Table 2, last row).
+  for (auto [Obj, Sub] : T.objLookupStar()) {
+    (void)Obj;
+    if (!Tainted.count(Sub))
+      continue;
+    for (auto [Ver, Val] : T.objAssignmentStar(Sub)) {
+      if (!Tainted.count(Ver) || !Tainted.count(Val))
+        continue;
+      VulnReport Rep;
+      Rep.Type = VulnType::PrototypePollution;
+      Rep.SinkLoc = G.node(Ver).Loc;
+      if (Dedup.insert(Rep).second)
+        Reports.push_back(std::move(Rep));
+    }
+  }
+  return Reports;
+}

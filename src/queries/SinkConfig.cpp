@@ -1,0 +1,149 @@
+//===- queries/SinkConfig.cpp - Source/sink configuration ------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "queries/SinkConfig.h"
+
+#include "support/JSON.h"
+
+using namespace gjs;
+using namespace gjs::queries;
+
+const char *queries::cweOf(VulnType T) {
+  switch (T) {
+  case VulnType::CommandInjection:
+    return "CWE-78";
+  case VulnType::CodeInjection:
+    return "CWE-94";
+  case VulnType::PathTraversal:
+    return "CWE-22";
+  case VulnType::PrototypePollution:
+    return "CWE-1321";
+  }
+  return "CWE-???";
+}
+
+const char *queries::vulnTypeName(VulnType T) {
+  switch (T) {
+  case VulnType::CommandInjection:
+    return "command-injection";
+  case VulnType::CodeInjection:
+    return "code-injection";
+  case VulnType::PathTraversal:
+    return "path-traversal";
+  case VulnType::PrototypePollution:
+    return "prototype-pollution";
+  }
+  return "unknown";
+}
+
+std::string VulnReport::str() const {
+  std::string Out = std::string(cweOf(Type)) + " (" + vulnTypeName(Type) +
+                    ") at line " + std::to_string(SinkLoc.Line);
+  if (!SinkName.empty())
+    Out += " sink=" + (SinkPath.empty() ? SinkName : SinkPath);
+  return Out;
+}
+
+SinkConfig SinkConfig::defaults() {
+  SinkConfig C;
+  // OS command injection (CWE-78): child_process APIs (§4).
+  for (const char *Name : {"exec", "execSync", "spawn", "spawnSync",
+                           "execFile", "execFileSync", "fork"}) {
+    C.addSink(VulnType::CommandInjection, {Name, {0}});
+    C.addSink(VulnType::CommandInjection,
+              {std::string("child_process.") + Name, {0}});
+  }
+
+  // Code injection (CWE-94): eval-like sinks; `require` with a dynamic
+  // module name is included, as in the paper's evaluation (§5.3).
+  C.addSink(VulnType::CodeInjection, {"eval", {0}});
+  C.addSink(VulnType::CodeInjection, {"Function", {}});
+  C.addSink(VulnType::CodeInjection, {"require", {0}});
+  C.addSink(VulnType::CodeInjection, {"vm.runInContext", {0}});
+  C.addSink(VulnType::CodeInjection, {"vm.runInNewContext", {0}});
+  C.addSink(VulnType::CodeInjection, {"vm.runInThisContext", {0}});
+  C.addSink(VulnType::CodeInjection, {"setTimeout", {0}});
+  C.addSink(VulnType::CodeInjection, {"setInterval", {0}});
+
+  // Path traversal (CWE-22): fs read/write entry points (§4).
+  for (const char *Name :
+       {"readFile", "readFileSync", "writeFile", "writeFileSync",
+        "createReadStream", "createWriteStream", "open", "openSync",
+        "unlink", "unlinkSync", "readdir", "readdirSync", "rmdir",
+        "mkdir", "appendFile", "appendFileSync"}) {
+    C.addSink(VulnType::PathTraversal, {std::string("fs.") + Name, {0}});
+  }
+  return C;
+}
+
+bool SinkConfig::matchesCall(const SinkSpec &Spec, const std::string &CallName,
+                             const std::string &CallPath) {
+  if (Spec.isPath())
+    return CallPath == Spec.Name;
+  return CallName == Spec.Name;
+}
+
+bool SinkConfig::fromJSON(const std::string &Text, SinkConfig &Out,
+                          std::string *Error) {
+  json::Value V;
+  if (!json::parse(Text, V, Error))
+    return false;
+  if (!V.isObject()) {
+    if (Error)
+      *Error = "sink config must be a JSON object";
+    return false;
+  }
+  auto TypeOf = [](const std::string &Key, VulnType &T) {
+    if (Key == "command-injection")
+      T = VulnType::CommandInjection;
+    else if (Key == "code-injection")
+      T = VulnType::CodeInjection;
+    else if (Key == "path-traversal")
+      T = VulnType::PathTraversal;
+    else if (Key == "prototype-pollution")
+      T = VulnType::PrototypePollution;
+    else
+      return false;
+    return true;
+  };
+  for (const auto &[Key, List] : V.asObject()) {
+    if (Key == "sanitizers") {
+      if (!List.isArray()) {
+        if (Error)
+          *Error = "'sanitizers' must be an array of names";
+        return false;
+      }
+      for (const json::Value &Name : List.asArray())
+        Out.addSanitizer(Name.asString());
+      continue;
+    }
+    VulnType T;
+    if (!TypeOf(Key, T)) {
+      if (Error)
+        *Error = "unknown vulnerability class '" + Key + "'";
+      return false;
+    }
+    if (!List.isArray()) {
+      if (Error)
+        *Error = "sink list for '" + Key + "' must be an array";
+      return false;
+    }
+    for (const json::Value &Entry : List.asArray()) {
+      if (!Entry.isObject() || !Entry.asObject().count("name")) {
+        if (Error)
+          *Error = "each sink needs a 'name'";
+        return false;
+      }
+      SinkSpec S;
+      S.Name = Entry.asObject().at("name").asString();
+      if (Entry.asObject().count("args"))
+        for (const json::Value &A : Entry.asObject().at("args").asArray())
+          S.SensitiveArgs.push_back(static_cast<unsigned>(A.asNumber()));
+      Out.addSink(T, std::move(S));
+    }
+  }
+  return true;
+}

@@ -1,0 +1,130 @@
+//===- queries/Traversals.cpp - Table 1 base graph traversals --------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "queries/Traversals.h"
+
+#include <algorithm>
+
+using namespace gjs;
+using namespace gjs::mdg;
+using namespace gjs::queries;
+
+namespace {
+
+/// One DFS state: a node plus the set of properties overwritten by the
+/// V(p) edges traversed so far.
+struct TaintState {
+  NodeId N;
+  std::set<Symbol> Overwritten;
+};
+
+} // namespace
+
+std::set<NodeId> Traversals::taintReachable(NodeId Src) const {
+  std::set<NodeId> Reached;
+  // Memo: per node, the antichain of overwritten-sets we already explored.
+  // A new state is redundant if a previously explored set is a subset of
+  // its set (fewer exclusions = strictly more permissive exploration).
+  std::vector<std::vector<std::set<Symbol>>> Seen(G.numNodes());
+
+  std::vector<TaintState> Work;
+  Work.push_back({Src, {}});
+
+  auto Explore = [&](NodeId N, const std::set<Symbol> &S) {
+    for (const std::set<Symbol> &Prev : Seen[N])
+      if (std::includes(S.begin(), S.end(), Prev.begin(), Prev.end()))
+        return false;
+    // Keep the antichain small: drop supersets of S.
+    auto &Sets = Seen[N];
+    Sets.erase(std::remove_if(Sets.begin(), Sets.end(),
+                              [&](const std::set<Symbol> &Prev) {
+                                return std::includes(Prev.begin(), Prev.end(),
+                                                     S.begin(), S.end());
+                              }),
+               Sets.end());
+    Sets.push_back(S);
+    return true;
+  };
+
+  while (!Work.empty()) {
+    TaintState St = std::move(Work.back());
+    Work.pop_back();
+    if (!Explore(St.N, St.Overwritten))
+      continue;
+    Reached.insert(St.N);
+
+    for (const Edge &E : G.out(St.N)) {
+      switch (E.Kind) {
+      case EdgeKind::Dep:
+      case EdgeKind::PropUnknown:
+      case EdgeKind::VersionUnknown:
+        Work.push_back({E.To, St.Overwritten});
+        break;
+      case EdgeKind::Version: {
+        TaintState Next{E.To, St.Overwritten};
+        Next.Overwritten.insert(E.Prop);
+        Work.push_back(std::move(Next));
+        break;
+      }
+      case EdgeKind::Prop:
+        // The UntaintedPath exclusion: a known property that was
+        // overwritten along this path no longer carries the taint.
+        if (!St.Overwritten.count(E.Prop))
+          Work.push_back({E.To, St.Overwritten});
+        break;
+      }
+    }
+  }
+  return Reached;
+}
+
+bool Traversals::taintPathExists(NodeId Src, NodeId Dst) const {
+  if (Src == Dst)
+    return true;
+  return taintReachable(Src).count(Dst) != 0;
+}
+
+bool Traversals::basicPathExists(NodeId Src, NodeId Dst) const {
+  if (Src == Dst)
+    return true;
+  std::vector<bool> Seen(G.numNodes(), false);
+  std::vector<NodeId> Work{Src};
+  Seen[Src] = true;
+  while (!Work.empty()) {
+    NodeId N = Work.back();
+    Work.pop_back();
+    if (N == Dst)
+      return true;
+    for (const Edge &E : G.out(N))
+      if (!Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+  }
+  return false;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Traversals::objLookupStar() const {
+  std::vector<std::pair<NodeId, NodeId>> Out;
+  for (NodeId N : G.nodeIds())
+    for (const Edge &E : G.out(N))
+      if (E.Kind == EdgeKind::PropUnknown)
+        Out.push_back({N, E.To});
+  return Out;
+}
+
+std::vector<std::pair<NodeId, NodeId>>
+Traversals::objAssignmentStar(NodeId Sub) const {
+  std::vector<std::pair<NodeId, NodeId>> Out;
+  for (const Edge &E1 : G.out(Sub)) {
+    if (E1.Kind != EdgeKind::VersionUnknown)
+      continue;
+    for (const Edge &E2 : G.out(E1.To))
+      if (E2.Kind == EdgeKind::PropUnknown)
+        Out.push_back({E1.To, E2.To});
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- queries/VulnTypes.h - Vulnerability taxonomy --------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four vulnerability classes Graph.js detects (§2.2): OS command
+/// injection (CWE-78), code injection (CWE-94), path traversal (CWE-22),
+/// and prototype pollution (CWE-1321), plus the report record every
+/// detector emits (type + sink line, which is what the evaluation's
+/// true-positive matching compares against dataset annotations, §5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_QUERIES_VULNTYPES_H
+#define GJS_QUERIES_VULNTYPES_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace gjs {
+namespace queries {
+
+enum class VulnType {
+  CommandInjection,   // CWE-78
+  CodeInjection,      // CWE-94
+  PathTraversal,      // CWE-22
+  PrototypePollution, // CWE-1321
+};
+
+constexpr int NumVulnTypes = 4;
+
+/// "CWE-78" etc.
+const char *cweOf(VulnType T);
+/// "command-injection" etc.
+const char *vulnTypeName(VulnType T);
+
+/// One reported finding.
+struct VulnReport {
+  VulnType Type = VulnType::CommandInjection;
+  /// Line of the unsafe sink (taint-style) or of the polluting assignment.
+  SourceLocation SinkLoc;
+  /// Sink function name ("exec") or "" for prototype pollution.
+  std::string SinkName;
+  /// Resolved dotted path ("child_process.exec") when known.
+  std::string SinkPath;
+
+  bool operator==(const VulnReport &O) const {
+    return Type == O.Type && SinkLoc == O.SinkLoc && SinkName == O.SinkName;
+  }
+  bool operator<(const VulnReport &O) const {
+    if (Type != O.Type)
+      return static_cast<int>(Type) < static_cast<int>(O.Type);
+    if (!(SinkLoc == O.SinkLoc))
+      return SinkLoc < O.SinkLoc;
+    return SinkName < O.SinkName;
+  }
+
+  std::string str() const;
+};
+
+} // namespace queries
+} // namespace gjs
+
+#endif // GJS_QUERIES_VULNTYPES_H

@@ -1,0 +1,225 @@
+//===- scanner/Scanner.cpp - The Graph.js scanning pipeline ----------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanner/Scanner.h"
+
+#include "core/Normalizer.h"
+#include "frontend/Parser.h"
+#include "support/JSON.h"
+#include "support/Timer.h"
+
+#include <functional>
+
+using namespace gjs;
+using namespace gjs::scanner;
+
+Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
+
+ScanResult Scanner::scanSource(const std::string &Source) {
+  ScanResult Out;
+  Timer Phase;
+
+  // Phase 1: parse + normalize (the MDG generator's front half).
+  DiagnosticEngine Diags;
+  auto Module = parseJS(Source, Diags);
+  if (Diags.hasErrors()) {
+    Out.ParseFailed = true;
+    Out.Times.Parse = Phase.elapsedSeconds();
+    return Out;
+  }
+  Out.ASTNodes = ast::countNodes(*Module);
+  core::Normalizer Norm(Diags);
+  auto Prog = Norm.normalize(*Module);
+  Out.CoreStmts = core::countStmts(Prog->TopLevel);
+  for (const auto &[Name, Fn] : Prog->Functions)
+    Out.CoreStmts += core::countStmts(Fn->Body);
+  Out.Times.Parse = Phase.elapsedSeconds();
+
+  // Phase 2: MDG construction. Configured sanitizers become builder-level
+  // taint barriers (§6).
+  Phase.reset();
+  analysis::BuilderOptions BO = Options.Builder;
+  for (const std::string &Name : Options.Sinks.sanitizers())
+    BO.Sanitizers.insert(Name);
+  analysis::BuildResult Build = analysis::buildMDG(*Prog, BO);
+  Out.Times.GraphBuild = Phase.elapsedSeconds();
+  Out.MDGNodes = Build.Graph.numNodes();
+  Out.MDGEdges = Build.Graph.numEdges();
+  Out.BuildWork = Build.WorkDone;
+  Out.TimedOut |= Build.TimedOut;
+
+  // Phase 3+4: import into the database and run the queries.
+  if (Options.Backend == QueryBackend::GraphDB) {
+    Phase.reset();
+    queries::GraphDBRunner Runner(Build, Options.Engine);
+    Out.Times.DbImport = Phase.elapsedSeconds();
+
+    Phase.reset();
+    queries::DetectStats Stats;
+    Out.Reports = Runner.detect(Options.Sinks, &Stats);
+    Out.Times.Query = Phase.elapsedSeconds();
+    Out.QueryWork = Stats.QueryWork;
+    Out.TimedOut |= Stats.TimedOut;
+  } else {
+    Phase.reset();
+    Out.Reports = queries::detectNative(Build, Options.Sinks);
+    Out.Times.Query = Phase.elapsedSeconds();
+  }
+  return Out;
+}
+
+namespace {
+
+/// Module stem used for require-target matching (mirrors the builder's).
+std::string stemOf(const std::string &Name) {
+  std::string S = Name;
+  size_t Slash = S.find_last_of('/');
+  if (Slash != std::string::npos)
+    S = S.substr(Slash + 1);
+  if (S.size() > 3 && S.compare(S.size() - 3, 3, ".js") == 0)
+    S = S.substr(0, S.size() - 3);
+  return S;
+}
+
+/// Orders modules dependencies-first (Kahn); cycles keep input order.
+std::vector<size_t>
+topoOrder(const std::vector<std::unique_ptr<core::Program>> &Programs,
+          const std::vector<std::string> &Stems) {
+  size_t N = Programs.size();
+  // Requires[i] = indices of local modules that module i requires.
+  std::vector<std::vector<size_t>> Requires(N);
+  std::vector<size_t> InDegree(N, 0);
+  std::function<void(const std::vector<core::StmtPtr> &, size_t)> Collect =
+      [&](const std::vector<core::StmtPtr> &Block, size_t I) {
+        for (const core::StmtPtr &S : Block) {
+          if (!S->RequireModule.empty()) {
+            std::string Stem = stemOf(S->RequireModule);
+            for (size_t J = 0; J < N; ++J)
+              if (J != I && Stems[J] == Stem)
+                Requires[I].push_back(J);
+          }
+          Collect(S->Then, I);
+          Collect(S->Else, I);
+          Collect(S->Body, I);
+          if (S->K == core::StmtKind::FuncDef && S->Func)
+            Collect(S->Func->Body, I);
+        }
+      };
+  for (size_t I = 0; I < N; ++I)
+    if (Programs[I])
+      Collect(Programs[I]->TopLevel, I);
+  for (size_t I = 0; I < N; ++I)
+    InDegree[I] = Requires[I].size();
+
+  std::vector<size_t> Order;
+  std::vector<bool> Done(N, false);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t I = 0; I < N; ++I) {
+      if (Done[I] || InDegree[I] != 0)
+        continue;
+      Order.push_back(I);
+      Done[I] = true;
+      Progress = true;
+      for (size_t J = 0; J < N; ++J)
+        if (!Done[J])
+          for (size_t Dep : Requires[J])
+            if (Dep == I && InDegree[J] > 0)
+              --InDegree[J];
+    }
+  }
+  for (size_t I = 0; I < N; ++I)
+    if (!Done[I])
+      Order.push_back(I); // Cycles: input order.
+  return Order;
+}
+
+} // namespace
+
+ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
+  if (Files.size() == 1)
+    return scanSource(Files[0].Contents);
+
+  ScanResult Out;
+  Timer Phase;
+
+  // Parse + normalize every file; function names and statement indices
+  // get per-module disjoint ranges (they are allocation keys).
+  std::vector<std::unique_ptr<core::Program>> Programs(Files.size());
+  std::vector<std::string> Stems(Files.size());
+  core::StmtIndex NextIndex = 1;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    Stems[I] = stemOf(Files[I].Name);
+    DiagnosticEngine Diags;
+    auto Module = parseJS(Files[I].Contents, Diags);
+    if (Diags.hasErrors()) {
+      Out.ParseFailed = true;
+      continue;
+    }
+    Out.ASTNodes += ast::countNodes(*Module);
+    core::Normalizer Norm(Diags, Stems[I] + "$", NextIndex);
+    Programs[I] = Norm.normalize(*Module);
+    NextIndex = Programs[I]->NumIndices + 1;
+    Out.CoreStmts += core::countStmts(Programs[I]->TopLevel);
+    for (const auto &[Name, Fn] : Programs[I]->Functions)
+      Out.CoreStmts += core::countStmts(Fn->Body);
+  }
+  Out.Times.Parse = Phase.elapsedSeconds();
+
+  // Linked MDG construction over all parsed modules, deps first.
+  Phase.reset();
+  std::vector<analysis::PackageModule> Modules;
+  for (size_t I : topoOrder(Programs, Stems))
+    if (Programs[I])
+      Modules.push_back({Files[I].Name, Programs[I].get()});
+  if (Modules.empty())
+    return Out;
+  analysis::BuilderOptions BO = Options.Builder;
+  for (const std::string &Name : Options.Sinks.sanitizers())
+    BO.Sanitizers.insert(Name);
+  analysis::MDGBuilder Builder(BO);
+  analysis::BuildResult Build = Builder.buildPackage(Modules);
+  Out.Times.GraphBuild = Phase.elapsedSeconds();
+  Out.MDGNodes = Build.Graph.numNodes();
+  Out.MDGEdges = Build.Graph.numEdges();
+  Out.BuildWork = Build.WorkDone;
+  Out.TimedOut |= Build.TimedOut;
+
+  if (Options.Backend == QueryBackend::GraphDB) {
+    Phase.reset();
+    queries::GraphDBRunner Runner(Build, Options.Engine);
+    Out.Times.DbImport = Phase.elapsedSeconds();
+    Phase.reset();
+    queries::DetectStats Stats;
+    Out.Reports = Runner.detect(Options.Sinks, &Stats);
+    Out.Times.Query = Phase.elapsedSeconds();
+    Out.QueryWork = Stats.QueryWork;
+    Out.TimedOut |= Stats.TimedOut;
+  } else {
+    Phase.reset();
+    Out.Reports = queries::detectNative(Build, Options.Sinks);
+    Out.Times.Query = Phase.elapsedSeconds();
+  }
+  return Out;
+}
+
+std::string scanner::reportsToJSON(
+    const std::vector<queries::VulnReport> &Reports) {
+  json::Array Arr;
+  for (const queries::VulnReport &R : Reports) {
+    json::Object O;
+    O["cwe"] = json::Value(queries::cweOf(R.Type));
+    O["type"] = json::Value(queries::vulnTypeName(R.Type));
+    O["line"] = json::Value(static_cast<unsigned>(R.SinkLoc.Line));
+    if (!R.SinkName.empty())
+      O["sink"] = json::Value(R.SinkName);
+    if (!R.SinkPath.empty())
+      O["sink_path"] = json::Value(R.SinkPath);
+    Arr.push_back(json::Value(std::move(O)));
+  }
+  return json::Value(std::move(Arr)).str(2);
+}

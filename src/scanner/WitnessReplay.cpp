@@ -1,0 +1,148 @@
+//===- scanner/WitnessReplay.cpp - Concrete finding confirmation ----------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanner/WitnessReplay.h"
+
+#include "analysis/ConcreteInterp.h"
+
+#include <algorithm>
+
+#include <string>
+#include <vector>
+
+using namespace gjs;
+using namespace gjs::scanner;
+using analysis::ConcreteInterp;
+using analysis::ConcreteResult;
+using analysis::ValueSpec;
+
+namespace {
+
+const char *Canary = "__CANARY__";
+
+/// The input shapes replay tries for each parameter position. Shapes map
+/// to the idioms the dataset generator (and real packages) use: plain
+/// strings, dotted paths (set-value), pollution key names, array-likes,
+/// and nested config objects.
+std::vector<std::vector<ValueSpec>> inputShapes(size_t Arity) {
+  auto CanaryStr = [] { return ValueSpec::string(Canary); };
+  auto DottedPath = [] {
+    return ValueSpec::string(std::string("__proto__.") + Canary);
+  };
+  auto ArrayLike = [&] {
+    return ValueSpec::object({{"0", CanaryStr()},
+                              {"1", CanaryStr()},
+                              {"length", ValueSpec::number(2)}});
+  };
+  auto NestedConfig = [&] {
+    return ValueSpec::object(
+        {{Canary, ValueSpec::object({{Canary, CanaryStr()}})},
+         {"cmd", CanaryStr()},
+         {"__proto__", ValueSpec::object()}});
+  };
+
+  std::vector<std::vector<ValueSpec>> Shapes;
+  auto Fill = [&](auto Maker) {
+    std::vector<ValueSpec> Args;
+    for (size_t I = 0; I < Arity; ++I)
+      Args.push_back(Maker());
+    Shapes.push_back(std::move(Args));
+  };
+  Fill(CanaryStr);
+  Fill(ArrayLike);
+  Fill(NestedConfig);
+  Fill(DottedPath);
+  // Mixed: object first (merge targets), canary strings after.
+  {
+    std::vector<ValueSpec> Args;
+    for (size_t I = 0; I < Arity; ++I)
+      Args.push_back(I == 0 ? NestedConfig() : CanaryStr());
+    Shapes.push_back(std::move(Args));
+  }
+  return Shapes;
+}
+
+bool confirmInRun(const ConcreteResult &Run,
+                  const queries::VulnReport &Finding, std::string &Witness) {
+  auto HasCanary = [](const std::string &S) {
+    return S.find(Canary) != std::string::npos;
+  };
+
+  if (Finding.Type == queries::VulnType::PrototypePollution) {
+    for (const analysis::WriteObservation &W : Run.DynWrites) {
+      if (W.Line != Finding.SinkLoc.Line)
+        continue;
+      if (HasCanary(W.PropName) || W.PropName == "__proto__") {
+        Witness = "dynamic write of property '" + W.PropName +
+                  "' = '" + W.Value + "' at line " + std::to_string(W.Line);
+        return HasCanary(W.Value) || HasCanary(W.PropName);
+      }
+    }
+    return false;
+  }
+
+  for (const analysis::CallObservation &C : Run.Calls) {
+    if (C.Line != Finding.SinkLoc.Line)
+      continue;
+    if (!Finding.SinkName.empty() && C.CalleeName != Finding.SinkName)
+      continue;
+    for (size_t I = 0; I < C.ArgValues.size(); ++I) {
+      if (HasCanary(C.ArgValues[I])) {
+        Witness = C.CalleeName + "(arg" + std::to_string(I) + " = '" +
+                  C.ArgValues[I] + "') at line " + std::to_string(C.Line);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+ReplayResult scanner::replayFinding(const core::Program &Program,
+                                    const queries::VulnReport &Finding) {
+  ReplayResult Out;
+
+  // Candidate entries: exported functions (deduplicated).
+  std::vector<std::string> Entries;
+  for (const core::ExportEntry &E : Program.Exports)
+    if (!E.FunctionName.empty() && Program.Functions.count(E.FunctionName) &&
+        std::find(Entries.begin(), Entries.end(), E.FunctionName) ==
+            Entries.end())
+      Entries.push_back(E.FunctionName);
+
+  analysis::InterpOptions IO;
+  IO.MaxSteps = 20000;
+  IO.MaxLoopIters = 16;
+
+  for (const std::string &Entry : Entries) {
+    size_t Arity = Program.Functions.at(Entry)->Params.size();
+    for (std::vector<ValueSpec> &Args : inputShapes(std::max<size_t>(
+             Arity, 1))) {
+      ++Out.Attempts;
+      ConcreteInterp CI(IO);
+      ConcreteResult Run = CI.run(Program, Entry, Args);
+      std::string Witness;
+      if (confirmInRun(Run, Finding, Witness)) {
+        Out.Confirmed = true;
+        Out.EntryFunction = Entry;
+        Out.Witness = std::move(Witness);
+        return Out;
+      }
+    }
+  }
+  return Out;
+}
+
+std::vector<queries::VulnReport>
+scanner::confirmByReplay(const core::Program &Program,
+                         const std::vector<queries::VulnReport> &Findings) {
+  std::vector<queries::VulnReport> Confirmed;
+  for (const queries::VulnReport &F : Findings)
+    if (replayFinding(Program, F).Confirmed)
+      Confirmed.push_back(F);
+  return Confirmed;
+}

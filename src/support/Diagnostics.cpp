@@ -1,0 +1,38 @@
+//===- support/Diagnostics.cpp - Diagnostic collection --------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace gjs;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  OS << severityName(Severity) << ": " << Message;
+  return OS.str();
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << '\n';
+  return OS.str();
+}

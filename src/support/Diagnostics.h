@@ -1,0 +1,73 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never prints directly; it records
+/// diagnostics here, and tools decide how to render them. This mirrors the
+/// recoverable-error discipline from the LLVM coding standards: malformed
+/// user input (a JS file we cannot parse) must not crash the scanner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_DIAGNOSTICS_H
+#define GJS_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace gjs {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem, with an optional source anchor.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one source file.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message) {
+    Diags.push_back({Severity, Loc, std::move(Message)});
+    if (Severity == DiagSeverity::Error)
+      ++NumErrors;
+  }
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders all diagnostics, one per line, for tool output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_DIAGNOSTICS_H

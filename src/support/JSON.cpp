@@ -1,0 +1,383 @@
+//===- support/JSON.cpp - Minimal JSON value and writer -------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::json;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+static std::string formatNumber(double D) {
+  // Integral values print without a trailing ".0" so reports stay tidy.
+  if (D == std::floor(D) && std::abs(D) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", D);
+    return Buf;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  return Buf;
+}
+
+static void writeValue(const Value &V, std::ostringstream &OS, unsigned Indent,
+                       unsigned Depth) {
+  auto NewLine = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    OS << '\n';
+    for (unsigned I = 0; I < Indent * D; ++I)
+      OS << ' ';
+  };
+
+  if (V.isNull()) {
+    OS << "null";
+  } else if (V.isBool()) {
+    OS << (V.asBool() ? "true" : "false");
+  } else if (V.isNumber()) {
+    OS << formatNumber(V.asNumber());
+  } else if (V.isString()) {
+    OS << '"' << escape(V.asString()) << '"';
+  } else if (V.isArray()) {
+    const Array &A = V.asArray();
+    if (A.empty()) {
+      OS << "[]";
+      return;
+    }
+    OS << '[';
+    bool First = true;
+    for (const Value &E : A) {
+      if (!First)
+        OS << ',';
+      First = false;
+      NewLine(Depth + 1);
+      writeValue(E, OS, Indent, Depth + 1);
+    }
+    NewLine(Depth);
+    OS << ']';
+  } else {
+    const Object &O = V.asObject();
+    if (O.empty()) {
+      OS << "{}";
+      return;
+    }
+    OS << '{';
+    bool First = true;
+    for (const auto &[Key, Val] : O) {
+      if (!First)
+        OS << ',';
+      First = false;
+      NewLine(Depth + 1);
+      OS << '"' << escape(Key) << "\":";
+      if (Indent)
+        OS << ' ';
+      writeValue(Val, OS, Indent, Depth + 1);
+    }
+    NewLine(Depth);
+    OS << '}';
+  }
+}
+
+std::string Value::str(unsigned Indent) const {
+  std::ostringstream OS;
+  writeValue(*this, OS, Indent, 0);
+  return OS.str();
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string buffer.
+class ParserImpl {
+public:
+  ParserImpl(const std::string &Text) : Text(Text) {}
+
+  bool parse(Value &Out, std::string *Error) {
+    skipWhitespace();
+    if (!parseValue(Out)) {
+      if (Error)
+        *Error = Err.empty() ? "malformed JSON" : Err;
+      return false;
+    }
+    skipWhitespace();
+    if (Pos != Text.size()) {
+      if (Error)
+        *Error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+
+  bool fail(const std::string &Message) {
+    if (Err.empty())
+      Err = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (peek() != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool consumeKeyword(const char *KW) {
+    size_t Len = std::char_traits<char>::length(KW);
+    if (Text.compare(Pos, Len, KW) != 0)
+      return fail(std::string("expected '") + KW + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    skipWhitespace();
+    switch (peek()) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!consumeKeyword("true"))
+        return false;
+      Out = Value(true);
+      return true;
+    case 'f':
+      if (!consumeKeyword("false"))
+        return false;
+      Out = Value(false);
+      return true;
+    case 'n':
+      if (!consumeKeyword("null"))
+        return false;
+      Out = Value(nullptr);
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    if (!consume('{'))
+      return false;
+    Object O;
+    skipWhitespace();
+    if (peek() == '}') {
+      ++Pos;
+      Out = Value(std::move(O));
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':'))
+        return false;
+      Value V;
+      if (!parseValue(V))
+        return false;
+      O.emplace(std::move(Key), std::move(V));
+      skipWhitespace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (!consume('}'))
+      return false;
+    Out = Value(std::move(O));
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    if (!consume('['))
+      return false;
+    Array A;
+    skipWhitespace();
+    if (peek() == ']') {
+      ++Pos;
+      Out = Value(std::move(A));
+      return true;
+    }
+    while (true) {
+      Value V;
+      if (!parseValue(V))
+        return false;
+      A.push_back(std::move(V));
+      skipWhitespace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (!consume(']'))
+      return false;
+    Out = Value(std::move(A));
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // Encode as UTF-8 (no surrogate-pair handling; config files are
+        // ASCII in practice).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+    return consume('"');
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (Pos == Start)
+      return fail("expected a JSON value");
+    Out = Value(std::stod(Text.substr(Start, Pos - Start)));
+    return true;
+  }
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string *Error) {
+  return ParserImpl(Text).parse(Out, Error);
+}

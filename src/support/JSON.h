@@ -1,0 +1,81 @@
+//===- support/JSON.h - Minimal JSON value and writer -----------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value tree with serialization. Used for vulnerability
+/// reports (Graph.js emits machine-readable findings) and for the
+/// sink/source configuration file (§4: "The list of Sinks considered by
+/// Graph.js can be set dynamically via a configuration file").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_JSON_H
+#define GJS_SUPPORT_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gjs {
+namespace json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Value {
+public:
+  Value() : Data(nullptr) {}
+  Value(std::nullptr_t) : Data(nullptr) {}
+  Value(bool B) : Data(B) {}
+  Value(int I) : Data(static_cast<double>(I)) {}
+  Value(unsigned I) : Data(static_cast<double>(I)) {}
+  Value(long I) : Data(static_cast<double>(I)) {}
+  Value(unsigned long I) : Data(static_cast<double>(I)) {}
+  Value(double D) : Data(D) {}
+  Value(const char *S) : Data(std::string(S)) {}
+  Value(std::string S) : Data(std::move(S)) {}
+  Value(Array A) : Data(std::move(A)) {}
+  Value(Object O) : Data(std::move(O)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(Data); }
+  bool isBool() const { return std::holds_alternative<bool>(Data); }
+  bool isNumber() const { return std::holds_alternative<double>(Data); }
+  bool isString() const { return std::holds_alternative<std::string>(Data); }
+  bool isArray() const { return std::holds_alternative<Array>(Data); }
+  bool isObject() const { return std::holds_alternative<Object>(Data); }
+
+  bool asBool() const { return std::get<bool>(Data); }
+  double asNumber() const { return std::get<double>(Data); }
+  const std::string &asString() const { return std::get<std::string>(Data); }
+  const Array &asArray() const { return std::get<Array>(Data); }
+  Array &asArray() { return std::get<Array>(Data); }
+  const Object &asObject() const { return std::get<Object>(Data); }
+  Object &asObject() { return std::get<Object>(Data); }
+
+  /// Serializes this value. With \p Indent > 0, pretty-prints using that
+  /// many spaces per nesting level.
+  std::string str(unsigned Indent = 0) const;
+
+private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> Data;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (without quotes).
+std::string escape(const std::string &S);
+
+/// Parses JSON text. Returns std::nullopt on malformed input. Supports the
+/// full JSON grammar minus exotic number forms; sufficient for config files.
+class Parser;
+bool parse(const std::string &Text, Value &Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace gjs
+
+#endif // GJS_SUPPORT_JSON_H

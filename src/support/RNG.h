@@ -1,0 +1,67 @@
+//===- support/RNG.h - Deterministic random numbers -------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64). The workload generator and the
+/// property-based tests must be reproducible across platforms, so we avoid
+/// std::mt19937's distribution non-portability and seed everything from a
+/// fixed value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_RNG_H
+#define GJS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gjs {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload synthesis.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9E3779B97F4A7C15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli draw with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "cannot pick from an empty vector");
+    return Items[below(Items.size())];
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_RNG_H

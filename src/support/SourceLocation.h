@@ -1,0 +1,59 @@
+//===- support/SourceLocation.h - Source positions --------------*- C++ -*-==//
+//
+// Part of graphjs-cpp, a C++ reproduction of "Efficient Static Vulnerability
+// Analysis for JavaScript with Multiversion Dependency Graphs" (PLDI 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source positions shared by the lexer, parser, AST, Core IR,
+/// and vulnerability reports (which must pinpoint the sink line, per §5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_SOURCELOCATION_H
+#define GJS_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace gjs {
+
+/// A position in a source buffer. Line and column are 1-based; a zero line
+/// denotes an invalid/unknown location.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &O) const = default;
+  bool operator<(const SourceLocation &O) const {
+    return Line < O.Line || (Line == O.Line && Column < O.Column);
+  }
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// A half-open range of source positions [Begin, End).
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLocation Begin, SourceLocation End)
+      : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
+  bool operator==(const SourceRange &O) const = default;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,72 @@
+//===- support/StringInterner.h - String interning --------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier and property-name strings so the MDG and the abstract
+/// store can compare names by integer id. Property edges P(p) are compared
+/// millions of times during lookup resolution; interning keeps that cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_STRINGINTERNER_H
+#define GJS_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gjs {
+
+/// An interned string id. Id 0 is reserved for the empty string.
+using Symbol = uint32_t;
+
+/// Maps strings to dense integer ids and back.
+class StringInterner {
+public:
+  StringInterner() { intern(""); }
+
+  Symbol intern(std::string_view S) {
+    auto It = Index.find(std::string(S));
+    if (It != Index.end())
+      return It->second;
+    Symbol Id = static_cast<Symbol>(Storage.size());
+    Storage.emplace_back(S);
+    Index.emplace(Storage.back(), Id);
+    return Id;
+  }
+
+  const std::string &str(Symbol Id) const {
+    assert(Id < Storage.size() && "symbol out of range");
+    return Storage[Id];
+  }
+
+  bool contains(std::string_view S) const {
+    return Index.count(std::string(S)) != 0;
+  }
+
+  /// Looks up an already-interned string without mutating the table.
+  /// Returns false when \p S was never interned.
+  bool find(std::string_view S, Symbol &Out) const {
+    auto It = Index.find(std::string(S));
+    if (It == Index.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::vector<std::string> Storage;
+  std::unordered_map<std::string, Symbol> Index;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,70 @@
+//===- support/TablePrinter.cpp - ASCII table rendering -------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace gjs;
+
+std::string TablePrinter::fmt(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmtRatio(double Value, int Decimals) {
+  return fmt(Value, Decimals) + "x";
+}
+
+std::string TablePrinter::fmtPercent(double Fraction, int Decimals) {
+  return fmt(Fraction * 100.0, Decimals) + "%";
+}
+
+std::string TablePrinter::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Grow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max(Widths[I], Row[I].size());
+    }
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row,
+                       std::ostringstream &OS) {
+    OS << "|";
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      OS << ' ' << Cell << std::string(Widths[I] - Cell.size(), ' ') << " |";
+    }
+    OS << '\n';
+  };
+
+  auto RenderRule = [&](std::ostringstream &OS) {
+    OS << "+";
+    for (size_t W : Widths)
+      OS << std::string(W + 2, '-') << "+";
+    OS << '\n';
+  };
+
+  std::ostringstream OS;
+  RenderRule(OS);
+  RenderRow(Header, OS);
+  RenderRule(OS);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (std::find(Separators.begin(), Separators.end(), I) != Separators.end())
+      RenderRule(OS);
+    RenderRow(Rows[I], OS);
+  }
+  RenderRule(OS);
+  return OS.str();
+}

@@ -1,0 +1,53 @@
+//===- support/TablePrinter.h - ASCII table rendering ------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned ASCII tables. Every bench binary prints the same
+/// rows/columns as the corresponding paper table through this class, so
+/// outputs are easy to diff against EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_TABLEPRINTER_H
+#define GJS_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace gjs {
+
+/// Collects rows of string cells and renders them column-aligned.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  /// Adds a horizontal separator before the next row.
+  void addSeparator() { Separators.push_back(Rows.size()); }
+
+  /// Renders the table with a header rule and column padding.
+  std::string str() const;
+
+  /// Formats a double with \p Decimals digits after the point.
+  static std::string fmt(double Value, int Decimals = 2);
+
+  /// Formats a ratio like "1.63x".
+  static std::string fmtRatio(double Value, int Decimals = 2);
+
+  /// Formats a percentage like "82.0%".
+  static std::string fmtPercent(double Fraction, int Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<size_t> Separators;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,62 @@
+//===- support/Timer.h - Wall-clock timing -----------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers for the evaluation harness. The paper reports per-phase
+/// times (graph construction vs. traversal, Table 6) and a CDF of total
+/// analysis time (Figure 7); both are measured with these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_TIMER_H
+#define GJS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace gjs {
+
+/// Measures elapsed wall-clock time since construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double elapsedMilliseconds() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates time across multiple start/stop windows (per-phase totals).
+class AccumulatingTimer {
+public:
+  void start() { Current.reset(); Running = true; }
+
+  void stop() {
+    if (!Running)
+      return;
+    Total += Current.elapsedSeconds();
+    Running = false;
+  }
+
+  double totalSeconds() const { return Total; }
+  void reset() { Total = 0; Running = false; }
+
+private:
+  Timer Current;
+  double Total = 0;
+  bool Running = false;
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_TIMER_H

@@ -1,0 +1,48 @@
+//===- workload/CodeWriter.h - Line-tracking JS emitter ----------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds JavaScript source line by line while tracking line numbers, so
+/// the dataset generator can record exact sink-line annotations — the
+/// ground truth the evaluation's TP matching compares reports against
+/// (§5.2: "the vulnerability type and sink line number reported by the
+/// tools match the dataset annotations").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_WORKLOAD_CODEWRITER_H
+#define GJS_WORKLOAD_CODEWRITER_H
+
+#include <cstdint>
+#include <string>
+
+namespace gjs {
+namespace workload {
+
+/// Accumulates source text; line() returns the line number the next
+/// emitted line will occupy (1-based).
+class CodeWriter {
+public:
+  /// Emits one line of code and returns its line number.
+  uint32_t emit(const std::string &Line) {
+    Source += Line;
+    Source += '\n';
+    return CurrentLine++;
+  }
+
+  uint32_t line() const { return CurrentLine; }
+  const std::string &str() const { return Source; }
+  size_t loc() const { return static_cast<size_t>(CurrentLine) - 1; }
+
+private:
+  std::string Source;
+  uint32_t CurrentLine = 1;
+};
+
+} // namespace workload
+} // namespace gjs
+
+#endif // GJS_WORKLOAD_CODEWRITER_H

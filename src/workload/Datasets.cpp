@@ -1,0 +1,153 @@
+//===- workload/Datasets.cpp - Reference dataset synthesis -----------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Datasets.h"
+
+using namespace gjs;
+using namespace gjs::workload;
+using queries::VulnType;
+
+namespace {
+
+/// Per-CWE complexity and variant mixes (weights sum to 1). These encode
+/// the code-pattern population the paper's findings rest on; see the file
+/// header of Datasets.h.
+struct Mix {
+  // Complexity weights: Direct, Wrapped, Loop, Recursive, Deep.
+  double Complexity[5];
+  // Variant weights: Plain, ArgumentsBased, IndirectCall, ExtraSink,
+  // Guarded, Sanitized.
+  double Variant[6];
+};
+
+Mix mixFor(VulnType T) {
+  switch (T) {
+  case VulnType::PathTraversal:
+    return {{0.45, 0.30, 0.15, 0.07, 0.03},
+            {0.55, 0.02, 0.01, 0.12, 0.10, 0.20}};
+  case VulnType::CommandInjection:
+    return {{0.28, 0.30, 0.15, 0.10, 0.17},
+            {0.40, 0.03, 0.02, 0.30, 0.06, 0.19}};
+  case VulnType::CodeInjection:
+    return {{0.20, 0.12, 0.10, 0.10, 0.48},
+            {0.52, 0.06, 0.07, 0.15, 0.06, 0.14}};
+  case VulnType::PrototypePollution:
+    return {{0.14, 0.10, 0.28, 0.33, 0.15},
+            {0.40, 0.13, 0.22, 0.13, 0.08, 0.04}};
+  }
+  return {{1, 0, 0, 0, 0}, {1, 0, 0, 0, 0, 0}};
+}
+
+template <typename E, size_t N>
+E pickWeighted(RNG &R, const double (&Weights)[N]) {
+  double X = R.unit();
+  double Acc = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Acc += Weights[I];
+    if (X < Acc)
+      return static_cast<E>(I);
+  }
+  return static_cast<E>(N - 1);
+}
+
+/// Filler size following the Table 7 LoC bucket distribution.
+size_t pickFiller(RNG &R) {
+  double X = R.unit();
+  if (X < 0.35)
+    return R.below(70);                   // < 100 LoC
+  if (X < 0.75)
+    return 80 + R.below(380);             // 100 - 500
+  if (X < 0.92)
+    return 480 + R.below(480);            // 500 - 1000
+  return 980 + R.below(1400);             // > 1000
+}
+
+} // namespace
+
+std::vector<Package> workload::makeDataset(uint64_t Seed,
+                                           const DatasetCounts &Counts) {
+  PackageGenerator Gen(Seed);
+  RNG &R = Gen.rng();
+  std::vector<Package> Out;
+  Out.reserve(Counts.total());
+
+  auto Generate = [&](VulnType T, size_t N) {
+    Mix M = mixFor(T);
+    for (size_t I = 0; I < N; ++I) {
+      Complexity C = pickWeighted<Complexity>(R, M.Complexity);
+      VariantKind V = pickWeighted<VariantKind>(R, M.Variant);
+      Out.push_back(Gen.vulnerable(T, C, V, pickFiller(R)));
+    }
+  };
+
+  Generate(VulnType::PathTraversal, Counts.PathTraversal);
+  Generate(VulnType::CommandInjection, Counts.CommandInjection);
+  Generate(VulnType::CodeInjection, Counts.CodeInjection);
+  Generate(VulnType::PrototypePollution, Counts.PrototypePollution);
+  return Out;
+}
+
+std::vector<Package> workload::makeVulcaN(uint64_t Seed) {
+  return makeDataset(Seed ^ 0x56554C43, VulcaNCounts); // "VULC"
+}
+
+std::vector<Package> workload::makeSecBench(uint64_t Seed) {
+  return makeDataset(Seed ^ 0x53454342, SecBenchCounts); // "SECB"
+}
+
+std::vector<Package> workload::makeGroundTruth(uint64_t Seed) {
+  std::vector<Package> All = makeVulcaN(Seed);
+  std::vector<Package> SB = makeSecBench(Seed);
+  All.insert(All.end(), std::make_move_iterator(SB.begin()),
+             std::make_move_iterator(SB.end()));
+  return All;
+}
+
+std::vector<Package> workload::makeCollected(uint64_t Seed, size_t N) {
+  PackageGenerator Gen(Seed ^ 0x434F4C4C); // "COLL"
+  RNG &R = Gen.rng();
+  std::vector<Package> Out;
+  Out.reserve(N);
+
+  static const VulnType Types[] = {
+      VulnType::PathTraversal, VulnType::CommandInjection,
+      VulnType::CodeInjection, VulnType::PrototypePollution};
+  // Vulnerability-class weights for planted vulns, roughly matching the
+  // Table 5 "Exploitable" column profile (command injection dominates).
+  static const double TypeWeights[4] = {0.10, 0.55, 0.15, 0.20};
+
+  for (size_t I = 0; I < N; ++I) {
+    double X = R.unit();
+    if (X < 0.72) {
+      Out.push_back(Gen.benign(pickFiller(R)));
+    } else if (X < 0.80) {
+      Out.push_back(Gen.benignWithSafeSinks(pickFiller(R)));
+    } else if (X < 0.86) {
+      // Dynamic-require plugin loaders: the CWE-94 TFP driver (§5.3).
+      Out.push_back(Gen.dynamicRequire(pickFiller(R)));
+    } else if (X < 0.93) {
+      // Guarded decoys on otherwise benign code: reported, unexploitable.
+      VulnType T = pickWeighted<VulnType>(R, TypeWeights);
+      Package P = Gen.vulnerable(T, Complexity::Direct, VariantKind::Guarded,
+                                 pickFiller(R));
+      // Strip the main annotated flow's annotation: in the wild nothing
+      // here is a known CVE; the *main* flow stays exploitable though.
+      P.ExtraRealLines.push_back(P.Annotations[0].SinkLine);
+      P.Annotations.clear();
+      P.PreviouslyReported = false;
+      Out.push_back(std::move(P));
+    } else {
+      // Genuinely vulnerable packages; about half never reported before.
+      VulnType T = pickWeighted<VulnType>(R, TypeWeights);
+      Mix M = mixFor(T);
+      Complexity C = pickWeighted<Complexity>(R, M.Complexity);
+      Package P = Gen.vulnerable(T, C, VariantKind::Plain, pickFiller(R));
+      P.PreviouslyReported = R.chance(0.5);
+      Out.push_back(std::move(P));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- workload/Datasets.h - Reference dataset synthesis ---------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the three evaluation datasets with the paper's Table 3
+/// distributions:
+///
+///   VulcaN   — 219 vulnerabilities: CWE-22:5, CWE-78:87, CWE-94:33,
+///              CWE-1321:94
+///   SecBench — 384 vulnerabilities: CWE-22:161, CWE-78:82, CWE-94:21,
+///              CWE-1321:120
+///   Collected— popular-package crawl stand-in: mostly benign, plus safe
+///              sink users, dynamic-require loaders (the CWE-94 FP
+///              driver), guarded decoys, and a small planted set of real
+///              vulnerabilities (some never "reported" — the zero-days of
+///              Table 5).
+///
+/// Complexity and variant mixes per CWE encode the paper's qualitative
+/// findings: prototype-pollution packages skew towards loops/recursion
+/// (ODGen's timeout class, §5.2/§5.5) and carry most of the
+/// unsupported-feature variants (Graph.js's FN causes); taint-style
+/// packages are mostly direct/wrapped flows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_WORKLOAD_DATASETS_H
+#define GJS_WORKLOAD_DATASETS_H
+
+#include "workload/Packages.h"
+
+#include <vector>
+
+namespace gjs {
+namespace workload {
+
+/// Table 3 row: packages per CWE for one dataset.
+struct DatasetCounts {
+  size_t PathTraversal = 0;
+  size_t CommandInjection = 0;
+  size_t CodeInjection = 0;
+  size_t PrototypePollution = 0;
+  size_t total() const {
+    return PathTraversal + CommandInjection + CodeInjection +
+           PrototypePollution;
+  }
+};
+
+constexpr DatasetCounts VulcaNCounts{5, 87, 33, 94};
+constexpr DatasetCounts SecBenchCounts{161, 82, 21, 120};
+
+/// The VulcaN-like dataset (219 annotated vulnerabilities).
+std::vector<Package> makeVulcaN(uint64_t Seed);
+
+/// The SecBench-like dataset (384 annotated vulnerabilities).
+std::vector<Package> makeSecBench(uint64_t Seed);
+
+/// Both reference datasets combined (the Table 4 ground truth).
+std::vector<Package> makeGroundTruth(uint64_t Seed);
+
+/// The Collected-like corpus of \p N popular packages.
+std::vector<Package> makeCollected(uint64_t Seed, size_t N);
+
+/// Generates one dataset with explicit per-CWE counts (scaled runs).
+std::vector<Package> makeDataset(uint64_t Seed, const DatasetCounts &Counts);
+
+} // namespace workload
+} // namespace gjs
+
+#endif // GJS_WORKLOAD_DATASETS_H

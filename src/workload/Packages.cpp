@@ -1,0 +1,636 @@
+//===- workload/Packages.cpp - Synthetic npm packages ----------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Packages.h"
+
+#include "workload/CodeWriter.h"
+
+using namespace gjs;
+using namespace gjs::workload;
+using queries::VulnType;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+void PackageGenerator::emitFiller(CodeWriter &W, size_t Lines) {
+  size_t Emitted = 0;
+  unsigned FillerId = 0;
+  while (Emitted + 10 <= Lines) {
+    std::string F = "u" + std::to_string(NextId) + "_" +
+                    std::to_string(FillerId++);
+    W.emit("function " + F + "(x, y) {");
+    W.emit("  var a = x + " + std::to_string(R.below(100)) + ";");
+    W.emit("  var o = {v: a, w: y};");
+    W.emit("  var s = o.v + o.w;");
+    W.emit("  for (var i = 0; i < 3; i++) {");
+    W.emit("    s = s + o.v;");
+    W.emit("  }");
+    W.emit("  if (s > " + std::to_string(R.below(50)) + ") { s = s - 1; }");
+    W.emit("  return s;");
+    W.emit("}");
+    W.emit("exports." + F + " = " + F + ";");
+    Emitted += 11;
+  }
+}
+
+/// Exports the entry either directly or through a wrapper that obscures
+/// the flow: `arguments`-forwarding (ArgumentsBased, for non-Direct
+/// complexities) or Function.prototype.call indirection (IndirectCall,
+/// when requested with UseCallWrapper).
+static void exportEntry(CodeWriter &W, VariantKind V, Complexity C,
+                        const std::string &Fn, unsigned Arity,
+                        bool UseCallWrapper = false) {
+  if (V == VariantKind::ArgumentsBased && C != Complexity::Direct) {
+    W.emit("function entry() {");
+    std::string Fwd;
+    for (unsigned I = 0; I < Arity; ++I) {
+      if (I)
+        Fwd += ", ";
+      Fwd += "arguments[" + std::to_string(I) + "]";
+    }
+    W.emit("  return " + Fn + "(" + Fwd + ");");
+    W.emit("}");
+    W.emit("module.exports = entry;");
+    return;
+  }
+  if (V == VariantKind::IndirectCall && UseCallWrapper) {
+    std::string Params, Fwd;
+    for (unsigned I = 0; I < Arity; ++I) {
+      if (I) {
+        Params += ", ";
+        Fwd += ", ";
+      }
+      Params += "a" + std::to_string(I);
+      Fwd += "a" + std::to_string(I);
+    }
+    W.emit("function entry(" + Params + ") {");
+    W.emit("  return " + Fn + ".call(null, " + Fwd + ");");
+    W.emit("}");
+    W.emit("module.exports = entry;");
+    return;
+  }
+  W.emit("module.exports = " + Fn + ";");
+}
+
+void PackageGenerator::emitServerContext(CodeWriter &W) {
+  W.emit("var http = require('http');");
+  W.emit("function serve(handler) {");
+  W.emit("  return http.createServer(handler);");
+  W.emit("}");
+  W.emit("exports.serve = serve;");
+}
+
+//===----------------------------------------------------------------------===//
+// Command injection (CWE-78)
+//===----------------------------------------------------------------------===//
+
+Package PackageGenerator::commandInjection(Complexity C, VariantKind V,
+                                           size_t Filler) {
+  Package P;
+  P.Complex = C;
+  P.Variant = V;
+  std::string MultiFileHelper; // Non-empty => a lib.js module is emitted.
+  CodeWriter W;
+  W.emit("var cp = require('child_process');");
+
+  // -- Main (annotated) flow -------------------------------------------------
+  switch (C) {
+  case Complexity::Direct:
+    if (V == VariantKind::ArgumentsBased) {
+      W.emit("function run() {");
+      W.emit("  var cmd = arguments[0];");
+      W.emit("  var cb = arguments[1];");
+    } else {
+      W.emit("function run(cmd, cb) {");
+    }
+    W.emit("  var full = 'git ' + cmd;");
+    break;
+  case Complexity::Wrapped:
+    if (R.chance(0.5)) {
+      // Multi-file form: the builder helper lives in its own module.
+      // (Emitted into lib.js below; the entry requires it.)
+      MultiFileHelper = "function build(part) {\n"
+                        "  var pre = 'git ';\n"
+                        "  return pre + part;\n"
+                        "}\n"
+                        "exports.build = build;\n";
+      W.emit("var lib = require('./lib');");
+      W.emit("function run(cmd, cb) {");
+      W.emit("  var full = lib.build(cmd);");
+    } else {
+      W.emit("function build(part) {");
+      W.emit("  var pre = 'git ';");
+      W.emit("  return pre + part;");
+      W.emit("}");
+      W.emit("function run(cmd, cb) {");
+      W.emit("  var full = build(cmd);");
+    }
+    break;
+  case Complexity::Loop:
+    W.emit("function run(parts, cb) {");
+    W.emit("  var full = 'tar';");
+    W.emit("  for (var i = 0; i < parts.length; i++) {");
+    W.emit("    full = full + ' ' + parts[i];");
+    W.emit("  }");
+    break;
+  case Complexity::Recursive:
+    W.emit("function join(list, i) {");
+    W.emit("  if (i >= list.length) { return ''; }");
+    W.emit("  return list[i] + ' ' + join(list, i + 1);");
+    W.emit("}");
+    W.emit("function run(parts, cb) {");
+    W.emit("  var full = 'zip ' + join(parts, 0);");
+    break;
+  case Complexity::Deep:
+    W.emit("function expand(obj, depth) {");
+    W.emit("  if (depth <= 0) { return obj; }");
+    W.emit("  var out = {};");
+    W.emit("  for (var k in obj) {");
+    W.emit("    for (var j in obj) {");
+    W.emit("      out[k] = expand(obj[j], depth - 1);");
+    W.emit("    }");
+    W.emit("  }");
+    W.emit("  return out;");
+    W.emit("}");
+    W.emit("function run(opts, cb) {");
+    W.emit("  var conf = expand(opts, 3);");
+    W.emit("  var full = 'run ' + conf.cmd;");
+    break;
+  }
+
+  if (V == VariantKind::IndirectCall) {
+    W.emit("  doExec.call(null, full, cb);");
+    W.emit("}");
+    W.emit("function doExec(c, cb) {");
+    uint32_t Sink = W.emit("  cp.exec(c, cb);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::CommandInjection, Sink});
+  } else {
+    uint32_t Sink = W.emit("  cp.exec(full, cb);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::CommandInjection, Sink});
+  }
+  exportEntry(W, V, C, "run", 2);
+
+  // -- Add-on flows ----------------------------------------------------------
+  if (V == VariantKind::ExtraSink) {
+    W.emit("function runSync(c) {");
+    uint32_t Extra = W.emit("  return cp.execSync('ls ' + c);");
+    W.emit("}");
+    W.emit("module.exports.sync = runSync;");
+    P.ExtraRealLines.push_back(Extra);
+  }
+  if (V == VariantKind::Guarded) {
+    W.emit("function runChecked(c, cb) {");
+    W.emit("  var g = 'git ' + c;");
+    W.emit("  if (g.length < 4 && g.indexOf(';') === -1) {");
+    W.emit("    cp.exec(g, cb);");
+    W.emit("  }");
+    W.emit("}");
+    W.emit("module.exports.checked = runChecked;");
+  }
+  if (V == VariantKind::Sanitized) {
+    W.emit("function runFixed(c, cb) {");
+    W.emit("  var opts = {};");
+    W.emit("  opts.c = c;");
+    W.emit("  opts.c = 'git status';");
+    W.emit("  cp.exec(opts.c, cb);");
+    W.emit("}");
+    W.emit("module.exports.fixed = runFixed;");
+  }
+
+  emitFiller(W, Filler);
+  P.Name = "cmd-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  if (!MultiFileHelper.empty())
+    P.Files.push_back({"lib.js", MultiFileHelper});
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Code injection (CWE-94)
+//===----------------------------------------------------------------------===//
+
+Package PackageGenerator::codeInjection(Complexity C, VariantKind V,
+                                        size_t Filler) {
+  Package P;
+  P.Complex = C;
+  P.Variant = V;
+  CodeWriter W;
+
+  switch (C) {
+  case Complexity::Direct:
+    if (V == VariantKind::ArgumentsBased) {
+      W.emit("function calc() {");
+      W.emit("  var expr = arguments[0];");
+    } else {
+      W.emit("function calc(expr) {");
+    }
+    W.emit("  var code = '(' + expr + ')';");
+    break;
+  case Complexity::Wrapped:
+    W.emit("function wrap(e) {");
+    W.emit("  return 'with (ctx) { ' + e + ' }';");
+    W.emit("}");
+    W.emit("function calc(expr) {");
+    W.emit("  var code = wrap(expr);");
+    break;
+  case Complexity::Loop:
+    W.emit("function calc(exprs) {");
+    W.emit("  var code = '';");
+    W.emit("  for (var i = 0; i < exprs.length; i++) {");
+    W.emit("    code = code + exprs[i] + ';';");
+    W.emit("  }");
+    break;
+  case Complexity::Recursive:
+    W.emit("function glue(list, i) {");
+    W.emit("  if (i >= list.length) { return ''; }");
+    W.emit("  return list[i] + ';' + glue(list, i + 1);");
+    W.emit("}");
+    W.emit("function calc(exprs) {");
+    W.emit("  var code = glue(exprs, 0);");
+    break;
+  case Complexity::Deep:
+    W.emit("function collect(tree, acc) {");
+    W.emit("  for (var k in tree) {");
+    W.emit("    for (var j in tree) {");
+    W.emit("      acc[k] = collect(tree[j], acc);");
+    W.emit("      acc.code = acc.code + tree[k];");
+    W.emit("    }");
+    W.emit("  }");
+    W.emit("  return acc.code;");
+    W.emit("}");
+    W.emit("function calc(tree) {");
+    W.emit("  var code = collect(tree, {code: ''});");
+    break;
+  }
+
+  if (V == VariantKind::IndirectCall) {
+    W.emit("  doEval.call(null, code);");
+    W.emit("}");
+    W.emit("function doEval(c) {");
+    uint32_t Sink = W.emit("  return eval(c);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::CodeInjection, Sink});
+  } else {
+    uint32_t Sink =
+        R.chance(0.3)
+            ? W.emit("  return new Function('return ' + code);")
+            : W.emit("  return eval(code);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::CodeInjection, Sink});
+  }
+  exportEntry(W, V, C, "calc", 1);
+
+  if (V == VariantKind::ExtraSink) {
+    W.emit("function evalRaw(s) {");
+    uint32_t Extra = W.emit("  return eval(s);");
+    W.emit("}");
+    W.emit("module.exports.raw = evalRaw;");
+    P.ExtraRealLines.push_back(Extra);
+  }
+  if (V == VariantKind::Guarded) {
+    W.emit("function calcChecked(e) {");
+    W.emit("  if (e.length < 3 && e.indexOf('(') === -1) {");
+    W.emit("    return eval(e);");
+    W.emit("  }");
+    W.emit("  return 0;");
+    W.emit("}");
+    W.emit("module.exports.checked = calcChecked;");
+  }
+  if (V == VariantKind::Sanitized) {
+    W.emit("function calcFixed(e) {");
+    W.emit("  var box = {};");
+    W.emit("  box.e = e;");
+    W.emit("  box.e = '1 + 1';");
+    W.emit("  return eval(box.e);");
+    W.emit("}");
+    W.emit("module.exports.fixed = calcFixed;");
+  }
+
+  emitFiller(W, Filler);
+  P.Name = "code-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Path traversal (CWE-22)
+//===----------------------------------------------------------------------===//
+
+Package PackageGenerator::pathTraversal(Complexity C, VariantKind V,
+                                        size_t Filler) {
+  Package P;
+  P.Complex = C;
+  P.Variant = V;
+  CodeWriter W;
+  W.emit("var fs = require('fs');");
+  // ~65% of the dataset's path-traversal packages sit in a web-server
+  // context — the precondition for ODGen's CWE-22 queries (§5.2).
+  if (R.chance(0.65))
+    emitServerContext(W);
+
+  switch (C) {
+  case Complexity::Direct:
+    if (V == VariantKind::ArgumentsBased) {
+      W.emit("function read() {");
+      W.emit("  var name = arguments[0];");
+      W.emit("  var cb = arguments[1];");
+    } else {
+      W.emit("function read(name, cb) {");
+    }
+    W.emit("  var target = './static/' + name;");
+    break;
+  case Complexity::Wrapped:
+    W.emit("function resolve(n) {");
+    W.emit("  return './static/' + n;");
+    W.emit("}");
+    W.emit("function read(name, cb) {");
+    W.emit("  var target = resolve(name);");
+    break;
+  case Complexity::Loop:
+    W.emit("function read(segments, cb) {");
+    W.emit("  var target = './static';");
+    W.emit("  for (var i = 0; i < segments.length; i++) {");
+    W.emit("    target = target + '/' + segments[i];");
+    W.emit("  }");
+    break;
+  case Complexity::Recursive:
+    W.emit("function walk(list, i) {");
+    W.emit("  if (i >= list.length) { return ''; }");
+    W.emit("  return '/' + list[i] + walk(list, i + 1);");
+    W.emit("}");
+    W.emit("function read(segments, cb) {");
+    W.emit("  var target = './static' + walk(segments, 0);");
+    break;
+  case Complexity::Deep:
+    W.emit("function flatten(tree, acc) {");
+    W.emit("  for (var k in tree) {");
+    W.emit("    for (var j in tree) {");
+    W.emit("      acc[k] = flatten(tree[j], acc);");
+    W.emit("      acc.p = acc.p + '/' + tree[k];");
+    W.emit("    }");
+    W.emit("  }");
+    W.emit("  return acc.p;");
+    W.emit("}");
+    W.emit("function read(tree, cb) {");
+    W.emit("  var target = './static' + flatten(tree, {p: ''});");
+    break;
+  }
+
+  if (V == VariantKind::IndirectCall) {
+    W.emit("  doRead.call(null, target, cb);");
+    W.emit("}");
+    W.emit("function doRead(t, cb) {");
+    uint32_t Sink = W.emit("  fs.readFile(t, cb);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::PathTraversal, Sink});
+  } else {
+    uint32_t Sink = R.chance(0.4)
+                        ? W.emit("  return fs.readFileSync(target);")
+                        : W.emit("  fs.readFile(target, cb);");
+    W.emit("}");
+    P.Annotations.push_back({VulnType::PathTraversal, Sink});
+  }
+  exportEntry(W, V, C, "read", 2);
+
+  if (V == VariantKind::ExtraSink) {
+    W.emit("function remove(n) {");
+    uint32_t Extra = W.emit("  fs.unlinkSync('./static/' + n);");
+    W.emit("}");
+    W.emit("module.exports.remove = remove;");
+    P.ExtraRealLines.push_back(Extra);
+  }
+  if (V == VariantKind::Guarded) {
+    W.emit("function readChecked(n, cb) {");
+    W.emit("  if (n.length < 4 && n.indexOf('..') === -1) {");
+    W.emit("    fs.readFile('./static/' + n, cb);");
+    W.emit("  }");
+    W.emit("}");
+    W.emit("module.exports.checked = readChecked;");
+  }
+  if (V == VariantKind::Sanitized) {
+    W.emit("function readFixed(n, cb) {");
+    W.emit("  var req = {};");
+    W.emit("  req.p = n;");
+    W.emit("  req.p = 'index.html';");
+    W.emit("  fs.readFile('./static/' + req.p, cb);");
+    W.emit("}");
+    W.emit("module.exports.fixed = readFixed;");
+  }
+
+  emitFiller(W, Filler);
+  P.Name = "path-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Prototype pollution (CWE-1321)
+//===----------------------------------------------------------------------===//
+
+Package PackageGenerator::prototypePollution(Complexity C, VariantKind V,
+                                             size_t Filler) {
+  Package P;
+  P.Complex = C;
+  P.Variant = V;
+  CodeWriter W;
+  uint32_t Sink = 0;
+
+  switch (C) {
+  case Complexity::Direct:
+    if (V == VariantKind::ArgumentsBased) {
+      W.emit("function setPath() {");
+      W.emit("  var obj = arguments[0];");
+      W.emit("  var key = arguments[1];");
+      W.emit("  var subkey = arguments[2];");
+      W.emit("  var value = arguments[3];");
+    } else {
+      W.emit("function setPath(obj, key, subkey, value) {");
+    }
+    W.emit("  var child = obj[key];");
+    Sink = W.emit("  child[subkey] = value;");
+    W.emit("  return obj;");
+    W.emit("}");
+    exportEntry(W, V, C, "setPath", 4, /*UseCallWrapper=*/true);
+    break;
+
+  case Complexity::Wrapped:
+    W.emit("function assign(target, k, v) {");
+    Sink = W.emit("  target[k] = v;");
+    W.emit("  return target;");
+    W.emit("}");
+    W.emit("function setPath(obj, key, subkey, value) {");
+    W.emit("  var child = obj[key];");
+    W.emit("  return assign(child, subkey, value);");
+    W.emit("}");
+    exportEntry(W, V, C, "setPath", 4, /*UseCallWrapper=*/true);
+    break;
+
+  case Complexity::Loop:
+    // The §5.5 set-value shape (CVE-2021-23440).
+    W.emit("function setValue(target, prop, value) {");
+    W.emit("  var path = prop.split('.');");
+    W.emit("  var len = path.length;");
+    W.emit("  var obj = target;");
+    W.emit("  for (var i = 0; i < len; i++) {");
+    W.emit("    var p = path[i];");
+    W.emit("    if (i === len - 1) {");
+    Sink = W.emit("      obj[p] = value;");
+    W.emit("    }");
+    W.emit("    obj = obj[p];");
+    W.emit("  }");
+    W.emit("  return target;");
+    W.emit("}");
+    exportEntry(W, V, C, "setValue", 3, /*UseCallWrapper=*/true);
+    break;
+
+  case Complexity::Recursive:
+    // Deep-merge: the classic recursive pollution pattern.
+    W.emit("function merge(target, source) {");
+    W.emit("  for (var key in source) {");
+    W.emit("    var val = source[key];");
+    W.emit("    if (typeof val === 'object') {");
+    W.emit("      if (!target[key]) { target[key] = {}; }");
+    W.emit("      merge(target[key], val);");
+    W.emit("    } else {");
+    Sink = W.emit("      target[key] = val;");
+    W.emit("    }");
+    W.emit("  }");
+    W.emit("  return target;");
+    W.emit("}");
+    exportEntry(W, V, C, "merge", 2, /*UseCallWrapper=*/true);
+    break;
+
+  case Complexity::Deep:
+    // Nested iteration + recursion: the baseline-timeout shape.
+    W.emit("function mergeAll(target, source, depth) {");
+    W.emit("  for (var k in source) {");
+    W.emit("    for (var j in source) {");
+    W.emit("      var val = source[j];");
+    W.emit("      var slot = target[k];");
+    W.emit("      if (depth > 0 && typeof val === 'object') {");
+    W.emit("        mergeAll(slot, val, depth - 1);");
+    W.emit("      }");
+    Sink = W.emit("      slot[j] = val;");
+    W.emit("    }");
+    W.emit("  }");
+    W.emit("  return target;");
+    W.emit("}");
+    W.emit("function entry2(target, source) {");
+    W.emit("  return mergeAll(target, source, 3);");
+    W.emit("}");
+    exportEntry(W, V, C, "entry2", 2, /*UseCallWrapper=*/true);
+    break;
+  }
+  P.Annotations.push_back({VulnType::PrototypePollution, Sink});
+
+  if (V == VariantKind::ExtraSink) {
+    W.emit("function setShallow(o, k, k2, v) {");
+    W.emit("  var c = o[k];");
+    uint32_t Extra = W.emit("  c[k2] = v;");
+    W.emit("}");
+    W.emit("module.exports.shallow = setShallow;");
+    P.ExtraRealLines.push_back(Extra);
+  }
+  if (V == VariantKind::Guarded) {
+    W.emit("function setChecked(o, k, k2, v) {");
+    W.emit("  var c = o[k];");
+    W.emit("  if (k !== '__proto__' && k2 !== '__proto__') {");
+    W.emit("    c[k2] = v;");
+    W.emit("  }");
+    W.emit("}");
+    W.emit("module.exports.checked = setChecked;");
+  }
+  if (V == VariantKind::Sanitized) {
+    W.emit("function setFixed(o, k, v) {");
+    W.emit("  var c = o[k];");
+    W.emit("  c['data'] = v;");
+    W.emit("}");
+    W.emit("module.exports.fixed = setFixed;");
+  }
+
+  emitFiller(W, Filler);
+  P.Name = "proto-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+Package PackageGenerator::vulnerable(VulnType Type, Complexity C,
+                                     VariantKind V, size_t FillerLoC) {
+  switch (Type) {
+  case VulnType::CommandInjection:
+    return commandInjection(C, V, FillerLoC);
+  case VulnType::CodeInjection:
+    return codeInjection(C, V, FillerLoC);
+  case VulnType::PathTraversal:
+    return pathTraversal(C, V, FillerLoC);
+  case VulnType::PrototypePollution:
+    return prototypePollution(C, V, FillerLoC);
+  }
+  return Package();
+}
+
+Package PackageGenerator::benign(size_t FillerLoC) {
+  Package P;
+  CodeWriter W;
+  W.emit("function clamp(v, lo, hi) {");
+  W.emit("  if (v < lo) { return lo; }");
+  W.emit("  if (v > hi) { return hi; }");
+  W.emit("  return v;");
+  W.emit("}");
+  W.emit("module.exports = clamp;");
+  emitFiller(W, FillerLoC);
+  P.Name = "util-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+Package PackageGenerator::benignWithSafeSinks(size_t FillerLoC) {
+  Package P;
+  CodeWriter W;
+  W.emit("var cp = require('child_process');");
+  W.emit("var fs = require('fs');");
+  W.emit("function status(cb) {");
+  W.emit("  cp.exec('git status', cb);");
+  W.emit("}");
+  W.emit("function version() {");
+  W.emit("  return fs.readFileSync('./VERSION');");
+  W.emit("}");
+  W.emit("module.exports = {status: status, version: version};");
+  emitFiller(W, FillerLoC);
+  P.Name = "safe-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+Package PackageGenerator::dynamicRequire(size_t FillerLoC) {
+  Package P;
+  CodeWriter W;
+  W.emit("function load(name) {");
+  W.emit("  return require('./plugins/' + name);");
+  W.emit("}");
+  W.emit("module.exports = load;");
+  emitFiller(W, FillerLoC);
+  // Reported by Graph.js as CWE-94 but practically unexploitable: an
+  // attacker controls the module name but not its exports (§5.3). No
+  // annotation, no ExtraRealLines: any report here is a TFP.
+  P.Name = "loader-" + std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}

@@ -1,0 +1,129 @@
+//===- workload/Packages.h - Synthetic npm packages --------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic npm-package generation. Real CVE datasets (VulcaN, SecBench)
+/// and the 32K-package Collected crawl are not available offline; this
+/// generator emits the *code patterns* the paper identifies as driving its
+/// results (see DESIGN.md substitution table):
+///
+///   - direct / helper-wrapped / loop-carried / recursive taint flows;
+///   - set-value-style loop pollution and deep-merge recursion (§5.5);
+///   - sanitizer patterns (property overwrites — Graph.js's UntaintedPath);
+///   - guard-condition decoys (reported but unexploitable: the TFP class);
+///   - `arguments`-based flows (Graph.js's documented false negatives,
+///     detectable by ODGen);
+///   - dynamic `require` (the Collected dataset's CWE-94 FP driver);
+///   - web-server context markers (ODGen's CWE-22 precondition).
+///
+/// Every vulnerable package carries ground-truth sink-line annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_WORKLOAD_PACKAGES_H
+#define GJS_WORKLOAD_PACKAGES_H
+
+#include "queries/VulnTypes.h"
+#include "scanner/Scanner.h"
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace workload {
+
+/// A ground-truth annotation: one known vulnerability with its sink line.
+struct Annotation {
+  queries::VulnType Type;
+  uint32_t SinkLine;
+};
+
+/// How hard the package is to analyze — drives loop/recursion nesting and
+/// therefore the baseline's timeout behavior.
+enum class Complexity {
+  Direct,    ///< Straight-line source-to-sink flow.
+  Wrapped,   ///< Flow through helper functions.
+  Loop,      ///< Flow through a loop (fixpoint needed).
+  Recursive, ///< Recursive helper (deep-merge style).
+  Deep,      ///< Nested loops + recursion (baseline-timeout bait).
+};
+
+/// How the package's flows are shaped. The first three choose the *main*
+/// (annotated) flow; the last three add a decoy/extra flow on top of a
+/// Plain main flow.
+enum class VariantKind {
+  Plain,           ///< Exploitable, annotated main flow.
+  ArgumentsBased,  ///< Main flow uses `arguments[i]` — still annotated and
+                   ///< exploitable, but a Graph.js FN (ODGen handles it).
+  IndirectCall,    ///< Main flow reaches the sink via fn.call(...) — an
+                   ///< annotated vulnerability both tools miss.
+  ExtraSink,       ///< Plain + a second exploitable *unannotated* sink:
+                   ///< reports on it are FPs by annotation, but not TFPs.
+  Guarded,         ///< Plain + a guarded decoy sink — reported by the
+                   ///< tools but unexploitable: the TFP class.
+  Sanitized,       ///< Plain + a decoy whose tainted property is
+                   ///< overwritten before the sink — a true negative that
+                   ///< tests the UntaintedPath exclusion.
+};
+
+/// One generated package.
+struct Package {
+  std::string Name;
+  std::vector<scanner::SourceFile> Files;
+  std::vector<Annotation> Annotations; ///< Ground-truth vulnerabilities.
+  /// Lines of *unannotated but genuinely exploitable* extra sinks:
+  /// reports here count as FP but not TFP (§5.2's incomplete-dataset
+  /// discussion).
+  std::vector<uint32_t> ExtraRealLines;
+  Complexity Complex = Complexity::Direct;
+  VariantKind Variant = VariantKind::Plain;
+  size_t LoC = 0;
+  /// Collected-dataset bookkeeping: false for "zero-day" plants whose
+  /// vulnerability has never been publicly reported (Table 5's
+  /// "Unreported" column).
+  bool PreviouslyReported = true;
+};
+
+/// Generates single-vulnerability packages in the style of the reference
+/// datasets.
+class PackageGenerator {
+public:
+  explicit PackageGenerator(uint64_t Seed) : R(Seed) {}
+
+  /// A vulnerable package of the given class/shape.
+  Package vulnerable(queries::VulnType Type, Complexity C, VariantKind V,
+                     size_t FillerLoC = 0);
+
+  /// A benign utility package (no sinks at all).
+  Package benign(size_t FillerLoC = 0);
+
+  /// A benign package that *uses* sinks safely (constant arguments).
+  Package benignWithSafeSinks(size_t FillerLoC = 0);
+
+  /// A plugin-loader package with a dynamic `require` — Graph.js reports
+  /// it as CWE-94 but it is rarely exploitable (the §5.3 FP driver).
+  Package dynamicRequire(size_t FillerLoC = 0);
+
+  RNG &rng() { return R; }
+
+private:
+  RNG R;
+  unsigned NextId = 0;
+
+  void emitFiller(class CodeWriter &W, size_t Lines);
+  void emitServerContext(CodeWriter &W);
+
+  Package commandInjection(Complexity C, VariantKind V, size_t Filler);
+  Package codeInjection(Complexity C, VariantKind V, size_t Filler);
+  Package pathTraversal(Complexity C, VariantKind V, size_t Filler);
+  Package prototypePollution(Complexity C, VariantKind V, size_t Filler);
+};
+
+} // namespace workload
+} // namespace gjs
+
+#endif // GJS_WORKLOAD_PACKAGES_H

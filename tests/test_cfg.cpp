@@ -1,0 +1,134 @@
+//===- tests/test_cfg.cpp - CFG construction tests ------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+using namespace gjs::cfg;
+
+namespace {
+
+ModuleCFG build(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto P = parseJS(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return buildCFG(*P);
+}
+
+/// True if block B can reach block T.
+bool reaches(const FunctionCFG &G, BlockId B, BlockId T) {
+  std::vector<bool> Seen(G.numBlocks(), false);
+  std::vector<BlockId> Work{B};
+  Seen[B] = true;
+  while (!Work.empty()) {
+    BlockId N = Work.back();
+    Work.pop_back();
+    if (N == T)
+      return true;
+    for (const BlockEdge &E : G.block(N).Successors)
+      if (!Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(CFGTest, StraightLineIsOneBlock) {
+  ModuleCFG M = build("var a = 1; var b = a + 2; f(b);");
+  const FunctionCFG &G = M.TopLevel;
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+  EXPECT_EQ(G.numStatements(), 3u);
+  // entry, exit, one body block.
+  EXPECT_EQ(G.numBlocks(), 3u);
+}
+
+TEST(CFGTest, IfCreatesDiamond) {
+  ModuleCFG M = build("if (c) { a(); } else { b(); } d();");
+  const FunctionCFG &G = M.TopLevel;
+  // entry, exit, cond-block, then, else, join.
+  EXPECT_EQ(G.numBlocks(), 6u);
+  // Both labeled edges exist somewhere.
+  bool SawTrue = false, SawFalse = false;
+  for (BlockId I = 0; I < G.numBlocks(); ++I)
+    for (const BlockEdge &E : G.block(I).Successors) {
+      SawTrue |= E.Label == EdgeLabel::True;
+      SawFalse |= E.Label == EdgeLabel::False;
+    }
+  EXPECT_TRUE(SawTrue);
+  EXPECT_TRUE(SawFalse);
+}
+
+TEST(CFGTest, WhileCreatesBackEdge) {
+  ModuleCFG M = build("while (c) { f(); } g();");
+  const FunctionCFG &G = M.TopLevel;
+  // A cycle exists: some block reaches itself through a successor.
+  bool HasCycle = false;
+  for (BlockId I = 0; I < G.numBlocks(); ++I)
+    for (const BlockEdge &E : G.block(I).Successors)
+      if (reaches(G, E.To, I))
+        HasCycle = true;
+  EXPECT_TRUE(HasCycle);
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+}
+
+TEST(CFGTest, ReturnEndsPath) {
+  ModuleCFG M = build("function f(x) { if (x) { return 1; } return 2; }");
+  ASSERT_EQ(M.Functions.size(), 1u);
+  const FunctionCFG &G = M.Functions.begin()->second;
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+  // The exit block has at least two predecessors (both returns).
+  EXPECT_GE(G.block(G.exit()).Predecessors.size(), 2u);
+}
+
+TEST(CFGTest, BreakJumpsPastLoop) {
+  ModuleCFG M = build("while (a) { if (b) { break; } c(); } d();");
+  const FunctionCFG &G = M.TopLevel;
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+}
+
+TEST(CFGTest, NestedFunctionsGetTheirOwnCFGs) {
+  ModuleCFG M = build("function outer() { function inner() { return 1; } "
+                      "var f = function named() {}; var a = () => 2; }");
+  // outer, inner, named, one arrow.
+  EXPECT_EQ(M.Functions.size(), 4u);
+}
+
+TEST(CFGTest, UnreachableCodeDetected) {
+  ModuleCFG M = build("function f() { return 1; g(); }");
+  const FunctionCFG &G = M.Functions.begin()->second;
+  EXPECT_FALSE(G.unreachableBlocks().empty());
+}
+
+TEST(CFGTest, SwitchFallThrough) {
+  ModuleCFG M = build(
+      "switch (x) { case 1: a(); case 2: b(); break; default: c(); } d();");
+  const FunctionCFG &G = M.TopLevel;
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+  EXPECT_GE(G.numBlocks(), 6u);
+}
+
+TEST(CFGTest, TryCatchBranches) {
+  ModuleCFG M = build("try { f(); } catch (e) { g(e); } h();");
+  const FunctionCFG &G = M.TopLevel;
+  EXPECT_TRUE(reaches(G, G.entry(), G.exit()));
+}
+
+TEST(CFGTest, DumpMentionsLoopHeader) {
+  ModuleCFG M = build("while (c) { f(); }");
+  EXPECT_NE(M.TopLevel.dump().find("loop-header"), std::string::npos);
+}
+
+TEST(CFGTest, ModuleTotals) {
+  ModuleCFG M = build("function f() { if (a) { b(); } } f();");
+  EXPECT_GT(M.totalBlocks(), M.TopLevel.numBlocks());
+  EXPECT_GT(M.totalEdges(), 0u);
+}

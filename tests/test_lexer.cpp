@@ -1,0 +1,175 @@
+//===- tests/test_lexer.cpp - Unit tests for the JavaScript lexer ---------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Ks;
+  for (const Token &T : lex(Source))
+    Ks.push_back(T.Kind);
+  return Ks;
+}
+
+} // namespace
+
+TEST(LexerTest, Identifiers) {
+  auto Ts = lex("foo _bar $baz qux1");
+  ASSERT_EQ(Ts.size(), 5u);
+  EXPECT_EQ(Ts[0].Text, "foo");
+  EXPECT_EQ(Ts[1].Text, "_bar");
+  EXPECT_EQ(Ts[2].Text, "$baz");
+  EXPECT_EQ(Ts[3].Text, "qux1");
+  EXPECT_EQ(Ts[4].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, KeywordsAreDistinguished) {
+  auto Ks = kinds("var let const function if while return");
+  EXPECT_EQ(Ks[0], TokenKind::KwVar);
+  EXPECT_EQ(Ks[1], TokenKind::KwLet);
+  EXPECT_EQ(Ks[2], TokenKind::KwConst);
+  EXPECT_EQ(Ks[3], TokenKind::KwFunction);
+  EXPECT_EQ(Ks[4], TokenKind::KwIf);
+  EXPECT_EQ(Ks[5], TokenKind::KwWhile);
+  EXPECT_EQ(Ks[6], TokenKind::KwReturn);
+}
+
+TEST(LexerTest, Numbers) {
+  auto Ts = lex("42 3.14 0x1f 1e3 0b101 0o17 1_000");
+  EXPECT_DOUBLE_EQ(Ts[0].NumberValue, 42);
+  EXPECT_DOUBLE_EQ(Ts[1].NumberValue, 3.14);
+  EXPECT_DOUBLE_EQ(Ts[2].NumberValue, 31);
+  EXPECT_DOUBLE_EQ(Ts[3].NumberValue, 1000);
+  EXPECT_DOUBLE_EQ(Ts[4].NumberValue, 5);
+  EXPECT_DOUBLE_EQ(Ts[5].NumberValue, 15);
+  EXPECT_DOUBLE_EQ(Ts[6].NumberValue, 1000);
+}
+
+TEST(LexerTest, Strings) {
+  auto Ts = lex(R"('hello' "wor\"ld" 'a\nb')");
+  EXPECT_EQ(Ts[0].Text, "hello");
+  EXPECT_EQ(Ts[1].Text, "wor\"ld");
+  EXPECT_EQ(Ts[2].Text, "a\nb");
+}
+
+TEST(LexerTest, UnicodeEscapes) {
+  auto Ts = lex(R"('A\x42')");
+  EXPECT_EQ(Ts[0].Text, "AB");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Ts = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "b");
+  EXPECT_TRUE(Ts[1].NewlineBefore);
+  EXPECT_EQ(Ts[2].Text, "c");
+  EXPECT_TRUE(Ts[2].NewlineBefore);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto Ks = kinds("=== !== => ... ?. ?? ** >>> <<= &&= ||= ?\?=");
+  EXPECT_EQ(Ks[0], TokenKind::StrictEqual);
+  EXPECT_EQ(Ks[1], TokenKind::StrictNotEqual);
+  EXPECT_EQ(Ks[2], TokenKind::Arrow);
+  EXPECT_EQ(Ks[3], TokenKind::DotDotDot);
+  EXPECT_EQ(Ks[4], TokenKind::QuestionDot);
+  EXPECT_EQ(Ks[5], TokenKind::QuestionQuestion);
+  EXPECT_EQ(Ks[6], TokenKind::StarStar);
+  EXPECT_EQ(Ks[7], TokenKind::URShift);
+  EXPECT_EQ(Ks[8], TokenKind::LShiftAssign);
+  EXPECT_EQ(Ks[9], TokenKind::AmpAmpAssign);
+  EXPECT_EQ(Ks[10], TokenKind::PipePipeAssign);
+  EXPECT_EQ(Ks[11], TokenKind::QuestionQuestionAssign);
+}
+
+TEST(LexerTest, RegExpVsDivision) {
+  // After an identifier, '/' is division; after '=', it starts a regexp.
+  auto Ts1 = lex("a / b");
+  EXPECT_EQ(Ts1[1].Kind, TokenKind::Slash);
+  auto Ts2 = lex("x = /ab+c/gi");
+  EXPECT_EQ(Ts2[2].Kind, TokenKind::RegExpLiteral);
+  EXPECT_EQ(Ts2[2].Text, "/ab+c/gi");
+  auto Ts3 = lex("f(/x/)");
+  EXPECT_EQ(Ts3[2].Kind, TokenKind::RegExpLiteral);
+}
+
+TEST(LexerTest, RegExpWithCharacterClassSlash) {
+  auto Ts = lex("x = /[/]/");
+  EXPECT_EQ(Ts[2].Kind, TokenKind::RegExpLiteral);
+  EXPECT_EQ(Ts[2].Text, "/[/]/");
+}
+
+TEST(LexerTest, SimpleTemplate) {
+  auto Ts = lex("`hello`");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::TemplateString);
+  EXPECT_EQ(Ts[0].Text, "hello");
+}
+
+TEST(LexerTest, TemplateWithSubstitutions) {
+  auto Ts = lex("`a${x}b${y}c`");
+  ASSERT_GE(Ts.size(), 6u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::TemplateHead);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Ts[2].Kind, TokenKind::TemplateMiddle);
+  EXPECT_EQ(Ts[2].Text, "b");
+  EXPECT_EQ(Ts[3].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Ts[4].Kind, TokenKind::TemplateTail);
+  EXPECT_EQ(Ts[4].Text, "c");
+}
+
+TEST(LexerTest, TemplateWithNestedBraces) {
+  // The object literal's braces inside the substitution must not terminate
+  // the template.
+  auto Ts = lex("`v${ {a: 1}.a }w`");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::TemplateHead);
+  EXPECT_EQ(Ts.back().Kind, TokenKind::EndOfFile);
+  bool SawTail = false;
+  for (const Token &T : Ts)
+    if (T.Kind == TokenKind::TemplateTail) {
+      SawTail = true;
+      EXPECT_EQ(T.Text, "w");
+    }
+  EXPECT_TRUE(SawTail);
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  auto Ts = lex("a\n  b");
+  EXPECT_EQ(Ts[0].Loc, SourceLocation(1, 1));
+  EXPECT_EQ(Ts[1].Loc, SourceLocation(2, 3));
+}
+
+TEST(LexerTest, NewlineBeforeFlagForASI) {
+  auto Ts = lex("return\nx");
+  EXPECT_FALSE(Ts[0].NewlineBefore);
+  EXPECT_TRUE(Ts[1].NewlineBefore);
+}
+
+TEST(LexerTest, ShebangIsSkipped) {
+  auto Ts = lex("#!/usr/bin/env node\nvar x");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::KwVar);
+}
+
+TEST(LexerTest, UnterminatedStringReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("'abc", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}

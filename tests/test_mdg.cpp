@@ -1,0 +1,314 @@
+//===- tests/test_mdg.cpp - Unit tests for the MDG data structure ---------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mdg/AbstractStore.h"
+#include "mdg/MDG.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+using namespace gjs::mdg;
+
+namespace {
+
+NodeId obj(Graph &G, const std::string &Label, uint32_t Site = 0) {
+  return G.addNode(NodeKind::Object, Site, SourceLocation(), Label);
+}
+
+} // namespace
+
+TEST(MDGTest, AddNodesAndEdges) {
+  Graph G;
+  NodeId A = obj(G, "a"), B = obj(G, "b");
+  EXPECT_TRUE(G.addEdge(A, B, EdgeKind::Dep));
+  EXPECT_FALSE(G.addEdge(A, B, EdgeKind::Dep)) << "duplicate edge";
+  EXPECT_EQ(G.numNodes(), 2u);
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_TRUE(G.hasEdge(A, B, EdgeKind::Dep));
+  EXPECT_FALSE(G.hasEdge(B, A, EdgeKind::Dep));
+}
+
+TEST(MDGTest, EdgesWithDifferentPropsAreDistinct) {
+  Graph G;
+  StringInterner SI;
+  NodeId A = obj(G, "a"), B = obj(G, "b");
+  EXPECT_TRUE(G.addEdge(A, B, EdgeKind::Prop, SI.intern("x")));
+  EXPECT_TRUE(G.addEdge(A, B, EdgeKind::Prop, SI.intern("y")));
+  EXPECT_EQ(G.numEdges(), 2u);
+}
+
+TEST(MDGTest, RevisionBumpsOnGrowth) {
+  Graph G;
+  uint64_t R0 = G.revision();
+  NodeId A = obj(G, "a");
+  EXPECT_GT(G.revision(), R0);
+  NodeId B = obj(G, "b");
+  uint64_t R1 = G.revision();
+  G.addEdge(A, B, EdgeKind::Dep);
+  EXPECT_GT(G.revision(), R1);
+  uint64_t R2 = G.revision();
+  G.addEdge(A, B, EdgeKind::Dep); // No growth.
+  EXPECT_EQ(G.revision(), R2);
+}
+
+TEST(MDGTest, VersionChainWalk) {
+  Graph G;
+  StringInterner SI;
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2"), O3 = obj(G, "o3");
+  G.addEdge(O1, O2, EdgeKind::Version, SI.intern("a"));
+  G.addEdge(O2, O3, EdgeKind::VersionUnknown);
+  auto Chain = G.versionAncestors(O3);
+  EXPECT_EQ(Chain.size(), 3u);
+  auto Oldest = G.oldestVersions(O3);
+  ASSERT_EQ(Oldest.size(), 1u);
+  EXPECT_EQ(Oldest[0], O1);
+  EXPECT_TRUE(G.isVersionAncestor(O1, O3));
+  EXPECT_TRUE(G.isVersionAncestor(O2, O3));
+  EXPECT_FALSE(G.isVersionAncestor(O3, O1));
+}
+
+TEST(MDGTest, VersionCycleTerminates) {
+  Graph G;
+  StringInterner SI;
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  G.addEdge(O1, O2, EdgeKind::Version, SI.intern("p"));
+  G.addEdge(O2, O1, EdgeKind::Version, SI.intern("q")); // Cycle (§5.5).
+  auto Chain = G.versionAncestors(O2);
+  EXPECT_EQ(Chain.size(), 2u);
+  EXPECT_TRUE(G.isVersionAncestor(O1, O2));
+  EXPECT_TRUE(G.isVersionAncestor(O2, O1));
+}
+
+TEST(MDGTest, ResolvePropertyNearestVersionWins) {
+  // o1 --V(a)--> o2; o1 has P(a)->x, o2 has P(a)->y. Resolving `a` on o2
+  // must return only y (the newer definition shadows the older one).
+  Graph G;
+  StringInterner SI;
+  Symbol A = SI.intern("a");
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  NodeId X = obj(G, "x"), Y = obj(G, "y");
+  G.addEdge(O1, O2, EdgeKind::Version, A);
+  G.addEdge(O1, X, EdgeKind::Prop, A);
+  G.addEdge(O2, Y, EdgeKind::Prop, A);
+  auto R = G.resolveProperty(O2, A);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], Y);
+}
+
+TEST(MDGTest, ResolvePropertyFigure1Line7) {
+  // The paper's Fig. 1 line 7: chain o5 -V(*)-> o6 -V(cmd)-> o7;
+  // o5 has P(commit)->o9 (lazily added) and o6 has P(*)->o4.
+  // Resolving `commit` on o7 returns {o9, o4}.
+  Graph G;
+  StringInterner SI;
+  Symbol Commit = SI.intern("commit");
+  Symbol Cmd = SI.intern("cmd");
+  NodeId O5 = obj(G, "o5"), O6 = obj(G, "o6"), O7 = obj(G, "o7");
+  NodeId O4 = obj(G, "o4"), O9 = obj(G, "o9");
+  G.addEdge(O5, O6, EdgeKind::VersionUnknown);
+  G.addEdge(O6, O7, EdgeKind::Version, Cmd);
+  G.addEdge(O6, O4, EdgeKind::PropUnknown);
+  G.addEdge(O5, O9, EdgeKind::Prop, Commit);
+  auto R = G.resolveProperty(O7, Commit);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_NE(std::find(R.begin(), R.end(), O9), R.end());
+  EXPECT_NE(std::find(R.begin(), R.end(), O4), R.end());
+}
+
+TEST(MDGTest, ResolvePropertyIgnoresOlderUnknown) {
+  // P(*) on a version OLDER than the newest P(p) owner cannot overwrite p.
+  Graph G;
+  StringInterner SI;
+  Symbol A = SI.intern("a");
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  NodeId Star = obj(G, "star"), X = obj(G, "x");
+  G.addEdge(O1, O2, EdgeKind::Version, A);
+  G.addEdge(O1, Star, EdgeKind::PropUnknown);
+  G.addEdge(O2, X, EdgeKind::Prop, A);
+  auto R = G.resolveProperty(O2, A);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], X);
+}
+
+TEST(MDGTest, ResolveUnknownPropertyCollectsEverything) {
+  Graph G;
+  StringInterner SI;
+  Symbol A = SI.intern("a");
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  NodeId X = obj(G, "x"), Star = obj(G, "star");
+  G.addEdge(O1, O2, EdgeKind::Version, A);
+  G.addEdge(O1, X, EdgeKind::Prop, A);
+  G.addEdge(O2, Star, EdgeKind::PropUnknown);
+  auto R = G.resolveUnknownProperty(O2);
+  EXPECT_EQ(R.size(), 2u);
+}
+
+TEST(MDGTest, LatticeLeq) {
+  Graph G1, G2;
+  NodeId A1 = obj(G1, "a"), B1 = obj(G1, "b");
+  NodeId A2 = obj(G2, "a"), B2 = obj(G2, "b");
+  (void)A2;
+  (void)B2;
+  G2.addEdge(A1, B1, EdgeKind::Dep);
+  EXPECT_TRUE(Graph::leq(G1, G2));
+  EXPECT_FALSE(Graph::leq(G2, G1));
+  G1.addEdge(A1, B1, EdgeKind::Dep);
+  EXPECT_TRUE(Graph::leq(G1, G2));
+  EXPECT_TRUE(Graph::leq(G2, G1));
+}
+
+TEST(MDGTest, DumpMentionsEdgeLabels) {
+  Graph G;
+  StringInterner SI;
+  NodeId A = obj(G, "cfg"), B = obj(G, "opt");
+  G.addEdge(A, B, EdgeKind::Prop, SI.intern("cmd"));
+  std::string D = G.dump(SI);
+  EXPECT_NE(D.find("P(cmd)"), std::string::npos);
+  EXPECT_NE(D.find("cfg"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract store
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractStoreTest, SetAndGet) {
+  AbstractStore S;
+  S.set("x", 3);
+  EXPECT_EQ(S.get("x").size(), 1u);
+  EXPECT_TRUE(S.get("x").count(3));
+  EXPECT_TRUE(S.get("y").empty());
+  EXPECT_FALSE(S.contains("y"));
+}
+
+TEST(AbstractStoreTest, StrongUpdateReplaces) {
+  AbstractStore S;
+  S.set("x", 1);
+  S.set("x", 2);
+  EXPECT_EQ(S.get("x").size(), 1u);
+  EXPECT_TRUE(S.get("x").count(2));
+}
+
+TEST(AbstractStoreTest, JoinAccumulates) {
+  AbstractStore S;
+  S.set("x", 1);
+  EXPECT_TRUE(S.join("x", {2}));
+  EXPECT_FALSE(S.join("x", {2}));
+  EXPECT_EQ(S.get("x").size(), 2u);
+}
+
+TEST(AbstractStoreTest, JoinWithAndLeq) {
+  AbstractStore S1, S2;
+  S1.set("x", 1);
+  S2.set("x", 2);
+  S2.set("y", 3);
+  EXPECT_FALSE(AbstractStore::leq(S2, S1));
+  AbstractStore Joined = S1;
+  EXPECT_TRUE(Joined.joinWith(S2));
+  EXPECT_TRUE(AbstractStore::leq(S1, Joined));
+  EXPECT_TRUE(AbstractStore::leq(S2, Joined));
+  EXPECT_EQ(Joined.get("x").size(), 2u);
+}
+
+TEST(AbstractStoreTest, ReplaceEverywhereRewritesVersions) {
+  AbstractStore S;
+  S.set("a", {1, 5});
+  S.set("b", 5);
+  S.replaceEverywhere(5, 9);
+  EXPECT_TRUE(S.get("a").count(9));
+  EXPECT_FALSE(S.get("a").count(5));
+  EXPECT_TRUE(S.get("b").count(9));
+}
+
+TEST(AbstractStoreTest, Equality) {
+  AbstractStore S1, S2;
+  S1.set("x", 1);
+  S2.set("x", 1);
+  EXPECT_TRUE(S1 == S2);
+  S2.join("x", {2});
+  EXPECT_FALSE(S1 == S2);
+}
+
+TEST(MDGTest, DotExportRendersStructure) {
+  Graph G;
+  StringInterner SI;
+  NodeId A = obj(G, "config");
+  NodeId B = obj(G, "options");
+  NodeId C = G.addNode(NodeKind::Call, 7, SourceLocation(6, 3), "exec");
+  G.node(A).IsTaintSource = true;
+  G.addEdge(A, B, EdgeKind::PropUnknown);
+  G.addEdge(B, C, EdgeKind::Dep);
+  G.addEdge(A, B, EdgeKind::Version, SI.intern("cmd"));
+  std::string Dot = G.toDot(SI);
+  EXPECT_NE(Dot.find("digraph MDG"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(Dot.find("fillcolor=lightcoral"), std::string::npos);
+  EXPECT_NE(Dot.find("P(*)"), std::string::npos);
+  EXPECT_NE(Dot.find("V(cmd)"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(MDGTest, CollapseVersionsMergesChains) {
+  // o1 -V(a)-> o2 -V(b)-> o3; o1 has P(x)->v; o2 has P(a)->w.
+  Graph G;
+  StringInterner SI;
+  Symbol A = SI.intern("a"), B = SI.intern("b"), X = SI.intern("x");
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2"), O3 = obj(G, "o3");
+  NodeId V = obj(G, "v"), W = obj(G, "w");
+  G.node(O1).IsTaintSource = true;
+  G.addEdge(O1, O2, EdgeKind::Version, A);
+  G.addEdge(O2, O3, EdgeKind::Version, B);
+  G.addEdge(O1, V, EdgeKind::Prop, X);
+  G.addEdge(O2, W, EdgeKind::Prop, A);
+
+  Graph C = G.collapseVersions();
+  // o1/o2/o3 merge into one node; v and w survive: 3 nodes total.
+  EXPECT_EQ(C.numNodes(), 3u);
+  // No version edges remain.
+  for (NodeId N : C.nodeIds())
+    for (const Edge &E : C.out(N)) {
+      EXPECT_NE(E.Kind, EdgeKind::Version);
+      EXPECT_NE(E.Kind, EdgeKind::VersionUnknown);
+    }
+  // The merged object keeps both properties and the taint flag.
+  bool Tainted = false;
+  size_t PropEdges = 0;
+  for (NodeId N : C.nodeIds()) {
+    Tainted |= C.node(N).IsTaintSource;
+    for (const Edge &E : C.out(N))
+      PropEdges += E.Kind == EdgeKind::Prop;
+  }
+  EXPECT_TRUE(Tainted);
+  EXPECT_EQ(PropEdges, 2u);
+}
+
+TEST(MDGTest, CollapseShadowsOverwrittenProperties) {
+  // o1 -V(a)-> o2, both define P(a): only o2's survives.
+  Graph G;
+  StringInterner SI;
+  Symbol A = SI.intern("a");
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  NodeId Old = obj(G, "old"), New = obj(G, "new");
+  G.addEdge(O1, O2, EdgeKind::Version, A);
+  G.addEdge(O1, Old, EdgeKind::Prop, A);
+  G.addEdge(O2, New, EdgeKind::Prop, A);
+  Graph C = G.collapseVersions();
+  size_t PropEdges = 0;
+  for (NodeId N : C.nodeIds())
+    for (const Edge &E : C.out(N))
+      PropEdges += E.Kind == EdgeKind::Prop;
+  EXPECT_EQ(PropEdges, 1u);
+}
+
+TEST(MDGTest, CollapseHandlesVersionCycles) {
+  Graph G;
+  StringInterner SI;
+  NodeId O1 = obj(G, "o1"), O2 = obj(G, "o2");
+  G.addEdge(O1, O2, EdgeKind::VersionUnknown);
+  G.addEdge(O2, O1, EdgeKind::VersionUnknown);
+  G.addEdge(O1, obj(G, "x"), EdgeKind::PropUnknown);
+  Graph C = G.collapseVersions();
+  EXPECT_EQ(C.numNodes(), 2u);
+}

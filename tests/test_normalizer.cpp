@@ -1,0 +1,327 @@
+//===- tests/test_normalizer.cpp - Unit tests for AST→Core lowering -------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+using namespace gjs::core;
+
+namespace {
+
+std::unique_ptr<Program> normOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto P = normalizeJS(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Collects the statement kinds of a block, recursively flattened.
+void flatten(const std::vector<StmtPtr> &Block, std::vector<const Stmt *> &Out) {
+  for (const StmtPtr &S : Block) {
+    Out.push_back(S.get());
+    flatten(S->Then, Out);
+    flatten(S->Else, Out);
+    flatten(S->Body, Out);
+    if (S->K == StmtKind::FuncDef && S->Func)
+      flatten(S->Func->Body, Out);
+  }
+}
+
+std::vector<const Stmt *> allStmts(const Program &P) {
+  std::vector<const Stmt *> Out;
+  flatten(P.TopLevel, Out);
+  return Out;
+}
+
+bool hasKind(const Program &P, StmtKind K) {
+  for (const Stmt *S : allStmts(P))
+    if (S->K == K)
+      return true;
+  return false;
+}
+
+const Stmt *firstOf(const Program &P, StmtKind K) {
+  for (const Stmt *S : allStmts(P))
+    if (S->K == K)
+      return S;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(NormalizerTest, SimpleAssignment) {
+  auto P = normOk("var x = 1; var y = x;");
+  ASSERT_EQ(P->TopLevel.size(), 2u);
+  EXPECT_EQ(P->TopLevel[0]->K, StmtKind::Assign);
+  EXPECT_EQ(P->TopLevel[0]->Target, "x");
+  EXPECT_EQ(P->TopLevel[1]->Value.Name, "x");
+}
+
+TEST(NormalizerTest, BinOpProducesTemp) {
+  auto P = normOk("var z = a + b * c;");
+  // b * c first, then a + t.
+  ASSERT_GE(P->TopLevel.size(), 3u);
+  EXPECT_EQ(P->TopLevel[0]->K, StmtKind::BinOp);
+  EXPECT_EQ(P->TopLevel[0]->Op, "*");
+  EXPECT_EQ(P->TopLevel[1]->K, StmtKind::BinOp);
+  EXPECT_EQ(P->TopLevel[1]->Op, "+");
+  EXPECT_EQ(P->TopLevel[2]->K, StmtKind::Assign);
+  EXPECT_EQ(P->TopLevel[2]->Target, "z");
+}
+
+TEST(NormalizerTest, MemberChainsBecomeLookups) {
+  auto P = normOk("var v = o.a.b;");
+  auto Stmts = allStmts(*P);
+  int Lookups = 0;
+  for (const Stmt *S : Stmts)
+    if (S->K == StmtKind::StaticLookup)
+      ++Lookups;
+  EXPECT_EQ(Lookups, 2);
+}
+
+TEST(NormalizerTest, DynamicLookupAndUpdate) {
+  auto P = normOk("var v = o[k]; o[k2] = 5;");
+  EXPECT_TRUE(hasKind(*P, StmtKind::DynamicLookup));
+  EXPECT_TRUE(hasKind(*P, StmtKind::DynamicUpdate));
+  const Stmt *U = firstOf(*P, StmtKind::DynamicUpdate);
+  EXPECT_EQ(U->PropOperand.Name, "k2");
+}
+
+TEST(NormalizerTest, ObjectLiteralLowersToNewPlusUpdates) {
+  auto P = normOk("var o = {a: 1, b: x};");
+  EXPECT_TRUE(hasKind(*P, StmtKind::NewObject));
+  auto Stmts = allStmts(*P);
+  int Updates = 0;
+  for (const Stmt *S : Stmts)
+    if (S->K == StmtKind::StaticUpdate)
+      ++Updates;
+  EXPECT_EQ(Updates, 2);
+}
+
+TEST(NormalizerTest, ArrayLiteralUsesIndexProps) {
+  auto P = normOk("var a = [x, y];");
+  auto Stmts = allStmts(*P);
+  std::vector<std::string> Props;
+  for (const Stmt *S : Stmts)
+    if (S->K == StmtKind::StaticUpdate)
+      Props.push_back(S->Prop);
+  ASSERT_EQ(Props.size(), 2u);
+  EXPECT_EQ(Props[0], "0");
+  EXPECT_EQ(Props[1], "1");
+}
+
+TEST(NormalizerTest, FunctionsAreRegisteredAndBound) {
+  auto P = normOk("function run(a, b) { return a; }");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  const auto &Fn = P->Functions.begin()->second;
+  EXPECT_EQ(Fn->OriginalName, "run");
+  ASSERT_EQ(Fn->Params.size(), 2u);
+  EXPECT_EQ(Fn->Params[0], "a");
+  // The body contains a Return.
+  bool HasReturn = false;
+  for (const StmtPtr &S : Fn->Body)
+    if (S->K == StmtKind::Return)
+      HasReturn = true;
+  EXPECT_TRUE(HasReturn);
+}
+
+TEST(NormalizerTest, ArrowExprBodyGetsReturn) {
+  auto P = normOk("var f = x => x + 1;");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  const auto &Fn = P->Functions.begin()->second;
+  bool HasReturn = false;
+  for (const StmtPtr &S : Fn->Body)
+    if (S->K == StmtKind::Return)
+      HasReturn = true;
+  EXPECT_TRUE(HasReturn);
+}
+
+TEST(NormalizerTest, CallRecordsCalleeNameAndPath) {
+  auto P = normOk("var cp = require('child_process');\n"
+                  "cp.exec('ls');\n");
+  const Stmt *Call = nullptr;
+  for (const Stmt *S : allStmts(*P))
+    if (S->K == StmtKind::Call)
+      Call = S;
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->CalleeName, "exec");
+  EXPECT_EQ(Call->CalleePath, "child_process.exec");
+  ASSERT_EQ(Call->Args.size(), 1u);
+}
+
+TEST(NormalizerTest, DestructuredRequireAliases) {
+  auto P = normOk("const { exec } = require('child_process'); exec(c);");
+  EXPECT_EQ(P->RequireAliases.at("exec"), "child_process.exec");
+  const Stmt *Call = firstOf(*P, StmtKind::Call);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->CalleePath, "child_process.exec");
+}
+
+TEST(NormalizerTest, ModuleExportsFunction) {
+  auto P = normOk("function f(x) { return x; } module.exports = f;");
+  ASSERT_EQ(P->Exports.size(), 1u);
+  EXPECT_EQ(P->Exports[0].ExportName, "default");
+  EXPECT_FALSE(P->Exports[0].FunctionName.empty());
+}
+
+TEST(NormalizerTest, ExportsNamedFunction) {
+  auto P = normOk("exports.run = function(x) { return x; };");
+  ASSERT_EQ(P->Exports.size(), 1u);
+  EXPECT_EQ(P->Exports[0].ExportName, "run");
+}
+
+TEST(NormalizerTest, ModuleExportsObjectLiteral) {
+  auto P = normOk("function a(x) {} function b(y) {}\n"
+                  "module.exports = {a: a, bee: b};");
+  ASSERT_EQ(P->Exports.size(), 2u);
+}
+
+TEST(NormalizerTest, ModuleExportsDotName) {
+  auto P = normOk("module.exports.go = function(x) { return x; };");
+  ASSERT_EQ(P->Exports.size(), 1u);
+  EXPECT_EQ(P->Exports[0].ExportName, "go");
+}
+
+TEST(NormalizerTest, ForLoopBecomesWhile) {
+  auto P = normOk("for (var i = 0; i < 10; i++) { f(i); }");
+  const Stmt *W = firstOf(*P, StmtKind::While);
+  ASSERT_NE(W, nullptr);
+  // Body contains the call, the update, and the re-evaluated condition.
+  bool HasCall = false;
+  for (const StmtPtr &S : W->Body)
+    if (S->K == StmtKind::Call)
+      HasCall = true;
+  EXPECT_TRUE(HasCall);
+}
+
+TEST(NormalizerTest, ForInDependsOnObject) {
+  auto P = normOk("for (var k in obj) { use(k); }");
+  const Stmt *W = firstOf(*P, StmtKind::While);
+  ASSERT_NE(W, nullptr);
+  // First stmt in body binds k with a dependency on obj.
+  ASSERT_FALSE(W->Body.empty());
+  EXPECT_EQ(W->Body[0]->K, StmtKind::UnOp);
+  EXPECT_EQ(W->Body[0]->Target, "k");
+  EXPECT_EQ(W->Body[0]->Value.Name, "obj");
+}
+
+TEST(NormalizerTest, ForOfIsUnknownPropertyLookup) {
+  auto P = normOk("for (const v of list) { use(v); }");
+  const Stmt *W = firstOf(*P, StmtKind::While);
+  ASSERT_NE(W, nullptr);
+  ASSERT_FALSE(W->Body.empty());
+  EXPECT_EQ(W->Body[0]->K, StmtKind::DynamicLookup);
+  EXPECT_EQ(W->Body[0]->Target, "v");
+}
+
+TEST(NormalizerTest, ConditionalBecomesIfJoin) {
+  auto P = normOk("var x = c ? a : b;");
+  const Stmt *I = firstOf(*P, StmtKind::If);
+  ASSERT_NE(I, nullptr);
+  ASSERT_FALSE(I->Then.empty());
+  ASSERT_FALSE(I->Else.empty());
+  // Both branches assign the same temp.
+  EXPECT_EQ(I->Then.back()->Target, I->Else.back()->Target);
+}
+
+TEST(NormalizerTest, TemplateLowersToConcat) {
+  auto P = normOk("var s = `git reset HEAD~${n}`;");
+  const Stmt *B = firstOf(*P, StmtKind::BinOp);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Op, "+");
+  EXPECT_EQ(B->LHS.Name, "git reset HEAD~");
+  EXPECT_EQ(B->RHS.Name, "n");
+}
+
+TEST(NormalizerTest, DestructuringDeclaration) {
+  auto P = normOk("var {a, b: c} = src;");
+  auto Stmts = allStmts(*P);
+  std::vector<std::pair<std::string, std::string>> Bindings;
+  for (const Stmt *S : Stmts)
+    if (S->K == StmtKind::StaticLookup)
+      Bindings.push_back({S->Target, S->Prop});
+  ASSERT_EQ(Bindings.size(), 2u);
+  EXPECT_EQ(Bindings[0].first, "a");
+  EXPECT_EQ(Bindings[0].second, "a");
+  EXPECT_EQ(Bindings[1].first, "c");
+  EXPECT_EQ(Bindings[1].second, "b");
+}
+
+TEST(NormalizerTest, TryCatchLowersSequentially) {
+  auto P = normOk("try { f(); } catch (e) { g(e); }");
+  auto Stmts = allStmts(*P);
+  int Calls = 0;
+  bool CatchParamBound = false;
+  for (const Stmt *S : Stmts) {
+    if (S->K == StmtKind::Call)
+      ++Calls;
+    if (S->K == StmtKind::NewObject && S->Target == "e")
+      CatchParamBound = true;
+  }
+  EXPECT_EQ(Calls, 2);
+  EXPECT_TRUE(CatchParamBound);
+}
+
+TEST(NormalizerTest, ClassLowersToConstructorAndPrototype) {
+  auto P = normOk("class A { constructor(x) { this.x = x; } m(y) { return y; } }");
+  EXPECT_EQ(P->Functions.size(), 2u);
+  bool HasProtoUpdate = false;
+  for (const Stmt *S : allStmts(*P))
+    if (S->K == StmtKind::StaticUpdate && S->Prop == "prototype")
+      HasProtoUpdate = true;
+  EXPECT_TRUE(HasProtoUpdate);
+}
+
+TEST(NormalizerTest, ExportedClassExportsMethods) {
+  auto P = normOk("class A { constructor() {} run(x) { return x; } }\n"
+                  "module.exports = A;");
+  // Constructor + run exported.
+  EXPECT_GE(P->Exports.size(), 2u);
+}
+
+TEST(NormalizerTest, StatementIndicesAreUnique) {
+  auto P = normOk("var a = {x: 1}; var b = {y: 2}; f(a, b);");
+  std::set<StmtIndex> Seen;
+  for (const Stmt *S : allStmts(*P)) {
+    EXPECT_TRUE(Seen.insert(S->Index).second)
+        << "duplicate index " << S->Index;
+  }
+}
+
+TEST(NormalizerTest, Figure1LowersCompletely) {
+  auto P = normOk(
+      "const { exec } = require('child_process');\n"
+      "function git_reset(config, op, branch_name, url) {\n"
+      "  var options = config[op];\n"
+      "  options[branch_name] = url;\n"
+      "  options.cmd = 'git reset';\n"
+      "  exec(options.cmd + ' HEAD~' + options.commit);\n"
+      "}\n"
+      "module.exports = git_reset;\n");
+  ASSERT_EQ(P->Exports.size(), 1u);
+  const auto &Fn = *P->Functions.at(P->Exports[0].FunctionName);
+  EXPECT_EQ(Fn.Params.size(), 4u);
+  // Body has the dynamic lookup, dynamic update, static update, and call.
+  std::vector<const Stmt *> Out;
+  flatten(Fn.Body, Out);
+  bool DL = false, DU = false, SU = false, Call = false;
+  for (const Stmt *S : Out) {
+    DL |= S->K == StmtKind::DynamicLookup;
+    DU |= S->K == StmtKind::DynamicUpdate;
+    SU |= S->K == StmtKind::StaticUpdate;
+    Call |= S->K == StmtKind::Call && S->CalleeName == "exec";
+  }
+  EXPECT_TRUE(DL && DU && SU && Call);
+}
+
+TEST(NormalizerTest, DumpIsReadable) {
+  auto P = normOk("var x = a.b;");
+  std::string D = dump(*P);
+  EXPECT_NE(D.find(":="), std::string::npos);
+  EXPECT_NE(D.find(".b"), std::string::npos);
+}

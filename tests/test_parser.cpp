@@ -1,0 +1,426 @@
+//===- tests/test_parser.cpp - Unit tests for the JavaScript parser -------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+using namespace gjs::ast;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto P = parseJS(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << "source:\n" << Source << "\ndiags:\n"
+                                  << Diags.str();
+  return P;
+}
+
+/// Parses and returns the dump; convenient for structure assertions.
+std::string parseDump(const std::string &Source) {
+  auto P = parseOk(Source);
+  return dump(*P);
+}
+
+} // namespace
+
+TEST(ParserTest, VariableDeclarations) {
+  std::string D = parseDump("var a = 1; let b = 'x'; const c = a;");
+  EXPECT_NE(D.find("VarDecl var"), std::string::npos);
+  EXPECT_NE(D.find("VarDecl let"), std::string::npos);
+  EXPECT_NE(D.find("VarDecl const"), std::string::npos);
+  EXPECT_NE(D.find("Declarator a"), std::string::npos);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c).
+  auto P = parseOk("x = a + b * c;");
+  auto *ES = cast<ExpressionStatement>(P->Body[0].get());
+  auto *Assign = cast<AssignmentExpr>(ES->Expression.get());
+  auto *Add = cast<BinaryExpr>(Assign->Value.get());
+  EXPECT_EQ(Add->Op, BinaryOperator::Add);
+  auto *Mul = cast<BinaryExpr>(Add->RHS.get());
+  EXPECT_EQ(Mul->Op, BinaryOperator::Mul);
+}
+
+TEST(ParserTest, ExponentIsRightAssociative) {
+  auto P = parseOk("x = a ** b ** c;");
+  auto *ES = cast<ExpressionStatement>(P->Body[0].get());
+  auto *Assign = cast<AssignmentExpr>(ES->Expression.get());
+  auto *Outer = cast<BinaryExpr>(Assign->Value.get());
+  EXPECT_EQ(Outer->Op, BinaryOperator::Pow);
+  EXPECT_TRUE(isa<Identifier>(Outer->LHS.get()));
+  EXPECT_TRUE(isa<BinaryExpr>(Outer->RHS.get()));
+}
+
+TEST(ParserTest, MemberAccessChains) {
+  auto P = parseOk("a.b.c[d].e;");
+  auto *ES = cast<ExpressionStatement>(P->Body[0].get());
+  auto *E = cast<MemberExpr>(ES->Expression.get());
+  EXPECT_FALSE(E->Computed);
+  EXPECT_EQ(E->Name, "e");
+  auto *Computed = cast<MemberExpr>(E->Object.get());
+  EXPECT_TRUE(Computed->Computed);
+}
+
+TEST(ParserTest, CallsWithArguments) {
+  auto P = parseOk("exec(cmd, {shell: true}, cb);");
+  auto *ES = cast<ExpressionStatement>(P->Body[0].get());
+  auto *C = cast<CallExpr>(ES->Expression.get());
+  EXPECT_EQ(C->Arguments.size(), 3u);
+  EXPECT_TRUE(isa<ObjectLiteral>(C->Arguments[1].get()));
+}
+
+TEST(ParserTest, FunctionDeclarationAndParams) {
+  auto P = parseOk("function f(a, b = 1, ...rest) { return a; }");
+  auto *FD = cast<FunctionDeclaration>(P->Body[0].get());
+  auto *F = cast<FunctionExpr>(FD->Function.get());
+  EXPECT_EQ(F->Name, "f");
+  ASSERT_EQ(F->Params.size(), 3u);
+  EXPECT_EQ(F->Params[0].Name, "a");
+  EXPECT_NE(F->Params[1].Default, nullptr);
+  EXPECT_TRUE(F->Params[2].Rest);
+}
+
+TEST(ParserTest, ArrowFunctions) {
+  auto P = parseOk("var f = x => x + 1; var g = (a, b) => { return a; };");
+  auto *V1 = cast<VariableDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(isa<ArrowFunctionExpr>(V1->Declarators[0].Init.get()));
+  auto *V2 = cast<VariableDeclaration>(P->Body[1].get());
+  auto *G = cast<ArrowFunctionExpr>(V2->Declarators[0].Init.get());
+  EXPECT_EQ(G->Params.size(), 2u);
+  EXPECT_NE(G->Body, nullptr);
+}
+
+TEST(ParserTest, ParenthesizedExpressionIsNotArrow) {
+  auto P = parseOk("var y = (a + b) * c;");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(isa<BinaryExpr>(V->Declarators[0].Init.get()));
+}
+
+TEST(ParserTest, ObjectLiteralForms) {
+  auto P = parseOk(
+      "var o = {a: 1, 'b-c': 2, [k]: 3, shorthand, method() { return 0; }};");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *O = cast<ObjectLiteral>(V->Declarators[0].Init.get());
+  ASSERT_EQ(O->Properties.size(), 5u);
+  EXPECT_EQ(O->Properties[0].Name, "a");
+  EXPECT_EQ(O->Properties[1].Name, "b-c");
+  EXPECT_TRUE(O->Properties[2].Computed);
+  EXPECT_EQ(O->Properties[3].Name, "shorthand");
+  EXPECT_TRUE(isa<Identifier>(O->Properties[3].Value.get()));
+  EXPECT_TRUE(isa<FunctionExpr>(O->Properties[4].Value.get()));
+}
+
+TEST(ParserTest, ArrayLiteralWithHolesAndSpread) {
+  auto P = parseOk("var a = [1, , 2, ...rest];");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *A = cast<ArrayLiteral>(V->Declarators[0].Init.get());
+  ASSERT_EQ(A->Elements.size(), 4u);
+  EXPECT_EQ(A->Elements[1], nullptr);
+  EXPECT_TRUE(isa<SpreadElement>(A->Elements[3].get()));
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  std::string D = parseDump(
+      "if (x) { y(); } else z();"
+      "while (a) b();"
+      "do { c(); } while (d);"
+      "for (var i = 0; i < 10; i++) f(i);"
+      "switch (v) { case 1: g(); break; default: h(); }");
+  EXPECT_NE(D.find("If"), std::string::npos);
+  EXPECT_NE(D.find("While"), std::string::npos);
+  EXPECT_NE(D.find("DoWhile"), std::string::npos);
+  EXPECT_NE(D.find("For"), std::string::npos);
+  EXPECT_NE(D.find("Switch"), std::string::npos);
+}
+
+TEST(ParserTest, ForInAndForOf) {
+  auto P = parseOk("for (var k in obj) use(k); for (const v of list) use(v);");
+  auto *FI = cast<ForInOfStatement>(P->Body[0].get());
+  EXPECT_EQ(FI->kind(), Stmt::Kind::ForIn);
+  EXPECT_EQ(FI->Variable, "k");
+  EXPECT_TRUE(FI->Declares);
+  auto *FO = cast<ForInOfStatement>(P->Body[1].get());
+  EXPECT_EQ(FO->kind(), Stmt::Kind::ForOf);
+  EXPECT_EQ(FO->Variable, "v");
+}
+
+TEST(ParserTest, ForOfWithDestructuringHead) {
+  auto P = parseOk("for (const [k, v] of Object.entries(o)) use(k, v);");
+  auto *F = cast<ForInOfStatement>(P->Body[0].get());
+  EXPECT_TRUE(F->Variable.empty());
+  ASSERT_NE(F->Pattern, nullptr);
+  EXPECT_TRUE(isa<ArrayLiteral>(F->Pattern.get()));
+}
+
+TEST(ParserTest, TryCatchFinally) {
+  auto P = parseOk("try { f(); } catch (e) { g(e); } finally { h(); }");
+  auto *T = cast<TryStatement>(P->Body[0].get());
+  EXPECT_EQ(T->CatchParam, "e");
+  EXPECT_NE(T->Handler, nullptr);
+  EXPECT_NE(T->Finalizer, nullptr);
+}
+
+TEST(ParserTest, OptionalCatchBinding) {
+  auto P = parseOk("try { f(); } catch { g(); }");
+  auto *T = cast<TryStatement>(P->Body[0].get());
+  EXPECT_TRUE(T->CatchParam.empty());
+  EXPECT_NE(T->Handler, nullptr);
+}
+
+TEST(ParserTest, TemplateLiterals) {
+  auto P = parseOk("var s = `git reset HEAD~${commit}`;");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *T = cast<TemplateLiteral>(V->Declarators[0].Init.get());
+  ASSERT_EQ(T->Quasis.size(), 2u);
+  EXPECT_EQ(T->Quasis[0], "git reset HEAD~");
+  ASSERT_EQ(T->Substitutions.size(), 1u);
+  EXPECT_TRUE(isa<Identifier>(T->Substitutions[0].get()));
+}
+
+TEST(ParserTest, NewExpressions) {
+  auto P = parseOk("var x = new Foo(1); var y = new Bar; var z = new a.B();");
+  auto *V1 = cast<VariableDeclaration>(P->Body[0].get());
+  auto *N1 = cast<NewExpr>(V1->Declarators[0].Init.get());
+  EXPECT_EQ(N1->Arguments.size(), 1u);
+  auto *V2 = cast<VariableDeclaration>(P->Body[1].get());
+  EXPECT_TRUE(isa<NewExpr>(V2->Declarators[0].Init.get()));
+  auto *V3 = cast<VariableDeclaration>(P->Body[2].get());
+  auto *N3 = cast<NewExpr>(V3->Declarators[0].Init.get());
+  EXPECT_TRUE(isa<MemberExpr>(N3->Callee.get()));
+}
+
+TEST(ParserTest, ClassesWithMethods) {
+  auto P = parseOk("class A extends B { constructor(x) { this.x = x; } "
+                   "run() { return this.x; } static make() { return new A(1); } }");
+  auto *CD = cast<ClassDeclaration>(P->Body[0].get());
+  auto *C = cast<ClassExpr>(CD->Class.get());
+  EXPECT_EQ(C->Name, "A");
+  ASSERT_EQ(C->Members.size(), 3u);
+  EXPECT_TRUE(C->Members[0].IsConstructor);
+  EXPECT_TRUE(C->Members[2].IsStatic);
+}
+
+TEST(ParserTest, AutomaticSemicolonInsertion) {
+  auto P = parseOk("var a = 1\nvar b = 2\nf()\n");
+  EXPECT_EQ(P->Body.size(), 3u);
+}
+
+TEST(ParserTest, ReturnWithNewlineReturnsUndefined) {
+  auto P = parseOk("function f() { return\n1; }");
+  auto *FD = cast<FunctionDeclaration>(P->Body[0].get());
+  auto *F = cast<FunctionExpr>(FD->Function.get());
+  auto *B = cast<BlockStatement>(F->Body.get());
+  auto *R = cast<ReturnStatement>(B->Body[0].get());
+  EXPECT_EQ(R->Argument, nullptr);
+}
+
+TEST(ParserTest, LogicalAndConditional) {
+  auto P = parseOk("var x = a && b || c ?? d; var y = p ? q : r;");
+  auto *V1 = cast<VariableDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(isa<LogicalExpr>(V1->Declarators[0].Init.get()));
+  auto *V2 = cast<VariableDeclaration>(P->Body[1].get());
+  EXPECT_TRUE(isa<ConditionalExpr>(V2->Declarators[0].Init.get()));
+}
+
+TEST(ParserTest, CompoundAndLogicalAssignment) {
+  auto P = parseOk("a += 2; b ||= c;");
+  auto *A1 = cast<AssignmentExpr>(
+      cast<ExpressionStatement>(P->Body[0].get())->Expression.get());
+  EXPECT_TRUE(A1->IsCompound);
+  EXPECT_EQ(A1->CompoundOp, BinaryOperator::Add);
+  auto *A2 = cast<AssignmentExpr>(
+      cast<ExpressionStatement>(P->Body[1].get())->Expression.get());
+  EXPECT_TRUE(A2->IsLogical);
+  EXPECT_EQ(A2->LogicalOp, LogicalOperator::Or);
+}
+
+TEST(ParserTest, DestructuringDeclarations) {
+  auto P = parseOk("var {a, b: c} = o; var [x, y] = arr;");
+  auto *V1 = cast<VariableDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(V1->Declarators[0].Name.empty());
+  EXPECT_TRUE(isa<ObjectLiteral>(V1->Declarators[0].Pattern.get()));
+  auto *V2 = cast<VariableDeclaration>(P->Body[1].get());
+  EXPECT_TRUE(isa<ArrayLiteral>(V2->Declarators[0].Pattern.get()));
+}
+
+TEST(ParserTest, RequireAndModuleExports) {
+  // The idiomatic npm package skeleton must parse exactly.
+  auto P = parseOk("var cp = require('child_process');\n"
+                   "function run(cmd) { cp.exec(cmd); }\n"
+                   "module.exports = run;\n"
+                   "module.exports.other = function(x) { return x; };\n");
+  EXPECT_EQ(P->Body.size(), 4u);
+}
+
+TEST(ParserTest, MotivatingExampleFromFigure1) {
+  // Figure 1a of the paper.
+  auto P = parseOk(
+      "const { exec } = require('child_process');\n"
+      "function git_reset(config, op, branch_name, url) {\n"
+      "  var options = config[op];\n"
+      "  options[branch_name] = url;\n"
+      "  options.cmd = 'git reset';\n"
+      "  exec(options.cmd + ' HEAD~' + options.commit);\n"
+      "}\n"
+      "module.exports = git_reset;\n");
+  EXPECT_EQ(P->Body.size(), 3u);
+}
+
+TEST(ParserTest, AsyncAwait) {
+  auto P = parseOk("async function f(u) { var r = await fetch(u); return r; }"
+                   "var g = async (x) => { await x; };");
+  auto *FD = cast<FunctionDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(cast<FunctionExpr>(FD->Function.get())->IsAsync);
+}
+
+TEST(ParserTest, KeywordsAsPropertyNames) {
+  auto P = parseOk("o.delete(); o.in = 1; var p = {if: 1, for: 2};");
+  EXPECT_EQ(P->Body.size(), 3u);
+}
+
+TEST(ParserTest, LabeledStatementAndBreak) {
+  auto P = parseOk("outer: for (;;) { break outer; }");
+  EXPECT_TRUE(isa<LabeledStatement>(P->Body[0].get()));
+}
+
+TEST(ParserTest, SequenceExpression) {
+  auto P = parseOk("x = (a, b, c);");
+  auto *A = cast<AssignmentExpr>(
+      cast<ExpressionStatement>(P->Body[0].get())->Expression.get());
+  EXPECT_TRUE(isa<SequenceExpr>(A->Value.get()));
+}
+
+TEST(ParserTest, ErrorRecoveryProducesDiagnosticsNotCrashes) {
+  DiagnosticEngine Diags;
+  auto P = parseJS("var = ; function ( { ]", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(ParserTest, SetValueCaseStudyFromFigure8) {
+  // Figure 8 of the paper (set-value v3.0.0, CVE-2021-23440).
+  auto P = parseOk(
+      "function set_value(target, prop, value) {\n"
+      "  const path = prop.split('.');\n"
+      "  const len = path.length;\n"
+      "  var obj = target;\n"
+      "  for (var i = 0; i < len; i++) {\n"
+      "    const p = path[i];\n"
+      "    if (i === len - 1) {\n"
+      "      obj[p] = value;\n"
+      "    }\n"
+      "    obj = obj[p];\n"
+      "  }\n"
+      "  return target;\n"
+      "}\n"
+      "module.exports = set_value;\n");
+  EXPECT_EQ(P->Body.size(), 2u);
+}
+
+TEST(ParserTest, NodeCountIsPositive) {
+  auto P = parseOk("function f(a) { return a + 1; }");
+  EXPECT_GT(countNodes(*P), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Additional edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, GetterSetterInObjectLiteral) {
+  auto P = parseOk("var o = {get size() { return 1; }, "
+                   "set size(v) { this.v = v; }};");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *O = cast<ObjectLiteral>(V->Declarators[0].Init.get());
+  EXPECT_EQ(O->Properties.size(), 2u);
+  EXPECT_TRUE(isa<FunctionExpr>(O->Properties[0].Value.get()));
+}
+
+TEST(ParserTest, GetAndSetAsPlainNames) {
+  auto P = parseOk("var get = 1; var set = 2; o.get = get; f(set);");
+  EXPECT_EQ(P->Body.size(), 4u);
+}
+
+TEST(ParserTest, RegExpAfterKeywordAndComma) {
+  auto P = parseOk("var a = [/x/, /y/g]; if (s.match(/z/)) { f(); }\n"
+                   "return0 = typeof /q/;");
+  EXPECT_GE(P->Body.size(), 3u);
+}
+
+TEST(ParserTest, NestedTemplatesAndBraces) {
+  auto P = parseOk("var s = `a${ `b${x}c` }d${ {k: 1}.k }e`;");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *T = cast<TemplateLiteral>(V->Declarators[0].Init.get());
+  EXPECT_EQ(T->Substitutions.size(), 2u);
+  EXPECT_TRUE(isa<TemplateLiteral>(T->Substitutions[0].get()));
+}
+
+TEST(ParserTest, CommaInForHeadAndCalls) {
+  auto P = parseOk("for (var i = 0, n = a.length; i < n; i++, j--) f(i);");
+  EXPECT_TRUE(isa<ForStatement>(P->Body[0].get()));
+}
+
+TEST(ParserTest, ChainedOptionalAccess) {
+  auto P = parseOk("var v = a?.b?.[k]?.(x);");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *C = cast<CallExpr>(V->Declarators[0].Init.get());
+  EXPECT_TRUE(C->Optional);
+}
+
+TEST(ParserTest, IIFEAndParenthesizedFunction) {
+  auto P = parseOk("(function() { init(); })();\n"
+                   "(function named(x) { return x; })(1);");
+  EXPECT_EQ(P->Body.size(), 2u);
+}
+
+TEST(ParserTest, DoubleNewAndMemberNew) {
+  auto P = parseOk("var a = new new Factory()(); var b = new ns.T[k](1);");
+  EXPECT_EQ(P->Body.size(), 2u);
+}
+
+TEST(ParserTest, ThrowNewError) {
+  auto P = parseOk("function f(x) { if (!x) { throw new Error('bad ' + x); } "
+                   "return x; }");
+  EXPECT_EQ(P->Body.size(), 1u);
+}
+
+TEST(ParserTest, DeeplyNestedDestructuring) {
+  auto P = parseOk("var {a: {b: {c}}, d: [e, {f}]} = src;");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(isa<ObjectLiteral>(V->Declarators[0].Pattern.get()));
+}
+
+TEST(ParserTest, HexFloatsAndEdgsNumbers) {
+  auto P = parseOk("var a = 0xFF + .5 + 1e-3 + 0b11;");
+  EXPECT_EQ(P->Body.size(), 1u);
+}
+
+TEST(ParserTest, KeywordPropertyShorthandMethods) {
+  auto P = parseOk("var api = {delete(id) { return id; }, "
+                   "new: 1, in: 2, class: 3};");
+  auto *V = cast<VariableDeclaration>(P->Body[0].get());
+  auto *O = cast<ObjectLiteral>(V->Declarators[0].Init.get());
+  EXPECT_EQ(O->Properties.size(), 4u);
+}
+
+TEST(ParserTest, GeneratorsAndYield) {
+  auto P = parseOk("function* gen(a) { yield a; yield* other(); "
+                   "var v = yield; return v; }");
+  auto *FD = cast<FunctionDeclaration>(P->Body[0].get());
+  EXPECT_TRUE(cast<FunctionExpr>(FD->Function.get())->IsGenerator);
+}
+
+TEST(ParserTest, ExportDefaultBecomesModuleExports) {
+  auto P = parseOk("export default function run(x) { return x; }");
+  // Lowered to module.exports = <fn>.
+  auto *ES = cast<ExpressionStatement>(P->Body[0].get());
+  auto *A = cast<AssignmentExpr>(ES->Expression.get());
+  auto *M = cast<MemberExpr>(A->Target.get());
+  EXPECT_EQ(M->Name, "exports");
+}

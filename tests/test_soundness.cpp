@@ -1,0 +1,418 @@
+//===- tests/test_soundness.cpp - Theorem 3.2 property tests --------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Executable soundness (Theorem 3.2, "Soundness with Full Knowledge"):
+// run the instrumented concrete semantics on random programs with random
+// inputs, build the abstract MDG of the same program, map every concrete
+// location to its abstract counterpart through the allocation-table
+// abstraction function α, and check Definition 3.1:
+//
+//   (1) l1 →D l2 ∈ g     ⟹  α(l1) →D α(l2) ∈ ĝ
+//   (2) l1 →P(p) l2 ∈ g  ⟹  α(l1) →P(p)/P(*) α(l2) ∈ ĝ
+//   (3) l1 →V(p) l2 ∈ g  ⟹  α(l1) →V(p)/V(*) α(l2) ∈ ĝ
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConcreteInterp.h"
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace gjs;
+using namespace gjs::analysis;
+using namespace gjs::mdg;
+
+namespace {
+
+/// Maps a concrete location to its abstract node via its tag. Returns
+/// InvalidNode for untracked locations (which never carry edges).
+NodeId alpha(const LocTag &Tag, const AllocationTables &A,
+             const BuildResult &Abs) {
+  auto Find = [](const auto &Map, const auto &Key) -> NodeId {
+    auto It = Map.find(Key);
+    return It == Map.end() ? InvalidNode : It->second;
+  };
+  switch (Tag.K) {
+  case LocTag::Kind::None:
+    return InvalidNode;
+  case LocTag::Kind::Site:
+    return Find(A.Site, Tag.Site);
+  case LocTag::Kind::Version:
+    return Find(A.Version, Tag.Site);
+  case LocTag::Kind::Value:
+    return Find(A.Value, Tag.Site);
+  case LocTag::Kind::Call:
+    return Find(A.Call, Tag.Site);
+  case LocTag::Kind::Ret:
+    return Find(A.Ret, Tag.Site);
+  case LocTag::Kind::Global:
+    return Find(A.Global, Tag.Name);
+  case LocTag::Kind::Param:
+    return Find(A.Param, Tag.Name);
+  case LocTag::Kind::LazyProp: {
+    Symbol P = 0;
+    if (!Abs.Props.find(Tag.Name, P))
+      return InvalidNode;
+    return Find(A.Prop, std::make_pair(Tag.Site, P));
+  }
+  case LocTag::Kind::UnknownProp:
+    return Find(A.UnknownProp, Tag.Site);
+  }
+  return InvalidNode;
+}
+
+/// Checks Definition 3.1 for one concrete run against an abstract build.
+/// Returns a description of the first violation, or "" when sound.
+std::string checkOverApproximation(const ConcreteResult &Conc,
+                                   const BuildResult &Abs) {
+  const Graph &CG = Conc.Graph;
+  const Graph &AG = Abs.Graph;
+  for (NodeId N : CG.nodeIds()) {
+    for (const Edge &E : CG.out(N)) {
+      NodeId AF = alpha(Conc.Tags[E.From], Abs.Alloc, Abs);
+      NodeId AT = alpha(Conc.Tags[E.To], Abs.Alloc, Abs);
+      auto TagStr = [](const LocTag &T) {
+        static const char *Kinds[] = {"None",   "Site",  "Version",
+                                      "Value",  "Call",  "Ret",
+                                      "Global", "Param", "LazyProp",
+                                      "UnknownProp"};
+        return std::string(Kinds[static_cast<int>(T.K)]) + "(" +
+               std::to_string(T.Site) + "," + T.Name + ")";
+      };
+      if (AF == InvalidNode || AT == InvalidNode) {
+        return "concrete edge endpoint has no abstract image: o" +
+               std::to_string(E.From) + " " + TagStr(Conc.Tags[E.From]) +
+               " -" + edgeKindLabel(E.Kind) + "-> o" + std::to_string(E.To) +
+               " " + TagStr(Conc.Tags[E.To]);
+      }
+      bool Ok = false;
+      switch (E.Kind) {
+      case EdgeKind::Dep:
+        Ok = AG.hasEdge(AF, AT, EdgeKind::Dep);
+        break;
+      case EdgeKind::Prop:
+      case EdgeKind::PropUnknown: {
+        Symbol AbsProp = 0;
+        bool Known = Abs.Props.find(Conc.Props.str(E.Prop), AbsProp);
+        Ok = AG.hasEdge(AF, AT, EdgeKind::PropUnknown) ||
+             (Known && AG.hasEdge(AF, AT, EdgeKind::Prop, AbsProp));
+        break;
+      }
+      case EdgeKind::Version:
+      case EdgeKind::VersionUnknown: {
+        Symbol AbsProp = 0;
+        bool Known = Abs.Props.find(Conc.Props.str(E.Prop), AbsProp);
+        Ok = AG.hasEdge(AF, AT, EdgeKind::VersionUnknown) ||
+             (Known && AG.hasEdge(AF, AT, EdgeKind::Version, AbsProp)) ||
+             // Same-site re-updates fold onto one abstract node: the
+             // concrete chain element maps to the node itself.
+             AF == AT;
+        break;
+      }
+      }
+      if (!Ok) {
+        return "missing abstract counterpart for concrete edge o" +
+               std::to_string(E.From) + " " + TagStr(Conc.Tags[E.From]) +
+               " -" + edgeKindLabel(E.Kind) + "(" +
+               Conc.Props.str(E.Prop) + ")-> o" + std::to_string(E.To) +
+               " " + TagStr(Conc.Tags[E.To]) + " (abstract o" +
+               std::to_string(AF) + " -> o" + std::to_string(AT) + ")";
+      }
+    }
+  }
+  return "";
+}
+
+/// Runs the full concrete-vs-abstract comparison on a source string.
+void expectSound(const std::string &Source,
+                 const std::vector<ValueSpec> &Args) {
+  DiagnosticEngine Diags;
+  auto Prog = core::normalizeJS(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_FALSE(Prog->Exports.empty()) << "test program must export";
+  std::string Entry = Prog->Exports[0].FunctionName;
+  ASSERT_FALSE(Entry.empty());
+
+  BuilderOptions BO;
+  BuildResult Abs = buildMDG(*Prog, BO);
+  ASSERT_FALSE(Abs.TimedOut);
+
+  InterpOptions IO;
+  IO.MaxCallDepth = BO.MaxInlineDepth;
+  ConcreteInterp CI(IO);
+  ConcreteResult Conc = CI.run(*Prog, Entry, Args);
+
+  std::string Violation = checkOverApproximation(Conc, Abs);
+  EXPECT_EQ(Violation, "") << "source:\n" << Source;
+}
+
+//===----------------------------------------------------------------------===//
+// Random program generation
+//===----------------------------------------------------------------------===//
+
+/// Generates random JavaScript functions exercising the Core JS constructs:
+/// literals, binops, object creation, static/dynamic reads and writes,
+/// if/while, helper calls, and unknown calls.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Vars = {"p0", "p1", "p2"};
+    std::string Body = block(3 + R.below(5), 0);
+    std::string Helper =
+        "function helper(h0, h1) {\n"
+        "  var hr = {};\n"
+        "  hr.out = h0;\n"
+        "  return hr;\n"
+        "}\n";
+    return Helper + "function entry(p0, p1, p2) {\n" + Body +
+           "  return p0;\n}\nmodule.exports = entry;\n";
+  }
+
+private:
+  RNG R;
+  std::vector<std::string> Vars;
+  int NextVar = 0;
+
+  std::string freshVar() { return "v" + std::to_string(NextVar++); }
+  const std::string &anyVar() { return Vars[R.below(Vars.size())]; }
+
+  std::string literal() {
+    switch (R.below(3)) {
+    case 0:
+      return std::to_string(R.below(100));
+    case 1:
+      return "'s" + std::to_string(R.below(10)) + "'";
+    default:
+      return R.chance(0.5) ? "true" : "false";
+    }
+  }
+
+  std::string expr() {
+    switch (R.below(4)) {
+    case 0:
+      return literal();
+    case 1:
+      return anyVar();
+    case 2:
+      return anyVar() + " + " + anyVar();
+    default:
+      return anyVar() + " + " + literal();
+    }
+  }
+
+  std::string stmt(int Depth) {
+    std::string Ind(static_cast<size_t>(2 * (Depth + 1)), ' ');
+    switch (R.below(10)) {
+    case 0: { // New variable from expression.
+      std::string V = freshVar();
+      std::string S = Ind + "var " + V + " = " + expr() + ";\n";
+      Vars.push_back(V);
+      return S;
+    }
+    case 1: { // New object.
+      std::string V = freshVar();
+      std::string S =
+          Ind + "var " + V + " = {a: " + anyVar() + ", b: 1};\n";
+      Vars.push_back(V);
+      return S;
+    }
+    case 2: // Static write.
+      return Ind + anyVar() + ".f" + std::to_string(R.below(3)) + " = " +
+             expr() + ";\n";
+    case 3: // Dynamic write.
+      return Ind + anyVar() + "[" + anyVar() + "] = " + expr() + ";\n";
+    case 4: { // Static read.
+      std::string V = freshVar();
+      std::string S = Ind + "var " + V + " = " + anyVar() + ".f" +
+                      std::to_string(R.below(3)) + ";\n";
+      Vars.push_back(V);
+      return S;
+    }
+    case 5: { // Dynamic read.
+      std::string V = freshVar();
+      std::string S =
+          Ind + "var " + V + " = " + anyVar() + "[" + anyVar() + "];\n";
+      Vars.push_back(V);
+      return S;
+    }
+    case 6: // If statement.
+      if (Depth < 2)
+        return Ind + "if (" + anyVar() + ") {\n" + block(2, Depth + 1) +
+               Ind + "} else {\n" + block(1, Depth + 1) + Ind + "}\n";
+      return Ind + ";\n";
+    case 7: // While loop.
+      if (Depth < 2) {
+        std::string V = freshVar();
+        Vars.push_back(V);
+        return Ind + "var " + V + " = 0;\n" + Ind + "while (" + V +
+               " < 2) {\n" + block(2, Depth + 1) + Ind + "  " + V + " = " +
+               V + " + 1;\n" + Ind + "}\n";
+      }
+      return Ind + ";\n";
+    case 8: { // Helper call.
+      std::string V = freshVar();
+      std::string S = Ind + "var " + V + " = helper(" + anyVar() + ", " +
+                      anyVar() + ");\n";
+      Vars.push_back(V);
+      return S;
+    }
+    default: { // Unknown call.
+      std::string V = freshVar();
+      std::string S =
+          Ind + "var " + V + " = extern(" + anyVar() + ");\n";
+      Vars.push_back(V);
+      return S;
+    }
+    }
+  }
+
+  std::string block(unsigned N, int Depth) {
+    std::string Out;
+    for (unsigned I = 0; I < N; ++I)
+      Out += stmt(Depth);
+    return Out;
+  }
+};
+
+std::vector<ValueSpec> randomArgs(RNG &R) {
+  std::vector<ValueSpec> Args;
+  for (int I = 0; I < 3; ++I) {
+    switch (R.below(3)) {
+    case 0:
+      Args.push_back(ValueSpec::string("t" + std::to_string(R.below(5))));
+      break;
+    case 1:
+      Args.push_back(ValueSpec::number(static_cast<double>(R.below(50))));
+      break;
+    default:
+      Args.push_back(ValueSpec::object(
+          {{"f0", ValueSpec::string("x")},
+           {"f1", ValueSpec::object({{"g", ValueSpec::number(7)}})}}));
+    }
+  }
+  return Args;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Directed soundness cases
+//===----------------------------------------------------------------------===//
+
+TEST(SoundnessTest, StraightLineDataflow) {
+  expectSound("function f(a, b) { var c = a + b; var d = c + 1; sink(d); }\n"
+              "module.exports = f;\n",
+              {ValueSpec::string("x"), ValueSpec::number(3)});
+}
+
+TEST(SoundnessTest, ObjectCreationAndStaticProps) {
+  expectSound("function f(a) { var o = {x: a}; o.y = 5; var r = o.x; "
+              "sink(r); }\nmodule.exports = f;\n",
+              {ValueSpec::string("v")});
+}
+
+TEST(SoundnessTest, DynamicPropertyReadWrite) {
+  expectSound("function f(a, k) { var o = {}; o[k] = a; var r = o[k]; "
+              "sink(r); }\nmodule.exports = f;\n",
+              {ValueSpec::string("payload"), ValueSpec::string("key")});
+}
+
+TEST(SoundnessTest, VersioningOverwrite) {
+  expectSound("function f(a) { var o = {}; o.x = a; o.x = 'safe'; o.y = o.x;"
+              " }\nmodule.exports = f;\n",
+              {ValueSpec::string("v")});
+}
+
+TEST(SoundnessTest, Figure1ConcreteRun) {
+  expectSound(
+      "const { exec } = require('child_process');\n"
+      "function git_reset(config, op, branch_name, url) {\n"
+      "  var options = config[op];\n"
+      "  options[branch_name] = url;\n"
+      "  options.cmd = 'git reset';\n"
+      "  exec(options.cmd + ' HEAD~' + options.commit);\n"
+      "}\n"
+      "module.exports = git_reset;\n",
+      {ValueSpec::object(
+           {{"reset", ValueSpec::object({{"commit", ValueSpec::number(1)}})}}),
+       ValueSpec::string("reset"), ValueSpec::string("main"),
+       ValueSpec::string("origin/main")});
+}
+
+TEST(SoundnessTest, LoopWithUpdates) {
+  expectSound(
+      "function f(o, k, v) {\n"
+      "  var i = 0;\n"
+      "  while (i < 3) { o[k] = v; i = i + 1; }\n"
+      "  return o;\n"
+      "}\nmodule.exports = f;\n",
+      {ValueSpec::object(), ValueSpec::string("kk"), ValueSpec::string("vv")});
+}
+
+TEST(SoundnessTest, SetValueCaseStudyConcrete) {
+  expectSound(
+      "function set_value(target, prop, value) {\n"
+      "  var obj = target;\n"
+      "  var i = 0;\n"
+      "  while (i < 2) {\n"
+      "    if (i === 1) { obj[prop] = value; }\n"
+      "    obj = obj[prop];\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  return target;\n"
+      "}\nmodule.exports = set_value;\n",
+      {ValueSpec::object({{"__proto__", ValueSpec::object()}}),
+       ValueSpec::string("__proto__"), ValueSpec::string("polluted")});
+}
+
+TEST(SoundnessTest, InterproceduralCall) {
+  expectSound("function id(x) { return x; }\n"
+              "function f(a) { var r = id(a); sink(r); }\n"
+              "module.exports = f;\n",
+              {ValueSpec::string("v")});
+}
+
+TEST(SoundnessTest, BranchesJoin) {
+  expectSound("function f(a, b, c) {\n"
+              "  var x;\n"
+              "  if (c) { x = a; } else { x = b; }\n"
+              "  sink(x);\n"
+              "}\nmodule.exports = f;\n",
+              {ValueSpec::string("l"), ValueSpec::string("r"),
+               ValueSpec::number(1)});
+  expectSound("function f(a, b, c) {\n"
+              "  var x;\n"
+              "  if (c) { x = a; } else { x = b; }\n"
+              "  sink(x);\n"
+              "}\nmodule.exports = f;\n",
+              {ValueSpec::string("l"), ValueSpec::string("r"),
+               ValueSpec::number(0)});
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized property sweep
+//===----------------------------------------------------------------------===//
+
+class SoundnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundnessSweep, RandomProgramIsOverApproximated) {
+  uint64_t Seed = GetParam();
+  ProgramGenerator Gen(Seed);
+  std::string Source = Gen.generate();
+
+  RNG ArgRNG(Seed ^ 0xABCDEF);
+  // Three random input vectors per program.
+  for (int Round = 0; Round < 3; ++Round) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed) +
+                 " round=" + std::to_string(Round));
+    expectSound(Source, randomArgs(ArgRNG));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessSweep,
+                         ::testing::Range<uint64_t>(1, 41));

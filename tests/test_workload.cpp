@@ -1,0 +1,215 @@
+//===- tests/test_workload.cpp - Dataset generator tests ------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalizer.h"
+#include "eval/Metrics.h"
+#include "workload/Datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gjs;
+using namespace gjs::workload;
+using queries::VulnType;
+
+namespace {
+
+/// Every generated package must parse cleanly.
+void expectParses(const Package &P) {
+  for (const scanner::SourceFile &F : P.Files) {
+    DiagnosticEngine Diags;
+    auto Prog = core::normalizeJS(F.Contents, Diags);
+    EXPECT_FALSE(Diags.hasErrors())
+        << "package " << P.Name << ":\n" << F.Contents << Diags.str();
+    EXPECT_NE(Prog, nullptr);
+  }
+}
+
+} // namespace
+
+TEST(PackageGeneratorTest, AllShapesParse) {
+  PackageGenerator Gen(42);
+  for (int T = 0; T < 4; ++T)
+    for (int C = 0; C < 5; ++C)
+      for (int V = 0; V < 6; ++V) {
+        Package P = Gen.vulnerable(static_cast<VulnType>(T),
+                                   static_cast<Complexity>(C),
+                                   static_cast<VariantKind>(V), 30);
+        expectParses(P);
+        EXPECT_FALSE(P.Annotations.empty())
+            << "vulnerable packages carry annotations";
+      }
+  expectParses(Gen.benign(50));
+  expectParses(Gen.benignWithSafeSinks(50));
+  expectParses(Gen.dynamicRequire(50));
+}
+
+TEST(PackageGeneratorTest, AnnotationLinesPointAtSinks) {
+  PackageGenerator Gen(1);
+  Package P = Gen.vulnerable(VulnType::CommandInjection, Complexity::Direct,
+                             VariantKind::Plain, 0);
+  ASSERT_EQ(P.Annotations.size(), 1u);
+  // The annotated line must contain the sink call.
+  std::istringstream IS(P.Files[0].Contents);
+  std::string Line;
+  uint32_t N = 0;
+  while (std::getline(IS, Line)) {
+    ++N;
+    if (N == P.Annotations[0].SinkLine)
+      EXPECT_NE(Line.find("exec"), std::string::npos) << Line;
+  }
+}
+
+TEST(PackageGeneratorTest, FillerScalesLoC) {
+  PackageGenerator Gen(2);
+  Package Small = Gen.benign(0);
+  Package Large = Gen.benign(800);
+  EXPECT_GT(Large.LoC, Small.LoC + 500);
+}
+
+TEST(PackageGeneratorTest, DeterministicForSameSeed) {
+  PackageGenerator G1(9), G2(9);
+  Package P1 = G1.vulnerable(VulnType::CodeInjection, Complexity::Loop,
+                             VariantKind::Plain, 40);
+  Package P2 = G2.vulnerable(VulnType::CodeInjection, Complexity::Loop,
+                             VariantKind::Plain, 40);
+  EXPECT_EQ(P1.Files[0].Contents, P2.Files[0].Contents);
+}
+
+TEST(DatasetTest, Table3CountsMatch) {
+  auto VulcaN = makeVulcaN(3);
+  EXPECT_EQ(VulcaN.size(), VulcaNCounts.total()); // 219
+  auto SecBench = makeSecBench(3);
+  EXPECT_EQ(SecBench.size(), SecBenchCounts.total()); // 384
+
+  auto CountType = [](const std::vector<Package> &Ps, VulnType T) {
+    size_t N = 0;
+    for (const Package &P : Ps)
+      for (const Annotation &A : P.Annotations)
+        if (A.Type == T)
+          ++N;
+    return N;
+  };
+  EXPECT_EQ(CountType(VulcaN, VulnType::PathTraversal), 5u);
+  EXPECT_EQ(CountType(VulcaN, VulnType::CommandInjection), 87u);
+  EXPECT_EQ(CountType(VulcaN, VulnType::CodeInjection), 33u);
+  EXPECT_EQ(CountType(VulcaN, VulnType::PrototypePollution), 94u);
+  EXPECT_EQ(CountType(SecBench, VulnType::PathTraversal), 161u);
+}
+
+TEST(DatasetTest, GroundTruthIsCombined) {
+  auto GT = makeGroundTruth(3);
+  EXPECT_EQ(GT.size(), VulcaNCounts.total() + SecBenchCounts.total()); // 603
+}
+
+TEST(DatasetTest, CollectedIsMostlyBenign) {
+  auto C = makeCollected(3, 300);
+  EXPECT_EQ(C.size(), 300u);
+  size_t Annotated = 0, Unreported = 0;
+  for (const Package &P : C) {
+    if (!P.Annotations.empty())
+      ++Annotated;
+    if (!P.PreviouslyReported)
+      ++Unreported;
+  }
+  EXPECT_LT(Annotated, C.size() / 4);
+  EXPECT_GT(Annotated, 0u);
+  EXPECT_GT(Unreported, 0u);
+}
+
+TEST(DatasetTest, AllGroundTruthPackagesParse) {
+  // A broad smoke test over the whole generator space.
+  workload::DatasetCounts Small{8, 8, 8, 8};
+  auto Ps = makeDataset(17, Small);
+  for (const Package &P : Ps)
+    expectParses(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, ExactMatchScoring) {
+  PackageGenerator Gen(5);
+  Package P = Gen.vulnerable(VulnType::CommandInjection, Complexity::Direct,
+                             VariantKind::Plain, 0);
+  queries::VulnReport Hit;
+  Hit.Type = VulnType::CommandInjection;
+  Hit.SinkLoc = SourceLocation(P.Annotations[0].SinkLine, 3);
+  auto S = eval::scorePackage(P, {Hit}, VulnType::CommandInjection);
+  EXPECT_EQ(S.TP, 1u);
+  EXPECT_EQ(S.FP, 0u);
+
+  queries::VulnReport Miss = Hit;
+  Miss.SinkLoc = SourceLocation(9999, 1);
+  auto S2 = eval::scorePackage(P, {Miss}, VulnType::CommandInjection);
+  EXPECT_EQ(S2.TP, 0u);
+  EXPECT_EQ(S2.FP, 1u);
+  EXPECT_EQ(S2.TFP, 1u);
+}
+
+TEST(MetricsTest, TypeOnlyLeniency) {
+  PackageGenerator Gen(5);
+  Package P = Gen.vulnerable(VulnType::CodeInjection, Complexity::Direct,
+                             VariantKind::Plain, 0);
+  queries::VulnReport WrongLine;
+  WrongLine.Type = VulnType::CodeInjection;
+  WrongLine.SinkLoc = SourceLocation(9999, 1);
+  eval::ScorePolicy Lenient;
+  Lenient.TypeOnlyMatch = true;
+  auto S = eval::scorePackage(P, {WrongLine}, VulnType::CodeInjection,
+                              Lenient);
+  EXPECT_EQ(S.TP, 1u);
+}
+
+TEST(MetricsTest, ExtraRealSinkIsFPNotTFP) {
+  PackageGenerator Gen(6);
+  Package P = Gen.vulnerable(VulnType::CommandInjection, Complexity::Direct,
+                             VariantKind::ExtraSink, 0);
+  ASSERT_FALSE(P.ExtraRealLines.empty());
+  queries::VulnReport OnExtra;
+  OnExtra.Type = VulnType::CommandInjection;
+  OnExtra.SinkLoc = SourceLocation(P.ExtraRealLines[0], 3);
+  auto S = eval::scorePackage(P, {OnExtra}, VulnType::CommandInjection);
+  EXPECT_EQ(S.FP, 1u);
+  EXPECT_EQ(S.TFP, 0u);
+}
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  eval::ClassStats S;
+  S.Total = 100;
+  S.TP = 80;
+  S.TFP = 20;
+  EXPECT_DOUBLE_EQ(S.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(S.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(S.f1(), 0.8);
+}
+
+TEST(MetricsTest, VennDecomposition) {
+  std::vector<bool> A = {true, true, false, false};
+  std::vector<bool> B = {true, false, true, false};
+  eval::VennCounts V = eval::venn(A, B);
+  EXPECT_EQ(V.Both, 1u);
+  EXPECT_EQ(V.OnlyA, 1u);
+  EXPECT_EQ(V.OnlyB, 1u);
+  EXPECT_EQ(V.Neither, 1u);
+}
+
+TEST(MetricsTest, CDFComputation) {
+  auto C = eval::cdf({1.0, 2.0, 3.0, 4.0}, {0.5, 2.0, 10.0});
+  EXPECT_DOUBLE_EQ(C[0], 0.0);
+  EXPECT_DOUBLE_EQ(C[1], 0.5);
+  EXPECT_DOUBLE_EQ(C[2], 1.0);
+}
+
+TEST(MetricsTest, LoCBuckets) {
+  EXPECT_EQ(eval::bucketOf(50), 0);
+  EXPECT_EQ(eval::bucketOf(100), 1);
+  EXPECT_EQ(eval::bucketOf(499), 1);
+  EXPECT_EQ(eval::bucketOf(750), 2);
+  EXPECT_EQ(eval::bucketOf(5000), 3);
+}

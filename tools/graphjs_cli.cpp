@@ -1,0 +1,293 @@
+//===- tools/graphjs_cli.cpp - The graphjs command-line scanner -----------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The Graph.js user experience as a CLI:
+//
+//   graphjs scan  [options] <file.js>...     scan for vulnerabilities
+//   graphjs query <query> <file.js>...       run a raw graph query
+//
+// Scan options:
+//   --sinks <config.json>   custom sink configuration (§4)
+//   --native                use native traversals instead of the graph DB
+//   --confirm               confirm findings by concrete witness replay
+//   --dump-core             print the Core JavaScript lowering
+//   --dump-mdg              print the MDG
+//   --dot                   print the MDG as GraphViz dot
+//   --summary               human-readable output (default: JSON)
+//   --package               scan all inputs as one linked package
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "graphdb/QueryEngine.h"
+#include "queries/QueryRunner.h"
+#include "scanner/Scanner.h"
+#include "scanner/WitnessReplay.h"
+#include "support/JSON.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gjs;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
+      "                    [--dump-core] [--dump-mdg] [--summary] "
+      "<file.js>...\n"
+      "       graphjs query '<MATCH ... RETURN ...>' <file.js>...\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
+            bool DumpCore, bool DumpMDG, bool DumpDot, bool Summary,
+            const std::string &SinksFile) {
+  queries::SinkConfig Sinks = queries::SinkConfig::defaults();
+  if (!SinksFile.empty()) {
+    std::string Text;
+    if (!readFile(SinksFile, Text)) {
+      std::fprintf(stderr, "error: cannot open sink config %s\n",
+                   SinksFile.c_str());
+      return 1;
+    }
+    queries::SinkConfig Custom;
+    std::string Error;
+    if (!queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+      std::fprintf(stderr, "error: bad sink config: %s\n", Error.c_str());
+      return 1;
+    }
+    Sinks = Custom;
+  }
+
+  int ExitCode = 0;
+  for (const std::string &Path : Files) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+
+    DiagnosticEngine Diags;
+    auto Program = core::normalizeJS(Source, Diags);
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
+                   Diags.str().c_str());
+      ExitCode = 1;
+      continue;
+    }
+    if (DumpCore)
+      std::printf("== %s: Core JavaScript ==\n%s\n", Path.c_str(),
+                  core::dump(*Program).c_str());
+
+    analysis::BuildResult Build = analysis::buildMDG(*Program);
+    if (DumpMDG)
+      std::printf("== %s: MDG (%zu nodes, %zu edges) ==\n%s\n", Path.c_str(),
+                  Build.Graph.numNodes(), Build.Graph.numEdges(),
+                  Build.Graph.dump(Build.Props).c_str());
+    if (DumpDot)
+      std::printf("%s", Build.Graph.toDot(Build.Props).c_str());
+
+    std::vector<queries::VulnReport> Reports;
+    if (Native) {
+      Reports = queries::detectNative(Build, Sinks);
+    } else {
+      queries::GraphDBRunner Runner(Build);
+      Reports = Runner.detect(Sinks);
+    }
+
+    std::vector<std::string> Witnesses(Reports.size());
+    std::vector<bool> Confirmed(Reports.size(), false);
+    if (Confirm) {
+      for (size_t I = 0; I < Reports.size(); ++I) {
+        scanner::ReplayResult RR =
+            scanner::replayFinding(*Program, Reports[I]);
+        Confirmed[I] = RR.Confirmed;
+        Witnesses[I] = RR.Witness;
+      }
+    }
+
+    if (Summary) {
+      std::printf("%s: %zu finding(s)\n", Path.c_str(), Reports.size());
+      for (size_t I = 0; I < Reports.size(); ++I) {
+        std::printf("  %s", Reports[I].str().c_str());
+        if (Confirm)
+          std::printf("  [%s]%s%s",
+                      Confirmed[I] ? "confirmed" : "unconfirmed",
+                      Witnesses[I].empty() ? "" : " witness: ",
+                      Witnesses[I].c_str());
+        std::printf("\n");
+      }
+    } else {
+      json::Array Arr;
+      for (size_t I = 0; I < Reports.size(); ++I) {
+        json::Object O;
+        O["file"] = json::Value(Path);
+        O["cwe"] = json::Value(queries::cweOf(Reports[I].Type));
+        O["type"] = json::Value(queries::vulnTypeName(Reports[I].Type));
+        O["line"] =
+            json::Value(static_cast<unsigned>(Reports[I].SinkLoc.Line));
+        if (!Reports[I].SinkName.empty())
+          O["sink"] = json::Value(Reports[I].SinkName);
+        if (Confirm) {
+          O["confirmed"] = json::Value(static_cast<bool>(Confirmed[I]));
+          if (!Witnesses[I].empty())
+            O["witness"] = json::Value(Witnesses[I]);
+        }
+        Arr.push_back(json::Value(std::move(O)));
+      }
+      std::printf("%s\n", json::Value(std::move(Arr)).str(2).c_str());
+    }
+    if (!Reports.empty())
+      ExitCode = 3; // Findings present.
+  }
+  return ExitCode;
+}
+
+/// Linked multi-file scan: one MDG for all inputs (local requires
+/// resolve across files).
+int runPackageScan(const std::vector<std::string> &Files, bool Native,
+                   bool Summary, const std::string &SinksFile) {
+  scanner::ScanOptions O;
+  if (!SinksFile.empty()) {
+    std::string Text;
+    queries::SinkConfig Custom;
+    std::string Error;
+    if (!readFile(SinksFile, Text) ||
+        !queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+      std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                   SinksFile.c_str(), Error.c_str());
+      return 1;
+    }
+    O.Sinks = Custom;
+  }
+  if (Native)
+    O.Backend = scanner::QueryBackend::Native;
+
+  std::vector<scanner::SourceFile> Sources;
+  for (const std::string &Path : Files) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    Sources.push_back({Path, Text});
+  }
+  scanner::Scanner S(O);
+  scanner::ScanResult R = S.scanPackage(Sources);
+  if (R.ParseFailed)
+    std::fprintf(stderr, "warning: some files failed to parse\n");
+  if (Summary) {
+    std::printf("package (%zu files): %zu finding(s)\n", Sources.size(),
+                R.Reports.size());
+    for (const queries::VulnReport &Rep : R.Reports)
+      std::printf("  %s\n", Rep.str().c_str());
+  } else {
+    std::printf("%s\n", scanner::reportsToJSON(R.Reports).c_str());
+  }
+  return R.Reports.empty() ? 0 : 3;
+}
+
+int runQuery(const std::string &QueryText,
+             const std::vector<std::string> &Files) {
+  for (const std::string &Path : Files) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    auto Program = core::normalizeJS(Source, Diags);
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "%s: parse errors\n", Path.c_str());
+      return 1;
+    }
+    analysis::BuildResult Build = analysis::buildMDG(*Program);
+    queries::GraphDBRunner Runner(Build);
+    graphdb::QueryEngine Engine(Runner.database());
+    std::string Error;
+    graphdb::ResultSet RS = Engine.run(QueryText, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "query error: %s\n", Error.c_str());
+      return 2;
+    }
+    std::printf("== %s: %zu row(s) ==\n", Path.c_str(), RS.Rows.size());
+    for (const graphdb::ResultRow &Row : RS.Rows) {
+      for (size_t I = 0; I < Row.Values.size(); ++I)
+        std::printf("%s%s", I ? " | " : "  ", Row.Values[I].c_str());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Mode = argv[1];
+
+  if (Mode == "query") {
+    std::string QueryText = argv[2];
+    std::vector<std::string> Files(argv + 3, argv + argc);
+    if (Files.empty())
+      return usage();
+    return runQuery(QueryText, Files);
+  }
+
+  if (Mode != "scan")
+    return usage();
+
+  bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
+       DumpDot = false, Summary = false, AsPackage = false;
+  std::string SinksFile;
+  std::vector<std::string> Files;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--native")
+      Native = true;
+    else if (Arg == "--confirm")
+      Confirm = true;
+    else if (Arg == "--dump-core")
+      DumpCore = true;
+    else if (Arg == "--dump-mdg")
+      DumpMDG = true;
+    else if (Arg == "--dot")
+      DumpDot = true;
+    else if (Arg == "--summary")
+      Summary = true;
+    else if (Arg == "--package")
+      AsPackage = true;
+    else if (Arg == "--sinks" && I + 1 < argc)
+      SinksFile = argv[++I];
+    else if (Arg.rfind("--", 0) == 0)
+      return usage();
+    else
+      Files.push_back(Arg);
+  }
+  if (Files.empty())
+    return usage();
+  if (AsPackage)
+    return runPackageScan(Files, Native, Summary, SinksFile);
+  return runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
+                 Summary, SinksFile);
+}
