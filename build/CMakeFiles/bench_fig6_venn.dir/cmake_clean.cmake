@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_venn.dir/bench/bench_fig6_venn.cpp.o"
+  "CMakeFiles/bench_fig6_venn.dir/bench/bench_fig6_venn.cpp.o.d"
+  "bench/bench_fig6_venn"
+  "bench/bench_fig6_venn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_venn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_construction.dir/bench/bench_micro_construction.cpp.o"
+  "CMakeFiles/bench_micro_construction.dir/bench/bench_micro_construction.cpp.o.d"
+  "bench/bench_micro_construction"
+  "bench/bench_micro_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_querylatency.dir/bench/bench_micro_querylatency.cpp.o"
+  "CMakeFiles/bench_micro_querylatency.dir/bench/bench_micro_querylatency.cpp.o.d"
+  "bench/bench_micro_querylatency"
+  "bench/bench_micro_querylatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_querylatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

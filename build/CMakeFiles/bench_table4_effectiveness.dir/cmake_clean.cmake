@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_effectiveness.dir/bench/bench_table4_effectiveness.cpp.o"
+  "CMakeFiles/bench_table4_effectiveness.dir/bench/bench_table4_effectiveness.cpp.o.d"
+  "bench/bench_table4_effectiveness"
+  "bench/bench_table4_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

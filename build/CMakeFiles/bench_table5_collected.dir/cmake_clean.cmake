@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_collected.dir/bench/bench_table5_collected.cpp.o"
+  "CMakeFiles/bench_table5_collected.dir/bench/bench_table5_collected.cpp.o.d"
+  "bench/bench_table5_collected"
+  "bench/bench_table5_collected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_collected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_graphsize.cpp" "CMakeFiles/bench_table7_graphsize.dir/bench/bench_table7_graphsize.cpp.o" "gcc" "CMakeFiles/bench_table7_graphsize.dir/bench/bench_table7_graphsize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/gjs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/odgen/CMakeFiles/gjs_odgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/gjs_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/gjs_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/gjs_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gjs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/gjs_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gjs_coreir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gjs_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gjs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_graphsize.dir/bench/bench_table7_graphsize.cpp.o"
+  "CMakeFiles/bench_table7_graphsize.dir/bench/bench_table7_graphsize.cpp.o.d"
+  "bench/bench_table7_graphsize"
+  "bench/bench_table7_graphsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_graphsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

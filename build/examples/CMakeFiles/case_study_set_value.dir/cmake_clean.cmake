@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_set_value.dir/case_study_set_value.cpp.o"
+  "CMakeFiles/case_study_set_value.dir/case_study_set_value.cpp.o.d"
+  "case_study_set_value"
+  "case_study_set_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_set_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

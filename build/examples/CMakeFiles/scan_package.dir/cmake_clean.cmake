@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_package.dir/scan_package.cpp.o"
+  "CMakeFiles/scan_package.dir/scan_package.cpp.o.d"
+  "scan_package"
+  "scan_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

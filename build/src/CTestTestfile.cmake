@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("cfg")
+subdirs("core")
+subdirs("mdg")
+subdirs("analysis")
+subdirs("graphdb")
+subdirs("queries")
+subdirs("scanner")
+subdirs("odgen")
+subdirs("workload")
+subdirs("eval")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_analysis.dir/ConcreteInterp.cpp.o"
+  "CMakeFiles/gjs_analysis.dir/ConcreteInterp.cpp.o.d"
+  "CMakeFiles/gjs_analysis.dir/MDGBuilder.cpp.o"
+  "CMakeFiles/gjs_analysis.dir/MDGBuilder.cpp.o.d"
+  "libgjs_analysis.a"
+  "libgjs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

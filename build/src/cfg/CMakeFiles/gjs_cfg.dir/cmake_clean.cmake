@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_cfg.dir/CFG.cpp.o"
+  "CMakeFiles/gjs_cfg.dir/CFG.cpp.o.d"
+  "libgjs_cfg.a"
+  "libgjs_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CoreIR.cpp" "src/core/CMakeFiles/gjs_coreir.dir/CoreIR.cpp.o" "gcc" "src/core/CMakeFiles/gjs_coreir.dir/CoreIR.cpp.o.d"
+  "/root/repo/src/core/Normalizer.cpp" "src/core/CMakeFiles/gjs_coreir.dir/Normalizer.cpp.o" "gcc" "src/core/CMakeFiles/gjs_coreir.dir/Normalizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/gjs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

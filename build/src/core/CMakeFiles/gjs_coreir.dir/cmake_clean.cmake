@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_coreir.dir/CoreIR.cpp.o"
+  "CMakeFiles/gjs_coreir.dir/CoreIR.cpp.o.d"
+  "CMakeFiles/gjs_coreir.dir/Normalizer.cpp.o"
+  "CMakeFiles/gjs_coreir.dir/Normalizer.cpp.o.d"
+  "libgjs_coreir.a"
+  "libgjs_coreir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_coreir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gjs_coreir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_eval.dir/Harness.cpp.o"
+  "CMakeFiles/gjs_eval.dir/Harness.cpp.o.d"
+  "CMakeFiles/gjs_eval.dir/Metrics.cpp.o"
+  "CMakeFiles/gjs_eval.dir/Metrics.cpp.o.d"
+  "libgjs_eval.a"
+  "libgjs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

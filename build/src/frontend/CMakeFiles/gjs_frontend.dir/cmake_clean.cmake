@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_frontend.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/gjs_frontend.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/gjs_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gjs_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gjs_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gjs_frontend.dir/Parser.cpp.o.d"
+  "libgjs_frontend.a"
+  "libgjs_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphdb/MDGImport.cpp" "src/graphdb/CMakeFiles/gjs_graphdb.dir/MDGImport.cpp.o" "gcc" "src/graphdb/CMakeFiles/gjs_graphdb.dir/MDGImport.cpp.o.d"
+  "/root/repo/src/graphdb/PropertyGraph.cpp" "src/graphdb/CMakeFiles/gjs_graphdb.dir/PropertyGraph.cpp.o" "gcc" "src/graphdb/CMakeFiles/gjs_graphdb.dir/PropertyGraph.cpp.o.d"
+  "/root/repo/src/graphdb/QueryEngine.cpp" "src/graphdb/CMakeFiles/gjs_graphdb.dir/QueryEngine.cpp.o" "gcc" "src/graphdb/CMakeFiles/gjs_graphdb.dir/QueryEngine.cpp.o.d"
+  "/root/repo/src/graphdb/QueryParser.cpp" "src/graphdb/CMakeFiles/gjs_graphdb.dir/QueryParser.cpp.o" "gcc" "src/graphdb/CMakeFiles/gjs_graphdb.dir/QueryParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdg/CMakeFiles/gjs_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

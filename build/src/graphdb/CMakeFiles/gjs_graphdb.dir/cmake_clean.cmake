@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_graphdb.dir/MDGImport.cpp.o"
+  "CMakeFiles/gjs_graphdb.dir/MDGImport.cpp.o.d"
+  "CMakeFiles/gjs_graphdb.dir/PropertyGraph.cpp.o"
+  "CMakeFiles/gjs_graphdb.dir/PropertyGraph.cpp.o.d"
+  "CMakeFiles/gjs_graphdb.dir/QueryEngine.cpp.o"
+  "CMakeFiles/gjs_graphdb.dir/QueryEngine.cpp.o.d"
+  "CMakeFiles/gjs_graphdb.dir/QueryParser.cpp.o"
+  "CMakeFiles/gjs_graphdb.dir/QueryParser.cpp.o.d"
+  "libgjs_graphdb.a"
+  "libgjs_graphdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_graphdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

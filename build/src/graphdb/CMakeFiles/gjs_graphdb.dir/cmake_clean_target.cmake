@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgjs_graphdb.a"
+)

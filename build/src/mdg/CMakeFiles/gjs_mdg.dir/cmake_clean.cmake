@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_mdg.dir/MDG.cpp.o"
+  "CMakeFiles/gjs_mdg.dir/MDG.cpp.o.d"
+  "libgjs_mdg.a"
+  "libgjs_mdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_mdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

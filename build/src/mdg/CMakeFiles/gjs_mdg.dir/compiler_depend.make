@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gjs_mdg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odgen/ODG.cpp" "src/odgen/CMakeFiles/gjs_odgen.dir/ODG.cpp.o" "gcc" "src/odgen/CMakeFiles/gjs_odgen.dir/ODG.cpp.o.d"
+  "/root/repo/src/odgen/ODGenAnalyzer.cpp" "src/odgen/CMakeFiles/gjs_odgen.dir/ODGenAnalyzer.cpp.o" "gcc" "src/odgen/CMakeFiles/gjs_odgen.dir/ODGenAnalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queries/CMakeFiles/gjs_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gjs_coreir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gjs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphdb/CMakeFiles/gjs_graphdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gjs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gjs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/gjs_mdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_odgen.dir/ODG.cpp.o"
+  "CMakeFiles/gjs_odgen.dir/ODG.cpp.o.d"
+  "CMakeFiles/gjs_odgen.dir/ODGenAnalyzer.cpp.o"
+  "CMakeFiles/gjs_odgen.dir/ODGenAnalyzer.cpp.o.d"
+  "libgjs_odgen.a"
+  "libgjs_odgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_odgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

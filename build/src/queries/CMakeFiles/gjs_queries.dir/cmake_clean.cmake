@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_queries.dir/QueryRunner.cpp.o"
+  "CMakeFiles/gjs_queries.dir/QueryRunner.cpp.o.d"
+  "CMakeFiles/gjs_queries.dir/SinkConfig.cpp.o"
+  "CMakeFiles/gjs_queries.dir/SinkConfig.cpp.o.d"
+  "CMakeFiles/gjs_queries.dir/Traversals.cpp.o"
+  "CMakeFiles/gjs_queries.dir/Traversals.cpp.o.d"
+  "libgjs_queries.a"
+  "libgjs_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

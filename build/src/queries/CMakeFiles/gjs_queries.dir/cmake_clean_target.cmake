@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgjs_queries.a"
+)

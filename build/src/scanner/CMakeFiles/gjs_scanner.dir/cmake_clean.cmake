@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_scanner.dir/Scanner.cpp.o"
+  "CMakeFiles/gjs_scanner.dir/Scanner.cpp.o.d"
+  "CMakeFiles/gjs_scanner.dir/WitnessReplay.cpp.o"
+  "CMakeFiles/gjs_scanner.dir/WitnessReplay.cpp.o.d"
+  "libgjs_scanner.a"
+  "libgjs_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

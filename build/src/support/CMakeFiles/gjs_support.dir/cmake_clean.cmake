@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gjs_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gjs_support.dir/JSON.cpp.o"
+  "CMakeFiles/gjs_support.dir/JSON.cpp.o.d"
+  "CMakeFiles/gjs_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/gjs_support.dir/TablePrinter.cpp.o.d"
+  "libgjs_support.a"
+  "libgjs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

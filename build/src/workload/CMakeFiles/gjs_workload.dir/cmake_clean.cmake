@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gjs_workload.dir/Datasets.cpp.o"
+  "CMakeFiles/gjs_workload.dir/Datasets.cpp.o.d"
+  "CMakeFiles/gjs_workload.dir/Packages.cpp.o"
+  "CMakeFiles/gjs_workload.dir/Packages.cpp.o.d"
+  "libgjs_workload.a"
+  "libgjs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gjs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

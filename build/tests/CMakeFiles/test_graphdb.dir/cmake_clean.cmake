@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphdb.dir/test_graphdb.cpp.o"
+  "CMakeFiles/test_graphdb.dir/test_graphdb.cpp.o.d"
+  "test_graphdb"
+  "test_graphdb.pdb"
+  "test_graphdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

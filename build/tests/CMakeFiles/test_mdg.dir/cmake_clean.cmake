@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdg.dir/test_mdg.cpp.o"
+  "CMakeFiles/test_mdg.dir/test_mdg.cpp.o.d"
+  "test_mdg"
+  "test_mdg.pdb"
+  "test_mdg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

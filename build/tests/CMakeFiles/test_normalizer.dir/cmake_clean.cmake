@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalizer.dir/test_normalizer.cpp.o"
+  "CMakeFiles/test_normalizer.dir/test_normalizer.cpp.o.d"
+  "test_normalizer"
+  "test_normalizer.pdb"
+  "test_normalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

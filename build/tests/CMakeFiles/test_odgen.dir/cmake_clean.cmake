@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odgen.dir/test_odgen.cpp.o"
+  "CMakeFiles/test_odgen.dir/test_odgen.cpp.o.d"
+  "test_odgen"
+  "test_odgen.pdb"
+  "test_odgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

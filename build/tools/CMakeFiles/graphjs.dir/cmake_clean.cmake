@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphjs.dir/graphjs_cli.cpp.o"
+  "CMakeFiles/graphjs.dir/graphjs_cli.cpp.o.d"
+  "graphjs"
+  "graphjs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphjs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
