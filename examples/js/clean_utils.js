@@ -1,0 +1,29 @@
+// A benign utility module: no taint flows into a sink, so `graphjs scan`
+// reports nothing and `graphjs lint` is error-free. Exercises branches,
+// loops, and property writes in the lint smoke test.
+function clamp(x, lo, hi) {
+  if (x < lo) {
+    return lo;
+  }
+  if (x > hi) {
+    return hi;
+  }
+  return x;
+}
+
+function sum(values) {
+  var total = 0;
+  for (var i = 0; i < values.length; i++) {
+    total = total + values[i];
+  }
+  return total;
+}
+
+function describe(name) {
+  var info = {};
+  info.name = name;
+  info.kind = name ? 'named' : 'anonymous';
+  return info;
+}
+
+module.exports = { clamp: clamp, sum: sum, describe: describe };

@@ -1,0 +1,13 @@
+// The paper's Figure 1 motivating example: a command injection in a
+// git-helper package. `graphjs scan` reports CWE-78 at the exec call;
+// `graphjs lint` validates the pipeline artifacts built from it.
+const { exec } = require('child_process');
+
+function git_reset(config, op, branch_name, url) {
+  var options = config[op];
+  options[branch_name] = url;
+  options.cmd = 'git reset';
+  exec(options.cmd + ' HEAD~' + options.commit);
+}
+
+module.exports = git_reset;

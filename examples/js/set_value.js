@@ -1,0 +1,18 @@
+// The §5.5 case study: npm set-value v3.0.0 (CVE-2021-23440), a prototype
+// pollution inside a loop. Its MDG contains the loop-folded version cycle
+// the lint pass reports as a note (expected shape, not a defect).
+function set_value(target, prop, value) {
+  const path = prop.split('.');
+  const len = path.length;
+  var obj = target;
+  for (var i = 0; i < len; i++) {
+    const p = path[i];
+    if (i === len - 1) {
+      obj[p] = value;
+    }
+    obj = obj[p];
+  }
+  return target;
+}
+
+module.exports = set_value;

@@ -136,7 +136,8 @@ ConcreteValue Machine::literalValue(const Operand &O) {
   ConcreteValue V;
   switch (O.K) {
   case Operand::Kind::Var:
-    assert(false && "not a literal");
+    // Callers route variables through the environment; a variable reaching
+    // here is a lowering gap, not a crash — treat it as undefined.
     break;
   case Operand::Kind::Number:
     V.K = ConcreteValue::Kind::Number;

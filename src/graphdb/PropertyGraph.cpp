@@ -23,7 +23,8 @@ NodeHandle PropertyGraph::addNode(std::string Label,
 RelHandle PropertyGraph::addRel(NodeHandle From, NodeHandle To,
                                 std::string Type,
                                 std::map<std::string, std::string> Props) {
-  assert(From < Nodes.size() && To < Nodes.size() && "bad endpoints");
+  if (From >= Nodes.size() || To >= Nodes.size())
+    return InvalidHandle; // Reject bad endpoints instead of corrupting.
   RelHandle H = static_cast<RelHandle>(Rels.size());
   Rels.push_back({From, To, std::move(Type), std::move(Props)});
   Out[From].push_back(H);

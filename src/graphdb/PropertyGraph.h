@@ -48,6 +48,8 @@ class PropertyGraph {
 public:
   NodeHandle addNode(std::string Label,
                      std::map<std::string, std::string> Props = {});
+  /// Adds a relationship; returns InvalidHandle when an endpoint is out of
+  /// range (the caller imported a malformed graph).
   RelHandle addRel(NodeHandle From, NodeHandle To, std::string Type,
                    std::map<std::string, std::string> Props = {});
 

@@ -1,0 +1,83 @@
+//===- lint/Finding.h - Structured lint findings -----------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One finding of the static validation subsystem: which pass produced it,
+/// a stable check code, a severity on the shared diagnostic scale, and the
+/// two anchor kinds a graph analysis has — a source location and/or an MDG
+/// node. Findings render as text (one per line, compiler style) and as
+/// machine-readable JSON (see docs/LINT.md for the format).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_LINT_FINDING_H
+#define GJS_LINT_FINDING_H
+
+#include "support/Diagnostics.h"
+#include "support/JSON.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace lint {
+
+/// Sentinel for "no graph anchor".
+constexpr uint32_t NoGraphNode = static_cast<uint32_t>(-1);
+
+/// One validation finding.
+struct Finding {
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Pass;  ///< Producing pass, e.g. "ir-verify".
+  std::string Check; ///< Stable check code, e.g. "ir.use-before-def".
+  std::string Message;
+  SourceLocation Loc;              ///< Invalid when not source-anchored.
+  uint32_t GraphNode = NoGraphNode; ///< MDG node id when graph-anchored.
+
+  /// Compiler-style one-line rendering.
+  std::string str() const;
+  /// JSON object: {severity, pass, check, message, line?, column?, node?}.
+  json::Value toJSON() const;
+};
+
+/// The findings of one lint run.
+class LintResult {
+public:
+  void add(Finding F) {
+    if (F.Severity == DiagSeverity::Error)
+      ++NumErrors;
+    else if (F.Severity == DiagSeverity::Warning)
+      ++NumWarnings;
+    Findings.push_back(std::move(F));
+  }
+
+  const std::vector<Finding> &findings() const { return Findings; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// One finding per line, then a summary line.
+  std::string renderText() const;
+  /// {"findings": [...], "errors": N, "warnings": N} pretty-printed.
+  std::string renderJSON(unsigned Indent = 2) const;
+
+  /// Mirrors every finding into a DiagnosticEngine (severity, location,
+  /// message, and the check code), so library clients consume lint output
+  /// through the same channel as parse diagnostics.
+  void toDiagnostics(DiagnosticEngine &Diags) const;
+
+private:
+  std::vector<Finding> Findings;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace lint
+} // namespace gjs
+
+#endif // GJS_LINT_FINDING_H

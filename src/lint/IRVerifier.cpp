@@ -1,0 +1,298 @@
+//===- lint/IRVerifier.cpp - Core IR + CFG well-formedness pass ------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Post-Normalizer invariants. The MDG builder keys every allocation on
+// statement indices and consumes normalizer temporaries positionally, so a
+// malformed lowering silently corrupts the graph rather than crashing —
+// these checks catch it at the IR boundary instead:
+//
+//   ir.use-before-def   — a %t temporary read before any definition
+//   ir.multi-assign     — a %t temporary with more than one static def
+//                         site (one per branch of the same `if` is the
+//                         ternary join and allowed)
+//   ir.dup-index        — two statements (or function values) sharing an
+//                         allocation-site index
+//   ir.zero-index       — an emitted statement without an index
+//   ir.func-registry    — registry key != function name, or a FuncDef
+//                         statement whose function is absent/unregistered
+//   ir.export-dangling  — an export naming a function that does not exist
+//   ir.dup-param        — duplicate parameter names in one function
+//   cfg.unreachable-block — basic blocks with no path from entry
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+#include "core/CoreIR.h"
+#include "lint/PassManager.h"
+
+#include <map>
+#include <set>
+
+using namespace gjs;
+using namespace gjs::lint;
+using namespace gjs::core;
+
+namespace {
+
+bool isTemp(const std::string &Name) { return Name.rfind("%t", 0) == 0; }
+
+class IRVerifier : public Pass {
+public:
+  const char *name() const override { return "ir-verify"; }
+
+  void run(const LintContext &Ctx, LintResult &Out) override {
+    Result = &Out;
+    if (Ctx.Program) {
+      const Program &P = *Ctx.Program;
+      checkScopes(P);
+      checkIndices(P);
+      checkTemporaries(P.TopLevel);
+      for (const auto &[Name, Fn] : P.Functions)
+        if (Fn)
+          checkTemporaries(Fn->Body);
+    }
+    if (Ctx.CFG)
+      checkCFG(*Ctx.CFG);
+    Result = nullptr;
+  }
+
+private:
+  LintResult *Result = nullptr;
+
+  void report(DiagSeverity Sev, const char *Check, SourceLocation Loc,
+              std::string Message) {
+    Finding F;
+    F.Severity = Sev;
+    F.Pass = name();
+    F.Check = Check;
+    F.Loc = Loc;
+    F.Message = std::move(Message);
+    Result->add(std::move(F));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scope / registry checks
+  //===------------------------------------------------------------------===//
+
+  void checkScopes(const Program &P) {
+    for (const auto &[Key, Fn] : P.Functions) {
+      if (!Fn) {
+        report(DiagSeverity::Error, "ir.func-registry", {},
+               "function registry entry '" + Key + "' is null");
+        continue;
+      }
+      if (Fn->Name != Key)
+        report(DiagSeverity::Error, "ir.func-registry", Fn->Loc,
+               "function registry key '" + Key + "' does not match function "
+               "name '" + Fn->Name + "'");
+      std::set<std::string> Params;
+      for (const std::string &Param : Fn->Params)
+        if (!Params.insert(Param).second)
+          report(DiagSeverity::Warning, "ir.dup-param", Fn->Loc,
+                 "function '" + Fn->Name + "' has duplicate parameter '" +
+                     Param + "'");
+    }
+    for (const ExportEntry &E : P.Exports)
+      if (!P.Functions.count(E.FunctionName))
+        report(DiagSeverity::Error, "ir.export-dangling", {},
+               "export '" + E.ExportName + "' references unknown function '" +
+                   E.FunctionName + "'");
+    walkStmts(P.TopLevel, [&](const Stmt &S) {
+      if (S.K != StmtKind::FuncDef)
+        return;
+      if (!S.Func) {
+        report(DiagSeverity::Error, "ir.func-registry", S.Loc,
+               "FuncDef statement carries no function");
+        return;
+      }
+      if (!P.Functions.count(S.Func->Name))
+        report(DiagSeverity::Error, "ir.func-registry", S.Loc,
+               "FuncDef for '" + S.Func->Name +
+                   "' is not in the program's function registry");
+    });
+    for (const auto &[Name, Fn] : P.Functions)
+      if (Fn)
+        walkStmts(Fn->Body, [&](const Stmt &S) {
+          if (S.K == StmtKind::FuncDef && S.Func &&
+              !P.Functions.count(S.Func->Name))
+            report(DiagSeverity::Error, "ir.func-registry", S.Loc,
+                   "FuncDef for '" + S.Func->Name +
+                       "' is not in the program's function registry");
+        });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Allocation-site index checks
+  //===------------------------------------------------------------------===//
+
+  void checkIndices(const Program &P) {
+    // Statement and function-value indices share one allocator and are the
+    // builder's allocation keys: a collision merges two distinct abstract
+    // objects into one node.
+    std::map<StmtIndex, unsigned> Seen;
+    std::map<StmtIndex, SourceLocation> FirstLoc;
+    auto Visit = [&](StmtIndex I, SourceLocation Loc, const char *What) {
+      if (I == 0) {
+        report(DiagSeverity::Error, "ir.zero-index", Loc,
+               std::string(What) + " has no allocation-site index");
+        return;
+      }
+      if (++Seen[I] == 2)
+        report(DiagSeverity::Error, "ir.dup-index", Loc,
+               std::string(What) + " reuses allocation-site index " +
+                   std::to_string(I) + " (first used at " +
+                   (FirstLoc[I].isValid() ? FirstLoc[I].str() : "<unknown>") +
+                   ")");
+      else
+        FirstLoc.emplace(I, Loc);
+    };
+    walkStmts(P.TopLevel,
+              [&](const Stmt &S) { Visit(S.Index, S.Loc, "statement"); });
+    for (const auto &[Name, Fn] : P.Functions) {
+      if (!Fn)
+        continue;
+      Visit(Fn->Index, Fn->Loc, "function value");
+      walkStmts(Fn->Body,
+                [&](const Stmt &S) { Visit(S.Index, S.Loc, "statement"); });
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Temporary def/use checks
+  //===------------------------------------------------------------------===//
+
+  /// All variable operands a statement reads.
+  static void collectUses(const Stmt &S, std::vector<const Operand *> &Uses) {
+    for (const Operand *O : {&S.Obj, &S.PropOperand, &S.Value, &S.LHS, &S.RHS,
+                             &S.Callee, &S.Receiver, &S.Cond})
+      if (O->isVar())
+        Uses.push_back(O);
+    for (const Operand &A : S.Args)
+      if (A.isVar())
+        Uses.push_back(&A);
+  }
+
+  void checkTemporaries(const std::vector<StmtPtr> &Body) {
+    std::set<std::string> Defined;
+    checkUseBeforeDef(Body, Defined);
+    std::map<std::string, unsigned> Defs;
+    std::map<std::string, SourceLocation> DefLoc;
+    countDefs(Body, Defs, DefLoc);
+    for (const auto &[Temp, Count] : Defs)
+      if (Count > 1)
+        report(DiagSeverity::Warning, "ir.multi-assign", DefLoc[Temp],
+               "temporary '" + Temp + "' has " + std::to_string(Count) +
+                   " static definition sites (expected single assignment)");
+  }
+
+  void checkUseBeforeDef(const std::vector<StmtPtr> &Block,
+                         std::set<std::string> &Defined) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      std::vector<const Operand *> Uses;
+      collectUses(S, Uses);
+      for (const Operand *U : Uses)
+        if (isTemp(U->Name) && !Defined.count(U->Name))
+          report(DiagSeverity::Error, "ir.use-before-def", S.Loc,
+                 "temporary '" + U->Name + "' is used before any definition");
+      if (S.K == StmtKind::If) {
+        std::set<std::string> ThenDefs = Defined, ElseDefs = Defined;
+        checkUseBeforeDef(S.Then, ThenDefs);
+        checkUseBeforeDef(S.Else, ElseDefs);
+        // The join sees the union: the ternary lowering defines the same
+        // temp in both branches, and downstream code only reads temps that
+        // some path defined (over-approximating keeps this check sound for
+        // the normalizer's output without path-sensitivity).
+        for (const std::string &D : ThenDefs)
+          Defined.insert(D);
+        for (const std::string &D : ElseDefs)
+          Defined.insert(D);
+      } else if (S.K == StmtKind::While) {
+        // Loop bodies are analyzed to fixpoint: a temp defined late in the
+        // body is defined on the second iteration's early reads. Pre-seed
+        // with the body's definitions to match that semantics.
+        std::set<std::string> BodyDefs = Defined;
+        std::map<std::string, unsigned> Counts;
+        std::map<std::string, SourceLocation> Locs;
+        countDefs(S.Body, Counts, Locs);
+        for (const auto &[Name, Count] : Counts)
+          BodyDefs.insert(Name);
+        checkUseBeforeDef(S.Body, BodyDefs);
+        for (const std::string &D : BodyDefs)
+          Defined.insert(D);
+      } else if (!S.Target.empty()) {
+        Defined.insert(S.Target);
+      }
+    }
+  }
+
+  /// Static definition-site counts; the two branches of one `if` merge by
+  /// max (the ternary join assigns the same temp on both sides).
+  void countDefs(const std::vector<StmtPtr> &Block,
+                 std::map<std::string, unsigned> &Counts,
+                 std::map<std::string, SourceLocation> &Locs) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      if (S.K == StmtKind::If) {
+        std::map<std::string, unsigned> T, E;
+        countDefs(S.Then, T, Locs);
+        countDefs(S.Else, E, Locs);
+        for (const auto &[Name, C] : T)
+          Counts[Name] += std::max(C, E.count(Name) ? E[Name] : 0u);
+        for (const auto &[Name, C] : E)
+          if (!T.count(Name))
+            Counts[Name] += C;
+      } else if (S.K == StmtKind::While) {
+        countDefs(S.Body, Counts, Locs);
+      } else if (!S.Target.empty() && isTemp(S.Target)) {
+        if (++Counts[S.Target] == 1)
+          Locs.emplace(S.Target, S.Loc);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // CFG checks
+  //===------------------------------------------------------------------===//
+
+  void checkCFG(const cfg::ModuleCFG &M) {
+    checkFunctionCFG("<top-level>", M.TopLevel);
+    for (const auto &[Name, FC] : M.Functions)
+      checkFunctionCFG(Name, FC);
+  }
+
+  void checkFunctionCFG(const std::string &Name, const cfg::FunctionCFG &FC) {
+    for (cfg::BlockId B : FC.unreachableBlocks()) {
+      const cfg::BasicBlock &BB = FC.block(B);
+      SourceLocation Loc;
+      if (!BB.Statements.empty() && BB.Statements.front())
+        Loc = BB.Statements.front()->loc();
+      report(DiagSeverity::Warning, "cfg.unreachable-block", Loc,
+             "basic block b" + std::to_string(B) + " in '" + Name +
+                 "' is unreachable from the entry (dead code)");
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Walk helper
+  //===------------------------------------------------------------------===//
+
+  template <typename Fn>
+  static void walkStmts(const std::vector<StmtPtr> &Block, Fn &&Visit) {
+    for (const StmtPtr &SP : Block) {
+      Visit(*SP);
+      walkStmts(SP->Then, Visit);
+      walkStmts(SP->Else, Visit);
+      walkStmts(SP->Body, Visit);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lint::createIRVerifierPass() {
+  return std::make_unique<IRVerifier>();
+}

@@ -1,0 +1,275 @@
+//===- lint/MDGChecker.cpp - MDG well-formedness pass ----------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Well-formedness of a built MDG — the invariants that used to live in
+// release-mode-silent asserts, promoted to diagnosed findings runnable
+// over any BuildResult (the scanner's SelfCheck mode runs this after
+// construction):
+//
+//   mdg.edge-endpoint   — an edge endpoint out of node range
+//   mdg.adjacency       — out/in adjacency lists disagree with each other
+//                         or with the edge count
+//   mdg.edge-prop       — a P(p)/V(p) edge with a zero or out-of-range
+//                         property symbol, or a D/P(*)/V(*) edge carrying
+//                         a property symbol
+//   mdg.call-meta       — a Call node without a callee name
+//   mdg.call-arg        — a recorded call argument with an invalid id or
+//                         missing its D edge into the call node
+//   mdg.call-version    — a Call node with outgoing version edges
+//   mdg.taint-flag      — BuildResult::TaintSources inconsistent with the
+//                         per-node IsTaintSource flags
+//   mdg.version-cycle   — note: a cyclic version chain (expected under the
+//                         site-reuse allocator in loops, §5.5)
+//   mdg.version-fanout  — note: one version with multiple successors for
+//                         the same property (branch joins)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "lint/PassManager.h"
+#include "mdg/MDG.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gjs;
+using namespace gjs::lint;
+using namespace gjs::mdg;
+
+namespace {
+
+class MDGChecker : public Pass {
+public:
+  const char *name() const override { return "mdg-check"; }
+
+  void run(const LintContext &Ctx, LintResult &Out) override {
+    if (!Ctx.Build)
+      return;
+    Result = &Out;
+    const analysis::BuildResult &B = *Ctx.Build;
+    checkEdges(B);
+    checkCalls(B);
+    checkTaint(B);
+    checkVersionChains(B);
+    Result = nullptr;
+  }
+
+private:
+  LintResult *Result = nullptr;
+
+  void report(DiagSeverity Sev, const char *Check, uint32_t Node,
+              SourceLocation Loc, std::string Message) {
+    Finding F;
+    F.Severity = Sev;
+    F.Pass = name();
+    F.Check = Check;
+    F.GraphNode = Node;
+    F.Loc = Loc;
+    F.Message = std::move(Message);
+    Result->add(std::move(F));
+  }
+
+  void checkEdges(const analysis::BuildResult &B) {
+    const Graph &G = B.Graph;
+    const size_t N = G.numNodes();
+    size_t OutTotal = 0, InTotal = 0;
+    for (NodeId Id = 0; Id < N; ++Id) {
+      OutTotal += G.out(Id).size();
+      InTotal += G.in(Id).size();
+      for (const Edge &E : G.out(Id)) {
+        if (E.From != Id)
+          report(DiagSeverity::Error, "mdg.adjacency", Id, G.node(Id).Loc,
+                 "out-edge stored under o" + std::to_string(Id) +
+                     " claims source o" + std::to_string(E.From));
+        if (E.From >= N || E.To >= N) {
+          report(DiagSeverity::Error, "mdg.edge-endpoint", Id, G.node(Id).Loc,
+                 "edge o" + std::to_string(E.From) + " -> o" +
+                     std::to_string(E.To) + " has an endpoint out of range (" +
+                     std::to_string(N) + " nodes)");
+          continue;
+        }
+        // The mirror entry must exist in the target's in-list.
+        const auto &InList = G.in(E.To);
+        if (std::find(InList.begin(), InList.end(), E) == InList.end())
+          report(DiagSeverity::Error, "mdg.adjacency", E.To, G.node(E.To).Loc,
+                 "edge o" + std::to_string(E.From) + " -> o" +
+                     std::to_string(E.To) +
+                     " is missing from the target's in-edge list");
+        checkEdgeProp(B, E);
+      }
+    }
+    if (OutTotal != G.numEdges() || InTotal != G.numEdges())
+      report(DiagSeverity::Error, "mdg.adjacency", NoGraphNode, {},
+             "edge count " + std::to_string(G.numEdges()) +
+                 " disagrees with adjacency totals (out " +
+                 std::to_string(OutTotal) + ", in " + std::to_string(InTotal) +
+                 ")");
+  }
+
+  void checkEdgeProp(const analysis::BuildResult &B, const Edge &E) {
+    const bool Named =
+        E.Kind == EdgeKind::Prop || E.Kind == EdgeKind::Version;
+    if (Named) {
+      if (E.Prop == 0)
+        report(DiagSeverity::Error, "mdg.edge-prop", E.From,
+               B.Graph.node(E.From).Loc,
+               edgeKindLabel(E.Kind) + " edge o" + std::to_string(E.From) +
+                   " -> o" + std::to_string(E.To) +
+                   " carries no property symbol");
+      else if (E.Prop >= B.Props.size())
+        report(DiagSeverity::Error, "mdg.edge-prop", E.From,
+               B.Graph.node(E.From).Loc,
+               edgeKindLabel(E.Kind) + " edge o" + std::to_string(E.From) +
+                   " -> o" + std::to_string(E.To) + " names symbol " +
+                   std::to_string(E.Prop) + " outside the interner (size " +
+                   std::to_string(B.Props.size()) + ")");
+    } else if (E.Prop != 0) {
+      report(DiagSeverity::Error, "mdg.edge-prop", E.From,
+             B.Graph.node(E.From).Loc,
+             edgeKindLabel(E.Kind) + " edge o" + std::to_string(E.From) +
+                 " -> o" + std::to_string(E.To) +
+                 " carries a property symbol but its kind is unnamed");
+    }
+  }
+
+  void checkCalls(const analysis::BuildResult &B) {
+    const Graph &G = B.Graph;
+    const size_t N = G.numNodes();
+    std::set<NodeId> CallSet(B.CallNodes.begin(), B.CallNodes.end());
+    for (NodeId Id = 0; Id < N; ++Id) {
+      const Node &Nd = G.node(Id);
+      if (Nd.Kind != NodeKind::Call) {
+        if (CallSet.count(Id))
+          report(DiagSeverity::Error, "mdg.call-meta", Id, Nd.Loc,
+                 "o" + std::to_string(Id) +
+                     " is listed in CallNodes but is not a Call node");
+        continue;
+      }
+      if (!CallSet.count(Id))
+        report(DiagSeverity::Error, "mdg.call-meta", Id, Nd.Loc,
+               "Call node o" + std::to_string(Id) +
+                   " is missing from BuildResult::CallNodes");
+      if (Nd.CallName.empty() && Nd.CallPath.empty())
+        report(DiagSeverity::Note, "mdg.call-meta", Id, Nd.Loc,
+               "Call node o" + std::to_string(Id) +
+                   " has neither a callee name nor a path (computed callee)");
+      for (unsigned Pos = 0; Pos < Nd.Args.size(); ++Pos) {
+        for (NodeId Arg : Nd.Args[Pos]) {
+          if (Arg >= N) {
+            report(DiagSeverity::Error, "mdg.call-arg", Id, Nd.Loc,
+                   "Call node o" + std::to_string(Id) + " argument " +
+                       std::to_string(Pos) + " references invalid node o" +
+                       std::to_string(Arg));
+            continue;
+          }
+          // The builder wires a D edge from every argument location into
+          // the call node — the Table 2 queries' `(arg)-[:D]->(call)` leg
+          // depends on it.
+          if (!G.hasEdge(Arg, Id, EdgeKind::Dep))
+            report(DiagSeverity::Error, "mdg.call-arg", Id, Nd.Loc,
+                   "Call node o" + std::to_string(Id) + " argument " +
+                       std::to_string(Pos) + " (o" + std::to_string(Arg) +
+                       ") has no D edge into the call");
+        }
+      }
+      for (const Edge &E : G.out(Id))
+        if (E.Kind == EdgeKind::Version || E.Kind == EdgeKind::VersionUnknown)
+          report(DiagSeverity::Error, "mdg.call-version", Id, Nd.Loc,
+                 "Call node o" + std::to_string(Id) +
+                     " has an outgoing version edge (calls are not "
+                     "versioned objects)");
+    }
+  }
+
+  void checkTaint(const analysis::BuildResult &B) {
+    const Graph &G = B.Graph;
+    const size_t N = G.numNodes();
+    std::set<NodeId> Sources(B.TaintSources.begin(), B.TaintSources.end());
+    for (NodeId S : Sources) {
+      if (S >= N) {
+        report(DiagSeverity::Error, "mdg.taint-flag", S, {},
+               "TaintSources references invalid node o" + std::to_string(S));
+        continue;
+      }
+      if (!G.node(S).IsTaintSource)
+        report(DiagSeverity::Error, "mdg.taint-flag", S, G.node(S).Loc,
+               "o" + std::to_string(S) +
+                   " is listed as a taint source but its node flag is unset");
+    }
+    for (NodeId Id = 0; Id < N; ++Id)
+      if (G.node(Id).IsTaintSource && !Sources.count(Id))
+        report(DiagSeverity::Error, "mdg.taint-flag", Id, G.node(Id).Loc,
+               "o" + std::to_string(Id) +
+                   " is flagged IsTaintSource but missing from "
+                   "BuildResult::TaintSources");
+  }
+
+  void checkVersionChains(const analysis::BuildResult &B) {
+    const Graph &G = B.Graph;
+    const size_t N = G.numNodes();
+
+    // Fan-out note: one node versioned more than once on the same property
+    // (branches produce this; straight-line code should not).
+    for (NodeId Id = 0; Id < N; ++Id) {
+      std::set<Symbol> SeenProps;
+      for (const Edge &E : G.out(Id)) {
+        if (E.Kind != EdgeKind::Version)
+          continue;
+        if (!SeenProps.insert(E.Prop).second)
+          report(DiagSeverity::Note, "mdg.version-fanout", Id, G.node(Id).Loc,
+                 "o" + std::to_string(Id) + " has multiple V(" +
+                     (E.Prop < B.Props.size() ? B.Props.str(E.Prop)
+                                              : "<bad symbol>") +
+                     ") successors (branched update)");
+      }
+    }
+
+    // Cycle note: the site-reuse version allocator intentionally folds loop
+    // iterations onto one node, producing cyclic chains (§5.5). Report as a
+    // note so graph consumers that assume acyclic chains know to look.
+    std::vector<uint8_t> Color(N, 0); // 0 white, 1 gray, 2 black
+    for (NodeId Start = 0; Start < N; ++Start) {
+      if (Color[Start])
+        continue;
+      // Iterative DFS over version edges only.
+      std::vector<std::pair<NodeId, size_t>> Stack{{Start, 0}};
+      Color[Start] = 1;
+      while (!Stack.empty()) {
+        auto [Cur, I] = Stack.back();
+        const auto &Out = G.out(Cur);
+        bool Descended = false;
+        while (I < Out.size()) {
+          const Edge &E = Out[I++];
+          if (E.Kind != EdgeKind::Version &&
+              E.Kind != EdgeKind::VersionUnknown)
+            continue;
+          if (Color[E.To] == 1) {
+            report(DiagSeverity::Note, "mdg.version-cycle", E.To,
+                   G.node(E.To).Loc,
+                   "version chain through o" + std::to_string(E.To) +
+                       " is cyclic (loop-folded versions)");
+          } else if (Color[E.To] == 0) {
+            Stack.back().second = I; // Save progress before growing.
+            Color[E.To] = 1;
+            Stack.push_back({E.To, 0});
+            Descended = true;
+            break;
+          }
+        }
+        if (!Descended) {
+          Color[Cur] = 2;
+          Stack.pop_back();
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lint::createMDGCheckPass() {
+  return std::make_unique<MDGChecker>();
+}

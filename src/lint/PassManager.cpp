@@ -1,0 +1,84 @@
+//===- lint/PassManager.cpp - Static validation pass manager ---------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/PassManager.h"
+
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::lint;
+
+std::string Finding::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  OS << severityName(Severity) << ": " << Message << " [" << Pass << "/"
+     << Check << "]";
+  if (GraphNode != NoGraphNode)
+    OS << " (node o" << GraphNode << ")";
+  return OS.str();
+}
+
+json::Value Finding::toJSON() const {
+  json::Object O;
+  O["severity"] = json::Value(severityName(Severity));
+  O["pass"] = json::Value(Pass);
+  O["check"] = json::Value(Check);
+  O["message"] = json::Value(Message);
+  if (Loc.isValid()) {
+    O["line"] = json::Value(static_cast<unsigned>(Loc.Line));
+    O["column"] = json::Value(static_cast<unsigned>(Loc.Column));
+  }
+  if (GraphNode != NoGraphNode)
+    O["node"] = json::Value(GraphNode);
+  return json::Value(std::move(O));
+}
+
+std::string LintResult::renderText() const {
+  std::ostringstream OS;
+  for (const Finding &F : Findings)
+    OS << F.str() << '\n';
+  OS << NumErrors << " error(s), " << NumWarnings << " warning(s), "
+     << (Findings.size() - NumErrors - NumWarnings) << " note(s)\n";
+  return OS.str();
+}
+
+std::string LintResult::renderJSON(unsigned Indent) const {
+  json::Array Arr;
+  for (const Finding &F : Findings)
+    Arr.push_back(F.toJSON());
+  json::Object O;
+  O["findings"] = json::Value(std::move(Arr));
+  O["errors"] = json::Value(NumErrors);
+  O["warnings"] = json::Value(NumWarnings);
+  return json::Value(std::move(O)).str(Indent);
+}
+
+void LintResult::toDiagnostics(DiagnosticEngine &Diags) const {
+  for (const Finding &F : Findings) {
+    Diagnostic D;
+    D.Severity = F.Severity;
+    D.Loc = F.Loc;
+    D.Message = F.Message;
+    D.Code = F.Pass + "/" + F.Check;
+    Diags.report(std::move(D));
+  }
+}
+
+LintResult PassManager::run(const LintContext &Ctx) const {
+  LintResult Out;
+  for (const auto &P : Passes)
+    P->run(Ctx, Out);
+  return Out;
+}
+
+PassManager PassManager::standard() {
+  PassManager PM;
+  PM.addPass(createIRVerifierPass());
+  PM.addPass(createMDGCheckPass());
+  PM.addPass(createQuerySchemaPass());
+  return PM;
+}

@@ -46,7 +46,8 @@ NodeId Graph::addNode(NodeKind Kind, uint32_t Site, SourceLocation Loc,
 }
 
 bool Graph::addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Prop) {
-  assert(From < Nodes.size() && To < Nodes.size() && "edge endpoint missing");
+  if (From >= Nodes.size() || To >= Nodes.size())
+    return false; // Out-of-range endpoint: reject rather than corrupt.
   Edge E{From, To, Kind, Prop};
   if (!EdgeSet.insert(E).second)
     return false;

@@ -100,7 +100,9 @@ public:
                  std::string Label = "");
 
   /// Adds an edge if not already present. Returns true when the graph grew
-  /// (drives the fixpoint tests in while/recursion analysis).
+  /// (drives the fixpoint tests in while/recursion analysis). Out-of-range
+  /// endpoints are rejected (returns false); the MDG checker lint pass
+  /// diagnoses any that slip through construction.
   bool addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Prop = 0);
 
   bool hasEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Prop = 0) const;

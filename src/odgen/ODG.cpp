@@ -25,7 +25,8 @@ ODGNodeId ODG::addNode(ODGNodeKind Kind, SourceLocation Loc,
 
 void ODG::addEdge(ODGNodeId From, ODGNodeId To, ODGEdgeKind Kind,
                   std::string Name) {
-  assert(From < Nodes.size() && To < Nodes.size() && "bad endpoints");
+  if (From >= Nodes.size() || To >= Nodes.size())
+    return; // Reject bad endpoints instead of corrupting the edge list.
   uint32_t E = static_cast<uint32_t>(Edges.size());
   Edges.push_back({From, To, Kind, std::move(Name)});
   Out[From].push_back(E);

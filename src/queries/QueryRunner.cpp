@@ -6,6 +6,8 @@
 
 #include "queries/QueryRunner.h"
 
+#include "graphdb/SchemaLint.h"
+
 #include <algorithm>
 #include <set>
 
@@ -151,14 +153,49 @@ GraphDBRunner::detectTaintStyle(VulnType T, const SinkConfig &Config,
   return Reports;
 }
 
+// The taint-source endpoints of p1..p3 are anonymous: naming them would
+// bind variables the query never reads (the schema linter flags that).
 static const char *PollutionQuery =
     "MATCH (obj:Object)-[:PU]->(sub:Object)-[:VU]->(ver:Object)"
     "-[:PU]->(val:Object),\n"
-    "  p1 = (s1:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(sub),\n"
-    "  p2 = (s2:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(ver),\n"
-    "  p3 = (s3:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(val)\n"
+    "  p1 = (:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(sub),\n"
+    "  p2 = (:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(ver),\n"
+    "  p3 = (:Object {taint: 'true'})-[:D|P|PU|V|VU*0..]->(val)\n"
     "WHERE NOT untainted(p1) AND NOT untainted(p2) AND NOT untainted(p3)\n"
     "RETURN obj, sub, ver, val";
+
+std::vector<std::pair<std::string, std::string>>
+GraphDBRunner::builtinQueries(const SinkConfig &Config) {
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (VulnType T : {VulnType::CommandInjection, VulnType::CodeInjection,
+                     VulnType::PathTraversal}) {
+    for (const SinkSpec &Spec : Config.sinks(T)) {
+      std::string Name = std::string(vulnTypeName(T)) + "/" + Spec.Name;
+      Out.emplace_back(std::move(Name),
+                       instantiate(Spec.isPath() ? TaintQueryTemplatePath
+                                                 : TaintQueryTemplateName,
+                                   Spec.Name));
+    }
+  }
+  Out.emplace_back("prototype-pollution", PollutionQuery);
+  return Out;
+}
+
+bool GraphDBRunner::validateBuiltinQueries(const SinkConfig &Config,
+                                           std::string *Error) {
+  const graphdb::GraphSchema &Schema = graphdb::mdgSchema();
+  for (const auto &[Name, Text] : builtinQueries(Config)) {
+    for (const graphdb::SchemaIssue &Issue :
+         graphdb::lintQueryText(Text, Schema)) {
+      if (Issue.Severity != DiagSeverity::Error)
+        continue;
+      if (Error)
+        *Error = "built-in query '" + Name + "': " + Issue.str();
+      return false;
+    }
+  }
+  return true;
+}
 
 std::vector<VulnReport>
 GraphDBRunner::detectPrototypePollution(DetectStats *Stats) {

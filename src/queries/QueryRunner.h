@@ -64,6 +64,18 @@ public:
   /// Access to the imported database (examples / custom queries).
   const graphdb::PropertyGraph &database() const { return Imported.Graph; }
 
+  /// The built-in Table 2 query texts as instantiated for \p Config, as
+  /// (display name, query text) pairs — what the schema linter validates.
+  static std::vector<std::pair<std::string, std::string>>
+  builtinQueries(const SinkConfig &Config);
+
+  /// Parses and schema-lints every built-in query against the MDG import
+  /// schema (graphdb::mdgSchema). Returns false and sets \p Error on the
+  /// first error-severity issue — a typo'd edge label or property key in a
+  /// built-in query must fail fast instead of silently matching nothing.
+  static bool validateBuiltinQueries(const SinkConfig &Config,
+                                     std::string *Error);
+
 private:
   const analysis::BuildResult &Build;
   graphdb::ImportedMDG Imported;

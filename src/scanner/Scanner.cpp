@@ -8,6 +8,7 @@
 
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
+#include "lint/PassManager.h"
 #include "support/JSON.h"
 #include "support/Timer.h"
 
@@ -17,6 +18,20 @@ using namespace gjs;
 using namespace gjs::scanner;
 
 Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
+
+namespace {
+
+/// Runs the MDG well-formedness pass over a freshly built graph
+/// (ScanOptions::SelfCheck).
+std::vector<lint::Finding> runSelfCheck(const analysis::BuildResult &Build) {
+  lint::PassManager PM;
+  PM.addPass(lint::createMDGCheckPass());
+  lint::LintContext Ctx;
+  Ctx.Build = &Build;
+  return PM.run(Ctx).findings();
+}
+
+} // namespace
 
 ScanResult Scanner::scanSource(const std::string &Source) {
   ScanResult Out;
@@ -50,9 +65,16 @@ ScanResult Scanner::scanSource(const std::string &Source) {
   Out.MDGEdges = Build.Graph.numEdges();
   Out.BuildWork = Build.WorkDone;
   Out.TimedOut |= Build.TimedOut;
+  if (Options.SelfCheck)
+    Out.SelfCheckFindings = runSelfCheck(Build);
 
-  // Phase 3+4: import into the database and run the queries.
+  // Phase 3+4: import into the database and run the queries. The built-in
+  // queries are schema-validated first: a malformed query must fail the
+  // scan loudly, not return an empty (vacuously clean) report set.
   if (Options.Backend == QueryBackend::GraphDB) {
+    if (!queries::GraphDBRunner::validateBuiltinQueries(Options.Sinks,
+                                                        &Out.SchemaError))
+      return Out;
     Phase.reset();
     queries::GraphDBRunner Runner(Build, Options.Engine);
     Out.Times.DbImport = Phase.elapsedSeconds();
@@ -188,8 +210,13 @@ ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
   Out.MDGEdges = Build.Graph.numEdges();
   Out.BuildWork = Build.WorkDone;
   Out.TimedOut |= Build.TimedOut;
+  if (Options.SelfCheck)
+    Out.SelfCheckFindings = runSelfCheck(Build);
 
   if (Options.Backend == QueryBackend::GraphDB) {
+    if (!queries::GraphDBRunner::validateBuiltinQueries(Options.Sinks,
+                                                        &Out.SchemaError))
+      return Out;
     Phase.reset();
     queries::GraphDBRunner Runner(Build, Options.Engine);
     Out.Times.DbImport = Phase.elapsedSeconds();

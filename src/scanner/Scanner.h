@@ -22,6 +22,7 @@
 
 #include "analysis/MDGBuilder.h"
 #include "graphdb/QueryEngine.h"
+#include "lint/Finding.h"
 #include "queries/QueryRunner.h"
 #include "queries/SinkConfig.h"
 
@@ -42,6 +43,9 @@ struct ScanOptions {
   analysis::BuilderOptions Builder;
   graphdb::EngineOptions Engine;
   QueryBackend Backend = QueryBackend::GraphDB;
+  /// Runs the MDG well-formedness checker over the freshly built graph and
+  /// records its findings in ScanResult::SelfCheckFindings.
+  bool SelfCheck = false;
 };
 
 /// Per-phase timing (seconds) — the Table 6 breakdown.
@@ -67,6 +71,11 @@ struct ScanResult {
   size_t CoreStmts = 0;
   uint64_t BuildWork = 0;
   uint64_t QueryWork = 0;
+  /// Nonempty when a built-in Table 2 query failed schema validation; the
+  /// query phase is skipped (fail fast rather than silently match nothing).
+  std::string SchemaError;
+  /// MDG checker findings (populated when ScanOptions::SelfCheck is set).
+  std::vector<lint::Finding> SelfCheckFindings;
 };
 
 /// One source file of a package.

@@ -10,7 +10,7 @@
 
 using namespace gjs;
 
-static const char *severityName(DiagSeverity S) {
+const char *gjs::severityName(DiagSeverity S) {
   switch (S) {
   case DiagSeverity::Note:
     return "note";
@@ -27,6 +27,8 @@ std::string Diagnostic::str() const {
   if (Loc.isValid())
     OS << Loc.str() << ": ";
   OS << severityName(Severity) << ": " << Message;
+  if (!Code.empty())
+    OS << " [" << Code << "]";
   return OS.str();
 }
 

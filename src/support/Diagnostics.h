@@ -24,22 +24,32 @@ namespace gjs {
 
 enum class DiagSeverity { Note, Warning, Error };
 
-/// One reported problem, with an optional source anchor.
+/// One reported problem, with an optional source anchor. `Code` is an
+/// optional machine-readable check identifier (e.g. "lint.mdg.edge-prop");
+/// passes that emit many diagnostic kinds set it so tools can filter.
 struct Diagnostic {
   DiagSeverity Severity = DiagSeverity::Error;
   SourceLocation Loc;
   std::string Message;
+  std::string Code;
 
   std::string str() const;
 };
+
+/// Printable severity name ("note", "warning", "error").
+const char *severityName(DiagSeverity S);
 
 /// Collects diagnostics produced while processing one source file.
 class DiagnosticEngine {
 public:
   void report(DiagSeverity Severity, SourceLocation Loc, std::string Message) {
-    Diags.push_back({Severity, Loc, std::move(Message)});
-    if (Severity == DiagSeverity::Error)
+    report({Severity, Loc, std::move(Message), {}});
+  }
+
+  void report(Diagnostic D) {
+    if (D.Severity == DiagSeverity::Error)
       ++NumErrors;
+    Diags.push_back(std::move(D));
   }
 
   void error(SourceLocation Loc, std::string Message) {

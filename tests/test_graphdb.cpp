@@ -99,6 +99,28 @@ TEST(QueryParserTest, RejectsMalformed) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(QueryParserTest, UnclosedNodePatternReportsOffset) {
+  Query Q;
+  std::string Error;
+  EXPECT_FALSE(parseQuery("MATCH (a:Object RETURN a", Q, &Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos) << Error;
+}
+
+TEST(QueryParserTest, BadHopRangeReportsOffset) {
+  Query Q;
+  std::string Error;
+  // A single '.' is not a range separator ('..' required).
+  EXPECT_FALSE(parseQuery("MATCH (a)-[:D*2.5]->(b) RETURN b", Q, &Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos) << Error;
+}
+
+TEST(QueryParserTest, StrayTrailingTokensRejected) {
+  Query Q;
+  std::string Error;
+  EXPECT_FALSE(parseQuery("MATCH (a) RETURN a bogus trailing", Q, &Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos) << Error;
+}
+
 TEST(QueryEngineTest, SimpleMatchAndProjection) {
   PropertyGraph G = makeFixture();
   QueryEngine E(G);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer CI job: configure with GRAPHJS_SANITIZE=ON (ASan + UBSan,
+# abort on first report), build, and run the full test suite.
+#
+# Usage: tools/ci_sanitize.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-asan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGRAPHJS_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: any sanitizer report fails the job.
+export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

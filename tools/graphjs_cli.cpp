@@ -6,6 +6,7 @@
 //
 //   graphjs scan  [options] <file.js>...     scan for vulnerabilities
 //   graphjs query <query> <file.js>...       run a raw graph query
+//   graphjs lint  [options] <file.js>...     validate pipeline artifacts
 //
 // Scan options:
 //   --sinks <config.json>   custom sink configuration (§4)
@@ -16,12 +17,21 @@
 //   --dot                   print the MDG as GraphViz dot
 //   --summary               human-readable output (default: JSON)
 //   --package               scan all inputs as one linked package
+//   --self-check            run the MDG well-formedness checker too
+//
+// Lint options:
+//   --summary               human-readable output (default: JSON)
+//   --query '<text>'        also schema-lint an ad-hoc query (repeatable)
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/MDGBuilder.h"
+#include "cfg/CFG.h"
 #include "core/Normalizer.h"
+#include "frontend/Parser.h"
 #include "graphdb/QueryEngine.h"
+#include "graphdb/SchemaLint.h"
+#include "lint/PassManager.h"
 #include "queries/QueryRunner.h"
 #include "scanner/Scanner.h"
 #include "scanner/WitnessReplay.h"
@@ -42,9 +52,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
-      "                    [--dump-core] [--dump-mdg] [--summary] "
-      "<file.js>...\n"
-      "       graphjs query '<MATCH ... RETURN ...>' <file.js>...\n");
+      "                    [--dump-core] [--dump-mdg] [--summary]\n"
+      "                    [--self-check] <file.js>...\n"
+      "       graphjs query '<MATCH ... RETURN ...>' <file.js>...\n"
+      "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n");
   return 2;
 }
 
@@ -60,7 +71,7 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
             bool DumpCore, bool DumpMDG, bool DumpDot, bool Summary,
-            const std::string &SinksFile) {
+            bool SelfCheck, const std::string &SinksFile) {
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
   if (!SinksFile.empty()) {
     std::string Text;
@@ -76,6 +87,17 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       return 1;
     }
     Sinks = Custom;
+  }
+
+  // Fail fast: a malformed built-in query would otherwise just match
+  // nothing and the scan would look vacuously clean.
+  if (!Native) {
+    std::string SchemaError;
+    if (!queries::GraphDBRunner::validateBuiltinQueries(Sinks,
+                                                        &SchemaError)) {
+      std::fprintf(stderr, "error: %s\n", SchemaError.c_str());
+      return 4;
+    }
   }
 
   int ExitCode = 0;
@@ -99,6 +121,18 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
                   core::dump(*Program).c_str());
 
     analysis::BuildResult Build = analysis::buildMDG(*Program);
+    if (SelfCheck) {
+      lint::PassManager PM;
+      PM.addPass(lint::createMDGCheckPass());
+      lint::LintContext Ctx;
+      Ctx.Build = &Build;
+      lint::LintResult LR = PM.run(Ctx);
+      for (const lint::Finding &F : LR.findings())
+        std::fprintf(stderr, "%s: self-check: %s\n", Path.c_str(),
+                     F.str().c_str());
+      if (LR.hasErrors())
+        return 4;
+    }
     if (DumpMDG)
       std::printf("== %s: MDG (%zu nodes, %zu edges) ==\n%s\n", Path.c_str(),
                   Build.Graph.numNodes(), Build.Graph.numEdges(),
@@ -165,8 +199,10 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
 /// Linked multi-file scan: one MDG for all inputs (local requires
 /// resolve across files).
 int runPackageScan(const std::vector<std::string> &Files, bool Native,
-                   bool Summary, const std::string &SinksFile) {
+                   bool Summary, bool SelfCheck,
+                   const std::string &SinksFile) {
   scanner::ScanOptions O;
+  O.SelfCheck = SelfCheck;
   if (!SinksFile.empty()) {
     std::string Text;
     queries::SinkConfig Custom;
@@ -195,6 +231,12 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
   scanner::ScanResult R = S.scanPackage(Sources);
   if (R.ParseFailed)
     std::fprintf(stderr, "warning: some files failed to parse\n");
+  for (const lint::Finding &F : R.SelfCheckFindings)
+    std::fprintf(stderr, "self-check: %s\n", F.str().c_str());
+  if (!R.SchemaError.empty()) {
+    std::fprintf(stderr, "error: %s\n", R.SchemaError.c_str());
+    return 4;
+  }
   if (Summary) {
     std::printf("package (%zu files): %zu finding(s)\n", Sources.size(),
                 R.Reports.size());
@@ -206,8 +248,64 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
   return R.Reports.empty() ? 0 : 3;
 }
 
+/// `graphjs lint`: runs the full pipeline front half on each input and the
+/// standard validation passes over every artifact. Exit 0 iff no
+/// error-severity finding.
+int runLint(const std::vector<std::string> &Files, bool Summary,
+            const std::vector<std::string> &ExtraQueries) {
+  queries::SinkConfig Sinks = queries::SinkConfig::defaults();
+  int ExitCode = 0;
+  for (const std::string &Path : Files) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    auto Module = parseJS(Source, Diags);
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    cfg::ModuleCFG CFG = cfg::buildCFG(*Module);
+    core::Normalizer Norm(Diags);
+    auto Program = Norm.normalize(*Module);
+    analysis::BuildResult Build = analysis::buildMDG(*Program);
+
+    lint::LintContext Ctx;
+    Ctx.Program = Program.get();
+    Ctx.CFG = &CFG;
+    Ctx.Build = &Build;
+    Ctx.Sinks = &Sinks;
+    Ctx.ExtraQueries = ExtraQueries;
+    lint::LintResult LR = lint::PassManager::standard().run(Ctx);
+
+    if (Summary) {
+      std::printf("== %s ==\n%s", Path.c_str(), LR.renderText().c_str());
+    } else {
+      std::printf("%s\n", LR.renderJSON().c_str());
+    }
+    if (LR.hasErrors())
+      ExitCode = 4;
+  }
+  return ExitCode;
+}
+
 int runQuery(const std::string &QueryText,
              const std::vector<std::string> &Files) {
+  // Pre-lint the ad-hoc query against the import schema: a typo'd label or
+  // relationship type would otherwise just return zero rows.
+  bool SchemaError = false;
+  for (const graphdb::SchemaIssue &Issue :
+       graphdb::lintQueryText(QueryText, graphdb::mdgSchema())) {
+    std::fprintf(stderr, "query %s: %s\n",
+                 Issue.Severity == DiagSeverity::Error ? "error" : "warning",
+                 Issue.str().c_str());
+    SchemaError |= Issue.Severity == DiagSeverity::Error;
+  }
+  if (SchemaError)
+    return 2;
   for (const std::string &Path : Files) {
     std::string Source;
     if (!readFile(Path, Source)) {
@@ -254,11 +352,32 @@ int main(int argc, char **argv) {
     return runQuery(QueryText, Files);
   }
 
+  if (Mode == "lint") {
+    bool Summary = false;
+    std::vector<std::string> ExtraQueries;
+    std::vector<std::string> Files;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--summary")
+        Summary = true;
+      else if (Arg == "--query" && I + 1 < argc)
+        ExtraQueries.push_back(argv[++I]);
+      else if (Arg.rfind("--", 0) == 0)
+        return usage();
+      else
+        Files.push_back(Arg);
+    }
+    if (Files.empty())
+      return usage();
+    return runLint(Files, Summary, ExtraQueries);
+  }
+
   if (Mode != "scan")
     return usage();
 
   bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
-       DumpDot = false, Summary = false, AsPackage = false;
+       DumpDot = false, Summary = false, AsPackage = false,
+       SelfCheck = false;
   std::string SinksFile;
   std::vector<std::string> Files;
   for (int I = 2; I < argc; ++I) {
@@ -277,6 +396,8 @@ int main(int argc, char **argv) {
       Summary = true;
     else if (Arg == "--package")
       AsPackage = true;
+    else if (Arg == "--self-check")
+      SelfCheck = true;
     else if (Arg == "--sinks" && I + 1 < argc)
       SinksFile = argv[++I];
     else if (Arg.rfind("--", 0) == 0)
@@ -287,7 +408,7 @@ int main(int argc, char **argv) {
   if (Files.empty())
     return usage();
   if (AsPackage)
-    return runPackageScan(Files, Native, Summary, SinksFile);
+    return runPackageScan(Files, Native, Summary, SelfCheck, SinksFile);
   return runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
-                 Summary, SinksFile);
+                 Summary, SelfCheck, SinksFile);
 }
