@@ -59,10 +59,8 @@ int main(int argc, char **argv) {
   scanner::Scanner S;
   scanner::ScanResult R = S.scanPackage(Files);
 
-  if (R.ParseFailed)
-    std::fprintf(stderr, "warning: some files failed to parse\n");
-  if (R.TimedOut)
-    std::fprintf(stderr, "warning: analysis budget exhausted\n");
+  for (const scanner::ScanError &E : R.Errors)
+    std::fprintf(stderr, "warning: %s\n", E.str().c_str());
 
   std::printf("scanned %zu file(s): %zu AST nodes, %zu core statements\n",
               Files.size(), R.ASTNodes, R.CoreStmts);

@@ -6,6 +6,8 @@
 
 #include "analysis/MDGBuilder.h"
 
+#include "support/Deadline.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -174,6 +176,10 @@ void MDGBuilder::markEntryPoints() {
 bool MDGBuilder::budgetExceeded() {
   ++Work;
   if (Options.WorkBudget != 0 && Work > Options.WorkBudget)
+    Aborted = true;
+  // The scan-level deadline bounds the whole pipeline, not just this
+  // phase: one checkpoint per abstract statement analyzed.
+  if (Options.ScanDeadline && Options.ScanDeadline->checkpoint())
     Aborted = true;
   return Aborted;
 }

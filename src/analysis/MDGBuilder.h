@@ -53,6 +53,9 @@
 #include <vector>
 
 namespace gjs {
+
+class Deadline;
+
 namespace analysis {
 
 /// Tuning knobs for the analysis.
@@ -64,6 +67,11 @@ struct BuilderOptions {
   /// Abstract work budget (statements analyzed); 0 = unlimited. Models the
   /// evaluation's per-package timeout.
   uint64_t WorkBudget = 0;
+  /// Optional scan-level cancellation token (non-owning): the per-package
+  /// deadline shared by every pipeline phase. Checkpointed once per
+  /// abstract statement; on expiry the build aborts with the partial graph
+  /// (BuildResult::TimedOut is set, as for WorkBudget exhaustion).
+  Deadline *ScanDeadline = nullptr;
   /// Treat every top-level function as an entry point when the module has
   /// no recognizable exports.
   bool FallbackAllFunctionsExported = true;

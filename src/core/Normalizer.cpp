@@ -7,6 +7,7 @@
 #include "core/Normalizer.h"
 
 #include "frontend/Parser.h"
+#include "support/Deadline.h"
 
 #include <cassert>
 
@@ -101,6 +102,10 @@ std::string Normalizer::freshFuncName(const std::string &Base) {
 
 void Normalizer::lowerStmt(const ast::Stmt *S) {
   if (!S)
+    return;
+  // Cooperative cancellation: once the scan deadline expires, stop
+  // emitting. The Core program built so far remains well-formed.
+  if (ScanDeadline && ScanDeadline->checkpoint())
     return;
   switch (S->kind()) {
   case ast::Stmt::Kind::Program:

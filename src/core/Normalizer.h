@@ -38,6 +38,9 @@
 #include <string>
 
 namespace gjs {
+
+class Deadline;
+
 namespace core {
 
 /// Lowers one parsed module to a Core JavaScript program.
@@ -46,12 +49,17 @@ namespace core {
 /// a disjoint \p FirstIndex range: core function names and statement
 /// indices are the analysis' allocation keys and must not collide across
 /// linked modules.
+///
+/// A scan-level Deadline may be attached (the fault-tolerant runtime's
+/// per-package budget); lowering checkpoints it per statement and, on
+/// expiry, stops emitting — the partial Core program is still valid IR.
 class Normalizer {
 public:
   explicit Normalizer(DiagnosticEngine &Diags, std::string ModulePrefix = "",
-                      StmtIndex FirstIndex = 1)
+                      StmtIndex FirstIndex = 1,
+                      Deadline *ScanDeadline = nullptr)
       : Diags(Diags), ModulePrefix(std::move(ModulePrefix)),
-        NextIndex(FirstIndex) {}
+        NextIndex(FirstIndex), ScanDeadline(ScanDeadline) {}
 
   std::unique_ptr<Program> normalize(const ast::Program &Module);
 
@@ -60,6 +68,7 @@ private:
   std::string ModulePrefix;
   Program *Prog = nullptr;
   StmtIndex NextIndex = 1;
+  Deadline *ScanDeadline = nullptr;
   unsigned NextTemp = 0;
   unsigned NextFuncId = 0;
   std::vector<std::vector<StmtPtr> *> Blocks;

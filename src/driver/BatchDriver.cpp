@@ -1,0 +1,172 @@
+//===- driver/BatchDriver.cpp - Resumable batch scan driver ----------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "support/JSON.h"
+#include "support/Timer.h"
+
+#include <exception>
+#include <fstream>
+
+using namespace gjs;
+using namespace gjs::driver;
+
+const char *driver::batchStatusName(BatchStatus S) {
+  switch (S) {
+  case BatchStatus::Ok:
+    return "ok";
+  case BatchStatus::Degraded:
+    return "degraded";
+  case BatchStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+BatchDriver::BatchDriver(BatchOptions Options) : Options(std::move(Options)) {}
+
+std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
+  json::Object O;
+  O["package"] = json::Value(Outcome.Package);
+  O["status"] = json::Value(batchStatusName(Outcome.Status));
+  O["degradation"] = json::Value(Outcome.Result.Degradation);
+  O["attempts"] = json::Value(Outcome.Result.Attempts);
+  O["seconds"] = json::Value(Outcome.Seconds);
+  O["nodes"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGNodes));
+  O["edges"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGEdges));
+
+  json::Array Errors;
+  for (const scanner::ScanError &E : Outcome.Result.Errors) {
+    json::Object EO;
+    EO["phase"] = json::Value(scanner::scanPhaseName(E.Phase));
+    EO["kind"] = json::Value(scanner::scanErrorKindName(E.Kind));
+    if (!E.Detail.empty())
+      EO["detail"] = json::Value(E.Detail);
+    if (!E.File.empty())
+      EO["file"] = json::Value(E.File);
+    Errors.push_back(json::Value(std::move(EO)));
+  }
+  O["errors"] = json::Value(std::move(Errors));
+
+  json::Array Reports;
+  for (const queries::VulnReport &R : Outcome.Result.Reports) {
+    json::Object RO;
+    RO["cwe"] = json::Value(queries::cweOf(R.Type));
+    RO["type"] = json::Value(queries::vulnTypeName(R.Type));
+    RO["line"] = json::Value(static_cast<unsigned>(R.SinkLoc.Line));
+    if (!R.SinkName.empty())
+      RO["sink"] = json::Value(R.SinkName);
+    Reports.push_back(json::Value(std::move(RO)));
+  }
+  O["reports"] = json::Value(std::move(Reports));
+
+  // Compact (indent 0): exactly one line per package.
+  return json::Value(std::move(O)).str();
+}
+
+std::set<std::string> BatchDriver::journaledPackages(const std::string &Path) {
+  std::set<std::string> Done;
+  std::ifstream In(Path);
+  if (!In)
+    return Done;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    json::Value V;
+    // A killed run can leave a truncated final line; skip anything
+    // unparseable rather than poisoning the resume set.
+    if (!json::parse(Line, V) || !V.isObject())
+      continue;
+    const json::Object &O = V.asObject();
+    auto It = O.find("package");
+    if (It != O.end() && It->second.isString())
+      Done.insert(It->second.asString());
+  }
+  return Done;
+}
+
+BatchOutcome BatchDriver::scanOne(scanner::Scanner &Scanner,
+                                  const BatchInput &Input) {
+  BatchOutcome Out;
+  Out.Package = Input.Name;
+  Timer T;
+  try {
+    Out.Result = Scanner.scanPackage(Input.Files);
+    Out.Status = Out.Result.Errors.empty() ? BatchStatus::Ok
+                                           : BatchStatus::Degraded;
+  } catch (const std::exception &E) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 std::string("scan threw: ") + E.what(), ""});
+  } catch (...) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 "scan threw a non-standard exception", ""});
+  }
+  Out.Seconds = T.elapsedSeconds();
+  return Out;
+}
+
+BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
+  BatchSummary Summary;
+
+  std::set<std::string> Done;
+  if (Options.Resume && !Options.JournalPath.empty())
+    Done = journaledPackages(Options.JournalPath);
+
+  std::ofstream Journal;
+  if (!Options.JournalPath.empty()) {
+    // Resume appends to the existing journal; a fresh run truncates it.
+    Journal.open(Options.JournalPath, Options.Resume
+                                          ? std::ios::out | std::ios::app
+                                          : std::ios::out | std::ios::trunc);
+  }
+
+  // One Scanner for the whole batch: its scan sequence number is what a
+  // FaultPlan targets ("fail the build of the 3rd package").
+  scanner::Scanner Scanner(Options.Scan);
+
+  for (const BatchInput &Input : Inputs) {
+    if (Done.count(Input.Name)) {
+      BatchOutcome Skip;
+      Skip.Package = Input.Name;
+      Skip.Skipped = true;
+      Summary.Outcomes.push_back(std::move(Skip));
+      ++Summary.SkippedResumed;
+      continue;
+    }
+    if (Options.MaxPackages && Summary.Scanned >= Options.MaxPackages)
+      break;
+
+    BatchOutcome Outcome = scanOne(Scanner, Input);
+    ++Summary.Scanned;
+    switch (Outcome.Status) {
+    case BatchStatus::Ok:
+      ++Summary.Ok;
+      break;
+    case BatchStatus::Degraded:
+      ++Summary.Degraded;
+      break;
+    case BatchStatus::Failed:
+      ++Summary.Failed;
+      break;
+    }
+    Summary.TotalReports += Outcome.Result.Reports.size();
+
+    // Journal incrementally: the line is flushed before the next package
+    // starts, so a kill at any point leaves a valid resumable prefix.
+    if (Journal.is_open()) {
+      Journal << journalLine(Outcome) << '\n';
+      Journal.flush();
+    }
+    Summary.Outcomes.push_back(std::move(Outcome));
+  }
+  return Summary;
+}

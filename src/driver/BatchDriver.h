@@ -1,0 +1,123 @@
+//===- driver/BatchDriver.h - Resumable batch scan driver --------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch scan driver: runs the scanner over a list of packages the way
+/// the paper's evaluation runs it over the vulnerability dataset and the
+/// 20k-package npm corpus (§5.2, §5.6) — thousands of mutually independent
+/// scans where one pathological package must never take down the run.
+///
+///  - **Per-package isolation**: each scan runs under a catch-all; a scan
+///    that throws is journaled as a failed package (ScanPhase::Driver,
+///    ScanErrorKind::Internal) and the batch moves on.
+///
+///  - **Incremental JSONL journal**: one line per completed package,
+///    flushed as soon as the package finishes, recording status, ladder
+///    degradation level, structured errors, and the reports themselves.
+///    A killed run leaves a valid journal prefix.
+///
+///  - **Resume**: with BatchOptions::Resume, packages already present in
+///    the journal are skipped, so restarting after a crash (or sharding
+///    with MaxPackages) re-scans only unjournaled work.
+///
+/// The evaluation harness (eval::Harness) and the `graphjs batch` CLI mode
+/// are both thin layers over this driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_DRIVER_BATCHDRIVER_H
+#define GJS_DRIVER_BATCHDRIVER_H
+
+#include "scanner/Scanner.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace driver {
+
+/// One package of the batch. Name is the journal key (resume matches on
+/// it), so it must be unique and stable across runs.
+struct BatchInput {
+  std::string Name;
+  std::vector<scanner::SourceFile> Files;
+};
+
+/// Per-package verdict in the journal.
+enum class BatchStatus {
+  Ok,       ///< Clean scan, no errors recorded.
+  Degraded, ///< Finished with recorded errors (timeouts, skipped files,
+            ///< injected faults, ladder retries); partial results stand.
+  Failed,   ///< The scan itself died (driver-level isolation caught it).
+};
+
+/// Stable lowercase names ("ok", "degraded", "failed") for journal lines.
+const char *batchStatusName(BatchStatus S);
+
+/// One journaled package outcome.
+struct BatchOutcome {
+  std::string Package;
+  BatchStatus Status = BatchStatus::Ok;
+  scanner::ScanResult Result;
+  double Seconds = 0;
+  /// True when this package was skipped because a prior run already
+  /// journaled it (resume); Result is then empty.
+  bool Skipped = false;
+};
+
+struct BatchOptions {
+  scanner::ScanOptions Scan;
+  /// JSONL journal path; empty disables journaling (and resume).
+  std::string JournalPath;
+  /// Skip packages already journaled at JournalPath (appends new lines).
+  bool Resume = false;
+  /// Stop after scanning this many (unjournaled) packages; 0 = no limit.
+  /// With Resume this shards a large batch across successive runs — and
+  /// lets tests simulate a run killed partway through.
+  size_t MaxPackages = 0;
+};
+
+/// Aggregate counters for a batch run.
+struct BatchSummary {
+  std::vector<BatchOutcome> Outcomes; ///< In input order, skips included.
+  size_t Scanned = 0;
+  size_t SkippedResumed = 0;
+  size_t Ok = 0;
+  size_t Degraded = 0;
+  size_t Failed = 0;
+  size_t TotalReports = 0;
+};
+
+/// The batch driver.
+class BatchDriver {
+public:
+  explicit BatchDriver(BatchOptions Options = {});
+
+  /// Runs the whole batch, journaling incrementally.
+  BatchSummary run(const std::vector<BatchInput> &Inputs);
+
+  const BatchOptions &options() const { return Options; }
+
+  /// Package names already journaled at \p Path (tolerates a trailing
+  /// partial line from a killed run).
+  static std::set<std::string> journaledPackages(const std::string &Path);
+
+  /// Renders one outcome as a single JSONL journal line (no newline).
+  static std::string journalLine(const BatchOutcome &Outcome);
+
+private:
+  BatchOptions Options;
+
+  /// One isolated package scan: exceptions become a Failed outcome with a
+  /// Driver/Internal ScanError instead of propagating.
+  BatchOutcome scanOne(scanner::Scanner &Scanner, const BatchInput &Input);
+};
+
+} // namespace driver
+} // namespace gjs
+
+#endif // GJS_DRIVER_BATCHDRIVER_H

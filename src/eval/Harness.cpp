@@ -6,6 +6,8 @@
 
 #include "eval/Harness.h"
 
+#include "driver/BatchDriver.h"
+
 using namespace gjs;
 using namespace gjs::eval;
 using workload::Package;
@@ -24,14 +26,34 @@ HarnessOptions HarnessOptions::defaults() {
 std::vector<PackageOutcome>
 eval::runGraphJS(const std::vector<Package> &Packages,
                  const scanner::ScanOptions &Options) {
-  scanner::Scanner S(Options);
+  // The harness is a thin layer over the batch driver (same isolation and
+  // degradation behavior as `graphjs batch`, just without a journal).
+  driver::BatchOptions BO;
+  BO.Scan = Options;
+  driver::BatchDriver Driver(BO);
+
+  std::vector<driver::BatchInput> Inputs;
+  Inputs.reserve(Packages.size());
+  for (const Package &P : Packages)
+    Inputs.push_back({P.Name, P.Files});
+
+  driver::BatchSummary Summary = Driver.run(Inputs);
+
   std::vector<PackageOutcome> Out;
-  Out.reserve(Packages.size());
-  for (const Package &P : Packages) {
-    scanner::ScanResult R = S.scanPackage(P.Files);
+  Out.reserve(Summary.Outcomes.size());
+  for (driver::BatchOutcome &B : Summary.Outcomes) {
+    scanner::ScanResult &R = B.Result;
     PackageOutcome O;
+    // Graph.js keeps whatever the partial MDG yielded (§5.2's graceful
+    // degradation) — timeouts no longer clear the report list.
     O.Reports = std::move(R.Reports);
-    O.TimedOut = R.TimedOut;
+    O.TimedOut = R.timedOut();
+    O.BuildTimedOut = R.timedOutIn(scanner::ScanPhase::Parse) ||
+                      R.timedOutIn(scanner::ScanPhase::Normalize) ||
+                      R.timedOutIn(scanner::ScanPhase::Build) ||
+                      R.timedOutIn(scanner::ScanPhase::Import);
+    O.QueryTimedOut = R.timedOutIn(scanner::ScanPhase::Query);
+    O.Degradation = R.Degradation;
     O.Seconds = R.Times.total();
     O.GraphSeconds = R.Times.Parse + R.Times.GraphBuild + R.Times.DbImport;
     O.QuerySeconds = R.Times.Query;
@@ -40,9 +62,7 @@ eval::runGraphJS(const std::vector<Package> &Packages,
     // EXPERIMENTS.md for the accounting note).
     O.GraphNodes = R.MDGNodes;
     O.GraphEdges = R.MDGEdges;
-    O.GraphBuilt = !R.ParseFailed;
-    if (O.TimedOut)
-      O.Reports.clear(); // A timed-out package yields no findings.
+    O.GraphBuilt = !R.parseFailed();
     Out.push_back(std::move(O));
   }
   return Out;
@@ -67,6 +87,8 @@ eval::runODGen(const std::vector<Package> &Packages,
       O.GraphEdges += R.NumEdges;
       O.GraphBuilt &= !R.TimedOut;
     }
+    // ODGen stays all-or-nothing: a timed-out package yields no findings
+    // (§5.2/§5.5 — the contrast the evaluation measures).
     if (O.TimedOut)
       O.Reports.clear();
     Out.push_back(std::move(O));

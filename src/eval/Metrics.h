@@ -37,6 +37,15 @@ namespace eval {
 struct PackageOutcome {
   std::vector<queries::VulnReport> Reports;
   bool TimedOut = false;
+  /// Per-phase timeout attribution (Graph.js only): whether the timeout hit
+  /// during graph construction (parse/normalize/build/import) vs. during
+  /// querying (a query-engine step-budget exhaustion is a distinct failure
+  /// from a graph that never finished building).
+  bool BuildTimedOut = false;
+  bool QueryTimedOut = false;
+  /// Degradation-ladder level the final (reported) attempt ran at
+  /// (Graph.js only; 0 = full pipeline).
+  unsigned Degradation = 0;
   double Seconds = 0;       ///< Total analysis wall-clock time.
   double GraphSeconds = 0;  ///< Graph-construction phase.
   double QuerySeconds = 0;  ///< Traversal/query phase.

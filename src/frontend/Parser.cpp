@@ -7,15 +7,22 @@
 #include "frontend/Parser.h"
 
 #include "frontend/Lexer.h"
+#include "support/Deadline.h"
 
 #include <algorithm>
 
 using namespace gjs;
 using namespace gjs::ast;
 
-Parser::Parser(std::string Source, DiagnosticEngine &Diags) : Diags(Diags) {
+Parser::Parser(std::string Source, DiagnosticEngine &Diags,
+               Deadline *ScanDeadline)
+    : Diags(Diags), ScanDeadline(ScanDeadline) {
   Lexer L(std::move(Source), Diags);
   Tokens = L.lexAll();
+}
+
+bool Parser::deadlineExpired() {
+  return ScanDeadline && ScanDeadline->checkpoint();
 }
 
 bool Parser::expect(TokenKind K, const char *Context) {
@@ -90,6 +97,10 @@ std::string Parser::expectIdentifierLike(const char *Context) {
 std::unique_ptr<Program> Parser::parseProgram() {
   std::vector<StmtPtr> Body;
   while (!check(TokenKind::EndOfFile)) {
+    // Cooperative cancellation: stop consuming input once the scan
+    // deadline expires; the partial program parsed so far is returned.
+    if (deadlineExpired())
+      break;
     size_t Before = Cur;
     StmtPtr S = parseStatement();
     if (S)
@@ -222,6 +233,10 @@ StmtPtr Parser::parseBlock() {
   expect(TokenKind::LBrace, "to open block");
   std::vector<StmtPtr> Body;
   while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    // Deadline expiry mid-block: return the partial block without touching
+    // the remaining tokens (no spurious parse errors on cancellation).
+    if (deadlineExpired())
+      return std::make_unique<BlockStatement>(std::move(Body), Loc);
     size_t Before = Cur;
     StmtPtr S = parseStatement();
     if (S)
@@ -1174,7 +1189,8 @@ ExprPtr Parser::parsePrimary() {
 }
 
 std::unique_ptr<Program> gjs::parseJS(const std::string &Source,
-                                      DiagnosticEngine &Diags) {
-  Parser P(Source, Diags);
+                                      DiagnosticEngine &Diags,
+                                      Deadline *ScanDeadline) {
+  Parser P(Source, Diags, ScanDeadline);
   return P.parseProgram();
 }

@@ -28,10 +28,18 @@
 
 namespace gjs {
 
+class Deadline;
+
 /// Parses one JavaScript source buffer into an ast::Program.
+///
+/// A scan-level Deadline may be attached; the parser checkpoints it per
+/// statement and, on expiry, stops consuming input and returns the partial
+/// program parsed so far (the fault-tolerant runtime's cooperative
+/// cancellation — no phase may run past the per-package budget).
 class Parser {
 public:
-  Parser(std::string Source, DiagnosticEngine &Diags);
+  Parser(std::string Source, DiagnosticEngine &Diags,
+         Deadline *ScanDeadline = nullptr);
 
   /// Parses the whole buffer. Always returns a Program (possibly partial);
   /// check the diagnostic engine for errors.
@@ -41,6 +49,10 @@ private:
   std::vector<Token> Tokens;
   size_t Cur = 0;
   DiagnosticEngine &Diags;
+  Deadline *ScanDeadline = nullptr;
+
+  /// Checkpoints the scan deadline (one unit per statement). True = stop.
+  bool deadlineExpired();
 
   //===--------------------------------------------------------------------===//
   // Token-stream helpers
@@ -125,9 +137,12 @@ private:
 };
 
 /// Convenience: parses \p Source, returning null and filling \p Diags on
-/// error-free parses too (diagnostics may contain warnings).
+/// error-free parses too (diagnostics may contain warnings). With a
+/// \p ScanDeadline, parsing stops cooperatively on expiry and the partial
+/// program is returned.
 std::unique_ptr<ast::Program> parseJS(const std::string &Source,
-                                      DiagnosticEngine &Diags);
+                                      DiagnosticEngine &Diags,
+                                      Deadline *ScanDeadline = nullptr);
 
 } // namespace gjs
 

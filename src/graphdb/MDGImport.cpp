@@ -6,15 +6,24 @@
 
 #include "graphdb/MDGImport.h"
 
+#include "support/Deadline.h"
+
 using namespace gjs;
 using namespace gjs::graphdb;
 using namespace gjs::mdg;
 
-ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props) {
+ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props,
+                               Deadline *ScanDeadline) {
   ImportedMDG Out;
   Out.NodeOf.reserve(MDG.numNodes());
 
   for (NodeId N : MDG.nodeIds()) {
+    // Cooperative cancellation: one checkpoint per imported node. On
+    // expiry, stop — queries run over the partial store.
+    if (ScanDeadline && ScanDeadline->checkpoint()) {
+      Out.Truncated = true;
+      return Out;
+    }
     const Node &Src = MDG.node(N);
     std::map<std::string, std::string> P;
     P["label"] = Src.Label;
@@ -32,6 +41,11 @@ ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props) {
 
   for (NodeId N : MDG.nodeIds()) {
     for (const Edge &E : MDG.out(N)) {
+      // One checkpoint per imported relationship.
+      if (ScanDeadline && ScanDeadline->checkpoint()) {
+        Out.Truncated = true;
+        return Out;
+      }
       std::map<std::string, std::string> P;
       const char *Type = "D";
       switch (E.Kind) {

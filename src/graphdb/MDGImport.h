@@ -26,6 +26,9 @@
 #include <vector>
 
 namespace gjs {
+
+class Deadline;
+
 namespace graphdb {
 
 /// Result of an import: the store plus the MDG→store node mapping.
@@ -34,10 +37,18 @@ struct ImportedMDG {
   /// mdg::NodeId → NodeHandle (ids coincide by construction, but callers
   /// should not rely on it).
   std::vector<NodeHandle> NodeOf;
+  /// True when a scan deadline expired mid-import: the store holds a
+  /// partial graph (all nodes imported so far; possibly missing edges).
+  /// Queries over it are sound-but-incomplete — the paper's partial-results
+  /// behavior under the per-package timeout.
+  bool Truncated = false;
 };
 
 /// Imports \p MDG (with property names from \p Props) into a fresh store.
-ImportedMDG importMDG(const mdg::Graph &MDG, const StringInterner &Props);
+/// A scan-level \p ScanDeadline is checkpointed per node and edge; on
+/// expiry the import stops, returning the partial store with Truncated set.
+ImportedMDG importMDG(const mdg::Graph &MDG, const StringInterner &Props,
+                      Deadline *ScanDeadline = nullptr);
 
 } // namespace graphdb
 } // namespace gjs

@@ -6,6 +6,8 @@
 
 #include "graphdb/QueryEngine.h"
 
+#include "support/Deadline.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -158,8 +160,14 @@ void QueryEngine::matchItem(const Query &Q, size_t ItemIdx, MatchState &State,
   for (NodeHandle H : G.nodesByLabel(First.Label)) {
     if (State.Aborted || State.RowLimitHit)
       return;
-    if (++State.Work, Options.WorkBudget != 0 &&
-                          State.Work > Options.WorkBudget) {
+    ++State.Work;
+    if (Options.WorkBudget != 0 && State.Work > Options.WorkBudget) {
+      State.Aborted = true;
+      return;
+    }
+    // The scan-level deadline bounds the whole pipeline; one checkpoint
+    // per matcher step, aborting with the rows found so far.
+    if (Options.ScanDeadline && Options.ScanDeadline->checkpoint()) {
       State.Aborted = true;
       return;
     }
@@ -204,8 +212,12 @@ void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
       [&](NodeHandle Cur, uint32_t Hops, int64_t FoldState) {
     if (State.Aborted || State.RowLimitHit)
       return;
-    if (++State.Work, Options.WorkBudget != 0 &&
-                          State.Work > Options.WorkBudget) {
+    ++State.Work;
+    if (Options.WorkBudget != 0 && State.Work > Options.WorkBudget) {
+      State.Aborted = true;
+      return;
+    }
+    if (Options.ScanDeadline && Options.ScanDeadline->checkpoint()) {
       State.Aborted = true;
       return;
     }

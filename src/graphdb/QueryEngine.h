@@ -30,6 +30,9 @@
 #include <vector>
 
 namespace gjs {
+
+class Deadline;
+
 namespace graphdb {
 
 /// A matched path through the graph.
@@ -60,6 +63,11 @@ struct EngineOptions {
   uint64_t MaxRows = 0;
   /// Matcher step budget (0 = unlimited) — models query timeouts.
   uint64_t WorkBudget = 0;
+  /// Optional scan-level cancellation token (non-owning): the per-package
+  /// deadline shared by every pipeline phase. Checkpointed per matcher
+  /// step; on expiry matching aborts with the rows found so far
+  /// (ResultSet::TimedOut is set, as for WorkBudget exhaustion).
+  Deadline *ScanDeadline = nullptr;
 };
 
 /// The query engine bound to one graph.

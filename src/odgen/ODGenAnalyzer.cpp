@@ -7,6 +7,7 @@
 #include "odgen/ODGenAnalyzer.h"
 
 #include "core/Normalizer.h"
+#include "support/Deadline.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -92,6 +93,12 @@ private:
     uint64_t Charge = Cost * StateCount;
     Work = Work > UINT64_MAX - Charge ? UINT64_MAX : Work + Charge;
     if (Options.WorkBudget != 0 && Work > Options.WorkBudget) {
+      Aborted = true;
+      return false;
+    }
+    // Scan-level deadline (the harness's per-package wall-clock budget):
+    // checkpointed per interpreted statement, like the Graph.js phases.
+    if (Options.ScanDeadline && Options.ScanDeadline->checkpoint()) {
       Aborted = true;
       return false;
     }

@@ -38,6 +38,9 @@
 #include <vector>
 
 namespace gjs {
+
+class Deadline;
+
 namespace odgen {
 
 struct ODGenOptions {
@@ -46,6 +49,12 @@ struct ODGenOptions {
   /// Abstract work budget; exhausting it aborts the analysis with only the
   /// reports found so far (ODGen's observed timeout behavior).
   uint64_t WorkBudget = 50000;
+  /// Optional scan-level cancellation token (non-owning), checkpointed per
+  /// interpreted statement like the Graph.js phases — the harness runs both
+  /// tools under the same per-package deadline. On expiry the analysis
+  /// aborts with TimedOut set (and, per ODGen's all-or-nothing behavior,
+  /// no findings).
+  Deadline *ScanDeadline = nullptr;
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
 };
 

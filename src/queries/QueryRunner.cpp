@@ -23,7 +23,8 @@ using graphdb::ResultSet;
 GraphDBRunner::GraphDBRunner(const analysis::BuildResult &Build,
                              graphdb::EngineOptions Engine,
                              bool UntaintedExclusion)
-    : Build(Build), Imported(graphdb::importMDG(Build.Graph, Build.Props)),
+    : Build(Build), Imported(graphdb::importMDG(Build.Graph, Build.Props,
+                                                Engine.ScanDeadline)),
       EngineOpts(Engine), UntaintedExclusion(UntaintedExclusion) {}
 
 void GraphDBRunner::registerPredicates(QueryEngine &E) const {

@@ -64,6 +64,9 @@ public:
   /// Access to the imported database (examples / custom queries).
   const graphdb::PropertyGraph &database() const { return Imported.Graph; }
 
+  /// True when the scan deadline expired mid-import (partial database).
+  bool importTruncated() const { return Imported.Truncated; }
+
   /// The built-in Table 2 query texts as instantiated for \p Config, as
   /// (display name, query text) pairs — what the schema linter validates.
   static std::vector<std::pair<std::string, std::string>>

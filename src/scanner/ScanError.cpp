@@ -1,0 +1,74 @@
+//===- scanner/ScanError.cpp - Structured scan-failure taxonomy -----------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanner/ScanError.h"
+
+using namespace gjs;
+using namespace gjs::scanner;
+
+const char *scanner::scanPhaseName(ScanPhase P) {
+  switch (P) {
+  case ScanPhase::Parse:
+    return "parse";
+  case ScanPhase::Normalize:
+    return "normalize";
+  case ScanPhase::Build:
+    return "build";
+  case ScanPhase::Import:
+    return "import";
+  case ScanPhase::Query:
+    return "query";
+  case ScanPhase::Driver:
+    return "driver";
+  }
+  return "unknown";
+}
+
+const char *scanner::scanErrorKindName(ScanErrorKind K) {
+  switch (K) {
+  case ScanErrorKind::ParseError:
+    return "parse-error";
+  case ScanErrorKind::Deadline:
+    return "deadline";
+  case ScanErrorKind::Budget:
+    return "budget";
+  case ScanErrorKind::InjectedFault:
+    return "injected-fault";
+  case ScanErrorKind::Schema:
+    return "schema";
+  case ScanErrorKind::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+bool scanner::scanPhaseFromName(const std::string &Name, ScanPhase &Out) {
+  for (ScanPhase P :
+       {ScanPhase::Parse, ScanPhase::Normalize, ScanPhase::Build,
+        ScanPhase::Import, ScanPhase::Query, ScanPhase::Driver}) {
+    if (Name == scanPhaseName(P)) {
+      Out = P;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ScanError::str() const {
+  std::string S = scanPhaseName(Phase);
+  S += ": ";
+  S += scanErrorKindName(Kind);
+  if (!File.empty()) {
+    S += " [";
+    S += File;
+    S += "]";
+  }
+  if (!Detail.empty()) {
+    S += ": ";
+    S += Detail;
+  }
+  return S;
+}

@@ -9,15 +9,98 @@
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
 #include "lint/PassManager.h"
+#include "support/Deadline.h"
 #include "support/JSON.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <functional>
 
 using namespace gjs;
 using namespace gjs::scanner;
 
-Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
+//===----------------------------------------------------------------------===//
+// ScanResult predicates
+//===----------------------------------------------------------------------===//
+
+bool ScanResult::parseFailed() const {
+  for (const ScanError &E : Errors)
+    if (E.Kind == ScanErrorKind::ParseError)
+      return true;
+  return false;
+}
+
+bool ScanResult::timedOut() const {
+  for (const ScanError &E : Errors)
+    if (E.isTimeout())
+      return true;
+  return false;
+}
+
+bool ScanResult::timedOutIn(ScanPhase P) const {
+  for (const ScanError &E : Errors)
+    if (E.Phase == P && E.isTimeout())
+      return true;
+  return false;
+}
+
+bool ScanResult::faulted() const {
+  for (const ScanError &E : Errors)
+    if (E.Kind == ScanErrorKind::InjectedFault)
+      return true;
+  return false;
+}
+
+const ScanError *ScanResult::firstTimeout() const {
+  for (const ScanError &E : Errors)
+    if (E.isTimeout())
+      return &E;
+  return nullptr;
+}
+
+std::string ScanResult::errorSummary() const {
+  return Errors.empty() ? std::string() : Errors.front().str();
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan
+//===----------------------------------------------------------------------===//
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
+                      std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg + " in fault spec '" + Spec +
+               "' (expected <phase>:<fail|stall>[:<n>])";
+    return false;
+  };
+  size_t C1 = Spec.find(':');
+  if (C1 == std::string::npos)
+    return Fail("missing ':'");
+  if (!scanPhaseFromName(Spec.substr(0, C1), Out.Phase))
+    return Fail("unknown phase '" + Spec.substr(0, C1) + "'");
+  size_t C2 = Spec.find(':', C1 + 1);
+  std::string Action = Spec.substr(
+      C1 + 1, C2 == std::string::npos ? std::string::npos : C2 - C1 - 1);
+  if (Action == "fail")
+    Out.Kind = Action::Fail;
+  else if (Action == "stall")
+    Out.Kind = Action::Stall;
+  else
+    return Fail("unknown action '" + Action + "'");
+  Out.Package = 0;
+  if (C2 != std::string::npos) {
+    std::string N = Spec.substr(C2 + 1);
+    if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos)
+      return Fail("bad package index '" + N + "'");
+    Out.Package = static_cast<unsigned>(std::stoul(N));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline helpers
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -30,70 +113,6 @@ std::vector<lint::Finding> runSelfCheck(const analysis::BuildResult &Build) {
   Ctx.Build = &Build;
   return PM.run(Ctx).findings();
 }
-
-} // namespace
-
-ScanResult Scanner::scanSource(const std::string &Source) {
-  ScanResult Out;
-  Timer Phase;
-
-  // Phase 1: parse + normalize (the MDG generator's front half).
-  DiagnosticEngine Diags;
-  auto Module = parseJS(Source, Diags);
-  if (Diags.hasErrors()) {
-    Out.ParseFailed = true;
-    Out.Times.Parse = Phase.elapsedSeconds();
-    return Out;
-  }
-  Out.ASTNodes = ast::countNodes(*Module);
-  core::Normalizer Norm(Diags);
-  auto Prog = Norm.normalize(*Module);
-  Out.CoreStmts = core::countStmts(Prog->TopLevel);
-  for (const auto &[Name, Fn] : Prog->Functions)
-    Out.CoreStmts += core::countStmts(Fn->Body);
-  Out.Times.Parse = Phase.elapsedSeconds();
-
-  // Phase 2: MDG construction. Configured sanitizers become builder-level
-  // taint barriers (§6).
-  Phase.reset();
-  analysis::BuilderOptions BO = Options.Builder;
-  for (const std::string &Name : Options.Sinks.sanitizers())
-    BO.Sanitizers.insert(Name);
-  analysis::BuildResult Build = analysis::buildMDG(*Prog, BO);
-  Out.Times.GraphBuild = Phase.elapsedSeconds();
-  Out.MDGNodes = Build.Graph.numNodes();
-  Out.MDGEdges = Build.Graph.numEdges();
-  Out.BuildWork = Build.WorkDone;
-  Out.TimedOut |= Build.TimedOut;
-  if (Options.SelfCheck)
-    Out.SelfCheckFindings = runSelfCheck(Build);
-
-  // Phase 3+4: import into the database and run the queries. The built-in
-  // queries are schema-validated first: a malformed query must fail the
-  // scan loudly, not return an empty (vacuously clean) report set.
-  if (Options.Backend == QueryBackend::GraphDB) {
-    if (!queries::GraphDBRunner::validateBuiltinQueries(Options.Sinks,
-                                                        &Out.SchemaError))
-      return Out;
-    Phase.reset();
-    queries::GraphDBRunner Runner(Build, Options.Engine);
-    Out.Times.DbImport = Phase.elapsedSeconds();
-
-    Phase.reset();
-    queries::DetectStats Stats;
-    Out.Reports = Runner.detect(Options.Sinks, &Stats);
-    Out.Times.Query = Phase.elapsedSeconds();
-    Out.QueryWork = Stats.QueryWork;
-    Out.TimedOut |= Stats.TimedOut;
-  } else {
-    Phase.reset();
-    Out.Reports = queries::detectNative(Build, Options.Sinks);
-    Out.Times.Query = Phase.elapsedSeconds();
-  }
-  return Out;
-}
-
-namespace {
 
 /// Module stem used for require-target matching (mirrors the builder's).
 std::string stemOf(const std::string &Name) {
@@ -160,78 +179,258 @@ topoOrder(const std::vector<std::unique_ptr<core::Program>> &Programs,
   return Order;
 }
 
+/// The first error diagnostic's message, or a generic fallback.
+std::string firstErrorMessage(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Error)
+      return D.str();
+  return "parse failed";
+}
+
 } // namespace
 
-ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
-  if (Files.size() == 1)
-    return scanSource(Files[0].Contents);
+//===----------------------------------------------------------------------===//
+// Scanner
+//===----------------------------------------------------------------------===//
 
+Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
+
+ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
+                               const ScanOptions &Cfg, bool FaultArmed) {
   ScanResult Out;
   Timer Phase;
 
-  // Parse + normalize every file; function names and statement indices
-  // get per-module disjoint ranges (they are allocation keys).
-  std::vector<std::unique_ptr<core::Program>> Programs(Files.size());
-  std::vector<std::string> Stems(Files.size());
-  core::StmtIndex NextIndex = 1;
-  for (size_t I = 0; I < Files.size(); ++I) {
-    Stems[I] = stemOf(Files[I].Name);
-    DiagnosticEngine Diags;
-    auto Module = parseJS(Files[I].Contents, Diags);
-    if (Diags.hasErrors()) {
-      Out.ParseFailed = true;
-      continue;
+  // One deadline for the whole attempt, threaded through every phase. An
+  // inactive budget yields a never-expiring token, which stall faults can
+  // still force-expire.
+  Deadline D = Deadline::combined(Cfg.Deadline.WallSeconds,
+                                  Cfg.Deadline.WorkUnits);
+
+  // Fires the configured fault at a phase boundary. A Fail fault kills the
+  // phase outright (returns true: skip it); a Stall fault models a hang the
+  // deadline has to kill, so it force-expires the deadline and lets the
+  // phase's own checkpoints abort it.
+  auto inject = [&](ScanPhase P) -> bool {
+    if (!FaultArmed || FaultSpent || !Cfg.Fault || Cfg.Fault->Phase != P)
+      return false;
+    FaultSpent = true;
+    if (Cfg.Fault->Kind == FaultPlan::Action::Stall) {
+      D.expireNow(Deadline::Reason::Forced);
+      return false;
     }
-    Out.ASTNodes += ast::countNodes(*Module);
-    core::Normalizer Norm(Diags, Stems[I] + "$", NextIndex);
-    Programs[I] = Norm.normalize(*Module);
-    NextIndex = Programs[I]->NumIndices + 1;
-    Out.CoreStmts += core::countStmts(Programs[I]->TopLevel);
-    for (const auto &[Name, Fn] : Programs[I]->Functions)
-      Out.CoreStmts += core::countStmts(Fn->Body);
+    Out.Errors.push_back({P, ScanErrorKind::InjectedFault,
+                          "injected fault: phase failed", ""});
+    return true;
+  };
+
+  // Attributes the deadline's (single, sticky) expiry to the first phase
+  // that observes it — the per-phase timeout attribution the batch journal
+  // and the degradation ladder consume.
+  bool DeadlineNoted = false;
+  auto noteDeadline = [&](ScanPhase P) {
+    if (DeadlineNoted || !D.expired())
+      return;
+    DeadlineNoted = true;
+    const char *Why = D.reason() == Deadline::Reason::Work
+                          ? "scan work budget exhausted"
+                      : D.reason() == Deadline::Reason::WallClock
+                          ? "wall-clock deadline expired"
+                          : "deadline forced expired (stalled phase)";
+    Out.Errors.push_back({P, kindOfDeadline(D.reason()), Why, ""});
+  };
+
+  // Phase 1: parse. A file that fails to parse is skipped with a per-file
+  // error; the rest of the package is still scanned and linked.
+  std::vector<std::string> Stems(Files.size());
+  std::vector<std::unique_ptr<ast::Program>> ASTs(Files.size());
+  if (!inject(ScanPhase::Parse)) {
+    for (size_t I = 0; I < Files.size(); ++I) {
+      Stems[I] = stemOf(Files[I].Name);
+      if (D.expired())
+        break; // Remaining files stay unparsed; attributed below.
+      DiagnosticEngine Diags;
+      auto Module = parseJS(Files[I].Contents, Diags, &D);
+      if (Diags.hasErrors()) {
+        Out.Errors.push_back({ScanPhase::Parse, ScanErrorKind::ParseError,
+                              firstErrorMessage(Diags), Files[I].Name});
+        continue;
+      }
+      Out.ASTNodes += ast::countNodes(*Module);
+      ASTs[I] = std::move(Module);
+    }
   }
+  noteDeadline(ScanPhase::Parse);
+
+  // Phase 2: normalize to Core JavaScript. Function names and statement
+  // indices get per-module disjoint ranges (they are allocation keys); the
+  // single-file form keeps unprefixed names (the documented scanSource
+  // behavior tests and examples rely on).
+  std::vector<std::unique_ptr<core::Program>> Programs(Files.size());
+  if (!inject(ScanPhase::Normalize) && !D.expired()) {
+    core::StmtIndex NextIndex = 1;
+    bool SingleFile = Files.size() == 1;
+    for (size_t I = 0; I < Files.size(); ++I) {
+      if (!ASTs[I])
+        continue;
+      if (D.expired())
+        break;
+      DiagnosticEngine Diags;
+      core::Normalizer Norm(Diags, SingleFile ? "" : Stems[I] + "$",
+                            NextIndex, &D);
+      Programs[I] = Norm.normalize(*ASTs[I]);
+      NextIndex = Programs[I]->NumIndices + 1;
+      Out.CoreStmts += core::countStmts(Programs[I]->TopLevel);
+      for (const auto &[Name, Fn] : Programs[I]->Functions)
+        Out.CoreStmts += core::countStmts(Fn->Body);
+    }
+  }
+  noteDeadline(ScanPhase::Normalize);
   Out.Times.Parse = Phase.elapsedSeconds();
 
-  // Linked MDG construction over all parsed modules, deps first.
+  // Phase 3: MDG construction over all parsed modules, deps first.
+  // Configured sanitizers become builder-level taint barriers (§6).
   Phase.reset();
   std::vector<analysis::PackageModule> Modules;
   for (size_t I : topoOrder(Programs, Stems))
     if (Programs[I])
       Modules.push_back({Files[I].Name, Programs[I].get()});
-  if (Modules.empty())
-    return Out;
-  analysis::BuilderOptions BO = Options.Builder;
-  for (const std::string &Name : Options.Sinks.sanitizers())
-    BO.Sanitizers.insert(Name);
-  analysis::MDGBuilder Builder(BO);
-  analysis::BuildResult Build = Builder.buildPackage(Modules);
-  Out.Times.GraphBuild = Phase.elapsedSeconds();
-  Out.MDGNodes = Build.Graph.numNodes();
-  Out.MDGEdges = Build.Graph.numEdges();
-  Out.BuildWork = Build.WorkDone;
-  Out.TimedOut |= Build.TimedOut;
-  if (Options.SelfCheck)
-    Out.SelfCheckFindings = runSelfCheck(Build);
 
-  if (Options.Backend == QueryBackend::GraphDB) {
-    if (!queries::GraphDBRunner::validateBuiltinQueries(Options.Sinks,
-                                                        &Out.SchemaError))
-      return Out;
-    Phase.reset();
-    queries::GraphDBRunner Runner(Build, Options.Engine);
-    Out.Times.DbImport = Phase.elapsedSeconds();
-    Phase.reset();
-    queries::DetectStats Stats;
-    Out.Reports = Runner.detect(Options.Sinks, &Stats);
-    Out.Times.Query = Phase.elapsedSeconds();
-    Out.QueryWork = Stats.QueryWork;
-    Out.TimedOut |= Stats.TimedOut;
-  } else {
-    Phase.reset();
-    Out.Reports = queries::detectNative(Build, Options.Sinks);
-    Out.Times.Query = Phase.elapsedSeconds();
+  analysis::BuildResult Build;
+  bool HaveGraph = false;
+  if (!inject(ScanPhase::Build) && !Modules.empty()) {
+    analysis::BuilderOptions BO = Cfg.Builder;
+    BO.ScanDeadline = &D;
+    for (const std::string &Name : Cfg.Sinks.sanitizers())
+      BO.Sanitizers.insert(Name);
+    if (Files.size() == 1) {
+      Build = analysis::buildMDG(*Programs[0], BO);
+    } else {
+      analysis::MDGBuilder Builder(BO);
+      Build = Builder.buildPackage(Modules);
+    }
+    HaveGraph = true;
+    Out.MDGNodes = Build.Graph.numNodes();
+    Out.MDGEdges = Build.Graph.numEdges();
+    Out.BuildWork = Build.WorkDone;
+    // The builder's own work budget (no shared deadline involved) is a
+    // Build-phase Budget error.
+    if (Build.TimedOut && !D.expired())
+      Out.Errors.push_back({ScanPhase::Build, ScanErrorKind::Budget,
+                            "builder work budget exhausted (work=" +
+                                std::to_string(Build.WorkDone) + ")",
+                            ""});
+    if (Cfg.SelfCheck)
+      Out.SelfCheckFindings = runSelfCheck(Build);
+  }
+  noteDeadline(ScanPhase::Build);
+  Out.Times.GraphBuild = Phase.elapsedSeconds();
+
+  // Phases 4+5: import into the database and run the queries. The built-in
+  // queries are schema-validated first: a malformed query must fail the
+  // scan loudly, not return an empty (vacuously clean) report set.
+  if (HaveGraph) {
+    if (Cfg.Backend == QueryBackend::GraphDB) {
+      if (!queries::GraphDBRunner::validateBuiltinQueries(Cfg.Sinks,
+                                                          &Out.SchemaError)) {
+        Out.Errors.push_back({ScanPhase::Query, ScanErrorKind::Schema,
+                              Out.SchemaError, ""});
+      } else if (!inject(ScanPhase::Import)) {
+        Phase.reset();
+        graphdb::EngineOptions EO = Cfg.Engine;
+        EO.ScanDeadline = &D;
+        queries::GraphDBRunner Runner(Build, EO);
+        Out.Times.DbImport = Phase.elapsedSeconds();
+        noteDeadline(ScanPhase::Import);
+
+        if (!inject(ScanPhase::Query)) {
+          Phase.reset();
+          queries::DetectStats Stats;
+          Out.Reports = Runner.detect(Cfg.Sinks, &Stats);
+          Out.Times.Query = Phase.elapsedSeconds();
+          Out.QueryWork = Stats.QueryWork;
+          noteDeadline(ScanPhase::Query);
+          // The query engine's own step budget (deadline still live) is a
+          // Query-phase Budget error — distinct from a graph-construction
+          // timeout.
+          if (Stats.TimedOut && !D.expired())
+            Out.Errors.push_back({ScanPhase::Query, ScanErrorKind::Budget,
+                                  "query step budget exhausted (steps=" +
+                                      std::to_string(Stats.QueryWork) + ")",
+                                  ""});
+        }
+      }
+      // Partial-results guarantee (the Graph.js vs. ODGen difference,
+      // §5.2): when the deadline killed the DB-side phases before any
+      // report came back, still query the in-memory partial MDG with the
+      // native traversals, which are bounded by the (partial) graph size.
+      if (D.expired() && Out.Reports.empty()) {
+        Phase.reset();
+        Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+        Out.Times.Query += Phase.elapsedSeconds();
+      }
+    } else if (!inject(ScanPhase::Query)) {
+      Phase.reset();
+      Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+      Out.Times.Query = Phase.elapsedSeconds();
+      noteDeadline(ScanPhase::Query);
+    }
+  }
+
+  Out.DeadlineWork = D.workDone();
+  return Out;
+}
+
+bool Scanner::wantsDegradation(const ScanResult &R) {
+  // Retry on containable failures: timeouts (deadline or budget) and
+  // injected faults. Parse and schema errors are deterministic — a cheaper
+  // rerun cannot fix malformed input or a bad query.
+  for (const ScanError &E : R.Errors)
+    if (E.isTimeout() || E.Kind == ScanErrorKind::InjectedFault)
+      return true;
+  return false;
+}
+
+ScanOptions Scanner::degrade(const ScanOptions &Base, unsigned Level) {
+  ScanOptions Cfg = Base;
+  // Level 1: drop the graph database; run the Table 2 detectors as native
+  // traversals (no import phase, no query-engine steps).
+  Cfg.Backend = QueryBackend::Native;
+  if (Level >= 2) {
+    // Level 2: also cheapen MDG construction itself.
+    if (Cfg.Builder.WorkBudget)
+      Cfg.Builder.WorkBudget = std::max<uint64_t>(1, Cfg.Builder.WorkBudget / 2);
+    Cfg.Builder.MaxInlineDepth = std::min(Cfg.Builder.MaxInlineDepth, 2u);
+    Cfg.Builder.MaxFixpointIters = std::min(Cfg.Builder.MaxFixpointIters, 8u);
+  }
+  return Cfg;
+}
+
+ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
+  unsigned Seq = ScansDone++;
+  auto Armed = [&] {
+    return Options.Fault && !FaultSpent && Options.Fault->Package == Seq;
+  };
+
+  ScanResult Out = runAttempt(Files, Options, Armed());
+
+  // Degradation ladder: a containable failure gets retried with cheaper
+  // settings (a fresh deadline each attempt). Errors accumulate across
+  // attempts; the final attempt's reports and metrics win.
+  unsigned Level = 0;
+  while (wantsDegradation(Out) && Level < Options.MaxDegradation) {
+    ++Level;
+    ScanResult Retry = runAttempt(Files, degrade(Options, Level), Armed());
+    Retry.Errors.insert(Retry.Errors.begin(), Out.Errors.begin(),
+                        Out.Errors.end());
+    Retry.Attempts = Out.Attempts + 1;
+    Retry.Degradation = Level;
+    Out = std::move(Retry);
   }
   return Out;
+}
+
+ScanResult Scanner::scanSource(const std::string &Source) {
+  return scanPackage({{"", Source}});
 }
 
 std::string scanner::reportsToJSON(

@@ -11,9 +11,25 @@
 /// the sink line number, which is what the evaluation compares against
 /// dataset annotations.
 ///
+/// The scanner is a *fault-tolerant runtime* around that pipeline:
+///
+///  - One support/Deadline per package bounds every phase together (the
+///    evaluation's hard 5-minute per-package timeout, §5.2), combining a
+///    wall-clock limit with a deterministic work budget. Each phase
+///    checkpoints it cooperatively; ScanResult records which phase hit it
+///    as a structured ScanError.
+///
+///  - A deterministic fault-injection plan (FaultPlan) can fail or stall
+///    any phase on the Nth scanned package — how tests prove that every
+///    phase's failure is contained.
+///
+///  - A degradation ladder retries a failed package with cheaper settings
+///    (GraphDB backend → native traversals → reduced builder budget) and
+///    always queries the partial MDG, reproducing Graph.js's
+///    partial-results behavior vs. ODGen's all-or-nothing (§5.2, §5.5).
+///
 /// Per-phase wall-clock times and graph sizes are recorded for the
-/// Table 6 / Table 7 / Figure 7 benchmarks. Work budgets model the
-/// evaluation's 5-minute per-package timeout deterministically.
+/// Table 6 / Table 7 / Figure 7 benchmarks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +41,9 @@
 #include "lint/Finding.h"
 #include "queries/QueryRunner.h"
 #include "queries/SinkConfig.h"
+#include "scanner/ScanError.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +56,36 @@ enum class QueryBackend {
   Native,  ///< Direct Table 1 traversals.
 };
 
+/// The per-package budget: wall-clock seconds for production batches,
+/// abstract work units for deterministic tests/benches. Either may be 0
+/// (disabled); both together form one Deadline shared by all phases.
+struct DeadlineBudget {
+  double WallSeconds = 0;
+  uint64_t WorkUnits = 0;
+  bool active() const { return WallSeconds > 0 || WorkUnits > 0; }
+};
+
+/// Deterministic fault injection: fail or stall one named phase on the
+/// Nth package scanned by a Scanner instance. Faults are one-shot (a
+/// transient failure): once fired they disarm, so a degradation-ladder
+/// retry of the same package proceeds cleanly — which is exactly how the
+/// tests demonstrate containment plus recovery.
+struct FaultPlan {
+  enum class Action {
+    Fail,  ///< The phase dies: recorded as an InjectedFault, phase skipped.
+    Stall, ///< The phase hangs: the deadline is forced expired at its entry.
+  };
+  ScanPhase Phase = ScanPhase::Build;
+  Action Kind = Action::Fail;
+  /// 0-based index of the target package in this Scanner's scan sequence.
+  unsigned Package = 0;
+
+  /// Parses "<phase>:<fail|stall>:<n>" (e.g. "build:fail:0",
+  /// "query:stall:2"); the ":<n>" suffix is optional and defaults to 0.
+  static bool parse(const std::string &Spec, FaultPlan &Out,
+                    std::string *Error = nullptr);
+};
+
 struct ScanOptions {
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
   analysis::BuilderOptions Builder;
@@ -46,6 +94,17 @@ struct ScanOptions {
   /// Runs the MDG well-formedness checker over the freshly built graph and
   /// records its findings in ScanResult::SelfCheckFindings.
   bool SelfCheck = false;
+  /// Per-package deadline shared by every phase (inactive by default; the
+  /// Builder/Engine work budgets still apply independently).
+  DeadlineBudget Deadline;
+  /// Deterministic fault injection (tests/CI).
+  std::optional<FaultPlan> Fault;
+  /// Degradation-ladder depth: how many times a package whose scan hit a
+  /// containable failure (injected fault, deadline, work budget) is retried
+  /// with cheaper settings. 0 disables retries (single attempt, partial
+  /// results only). Level 1 switches GraphDB → native traversals; level 2
+  /// additionally reduces the builder budget.
+  unsigned MaxDegradation = 2;
 };
 
 /// Per-phase timing (seconds) — the Table 6 breakdown.
@@ -60,8 +119,13 @@ struct PhaseTimes {
 /// One scanned file/package result.
 struct ScanResult {
   std::vector<queries::VulnReport> Reports;
-  bool ParseFailed = false;
-  bool TimedOut = false;
+  /// Structured failures, in occurrence order, accumulated across ladder
+  /// attempts (replaces the old ParseFailed/TimedOut booleans).
+  std::vector<ScanError> Errors;
+  /// Ladder level of the final attempt (0 = full pipeline).
+  unsigned Degradation = 0;
+  /// Number of pipeline attempts (1 + retries).
+  unsigned Attempts = 1;
   PhaseTimes Times;
   /// Graph-size accounting (Table 7). ASTNodes + CoreStmts approximate the
   /// AST/CFG share included for fairness with ODGen's counting.
@@ -71,11 +135,28 @@ struct ScanResult {
   size_t CoreStmts = 0;
   uint64_t BuildWork = 0;
   uint64_t QueryWork = 0;
+  /// Deadline units consumed by the final attempt (all phases together).
+  uint64_t DeadlineWork = 0;
   /// Nonempty when a built-in Table 2 query failed schema validation; the
   /// query phase is skipped (fail fast rather than silently match nothing).
   std::string SchemaError;
   /// MDG checker findings (populated when ScanOptions::SelfCheck is set).
   std::vector<lint::Finding> SelfCheckFindings;
+
+  /// True when any file failed to parse (the file was skipped; the rest of
+  /// the package was still scanned and linked).
+  bool parseFailed() const;
+  /// True when any deadline or work budget expired in any phase.
+  bool timedOut() const;
+  /// Per-phase timeout attribution (e.g. distinguishes query step-budget
+  /// exhaustion from a graph-construction timeout).
+  bool timedOutIn(ScanPhase P) const;
+  /// True when an injected fault fired during this scan.
+  bool faulted() const;
+  /// The first timeout-class error, or nullptr.
+  const ScanError *firstTimeout() const;
+  /// "build: budget: ..." — first error rendered, or "" when clean.
+  std::string errorSummary() const;
 };
 
 /// One source file of a package.
@@ -93,13 +174,33 @@ public:
   ScanResult scanSource(const std::string &Source);
 
   /// Scans a multi-file package: each file is analyzed and the reports are
-  /// merged (timings and sizes accumulate).
+  /// merged (timings and sizes accumulate). A file that fails to parse is
+  /// skipped with a per-file ScanError; the rest of the package is still
+  /// scanned and linked.
   ScanResult scanPackage(const std::vector<SourceFile> &Files);
 
   const ScanOptions &options() const { return Options; }
 
+  /// Packages scanned so far (the FaultPlan::Package sequence number).
+  unsigned packagesScanned() const { return ScansDone; }
+
 private:
   ScanOptions Options;
+  /// Scan sequence number — drives FaultPlan targeting.
+  unsigned ScansDone = 0;
+  /// One-shot faults: set once the configured fault has fired.
+  bool FaultSpent = false;
+
+  /// One pipeline attempt under \p Cfg. \p FaultArmed gates injection for
+  /// this package; the attempt appends to Out.Errors.
+  ScanResult runAttempt(const std::vector<SourceFile> &Files,
+                        const ScanOptions &Cfg, bool FaultArmed);
+
+  /// True when the attempt's errors warrant a cheaper retry.
+  static bool wantsDegradation(const ScanResult &R);
+
+  /// Settings for ladder level \p Level (1-based).
+  static ScanOptions degrade(const ScanOptions &Base, unsigned Level);
 };
 
 /// Serializes reports as a JSON array (tool output).

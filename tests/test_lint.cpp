@@ -399,7 +399,7 @@ TEST(ScannerSelfCheckTest, CleanScanHasNoSchemaErrorAndNoSelfCheckErrors) {
       "const { exec } = require('child_process');\n"
       "function run(cmd) { exec(cmd); }\n"
       "module.exports = run;\n");
-  EXPECT_FALSE(R.ParseFailed);
+  EXPECT_FALSE(R.parseFailed());
   EXPECT_TRUE(R.SchemaError.empty()) << R.SchemaError;
   for (const Finding &F : R.SelfCheckFindings)
     EXPECT_NE(F.Severity, DiagSeverity::Error) << F.str();

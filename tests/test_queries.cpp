@@ -318,8 +318,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ScannerTest, EndToEndFigure1) {
   scanner::Scanner S;
   scanner::ScanResult R = S.scanSource(Figure1Source);
-  EXPECT_FALSE(R.ParseFailed);
-  EXPECT_FALSE(R.TimedOut);
+  EXPECT_FALSE(R.parseFailed());
+  EXPECT_FALSE(R.timedOut());
+  EXPECT_TRUE(R.Errors.empty());
   EXPECT_TRUE(hasType(R.Reports, VulnType::CommandInjection));
   EXPECT_TRUE(hasType(R.Reports, VulnType::PrototypePollution));
   EXPECT_GT(R.MDGNodes, 0u);
@@ -331,7 +332,10 @@ TEST(ScannerTest, EndToEndFigure1) {
 TEST(ScannerTest, ParseFailureIsReported) {
   scanner::Scanner S;
   scanner::ScanResult R = S.scanSource("function ( { ]");
-  EXPECT_TRUE(R.ParseFailed);
+  EXPECT_TRUE(R.parseFailed());
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_EQ(R.Errors[0].Phase, scanner::ScanPhase::Parse);
+  EXPECT_EQ(R.Errors[0].Kind, scanner::ScanErrorKind::ParseError);
   EXPECT_TRUE(R.Reports.empty());
 }
 
@@ -366,7 +370,11 @@ TEST(ScannerTest, WorkBudgetProducesTimeout) {
   O.Builder.WorkBudget = 3;
   scanner::Scanner S(O);
   scanner::ScanResult R = S.scanSource(Figure1Source);
-  EXPECT_TRUE(R.TimedOut);
+  EXPECT_TRUE(R.timedOut());
+  EXPECT_TRUE(R.timedOutIn(scanner::ScanPhase::Build));
+  const scanner::ScanError *First = R.firstTimeout();
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->Kind, scanner::ScanErrorKind::Budget);
 }
 
 //===----------------------------------------------------------------------===//

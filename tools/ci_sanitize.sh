@@ -17,4 +17,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
+# The fault-tolerance suite first, verbosely: fault injection, deadline
+# expiry, the degradation ladder, and batch journal/resume exercise the
+# error paths sanitizers care about most (partial graphs, aborted phases,
+# exception unwinding in the driver).
+"$BUILD_DIR/tests/test_faults"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

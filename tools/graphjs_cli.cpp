@@ -7,6 +7,17 @@
 //   graphjs scan  [options] <file.js>...     scan for vulnerabilities
 //   graphjs query <query> <file.js>...       run a raw graph query
 //   graphjs lint  [options] <file.js>...     validate pipeline artifacts
+//   graphjs batch [options] <dir|list.txt>   resumable batch scan
+//
+// Batch options:
+//   --journal <out.jsonl>   incremental per-package outcome journal
+//   --resume                skip packages already in the journal
+//   --deadline-ms <n>       per-package wall-clock budget
+//   --work <n>              per-package abstract work budget
+//   --max <n>               stop after scanning n packages (sharding)
+//   --max-degradation <n>   degradation-ladder depth (default 2)
+//   --inject-fault <spec>   deterministic fault: <phase>:<fail|stall>[:<n>]
+//   --native / --summary / --sinks also apply
 //
 // Scan options:
 //   --sinks <config.json>   custom sink configuration (§4)
@@ -28,6 +39,7 @@
 #include "analysis/MDGBuilder.h"
 #include "cfg/CFG.h"
 #include "core/Normalizer.h"
+#include "driver/BatchDriver.h"
 #include "frontend/Parser.h"
 #include "graphdb/QueryEngine.h"
 #include "graphdb/SchemaLint.h"
@@ -37,8 +49,10 @@
 #include "scanner/WitnessReplay.h"
 #include "support/JSON.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -55,7 +69,11 @@ int usage() {
       "                    [--dump-core] [--dump-mdg] [--summary]\n"
       "                    [--self-check] <file.js>...\n"
       "       graphjs query '<MATCH ... RETURN ...>' <file.js>...\n"
-      "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n");
+      "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n"
+      "       graphjs batch [--journal out.jsonl] [--resume]\n"
+      "                     [--deadline-ms n] [--work n] [--max n]\n"
+      "                     [--max-degradation n] [--inject-fault spec]\n"
+      "                     [--native] [--summary] <dir|list.txt|file.js>...\n");
   return 2;
 }
 
@@ -229,8 +247,8 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
   }
   scanner::Scanner S(O);
   scanner::ScanResult R = S.scanPackage(Sources);
-  if (R.ParseFailed)
-    std::fprintf(stderr, "warning: some files failed to parse\n");
+  for (const scanner::ScanError &E : R.Errors)
+    std::fprintf(stderr, "warning: %s\n", E.str().c_str());
   for (const lint::Finding &F : R.SelfCheckFindings)
     std::fprintf(stderr, "self-check: %s\n", F.str().c_str());
   if (!R.SchemaError.empty()) {
@@ -246,6 +264,124 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
     std::printf("%s\n", scanner::reportsToJSON(R.Reports).c_str());
   }
   return R.Reports.empty() ? 0 : 3;
+}
+
+/// Collects batch packages from a CLI input: a directory (each contained
+/// .js file is a single-file package; each subdirectory with .js files is
+/// one linked package), a .txt list of paths (one per line), or a .js file.
+bool collectBatchInputs(const std::string &Arg,
+                        std::vector<driver::BatchInput> &Out) {
+  namespace fs = std::filesystem;
+
+  auto AddFilePackage = [&](const fs::path &P) -> bool {
+    std::string Text;
+    if (!readFile(P.string(), Text)) {
+      std::fprintf(stderr, "error: cannot open %s\n", P.string().c_str());
+      return false;
+    }
+    Out.push_back({P.filename().string(), {{P.string(), std::move(Text)}}});
+    return true;
+  };
+
+  auto AddDirPackage = [&](const fs::path &Dir) -> bool {
+    driver::BatchInput Pkg;
+    Pkg.Name = Dir.filename().string();
+    std::vector<fs::path> JS;
+    for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+      if (E.is_regular_file() && E.path().extension() == ".js")
+        JS.push_back(E.path());
+    std::sort(JS.begin(), JS.end());
+    for (const fs::path &P : JS) {
+      std::string Text;
+      if (!readFile(P.string(), Text)) {
+        std::fprintf(stderr, "error: cannot open %s\n", P.string().c_str());
+        return false;
+      }
+      Pkg.Files.push_back({P.string(), std::move(Text)});
+    }
+    if (!Pkg.Files.empty())
+      Out.push_back(std::move(Pkg));
+    return true;
+  };
+
+  fs::path P(Arg);
+  std::error_code EC;
+  if (fs::is_directory(P, EC)) {
+    // Deterministic order: sorted entries; files first as single-file
+    // packages, then subdirectories as linked packages.
+    std::vector<fs::path> Entries;
+    for (const fs::directory_entry &E : fs::directory_iterator(P))
+      Entries.push_back(E.path());
+    std::sort(Entries.begin(), Entries.end());
+    for (const fs::path &E : Entries) {
+      if (fs::is_directory(E, EC)) {
+        if (!AddDirPackage(E))
+          return false;
+      } else if (E.extension() == ".js") {
+        if (!AddFilePackage(E))
+          return false;
+      }
+    }
+    return true;
+  }
+  if (P.extension() == ".txt") {
+    std::ifstream In(Arg);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open list %s\n", Arg.c_str());
+      return false;
+    }
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      if (!collectBatchInputs(Line, Out))
+        return false;
+    }
+    return true;
+  }
+  return AddFilePackage(P);
+}
+
+int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
+             bool Summary) {
+  std::vector<driver::BatchInput> Inputs;
+  for (const std::string &Arg : Args)
+    if (!collectBatchInputs(Arg, Inputs))
+      return 1;
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "error: no packages to scan\n");
+    return 1;
+  }
+
+  driver::BatchDriver Driver(std::move(O));
+  driver::BatchSummary S = Driver.run(Inputs);
+
+  if (Summary) {
+    for (const driver::BatchOutcome &Outcome : S.Outcomes) {
+      if (Outcome.Skipped) {
+        std::printf("%-24s skipped (journaled)\n", Outcome.Package.c_str());
+        continue;
+      }
+      std::printf("%-24s %-8s %zu finding(s)", Outcome.Package.c_str(),
+                  driver::batchStatusName(Outcome.Status),
+                  Outcome.Result.Reports.size());
+      if (Outcome.Result.Degradation)
+        std::printf("  degradation=%u attempts=%u", Outcome.Result.Degradation,
+                    Outcome.Result.Attempts);
+      if (!Outcome.Result.Errors.empty())
+        std::printf("  [%s]", Outcome.Result.errorSummary().c_str());
+      std::printf("\n");
+    }
+    std::printf("batch: %zu scanned, %zu ok, %zu degraded, %zu failed, "
+                "%zu resumed, %zu report(s)\n",
+                S.Scanned, S.Ok, S.Degraded, S.Failed, S.SkippedResumed,
+                S.TotalReports);
+  } else {
+    for (const driver::BatchOutcome &Outcome : S.Outcomes)
+      if (!Outcome.Skipped)
+        std::printf("%s\n", driver::BatchDriver::journalLine(Outcome).c_str());
+  }
+  return S.Failed ? 1 : 0;
 }
 
 /// `graphjs lint`: runs the full pipeline front half on each input and the
@@ -370,6 +506,62 @@ int main(int argc, char **argv) {
     if (Files.empty())
       return usage();
     return runLint(Files, Summary, ExtraQueries);
+  }
+
+  if (Mode == "batch") {
+    driver::BatchOptions O;
+    bool Summary = false;
+    std::string SinksFile;
+    std::vector<std::string> Inputs;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--native")
+        O.Scan.Backend = scanner::QueryBackend::Native;
+      else if (Arg == "--summary")
+        Summary = true;
+      else if (Arg == "--resume")
+        O.Resume = true;
+      else if (Arg == "--journal" && I + 1 < argc)
+        O.JournalPath = argv[++I];
+      else if (Arg == "--sinks" && I + 1 < argc)
+        SinksFile = argv[++I];
+      else if (Arg == "--deadline-ms" && I + 1 < argc)
+        O.Scan.Deadline.WallSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--work" && I + 1 < argc)
+        O.Scan.Deadline.WorkUnits = std::stoull(argv[++I]);
+      else if (Arg == "--max" && I + 1 < argc)
+        O.MaxPackages = std::stoul(argv[++I]);
+      else if (Arg == "--max-degradation" && I + 1 < argc)
+        O.Scan.MaxDegradation =
+            static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--inject-fault" && I + 1 < argc) {
+        scanner::FaultPlan Plan;
+        std::string Error;
+        if (!scanner::FaultPlan::parse(argv[++I], Plan, &Error)) {
+          std::fprintf(stderr, "error: %s\n", Error.c_str());
+          return 2;
+        }
+        O.Scan.Fault = Plan;
+      } else if (Arg.rfind("--", 0) == 0)
+        return usage();
+      else
+        Inputs.push_back(Arg);
+    }
+    if (Inputs.empty())
+      return usage();
+    if (!SinksFile.empty()) {
+      std::string Text;
+      queries::SinkConfig Custom;
+      std::string Error;
+      if (!readFile(SinksFile, Text) ||
+          !queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+        std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                     SinksFile.c_str(), Error.c_str());
+        return 1;
+      }
+      O.Scan.Sinks = Custom;
+    }
+    return runBatch(Inputs, std::move(O), Summary);
   }
 
   if (Mode != "scan")
