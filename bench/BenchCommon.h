@@ -7,8 +7,9 @@
 /// \file
 /// Helpers shared by the table/figure reproduction binaries: dataset
 /// scaling via the GJS_BENCH_SCALE environment variable (percent of the
-/// paper's dataset sizes; default 100), per-class grouping, and the tool
-/// pair runner.
+/// paper's dataset sizes; default 100), per-class grouping, the tool
+/// pair runner, and the machine-readable bench report
+/// (BENCH_<name>.json).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,10 +17,13 @@
 #define GJS_BENCH_BENCHCOMMON_H
 
 #include "eval/Harness.h"
+#include "support/JSON.h"
 #include "workload/Datasets.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -78,6 +82,87 @@ inline bool classOf(const workload::Package &P, queries::VulnType &Out) {
   Out = P.Annotations[0].Type;
   return true;
 }
+
+/// Summary statistics over one measured sample series.
+struct SeriesStats {
+  size_t N = 0;
+  double Mean = 0, P50 = 0, P95 = 0, Min = 0, Max = 0;
+};
+
+inline SeriesStats summarize(std::vector<double> Samples) {
+  SeriesStats S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.N = Samples.size();
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / double(S.N);
+  // Nearest-rank percentiles.
+  auto Rank = [&](double Q) {
+    size_t I = static_cast<size_t>(Q * double(S.N) + 0.999999);
+    return Samples[std::min(I ? I - 1 : 0, S.N - 1)];
+  };
+  S.P50 = Rank(0.50);
+  S.P95 = Rank(0.95);
+  return S;
+}
+
+/// Machine-readable bench output: every bench binary writes a
+/// BENCH_<name>.json file next to where it runs (override the directory
+/// with GJS_BENCH_OUT) holding mean/p50/p95/min/max per sample series
+/// plus free-form scalars. The eval tooling and CI diff these instead of
+/// scraping the printed tables.
+class Report {
+public:
+  explicit Report(std::string Name) : Name(std::move(Name)) {
+    Root["bench"] = json::Value(this->Name);
+    Root["scale_percent"] = json::Value(scalePercent());
+  }
+
+  void scalar(const std::string &Key, double Value) {
+    Scalars[Key] = json::Value(Value);
+  }
+
+  /// Samples are kept in whatever unit the bench measured (document it in
+  /// the key, e.g. "gj.graph_seconds").
+  void series(const std::string &Key, const std::vector<double> &Samples) {
+    SeriesStats S = summarize(Samples);
+    json::Object O;
+    O["n"] = json::Value(static_cast<unsigned long>(S.N));
+    O["mean"] = json::Value(S.Mean);
+    O["p50"] = json::Value(S.P50);
+    O["p95"] = json::Value(S.P95);
+    O["min"] = json::Value(S.Min);
+    O["max"] = json::Value(S.Max);
+    SeriesObj[Key] = json::Value(std::move(O));
+  }
+
+  /// Writes BENCH_<name>.json; prints the path on success.
+  bool write() {
+    Root["series"] = json::Value(std::move(SeriesObj));
+    Root["scalars"] = json::Value(std::move(Scalars));
+    std::string Dir = std::getenv("GJS_BENCH_OUT")
+                          ? std::getenv("GJS_BENCH_OUT")
+                          : std::string(".");
+    std::string Path = Dir + "/BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << json::Value(std::move(Root)).str(2) << '\n';
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  json::Object Root, SeriesObj, Scalars;
+};
 
 inline void printHeader(const char *Title, const char *PaperRef) {
   std::printf("\n================================================================\n");

@@ -43,6 +43,7 @@ bool hasPollution(const std::vector<queries::VulnReport> &Rs) {
 int main() {
   printHeader("Ablations: fixpoint versioning, UntaintedPath, inlining",
               "DESIGN.md design-choice index");
+  Report Rep("ablation_fixpoint");
 
   // -- A: allocation-site version reuse --------------------------------------
   std::printf("[A] version-node allocation on loop-heavy code "
@@ -73,6 +74,9 @@ int main() {
               std::to_string(R.Graph.numNodes()),
               std::to_string(R.Graph.numEdges()),
               std::to_string(R.WorkDone)});
+    std::string Key = Reuse ? "per_site" : "per_site_version";
+    Rep.scalar("a.nodes." + Key, double(R.Graph.numNodes()));
+    Rep.scalar("a.work." + Key, double(R.WorkDone));
   }
   std::printf("%s\n", A.str().c_str());
 
@@ -100,6 +104,9 @@ int main() {
     B.addRow({Exclusion ? "BasicPath \\ UntaintedPath (paper)"
                         : "BasicPath only [ablated]",
               std::to_string(Cmd)});
+    Rep.scalar(Exclusion ? "b.sanitized_reports.with_exclusion"
+                         : "b.sanitized_reports.without_exclusion",
+               double(Cmd));
   }
   std::printf("%s", B.str().c_str());
   std::printf("(0 vs >0: the exclusion is what makes overwrites "
@@ -134,9 +141,11 @@ int main() {
         hasPollution(Runner.detect(queries::SinkConfig::defaults()));
     C.addRow({std::to_string(Depth), Found ? "yes" : "no",
               std::to_string(R.WorkDone)});
+    Rep.scalar("c.detected.depth" + std::to_string(Depth), Found ? 1 : 0);
   }
   std::printf("%s", C.str().c_str());
   std::printf("(the recursive self-call only rebinds parameters; the "
               "fixpoint then exposes the lookup-then-assign pattern)\n");
+  Rep.write();
   return 0;
 }

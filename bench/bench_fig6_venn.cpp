@@ -48,5 +48,13 @@ int main() {
               Subsumed * 100);
   std::printf("Graph.js-exclusive: %zu, ODGen-exclusive: %zu.\n", GJOnly,
               ODOnly);
+
+  Report Rep("fig6_venn");
+  Rep.scalar("gj_only", double(GJOnly));
+  Rep.scalar("od_only", double(ODOnly));
+  Rep.scalar("both", double(Both));
+  Rep.scalar("neither", double(V.Neither));
+  Rep.scalar("od_subsumed_fraction", Subsumed);
+  Rep.write();
   return 0;
 }

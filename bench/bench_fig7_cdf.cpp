@@ -85,5 +85,14 @@ int main() {
   std::printf("average completed-package time: Graph.js %.4fs, ODGen "
               "%.4fs (paper: 4.61s vs 5.41s on their testbed)\n",
               GJAvg, ODAvg);
+
+  Report Rep("fig7_cdf");
+  Rep.series("gj.total_seconds", GJTimes);
+  Rep.series("od.total_seconds", ODTimes);
+  Rep.scalar("gj.completion_percent", GJDone);
+  Rep.scalar("od.completion_percent", ODDone);
+  Rep.scalar("gj.timeouts", double(GJTimeouts));
+  Rep.scalar("od.timeouts", double(ODTimeouts));
+  Rep.write();
   return 0;
 }

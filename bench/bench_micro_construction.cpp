@@ -15,6 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 using namespace gjs;
 
 namespace {
@@ -84,4 +88,28 @@ static void BM_ImportToGraphDB(benchmark::State &State) {
 BENCHMARK(BM_ImportToGraphDB)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
     ->Complexity();
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): write the results to
+// BENCH_micro_construction.json (google-benchmark's JSON format) unless
+// the caller already passed a --benchmark_out destination. The directory
+// is overridable with GJS_BENCH_OUT, matching bench::Report.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    HasOut |= std::string(argv[I]).rfind("--benchmark_out", 0) == 0;
+  const char *Env = std::getenv("GJS_BENCH_OUT");
+  std::string Out = std::string("--benchmark_out=") + (Env ? Env : ".") +
+                    "/BENCH_micro_construction.json";
+  std::string Fmt = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(Out.data());
+    Args.push_back(Fmt.data());
+  }
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

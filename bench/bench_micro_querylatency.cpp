@@ -16,6 +16,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 using namespace gjs;
 
 namespace {
@@ -96,4 +100,28 @@ static void BM_EndToEndScan(benchmark::State &State) {
 }
 BENCHMARK(BM_EndToEndScan)->Arg(100)->Arg(400)->Arg(1600);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): write the results to
+// BENCH_micro_querylatency.json (google-benchmark's JSON format) unless
+// the caller already passed a --benchmark_out destination. The directory
+// is overridable with GJS_BENCH_OUT, matching bench::Report.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    HasOut |= std::string(argv[I]).rfind("--benchmark_out", 0) == 0;
+  const char *Env = std::getenv("GJS_BENCH_OUT");
+  std::string Out = std::string("--benchmark_out=") + (Env ? Env : ".") +
+                    "/BENCH_micro_querylatency.json";
+  std::string Fmt = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(Out.data());
+    Args.push_back(Fmt.data());
+  }
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

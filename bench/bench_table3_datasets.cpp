@@ -54,5 +54,19 @@ int main() {
 
   std::printf("paper: VulcaN 219 (5/87/33/94), SecBench 384 "
               "(161/82/21/120), total 603.\n");
+
+  Report R("table3_datasets");
+  R.scalar("vulcan_annotations", double(TV));
+  R.scalar("secbench_annotations", double(TS));
+  R.scalar("total_annotations", double(TV + TS));
+  {
+    std::vector<double> Loc;
+    for (const workload::Package &P : VulcaN)
+      Loc.push_back(double(P.LoC));
+    for (const workload::Package &P : SecBench)
+      Loc.push_back(double(P.LoC));
+    R.series("package_loc", Loc);
+  }
+  R.write();
   return 0;
 }

@@ -33,6 +33,7 @@ int main() {
   ScorePolicy ODPolicy;
   ODPolicy.TypeOnlyMatch = true; // The paper's leniency for ODGen (§5.2).
 
+  Report Rep("table4_effectiveness");
   TablePrinter Table({"CWE", "Total", "GJ TP", "GJ FP", "GJ TFP", "GJ R",
                       "GJ P", "GJ F1", "OD TP", "OD FP", "OD TFP", "OD R",
                       "OD P", "OD F1"});
@@ -42,6 +43,8 @@ int main() {
     ClassStats SO = scoreDataset(Packages, OD, T, ODPolicy);
     GJTotal += SG;
     ODTotal += SO;
+    Rep.scalar(std::string("gj.f1.") + cweOf(T), SG.f1());
+    Rep.scalar(std::string("od.f1.") + cweOf(T), SO.f1());
     Table.addRow({cweOf(T), std::to_string(SG.Total),
                   std::to_string(SG.TP), std::to_string(SG.FP),
                   std::to_string(SG.TFP), TablePrinter::fmt(SG.recall()),
@@ -80,5 +83,18 @@ int main() {
                   .c_str());
   std::printf("  paper recalls — GJ: 0.97/0.95/0.87/0.59 per CWE-22/78/94/"
               "1321, total 0.82 vs ODGen 0.50\n");
+
+  Rep.scalar("gj.recall", GJTotal.recall());
+  Rep.scalar("gj.precision", GJTotal.precision());
+  Rep.scalar("gj.f1", GJTotal.f1());
+  Rep.scalar("od.recall", ODTotal.recall());
+  Rep.scalar("od.precision", ODTotal.precision());
+  Rep.scalar("od.f1", ODTotal.f1());
+  Rep.scalar("ratio.detections",
+             Ratio(double(GJTotal.TP), double(ODTotal.TP)));
+  Rep.scalar("ratio.precision",
+             Ratio(GJTotal.precision(), ODTotal.precision()));
+  Rep.scalar("ratio.f1", Ratio(GJTotal.f1(), ODTotal.f1()));
+  Rep.write();
   return 0;
 }

@@ -111,5 +111,30 @@ int main() {
                          : 0.0);
   std::printf("paper average ratios: 0.14x nodes (1/7.2), 0.42x edges "
               "(1/2.3).\n");
+
+  Report Rep("table7_graphsize");
+  {
+    std::vector<double> GJNodes, GJEdges, ODNodes, ODEdges;
+    for (size_t I = 0; I < Packages.size(); ++I) {
+      if (GJ[I].GraphBuilt && !GJ[I].TimedOut) {
+        GJNodes.push_back(double(GJ[I].GraphNodes));
+        GJEdges.push_back(double(GJ[I].GraphEdges));
+      }
+      if (OD[I].GraphBuilt) {
+        ODNodes.push_back(double(OD[I].GraphNodes));
+        ODEdges.push_back(double(OD[I].GraphEdges));
+      }
+    }
+    Rep.series("gj.nodes", GJNodes);
+    Rep.series("gj.edges", GJEdges);
+    Rep.series("od.nodes", ODNodes);
+    Rep.series("od.edges", ODEdges);
+  }
+  Rep.scalar("node_ratio", TotalNR);
+  Rep.scalar("edge_ratio", TotalER);
+  Rep.scalar("smaller_nodes_percent",
+             Comparable ? 100.0 * double(SmallerNodes) / double(Comparable)
+                        : 0.0);
+  Rep.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "analysis/MDGBuilder.h"
 
+#include "obs/Counters.h"
 #include "support/Deadline.h"
 
 #include <algorithm>
@@ -175,6 +176,7 @@ void MDGBuilder::markEntryPoints() {
 
 bool MDGBuilder::budgetExceeded() {
   ++Work;
+  obs::counters::BuilderStmts.add();
   if (Options.WorkBudget != 0 && Work > Options.WorkBudget)
     Aborted = true;
   // The scan-level deadline bounds the whole pipeline, not just this

@@ -6,6 +6,8 @@
 
 #include "cfg/CFG.h"
 
+#include "obs/Counters.h"
+
 #include <deque>
 #include <sstream>
 
@@ -15,6 +17,7 @@ using namespace gjs::cfg;
 
 BlockId FunctionCFG::newBlock(std::string Note) {
   BlockId Id = static_cast<BlockId>(Blocks.size());
+  obs::counters::CfgBlocks.add();
   BasicBlock B;
   B.Note = std::move(Note);
   Blocks.push_back(std::move(B));

@@ -6,9 +6,12 @@
 
 #include "driver/BatchDriver.h"
 
+#include "obs/Counters.h"
 #include "support/JSON.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <fstream>
 
@@ -35,9 +38,38 @@ std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
   O["status"] = json::Value(batchStatusName(Outcome.Status));
   O["degradation"] = json::Value(Outcome.Result.Degradation);
   O["attempts"] = json::Value(Outcome.Result.Attempts);
+  O["retries"] = json::Value(Outcome.Result.Retries);
   O["seconds"] = json::Value(Outcome.Seconds);
+  // Cumulative over every ladder attempt (not just the final one): the
+  // package's true phase-time attribution.
+  const scanner::PhaseTimes &CT = Outcome.Result.CumulativeTimes;
+  O["graph_seconds"] = json::Value(CT.Parse + CT.GraphBuild + CT.DbImport);
+  O["query_seconds"] = json::Value(CT.Query);
   O["nodes"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGNodes));
   O["edges"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGEdges));
+
+  if (!Outcome.Result.AttemptLog.empty()) {
+    json::Array Attempts;
+    for (const scanner::AttemptRecord &A : Outcome.Result.AttemptLog) {
+      json::Object AO;
+      AO["level"] = json::Value(A.Level);
+      AO["graph_seconds"] =
+          json::Value(A.Times.Parse + A.Times.GraphBuild + A.Times.DbImport);
+      AO["query_seconds"] = json::Value(A.Times.Query);
+      AO["deadline_work"] =
+          json::Value(static_cast<unsigned long>(A.DeadlineWork));
+      AO["timed_out"] = json::Value(A.TimedOut);
+      Attempts.push_back(json::Value(std::move(AO)));
+    }
+    O["attempt_log"] = json::Value(std::move(Attempts));
+  }
+
+  if (!Outcome.Result.Counters.empty()) {
+    json::Object Counters;
+    for (const auto &[Name, Value] : Outcome.Result.Counters)
+      Counters[Name] = json::Value(static_cast<unsigned long>(Value));
+    O["counters"] = json::Value(std::move(Counters));
+  }
 
   json::Array Errors;
   for (const scanner::ScanError &E : Outcome.Result.Errors) {
@@ -133,6 +165,13 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
   // FaultPlan targets ("fail the build of the 3rd package").
   scanner::Scanner Scanner(Options.Scan);
 
+  // Counter lifecycle: on for the run, reset per package so each journal
+  // line carries exactly that package's telemetry, prior state restored on
+  // exit.
+  bool PrevCounters = obs::countersEnabled();
+  if (Options.EnableCounters)
+    obs::setCountersEnabled(true);
+
   for (const BatchInput &Input : Inputs) {
     if (Done.count(Input.Name)) {
       BatchOutcome Skip;
@@ -145,8 +184,11 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     if (Options.MaxPackages && Summary.Scanned >= Options.MaxPackages)
       break;
 
+    if (Options.EnableCounters)
+      obs::resetCounters();
     BatchOutcome Outcome = scanOne(Scanner, Input);
     ++Summary.Scanned;
+    Summary.TotalSeconds += Outcome.Seconds;
     switch (Outcome.Status) {
     case BatchStatus::Ok:
       ++Summary.Ok;
@@ -168,5 +210,60 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     }
     Summary.Outcomes.push_back(std::move(Outcome));
   }
+
+  if (Options.EnableCounters)
+    obs::setCountersEnabled(PrevCounters);
   return Summary;
+}
+
+std::string driver::batchStatsText(const BatchSummary &Summary) {
+  std::string Out;
+  char Buf[160];
+  double Rate = Summary.TotalSeconds > 0
+                    ? static_cast<double>(Summary.Scanned) /
+                          Summary.TotalSeconds
+                    : 0;
+  std::snprintf(Buf, sizeof(Buf),
+                "packages: %zu scanned, %zu resumed-skip (%zu ok, %zu "
+                "degraded, %zu failed)\n",
+                Summary.Scanned, Summary.SkippedResumed, Summary.Ok,
+                Summary.Degraded, Summary.Failed);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "throughput: %.2f packages/sec (%.3fs total)\n", Rate,
+                Summary.TotalSeconds);
+  Out += Buf;
+
+  size_t TimedOut = 0;
+  std::vector<const BatchOutcome *> Scanned;
+  for (const BatchOutcome &O : Summary.Outcomes) {
+    if (O.Skipped)
+      continue;
+    Scanned.push_back(&O);
+    if (O.Result.timedOut())
+      ++TimedOut;
+  }
+  double TimeoutRate =
+      Scanned.empty() ? 0
+                      : 100.0 * static_cast<double>(TimedOut) /
+                            static_cast<double>(Scanned.size());
+  std::snprintf(Buf, sizeof(Buf), "timeouts: %zu (%.1f%%)\n", TimedOut,
+                TimeoutRate);
+  Out += Buf;
+
+  std::sort(Scanned.begin(), Scanned.end(),
+            [](const BatchOutcome *A, const BatchOutcome *B) {
+              return A->Seconds > B->Seconds;
+            });
+  size_t N = std::min<size_t>(3, Scanned.size());
+  if (N) {
+    Out += "slowest:\n";
+    for (size_t I = 0; I < N; ++I) {
+      std::snprintf(Buf, sizeof(Buf), "  %zu. %s %.3fs (%s)\n", I + 1,
+                    Scanned[I]->Package.c_str(), Scanned[I]->Seconds,
+                    batchStatusName(Scanned[I]->Status));
+      Out += Buf;
+    }
+  }
+  return Out;
 }

@@ -79,6 +79,10 @@ struct BatchOptions {
   /// With Resume this shards a large batch across successive runs — and
   /// lets tests simulate a run killed partway through.
   size_t MaxPackages = 0;
+  /// Enable obs counters for the duration of the run (restoring the prior
+  /// state afterwards) and reset them between packages, so every journal
+  /// line carries that package's counter values.
+  bool EnableCounters = true;
 };
 
 /// Aggregate counters for a batch run.
@@ -90,7 +94,12 @@ struct BatchSummary {
   size_t Degraded = 0;
   size_t Failed = 0;
   size_t TotalReports = 0;
+  double TotalSeconds = 0; ///< Wall-clock of the scanned packages.
 };
+
+/// Renders throughput stats for a finished batch (`graphjs batch --stats`):
+/// packages/sec, timeout rate, and the top-3 slowest packages.
+std::string batchStatsText(const BatchSummary &Summary);
 
 /// The batch driver.
 class BatchDriver {

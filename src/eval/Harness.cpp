@@ -54,9 +54,19 @@ eval::runGraphJS(const std::vector<Package> &Packages,
                       R.timedOutIn(scanner::ScanPhase::Import);
     O.QueryTimedOut = R.timedOutIn(scanner::ScanPhase::Query);
     O.Degradation = R.Degradation;
-    O.Seconds = R.Times.total();
-    O.GraphSeconds = R.Times.Parse + R.Times.GraphBuild + R.Times.DbImport;
-    O.QuerySeconds = R.Times.Query;
+    O.Retries = R.Retries;
+    // Cumulative across the degradation ladder: a retried package's cost
+    // includes the attempts that failed, not just the one that won.
+    O.Seconds = R.CumulativeTimes.total();
+    O.GraphSeconds = R.CumulativeTimes.Parse + R.CumulativeTimes.GraphBuild +
+                     R.CumulativeTimes.DbImport;
+    O.QuerySeconds = R.CumulativeTimes.Query;
+    for (const scanner::AttemptRecord &A : R.AttemptLog)
+      O.Attempts.push_back({A.Level,
+                            A.Times.Parse + A.Times.GraphBuild +
+                                A.Times.DbImport,
+                            A.Times.Query, A.TimedOut});
+    O.Counters = std::move(R.Counters);
     // The queried graph proper (the paper folds AST/CFG counts into both
     // sides; we report each tool's actual queried graph — see
     // EXPERIMENTS.md for the accounting note).

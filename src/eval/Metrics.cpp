@@ -64,6 +64,15 @@ ClassStats eval::scorePackage(const Package &P,
   return S;
 }
 
+obs::CounterSnapshot
+eval::aggregateCounters(const std::vector<PackageOutcome> &Outcomes) {
+  obs::CounterSnapshot Total;
+  for (const PackageOutcome &O : Outcomes)
+    for (const auto &[Name, Value] : O.Counters)
+      Total[Name] += Value;
+  return Total;
+}
+
 ClassStats eval::scoreDataset(const std::vector<Package> &Packages,
                               const std::vector<PackageOutcome> &Outcomes,
                               VulnType Class, ScorePolicy Policy) {

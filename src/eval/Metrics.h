@@ -24,6 +24,7 @@
 #ifndef GJS_EVAL_METRICS_H
 #define GJS_EVAL_METRICS_H
 
+#include "obs/Counters.h"
 #include "queries/VulnTypes.h"
 #include "workload/Packages.h"
 
@@ -32,6 +33,14 @@
 
 namespace gjs {
 namespace eval {
+
+/// One degradation-ladder attempt's timing (Graph.js only).
+struct AttemptTiming {
+  unsigned Level = 0;      ///< Ladder level (0 = full pipeline).
+  double GraphSeconds = 0; ///< Parse + normalize + build + import.
+  double QuerySeconds = 0;
+  bool TimedOut = false; ///< This attempt hit a deadline/budget.
+};
 
 /// One tool's outcome on one package.
 struct PackageOutcome {
@@ -46,13 +55,27 @@ struct PackageOutcome {
   /// Degradation-ladder level the final (reported) attempt ran at
   /// (Graph.js only; 0 = full pipeline).
   unsigned Degradation = 0;
+  /// Ladder retries taken (Graph.js only).
+  unsigned Retries = 0;
+  /// All timings below sum over *every* ladder attempt — a level-0 attempt
+  /// that burned its whole deadline still shows up in the package's cost
+  /// (the final attempt alone would under-report retried packages).
   double Seconds = 0;       ///< Total analysis wall-clock time.
   double GraphSeconds = 0;  ///< Graph-construction phase.
   double QuerySeconds = 0;  ///< Traversal/query phase.
+  /// Per-attempt breakdown, in ladder order (Graph.js only).
+  std::vector<AttemptTiming> Attempts;
+  /// obs counter deltas over the package (empty unless counters enabled).
+  obs::CounterSnapshot Counters;
   size_t GraphNodes = 0;
   size_t GraphEdges = 0;
   bool GraphBuilt = true;   ///< False when construction timed out.
 };
+
+/// Sums each counter across packages (the harness-level aggregate that
+/// sits next to the Table 6 wall-clock phases).
+obs::CounterSnapshot
+aggregateCounters(const std::vector<PackageOutcome> &Outcomes);
 
 /// Confusion counts for one vulnerability class.
 struct ClassStats {

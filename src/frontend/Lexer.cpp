@@ -6,6 +6,8 @@
 
 #include "frontend/Lexer.h"
 
+#include "obs/Counters.h"
+
 #include <cassert>
 #include <cctype>
 #include <cstdlib>
@@ -618,7 +620,9 @@ std::vector<Token> Lexer::lexAll() {
   std::vector<Token> Tokens;
   while (true) {
     Tokens.push_back(next());
-    if (Tokens.back().Kind == TokenKind::EndOfFile)
+    if (Tokens.back().Kind == TokenKind::EndOfFile) {
+      obs::counters::LexTokens.add(Tokens.size());
       return Tokens;
+    }
   }
 }

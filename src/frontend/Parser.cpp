@@ -7,6 +7,7 @@
 #include "frontend/Parser.h"
 
 #include "frontend/Lexer.h"
+#include "obs/Trace.h"
 #include "support/Deadline.h"
 
 #include <algorithm>
@@ -15,10 +16,12 @@ using namespace gjs;
 using namespace gjs::ast;
 
 Parser::Parser(std::string Source, DiagnosticEngine &Diags,
-               Deadline *ScanDeadline)
-    : Diags(Diags), ScanDeadline(ScanDeadline) {
+               Deadline *ScanDeadline, obs::TraceRecorder *Trace)
+    : Diags(Diags), ScanDeadline(ScanDeadline), Trace(Trace) {
+  obs::Span LexSpan(Trace, "lex");
   Lexer L(std::move(Source), Diags);
   Tokens = L.lexAll();
+  LexSpan.arg("tokens", static_cast<uint64_t>(Tokens.size()));
 }
 
 bool Parser::deadlineExpired() {
@@ -95,6 +98,7 @@ std::string Parser::expectIdentifierLike(const char *Context) {
 }
 
 std::unique_ptr<Program> Parser::parseProgram() {
+  obs::Span AstSpan(Trace, "ast");
   std::vector<StmtPtr> Body;
   while (!check(TokenKind::EndOfFile)) {
     // Cooperative cancellation: stop consuming input once the scan
@@ -1190,7 +1194,8 @@ ExprPtr Parser::parsePrimary() {
 
 std::unique_ptr<Program> gjs::parseJS(const std::string &Source,
                                       DiagnosticEngine &Diags,
-                                      Deadline *ScanDeadline) {
-  Parser P(Source, Diags, ScanDeadline);
+                                      Deadline *ScanDeadline,
+                                      obs::TraceRecorder *Trace) {
+  Parser P(Source, Diags, ScanDeadline, Trace);
   return P.parseProgram();
 }

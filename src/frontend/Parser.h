@@ -30,16 +30,23 @@ namespace gjs {
 
 class Deadline;
 
+namespace obs {
+class TraceRecorder;
+}
+
 /// Parses one JavaScript source buffer into an ast::Program.
 ///
 /// A scan-level Deadline may be attached; the parser checkpoints it per
 /// statement and, on expiry, stops consuming input and returns the partial
 /// program parsed so far (the fault-tolerant runtime's cooperative
 /// cancellation — no phase may run past the per-package budget).
+///
+/// An optional obs::TraceRecorder records "lex" and "ast" child spans (the
+/// two frontend sub-phases of the pipeline trace).
 class Parser {
 public:
   Parser(std::string Source, DiagnosticEngine &Diags,
-         Deadline *ScanDeadline = nullptr);
+         Deadline *ScanDeadline = nullptr, obs::TraceRecorder *Trace = nullptr);
 
   /// Parses the whole buffer. Always returns a Program (possibly partial);
   /// check the diagnostic engine for errors.
@@ -50,6 +57,7 @@ private:
   size_t Cur = 0;
   DiagnosticEngine &Diags;
   Deadline *ScanDeadline = nullptr;
+  obs::TraceRecorder *Trace = nullptr;
 
   /// Checkpoints the scan deadline (one unit per statement). True = stop.
   bool deadlineExpired();
@@ -142,7 +150,8 @@ private:
 /// program is returned.
 std::unique_ptr<ast::Program> parseJS(const std::string &Source,
                                       DiagnosticEngine &Diags,
-                                      Deadline *ScanDeadline = nullptr);
+                                      Deadline *ScanDeadline = nullptr,
+                                      obs::TraceRecorder *Trace = nullptr);
 
 } // namespace gjs
 

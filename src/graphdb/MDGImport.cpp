@@ -6,6 +6,7 @@
 
 #include "graphdb/MDGImport.h"
 
+#include "obs/Counters.h"
 #include "support/Deadline.h"
 
 using namespace gjs;
@@ -37,6 +38,7 @@ ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props,
       P["taint"] = Src.IsTaintSource ? "true" : "false";
       Out.NodeOf.push_back(Out.Graph.addNode("Object", std::move(P)));
     }
+    obs::counters::ImportNodes.add();
   }
 
   for (NodeId N : MDG.nodeIds()) {
@@ -69,6 +71,7 @@ ImportedMDG graphdb::importMDG(const Graph &MDG, const StringInterner &Props,
       }
       Out.Graph.addRel(Out.NodeOf[E.From], Out.NodeOf[E.To], Type,
                        std::move(P));
+      obs::counters::ImportRels.add();
     }
   }
   return Out;

@@ -6,14 +6,202 @@
 
 #include "graphdb/QueryEngine.h"
 
+#include "obs/Counters.h"
 #include "support/Deadline.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <set>
 
 using namespace gjs;
 using namespace gjs::graphdb;
+
+//===----------------------------------------------------------------------===//
+// Plan rendering (EXPLAIN) and the step profiler (PROFILE)
+//===----------------------------------------------------------------------===//
+
+/// Renders a node pattern like `(src:Object {taint: 'true'})`.
+static std::string renderNode(const NodePattern &N) {
+  std::string Out = "(" + N.Var;
+  if (!N.Label.empty())
+    Out += ":" + N.Label;
+  if (!N.Props.empty()) {
+    Out += " {";
+    bool First = true;
+    for (const auto &[Key, Value] : N.Props) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Key + ": '" + Value + "'";
+    }
+    Out += "}";
+  }
+  return Out + ")";
+}
+
+/// Renders a relationship pattern with its *effective* hop bounds under the
+/// engine options (`-[:D|P*0..24]->`): EXPLAIN shows the plan the engine
+/// will actually execute, unbounded segments included.
+static std::string renderRel(const RelPattern &R, const EngineOptions &O) {
+  std::string Mid = "[";
+  Mid += R.Var;
+  if (!R.Types.empty()) {
+    Mid += ":";
+    for (size_t I = 0; I < R.Types.size(); ++I) {
+      if (I)
+        Mid += "|";
+      Mid += R.Types[I];
+    }
+  }
+  if (!R.Props.empty()) {
+    Mid += " {";
+    bool First = true;
+    for (const auto &[Key, Value] : R.Props) {
+      if (!First)
+        Mid += ", ";
+      First = false;
+      Mid += Key + ": '" + Value + "'";
+    }
+    Mid += "}";
+  }
+  if (R.VarLength) {
+    uint32_t Max = R.Unbounded ? O.MaxHops : R.MaxHops;
+    Mid += "*" + std::to_string(R.MinHops) + ".." + std::to_string(Max);
+  }
+  Mid += "]";
+  return R.Reverse ? "<-" + Mid + "-" : "-" + Mid + "->";
+}
+
+std::vector<StepProfile> graphdb::planSteps(const Query &Q,
+                                            const EngineOptions &O) {
+  std::vector<StepProfile> Steps;
+  for (size_t I = 0; I < Q.Matches.size(); ++I) {
+    const MatchItem &M = Q.Matches[I];
+    StepProfile Scan;
+    Scan.Item = I;
+    Scan.Pos = 0;
+    Scan.Desc = "scan " + renderNode(M.Nodes[0]);
+    if (!M.PathVar.empty())
+      Scan.Desc += " [path " + M.PathVar + "]";
+    Steps.push_back(std::move(Scan));
+    for (size_t R = 0; R < M.Rels.size(); ++R) {
+      StepProfile Exp;
+      Exp.Item = I;
+      Exp.Pos = R + 1;
+      Exp.Desc = "expand " + renderRel(M.Rels[R], O) +
+                 renderNode(M.Nodes[R + 1]);
+      Steps.push_back(std::move(Exp));
+    }
+  }
+  return Steps;
+}
+
+std::string graphdb::explainQuery(const Query &Q, const EngineOptions &O) {
+  std::string Out;
+  std::vector<StepProfile> Steps = planSteps(Q, O);
+  size_t Idx = 0;
+  for (const StepProfile &S : Steps) {
+    if (S.Pos == 0 && S.Item > 0)
+      Out += "\n";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "  step %zu: ", Idx++);
+    Out += Buf + S.Desc + "\n";
+  }
+  if (!Q.Where.empty())
+    Out += "  filter: " + std::to_string(Q.Where.size()) +
+           " WHERE condition(s) applied per candidate row\n";
+  if (Q.Distinct)
+    Out += "  distinct: projected rows deduplicated\n";
+  if (Q.Limit)
+    Out += "  limit: " + std::to_string(Q.Limit) + "\n";
+  return Out;
+}
+
+std::string graphdb::renderProfile(const QueryProfile &P) {
+  std::string Out;
+  for (size_t I = 0; I < P.Steps.size(); ++I) {
+    const StepProfile &S = P.Steps[I];
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  step %zu: %-58s candidates=%llu matches=%llu %.3fms\n",
+                  I, S.Desc.c_str(),
+                  static_cast<unsigned long long>(S.Candidates),
+                  static_cast<unsigned long long>(S.Matches),
+                  S.Seconds * 1e3);
+    Out += Buf;
+  }
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "  total: rows=%llu steps=%llu backtracks=%llu %.3fms%s\n",
+                static_cast<unsigned long long>(P.Rows),
+                static_cast<unsigned long long>(P.Work),
+                static_cast<unsigned long long>(P.Backtracks),
+                P.TotalSeconds * 1e3, P.TimedOut ? " (timed out)" : "");
+  Out += Buf;
+  return Out;
+}
+
+/// Per-run profiling context. Exclusive per-step time uses the classic
+/// profiler scheme: a stack of active steps, and every enter/exit attributes
+/// the wall-clock elapsed since the previous transition to the step that
+/// was running.
+struct QueryEngine::Profiler {
+  QueryProfile *Out = nullptr;
+  std::vector<size_t> ItemBase; ///< First step index of each MATCH item.
+  std::vector<size_t> Stack;
+  std::chrono::steady_clock::time_point Last;
+
+  void start(QueryProfile *Profile, const Query &Q, const EngineOptions &O) {
+    Out = Profile;
+    Out->Steps = planSteps(Q, O);
+    ItemBase.clear();
+    size_t Base = 0;
+    for (const MatchItem &M : Q.Matches) {
+      ItemBase.push_back(Base);
+      Base += 1 + M.Rels.size();
+    }
+    Last = std::chrono::steady_clock::now();
+  }
+
+  size_t step(size_t Item, size_t Pos) const { return ItemBase[Item] + Pos; }
+
+  void mark() {
+    auto Now = std::chrono::steady_clock::now();
+    if (!Stack.empty())
+      Out->Steps[Stack.back()].Seconds +=
+          std::chrono::duration<double>(Now - Last).count();
+    Last = Now;
+  }
+
+  void enter(size_t StepIdx) {
+    mark();
+    Stack.push_back(StepIdx);
+  }
+
+  void exit() {
+    mark();
+    Stack.pop_back();
+  }
+
+  void candidate(size_t StepIdx) { ++Out->Steps[StepIdx].Candidates; }
+  void match(size_t StepIdx) { ++Out->Steps[StepIdx].Matches; }
+
+  /// RAII enter/exit of one plan step (no-op without a profiler).
+  struct Scope {
+    Profiler *P;
+    Scope(Profiler *P, size_t Item, size_t Pos) : P(P) {
+      if (P)
+        P->enter(P->step(Item, Pos));
+    }
+    ~Scope() {
+      if (P)
+        P->exit();
+    }
+  };
+};
 
 QueryEngine::QueryEngine(const PropertyGraph &Graph, EngineOptions O)
     : G(Graph), Options(O) {}
@@ -32,8 +220,12 @@ struct QueryEngine::MatchState {
   /// Projected rows already emitted (RETURN DISTINCT).
   std::set<std::vector<std::string>> SeenRows;
   uint64_t Work = 0;
+  uint64_t Bindings = 0;   ///< Candidate variable binds (obs counter).
+  uint64_t Backtracks = 0; ///< Path-element pops during segment walks.
   bool Aborted = false;
   bool RowLimitHit = false;
+  /// Non-null in PROFILE mode only.
+  Profiler *Prof = nullptr;
 };
 
 bool QueryEngine::nodeMatches(NodeHandle H, const NodePattern &Pat) const {
@@ -135,14 +327,21 @@ void QueryEngine::matchItem(const Query &Q, size_t ItemIdx, MatchState &State,
   }
   const MatchItem &M = Q.Matches[ItemIdx];
   const NodePattern &First = M.Nodes[0];
+  Profiler::Scope Step(State.Prof, ItemIdx, 0);
+  const size_t StepIdx = State.Prof ? State.Prof->step(ItemIdx, 0) : 0;
 
   auto StartWith = [&](NodeHandle H) {
+    if (State.Prof)
+      State.Prof->candidate(StepIdx);
     if (!nodeMatches(H, First))
       return;
+    if (State.Prof)
+      State.Prof->match(StepIdx);
     bool Bound = false;
     if (!First.Var.empty() && !State.NodeBindings.count(First.Var)) {
       State.NodeBindings[First.Var] = H;
       Bound = true;
+      ++State.Bindings;
     }
     Path SavedPath = State.CurrentPath;
     State.CurrentPath = Path{{H}, {}};
@@ -196,6 +395,8 @@ void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
   const RelPattern &R = M.Rels[NodeIdx];
   const NodePattern &NextPat = M.Nodes[NodeIdx + 1];
   NodeHandle From = State.CurrentPath.Nodes.back();
+  Profiler::Scope Step(State.Prof, ItemIdx, NodeIdx + 1);
+  const size_t StepIdx = State.Prof ? State.Prof->step(ItemIdx, NodeIdx + 1) : 0;
 
   uint32_t MinHops = R.VarLength ? R.MinHops : 1;
   uint32_t MaxHops =
@@ -221,8 +422,15 @@ void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
       State.Aborted = true;
       return;
     }
+    // Every walked endpoint is one candidate for this step (a `*0..`
+    // segment can accept its start node with no extension at all, so
+    // counting attempted extensions instead would undercount).
+    if (State.Prof)
+      State.Prof->candidate(StepIdx);
     if (Hops >= MinHops && nodeMatches(Cur, NextPat)) {
       // Accept this endpoint; bind the next node pattern variable.
+      if (State.Prof)
+        State.Prof->match(StepIdx);
       bool Bound = false;
       bool Compatible = true;
       if (!NextPat.Var.empty()) {
@@ -232,6 +440,7 @@ void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
         } else {
           State.NodeBindings[NextPat.Var] = Cur;
           Bound = true;
+          ++State.Bindings;
         }
       }
       if (Compatible)
@@ -268,24 +477,47 @@ void QueryEngine::matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,
       Walk(Next, Hops + 1, NextState);
       State.CurrentPath.Nodes.pop_back();
       State.CurrentPath.Rels.pop_back();
+      ++State.Backtracks;
     }
   };
 
   Walk(From, 0, 0);
 }
 
-ResultSet QueryEngine::run(const Query &Q) {
+ResultSet QueryEngine::run(const Query &Q, QueryProfile *Profile) {
   ResultSet Out;
   MatchState State;
+  Profiler Prof;
+  if (Profile) {
+    *Profile = QueryProfile();
+    Prof.start(Profile, Q, Options);
+    State.Prof = &Prof;
+  }
+  auto Start = std::chrono::steady_clock::now();
   matchItem(Q, 0, State, Out);
   Out.TimedOut = State.Aborted;
   Out.Work = State.Work;
+  if (Profile) {
+    Prof.mark();
+    Profile->TotalSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+    Profile->Work = State.Work;
+    Profile->Backtracks = State.Backtracks;
+    Profile->Rows = Out.Rows.size();
+    Profile->TimedOut = Out.TimedOut;
+  }
+  obs::counters::QuerySteps.add(State.Work);
+  obs::counters::QueryBindings.add(State.Bindings);
+  obs::counters::QueryBacktracks.add(State.Backtracks);
+  obs::counters::QueryRows.add(Out.Rows.size());
   return Out;
 }
 
-ResultSet QueryEngine::run(const std::string &QueryText, std::string *Error) {
+ResultSet QueryEngine::run(const std::string &QueryText, std::string *Error,
+                           QueryProfile *Profile) {
   Query Q;
   if (!parseQuery(QueryText, Q, Error))
     return ResultSet();
-  return run(Q);
+  return run(Q, Profile);
 }

@@ -33,6 +33,10 @@ namespace gjs {
 
 class Deadline;
 
+namespace obs {
+class TraceRecorder;
+}
+
 namespace graphdb {
 
 /// A matched path through the graph.
@@ -55,6 +59,33 @@ struct ResultSet {
   uint64_t Work = 0; ///< Matcher steps taken (the engine's cost metric).
 };
 
+/// One step of the compiled pattern plan: either the initial label scan of
+/// a MATCH item (Pos == 0) or the expansion of relationship segment
+/// Pos - 1. This is the unit EXPLAIN prints and PROFILE annotates.
+struct StepProfile {
+  size_t Item = 0; ///< MATCH item index.
+  size_t Pos = 0;  ///< 0 = node scan; k = k-th relationship segment.
+  std::string Desc; ///< Rendered pattern, e.g. "-[:D|P*0..24]->(arg)".
+  uint64_t Candidates = 0; ///< Nodes scanned / extensions attempted.
+  uint64_t Matches = 0;    ///< Candidates that satisfied the pattern.
+  double Seconds = 0;      ///< Exclusive time spent in this step.
+};
+
+/// A profiled query run (`graphjs query --profile`): the §5.4 interpreted-
+/// engine cost model as data — which plan step the matcher steps and the
+/// wall-clock went to.
+struct QueryProfile {
+  std::vector<StepProfile> Steps; ///< Plan order (item-major).
+  double TotalSeconds = 0;
+  uint64_t Work = 0;       ///< Total matcher steps.
+  uint64_t Backtracks = 0; ///< Path-element pops during segment walks.
+  uint64_t Rows = 0;
+  bool TimedOut = false;
+};
+
+/// Renders a profile as an indented text table (one line per step).
+std::string renderProfile(const QueryProfile &P);
+
 /// Evaluator options.
 struct EngineOptions {
   /// Hop cap for unbounded `*..` segments.
@@ -68,7 +99,19 @@ struct EngineOptions {
   /// step; on expiry matching aborts with the rows found so far
   /// (ResultSet::TimedOut is set, as for WorkBudget exhaustion).
   Deadline *ScanDeadline = nullptr;
+  /// Optional span recorder (non-owning, branch-on-null): query-layer
+  /// callers open one span per query under it (see queries::GraphDBRunner).
+  obs::TraceRecorder *Trace = nullptr;
 };
+
+/// Renders the compiled pattern plan of \p Q without executing it
+/// (`graphjs query --explain`): step order, label/property filters, and
+/// variable-length segments with their effective hop bounds under \p O.
+std::string explainQuery(const Query &Q, const EngineOptions &O = {});
+
+/// The plan steps of \p Q in execution order, with rendered descriptors
+/// and zeroed metrics (shared by explain and profile).
+std::vector<StepProfile> planSteps(const Query &Q, const EngineOptions &O);
 
 /// The query engine bound to one graph.
 class QueryEngine {
@@ -92,11 +135,14 @@ public:
   void setPathFold(PathFold Fold) { Fold_ = std::move(Fold); }
 
   /// Parses and runs query text. On parse error, returns an empty set and
-  /// fills \p Error.
-  ResultSet run(const std::string &QueryText, std::string *Error = nullptr);
+  /// fills \p Error. With \p Profile, per-step match counts and times are
+  /// collected (the PROFILE mode — adds per-candidate bookkeeping, so
+  /// leave it null on production scans).
+  ResultSet run(const std::string &QueryText, std::string *Error = nullptr,
+                QueryProfile *Profile = nullptr);
 
-  /// Runs an already-parsed query.
-  ResultSet run(const Query &Q);
+  /// Runs an already-parsed query, optionally profiled.
+  ResultSet run(const Query &Q, QueryProfile *Profile = nullptr);
 
 private:
   const PropertyGraph &G;
@@ -105,6 +151,7 @@ private:
   PathFold Fold_;
 
   struct MatchState;
+  struct Profiler;
   void matchItem(const Query &Q, size_t ItemIdx, MatchState &State,
                  ResultSet &Out);
   void matchChain(const Query &Q, size_t ItemIdx, size_t NodeIdx,

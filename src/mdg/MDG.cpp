@@ -6,6 +6,8 @@
 
 #include "mdg/MDG.h"
 
+#include "obs/Counters.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -42,7 +44,25 @@ NodeId Graph::addNode(NodeKind Kind, uint32_t Site, SourceLocation Loc,
   OutEdges.emplace_back();
   InEdges.emplace_back();
   ++Revision;
+  obs::counters::MdgNodes.add();
   return Id;
+}
+
+/// The per-kind edge counter (build.mdg_edges_*).
+static obs::Counter &edgeCounterOf(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Dep:
+    return obs::counters::MdgEdgeD;
+  case EdgeKind::Prop:
+    return obs::counters::MdgEdgeP;
+  case EdgeKind::PropUnknown:
+    return obs::counters::MdgEdgePU;
+  case EdgeKind::Version:
+    return obs::counters::MdgEdgeV;
+  case EdgeKind::VersionUnknown:
+    return obs::counters::MdgEdgeVU;
+  }
+  return obs::counters::MdgEdgeD;
 }
 
 bool Graph::addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Prop) {
@@ -55,6 +75,7 @@ bool Graph::addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Prop) {
   InEdges[To].push_back(E);
   ++NumEdgesTotal;
   ++Revision;
+  edgeCounterOf(Kind).add();
   return true;
 }
 

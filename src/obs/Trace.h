@@ -1,0 +1,128 @@
+//===- obs/Trace.h - Pipeline span tracing -----------------------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII span tracing for the scan pipeline. A TraceRecorder collects one
+/// tree of timed spans per scan (package → attempt → parse/normalize/
+/// build/import/query → per-file and per-query children), exportable as
+///
+///  - Chrome `trace_event` JSON (load in chrome://tracing or Perfetto) via
+///    `graphjs scan --trace-out <file>`, and
+///  - a compact indented text tree via `graphjs scan --trace`.
+///
+/// The recorder is opt-in and branch-on-null: every instrumentation site
+/// holds a `TraceRecorder *` that is null in production scans, so the
+/// disabled cost is a pointer test. The recorder itself is single-threaded
+/// (one recorder per scan), matching the single-threaded pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_OBS_TRACE_H
+#define GJS_OBS_TRACE_H
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gjs {
+namespace obs {
+
+/// One completed (or still open) span. Spans are stored in begin order,
+/// which is pre-order for the span tree.
+struct SpanRecord {
+  std::string Name;
+  /// Microseconds since the recorder's epoch.
+  double StartUs = 0;
+  /// Microseconds; negative while the span is still open.
+  double DurUs = -1;
+  /// Nesting depth (root spans are 0).
+  unsigned Depth = 0;
+  /// Index of the enclosing span, or npos for roots.
+  size_t Parent = npos;
+  /// Key/value annotations (phase metrics, file names, query names).
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  bool open() const { return DurUs < 0; }
+};
+
+/// Records one tree of timed spans.
+class TraceRecorder {
+public:
+  TraceRecorder() : Epoch(Clock::now()) {}
+
+  /// Opens a span nested under the innermost open span.
+  size_t begin(std::string Name);
+
+  /// Closes \p Id (and, defensively, any span opened after it that was
+  /// never closed — a span must not outlive its parent).
+  void end(size_t Id);
+
+  /// Attaches an annotation to \p Id.
+  void annotate(size_t Id, std::string Key, std::string Value);
+
+  const std::vector<SpanRecord> &spans() const { return Spans; }
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  /// Open spans are exported with their elapsed-so-far duration.
+  std::string toChromeJSON() const;
+
+  /// Compact indented text tree with millisecond durations.
+  std::string toText() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
+        .count();
+  }
+
+  Clock::time_point Epoch;
+  std::vector<SpanRecord> Spans;
+  std::vector<size_t> Open; ///< Indices of currently open spans.
+};
+
+/// RAII span handle. A null recorder makes every operation a no-op, so
+/// instrumentation sites need no conditionals of their own.
+class Span {
+public:
+  Span(TraceRecorder *R, std::string Name) : R(R) {
+    if (R)
+      Id = R->begin(std::move(Name));
+  }
+  ~Span() { close(); }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key/value annotation to this span.
+  void arg(std::string Key, std::string Value) {
+    if (R)
+      R->annotate(Id, std::move(Key), std::move(Value));
+  }
+  void arg(std::string Key, uint64_t Value) {
+    arg(std::move(Key), std::to_string(Value));
+  }
+
+  /// Closes the span early (before destruction).
+  void close() {
+    if (R)
+      R->end(Id);
+    R = nullptr;
+  }
+
+private:
+  TraceRecorder *R;
+  size_t Id = 0;
+};
+
+} // namespace obs
+} // namespace gjs
+
+#endif // GJS_OBS_TRACE_H

@@ -7,6 +7,7 @@
 #include "queries/QueryRunner.h"
 
 #include "graphdb/SchemaLint.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <set>
@@ -122,7 +123,11 @@ GraphDBRunner::detectTaintStyle(VulnType T, const SinkConfig &Config,
     std::string QueryText = instantiate(
         Spec.isPath() ? TaintQueryTemplatePath : TaintQueryTemplateName,
         Spec.Name);
+    obs::Span QSpan(EngineOpts.Trace, std::string(vulnTypeName(T)) + "/" +
+                                          Spec.Name);
     ResultSet R = E.run(QueryText);
+    QSpan.arg("rows", static_cast<uint64_t>(R.Rows.size()));
+    QSpan.arg("work", R.Work);
     if (Stats) {
       Stats->QueryWork += R.Work;
       Stats->TimedOut |= R.TimedOut;
@@ -203,7 +208,11 @@ GraphDBRunner::detectPrototypePollution(DetectStats *Stats) {
   QueryEngine E(Imported.Graph, EngineOpts);
   registerPredicates(E);
 
+  obs::Span QSpan(EngineOpts.Trace, "prototype-pollution");
   ResultSet R = E.run(PollutionQuery);
+  QSpan.arg("rows", static_cast<uint64_t>(R.Rows.size()));
+  QSpan.arg("work", R.Work);
+  QSpan.close();
   if (Stats) {
     Stats->QueryWork += R.Work;
     Stats->TimedOut |= R.TimedOut;
@@ -220,6 +229,26 @@ GraphDBRunner::detectPrototypePollution(DetectStats *Stats) {
       Reports.push_back(std::move(Rep));
   }
   return Reports;
+}
+
+graphdb::ResultSet GraphDBRunner::runQuery(const std::string &Text,
+                                           std::string *Error,
+                                           graphdb::QueryProfile *Profile) {
+  QueryEngine E(Imported.Graph, EngineOpts);
+  registerPredicates(E);
+  return E.run(Text, Error, Profile);
+}
+
+std::vector<std::pair<std::string, graphdb::QueryProfile>>
+GraphDBRunner::profileBuiltins(const SinkConfig &Config) {
+  std::vector<std::pair<std::string, graphdb::QueryProfile>> Out;
+  for (const auto &[Name, Text] : builtinQueries(Config)) {
+    graphdb::QueryProfile P;
+    std::string Error;
+    runQuery(Text, &Error, &P);
+    Out.emplace_back(Name, std::move(P));
+  }
+  return Out;
 }
 
 std::vector<VulnReport> GraphDBRunner::detect(const SinkConfig &Config,

@@ -61,6 +61,19 @@ public:
   std::vector<VulnReport> detectPrototypePollution(DetectStats *Stats =
                                                        nullptr);
 
+  /// Runs arbitrary query text against the imported MDG with the built-in
+  /// path predicates registered (what `graphjs query` executes). With
+  /// \p Profile, per-step PROFILE metrics are collected.
+  graphdb::ResultSet runQuery(const std::string &Text,
+                              std::string *Error = nullptr,
+                              graphdb::QueryProfile *Profile = nullptr);
+
+  /// Profiles every built-in Table 2 query (`graphjs query --profile`
+  /// without an explicit query): (display name, profile) in the
+  /// builtinQueries order.
+  std::vector<std::pair<std::string, graphdb::QueryProfile>>
+  profileBuiltins(const SinkConfig &Config);
+
   /// Access to the imported database (examples / custom queries).
   const graphdb::PropertyGraph &database() const { return Imported.Graph; }
 

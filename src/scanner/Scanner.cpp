@@ -9,6 +9,7 @@
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
 #include "lint/PassManager.h"
+#include "obs/Trace.h"
 #include "support/Deadline.h"
 #include "support/JSON.h"
 #include "support/Timer.h"
@@ -196,9 +197,16 @@ std::string firstErrorMessage(const DiagnosticEngine &Diags) {
 Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
 
 ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
-                               const ScanOptions &Cfg, bool FaultArmed) {
+                               const ScanOptions &Cfg, bool FaultArmed,
+                               unsigned Level) {
   ScanResult Out;
   Timer Phase;
+  obs::TraceRecorder *TR = Cfg.Trace;
+  obs::counters::ScanAttempts.add();
+  obs::Span AttemptSpan(TR, "attempt");
+  AttemptSpan.arg("level", static_cast<uint64_t>(Level));
+  AttemptSpan.arg("backend",
+                  Cfg.Backend == QueryBackend::GraphDB ? "graphdb" : "native");
 
   // One deadline for the whole attempt, threaded through every phase. An
   // inactive budget yields a never-expiring token, which stall faults can
@@ -243,21 +251,32 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // error; the rest of the package is still scanned and linked.
   std::vector<std::string> Stems(Files.size());
   std::vector<std::unique_ptr<ast::Program>> ASTs(Files.size());
-  if (!inject(ScanPhase::Parse)) {
-    for (size_t I = 0; I < Files.size(); ++I) {
-      Stems[I] = stemOf(Files[I].Name);
-      if (D.expired())
-        break; // Remaining files stay unparsed; attributed below.
-      DiagnosticEngine Diags;
-      auto Module = parseJS(Files[I].Contents, Diags, &D);
-      if (Diags.hasErrors()) {
-        Out.Errors.push_back({ScanPhase::Parse, ScanErrorKind::ParseError,
-                              firstErrorMessage(Diags), Files[I].Name});
-        continue;
+  {
+    obs::Span ParseSpan(TR, "parse");
+    if (!inject(ScanPhase::Parse)) {
+      for (size_t I = 0; I < Files.size(); ++I) {
+        Stems[I] = stemOf(Files[I].Name);
+        if (D.expired())
+          break; // Remaining files stay unparsed; attributed below.
+        obs::Span FileSpan(TR, "file");
+        FileSpan.arg("name", Files[I].Name.empty() ? "<source>"
+                                                   : Files[I].Name);
+        DiagnosticEngine Diags;
+        auto Module = parseJS(Files[I].Contents, Diags, &D, TR);
+        if (Diags.hasErrors()) {
+          Out.Errors.push_back({ScanPhase::Parse, ScanErrorKind::ParseError,
+                                firstErrorMessage(Diags), Files[I].Name});
+          FileSpan.arg("error", "parse failed");
+          continue;
+        }
+        size_t Nodes = ast::countNodes(*Module);
+        Out.ASTNodes += Nodes;
+        obs::counters::AstNodes.add(Nodes);
+        FileSpan.arg("ast_nodes", static_cast<uint64_t>(Nodes));
+        ASTs[I] = std::move(Module);
       }
-      Out.ASTNodes += ast::countNodes(*Module);
-      ASTs[I] = std::move(Module);
     }
+    ParseSpan.arg("files", static_cast<uint64_t>(Files.size()));
   }
   noteDeadline(ScanPhase::Parse);
 
@@ -266,23 +285,29 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // single-file form keeps unprefixed names (the documented scanSource
   // behavior tests and examples rely on).
   std::vector<std::unique_ptr<core::Program>> Programs(Files.size());
-  if (!inject(ScanPhase::Normalize) && !D.expired()) {
-    core::StmtIndex NextIndex = 1;
-    bool SingleFile = Files.size() == 1;
-    for (size_t I = 0; I < Files.size(); ++I) {
-      if (!ASTs[I])
-        continue;
-      if (D.expired())
-        break;
-      DiagnosticEngine Diags;
-      core::Normalizer Norm(Diags, SingleFile ? "" : Stems[I] + "$",
-                            NextIndex, &D);
-      Programs[I] = Norm.normalize(*ASTs[I]);
-      NextIndex = Programs[I]->NumIndices + 1;
-      Out.CoreStmts += core::countStmts(Programs[I]->TopLevel);
-      for (const auto &[Name, Fn] : Programs[I]->Functions)
-        Out.CoreStmts += core::countStmts(Fn->Body);
+  {
+    obs::Span NormSpan(TR, "normalize");
+    if (!inject(ScanPhase::Normalize) && !D.expired()) {
+      core::StmtIndex NextIndex = 1;
+      bool SingleFile = Files.size() == 1;
+      for (size_t I = 0; I < Files.size(); ++I) {
+        if (!ASTs[I])
+          continue;
+        if (D.expired())
+          break;
+        DiagnosticEngine Diags;
+        core::Normalizer Norm(Diags, SingleFile ? "" : Stems[I] + "$",
+                              NextIndex, &D);
+        Programs[I] = Norm.normalize(*ASTs[I]);
+        NextIndex = Programs[I]->NumIndices + 1;
+        size_t Stmts = core::countStmts(Programs[I]->TopLevel);
+        for (const auto &[Name, Fn] : Programs[I]->Functions)
+          Stmts += core::countStmts(Fn->Body);
+        Out.CoreStmts += Stmts;
+        obs::counters::CoreStmts.add(Stmts);
+      }
     }
+    NormSpan.arg("core_stmts", static_cast<uint64_t>(Out.CoreStmts));
   }
   noteDeadline(ScanPhase::Normalize);
   Out.Times.Parse = Phase.elapsedSeconds();
@@ -297,30 +322,36 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
 
   analysis::BuildResult Build;
   bool HaveGraph = false;
-  if (!inject(ScanPhase::Build) && !Modules.empty()) {
-    analysis::BuilderOptions BO = Cfg.Builder;
-    BO.ScanDeadline = &D;
-    for (const std::string &Name : Cfg.Sinks.sanitizers())
-      BO.Sanitizers.insert(Name);
-    if (Files.size() == 1) {
-      Build = analysis::buildMDG(*Programs[0], BO);
-    } else {
-      analysis::MDGBuilder Builder(BO);
-      Build = Builder.buildPackage(Modules);
+  {
+    obs::Span BuildSpan(TR, "build");
+    if (!inject(ScanPhase::Build) && !Modules.empty()) {
+      analysis::BuilderOptions BO = Cfg.Builder;
+      BO.ScanDeadline = &D;
+      for (const std::string &Name : Cfg.Sinks.sanitizers())
+        BO.Sanitizers.insert(Name);
+      if (Files.size() == 1) {
+        Build = analysis::buildMDG(*Programs[0], BO);
+      } else {
+        analysis::MDGBuilder Builder(BO);
+        Build = Builder.buildPackage(Modules);
+      }
+      HaveGraph = true;
+      Out.MDGNodes = Build.Graph.numNodes();
+      Out.MDGEdges = Build.Graph.numEdges();
+      Out.BuildWork = Build.WorkDone;
+      BuildSpan.arg("mdg_nodes", static_cast<uint64_t>(Out.MDGNodes));
+      BuildSpan.arg("mdg_edges", static_cast<uint64_t>(Out.MDGEdges));
+      BuildSpan.arg("work", Out.BuildWork);
+      // The builder's own work budget (no shared deadline involved) is a
+      // Build-phase Budget error.
+      if (Build.TimedOut && !D.expired())
+        Out.Errors.push_back({ScanPhase::Build, ScanErrorKind::Budget,
+                              "builder work budget exhausted (work=" +
+                                  std::to_string(Build.WorkDone) + ")",
+                              ""});
+      if (Cfg.SelfCheck)
+        Out.SelfCheckFindings = runSelfCheck(Build);
     }
-    HaveGraph = true;
-    Out.MDGNodes = Build.Graph.numNodes();
-    Out.MDGEdges = Build.Graph.numEdges();
-    Out.BuildWork = Build.WorkDone;
-    // The builder's own work budget (no shared deadline involved) is a
-    // Build-phase Budget error.
-    if (Build.TimedOut && !D.expired())
-      Out.Errors.push_back({ScanPhase::Build, ScanErrorKind::Budget,
-                            "builder work budget exhausted (work=" +
-                                std::to_string(Build.WorkDone) + ")",
-                            ""});
-    if (Cfg.SelfCheck)
-      Out.SelfCheckFindings = runSelfCheck(Build);
   }
   noteDeadline(ScanPhase::Build);
   Out.Times.GraphBuild = Phase.elapsedSeconds();
@@ -338,14 +369,25 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
         Phase.reset();
         graphdb::EngineOptions EO = Cfg.Engine;
         EO.ScanDeadline = &D;
+        EO.Trace = TR;
+        obs::Span ImportSpan(TR, "import");
         queries::GraphDBRunner Runner(Build, EO);
+        ImportSpan.arg("db_nodes",
+                       static_cast<uint64_t>(Runner.database().numNodes()));
+        ImportSpan.arg("db_rels",
+                       static_cast<uint64_t>(Runner.database().numRels()));
+        ImportSpan.close();
         Out.Times.DbImport = Phase.elapsedSeconds();
         noteDeadline(ScanPhase::Import);
 
         if (!inject(ScanPhase::Query)) {
           Phase.reset();
+          obs::Span QuerySpan(TR, "query");
           queries::DetectStats Stats;
           Out.Reports = Runner.detect(Cfg.Sinks, &Stats);
+          QuerySpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
+          QuerySpan.arg("work", Stats.QueryWork);
+          QuerySpan.close();
           Out.Times.Query = Phase.elapsedSeconds();
           Out.QueryWork = Stats.QueryWork;
           noteDeadline(ScanPhase::Query);
@@ -365,18 +407,26 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
       // native traversals, which are bounded by the (partial) graph size.
       if (D.expired() && Out.Reports.empty()) {
         Phase.reset();
+        obs::Span NativeSpan(TR, "native-query");
+        NativeSpan.arg("fallback", "partial-results");
         Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+        NativeSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
+        NativeSpan.close();
         Out.Times.Query += Phase.elapsedSeconds();
       }
     } else if (!inject(ScanPhase::Query)) {
       Phase.reset();
+      obs::Span NativeSpan(TR, "native-query");
       Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+      NativeSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
+      NativeSpan.close();
       Out.Times.Query = Phase.elapsedSeconds();
       noteDeadline(ScanPhase::Query);
     }
   }
 
   Out.DeadlineWork = D.workDone();
+  obs::counters::DeadlineUnits.add(Out.DeadlineWork);
   return Out;
 }
 
@@ -411,21 +461,56 @@ ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
     return Options.Fault && !FaultSpent && Options.Fault->Package == Seq;
   };
 
-  ScanResult Out = runAttempt(Files, Options, Armed());
+  obs::Span PackageSpan(Options.Trace, "package");
+  PackageSpan.arg("files", static_cast<uint64_t>(Files.size()));
+  obs::CounterSnapshot Before;
+  if (obs::countersEnabled())
+    Before = obs::snapshotCounters();
+
+  // AttemptLog keeps every attempt's cost so the timing attribution
+  // survives the ladder (only the final attempt's metrics end up in
+  // Times). TimedOut must reflect the attempt's *own* errors, not the
+  // inherited ones — hence it is captured before the error splice.
+  auto recordOf = [](const ScanResult &R, unsigned Level) {
+    AttemptRecord Rec;
+    Rec.Level = Level;
+    Rec.Times = R.Times;
+    Rec.DeadlineWork = R.DeadlineWork;
+    Rec.TimedOut = R.timedOut();
+    return Rec;
+  };
+
+  ScanResult Out = runAttempt(Files, Options, Armed(), 0);
+  Out.CumulativeTimes = Out.Times;
+  Out.AttemptLog.push_back(recordOf(Out, 0));
 
   // Degradation ladder: a containable failure gets retried with cheaper
   // settings (a fresh deadline each attempt). Errors accumulate across
-  // attempts; the final attempt's reports and metrics win.
+  // attempts; the final attempt's reports and metrics win, but
+  // CumulativeTimes and AttemptLog keep every attempt's cost.
   unsigned Level = 0;
   while (wantsDegradation(Out) && Level < Options.MaxDegradation) {
     ++Level;
-    ScanResult Retry = runAttempt(Files, degrade(Options, Level), Armed());
+    obs::counters::ScanRetries.add();
+    ScanResult Retry = runAttempt(Files, degrade(Options, Level), Armed(),
+                                  Level);
+    AttemptRecord Rec = recordOf(Retry, Level);
     Retry.Errors.insert(Retry.Errors.begin(), Out.Errors.begin(),
                         Out.Errors.end());
     Retry.Attempts = Out.Attempts + 1;
+    Retry.Retries = Level;
     Retry.Degradation = Level;
+    Retry.CumulativeTimes = Out.CumulativeTimes;
+    Retry.CumulativeTimes.accumulate(Retry.Times);
+    Retry.AttemptLog = std::move(Out.AttemptLog);
+    Retry.AttemptLog.push_back(Rec);
     Out = std::move(Retry);
   }
+
+  if (obs::countersEnabled())
+    Out.Counters = obs::counterDelta(Before, obs::snapshotCounters());
+  PackageSpan.arg("attempts", static_cast<uint64_t>(Out.Attempts));
+  PackageSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
   return Out;
 }
 

@@ -39,6 +39,7 @@
 #include "analysis/MDGBuilder.h"
 #include "graphdb/QueryEngine.h"
 #include "lint/Finding.h"
+#include "obs/Counters.h"
 #include "queries/QueryRunner.h"
 #include "queries/SinkConfig.h"
 #include "scanner/ScanError.h"
@@ -46,6 +47,12 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+namespace gjs {
+namespace obs {
+class TraceRecorder;
+}
+} // namespace gjs
 
 namespace gjs {
 namespace scanner {
@@ -105,6 +112,10 @@ struct ScanOptions {
   /// results only). Level 1 switches GraphDB → native traversals; level 2
   /// additionally reduces the builder budget.
   unsigned MaxDegradation = 2;
+  /// Optional span recorder (non-owning, branch-on-null): the scan records
+  /// a package → attempt → phase span tree under it, with per-file and
+  /// per-query children (`graphjs scan --trace` / `--trace-out`).
+  obs::TraceRecorder *Trace = nullptr;
 };
 
 /// Per-phase timing (seconds) — the Table 6 breakdown.
@@ -114,6 +125,24 @@ struct PhaseTimes {
   double DbImport = 0;
   double Query = 0;
   double total() const { return Parse + GraphBuild + DbImport + Query; }
+  void accumulate(const PhaseTimes &O) {
+    Parse += O.Parse;
+    GraphBuild += O.GraphBuild;
+    DbImport += O.DbImport;
+    Query += O.Query;
+  }
+};
+
+/// One degradation-ladder attempt's accounting: which level ran and what it
+/// cost. ScanResult::Times only reflects the *final* attempt, so timing
+/// attribution for a retried package needs this log — a level-0 attempt
+/// that burned the whole deadline building the graph would otherwise
+/// vanish from the books.
+struct AttemptRecord {
+  unsigned Level = 0; ///< Ladder level (0 = full pipeline).
+  PhaseTimes Times;
+  uint64_t DeadlineWork = 0; ///< Deadline units consumed by this attempt.
+  bool TimedOut = false;     ///< This attempt hit a deadline/budget.
 };
 
 /// One scanned file/package result.
@@ -126,7 +155,18 @@ struct ScanResult {
   unsigned Degradation = 0;
   /// Number of pipeline attempts (1 + retries).
   unsigned Attempts = 1;
+  /// Degradation retries taken (Attempts - 1; explicit for journal/eval).
+  unsigned Retries = 0;
+  /// Final attempt only (the Table 6 numbers for the settings that won).
   PhaseTimes Times;
+  /// Every attempt summed — the package's true wall-clock attribution
+  /// under the degradation ladder.
+  PhaseTimes CumulativeTimes;
+  /// Per-attempt accounting, in ladder order.
+  std::vector<AttemptRecord> AttemptLog;
+  /// Counter deltas over the whole package scan, keyed by counter name
+  /// (empty unless obs counters are enabled; see obs/Counters.h).
+  obs::CounterSnapshot Counters;
   /// Graph-size accounting (Table 7). ASTNodes + CoreStmts approximate the
   /// AST/CFG share included for fairness with ODGen's counting.
   size_t MDGNodes = 0;
@@ -191,10 +231,12 @@ private:
   /// One-shot faults: set once the configured fault has fired.
   bool FaultSpent = false;
 
-  /// One pipeline attempt under \p Cfg. \p FaultArmed gates injection for
-  /// this package; the attempt appends to Out.Errors.
+  /// One pipeline attempt under \p Cfg at ladder level \p Level.
+  /// \p FaultArmed gates injection for this package; the attempt appends to
+  /// Out.Errors.
   ScanResult runAttempt(const std::vector<SourceFile> &Files,
-                        const ScanOptions &Cfg, bool FaultArmed);
+                        const ScanOptions &Cfg, bool FaultArmed,
+                        unsigned Level);
 
   /// True when the attempt's errors warrant a cheaper retry.
   static bool wantsDegradation(const ScanResult &R);

@@ -1,0 +1,502 @@
+//===- tests/test_obs.cpp - Observability layer tests ----------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The observability surface: RAII span tracing (nesting, annotations,
+// Chrome trace_event export), the process-wide counter registry
+// (enable/disable gate, snapshots, per-package deltas), the query
+// profiler (EXPLAIN plans, PROFILE step metrics), per-attempt timing
+// attribution under the degradation ladder, and the `graphjs scan
+// --trace-out` / `graphjs query --explain/--profile` CLI round trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MDGBuilder.h"
+#include "core/Normalizer.h"
+#include "eval/Metrics.h"
+#include "graphdb/QueryEngine.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+#include "queries/QueryRunner.h"
+#include "scanner/Scanner.h"
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace gjs;
+using obs::Span;
+using obs::SpanRecord;
+using obs::TraceRecorder;
+
+namespace {
+
+/// A small package with one clear CWE-78 (tainted exported parameter into
+/// child_process.exec) — enough to drive every pipeline phase.
+const char *VulnSource =
+    "var cp = require('child_process');\n"
+    "function run(cmd, cb) {\n"
+    "  var prefixed = 'git ' + cmd;\n"
+    "  cp.exec(prefixed, cb);\n"
+    "}\n"
+    "module.exports = run;\n";
+
+/// RAII guard: forces the global counter gate for one test and restores
+/// the previous state afterwards (tests must not leak gate changes).
+class CounterGate {
+public:
+  explicit CounterGate(bool On) : Prev(obs::setCountersEnabled(On)) {}
+  ~CounterGate() { obs::setCountersEnabled(Prev); }
+
+private:
+  bool Prev;
+};
+
+std::set<std::string> spanNames(const TraceRecorder &TR) {
+  std::set<std::string> Names;
+  for (const SpanRecord &S : TR.spans())
+    Names.insert(S.Name);
+  return Names;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Span tracing
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, SpansNestInPreOrderWithDepthsAndParents) {
+  TraceRecorder TR;
+  {
+    Span Root(&TR, "package");
+    {
+      Span Parse(&TR, "parse");
+      { Span File(&TR, "file"); }
+    }
+    { Span Query(&TR, "query"); }
+  }
+  const auto &S = TR.spans();
+  ASSERT_EQ(S.size(), 4u);
+  // Stored in begin order == pre-order of the tree.
+  EXPECT_EQ(S[0].Name, "package");
+  EXPECT_EQ(S[1].Name, "parse");
+  EXPECT_EQ(S[2].Name, "file");
+  EXPECT_EQ(S[3].Name, "query");
+  EXPECT_EQ(S[0].Depth, 0u);
+  EXPECT_EQ(S[1].Depth, 1u);
+  EXPECT_EQ(S[2].Depth, 2u);
+  EXPECT_EQ(S[3].Depth, 1u);
+  EXPECT_EQ(S[0].Parent, SpanRecord::npos);
+  EXPECT_EQ(S[1].Parent, 0u);
+  EXPECT_EQ(S[2].Parent, 1u);
+  EXPECT_EQ(S[3].Parent, 0u);
+  for (const SpanRecord &R : S) {
+    EXPECT_FALSE(R.open()) << R.Name;
+    EXPECT_GE(R.DurUs, 0.0) << R.Name;
+  }
+  // A child cannot start before or end after its parent.
+  EXPECT_GE(S[1].StartUs, S[0].StartUs);
+  EXPECT_LE(S[1].StartUs + S[1].DurUs, S[0].StartUs + S[0].DurUs + 1e-6);
+}
+
+TEST(TraceTest, AnnotationsAttachToTheirSpan) {
+  TraceRecorder TR;
+  {
+    Span S(&TR, "build");
+    S.arg("mdg_nodes", uint64_t(42));
+    S.arg("backend", std::string("graphdb"));
+  }
+  ASSERT_EQ(TR.spans().size(), 1u);
+  const auto &Args = TR.spans()[0].Args;
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_EQ(Args[0].first, "mdg_nodes");
+  EXPECT_EQ(Args[0].second, "42");
+  EXPECT_EQ(Args[1].first, "backend");
+  EXPECT_EQ(Args[1].second, "graphdb");
+}
+
+TEST(TraceTest, NullRecorderMakesSpansNoOps) {
+  Span S(nullptr, "anything");
+  S.arg("k", std::string("v"));
+  S.arg("n", uint64_t(7));
+  S.close();
+  // Nothing to assert beyond "does not crash": the branch-on-null contract.
+}
+
+TEST(TraceTest, EndClosesAbandonedChildrenDefensively) {
+  TraceRecorder TR;
+  size_t Outer = TR.begin("outer");
+  TR.begin("inner-never-closed");
+  TR.end(Outer);
+  ASSERT_EQ(TR.spans().size(), 2u);
+  EXPECT_FALSE(TR.spans()[0].open());
+  EXPECT_FALSE(TR.spans()[1].open()) << "ending a span must close children";
+}
+
+TEST(TraceTest, ChromeJSONIsWellFormedCompleteEvents) {
+  TraceRecorder TR;
+  {
+    Span Root(&TR, "package");
+    Span Child(&TR, "parse");
+    Child.arg("files", uint64_t(1));
+  }
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(TR.toChromeJSON(), V, &Error)) << Error;
+  ASSERT_TRUE(V.isObject());
+  const json::Object &Root = V.asObject();
+  ASSERT_TRUE(Root.count("traceEvents"));
+  const json::Array &Events = Root.at("traceEvents").asArray();
+  ASSERT_EQ(Events.size(), 2u);
+  std::set<std::string> Names;
+  for (const json::Value &E : Events) {
+    const json::Object &O = E.asObject();
+    EXPECT_EQ(O.at("ph").asString(), "X");
+    EXPECT_TRUE(O.count("name"));
+    EXPECT_TRUE(O.count("ts"));
+    EXPECT_TRUE(O.count("dur"));
+    Names.insert(O.at("name").asString());
+  }
+  EXPECT_TRUE(Names.count("package"));
+  EXPECT_TRUE(Names.count("parse"));
+}
+
+TEST(TraceTest, TextTreeIndentsChildrenUnderParents) {
+  TraceRecorder TR;
+  {
+    Span Root(&TR, "package");
+    Span Child(&TR, "build");
+  }
+  std::string Text = TR.toText();
+  size_t PackageAt = Text.find("package");
+  size_t BuildAt = Text.find("build");
+  ASSERT_NE(PackageAt, std::string::npos);
+  ASSERT_NE(BuildAt, std::string::npos);
+  EXPECT_LT(PackageAt, BuildAt) << "pre-order rendering";
+}
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+TEST(CounterTest, DisabledAddsAreDropped) {
+  CounterGate Gate(false);
+  uint64_t Before = obs::counters::LexTokens.value();
+  obs::counters::LexTokens.add(100);
+  EXPECT_EQ(obs::counters::LexTokens.value(), Before);
+}
+
+TEST(CounterTest, EnabledAddsAccumulateAndResetClears) {
+  CounterGate Gate(true);
+  obs::resetCounters();
+  obs::counters::MdgNodes.add(3);
+  obs::counters::MdgNodes.add();
+  EXPECT_EQ(obs::counters::MdgNodes.value(), 4u);
+  obs::resetCounters();
+  EXPECT_EQ(obs::counters::MdgNodes.value(), 0u);
+}
+
+TEST(CounterTest, SnapshotCoversTheWiredCatalog) {
+  obs::CounterSnapshot Snap = obs::snapshotCounters();
+  for (const char *Name :
+       {"lex.tokens", "parse.ast_nodes", "normalize.core_stmts",
+        "build.mdg_nodes", "import.nodes", "query.steps", "query.rows",
+        "deadline.units", "scan.attempts", "scan.retries"})
+    EXPECT_TRUE(Snap.count(Name)) << Name;
+}
+
+TEST(CounterTest, AggregateCountersSumsAcrossOutcomes) {
+  eval::PackageOutcome A, B;
+  A.Counters = {{"query.steps", 10}, {"build.mdg_nodes", 3}};
+  B.Counters = {{"query.steps", 5}};
+  obs::CounterSnapshot Total = eval::aggregateCounters({A, B});
+  EXPECT_EQ(Total.at("query.steps"), 15u);
+  EXPECT_EQ(Total.at("build.mdg_nodes"), 3u);
+}
+
+TEST(CounterTest, DeltaDropsZeroAndReportsChanges) {
+  CounterGate Gate(true);
+  obs::resetCounters();
+  obs::CounterSnapshot Before = obs::snapshotCounters();
+  obs::counters::QueryRows.add(5);
+  obs::CounterSnapshot Delta =
+      obs::counterDelta(Before, obs::snapshotCounters());
+  ASSERT_EQ(Delta.size(), 1u);
+  EXPECT_EQ(Delta.at("query.rows"), 5u);
+}
+
+// The zero-overhead-when-disabled contract: a disabled add must cost no
+// more than a relaxed load plus a branch. The guard is deliberately
+// generous (slow CI, sanitizers) — it exists to catch the gate being
+// accidentally removed (e.g. an unconditional fetch_add), which is an
+// order-of-magnitude regression, not a few percent.
+TEST(CounterTest, DisabledAddsHaveNegligibleCost) {
+  constexpr int N = 2000000;
+  using Clock = std::chrono::steady_clock;
+
+  CounterGate Gate(false);
+  auto T0 = Clock::now();
+  for (int I = 0; I < N; ++I)
+    obs::counters::DeadlineUnits.add();
+  double DisabledMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+
+  obs::setCountersEnabled(true);
+  T0 = Clock::now();
+  for (int I = 0; I < N; ++I)
+    obs::counters::DeadlineUnits.add();
+  double EnabledMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  obs::counters::DeadlineUnits.reset();
+
+  // Disabled must not be substantially slower than enabled, and must be
+  // fast in absolute terms (~1ns/add expected; allow 100x headroom).
+  EXPECT_LT(DisabledMs, EnabledMs * 3 + 50.0);
+  EXPECT_LT(DisabledMs, 200.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: spans + per-package counters from a real scan
+//===----------------------------------------------------------------------===//
+
+TEST(ScanObsTest, ScanPackageCoversEveryPipelinePhase) {
+  TraceRecorder TR;
+  scanner::ScanOptions O;
+  O.Trace = &TR;
+  scanner::Scanner S(O);
+  scanner::ScanResult R = S.scanPackage({{"index.js", VulnSource}});
+  ASSERT_FALSE(R.Reports.empty());
+
+  std::set<std::string> Names = spanNames(TR);
+  for (const char *Phase : {"package", "attempt", "parse", "file", "lex",
+                            "ast", "normalize", "build", "import", "query"})
+    EXPECT_TRUE(Names.count(Phase)) << "missing span: " << Phase;
+
+  // The package span is the root and encloses everything else.
+  const auto &Spans = TR.spans();
+  ASSERT_FALSE(Spans.empty());
+  EXPECT_EQ(Spans[0].Name, "package");
+  EXPECT_EQ(Spans[0].Depth, 0u);
+  for (size_t I = 1; I < Spans.size(); ++I)
+    EXPECT_GT(Spans[I].Depth, 0u) << Spans[I].Name;
+}
+
+TEST(ScanObsTest, NativeBackendTracesNativeQuerySpan) {
+  TraceRecorder TR;
+  scanner::ScanOptions O;
+  O.Trace = &TR;
+  O.Backend = scanner::QueryBackend::Native;
+  scanner::Scanner S(O);
+  S.scanPackage({{"index.js", VulnSource}});
+  EXPECT_TRUE(spanNames(TR).count("native-query"));
+  EXPECT_FALSE(spanNames(TR).count("import"))
+      << "native backend must skip the graph-database import";
+}
+
+TEST(ScanObsTest, ScanResultCarriesPerPackageCounterDeltas) {
+  CounterGate Gate(true);
+  scanner::Scanner S;
+  scanner::ScanResult R = S.scanPackage({{"index.js", VulnSource}});
+  ASSERT_FALSE(R.Counters.empty());
+  EXPECT_GT(R.Counters.at("lex.tokens"), 0u);
+  EXPECT_GT(R.Counters.at("build.mdg_nodes"), 0u);
+  EXPECT_GT(R.Counters.at("import.nodes"), 0u);
+  EXPECT_GT(R.Counters.at("query.steps"), 0u);
+  EXPECT_EQ(R.Counters.at("scan.attempts"), 1u);
+
+  // A second package must report its own deltas, not the running totals.
+  scanner::ScanResult R2 = S.scanPackage({{"index.js", VulnSource}});
+  EXPECT_EQ(R2.Counters.at("lex.tokens"), R.Counters.at("lex.tokens"));
+}
+
+TEST(ScanObsTest, CountersDisabledLeavesResultEmpty) {
+  CounterGate Gate(false);
+  scanner::Scanner S;
+  scanner::ScanResult R = S.scanPackage({{"index.js", VulnSource}});
+  EXPECT_TRUE(R.Counters.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Per-attempt timing attribution under the degradation ladder
+//===----------------------------------------------------------------------===//
+
+TEST(AttemptLogTest, RetriedPackageAccountsEveryAttempt) {
+  scanner::ScanOptions O;
+  scanner::FaultPlan Fault;
+  ASSERT_TRUE(scanner::FaultPlan::parse("build:fail:0", Fault));
+  O.Fault = Fault;
+  scanner::Scanner S(O);
+  scanner::ScanResult R = S.scanPackage({{"index.js", VulnSource}});
+
+  // The one-shot fault fails attempt 0 and the ladder retries with
+  // cheaper settings; every attempt must be in the log, in level order.
+  EXPECT_GE(R.Attempts, 2u);
+  EXPECT_EQ(R.Retries, R.Attempts - 1);
+  ASSERT_EQ(R.AttemptLog.size(), R.Attempts);
+  for (size_t I = 0; I < R.AttemptLog.size(); ++I)
+    EXPECT_EQ(R.AttemptLog[I].Level, I);
+  EXPECT_FALSE(R.Reports.empty()) << "the retry must still find the vuln";
+
+  // CumulativeTimes sums every attempt; Times is the final attempt only.
+  double LogTotal = 0;
+  for (const scanner::AttemptRecord &A : R.AttemptLog)
+    LogTotal += A.Times.total();
+  EXPECT_NEAR(R.CumulativeTimes.total(), LogTotal, 1e-9);
+  EXPECT_GE(R.CumulativeTimes.total(), R.Times.total());
+}
+
+TEST(AttemptLogTest, SingleAttemptLogMatchesFinalTimes) {
+  scanner::Scanner S;
+  scanner::ScanResult R = S.scanPackage({{"index.js", VulnSource}});
+  EXPECT_EQ(R.Attempts, 1u);
+  EXPECT_EQ(R.Retries, 0u);
+  ASSERT_EQ(R.AttemptLog.size(), 1u);
+  EXPECT_NEAR(R.CumulativeTimes.total(), R.Times.total(), 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Query profiler: EXPLAIN and PROFILE
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+analysis::BuildResult buildFromSource(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Program = core::normalizeJS(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  return analysis::buildMDG(*Program);
+}
+
+} // namespace
+
+TEST(ProfilerTest, ExplainRendersEveryPlanStepWithoutExecuting) {
+  auto Builtins =
+      queries::GraphDBRunner::builtinQueries(queries::SinkConfig::defaults());
+  ASSERT_GE(Builtins.size(), 4u);
+  for (const auto &[Name, Text] : Builtins) {
+    graphdb::Query Q;
+    std::string Error;
+    ASSERT_TRUE(graphdb::parseQuery(Text, Q, &Error)) << Name << ": " << Error;
+    std::string Plan = graphdb::explainQuery(Q);
+    EXPECT_NE(Plan.find("step 0: scan"), std::string::npos) << Name;
+    EXPECT_NE(Plan.find("expand"), std::string::npos) << Name;
+  }
+}
+
+TEST(ProfilerTest, ProfileAnnotatesStepsWithCandidatesMatchesAndTime) {
+  analysis::BuildResult Build = buildFromSource(VulnSource);
+  queries::GraphDBRunner Runner(Build);
+  auto Profiles = Runner.profileBuiltins(queries::SinkConfig::defaults());
+  ASSERT_GE(Profiles.size(), 4u);
+
+  size_t QueriesWithRows = 0;
+  for (const auto &[Name, P] : Profiles) {
+    ASSERT_FALSE(P.Steps.empty()) << Name;
+    EXPECT_EQ(P.Steps[0].Pos, 0u) << Name << ": plan starts with a scan";
+    for (const graphdb::StepProfile &Step : P.Steps) {
+      EXPECT_GE(Step.Candidates, Step.Matches) << Name << " " << Step.Desc;
+      EXPECT_GE(Step.Seconds, 0.0) << Name;
+      EXPECT_FALSE(Step.Desc.empty()) << Name;
+    }
+    EXPECT_GE(P.TotalSeconds, 0.0);
+    QueriesWithRows += P.Rows > 0;
+  }
+  EXPECT_GE(QueriesWithRows, 1u) << "the CWE-78 fixture must match something";
+}
+
+TEST(ProfilerTest, ProfiledRunReturnsSameRowsAsUnprofiled) {
+  analysis::BuildResult Build = buildFromSource(VulnSource);
+  queries::GraphDBRunner Runner(Build);
+  auto Builtins =
+      queries::GraphDBRunner::builtinQueries(queries::SinkConfig::defaults());
+  for (const auto &[Name, Text] : Builtins) {
+    std::string Error;
+    graphdb::QueryProfile P;
+    graphdb::ResultSet Plain = Runner.runQuery(Text, &Error);
+    ASSERT_TRUE(Error.empty()) << Name << ": " << Error;
+    graphdb::ResultSet Profiled = Runner.runQuery(Text, &Error, &P);
+    ASSERT_TRUE(Error.empty()) << Name << ": " << Error;
+    EXPECT_EQ(Plain.Rows.size(), Profiled.Rows.size()) << Name;
+    EXPECT_EQ(P.Rows, Profiled.Rows.size()) << Name;
+    EXPECT_EQ(P.Work, Profiled.Work) << Name;
+  }
+}
+
+TEST(ProfilerTest, RenderProfileListsStepsAndTotals) {
+  analysis::BuildResult Build = buildFromSource(VulnSource);
+  queries::GraphDBRunner Runner(Build);
+  auto Profiles = Runner.profileBuiltins(queries::SinkConfig::defaults());
+  ASSERT_FALSE(Profiles.empty());
+  std::string Text = graphdb::renderProfile(Profiles[0].second);
+  EXPECT_NE(Text.find("candidates="), std::string::npos);
+  EXPECT_NE(Text.find("matches="), std::string::npos);
+  EXPECT_NE(Text.find("total:"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI round trips
+//===----------------------------------------------------------------------===//
+
+#if defined(GRAPHJS_BIN) && defined(GJS_EXAMPLES_JS_DIR)
+
+TEST(ObsCLITest, ScanTraceOutWritesChromeLoadableJSON) {
+  std::string TracePath = ::testing::TempDir() + "gjs_obs_trace.json";
+  std::remove(TracePath.c_str());
+  std::string Cmd = std::string(GRAPHJS_BIN) + " scan --trace-out " +
+                    TracePath + " " + GJS_EXAMPLES_JS_DIR +
+                    "/clean_utils.js > /dev/null 2>&1";
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(slurp(TracePath), V, &Error)) << Error;
+  const json::Array &Events = V.asObject().at("traceEvents").asArray();
+  std::set<std::string> Names;
+  for (const json::Value &E : Events)
+    Names.insert(E.asObject().at("name").asString());
+  for (const char *Phase :
+       {"lex", "parse", "normalize", "build", "import", "query"})
+    EXPECT_TRUE(Names.count(Phase)) << "missing phase in trace: " << Phase;
+}
+
+TEST(ObsCLITest, QueryExplainPrintsBuiltinPlans) {
+  std::string Out = ::testing::TempDir() + "gjs_obs_explain.txt";
+  std::string Cmd = std::string(GRAPHJS_BIN) + " query --explain > " + Out +
+                    " 2>/dev/null";
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  std::string Text = slurp(Out);
+  EXPECT_NE(Text.find("step 0: scan"), std::string::npos);
+  EXPECT_NE(Text.find("command-injection"), std::string::npos);
+  EXPECT_NE(Text.find("prototype-pollution"), std::string::npos);
+}
+
+TEST(ObsCLITest, QueryProfileReportsStepMetricsOnExample) {
+  std::string Out = ::testing::TempDir() + "gjs_obs_profile.txt";
+  std::string Cmd = std::string(GRAPHJS_BIN) + " query --profile " +
+                    GJS_EXAMPLES_JS_DIR + "/figure1.js > " + Out +
+                    " 2>/dev/null";
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  std::string Text = slurp(Out);
+  EXPECT_NE(Text.find("candidates="), std::string::npos);
+  EXPECT_NE(Text.find("matches="), std::string::npos);
+  // All four vulnerability classes are profiled.
+  for (const char *Class : {"command-injection", "code-injection",
+                            "path-traversal", "prototype-pollution"})
+    EXPECT_NE(Text.find(Class), std::string::npos) << Class;
+}
+
+#endif // GRAPHJS_BIN && GJS_EXAMPLES_JS_DIR

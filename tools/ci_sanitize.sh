@@ -23,4 +23,9 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # exception unwinding in the driver).
 "$BUILD_DIR/tests/test_faults"
 
+# The observability suite next: span tracing, the counter registry
+# (relaxed atomics — TSan-adjacent patterns ASan/UBSan still vet), the
+# query profiler, and the --trace/--explain/--profile CLI round trips.
+"$BUILD_DIR/tests/test_obs"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -44,6 +44,8 @@
 #include "graphdb/QueryEngine.h"
 #include "graphdb/SchemaLint.h"
 #include "lint/PassManager.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 #include "queries/QueryRunner.h"
 #include "scanner/Scanner.h"
 #include "scanner/WitnessReplay.h"
@@ -67,14 +69,37 @@ int usage() {
       stderr,
       "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
       "                    [--dump-core] [--dump-mdg] [--summary]\n"
-      "                    [--self-check] <file.js>...\n"
-      "       graphjs query '<MATCH ... RETURN ...>' <file.js>...\n"
+      "                    [--self-check] [--trace] [--trace-out t.json]\n"
+      "                    <file.js>...\n"
+      "       graphjs query [--explain] [--profile] [--builtin]\n"
+      "                     ['<MATCH ... RETURN ...>'] <file.js>...\n"
       "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n"
-      "       graphjs batch [--journal out.jsonl] [--resume]\n"
+      "       graphjs batch [--journal out.jsonl] [--resume] [--stats]\n"
       "                     [--deadline-ms n] [--work n] [--max n]\n"
       "                     [--max-degradation n] [--inject-fault spec]\n"
       "                     [--native] [--summary] <dir|list.txt|file.js>...\n");
   return 2;
+}
+
+/// Prints the nonzero obs counters (the `--trace` counter dump).
+void dumpCounters(FILE *To) {
+  obs::CounterSnapshot Snap = obs::snapshotCounters();
+  std::fprintf(To, "counters:\n");
+  for (const auto &[Name, Value] : Snap)
+    if (Value)
+      std::fprintf(To, "  %-24s %llu\n", Name.c_str(),
+                   static_cast<unsigned long long>(Value));
+}
+
+/// Writes the recorder's Chrome trace_event JSON to \p Path.
+bool writeTrace(const obs::TraceRecorder &TR, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", Path.c_str());
+    return false;
+  }
+  Out << TR.toChromeJSON() << '\n';
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -89,7 +114,8 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
             bool DumpCore, bool DumpMDG, bool DumpDot, bool Summary,
-            bool SelfCheck, const std::string &SinksFile) {
+            bool SelfCheck, const std::string &SinksFile,
+            obs::TraceRecorder *TR) {
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
   if (!SinksFile.empty()) {
     std::string Text;
@@ -126,8 +152,25 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       return 1;
     }
 
+    obs::Span FileSpan(TR, "file");
+    FileSpan.arg("name", Path);
+
+    // The pipeline phases are explicit here (rather than the normalizeJS
+    // convenience wrapper) so each gets its own trace span.
     DiagnosticEngine Diags;
-    auto Program = core::normalizeJS(Source, Diags);
+    obs::Span ParseSpan(TR, "parse");
+    auto Module = parseJS(Source, Diags, nullptr, TR);
+    ParseSpan.close();
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
+                   Diags.str().c_str());
+      ExitCode = 1;
+      continue;
+    }
+    obs::Span NormSpan(TR, "normalize");
+    core::Normalizer Norm(Diags);
+    auto Program = Norm.normalize(*Module);
+    NormSpan.close();
     if (Diags.hasErrors()) {
       std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
                    Diags.str().c_str());
@@ -138,7 +181,11 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       std::printf("== %s: Core JavaScript ==\n%s\n", Path.c_str(),
                   core::dump(*Program).c_str());
 
+    obs::Span BuildSpan(TR, "build");
     analysis::BuildResult Build = analysis::buildMDG(*Program);
+    BuildSpan.arg("mdg_nodes", static_cast<uint64_t>(Build.Graph.numNodes()));
+    BuildSpan.arg("mdg_edges", static_cast<uint64_t>(Build.Graph.numEdges()));
+    BuildSpan.close();
     if (SelfCheck) {
       lint::PassManager PM;
       PM.addPass(lint::createMDGCheckPass());
@@ -160,10 +207,18 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
 
     std::vector<queries::VulnReport> Reports;
     if (Native) {
+      obs::Span NativeSpan(TR, "native-query");
       Reports = queries::detectNative(Build, Sinks);
+      NativeSpan.arg("reports", static_cast<uint64_t>(Reports.size()));
     } else {
-      queries::GraphDBRunner Runner(Build);
+      graphdb::EngineOptions EO;
+      EO.Trace = TR;
+      obs::Span ImportSpan(TR, "import");
+      queries::GraphDBRunner Runner(Build, EO);
+      ImportSpan.close();
+      obs::Span QuerySpan(TR, "query");
       Reports = Runner.detect(Sinks);
+      QuerySpan.arg("reports", static_cast<uint64_t>(Reports.size()));
     }
 
     std::vector<std::string> Witnesses(Reports.size());
@@ -218,9 +273,10 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
 /// resolve across files).
 int runPackageScan(const std::vector<std::string> &Files, bool Native,
                    bool Summary, bool SelfCheck,
-                   const std::string &SinksFile) {
+                   const std::string &SinksFile, obs::TraceRecorder *TR) {
   scanner::ScanOptions O;
   O.SelfCheck = SelfCheck;
+  O.Trace = TR;
   if (!SinksFile.empty()) {
     std::string Text;
     queries::SinkConfig Custom;
@@ -343,7 +399,7 @@ bool collectBatchInputs(const std::string &Arg,
 }
 
 int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
-             bool Summary) {
+             bool Summary, bool Stats) {
   std::vector<driver::BatchInput> Inputs;
   for (const std::string &Arg : Args)
     if (!collectBatchInputs(Arg, Inputs))
@@ -376,11 +432,13 @@ int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
                 "%zu resumed, %zu report(s)\n",
                 S.Scanned, S.Ok, S.Degraded, S.Failed, S.SkippedResumed,
                 S.TotalReports);
-  } else {
+  } else if (!Stats) {
     for (const driver::BatchOutcome &Outcome : S.Outcomes)
       if (!Outcome.Skipped)
         std::printf("%s\n", driver::BatchDriver::journalLine(Outcome).c_str());
   }
+  if (Stats)
+    std::printf("%s", driver::batchStatsText(S).c_str());
   return S.Failed ? 1 : 0;
 }
 
@@ -428,20 +486,55 @@ int runLint(const std::vector<std::string> &Files, bool Summary,
   return ExitCode;
 }
 
-int runQuery(const std::string &QueryText,
-             const std::vector<std::string> &Files) {
-  // Pre-lint the ad-hoc query against the import schema: a typo'd label or
-  // relationship type would otherwise just return zero rows.
-  bool SchemaError = false;
-  for (const graphdb::SchemaIssue &Issue :
-       graphdb::lintQueryText(QueryText, graphdb::mdgSchema())) {
-    std::fprintf(stderr, "query %s: %s\n",
-                 Issue.Severity == DiagSeverity::Error ? "error" : "warning",
-                 Issue.str().c_str());
-    SchemaError |= Issue.Severity == DiagSeverity::Error;
+int runQuery(const std::string &QueryText, bool Builtin, bool Explain,
+             bool Profile, const std::vector<std::string> &Files) {
+  // The query set: the given text, or every built-in Table 2 query.
+  std::vector<std::pair<std::string, std::string>> Queries;
+  if (Builtin || QueryText.empty()) {
+    Queries =
+        queries::GraphDBRunner::builtinQueries(queries::SinkConfig::defaults());
+  } else {
+    Queries.emplace_back("query", QueryText);
   }
-  if (SchemaError)
-    return 2;
+
+  // Pre-lint ad-hoc query text against the import schema: a typo'd label or
+  // relationship type would otherwise just return zero rows. (Built-ins are
+  // validated by their own tests and by `graphjs lint`.)
+  if (!QueryText.empty()) {
+    bool SchemaError = false;
+    for (const graphdb::SchemaIssue &Issue :
+         graphdb::lintQueryText(QueryText, graphdb::mdgSchema())) {
+      std::fprintf(stderr, "query %s: %s\n",
+                   Issue.Severity == DiagSeverity::Error ? "error" : "warning",
+                   Issue.str().c_str());
+      SchemaError |= Issue.Severity == DiagSeverity::Error;
+    }
+    if (SchemaError)
+      return 2;
+  }
+
+  // EXPLAIN never executes: print the compiled plan and stop (no input
+  // files required — the plan depends only on the query and the hop cap).
+  if (Explain) {
+    for (const auto &[Name, Text] : Queries) {
+      graphdb::Query Q;
+      std::string Error;
+      if (!graphdb::parseQuery(Text, Q, &Error)) {
+        std::fprintf(stderr, "query error (%s): %s\n", Name.c_str(),
+                     Error.c_str());
+        return 2;
+      }
+      std::printf("== %s ==\n%s", Name.c_str(),
+                  graphdb::explainQuery(Q).c_str());
+    }
+    if (!Profile && Files.empty())
+      return 0;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no input files\n");
+    return usage();
+  }
+
   for (const std::string &Path : Files) {
     std::string Source;
     if (!readFile(Path, Source)) {
@@ -455,19 +548,30 @@ int runQuery(const std::string &QueryText,
       return 1;
     }
     analysis::BuildResult Build = analysis::buildMDG(*Program);
+    // Through GraphDBRunner so the built-in path predicates (untainted)
+    // and the planner fold are registered, exactly as in a scan.
     queries::GraphDBRunner Runner(Build);
-    graphdb::QueryEngine Engine(Runner.database());
-    std::string Error;
-    graphdb::ResultSet RS = Engine.run(QueryText, &Error);
-    if (!Error.empty()) {
-      std::fprintf(stderr, "query error: %s\n", Error.c_str());
-      return 2;
-    }
-    std::printf("== %s: %zu row(s) ==\n", Path.c_str(), RS.Rows.size());
-    for (const graphdb::ResultRow &Row : RS.Rows) {
-      for (size_t I = 0; I < Row.Values.size(); ++I)
-        std::printf("%s%s", I ? " | " : "  ", Row.Values[I].c_str());
-      std::printf("\n");
+    for (const auto &[Name, Text] : Queries) {
+      std::string Error;
+      graphdb::QueryProfile QP;
+      graphdb::ResultSet RS =
+          Runner.runQuery(Text, &Error, Profile ? &QP : nullptr);
+      if (!Error.empty()) {
+        std::fprintf(stderr, "query error (%s): %s\n", Name.c_str(),
+                     Error.c_str());
+        return 2;
+      }
+      std::printf("== %s: %s: %zu row(s) ==\n", Path.c_str(), Name.c_str(),
+                  RS.Rows.size());
+      if (Profile) {
+        std::printf("%s", graphdb::renderProfile(QP).c_str());
+        continue; // Profile mode reports step metrics, not rows.
+      }
+      for (const graphdb::ResultRow &Row : RS.Rows) {
+        for (size_t I = 0; I < Row.Values.size(); ++I)
+          std::printf("%s%s", I ? " | " : "  ", Row.Values[I].c_str());
+        std::printf("\n");
+      }
     }
   }
   return 0;
@@ -481,11 +585,27 @@ int main(int argc, char **argv) {
   std::string Mode = argv[1];
 
   if (Mode == "query") {
-    std::string QueryText = argv[2];
-    std::vector<std::string> Files(argv + 3, argv + argc);
-    if (Files.empty())
+    bool Builtin = false, Explain = false, Profile = false;
+    std::string QueryText;
+    std::vector<std::string> Files;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--builtin")
+        Builtin = true;
+      else if (Arg == "--explain")
+        Explain = true;
+      else if (Arg == "--profile")
+        Profile = true;
+      else if (Arg.rfind("--", 0) == 0)
+        return usage();
+      else if (QueryText.empty() && Arg.find("MATCH") != std::string::npos)
+        QueryText = Arg; // Query text, not a file path.
+      else
+        Files.push_back(Arg);
+    }
+    if (QueryText.empty() && !Builtin && !Explain && !Profile)
       return usage();
-    return runQuery(QueryText, Files);
+    return runQuery(QueryText, Builtin, Explain, Profile, Files);
   }
 
   if (Mode == "lint") {
@@ -510,7 +630,7 @@ int main(int argc, char **argv) {
 
   if (Mode == "batch") {
     driver::BatchOptions O;
-    bool Summary = false;
+    bool Summary = false, Stats = false;
     std::string SinksFile;
     std::vector<std::string> Inputs;
     for (int I = 2; I < argc; ++I) {
@@ -519,6 +639,8 @@ int main(int argc, char **argv) {
         O.Scan.Backend = scanner::QueryBackend::Native;
       else if (Arg == "--summary")
         Summary = true;
+      else if (Arg == "--stats")
+        Stats = true;
       else if (Arg == "--resume")
         O.Resume = true;
       else if (Arg == "--journal" && I + 1 < argc)
@@ -561,7 +683,7 @@ int main(int argc, char **argv) {
       }
       O.Scan.Sinks = Custom;
     }
-    return runBatch(Inputs, std::move(O), Summary);
+    return runBatch(Inputs, std::move(O), Summary, Stats);
   }
 
   if (Mode != "scan")
@@ -569,8 +691,8 @@ int main(int argc, char **argv) {
 
   bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
        DumpDot = false, Summary = false, AsPackage = false,
-       SelfCheck = false;
-  std::string SinksFile;
+       SelfCheck = false, Trace = false;
+  std::string SinksFile, TraceOut;
   std::vector<std::string> Files;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -590,6 +712,10 @@ int main(int argc, char **argv) {
       AsPackage = true;
     else if (Arg == "--self-check")
       SelfCheck = true;
+    else if (Arg == "--trace")
+      Trace = true;
+    else if (Arg == "--trace-out" && I + 1 < argc)
+      TraceOut = argv[++I];
     else if (Arg == "--sinks" && I + 1 < argc)
       SinksFile = argv[++I];
     else if (Arg.rfind("--", 0) == 0)
@@ -599,8 +725,27 @@ int main(int argc, char **argv) {
   }
   if (Files.empty())
     return usage();
-  if (AsPackage)
-    return runPackageScan(Files, Native, Summary, SelfCheck, SinksFile);
-  return runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
-                 Summary, SelfCheck, SinksFile);
+
+  // Tracing: one recorder for the whole invocation, exported as a text
+  // tree (--trace, stderr) and/or Chrome trace_event JSON (--trace-out).
+  // Counters ride along: enabled while tracing, dumped next to the tree.
+  obs::TraceRecorder Recorder;
+  obs::TraceRecorder *TR = (Trace || !TraceOut.empty()) ? &Recorder : nullptr;
+  if (TR)
+    obs::setCountersEnabled(true);
+
+  int Code = AsPackage
+                 ? runPackageScan(Files, Native, Summary, SelfCheck,
+                                  SinksFile, TR)
+                 : runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
+                           Summary, SelfCheck, SinksFile, TR);
+  if (TR) {
+    if (Trace) {
+      std::fprintf(stderr, "%s", Recorder.toText().c_str());
+      dumpCounters(stderr);
+    }
+    if (!TraceOut.empty() && !writeTrace(Recorder, TraceOut) && Code == 0)
+      Code = 1;
+  }
+  return Code;
 }
