@@ -1,0 +1,174 @@
+//===- bench/bench_pruning.cpp - Summary-based pruning speedup ------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Measures what the call-graph + taint-summary pruning stage
+// (docs/CALLGRAPH.md) buys: full scans with and without pruning over
+//
+//   A. the examples/js inputs,
+//   B. a benign-heavy workload corpus (the realistic npm mix: most
+//      packages never route input to a sink), and
+//   C. synthetic deep-call-chain packages — a benign chain whose scan
+//      collapses to the summary stage, and a vulnerable twin paying the
+//      summary overhead on top of the full pipeline (the worst case).
+//
+// Detection neutrality is asserted inline: any corpus where the pruned
+// and unpruned report multisets differ fails the binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "scanner/Scanner.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::bench;
+
+namespace {
+
+struct Corpus {
+  std::string Name;
+  std::vector<std::vector<scanner::SourceFile>> Packages;
+};
+
+std::vector<scanner::SourceFile> loadFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return {{P.filename().string(), SS.str()}};
+}
+
+/// A call chain of Depth helper functions; the innermost either reaches
+/// a command-injection sink or is pure.
+std::vector<scanner::SourceFile> deepChain(int Depth, bool Vulnerable) {
+  std::string S = "var cp = require('child_process');\n";
+  S += Vulnerable ? "function f0(a) { cp.exec(a); return a; }\n"
+                  : "function f0(a) { var x = a + 1; return x; }\n";
+  for (int I = 1; I < Depth; ++I)
+    S += "function f" + std::to_string(I) + "(a) { return f" +
+         std::to_string(I - 1) + "(a); }\n";
+  S += "module.exports = f" + std::to_string(Depth - 1) + ";\n";
+  return {{Vulnerable ? "chain_vuln.js" : "chain_benign.js", std::move(S)}};
+}
+
+struct Measured {
+  std::vector<double> Seconds;
+  size_t Reports = 0;
+  size_t PrunedQueries = 0;
+  size_t SkippedImports = 0;
+};
+
+Measured scanAll(const Corpus &C, bool Prune) {
+  Measured M;
+  scanner::ScanOptions O;
+  O.Prune = Prune;
+  scanner::Scanner S(O);
+  for (const auto &Files : C.Packages) {
+    Timer T;
+    scanner::ScanResult R = S.scanPackage(Files);
+    M.Seconds.push_back(T.elapsedSeconds());
+    M.Reports += R.Reports.size();
+    M.PrunedQueries += R.PrunedQueries;
+    M.SkippedImports += R.PruneSkippedImport ? 1 : 0;
+  }
+  return M;
+}
+
+double sum(const std::vector<double> &V) {
+  double S = 0;
+  for (double X : V)
+    S += X;
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Summary-based query pruning: cost and payoff",
+              "docs/CALLGRAPH.md");
+
+  std::vector<Corpus> Corpora;
+
+  // A: the checked-in examples (when run from anywhere inside the repo).
+  Corpus Examples{"examples", {}};
+  std::error_code EC;
+  for (const auto &E :
+       std::filesystem::directory_iterator(GJS_EXAMPLES_JS_DIR, EC))
+    if (E.path().extension() == ".js")
+      Examples.Packages.push_back(loadFile(E.path()));
+  if (!Examples.Packages.empty())
+    Corpora.push_back(std::move(Examples));
+
+  // B: benign-heavy mix — per 10 packages: 6 benign, 2 with safe sinks,
+  // 1 dynamic-require, 1 genuinely vulnerable.
+  Corpus Mix{"benign_heavy", {}};
+  workload::PackageGenerator Gen(2024);
+  for (size_t I = 0; I < scaled(40); ++I) {
+    workload::Package P;
+    switch (I % 10) {
+    case 6:
+    case 7:
+      P = Gen.benignWithSafeSinks(40);
+      break;
+    case 8:
+      P = Gen.dynamicRequire(40);
+      break;
+    case 9:
+      P = Gen.vulnerable(queries::VulnType::CommandInjection,
+                         workload::Complexity::Wrapped,
+                         workload::VariantKind::Plain);
+      break;
+    default:
+      P = Gen.benign(40);
+    }
+    Mix.Packages.push_back(std::move(P.Files));
+  }
+  Corpora.push_back(std::move(Mix));
+
+  // C: deep call chains, benign and vulnerable twins.
+  Corpus Chains{"deep_chains", {}};
+  for (int Depth : {20, 60, 120}) {
+    Chains.Packages.push_back(deepChain(Depth, /*Vulnerable=*/false));
+    Chains.Packages.push_back(deepChain(Depth, /*Vulnerable=*/true));
+  }
+  Corpora.push_back(std::move(Chains));
+
+  Report Rep("pruning");
+  TablePrinter Table({"corpus", "#pkg", "pruned", "full", "speedup",
+                      "q skipped", "imports skipped"});
+  bool Neutral = true;
+
+  for (const Corpus &C : Corpora) {
+    Measured With = scanAll(C, /*Prune=*/true);
+    Measured Without = scanAll(C, /*Prune=*/false);
+    if (With.Reports != Without.Reports) {
+      std::fprintf(stderr,
+                   "FAIL: %s: pruning changed the report count (%zu vs %zu)\n",
+                   C.Name.c_str(), With.Reports, Without.Reports);
+      Neutral = false;
+    }
+    double TW = sum(With.Seconds), TO = sum(Without.Seconds);
+    Rep.series(C.Name + ".pruned_seconds", With.Seconds);
+    Rep.series(C.Name + ".full_seconds", Without.Seconds);
+    Rep.scalar(C.Name + ".speedup", TW > 0 ? TO / TW : 0);
+    Rep.scalar(C.Name + ".queries_skipped", double(With.PrunedQueries));
+    Rep.scalar(C.Name + ".imports_skipped", double(With.SkippedImports));
+    Rep.scalar(C.Name + ".reports", double(With.Reports));
+    Table.addRow({C.Name, std::to_string(C.Packages.size()),
+                  TablePrinter::fmt(TW * 1000.0, 2) + "ms",
+                  TablePrinter::fmt(TO * 1000.0, 2) + "ms",
+                  TablePrinter::fmtRatio(TW > 0 ? TO / TW : 0),
+                  std::to_string(With.PrunedQueries),
+                  std::to_string(With.SkippedImports)});
+  }
+  std::printf("%s\n", Table.str().c_str());
+  Rep.scalar("neutral", Neutral ? 1 : 0);
+  Rep.write();
+  return Neutral ? 0 : 1;
+}

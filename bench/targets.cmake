@@ -22,6 +22,10 @@ gjs_add_bench(bench_fig7_cdf)
 gjs_add_bench(bench_fig9_casestudy)
 gjs_add_bench(bench_ablation_fixpoint)
 
+gjs_add_bench(bench_pruning)
+target_compile_definitions(bench_pruning PRIVATE
+  GJS_EXAMPLES_JS_DIR="${CMAKE_SOURCE_DIR}/examples/js")
+
 function(gjs_add_gbench NAME)
   gjs_add_bench(${NAME})
   target_link_libraries(${NAME} PRIVATE benchmark::benchmark)

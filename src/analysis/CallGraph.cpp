@@ -1,0 +1,695 @@
+//===- analysis/CallGraph.cpp - Static call graph over Core IR ------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Resolution mirrors the MDG builder's flat, store-based inlining: the
+// builder binds every name (params included) in one per-module abstract
+// store, so this pass resolves a callee variable only when *every*
+// assignment to that name, anywhere in the module, binds a known
+// function value. Anything weaker goes to Unresolved — unless no
+// function value escapes into the heap at all, in which case the
+// builder provably has no function node behind the callee and the call
+// is a faithful External (unknown-call) site.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gjs {
+namespace analysis {
+
+using core::Operand;
+using core::Program;
+using core::Stmt;
+using core::StmtKind;
+using core::StmtPtr;
+
+const char *calleeKindName(CalleeKind K) {
+  switch (K) {
+  case CalleeKind::Resolved:
+    return "resolved";
+  case CalleeKind::External:
+    return "external";
+  case CalleeKind::Unresolved:
+    return "unresolved";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Same stem rule as MDGBuilder: basename without a trailing ".js".
+std::string moduleStem(const std::string &Name) {
+  std::string S = Name;
+  size_t Slash = S.find_last_of('/');
+  if (Slash != std::string::npos)
+    S = S.substr(Slash + 1);
+  if (S.size() > 3 && S.compare(S.size() - 3, 3, ".js") == 0)
+    S = S.substr(0, S.size() - 3);
+  return S;
+}
+
+/// Splits a require-alias value ("./helpers.foo", "child_process.exec")
+/// into the module part and the remaining member chain. The leading
+/// "./" / "../" prefixes belong to the module, not the chain.
+void splitAlias(const std::string &Alias, std::string &Module,
+                std::string &Member) {
+  size_t Start = 0;
+  while (Start + 1 < Alias.size() &&
+         (Alias.compare(Start, 2, "./") == 0 ||
+          (Start + 2 < Alias.size() && Alias.compare(Start, 3, "../") == 0)))
+    Start += Alias[Start + 1] == '/' ? 2 : 3;
+  size_t Dot = Alias.find('.', Start);
+  if (Dot == std::string::npos) {
+    Module = Alias;
+    Member.clear();
+  } else {
+    Module = Alias.substr(0, Dot);
+    Member = Alias.substr(Dot + 1);
+  }
+}
+
+} // namespace
+
+class CallGraphBuilder {
+public:
+  CallGraphBuilder(CallGraph &CG,
+                   const std::vector<const Program *> &Modules,
+                   const std::vector<std::string> &Stems, bool Fallback)
+      : CG(CG), Modules(Modules), Stems(Stems), Fallback(Fallback) {}
+
+  void run() {
+    registerFunctions();
+    for (size_t M = 0; M < Modules.size(); ++M)
+      analyzeModule(M);
+    CG.computeSCCs();
+  }
+
+private:
+  CallGraph &CG;
+  const std::vector<const Program *> &Modules;
+  const std::vector<std::string> &Stems;
+  bool Fallback;
+
+  /// Per-module flat binding environment (mirrors the builder's flat
+  /// per-module store).
+  struct ModuleEnv {
+    std::map<std::string, std::set<FuncId>> Binds;
+    std::set<std::string> Poisoned;
+    /// Names used (read or assigned) per function, to derive the shared
+    /// set: a name appearing in two functions is shared module state
+    /// under the builder's flat store.
+    std::map<std::string, std::set<FuncId>> UsedBy;
+  };
+
+  std::vector<FuncId> ToplevelOf; // per module
+
+  FuncId addFunction(CGFunction F) {
+    FuncId Id = static_cast<FuncId>(CG.Funcs.size());
+    CG.ByName[F.Name] = Id;
+    CG.Funcs.push_back(std::move(F));
+    return Id;
+  }
+
+  void registerFunctions() {
+    for (size_t M = 0; M < Modules.size(); ++M) {
+      CGFunction Top;
+      Top.Name = "<toplevel:" + (M < Stems.size() ? Stems[M]
+                                                  : std::to_string(M)) + ">";
+      Top.ModuleIndex = M;
+      Top.IsToplevel = true;
+      ToplevelOf.push_back(addFunction(std::move(Top)));
+
+      for (const auto &[Name, Fn] : Modules[M]->Functions) {
+        CGFunction F;
+        F.Name = Name;
+        F.Fn = Fn.get();
+        F.ModuleIndex = M;
+        addFunction(std::move(F));
+      }
+
+      // Entry points: exported functions, else every function — the
+      // exact markEntryPoints rule.
+      std::set<std::string> Entries;
+      for (const core::ExportEntry &E : Modules[M]->Exports)
+        if (!E.FunctionName.empty() &&
+            Modules[M]->Functions.count(E.FunctionName))
+          Entries.insert(E.FunctionName);
+      if (Entries.empty() && Fallback)
+        for (const auto &[Name, Fn] : Modules[M]->Functions)
+          Entries.insert(Name);
+      for (const std::string &E : Entries)
+        CG.Funcs[CG.ByName.at(E)].IsEntry = true;
+
+      // Class methods are invoked through instances the builder wires
+      // up behind `new`: treat them as escaped roots.
+      for (const auto &[Var, Methods] : Modules[M]->ClassMethodsByVar)
+        for (const std::string &Name : Methods)
+          if (auto It = CG.ByName.find(Name); It != CG.ByName.end()) {
+            CG.Funcs[It->second].IsEscaped = true;
+            CG.AnyEscape = true;
+          }
+    }
+  }
+
+  // --- environment construction --------------------------------------------
+
+  void collectEnv(const std::vector<StmtPtr> &Block, FuncId Owner,
+                  ModuleEnv &Env) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      if (!S.Target.empty())
+        Env.UsedBy[S.Target].insert(Owner);
+      forEachReadVar(S, [&](const std::string &N) {
+        Env.UsedBy[N].insert(Owner);
+      });
+
+      switch (S.K) {
+      case StmtKind::FuncDef:
+        if (S.Func)
+          if (auto It = CG.ByName.find(S.Func->Name); It != CG.ByName.end())
+            Env.Binds[S.Target].insert(It->second);
+        break;
+      case StmtKind::Assign:
+        // Copy chains resolved in the fixpoint below; literal RHS poisons.
+        if (!S.Value.isVar())
+          Env.Poisoned.insert(S.Target);
+        break;
+      default:
+        if (!S.Target.empty())
+          Env.Poisoned.insert(S.Target);
+        break;
+      }
+
+      if (S.Func) {
+        FuncId Nested = CG.ByName.count(S.Func->Name)
+                            ? CG.ByName.at(S.Func->Name)
+                            : Owner;
+        for (const std::string &P : S.Func->Params) {
+          Env.Poisoned.insert(P); // flat store: params poison the name
+          Env.UsedBy[P].insert(Nested);
+        }
+        collectEnv(S.Func->Body, Nested, Env);
+      }
+      collectEnv(S.Then, Owner, Env);
+      collectEnv(S.Else, Owner, Env);
+      collectEnv(S.Body, Owner, Env);
+    }
+  }
+
+  bool resolvable(const ModuleEnv &Env, const std::string &N) const {
+    if (Env.Poisoned.count(N))
+      return false;
+    auto It = Env.Binds.find(N);
+    return It != Env.Binds.end() && !It->second.empty();
+  }
+
+  /// Propagates copy chains (`x := y`) until stable: x inherits y's
+  /// function bindings; a copy from a poisoned or unbound name poisons x.
+  void propagateCopies(const std::vector<StmtPtr> &Block, ModuleEnv &Env,
+                       bool &Changed) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      if (S.K == StmtKind::Assign && S.Value.isVar()) {
+        const std::string &Src = S.Value.Name;
+        if (Env.Poisoned.count(Src) && !Env.Poisoned.count(S.Target)) {
+          Env.Poisoned.insert(S.Target);
+          Changed = true;
+        }
+        if (auto It = Env.Binds.find(Src); It != Env.Binds.end()) {
+          auto &Dst = Env.Binds[S.Target];
+          size_t Before = Dst.size();
+          Dst.insert(It->second.begin(), It->second.end());
+          if (Dst.size() != Before)
+            Changed = true;
+        }
+      }
+      if (S.Func)
+        propagateCopies(S.Func->Body, Env, Changed);
+      propagateCopies(S.Then, Env, Changed);
+      propagateCopies(S.Else, Env, Changed);
+      propagateCopies(S.Body, Env, Changed);
+    }
+  }
+
+  /// Marks function values that flow somewhere the resolver cannot see
+  /// again: heap stores, call arguments, returns.
+  void collectEscapes(const std::vector<StmtPtr> &Block, ModuleEnv &Env) {
+    auto Escape = [&](const Operand &O) {
+      if (!O.isVar())
+        return;
+      auto It = Env.Binds.find(O.Name);
+      if (It == Env.Binds.end())
+        return;
+      for (FuncId F : It->second)
+        if (!CG.Funcs[F].IsEscaped) {
+          CG.Funcs[F].IsEscaped = true;
+          CG.AnyEscape = true;
+        }
+    };
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      switch (S.K) {
+      case StmtKind::StaticUpdate:
+      case StmtKind::DynamicUpdate:
+        Escape(S.Value);
+        break;
+      case StmtKind::Call:
+        for (const Operand &A : S.Args)
+          Escape(A);
+        break;
+      case StmtKind::Return:
+        Escape(S.Value);
+        break;
+      default:
+        break;
+      }
+      if (S.Func)
+        collectEscapes(S.Func->Body, Env);
+      collectEscapes(S.Then, Env);
+      collectEscapes(S.Else, Env);
+      collectEscapes(S.Body, Env);
+    }
+  }
+
+  /// A function bound to a name that also carries unknown values is
+  /// callable through that name in the builder's store even though the
+  /// resolver must give up on it: such functions escape too.
+  void escapePoisonedBindings(ModuleEnv &Env) {
+    for (const auto &[Name, Binds] : Env.Binds) {
+      if (!Env.Poisoned.count(Name))
+        continue;
+      for (FuncId F : Binds)
+        if (!CG.Funcs[F].IsEscaped) {
+          CG.Funcs[F].IsEscaped = true;
+          CG.AnyEscape = true;
+        }
+    }
+  }
+
+  // --- call classification --------------------------------------------------
+
+  void analyzeModule(size_t M) {
+    const Program &Prog = *Modules[M];
+    ModuleEnv Env;
+    collectEnv(Prog.TopLevel, ToplevelOf[M], Env);
+    bool Changed = true;
+    for (int Iter = 0; Changed && Iter < 16; ++Iter) {
+      Changed = false;
+      propagateCopies(Prog.TopLevel, Env, Changed);
+    }
+    collectEscapes(Prog.TopLevel, Env);
+    escapePoisonedBindings(Env);
+
+    // Free reads / captured locals per function, from the usage map.
+    recordSharing(M, Env);
+
+    classifyBlock(Prog.TopLevel, ToplevelOf[M], M, Env);
+  }
+
+  void recordSharing(size_t M, const ModuleEnv &Env) {
+    for (const auto &[Name, Users] : Env.UsedBy) {
+      if (Users.size() < 2)
+        continue;
+      for (FuncId F : Users) {
+        CGFunction &Fn = CG.Funcs[F];
+        if (Fn.ModuleIndex != M)
+          continue;
+        // Shared with another function: a free read from this side, a
+        // captured local from the assigning side. Flat-store sharing
+        // makes the distinction soft; record under both views.
+        Fn.FreeReads.push_back(Name);
+        Fn.CapturedLocals.push_back(Name);
+      }
+    }
+  }
+
+  void classifyBlock(const std::vector<StmtPtr> &Block, FuncId Owner,
+                     size_t M, const ModuleEnv &Env) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      if (S.K == StmtKind::Call)
+        classifyCall(S, Owner, M, Env);
+      if (S.Func) {
+        FuncId Nested = CG.ByName.count(S.Func->Name)
+                            ? CG.ByName.at(S.Func->Name)
+                            : Owner;
+        classifyBlock(S.Func->Body, Nested, M, Env);
+      }
+      classifyBlock(S.Then, Owner, M, Env);
+      classifyBlock(S.Else, Owner, M, Env);
+      classifyBlock(S.Body, Owner, M, Env);
+    }
+  }
+
+  void classifyCall(const Stmt &S, FuncId Owner, size_t M,
+                    const ModuleEnv &Env) {
+    CallSite Site;
+    Site.Index = S.Index;
+    Site.Loc = S.Loc;
+    Site.CalleeName = S.CalleeName;
+    Site.CalleePath = S.CalleePath;
+    Site.Caller = Owner;
+    Site.NumArgs = static_cast<unsigned>(S.Args.size());
+    Site.IsNew = S.IsNew;
+
+    const Program &Prog = *Modules[M];
+    std::string AliasTarget;
+    if (S.Callee.isVar()) {
+      const std::string &N = S.Callee.Name;
+      if (resolvable(Env, N)) {
+        Site.Kind = CalleeKind::Resolved;
+        const auto &T = Env.Binds.at(N);
+        Site.Targets.assign(T.begin(), T.end());
+      } else if (auto It = Prog.RequireAliases.find(N);
+                 It != Prog.RequireAliases.end()) {
+        AliasTarget = It->second;
+      } else if (S.Receiver.isVar()) {
+        if (auto RIt = Prog.RequireAliases.find(S.Receiver.Name);
+            RIt != Prog.RequireAliases.end())
+          AliasTarget = RIt->second + "." + S.CalleeName;
+      }
+      if (Site.Kind != CalleeKind::Resolved && !AliasTarget.empty()) {
+        classifyAlias(Site, AliasTarget, M);
+      } else if (Site.Kind != CalleeKind::Resolved) {
+        // Poisoned local, parameter, lookup temp or unbound global. If
+        // no function value escapes, the builder's store provably holds
+        // no function node here either: a faithful unknown call.
+        Site.Kind =
+            CG.AnyEscape ? CalleeKind::Unresolved : CalleeKind::External;
+      }
+    } else {
+      Site.Kind = CalleeKind::Unresolved;
+    }
+
+    // Function values passed as arguments to calls that may invoke them
+    // with data we cannot see become callback edges (the builder wires
+    // callback params to the call node for unknown callees).
+    if (Site.Kind != CalleeKind::Resolved)
+      for (const Operand &A : S.Args)
+        if (A.isVar())
+          if (auto It = Env.Binds.find(A.Name); It != Env.Binds.end())
+            for (FuncId F : It->second)
+              Site.CallbackArgs.push_back(F);
+
+    size_t SiteIdx = CG.Sites.size();
+    CG.Funcs[Owner].Sites.push_back(SiteIdx);
+    CG.Sites.push_back(std::move(Site));
+  }
+
+  void classifyAlias(CallSite &Site, const std::string &Alias, size_t M) {
+    std::string Module, Member;
+    splitAlias(Alias, Module, Member);
+    std::string Stem = moduleStem(Module);
+    size_t Sibling = Modules.size();
+    for (size_t I = 0; I < Modules.size(); ++I)
+      if (I != M && I < Stems.size() && Stems[I] == Stem) {
+        Sibling = I;
+        break;
+      }
+    if (Sibling == Modules.size()) {
+      Site.Kind = CalleeKind::External;
+      return;
+    }
+    // A sibling module: resolve the member through its exports; any
+    // miss (deep chains, unknown member, whole-module call) means the
+    // builder may still find a function behind the exports object.
+    if (Member.find('.') == std::string::npos && !Member.empty()) {
+      for (const core::ExportEntry &E : Modules[Sibling]->Exports)
+        if (E.ExportName == Member && !E.FunctionName.empty())
+          if (auto It = CG.ByName.find(E.FunctionName); It != CG.ByName.end()) {
+            Site.Kind = CalleeKind::Resolved;
+            Site.Targets.push_back(It->second);
+            return;
+          }
+    }
+    Site.Kind = CalleeKind::Unresolved;
+  }
+
+  /// Read-operand visitor (excludes the callee variable itself, which
+  /// is classified separately; includes args/receiver).
+  template <typename FnT> void forEachReadVar(const Stmt &S, FnT Fn) {
+    auto Visit = [&](const Operand &O) {
+      if (O.isVar())
+        Fn(O.Name);
+    };
+    Visit(S.Obj);
+    Visit(S.PropOperand);
+    Visit(S.Value);
+    Visit(S.LHS);
+    Visit(S.RHS);
+    Visit(S.Receiver);
+    Visit(S.Cond);
+    for (const Operand &A : S.Args)
+      Visit(A);
+  }
+};
+
+CallGraph CallGraph::build(const std::vector<const Program *> &Modules,
+                           const std::vector<std::string> &Stems,
+                           bool FallbackAllFunctionsExported) {
+  CallGraph CG;
+  CallGraphBuilder B(CG, Modules, Stems, FallbackAllFunctionsExported);
+  B.run();
+  return CG;
+}
+
+CallGraph CallGraph::build(const Program &Prog,
+                           bool FallbackAllFunctionsExported) {
+  std::vector<const Program *> Modules = {&Prog};
+  std::vector<std::string> Stems = {"<main>"};
+  return build(Modules, Stems, FallbackAllFunctionsExported);
+}
+
+FuncId CallGraph::functionByName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? InvalidFuncId : It->second;
+}
+
+std::vector<FuncId> CallGraph::entryFunctions() const {
+  std::vector<FuncId> Out;
+  for (FuncId I = 0; I < Funcs.size(); ++I)
+    if (Funcs[I].IsEntry)
+      Out.push_back(I);
+  return Out;
+}
+
+std::vector<bool> CallGraph::reachableFromRoots() const {
+  std::vector<bool> Reach(Funcs.size(), false);
+  std::vector<FuncId> Work;
+  auto Push = [&](FuncId F) {
+    if (F < Funcs.size() && !Reach[F]) {
+      Reach[F] = true;
+      Work.push_back(F);
+    }
+  };
+  for (FuncId I = 0; I < Funcs.size(); ++I)
+    if (Funcs[I].IsEntry || Funcs[I].IsToplevel || Funcs[I].IsEscaped)
+      Push(I);
+  while (!Work.empty()) {
+    FuncId F = Work.back();
+    Work.pop_back();
+    for (size_t SI : Funcs[F].Sites) {
+      const CallSite &S = Sites[SI];
+      for (FuncId T : S.Targets)
+        Push(T);
+      for (FuncId T : S.CallbackArgs)
+        Push(T);
+    }
+  }
+  return Reach;
+}
+
+size_t CallGraph::numResolvedEdges() const {
+  size_t N = 0;
+  for (const CallSite &S : Sites)
+    if (S.Kind == CalleeKind::Resolved)
+      N += S.Targets.size();
+  return N;
+}
+
+size_t CallGraph::numExternalSites() const {
+  size_t N = 0;
+  for (const CallSite &S : Sites)
+    N += S.Kind == CalleeKind::External;
+  return N;
+}
+
+size_t CallGraph::numUnresolvedSites() const {
+  size_t N = 0;
+  for (const CallSite &S : Sites)
+    N += S.Kind == CalleeKind::Unresolved;
+  return N;
+}
+
+// Iterative Tarjan over the resolved + callback edges. Tarjan pops each
+// SCC only after every SCC it reaches has been popped, which is exactly
+// the reverse topological (callees-first) order the summary pass needs.
+void CallGraph::computeSCCs() {
+  SCCs.clear();
+  const unsigned N = static_cast<unsigned>(Funcs.size());
+  std::vector<unsigned> Idx(N, 0), Low(N, 0);
+  std::vector<bool> OnStack(N, false), Visited(N, false);
+  std::vector<FuncId> Stack;
+  unsigned Next = 1;
+
+  // Successor list per function.
+  auto Succs = [&](FuncId F) {
+    std::vector<FuncId> Out;
+    for (size_t SI : Funcs[F].Sites) {
+      const CallSite &S = Sites[SI];
+      Out.insert(Out.end(), S.Targets.begin(), S.Targets.end());
+      Out.insert(Out.end(), S.CallbackArgs.begin(), S.CallbackArgs.end());
+    }
+    return Out;
+  };
+
+  struct Frame {
+    FuncId F;
+    std::vector<FuncId> S;
+    size_t Child = 0;
+  };
+
+  for (FuncId Root = 0; Root < N; ++Root) {
+    if (Visited[Root])
+      continue;
+    std::vector<Frame> Frames;
+    Frames.push_back({Root, Succs(Root)});
+    Visited[Root] = true;
+    Idx[Root] = Low[Root] = Next++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Frames.empty()) {
+      Frame &Top = Frames.back();
+      if (Top.Child < Top.S.size()) {
+        FuncId C = Top.S[Top.Child++];
+        if (!Visited[C]) {
+          Visited[C] = true;
+          Idx[C] = Low[C] = Next++;
+          Stack.push_back(C);
+          OnStack[C] = true;
+          Frames.push_back({C, Succs(C)});
+        } else if (OnStack[C]) {
+          Low[Top.F] = std::min(Low[Top.F], Idx[C]);
+        }
+        continue;
+      }
+      FuncId F = Top.F;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().F] = std::min(Low[Frames.back().F], Low[F]);
+      if (Low[F] == Idx[F]) {
+        std::vector<FuncId> SCC;
+        for (;;) {
+          FuncId V = Stack.back();
+          Stack.pop_back();
+          OnStack[V] = false;
+          SCC.push_back(V);
+          if (V == F)
+            break;
+        }
+        SCCs.push_back(std::move(SCC));
+      }
+    }
+  }
+}
+
+std::string CallGraph::dumpText() const {
+  std::ostringstream OS;
+  OS << "call graph: " << Funcs.size() << " functions, " << Sites.size()
+     << " call sites (" << numResolvedEdges() << " resolved edges, "
+     << numExternalSites() << " external, " << numUnresolvedSites()
+     << " unresolved)\n";
+  for (FuncId I = 0; I < Funcs.size(); ++I) {
+    const CGFunction &F = Funcs[I];
+    OS << "  " << F.Name;
+    if (F.IsEntry)
+      OS << " [entry]";
+    if (F.IsEscaped)
+      OS << " [escaped]";
+    if (F.Fn && !F.Fn->Params.empty()) {
+      OS << " (";
+      for (size_t P = 0; P < F.Fn->Params.size(); ++P)
+        OS << (P ? ", " : "") << F.Fn->Params[P];
+      OS << ")";
+    }
+    OS << "\n";
+    for (size_t SI : F.Sites) {
+      const CallSite &S = Sites[SI];
+      OS << "    -> ";
+      if (S.Kind == CalleeKind::Resolved) {
+        for (size_t T = 0; T < S.Targets.size(); ++T)
+          OS << (T ? " | " : "") << Funcs[S.Targets[T]].Name;
+      } else {
+        OS << (S.CalleePath.empty() ? S.CalleeName : S.CalleePath);
+        OS << " [" << calleeKindName(S.Kind) << "]";
+      }
+      for (FuncId CB : S.CallbackArgs)
+        OS << " +callback:" << Funcs[CB].Name;
+      OS << "\n";
+    }
+  }
+  OS << "scc order (callees first):";
+  for (const auto &SCC : SCCs) {
+    OS << " {";
+    for (size_t I = 0; I < SCC.size(); ++I)
+      OS << (I ? " " : "") << Funcs[SCC[I]].Name;
+    OS << "}";
+  }
+  OS << "\n";
+  return OS.str();
+}
+
+std::string CallGraph::toDot() const {
+  std::ostringstream OS;
+  OS << "digraph callgraph {\n  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (FuncId I = 0; I < Funcs.size(); ++I) {
+    const CGFunction &F = Funcs[I];
+    OS << "  f" << I << " [label=\"" << F.Name << "\"";
+    if (F.IsEntry)
+      OS << ", style=filled, fillcolor=lightblue";
+    else if (F.IsToplevel)
+      OS << ", style=dashed";
+    OS << "];\n";
+  }
+  bool AnyExternal = false, AnyUnresolved = false;
+  for (const CallSite &S : Sites) {
+    AnyExternal |= S.Kind == CalleeKind::External;
+    AnyUnresolved |= S.Kind == CalleeKind::Unresolved;
+  }
+  if (AnyExternal)
+    OS << "  external [shape=ellipse, label=\"external\"];\n";
+  if (AnyUnresolved)
+    OS << "  unresolved [shape=ellipse, label=\"?\", style=filled, "
+          "fillcolor=orange];\n";
+  for (const CallSite &S : Sites) {
+    std::string Label = S.CalleePath.empty() ? S.CalleeName : S.CalleePath;
+    switch (S.Kind) {
+    case CalleeKind::Resolved:
+      for (FuncId T : S.Targets)
+        OS << "  f" << S.Caller << " -> f" << T << ";\n";
+      break;
+    case CalleeKind::External:
+      OS << "  f" << S.Caller << " -> external [label=\"" << Label
+         << "\"];\n";
+      break;
+    case CalleeKind::Unresolved:
+      OS << "  f" << S.Caller << " -> unresolved [label=\"" << Label
+         << "\"];\n";
+      break;
+    }
+    for (FuncId CB : S.CallbackArgs)
+      OS << "  f" << S.Caller << " -> f" << CB << " [style=dotted, "
+         << "label=\"callback\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace analysis
+} // namespace gjs

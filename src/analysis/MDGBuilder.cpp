@@ -56,6 +56,7 @@ void MDGBuilder::finalize(BuildResult &R) {
   R.Alloc.Ret = RetAlloc;
   R.Alloc.Global = GlobalAlloc;
   R.Alloc.Param = ParamAlloc;
+  R.FunctionNodes = FuncNodeByName;
 }
 
 BuildResult MDGBuilder::build(const core::Program &Program) {

@@ -117,6 +117,9 @@ struct BuildResult {
   uint64_t WorkDone = 0;
   /// Allocation tables backing the abstraction function α.
   AllocationTables Alloc;
+  /// Function-definition nodes by core function name (call-graph lint
+  /// cross-checks resolved edges against these live MDG nodes).
+  std::map<std::string, mdg::NodeId> FunctionNodes;
 };
 
 /// One module of a multi-file package, for linked analysis.

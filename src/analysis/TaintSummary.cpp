@@ -1,0 +1,659 @@
+//===- analysis/TaintSummary.cpp - Per-function taint summaries -----------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Soundness target: the pruning decision must over-approximate what the
+// MDG detectors (queries::GraphDBRunner / detectNative) can report, not
+// true JavaScript semantics. The key builder behaviors mirrored here:
+//
+//  * taint enters only through exported-function parameters
+//    (markEntryPoints), so "no entry has parameters" kills everything;
+//  * a taint-class report needs a call node whose name/path matches a
+//    sink spec syntactically — no matching call statement anywhere
+//    means no report, interprocedurally, unconditionally;
+//  * a pollution report needs an unknown-version (VU*) write — a
+//    dynamic property update with a variable key, Object.assign, or a
+//    mutating array builtin;
+//  * the builder's store is flat per module and its param/return nodes
+//    are shared across call sites (context collapse), so summaries add
+//    the `other` origin wherever a value could pick up taint from
+//    shared state, and the decision only trusts `other`-free masks
+//    unless no taint escapes into shared state at all;
+//  * any reachable unresolved call that can see tainted inputs defeats
+//    summary-based pruning entirely (the Unresolved fallback rule).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TaintSummary.h"
+
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gjs {
+namespace analysis {
+
+using core::Operand;
+using core::Stmt;
+using core::StmtKind;
+using core::StmtPtr;
+
+const char *sinkClassTag(int Class) {
+  switch (Class) {
+  case SinkClassCommandInjection:
+    return "CWE-78";
+  case SinkClassCodeInjection:
+    return "CWE-94";
+  case SinkClassPathTraversal:
+    return "CWE-22";
+  case SinkClassPrototypePollution:
+    return "CWE-1321";
+  }
+  return "CWE-?";
+}
+
+std::string maskToString(OriginMask M, unsigned NumParams) {
+  if (!M)
+    return "{}";
+  std::string Out = "{";
+  bool First = true;
+  unsigned Shown = std::min(NumParams, 63u);
+  for (unsigned I = 0; I < Shown; ++I)
+    if (M & paramBit(I)) {
+      Out += (First ? "p" : ",p") + std::to_string(I);
+      First = false;
+    }
+  if (M & OtherOrigin) {
+    Out += First ? "other" : ",other";
+    First = false;
+  }
+  // Bits beyond the declared params (composed masks): render raw.
+  if (First)
+    Out += "?";
+  return Out + "}";
+}
+
+bool FunctionSummary::operator==(const FunctionSummary &O) const {
+  for (int C = 0; C < NumSinkClasses; ++C)
+    if (SinkFlow[C] != O.SinkFlow[C] || HasSinkSite[C] != O.HasSinkSite[C])
+      return false;
+  return Name == O.Name && NumParams == O.NumParams && RetFlow == O.RetFlow &&
+         PolluteFlow == O.PolluteFlow &&
+         UnresolvedArgFlow == O.UnresolvedArgFlow &&
+         GlobalWriteFlow == O.GlobalWriteFlow && MutFlow == O.MutFlow &&
+         HasVUSite == O.HasVUSite && CallsUnresolved == O.CallsUnresolved;
+}
+
+namespace {
+
+bool isArrayMutator(const std::string &Name) {
+  return Name == "push" || Name == "unshift" || Name == "fill" ||
+         Name == "splice";
+}
+
+/// One function's flow-insensitive local analysis, re-runnable inside
+/// the SCC fixpoint (reads the current summaries of callees).
+class LocalAnalyzer {
+public:
+  LocalAnalyzer(const CallGraph &CG,
+                const std::vector<const core::Program *> &Modules,
+                const SinkTable &Sinks,
+                const std::vector<FunctionSummary> &Sums,
+                const std::map<std::pair<FuncId, core::StmtIndex>, size_t>
+                    &SiteOf,
+                FuncId F)
+      : CG(CG), Sinks(Sinks), Sums(Sums), SiteOf(SiteOf), F(F) {
+    const CGFunction &Fn = CG.functions()[F];
+    Body = Fn.Fn ? &Fn.Fn->Body : &Modules[Fn.ModuleIndex]->TopLevel;
+    Shared.insert(Fn.CapturedLocals.begin(), Fn.CapturedLocals.end());
+    Out.Name = Fn.Name;
+    if (Fn.Fn) {
+      Out.NumParams = static_cast<unsigned>(Fn.Fn->Params.size());
+      for (unsigned I = 0; I < Out.NumParams; ++I) {
+        Params.push_back(Fn.Fn->Params[I]);
+        Var[Fn.Fn->Params[I]] |= paramBit(I);
+      }
+    }
+    Out.MutFlow.assign(Out.NumParams, 0);
+    collectAssigned(*Body);
+    for (const std::string &P : Params)
+      Assigned.insert(P);
+  }
+
+  FunctionSummary run() {
+    for (int Iter = 0; Iter < 200; ++Iter) {
+      Changed = false;
+      transferBlock(*Body);
+      if (!Changed)
+        break;
+    }
+    // Mutation summary: origins that flowed *into* each parameter's
+    // container beyond its own seed bit. With >62 params the bits
+    // collapse, so keep the full mask rather than stripping.
+    for (unsigned I = 0; I < Out.NumParams; ++I) {
+      OriginMask M = lookup(Params[I]);
+      Out.MutFlow[I] = Out.NumParams > 62 ? M : (M & ~paramBit(I));
+    }
+    // Everything that ended up in shared (or non-local, write-through)
+    // names is visible to other activations: module-state writes.
+    for (const auto &[Name, M] : Var)
+      if (Shared.count(Name) || !Assigned.count(Name))
+        Out.GlobalWriteFlow |= M;
+    return Out;
+  }
+
+private:
+  const CallGraph &CG;
+  const SinkTable &Sinks;
+  const std::vector<FunctionSummary> &Sums;
+  const std::map<std::pair<FuncId, core::StmtIndex>, size_t> &SiteOf;
+  FuncId F;
+  const std::vector<StmtPtr> *Body = nullptr;
+  std::vector<std::string> Params;
+  std::set<std::string> Shared, Assigned;
+  std::map<std::string, OriginMask> Var;
+  FunctionSummary Out;
+  bool Changed = false;
+
+  void collectAssigned(const std::vector<StmtPtr> &Block) {
+    for (const StmtPtr &SP : Block) {
+      const Stmt &S = *SP;
+      if (!S.Target.empty())
+        Assigned.insert(S.Target);
+      collectAssigned(S.Then);
+      collectAssigned(S.Else);
+      collectAssigned(S.Body);
+      // Nested function bodies are separate summary units.
+    }
+  }
+
+  OriginMask lookup(const std::string &N) const {
+    auto It = Var.find(N);
+    return It == Var.end() ? 0 : It->second;
+  }
+
+  OriginMask read(const Operand &O) const {
+    if (!O.isVar())
+      return 0;
+    OriginMask M = lookup(O.Name);
+    // Free or shared reads can observe module/global state.
+    if (!Assigned.count(O.Name) || Shared.count(O.Name))
+      M |= OtherOrigin;
+    return M;
+  }
+
+  void join(const std::string &N, OriginMask M) {
+    if (N.empty() || !M)
+      return;
+    OriginMask &Slot = Var[N];
+    if ((Slot | M) != Slot) {
+      Slot |= M;
+      Changed = true;
+    }
+  }
+  void joinVar(const Operand &O, OriginMask M) {
+    if (O.isVar())
+      join(O.Name, M);
+  }
+
+  void setFlag(bool &Flag) {
+    if (!Flag) {
+      Flag = true;
+      Changed = true;
+    }
+  }
+  void joinMask(OriginMask &Slot, OriginMask M) {
+    if ((Slot | M) != Slot) {
+      Slot |= M;
+      Changed = true;
+    }
+  }
+
+  void transferBlock(const std::vector<StmtPtr> &Block) {
+    for (const StmtPtr &SP : Block)
+      transfer(*SP);
+  }
+
+  void transfer(const Stmt &S) {
+    switch (S.K) {
+    case StmtKind::Assign:
+      join(S.Target, read(S.Value));
+      // Copies alias containers: later mutations through the copy are
+      // visible through the original (and vice versa).
+      joinVar(S.Value, lookup(S.Target));
+      break;
+    case StmtKind::BinOp:
+      join(S.Target, read(S.LHS) | read(S.RHS));
+      break;
+    case StmtKind::UnOp:
+      join(S.Target, read(S.Value));
+      break;
+    case StmtKind::NewObject:
+    case StmtKind::FuncDef:
+    case StmtKind::Nop:
+      break;
+    case StmtKind::StaticLookup:
+      join(S.Target, read(S.Obj));
+      joinVar(S.Obj, lookup(S.Target)); // lookup aliases into the object
+      break;
+    case StmtKind::DynamicLookup:
+      join(S.Target, read(S.Obj) | read(S.PropOperand));
+      joinVar(S.Obj, lookup(S.Target));
+      break;
+    case StmtKind::StaticUpdate:
+      joinVar(S.Obj, read(S.Value)); // field-insensitive container taint
+      break;
+    case StmtKind::DynamicUpdate:
+      joinVar(S.Obj, read(S.Value) | read(S.PropOperand));
+      if (S.PropOperand.isVar()) {
+        setFlag(Out.HasVUSite);
+        joinMask(Out.PolluteFlow,
+                 read(S.Obj) | read(S.PropOperand) | read(S.Value));
+      }
+      break;
+    case StmtKind::Call:
+      transferCall(S);
+      break;
+    case StmtKind::Return:
+      joinMask(Out.RetFlow, read(S.Value));
+      break;
+    case StmtKind::If:
+      transferBlock(S.Then);
+      transferBlock(S.Else);
+      break;
+    case StmtKind::While:
+      transferBlock(S.Body);
+      break;
+    }
+  }
+
+  /// Maps a callee-side origin mask into caller-side origins through
+  /// the argument vector of this call.
+  OriginMask mapThroughArgs(OriginMask M, const FunctionSummary &G,
+                            const Stmt &S) const {
+    OriginMask Res = 0;
+    if (M & OtherOrigin)
+      Res |= OtherOrigin;
+    for (unsigned J = 0; J < G.NumParams; ++J)
+      if (M & paramBit(J))
+        Res |= J < S.Args.size() ? read(S.Args[J]) : 0;
+    return Res;
+  }
+
+  void transferCall(const Stmt &S) {
+    OriginMask Inputs = read(S.Receiver);
+    for (const Operand &A : S.Args)
+      Inputs |= read(A);
+
+    // 1. Sink sites match syntactically and their argument D edges are
+    //    wired before sanitizers or builtins short-circuit, so record
+    //    them first. Receiver taint alone never triggers a report.
+    for (int C = 0; C < NumSinkClasses; ++C) {
+      for (const SinkTableEntry &Spec : Sinks.Classes[C]) {
+        bool Match = Spec.IsPath ? S.CalleePath == Spec.Name
+                                 : S.CalleeName == Spec.Name;
+        if (!Match)
+          continue;
+        setFlag(Out.HasSinkSite[C]);
+        OriginMask M = 0;
+        if (Spec.SensitiveArgs.empty()) {
+          for (const Operand &A : S.Args)
+            M |= read(A);
+        } else {
+          for (unsigned I : Spec.SensitiveArgs)
+            if (I < S.Args.size())
+              M |= read(S.Args[I]);
+        }
+        joinMask(Out.SinkFlow[C], M);
+      }
+    }
+
+    // 2. Sanitizer barrier: fresh, dependency-free result; the builder
+    //    returns before builtins and before inlining.
+    if (!Sinks.Sanitizers.empty() &&
+        (Sinks.Sanitizers.count(S.CalleeName) ||
+         Sinks.Sanitizers.count(S.CalleePath)))
+      return;
+
+    // 3. Modeled builtins run before store-based resolution.
+    if (S.CalleePath == "Object.assign" && !S.Args.empty()) {
+      OriginMask Src = 0;
+      for (size_t I = 1; I < S.Args.size(); ++I)
+        Src |= read(S.Args[I]);
+      if (S.Args.size() >= 2) {
+        setFlag(Out.HasVUSite); // unknown-version merge: pollution shape
+        joinMask(Out.PolluteFlow, Inputs);
+      }
+      joinVar(S.Args[0], Src);
+      join(S.Target, read(S.Args[0]) | Src);
+      return;
+    }
+    if (isArrayMutator(S.CalleeName) && S.Receiver.isVar() &&
+        !S.Args.empty()) {
+      OriginMask Vals = 0;
+      for (const Operand &A : S.Args)
+        Vals |= read(A);
+      setFlag(Out.HasVUSite); // VU* element write
+      joinMask(Out.PolluteFlow, Inputs);
+      joinVar(S.Receiver, Vals);
+      join(S.Target, Inputs);
+      return;
+    }
+
+    auto SiteIt = SiteOf.find({F, S.Index});
+    const CallSite *Site =
+        SiteIt == SiteOf.end() ? nullptr : &CG.sites()[SiteIt->second];
+
+    if (Site && Site->Kind == CalleeKind::Resolved) {
+      // The union-of-inputs floor guards the builder's empty-return-
+      // summary case, which degrades to an unknown-call result node.
+      OriginMask Res = Inputs;
+      for (FuncId T : Site->Targets) {
+        const FunctionSummary &G = Sums[T];
+        Res |= mapThroughArgs(G.RetFlow, G, S);
+        if (G.RetFlow)
+          Res |= OtherOrigin; // shared return nodes: context collapse
+        for (int C = 0; C < NumSinkClasses; ++C)
+          joinMask(Out.SinkFlow[C], mapThroughArgs(G.SinkFlow[C], G, S));
+        joinMask(Out.PolluteFlow, mapThroughArgs(G.PolluteFlow, G, S));
+        joinMask(Out.UnresolvedArgFlow,
+                 mapThroughArgs(G.UnresolvedArgFlow, G, S));
+        joinMask(Out.GlobalWriteFlow, mapThroughArgs(G.GlobalWriteFlow, G, S));
+        if (G.CallsUnresolved)
+          setFlag(Out.CallsUnresolved);
+        for (size_t I = 0; I < G.MutFlow.size() && I < S.Args.size(); ++I)
+          joinVar(S.Args[I], mapThroughArgs(G.MutFlow[I], G, S));
+      }
+      join(S.Target, Res);
+      return;
+    }
+
+    if (Site && Site->Kind == CalleeKind::External) {
+      // Unknown call: the result depends only on its inputs.
+      join(S.Target, Inputs);
+      return;
+    }
+
+    // Unresolved (or unattributed): the callee may be any function; it
+    // can return anything it saw and mutate every argument container.
+    setFlag(Out.CallsUnresolved);
+    joinMask(Out.UnresolvedArgFlow, Inputs);
+    join(S.Target, Inputs | OtherOrigin);
+    for (const Operand &A : S.Args)
+      joinVar(A, Inputs | OtherOrigin);
+    joinVar(S.Receiver, Inputs | OtherOrigin);
+  }
+};
+
+} // namespace
+
+SummarySet computeSummaries(const CallGraph &CG,
+                            const std::vector<const core::Program *> &Modules,
+                            const SinkTable &Sinks) {
+  SummarySet Set;
+  Set.Summaries.resize(CG.functions().size());
+  for (size_t I = 0; I < CG.functions().size(); ++I) {
+    Set.Summaries[I].Name = CG.functions()[I].Name;
+    const core::Function *Fn = CG.functions()[I].Fn;
+    Set.Summaries[I].NumParams =
+        Fn ? static_cast<unsigned>(Fn->Params.size()) : 0;
+    Set.Summaries[I].MutFlow.assign(Set.Summaries[I].NumParams, 0);
+  }
+
+  std::map<std::pair<FuncId, core::StmtIndex>, size_t> SiteOf;
+  for (size_t I = 0; I < CG.sites().size(); ++I)
+    SiteOf[{CG.sites()[I].Caller, CG.sites()[I].Index}] = I;
+
+  // Bottom-up: the SCC order is callees-first, so callee summaries are
+  // final by the time a caller reads them; within an SCC, iterate.
+  for (const std::vector<FuncId> &SCC : CG.sccOrder()) {
+    bool Changed = true;
+    for (int Iter = 0; Changed && Iter < 130; ++Iter) {
+      Changed = false;
+      for (FuncId Fn : SCC) {
+        FunctionSummary New =
+            LocalAnalyzer(CG, Modules, Sinks, Set.Summaries, SiteOf, Fn)
+                .run();
+        if (!(New == Set.Summaries[Fn])) {
+          Set.Summaries[Fn] = std::move(New);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Set;
+}
+
+PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S) {
+  PruneDecision D;
+  const std::vector<FunctionSummary> &Sums = S.Summaries;
+  std::vector<bool> Reach = CG.reachableFromRoots();
+
+  // Syntactic facts are package-global: a site in an unreachable
+  // function still exists in the graph (toplevel passes and inlining
+  // may materialize it).
+  bool HasSite[NumSinkClasses] = {false, false, false, false};
+  bool HasVU = false;
+  for (const FunctionSummary &F : Sums) {
+    for (int C = 0; C < NumSinkClasses; ++C)
+      HasSite[C] |= F.HasSinkSite[C];
+    HasVU |= F.HasVUSite;
+  }
+
+  // Taint exists only if some exported entry point has parameters.
+  bool TaintSources = false;
+  for (const CGFunction &F : CG.functions())
+    if (F.IsEntry && F.Fn && !F.Fn->Params.empty())
+      TaintSources = true;
+
+  // `other` becomes live once any reachable function can push taint
+  // into shared state or shared return nodes (context collapse).
+  bool OtherLive = false;
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (size_t I = 0; I < Sums.size(); ++I) {
+      if (!Reach[I])
+        continue;
+      OriginMask Live =
+          paramsMask(Sums[I].NumParams) | (OtherLive ? OtherOrigin : 0);
+      if (Live & (Sums[I].RetFlow | Sums[I].GlobalWriteFlow))
+        OtherLive = true;
+    }
+
+  auto LiveMask = [&](const FunctionSummary &F) {
+    return paramsMask(F.NumParams) | (OtherLive ? OtherOrigin : 0);
+  };
+
+  // The Unresolved fallback rule: a reachable dynamic call that can see
+  // live taint defeats summary reasoning entirely.
+  bool UnresolvedHazard = false;
+  for (size_t I = 0; I < Sums.size(); ++I)
+    if (Reach[I] && (LiveMask(Sums[I]) & Sums[I].UnresolvedArgFlow))
+      UnresolvedHazard = true;
+
+  auto FlowClean = [&](int C) {
+    for (size_t I = 0; I < Sums.size(); ++I) {
+      if (!Reach[I])
+        continue;
+      OriginMask Flow = C == SinkClassPrototypePollution
+                            ? Sums[I].PolluteFlow
+                            : Sums[I].SinkFlow[C];
+      if (LiveMask(Sums[I]) & Flow)
+        return false;
+    }
+    return true;
+  };
+
+  for (int C = 0; C < NumSinkClasses; ++C) {
+    bool Pollution = C == SinkClassPrototypePollution;
+    if (!TaintSources) {
+      D.Prunable[C] = true;
+      D.Reason[C] = "no-taint-sources";
+    } else if (!Pollution && !HasSite[C]) {
+      D.Prunable[C] = true;
+      D.Reason[C] = "no-sink-callsites";
+    } else if (Pollution && !HasVU) {
+      D.Prunable[C] = true;
+      D.Reason[C] = "no-dynamic-writes";
+    } else if (UnresolvedHazard) {
+      D.Reason[C] = "unresolved-callee";
+    } else if (FlowClean(C)) {
+      D.Prunable[C] = true;
+      D.Reason[C] = "summaries-clean";
+    } else {
+      D.Reason[C] = Pollution ? "vu-reachable" : "sink-reachable";
+    }
+  }
+  return D;
+}
+
+std::string PruneDecision::str() const {
+  std::string Out;
+  for (int C = 0; C < NumSinkClasses; ++C) {
+    if (!Out.empty())
+      Out += ",";
+    Out += std::string(sinkClassTag(C)) + ":" +
+           (Prunable[C] ? "pruned(" : "kept(") + Reason[C] + ")";
+  }
+  return Out;
+}
+
+std::string dumpText(const SummarySet &S, const CallGraph &CG) {
+  std::ostringstream OS;
+  PruneDecision D = decidePruning(CG, S);
+  OS << "summaries: " << S.Summaries.size() << " functions\n";
+  for (size_t I = 0; I < S.Summaries.size(); ++I) {
+    const FunctionSummary &F = S.Summaries[I];
+    OS << "  " << F.Name << "/" << F.NumParams;
+    if (CG.functions()[I].IsEntry)
+      OS << " [entry]";
+    OS << "\n";
+    for (int C = 0; C < NumSinkClasses; ++C)
+      if (F.SinkFlow[C] || F.HasSinkSite[C])
+        OS << "    " << sinkClassTag(C) << ": flow "
+           << maskToString(F.SinkFlow[C], F.NumParams)
+           << (F.HasSinkSite[C] ? " (site)" : "") << "\n";
+    if (F.RetFlow)
+      OS << "    ret: " << maskToString(F.RetFlow, F.NumParams) << "\n";
+    if (F.PolluteFlow || F.HasVUSite)
+      OS << "    prop-write: " << maskToString(F.PolluteFlow, F.NumParams)
+         << (F.HasVUSite ? " (vu site)" : "") << "\n";
+    if (F.CallsUnresolved)
+      OS << "    calls-unresolved: "
+         << maskToString(F.UnresolvedArgFlow, F.NumParams) << "\n";
+  }
+  OS << "prune decision: " << D.str() << "\n";
+  return OS.str();
+}
+
+// --- JSON round trip --------------------------------------------------------
+
+static std::string maskHex(OriginMask M) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(M));
+  return Buf;
+}
+
+static bool parseMask(const json::Value &V, OriginMask &Out) {
+  if (!V.isString())
+    return false;
+  Out = std::strtoull(V.asString().c_str(), nullptr, 16);
+  return true;
+}
+
+std::string summariesToJSON(const SummarySet &S) {
+  json::Array Fns;
+  for (const FunctionSummary &F : S.Summaries) {
+    json::Object O;
+    O["name"] = json::Value(F.Name);
+    O["num_params"] = json::Value(F.NumParams);
+    json::Array Sink, Sites, Mut;
+    for (int C = 0; C < NumSinkClasses; ++C) {
+      Sink.push_back(json::Value(maskHex(F.SinkFlow[C])));
+      Sites.push_back(json::Value(F.HasSinkSite[C]));
+    }
+    for (OriginMask M : F.MutFlow)
+      Mut.push_back(json::Value(maskHex(M)));
+    O["sink_flow"] = json::Value(std::move(Sink));
+    O["has_sink_site"] = json::Value(std::move(Sites));
+    O["mut_flow"] = json::Value(std::move(Mut));
+    O["ret_flow"] = json::Value(maskHex(F.RetFlow));
+    O["pollute_flow"] = json::Value(maskHex(F.PolluteFlow));
+    O["unresolved_arg_flow"] = json::Value(maskHex(F.UnresolvedArgFlow));
+    O["global_write_flow"] = json::Value(maskHex(F.GlobalWriteFlow));
+    O["has_vu_site"] = json::Value(F.HasVUSite);
+    O["calls_unresolved"] = json::Value(F.CallsUnresolved);
+    Fns.push_back(json::Value(std::move(O)));
+  }
+  json::Object Root;
+  Root["functions"] = json::Value(std::move(Fns));
+  return json::Value(std::move(Root)).str(2);
+}
+
+bool summariesFromJSON(const std::string &Text, SummarySet &Out,
+                       std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  json::Value Root;
+  std::string ParseErr;
+  if (!json::parse(Text, Root, &ParseErr))
+    return Fail(ParseErr);
+  if (!Root.isObject() || !Root.asObject().count("functions") ||
+      !Root.asObject().at("functions").isArray())
+    return Fail("summary JSON needs a 'functions' array");
+  Out.Summaries.clear();
+  for (const json::Value &V : Root.asObject().at("functions").asArray()) {
+    if (!V.isObject())
+      return Fail("each summary must be an object");
+    const json::Object &O = V.asObject();
+    FunctionSummary F;
+    if (!O.count("name") || !O.at("name").isString())
+      return Fail("summary needs a 'name'");
+    F.Name = O.at("name").asString();
+    if (O.count("num_params") && O.at("num_params").isNumber())
+      F.NumParams = static_cast<unsigned>(O.at("num_params").asNumber());
+    if (O.count("sink_flow") && O.at("sink_flow").isArray()) {
+      const json::Array &A = O.at("sink_flow").asArray();
+      for (size_t C = 0; C < A.size() && C < NumSinkClasses; ++C)
+        if (!parseMask(A[C], F.SinkFlow[C]))
+          return Fail("bad sink_flow mask");
+    }
+    if (O.count("has_sink_site") && O.at("has_sink_site").isArray()) {
+      const json::Array &A = O.at("has_sink_site").asArray();
+      for (size_t C = 0; C < A.size() && C < NumSinkClasses; ++C)
+        F.HasSinkSite[C] = A[C].isBool() && A[C].asBool();
+    }
+    if (O.count("mut_flow") && O.at("mut_flow").isArray())
+      for (const json::Value &M : O.at("mut_flow").asArray()) {
+        OriginMask Mask = 0;
+        if (!parseMask(M, Mask))
+          return Fail("bad mut_flow mask");
+        F.MutFlow.push_back(Mask);
+      }
+    auto Mask = [&](const char *Key, OriginMask &Slot) {
+      if (O.count(Key))
+        parseMask(O.at(Key), Slot);
+    };
+    Mask("ret_flow", F.RetFlow);
+    Mask("pollute_flow", F.PolluteFlow);
+    Mask("unresolved_arg_flow", F.UnresolvedArgFlow);
+    Mask("global_write_flow", F.GlobalWriteFlow);
+    F.HasVUSite = O.count("has_vu_site") && O.at("has_vu_site").isBool() &&
+                  O.at("has_vu_site").asBool();
+    F.CallsUnresolved = O.count("calls_unresolved") &&
+                        O.at("calls_unresolved").isBool() &&
+                        O.at("calls_unresolved").asBool();
+    Out.Summaries.push_back(std::move(F));
+  }
+  return true;
+}
+
+} // namespace analysis
+} // namespace gjs

@@ -1,0 +1,143 @@
+//===- analysis/TaintSummary.h - Per-function taint summaries ----*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up per-function taint summaries over call-graph SCCs, and the
+/// pruning decision derived from them. A summary answers, per function:
+/// which taint *origins* (parameter indices, or "other" — module/global
+/// state and unknown values) can reach each vulnerability class's sinks,
+/// the return value, a dynamic property write (prototype-pollution
+/// shape), an unresolved call's inputs, or shared module state.
+///
+/// The lattice is a 64-bit origin mask: bits 0..62 are parameter
+/// indices (indices >= 62 collapse into bit 62), bit 63 is the `other`
+/// origin. Joins are bitwise-or; every transfer is monotone, so the
+/// per-SCC fixpoint converges in at most 64 * |SCC| local passes.
+///
+/// The sink vocabulary is a plain `SinkTable` (class index -> specs)
+/// rather than `queries::SinkConfig`: the queries library links against
+/// this one, so the dependency has to point this way. Class indices
+/// mirror queries::VulnType order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_ANALYSIS_TAINTSUMMARY_H
+#define GJS_ANALYSIS_TAINTSUMMARY_H
+
+#include "analysis/CallGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace analysis {
+
+/// Class indices in queries::VulnType order.
+constexpr int NumSinkClasses = 4;
+constexpr int SinkClassCommandInjection = 0;
+constexpr int SinkClassCodeInjection = 1;
+constexpr int SinkClassPathTraversal = 2;
+constexpr int SinkClassPrototypePollution = 3;
+
+const char *sinkClassTag(int Class); // "CWE-78" etc.
+
+/// One sink pattern: a bare callee name ("exec") or a dotted path
+/// ("child_process.exec"), with the argument positions that must carry
+/// taint (empty = any argument).
+struct SinkTableEntry {
+  std::string Name;
+  bool IsPath = false;
+  std::vector<unsigned> SensitiveArgs;
+};
+
+/// The analysis-layer view of a sink configuration (see
+/// queries::toSinkTable for the converter).
+struct SinkTable {
+  std::vector<SinkTableEntry> Classes[NumSinkClasses];
+  std::set<std::string> Sanitizers;
+};
+
+using OriginMask = uint64_t;
+constexpr OriginMask OtherOrigin = 1ull << 63;
+
+inline OriginMask paramBit(unsigned I) { return 1ull << (I < 62 ? I : 62); }
+inline OriginMask paramsMask(unsigned NumParams) {
+  OriginMask M = 0;
+  for (unsigned I = 0; I < NumParams && I <= 62; ++I)
+    M |= paramBit(I);
+  return M;
+}
+std::string maskToString(OriginMask M, unsigned NumParams);
+
+/// The per-function summary. Masks are origin sets; `Has*Site` records
+/// the *syntactic* presence of a matching site in this function's own
+/// body (not composed through callees).
+struct FunctionSummary {
+  std::string Name;
+  unsigned NumParams = 0;
+  OriginMask SinkFlow[NumSinkClasses] = {0, 0, 0, 0};
+  OriginMask RetFlow = 0;
+  OriginMask PolluteFlow = 0;       ///< reaches a dynamic-write operand
+  OriginMask UnresolvedArgFlow = 0; ///< reaches an unresolved call's inputs
+  OriginMask GlobalWriteFlow = 0;   ///< written to shared module state
+  std::vector<OriginMask> MutFlow;  ///< per-param: origins mutated into it
+  bool HasSinkSite[NumSinkClasses] = {false, false, false, false};
+  bool HasVUSite = false;
+  bool CallsUnresolved = false;
+
+  bool operator==(const FunctionSummary &O) const;
+};
+
+struct SummarySet {
+  /// Parallel to CallGraph::functions().
+  std::vector<FunctionSummary> Summaries;
+};
+
+/// Computes summaries bottom-up over the call graph's SCC order.
+/// Modules must be the same vector the call graph was built from.
+SummarySet computeSummaries(const CallGraph &CG,
+                            const std::vector<const core::Program *> &Modules,
+                            const SinkTable &Sinks);
+
+/// The pruning verdict: per class, whether the query can be skipped and
+/// why (or why not). `Prunable[c] == true` is a soundness claim: the
+/// MDG detectors cannot report class c for this package.
+struct PruneDecision {
+  bool Prunable[NumSinkClasses] = {false, false, false, false};
+  std::string Reason[NumSinkClasses];
+
+  bool allPruned() const {
+    for (bool P : Prunable)
+      if (!P)
+        return false;
+    return true;
+  }
+  unsigned numPruned() const {
+    unsigned N = 0;
+    for (bool P : Prunable)
+      N += P;
+    return N;
+  }
+  /// Compact "CWE-78:no-sink-callsites,..." rendering for journals.
+  std::string str() const;
+};
+
+PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S);
+
+/// Human-readable dump (graphjs callgraph --summaries).
+std::string dumpText(const SummarySet &S, const CallGraph &CG);
+
+/// JSON round trip (masks serialize as hex strings: JSON numbers are
+/// doubles and would corrupt 64-bit masks).
+std::string summariesToJSON(const SummarySet &S);
+bool summariesFromJSON(const std::string &Text, SummarySet &Out,
+                       std::string *Error = nullptr);
+
+} // namespace analysis
+} // namespace gjs
+
+#endif // GJS_ANALYSIS_TAINTSUMMARY_H

@@ -47,6 +47,11 @@ std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
   O["query_seconds"] = json::Value(CT.Query);
   O["nodes"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGNodes));
   O["edges"] = json::Value(static_cast<unsigned long>(Outcome.Result.MDGEdges));
+  O["pruned_queries"] = json::Value(Outcome.Result.PrunedQueries);
+  if (!Outcome.Result.PruneReason.empty())
+    O["prune_reason"] = json::Value(Outcome.Result.PruneReason);
+  if (Outcome.Result.PruneSkippedImport)
+    O["prune_skipped_import"] = json::Value(true);
 
   if (!Outcome.Result.AttemptLog.empty()) {
     json::Array Attempts;
@@ -249,6 +254,21 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
                             static_cast<double>(Scanned.size());
   std::snprintf(Buf, sizeof(Buf), "timeouts: %zu (%.1f%%)\n", TimedOut,
                 TimeoutRate);
+  Out += Buf;
+
+  size_t PrunedPackages = 0, PrunedQueries = 0, SkippedImports = 0;
+  for (const BatchOutcome *O : Scanned) {
+    if (O->Result.PrunedQueries) {
+      ++PrunedPackages;
+      PrunedQueries += O->Result.PrunedQueries;
+    }
+    if (O->Result.PruneSkippedImport)
+      ++SkippedImports;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "pruning: %zu packages, %zu queries skipped, %zu imports "
+                "skipped\n",
+                PrunedPackages, PrunedQueries, SkippedImports);
   Out += Buf;
 
   std::sort(Scanned.begin(), Scanned.end(),

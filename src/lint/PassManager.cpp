@@ -80,5 +80,6 @@ PassManager PassManager::standard() {
   PM.addPass(createIRVerifierPass());
   PM.addPass(createMDGCheckPass());
   PM.addPass(createQuerySchemaPass());
+  PM.addPass(createCallGraphPass());
   return PM;
 }

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The static validation subsystem (`graphjs lint`): a lightweight pass
-/// manager running check passes over the pipeline's artifacts. Three pass
+/// manager running check passes over the pipeline's artifacts. Four pass
 /// families ship by default:
 ///
 ///  - **ir-verify** — post-Normalizer Core IR invariants (temporaries
@@ -24,6 +24,12 @@
 ///    ad-hoc text) linted against the machine-readable import schema
 ///    (`graphdb::mdgSchema()`): unknown labels/relationship types/property
 ///    keys, unsatisfiable hop bounds, unused bindings, unbound variables.
+///
+///  - **callgraph** — the summary-based pruning stage's own invariants:
+///    resolved call edges target live functions (cross-checked against the
+///    MDG's function nodes), summary masks stay inside each function's
+///    parameter bits, and the SCC order is a valid reverse-topological
+///    cover (see docs/CALLGRAPH.md).
 ///
 /// Each pass reads what it needs from a LintContext and appends findings;
 /// passes never mutate artifacts and tolerate missing context (a pass with
@@ -68,6 +74,10 @@ struct LintContext {
   const queries::SinkConfig *Sinks = nullptr;
   /// Additional ad-hoc query texts to lint (e.g. `graphjs lint --query`).
   std::vector<std::string> ExtraQueries;
+  /// All normalized modules of a package (with parallel module stems) for
+  /// the call-graph checker; when empty it falls back to Program alone.
+  std::vector<const core::Program *> Programs;
+  std::vector<std::string> Stems;
 };
 
 /// One validation pass.
@@ -84,7 +94,7 @@ public:
   void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
   LintResult run(const LintContext &Ctx) const;
 
-  /// The standard pipeline: ir-verify, mdg-check, query-schema.
+  /// The standard pipeline: ir-verify, mdg-check, query-schema, callgraph.
   static PassManager standard();
 
 private:
@@ -97,6 +107,7 @@ private:
 std::unique_ptr<Pass> createIRVerifierPass();
 std::unique_ptr<Pass> createMDGCheckPass();
 std::unique_ptr<Pass> createQuerySchemaPass();
+std::unique_ptr<Pass> createCallGraphPass();
 
 } // namespace lint
 } // namespace gjs

@@ -80,6 +80,11 @@ Counter QueryRows("query.rows");
 Counter DeadlineUnits("deadline.units");
 Counter ScanAttempts("scan.attempts");
 Counter ScanRetries("scan.retries");
+Counter SummariesComputed("summaries.computed");
+Counter CallGraphEdgesResolved("callgraph.edges_resolved");
+Counter CallGraphEdgesUnresolved("callgraph.edges_unresolved");
+Counter PruneQueriesSkipped("prune.queries_skipped");
+Counter PruneImportsSkipped("prune.imports_skipped");
 } // namespace counters
 } // namespace obs
 } // namespace gjs

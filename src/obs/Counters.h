@@ -106,6 +106,11 @@ extern Counter QueryRows;       ///< query.rows — result rows emitted.
 extern Counter DeadlineUnits;   ///< deadline.units — checkpointed work.
 extern Counter ScanAttempts;    ///< scan.attempts — pipeline attempts run.
 extern Counter ScanRetries;     ///< scan.retries — degradation retries.
+extern Counter SummariesComputed;       ///< summaries.computed — fn summaries.
+extern Counter CallGraphEdgesResolved;  ///< callgraph.edges_resolved.
+extern Counter CallGraphEdgesUnresolved; ///< callgraph.edges_unresolved.
+extern Counter PruneQueriesSkipped;     ///< prune.queries_skipped.
+extern Counter PruneImportsSkipped;     ///< prune.imports_skipped.
 } // namespace counters
 
 } // namespace obs

@@ -253,14 +253,26 @@ GraphDBRunner::profileBuiltins(const SinkConfig &Config) {
 
 std::vector<VulnReport> GraphDBRunner::detect(const SinkConfig &Config,
                                               DetectStats *Stats) {
+  std::array<bool, NumVulnTypes> All;
+  All.fill(true);
+  return detect(Config, Stats, All);
+}
+
+std::vector<VulnReport>
+GraphDBRunner::detect(const SinkConfig &Config, DetectStats *Stats,
+                      const std::array<bool, NumVulnTypes> &Enabled) {
   std::vector<VulnReport> All;
   for (VulnType T : {VulnType::CommandInjection, VulnType::CodeInjection,
                      VulnType::PathTraversal}) {
+    if (!Enabled[static_cast<int>(T)])
+      continue;
     std::vector<VulnReport> R = detectTaintStyle(T, Config, Stats);
     All.insert(All.end(), R.begin(), R.end());
   }
-  std::vector<VulnReport> PP = detectPrototypePollution(Stats);
-  All.insert(All.end(), PP.begin(), PP.end());
+  if (Enabled[static_cast<int>(VulnType::PrototypePollution)]) {
+    std::vector<VulnReport> PP = detectPrototypePollution(Stats);
+    All.insert(All.end(), PP.begin(), PP.end());
+  }
   return All;
 }
 
@@ -270,6 +282,14 @@ std::vector<VulnReport> GraphDBRunner::detect(const SinkConfig &Config,
 
 std::vector<VulnReport> queries::detectNative(
     const analysis::BuildResult &Build, const SinkConfig &Config) {
+  std::array<bool, NumVulnTypes> All;
+  All.fill(true);
+  return detectNative(Build, Config, All);
+}
+
+std::vector<VulnReport> queries::detectNative(
+    const analysis::BuildResult &Build, const SinkConfig &Config,
+    const std::array<bool, NumVulnTypes> &Enabled) {
   const Graph &G = Build.Graph;
   Traversals T(G);
 
@@ -286,6 +306,8 @@ std::vector<VulnReport> queries::detectNative(
   // Taint-style classes: tainted value reaches a sensitive sink argument.
   for (VulnType VT : {VulnType::CommandInjection, VulnType::CodeInjection,
                       VulnType::PathTraversal}) {
+    if (!Enabled[static_cast<int>(VT)])
+      continue;
     for (const SinkSpec &Spec : Config.sinks(VT)) {
       for (NodeId C : Build.CallNodes) {
         const Node &CN = G.node(C);
@@ -316,6 +338,8 @@ std::vector<VulnReport> queries::detectNative(
 
   // Prototype pollution: ObjLookup* ∘ ObjAssignment* with all three
   // controlled positions tainted (Table 2, last row).
+  if (!Enabled[static_cast<int>(VulnType::PrototypePollution)])
+    return Reports;
   for (auto [Obj, Sub] : T.objLookupStar()) {
     (void)Obj;
     if (!Tainted.count(Sub))

@@ -31,6 +31,7 @@
 #include "queries/Traversals.h"
 #include "queries/VulnTypes.h"
 
+#include <array>
 #include <vector>
 
 namespace gjs {
@@ -52,6 +53,11 @@ public:
   /// Detects all four vulnerability classes.
   std::vector<VulnReport> detect(const SinkConfig &Config,
                                  DetectStats *Stats = nullptr);
+
+  /// Detects only the classes whose Enabled[int(VulnType)] flag is true
+  /// (the scanner's pre-query pruning mask).
+  std::vector<VulnReport> detect(const SinkConfig &Config, DetectStats *Stats,
+                                 const std::array<bool, NumVulnTypes> &Enabled);
 
   /// Runs one taint-style class only.
   std::vector<VulnReport> detectTaintStyle(VulnType T,
@@ -106,6 +112,11 @@ private:
 /// The same Table 2 detectors via native Table 1 traversals.
 std::vector<VulnReport> detectNative(const analysis::BuildResult &Build,
                                      const SinkConfig &Config);
+
+/// Class-masked native detection (pre-query pruning mask).
+std::vector<VulnReport>
+detectNative(const analysis::BuildResult &Build, const SinkConfig &Config,
+             const std::array<bool, NumVulnTypes> &Enabled);
 
 } // namespace queries
 } // namespace gjs

@@ -147,3 +147,19 @@ bool SinkConfig::fromJSON(const std::string &Text, SinkConfig &Out,
   }
   return true;
 }
+
+analysis::SinkTable queries::toSinkTable(const SinkConfig &Config) {
+  analysis::SinkTable Table;
+  for (int C = 0; C < NumVulnTypes; ++C) {
+    for (const SinkSpec &S : Config.sinks(static_cast<VulnType>(C))) {
+      analysis::SinkTableEntry E;
+      E.Name = S.Name;
+      E.IsPath = S.isPath();
+      E.SensitiveArgs = S.SensitiveArgs;
+      Table.Classes[C].push_back(std::move(E));
+    }
+  }
+  for (const std::string &S : Config.sanitizers())
+    Table.Sanitizers.insert(S);
+  return Table;
+}

@@ -19,6 +19,7 @@
 #ifndef GJS_QUERIES_SINKCONFIG_H
 #define GJS_QUERIES_SINKCONFIG_H
 
+#include "analysis/TaintSummary.h"
 #include "queries/VulnTypes.h"
 
 #include <string>
@@ -80,6 +81,11 @@ private:
   std::vector<SinkSpec> Sinks[NumVulnTypes];
   std::vector<std::string> Sanitizers_;
 };
+
+/// Converts a sink configuration into the analysis layer's plain
+/// SinkTable (the summary pass cannot depend on this library, so the
+/// bridge lives here; class indices mirror VulnType order).
+analysis::SinkTable toSinkTable(const SinkConfig &Config);
 
 } // namespace queries
 } // namespace gjs

@@ -6,6 +6,8 @@
 
 #include "scanner/Scanner.h"
 
+#include "analysis/CallGraph.h"
+#include "analysis/TaintSummary.h"
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
 #include "lint/PassManager.h"
@@ -15,6 +17,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 
 using namespace gjs;
@@ -105,13 +108,23 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
 
 namespace {
 
-/// Runs the MDG well-formedness pass over a freshly built graph
-/// (ScanOptions::SelfCheck).
-std::vector<lint::Finding> runSelfCheck(const analysis::BuildResult &Build) {
+/// Runs the MDG well-formedness pass and the call-graph/summary checker
+/// over a freshly built graph (ScanOptions::SelfCheck).
+std::vector<lint::Finding>
+runSelfCheck(const analysis::BuildResult &Build,
+             const std::vector<const core::Program *> &Programs,
+             const std::vector<std::string> &Stems,
+             const queries::SinkConfig &Sinks) {
   lint::PassManager PM;
   PM.addPass(lint::createMDGCheckPass());
+  PM.addPass(lint::createCallGraphPass());
   lint::LintContext Ctx;
   Ctx.Build = &Build;
+  Ctx.Programs = Programs;
+  Ctx.Stems = Stems;
+  Ctx.Sinks = &Sinks;
+  if (Programs.size() == 1)
+    Ctx.Program = Programs[0];
   return PM.run(Ctx).findings();
 }
 
@@ -312,6 +325,46 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   noteDeadline(ScanPhase::Normalize);
   Out.Times.Parse = Phase.elapsedSeconds();
 
+  // Pre-query pruning (summary stage): a static call graph plus
+  // bottom-up per-function taint summaries over the normalized Core IR
+  // decide, per vulnerability class, whether the exported API can reach
+  // any matching sink at all. A pruned class's query is skipped; when
+  // every class is pruned under the GraphDB backend the database import
+  // itself is skipped. Soundness: the summaries over-approximate the MDG
+  // detectors (any unresolved callee on a relevant path blocks pruning),
+  // so the report set is identical with and without pruning — asserted
+  // by the detection-neutrality test in tests/test_summaries.cpp.
+  std::vector<const core::Program *> PruneMods;
+  std::vector<std::string> PruneStems;
+  for (size_t I = 0; I < Programs.size(); ++I)
+    if (Programs[I]) {
+      PruneMods.push_back(Programs[I].get());
+      PruneStems.push_back(Stems[I]);
+    }
+  std::array<bool, queries::NumVulnTypes> Enabled;
+  Enabled.fill(true);
+  if (Cfg.Prune) {
+    obs::Span PruneSpan(TR, "prune");
+    if (!PruneMods.empty()) {
+      analysis::CallGraph CG = analysis::CallGraph::build(
+          PruneMods, PruneStems, Cfg.Builder.FallbackAllFunctionsExported);
+      analysis::SummarySet Sums = analysis::computeSummaries(
+          CG, PruneMods, queries::toSinkTable(Cfg.Sinks));
+      analysis::PruneDecision PD = analysis::decidePruning(CG, Sums);
+      Out.PrunedQueries = PD.numPruned();
+      Out.PruneReason = PD.str();
+      for (int C = 0; C < queries::NumVulnTypes; ++C)
+        Enabled[C] = !PD.Prunable[C];
+      obs::counters::SummariesComputed.add(Sums.Summaries.size());
+      obs::counters::CallGraphEdgesResolved.add(CG.numResolvedEdges());
+      obs::counters::CallGraphEdgesUnresolved.add(CG.numUnresolvedSites());
+      obs::counters::PruneQueriesSkipped.add(PD.numPruned());
+      PruneSpan.arg("functions", static_cast<uint64_t>(CG.functions().size()));
+      PruneSpan.arg("pruned", static_cast<uint64_t>(PD.numPruned()));
+      PruneSpan.arg("decision", PD.str());
+    }
+  }
+
   // Phase 3: MDG construction over all parsed modules, deps first.
   // Configured sanitizers become builder-level taint barriers (§6).
   Phase.reset();
@@ -350,7 +403,8 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
                                   std::to_string(Build.WorkDone) + ")",
                               ""});
       if (Cfg.SelfCheck)
-        Out.SelfCheckFindings = runSelfCheck(Build);
+        Out.SelfCheckFindings =
+            runSelfCheck(Build, PruneMods, PruneStems, Cfg.Sinks);
     }
   }
   noteDeadline(ScanPhase::Build);
@@ -359,10 +413,19 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // Phases 4+5: import into the database and run the queries. The built-in
   // queries are schema-validated first: a malformed query must fail the
   // scan loudly, not return an empty (vacuously clean) report set.
+  bool AllPruned = true;
+  for (bool En : Enabled)
+    AllPruned = AllPruned && !En;
   if (HaveGraph) {
     if (Cfg.Backend == QueryBackend::GraphDB) {
-      if (!queries::GraphDBRunner::validateBuiltinQueries(Cfg.Sinks,
-                                                          &Out.SchemaError)) {
+      if (AllPruned) {
+        // Every class was pruned: the summary stage proved the detectors
+        // cannot report anything, so the schema validation, database
+        // import, and query phases are all skipped.
+        Out.PruneSkippedImport = true;
+        obs::counters::PruneImportsSkipped.add();
+      } else if (!queries::GraphDBRunner::validateBuiltinQueries(
+                     Cfg.Sinks, &Out.SchemaError)) {
         Out.Errors.push_back({ScanPhase::Query, ScanErrorKind::Schema,
                               Out.SchemaError, ""});
       } else if (!inject(ScanPhase::Import)) {
@@ -384,7 +447,7 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
           Phase.reset();
           obs::Span QuerySpan(TR, "query");
           queries::DetectStats Stats;
-          Out.Reports = Runner.detect(Cfg.Sinks, &Stats);
+          Out.Reports = Runner.detect(Cfg.Sinks, &Stats, Enabled);
           QuerySpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
           QuerySpan.arg("work", Stats.QueryWork);
           QuerySpan.close();
@@ -405,19 +468,19 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
       // §5.2): when the deadline killed the DB-side phases before any
       // report came back, still query the in-memory partial MDG with the
       // native traversals, which are bounded by the (partial) graph size.
-      if (D.expired() && Out.Reports.empty()) {
+      if (!AllPruned && D.expired() && Out.Reports.empty()) {
         Phase.reset();
         obs::Span NativeSpan(TR, "native-query");
         NativeSpan.arg("fallback", "partial-results");
-        Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+        Out.Reports = queries::detectNative(Build, Cfg.Sinks, Enabled);
         NativeSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
         NativeSpan.close();
         Out.Times.Query += Phase.elapsedSeconds();
       }
-    } else if (!inject(ScanPhase::Query)) {
+    } else if (!AllPruned && !inject(ScanPhase::Query)) {
       Phase.reset();
       obs::Span NativeSpan(TR, "native-query");
-      Out.Reports = queries::detectNative(Build, Cfg.Sinks);
+      Out.Reports = queries::detectNative(Build, Cfg.Sinks, Enabled);
       NativeSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
       NativeSpan.close();
       Out.Times.Query = Phase.elapsedSeconds();

@@ -106,6 +106,12 @@ struct ScanOptions {
   DeadlineBudget Deadline;
   /// Deterministic fault injection (tests/CI).
   std::optional<FaultPlan> Fault;
+  /// Pre-query pruning: build the static call graph + per-function taint
+  /// summaries after normalization and skip queries (or the whole graphdb
+  /// import) for classes the exported API provably cannot reach. Sound by
+  /// construction: any unresolved callee on a relevant path falls back to
+  /// the full pipeline. `graphjs scan --no-prune` clears this.
+  bool Prune = true;
   /// Degradation-ladder depth: how many times a package whose scan hit a
   /// containable failure (injected fault, deadline, work budget) is retried
   /// with cheaper settings. 0 disables retries (single attempt, partial
@@ -182,6 +188,15 @@ struct ScanResult {
   std::string SchemaError;
   /// MDG checker findings (populated when ScanOptions::SelfCheck is set).
   std::vector<lint::Finding> SelfCheckFindings;
+  /// Pre-query pruning outcome: how many of the four vulnerability
+  /// classes were skipped, and the per-class decision string
+  /// ("CWE-78:pruned(no-sink-callsites),..."). Empty when pruning is
+  /// disabled or never ran (e.g. parse-only failures).
+  unsigned PrunedQueries = 0;
+  std::string PruneReason;
+  /// True when pruning removed all four classes under the GraphDB
+  /// backend, so the database import itself was skipped.
+  bool PruneSkippedImport = false;
 
   /// True when any file failed to parse (the file was skipped; the rest of
   /// the package was still scanned and linked).

@@ -456,7 +456,9 @@ TEST(ProfilerTest, RenderProfileListsStepsAndTotals) {
 TEST(ObsCLITest, ScanTraceOutWritesChromeLoadableJSON) {
   std::string TracePath = ::testing::TempDir() + "gjs_obs_trace.json";
   std::remove(TracePath.c_str());
-  std::string Cmd = std::string(GRAPHJS_BIN) + " scan --trace-out " +
+  // --no-prune: the clean example would otherwise prune all four classes
+  // and skip the import/query phases this test asserts spans for.
+  std::string Cmd = std::string(GRAPHJS_BIN) + " scan --no-prune --trace-out " +
                     TracePath + " " + GJS_EXAMPLES_JS_DIR +
                     "/clean_utils.js > /dev/null 2>&1";
   EXPECT_EQ(std::system(Cmd.c_str()), 0);

@@ -28,4 +28,9 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # query profiler, and the --trace/--explain/--profile CLI round trips.
 "$BUILD_DIR/tests/test_obs"
 
+# The pruning suite: call-graph + taint-summary bit manipulation (the
+# origin-mask shifts UBSan vets) and the detection-neutrality sweep over
+# both query backends.
+"$BUILD_DIR/tests/test_summaries"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

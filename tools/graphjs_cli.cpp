@@ -8,6 +8,7 @@
 //   graphjs query <query> <file.js>...       run a raw graph query
 //   graphjs lint  [options] <file.js>...     validate pipeline artifacts
 //   graphjs batch [options] <dir|list.txt>   resumable batch scan
+//   graphjs callgraph [options] <file.js>... static call graph + summaries
 //
 // Batch options:
 //   --journal <out.jsonl>   incremental per-package outcome journal
@@ -29,6 +30,12 @@
 //   --summary               human-readable output (default: JSON)
 //   --package               scan all inputs as one linked package
 //   --self-check            run the MDG well-formedness checker too
+//   --no-prune              disable summary-based pre-query pruning
+//
+// Callgraph options:
+//   --dot                   GraphViz dot instead of text
+//   --summaries             also print per-function taint summaries and
+//                           the pruning decision
 //
 // Lint options:
 //   --summary               human-readable output (default: JSON)
@@ -36,7 +43,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
 #include "analysis/MDGBuilder.h"
+#include "analysis/TaintSummary.h"
 #include "cfg/CFG.h"
 #include "core/Normalizer.h"
 #include "driver/BatchDriver.h"
@@ -52,6 +61,7 @@
 #include "support/JSON.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -69,15 +79,18 @@ int usage() {
       stderr,
       "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
       "                    [--dump-core] [--dump-mdg] [--summary]\n"
-      "                    [--self-check] [--trace] [--trace-out t.json]\n"
-      "                    <file.js>...\n"
+      "                    [--self-check] [--no-prune] [--trace]\n"
+      "                    [--trace-out t.json] <file.js>...\n"
       "       graphjs query [--explain] [--profile] [--builtin]\n"
       "                     ['<MATCH ... RETURN ...>'] <file.js>...\n"
       "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n"
       "       graphjs batch [--journal out.jsonl] [--resume] [--stats]\n"
       "                     [--deadline-ms n] [--work n] [--max n]\n"
       "                     [--max-degradation n] [--inject-fault spec]\n"
-      "                     [--native] [--summary] <dir|list.txt|file.js>...\n");
+      "                     [--native] [--summary] [--no-prune]\n"
+      "                     <dir|list.txt|file.js>...\n"
+      "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
+      "                         <file.js>...\n");
   return 2;
 }
 
@@ -114,7 +127,7 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
             bool DumpCore, bool DumpMDG, bool DumpDot, bool Summary,
-            bool SelfCheck, const std::string &SinksFile,
+            bool SelfCheck, bool Prune, const std::string &SinksFile,
             obs::TraceRecorder *TR) {
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
   if (!SinksFile.empty()) {
@@ -181,6 +194,30 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       std::printf("== %s: Core JavaScript ==\n%s\n", Path.c_str(),
                   core::dump(*Program).c_str());
 
+    // Summary-based pre-query pruning (same stage the package scanner
+    // runs): classes the exported API provably cannot reach are skipped.
+    std::array<bool, queries::NumVulnTypes> Enabled;
+    Enabled.fill(true);
+    if (Prune) {
+      obs::Span PruneSpan(TR, "prune");
+      std::vector<const core::Program *> Mods{Program.get()};
+      analysis::CallGraph CG = analysis::CallGraph::build(Mods, {""});
+      analysis::SummarySet Sums =
+          analysis::computeSummaries(CG, Mods, queries::toSinkTable(Sinks));
+      analysis::PruneDecision PD = analysis::decidePruning(CG, Sums);
+      for (int C = 0; C < queries::NumVulnTypes; ++C)
+        Enabled[C] = !PD.Prunable[C];
+      obs::counters::SummariesComputed.add(Sums.Summaries.size());
+      obs::counters::CallGraphEdgesResolved.add(CG.numResolvedEdges());
+      obs::counters::CallGraphEdgesUnresolved.add(CG.numUnresolvedSites());
+      obs::counters::PruneQueriesSkipped.add(PD.numPruned());
+      PruneSpan.arg("pruned", static_cast<uint64_t>(PD.numPruned()));
+      PruneSpan.arg("decision", PD.str());
+    }
+    bool AllPruned = true;
+    for (bool En : Enabled)
+      AllPruned = AllPruned && !En;
+
     obs::Span BuildSpan(TR, "build");
     analysis::BuildResult Build = analysis::buildMDG(*Program);
     BuildSpan.arg("mdg_nodes", static_cast<uint64_t>(Build.Graph.numNodes()));
@@ -206,9 +243,12 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       std::printf("%s", Build.Graph.toDot(Build.Props).c_str());
 
     std::vector<queries::VulnReport> Reports;
-    if (Native) {
+    if (AllPruned) {
+      // Every class pruned: the import and query phases are skipped.
+      obs::counters::PruneImportsSkipped.add();
+    } else if (Native) {
       obs::Span NativeSpan(TR, "native-query");
-      Reports = queries::detectNative(Build, Sinks);
+      Reports = queries::detectNative(Build, Sinks, Enabled);
       NativeSpan.arg("reports", static_cast<uint64_t>(Reports.size()));
     } else {
       graphdb::EngineOptions EO;
@@ -217,7 +257,7 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
       queries::GraphDBRunner Runner(Build, EO);
       ImportSpan.close();
       obs::Span QuerySpan(TR, "query");
-      Reports = Runner.detect(Sinks);
+      Reports = Runner.detect(Sinks, nullptr, Enabled);
       QuerySpan.arg("reports", static_cast<uint64_t>(Reports.size()));
     }
 
@@ -272,10 +312,11 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
 /// Linked multi-file scan: one MDG for all inputs (local requires
 /// resolve across files).
 int runPackageScan(const std::vector<std::string> &Files, bool Native,
-                   bool Summary, bool SelfCheck,
+                   bool Summary, bool SelfCheck, bool Prune,
                    const std::string &SinksFile, obs::TraceRecorder *TR) {
   scanner::ScanOptions O;
   O.SelfCheck = SelfCheck;
+  O.Prune = Prune;
   O.Trace = TR;
   if (!SinksFile.empty()) {
     std::string Text;
@@ -314,12 +355,81 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
   if (Summary) {
     std::printf("package (%zu files): %zu finding(s)\n", Sources.size(),
                 R.Reports.size());
+    if (R.PrunedQueries)
+      std::printf("  pruned %u quer%s%s (%s)\n", R.PrunedQueries,
+                  R.PrunedQueries == 1 ? "y" : "ies",
+                  R.PruneSkippedImport ? " + import" : "",
+                  R.PruneReason.c_str());
     for (const queries::VulnReport &Rep : R.Reports)
       std::printf("  %s\n", Rep.str().c_str());
   } else {
     std::printf("%s\n", scanner::reportsToJSON(R.Reports).c_str());
   }
   return R.Reports.empty() ? 0 : 3;
+}
+
+/// `graphjs callgraph`: prints the static call graph (text or dot) and,
+/// with --summaries, the per-function taint summaries and the pruning
+/// decision for the inputs linked as one package.
+int runCallGraph(const std::vector<std::string> &Files, bool Dot,
+                 bool Summaries, const std::string &SinksFile) {
+  queries::SinkConfig Sinks = queries::SinkConfig::defaults();
+  if (!SinksFile.empty()) {
+    std::string Text;
+    queries::SinkConfig Custom;
+    std::string Error;
+    if (!readFile(SinksFile, Text) ||
+        !queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+      std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                   SinksFile.c_str(), Error.c_str());
+      return 1;
+    }
+    Sinks = Custom;
+  }
+
+  // Same per-module name prefixing as the package scanner, so the graph
+  // matches what the pruning stage sees.
+  bool SingleFile = Files.size() == 1;
+  core::StmtIndex NextIndex = 1;
+  std::vector<std::unique_ptr<core::Program>> Programs;
+  std::vector<std::string> Stems;
+  for (const std::string &Path : Files) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    auto Module = parseJS(Source, Diags);
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    std::string Stem = std::filesystem::path(Path).stem().string();
+    core::Normalizer Norm(Diags, SingleFile ? "" : Stem + "$", NextIndex);
+    Programs.push_back(Norm.normalize(*Module));
+    NextIndex = Programs.back()->NumIndices + 1;
+    Stems.push_back(std::move(Stem));
+  }
+
+  std::vector<const core::Program *> Mods;
+  for (const auto &P : Programs)
+    Mods.push_back(P.get());
+  analysis::CallGraph CG = analysis::CallGraph::build(Mods, Stems);
+
+  if (Dot)
+    std::printf("%s", CG.toDot().c_str());
+  else
+    std::printf("%s", CG.dumpText().c_str());
+
+  if (Summaries) {
+    analysis::SummarySet Sums =
+        analysis::computeSummaries(CG, Mods, queries::toSinkTable(Sinks));
+    // dumpText ends with the "prune decision:" line.
+    std::printf("%s", analysis::dumpText(Sums, CG).c_str());
+  }
+  return 0;
 }
 
 /// Collects batch packages from a CLI input: a directory (each contained
@@ -628,6 +738,28 @@ int main(int argc, char **argv) {
     return runLint(Files, Summary, ExtraQueries);
   }
 
+  if (Mode == "callgraph") {
+    bool Dot = false, Summaries = false;
+    std::string SinksFile;
+    std::vector<std::string> Files;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--dot")
+        Dot = true;
+      else if (Arg == "--summaries")
+        Summaries = true;
+      else if (Arg == "--sinks" && I + 1 < argc)
+        SinksFile = argv[++I];
+      else if (Arg.rfind("--", 0) == 0)
+        return usage();
+      else
+        Files.push_back(Arg);
+    }
+    if (Files.empty())
+      return usage();
+    return runCallGraph(Files, Dot, Summaries, SinksFile);
+  }
+
   if (Mode == "batch") {
     driver::BatchOptions O;
     bool Summary = false, Stats = false;
@@ -637,6 +769,8 @@ int main(int argc, char **argv) {
       std::string Arg = argv[I];
       if (Arg == "--native")
         O.Scan.Backend = scanner::QueryBackend::Native;
+      else if (Arg == "--no-prune")
+        O.Scan.Prune = false;
       else if (Arg == "--summary")
         Summary = true;
       else if (Arg == "--stats")
@@ -691,7 +825,7 @@ int main(int argc, char **argv) {
 
   bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
        DumpDot = false, Summary = false, AsPackage = false,
-       SelfCheck = false, Trace = false;
+       SelfCheck = false, Trace = false, Prune = true;
   std::string SinksFile, TraceOut;
   std::vector<std::string> Files;
   for (int I = 2; I < argc; ++I) {
@@ -712,6 +846,8 @@ int main(int argc, char **argv) {
       AsPackage = true;
     else if (Arg == "--self-check")
       SelfCheck = true;
+    else if (Arg == "--no-prune")
+      Prune = false;
     else if (Arg == "--trace")
       Trace = true;
     else if (Arg == "--trace-out" && I + 1 < argc)
@@ -735,10 +871,10 @@ int main(int argc, char **argv) {
     obs::setCountersEnabled(true);
 
   int Code = AsPackage
-                 ? runPackageScan(Files, Native, Summary, SelfCheck,
+                 ? runPackageScan(Files, Native, Summary, SelfCheck, Prune,
                                   SinksFile, TR)
                  : runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
-                           Summary, SelfCheck, SinksFile, TR);
+                           Summary, SelfCheck, Prune, SinksFile, TR);
   if (TR) {
     if (Trace) {
       std::fprintf(stderr, "%s", Recorder.toText().c_str());
