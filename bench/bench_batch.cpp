@@ -1,0 +1,131 @@
+//===- bench/bench_batch.cpp - Multi-process batch scanning throughput ----==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// Measures what the supervised worker pool (docs/ROBUSTNESS.md) buys and
+// costs: the same generated workload corpus scanned
+//
+//   - in-process (`graphjs batch`, jobs=1 — the baseline), and
+//   - through the fork-per-package pool at jobs=2 and jobs=4.
+//
+// Reported per mode: wall-clock, summed per-package CPU, wall-clock
+// throughput, and speedup over in-process. Detection neutrality is
+// asserted inline: any mode whose per-package verdicts or report counts
+// differ from the in-process run fails the binary — process isolation
+// must be free in findings, only paid in fork/merge overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "driver/BatchDriver.h"
+#include "driver/ProcessPool.h"
+#include "support/TablePrinter.h"
+
+using namespace gjs;
+using namespace gjs::bench;
+
+namespace {
+
+struct Mode {
+  std::string Name;
+  unsigned Jobs; // 0 = in-process BatchDriver.
+};
+
+struct Measured {
+  driver::BatchSummary Summary;
+  std::vector<double> PerPackageSeconds;
+};
+
+Measured runMode(const Mode &M, const std::vector<driver::BatchInput> &Inputs) {
+  Measured Out;
+  driver::BatchOptions BO;
+  if (M.Jobs == 0) {
+    Out.Summary = driver::BatchDriver(BO).run(Inputs);
+  } else {
+    driver::PoolOptions PO;
+    PO.Batch = BO;
+    PO.Jobs = M.Jobs;
+    Out.Summary = driver::ProcessPool(PO).run(Inputs);
+  }
+  for (const driver::BatchOutcome &O : Out.Summary.Outcomes)
+    Out.PerPackageSeconds.push_back(O.Seconds);
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Multi-process batch scanning: pool overhead and speedup",
+              "docs/ROBUSTNESS.md");
+
+  // A benign-heavy npm-like mix with enough filler that a package scan is
+  // work worth shipping to a worker process.
+  std::vector<driver::BatchInput> Inputs;
+  workload::PackageGenerator Gen(2024);
+  for (size_t I = 0; I < scaled(32); ++I) {
+    workload::Package P =
+        I % 4 ? Gen.benign(200)
+              : Gen.vulnerable(queries::VulnType::CommandInjection,
+                               workload::Complexity::Wrapped,
+                               workload::VariantKind::Plain, 200);
+    Inputs.push_back({"pkg" + std::to_string(I), std::move(P.Files)});
+  }
+
+  const std::vector<Mode> Modes = {
+      {"inproc_jobs1", 0}, {"pool_jobs2", 2}, {"pool_jobs4", 4}};
+
+  Report Rep("batch");
+  TablePrinter Table(
+      {"mode", "#pkg", "wall", "cpu", "pkg/s", "speedup", "reports"});
+  bool Neutral = true;
+  double BaselineWall = 0;
+  size_t BaselineReports = 0;
+  std::vector<driver::BatchStatus> BaselineStatus;
+
+  for (const Mode &M : Modes) {
+    Measured R = runMode(M, Inputs);
+    const driver::BatchSummary &S = R.Summary;
+    double Wall = S.WallSeconds > 0 ? S.WallSeconds : S.TotalSeconds;
+
+    if (M.Jobs == 0) {
+      BaselineWall = Wall;
+      BaselineReports = S.TotalReports;
+      for (const driver::BatchOutcome &O : S.Outcomes)
+        BaselineStatus.push_back(O.Status);
+    } else {
+      // Detection neutrality: same verdict per package, same report total.
+      if (S.TotalReports != BaselineReports) {
+        std::fprintf(stderr, "FAIL: %s: report total %zu vs in-process %zu\n",
+                     M.Name.c_str(), S.TotalReports, BaselineReports);
+        Neutral = false;
+      }
+      for (size_t I = 0; I < S.Outcomes.size(); ++I)
+        if (S.Outcomes[I].Status != BaselineStatus[I]) {
+          std::fprintf(stderr, "FAIL: %s: %s verdict differs\n",
+                       M.Name.c_str(), S.Outcomes[I].Package.c_str());
+          Neutral = false;
+        }
+    }
+
+    double Speedup = Wall > 0 ? BaselineWall / Wall : 0;
+    Rep.series(M.Name + ".package_seconds", R.PerPackageSeconds);
+    Rep.scalar(M.Name + ".wall_seconds", Wall);
+    Rep.scalar(M.Name + ".cpu_seconds", S.TotalSeconds);
+    Rep.scalar(M.Name + ".packages_per_second",
+               Wall > 0 ? double(S.Scanned) / Wall : 0);
+    Rep.scalar(M.Name + ".speedup", Speedup);
+    Rep.scalar(M.Name + ".reports", double(S.TotalReports));
+    Table.addRow({M.Name, std::to_string(S.Scanned),
+                  TablePrinter::fmt(Wall * 1000.0, 2) + "ms",
+                  TablePrinter::fmt(S.TotalSeconds * 1000.0, 2) + "ms",
+                  TablePrinter::fmt(Wall > 0 ? double(S.Scanned) / Wall : 0, 2),
+                  TablePrinter::fmtRatio(Speedup),
+                  std::to_string(S.TotalReports)});
+  }
+
+  std::printf("%s\n", Table.str().c_str());
+  Rep.scalar("neutral", Neutral ? 1 : 0);
+  Rep.write();
+  return Neutral ? 0 : 1;
+}

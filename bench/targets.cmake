@@ -26,6 +26,9 @@ gjs_add_bench(bench_pruning)
 target_compile_definitions(bench_pruning PRIVATE
   GJS_EXAMPLES_JS_DIR="${CMAKE_SOURCE_DIR}/examples/js")
 
+# jobs=1 in-process vs jobs=N worker-pool throughput (BENCH_batch.json).
+gjs_add_bench(bench_batch)
+
 function(gjs_add_gbench NAME)
   gjs_add_bench(${NAME})
   target_link_libraries(${NAME} PRIVATE benchmark::benchmark)

@@ -30,7 +30,62 @@ const char *driver::batchStatusName(BatchStatus S) {
   return "unknown";
 }
 
+bool driver::batchStatusFromName(const std::string &Name, BatchStatus &Out) {
+  for (BatchStatus S :
+       {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::Failed}) {
+    if (Name == batchStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
 BatchDriver::BatchDriver(BatchOptions Options) : Options(std::move(Options)) {}
+
+ProgressMeter::ProgressMeter(size_t Total, size_t EveryPackages,
+                             double EverySeconds)
+    : Total(Total), EveryPackages(EveryPackages), EverySeconds(EverySeconds) {}
+
+void ProgressMeter::completed(bool DidFail) {
+  ++Done;
+  if (DidFail)
+    ++Failed;
+  if (!enabled())
+    return;
+  double Now = Clock.elapsedSeconds();
+  bool OnCount = EveryPackages && Done - LastEmitDone >= EveryPackages;
+  bool OnTime = EverySeconds > 0 && Now - LastEmitSeconds >= EverySeconds;
+  if (OnCount || OnTime)
+    emit();
+}
+
+void ProgressMeter::finish() {
+  if (EmittedAny && Done != LastEmitDone)
+    emit();
+}
+
+void ProgressMeter::emit() {
+  double Now = Clock.elapsedSeconds();
+  double Rate = Now > 0 ? static_cast<double>(Done) / Now : 0;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "progress: %zu/%zu done, %zu failed, %.2f pkg/s", Done, Total,
+                Failed, Rate);
+  std::string Line = Buf;
+  if (Rate > 0 && Total > Done) {
+    std::snprintf(Buf, sizeof(Buf), ", eta %.1fs",
+                  static_cast<double>(Total - Done) / Rate);
+    Line += Buf;
+  }
+  // Stderr, one line per emit: visible under `--journal`/piped stdout and
+  // trivially filtered from captured tool output.
+  std::fprintf(stderr, "%s\n", Line.c_str());
+  std::fflush(stderr);
+  LastEmitDone = Done;
+  LastEmitSeconds = Now;
+  EmittedAny = true;
+}
 
 std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
   json::Object O;
@@ -105,6 +160,119 @@ std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
   return json::Value(std::move(O)).str();
 }
 
+bool BatchDriver::parseJournalLine(const std::string &Line, BatchOutcome &Out) {
+  json::Value V;
+  if (!json::parse(Line, V) || !V.isObject())
+    return false;
+  const json::Object &O = V.asObject();
+
+  auto Str = [&](const char *Key, std::string &Dst) {
+    auto It = O.find(Key);
+    if (It == O.end() || !It->second.isString())
+      return false;
+    Dst = It->second.asString();
+    return true;
+  };
+  auto Num = [&](const char *Key, double &Dst) {
+    auto It = O.find(Key);
+    if (It == O.end() || !It->second.isNumber())
+      return false;
+    Dst = It->second.asNumber();
+    return true;
+  };
+
+  Out = BatchOutcome();
+  std::string Status;
+  if (!Str("package", Out.Package) || !Str("status", Status) ||
+      !batchStatusFromName(Status, Out.Status))
+    return false;
+
+  double D = 0;
+  if (Num("seconds", D))
+    Out.Seconds = D;
+  if (Num("degradation", D))
+    Out.Result.Degradation = static_cast<unsigned>(D);
+  if (Num("attempts", D))
+    Out.Result.Attempts = static_cast<unsigned>(D);
+  if (Num("retries", D))
+    Out.Result.Retries = static_cast<unsigned>(D);
+  // graph_seconds folds parse+build+import together in the journal; claim
+  // it all for GraphBuild so PhaseTimes::total() round-trips.
+  if (Num("graph_seconds", D))
+    Out.Result.CumulativeTimes.GraphBuild = D;
+  if (Num("query_seconds", D))
+    Out.Result.CumulativeTimes.Query = D;
+  Out.Result.Times = Out.Result.CumulativeTimes;
+  if (Num("nodes", D))
+    Out.Result.MDGNodes = static_cast<size_t>(D);
+  if (Num("edges", D))
+    Out.Result.MDGEdges = static_cast<size_t>(D);
+  if (Num("pruned_queries", D))
+    Out.Result.PrunedQueries = static_cast<unsigned>(D);
+  Str("prune_reason", Out.Result.PruneReason);
+  {
+    auto It = O.find("prune_skipped_import");
+    if (It != O.end() && It->second.isBool())
+      Out.Result.PruneSkippedImport = It->second.asBool();
+  }
+
+  {
+    auto It = O.find("counters");
+    if (It != O.end() && It->second.isObject())
+      for (const auto &[Name, Value] : It->second.asObject())
+        if (Value.isNumber())
+          Out.Result.Counters[Name] =
+              static_cast<uint64_t>(Value.asNumber());
+  }
+
+  auto It = O.find("errors");
+  if (It != O.end() && It->second.isArray()) {
+    for (const json::Value &EV : It->second.asArray()) {
+      if (!EV.isObject())
+        return false;
+      const json::Object &EO = EV.asObject();
+      scanner::ScanError E;
+      auto PIt = EO.find("phase");
+      auto KIt = EO.find("kind");
+      if (PIt == EO.end() || !PIt->second.isString() ||
+          !scanner::scanPhaseFromName(PIt->second.asString(), E.Phase))
+        return false;
+      if (KIt == EO.end() || !KIt->second.isString() ||
+          !scanner::scanErrorKindFromName(KIt->second.asString(), E.Kind))
+        return false;
+      auto DIt = EO.find("detail");
+      if (DIt != EO.end() && DIt->second.isString())
+        E.Detail = DIt->second.asString();
+      auto FIt = EO.find("file");
+      if (FIt != EO.end() && FIt->second.isString())
+        E.File = FIt->second.asString();
+      Out.Result.Errors.push_back(std::move(E));
+    }
+  }
+
+  It = O.find("reports");
+  if (It != O.end() && It->second.isArray()) {
+    for (const json::Value &RV : It->second.asArray()) {
+      if (!RV.isObject())
+        return false;
+      const json::Object &RO = RV.asObject();
+      queries::VulnReport R;
+      auto TIt = RO.find("type");
+      if (TIt == RO.end() || !TIt->second.isString() ||
+          !queries::vulnTypeFromName(TIt->second.asString(), R.Type))
+        return false;
+      auto LIt = RO.find("line");
+      if (LIt != RO.end() && LIt->second.isNumber())
+        R.SinkLoc.Line = static_cast<uint32_t>(LIt->second.asNumber());
+      auto SIt = RO.find("sink");
+      if (SIt != RO.end() && SIt->second.isString())
+        R.SinkName = SIt->second.asString();
+      Out.Result.Reports.push_back(std::move(R));
+    }
+  }
+  return true;
+}
+
 std::set<std::string> BatchDriver::journaledPackages(const std::string &Path) {
   std::set<std::string> Done;
   std::ifstream In(Path);
@@ -153,6 +321,7 @@ BatchOutcome BatchDriver::scanOne(scanner::Scanner &Scanner,
 
 BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
   BatchSummary Summary;
+  Timer Wall;
 
   std::set<std::string> Done;
   if (Options.Resume && !Options.JournalPath.empty())
@@ -176,6 +345,9 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
   bool PrevCounters = obs::countersEnabled();
   if (Options.EnableCounters)
     obs::setCountersEnabled(true);
+
+  ProgressMeter Progress(Inputs.size(), Options.ProgressEveryPackages,
+                         Options.ProgressEverySeconds);
 
   for (const BatchInput &Input : Inputs) {
     if (Done.count(Input.Name)) {
@@ -213,21 +385,26 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
       Journal << journalLine(Outcome) << '\n';
       Journal.flush();
     }
+    Progress.completed(Outcome.Status == BatchStatus::Failed);
     Summary.Outcomes.push_back(std::move(Outcome));
   }
 
+  Progress.finish();
   if (Options.EnableCounters)
     obs::setCountersEnabled(PrevCounters);
+  Summary.WallSeconds = Wall.elapsedSeconds();
   return Summary;
 }
 
 std::string driver::batchStatsText(const BatchSummary &Summary) {
   std::string Out;
   char Buf[160];
-  double Rate = Summary.TotalSeconds > 0
-                    ? static_cast<double>(Summary.Scanned) /
-                          Summary.TotalSeconds
-                    : 0;
+  // Throughput is measured on wall-clock; TotalSeconds is the summed
+  // per-package scan time (aggregate CPU under --jobs N, where it exceeds
+  // the wall by up to the parallelism factor).
+  double Wall =
+      Summary.WallSeconds > 0 ? Summary.WallSeconds : Summary.TotalSeconds;
+  double Rate = Wall > 0 ? static_cast<double>(Summary.Scanned) / Wall : 0;
   std::snprintf(Buf, sizeof(Buf),
                 "packages: %zu scanned, %zu resumed-skip (%zu ok, %zu "
                 "degraded, %zu failed)\n",
@@ -235,9 +412,18 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
                 Summary.Degraded, Summary.Failed);
   Out += Buf;
   std::snprintf(Buf, sizeof(Buf),
-                "throughput: %.2f packages/sec (%.3fs total)\n", Rate,
-                Summary.TotalSeconds);
+                "throughput: %.2f packages/sec (wall %.3fs, cpu %.3fs)\n",
+                Rate, Wall, Summary.TotalSeconds);
   Out += Buf;
+  if (Summary.Crashed || Summary.OomKilled || Summary.DeadlineKilled ||
+      Summary.Retried) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "workers: %zu crashed, %zu oom-killed, %zu "
+                  "deadline-killed, %zu retried\n",
+                  Summary.Crashed, Summary.OomKilled, Summary.DeadlineKilled,
+                  Summary.Retried);
+    Out += Buf;
+  }
 
   size_t TimedOut = 0;
   std::vector<const BatchOutcome *> Scanned;

@@ -32,6 +32,7 @@
 #define GJS_DRIVER_BATCHDRIVER_H
 
 #include "scanner/Scanner.h"
+#include "support/Timer.h"
 
 #include <set>
 #include <string>
@@ -57,6 +58,8 @@ enum class BatchStatus {
 
 /// Stable lowercase names ("ok", "degraded", "failed") for journal lines.
 const char *batchStatusName(BatchStatus S);
+/// Parses the names back (journal-line parsing); false on unknown.
+bool batchStatusFromName(const std::string &Name, BatchStatus &Out);
 
 /// One journaled package outcome.
 struct BatchOutcome {
@@ -67,6 +70,10 @@ struct BatchOutcome {
   /// True when this package was skipped because a prior run already
   /// journaled it (resume); Result is then empty.
   bool Skipped = false;
+  /// Multi-process mode: the exact JSONL line the worker journaled (merged
+  /// verbatim into the main journal so worker and in-process output stay
+  /// byte-compatible). Empty in in-process mode.
+  std::string RawJournalLine;
 };
 
 struct BatchOptions {
@@ -83,6 +90,12 @@ struct BatchOptions {
   /// state afterwards) and reset them between packages, so every journal
   /// line carries that package's counter values.
   bool EnableCounters = true;
+  /// Stderr progress line cadence: emit after every N completed packages
+  /// (0 = never on count) and/or every T seconds (0 = never on time).
+  /// Both zero (the library default) disables progress entirely; the CLI
+  /// turns it on unless `--quiet`.
+  size_t ProgressEveryPackages = 0;
+  double ProgressEverySeconds = 0;
 };
 
 /// Aggregate counters for a batch run.
@@ -94,12 +107,52 @@ struct BatchSummary {
   size_t Degraded = 0;
   size_t Failed = 0;
   size_t TotalReports = 0;
-  double TotalSeconds = 0; ///< Wall-clock of the scanned packages.
+  /// Summed per-package scan time. In-process this tracks wall-clock
+  /// closely; under `--jobs N` it is the aggregate CPU spent across
+  /// workers and exceeds WallSeconds by up to the parallelism factor.
+  double TotalSeconds = 0;
+  /// End-to-end wall-clock of the whole run (launch to drain).
+  double WallSeconds = 0;
+  /// Worker-level failure breakdown (multi-process mode; all zero for the
+  /// in-process driver).
+  size_t Crashed = 0;
+  size_t OomKilled = 0;
+  size_t DeadlineKilled = 0;
+  size_t Retried = 0;
 };
 
 /// Renders throughput stats for a finished batch (`graphjs batch --stats`):
-/// packages/sec, timeout rate, and the top-3 slowest packages.
+/// packages/sec on wall-clock, CPU vs wall split, timeout rate, worker
+/// failure breakdown, and the top-3 slowest packages.
 std::string batchStatsText(const BatchSummary &Summary);
+
+/// Stderr progress reporting shared by the in-process driver and the
+/// process pool: "progress: 12/40 done, 2 failed, 3.1 pkg/s, eta 9.0s",
+/// throttled to every N packages / T seconds.
+class ProgressMeter {
+public:
+  ProgressMeter(size_t Total, size_t EveryPackages, double EverySeconds);
+
+  /// Records one more completed package (failed or not) and emits a line
+  /// when the cadence says so.
+  void completed(bool DidFail);
+  /// Emits a final line if anything was reported at all.
+  void finish();
+  bool enabled() const { return EveryPackages > 0 || EverySeconds > 0; }
+
+private:
+  void emit();
+
+  size_t Total;
+  size_t EveryPackages;
+  double EverySeconds;
+  size_t Done = 0;
+  size_t Failed = 0;
+  size_t LastEmitDone = 0;
+  double LastEmitSeconds = 0;
+  bool EmittedAny = false;
+  Timer Clock;
+};
 
 /// The batch driver.
 class BatchDriver {
@@ -117,6 +170,12 @@ public:
 
   /// Renders one outcome as a single JSONL journal line (no newline).
   static std::string journalLine(const BatchOutcome &Outcome);
+
+  /// Parses a journal line back into an outcome (the supervisor reads
+  /// worker journals with this; lossy inverse of journalLine — only the
+  /// fields the summary and CLI output need are reconstructed). False on
+  /// malformed input.
+  static bool parseJournalLine(const std::string &Line, BatchOutcome &Out);
 
 private:
   BatchOptions Options;

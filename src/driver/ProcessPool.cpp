@@ -1,0 +1,417 @@
+//===- driver/ProcessPool.cpp - Supervised multi-process batch scan --------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProcessPool.h"
+
+#include "obs/Counters.h"
+#include "support/Subprocess.h"
+#include "support/Timer.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <set>
+
+#include <unistd.h>
+
+using namespace gjs;
+using namespace gjs::driver;
+
+namespace {
+
+/// SIGINT/SIGTERM drain flag: the supervisor stops launching and waits for
+/// in-flight workers, leaving a valid resumable journal prefix.
+volatile std::sig_atomic_t PoolStopRequested = 0;
+
+void poolStopHandler(int) { PoolStopRequested = 1; }
+
+/// Installs the drain handlers for the duration of a run, restoring the
+/// prior dispositions on exit (tests run pools back to back).
+struct DrainSignalGuard {
+  struct sigaction OldInt {};
+  struct sigaction OldTerm {};
+  DrainSignalGuard() {
+    PoolStopRequested = 0;
+    struct sigaction SA {};
+    SA.sa_handler = poolStopHandler;
+    sigemptyset(&SA.sa_mask);
+    ::sigaction(SIGINT, &SA, &OldInt);
+    ::sigaction(SIGTERM, &SA, &OldTerm);
+  }
+  ~DrainSignalGuard() {
+    ::sigaction(SIGINT, &OldInt, nullptr);
+    ::sigaction(SIGTERM, &OldTerm, nullptr);
+  }
+};
+
+/// One planned (non-skipped) package scan.
+struct WorkItem {
+  size_t InputIndex = 0;
+  size_t SlotIndex = 0;
+  /// Fault targeting this package, already rebased to Package=0 for the
+  /// worker's single-package Scanner.
+  std::optional<scanner::FaultPlan> Fault;
+};
+
+/// One outcome slot, in input order. The merge cursor flushes the longest
+/// complete prefix to the journal.
+struct Slot {
+  BatchOutcome Outcome;
+  bool Complete = false;
+};
+
+/// One live worker process.
+struct LiveWorker {
+  Subprocess Proc;
+  size_t WorkIdx = 0;
+  Timer Started;
+  bool KillSent = false;
+  bool IsRetry = false;
+  std::string LinePath;
+};
+
+/// The worker body, run on the child side of fork(): scan one package with
+/// the in-process catch-all, write the journal line to a private file, and
+/// report success purely through the exit code.
+int scanInWorker(const driver::BatchInput &Input,
+                 const scanner::ScanOptions &Scan, bool EnableCounters,
+                 const std::string &LinePath) {
+  installOomExitHandler();
+  if (EnableCounters) {
+    obs::setCountersEnabled(true);
+    obs::resetCounters();
+  }
+  BatchOutcome Out;
+  Out.Package = Input.Name;
+  Timer T;
+  try {
+    scanner::Scanner Scanner(Scan);
+    Out.Result = Scanner.scanPackage(Input.Files);
+    Out.Status = Out.Result.Errors.empty() ? BatchStatus::Ok
+                                           : BatchStatus::Degraded;
+  } catch (const std::exception &E) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 std::string("scan threw: ") + E.what(), ""});
+  } catch (...) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 "scan threw a non-standard exception", ""});
+  }
+  Out.Seconds = T.elapsedSeconds();
+  std::ofstream F(LinePath, std::ios::out | std::ios::trunc);
+  if (!F)
+    return 120; // No way to report a result; the supervisor sees Crashed.
+  F << BatchDriver::journalLine(Out) << '\n';
+  F.flush();
+  return F.good() ? 0 : 120;
+}
+
+/// Reads the single journal line a worker left behind ("" when the worker
+/// died before writing it).
+std::string readWorkerLine(const std::string &Path) {
+  std::ifstream In(Path);
+  std::string Line;
+  if (In)
+    std::getline(In, Line);
+  return Line;
+}
+
+} // namespace
+
+ProcessPool::ProcessPool(PoolOptions Options) : Options(std::move(Options)) {}
+
+double ProcessPool::effectiveKillAfter(const PoolOptions &Options) {
+  if (Options.KillAfterSeconds > 0)
+    return Options.KillAfterSeconds;
+  double Wall = Options.Batch.Scan.Deadline.WallSeconds;
+  // Twice the cooperative budget plus slack: the worker gets every chance
+  // to degrade gracefully before the supervisor shoots it.
+  return Wall > 0 ? 2 * Wall + 1.0 : 0;
+}
+
+BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
+  BatchSummary Summary;
+  Timer Wall;
+  const BatchOptions &Batch = Options.Batch;
+
+  std::set<std::string> Done;
+  if (Batch.Resume && !Batch.JournalPath.empty())
+    Done = BatchDriver::journaledPackages(Batch.JournalPath);
+
+  // Per-worker journal-line files live in a private temp dir; the merge
+  // deletes them as it goes. If we cannot get one, fall back to the
+  // in-process driver (containment lost, batch still runs).
+  std::string TmpDir;
+  {
+    const char *T = std::getenv("TMPDIR");
+    std::string Tmpl =
+        std::string(T && *T ? T : "/tmp") + "/gjs-pool-XXXXXX";
+    std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+    Buf.push_back('\0');
+    if (::mkdtemp(Buf.data()))
+      TmpDir = Buf.data();
+  }
+  if (TmpDir.empty())
+    return BatchDriver(Batch).run(Inputs);
+
+  // Plan: input order, resume skips prefilled complete, scanned packages
+  // numbered by the same sequence a single in-process Scanner would count
+  // (what FaultPlan::Package targets).
+  std::vector<Slot> Slots;
+  std::vector<WorkItem> Plan;
+  unsigned Seq = 0;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    if (Done.count(Inputs[I].Name)) {
+      Slot S;
+      S.Outcome.Package = Inputs[I].Name;
+      S.Outcome.Skipped = true;
+      S.Complete = true;
+      Slots.push_back(std::move(S));
+      continue;
+    }
+    if (Batch.MaxPackages && Seq >= Batch.MaxPackages)
+      break;
+    Slot S;
+    S.Outcome.Package = Inputs[I].Name;
+    Slots.push_back(std::move(S));
+    WorkItem W;
+    W.InputIndex = I;
+    W.SlotIndex = Slots.size() - 1;
+    for (const scanner::FaultPlan &F : Options.Faults) {
+      if (F.Package == Seq) {
+        W.Fault = F;
+        W.Fault->Package = 0;
+        break;
+      }
+    }
+    Plan.push_back(std::move(W));
+    ++Seq;
+  }
+
+  std::ofstream Journal;
+  if (!Batch.JournalPath.empty())
+    Journal.open(Batch.JournalPath, Batch.Resume
+                                        ? std::ios::out | std::ios::app
+                                        : std::ios::out | std::ios::trunc);
+
+  bool PrevCounters = obs::countersEnabled();
+  if (Batch.EnableCounters)
+    obs::setCountersEnabled(true);
+
+  ProgressMeter Progress(Inputs.size(), Batch.ProgressEveryPackages,
+                         Batch.ProgressEverySeconds);
+  DrainSignalGuard Signals;
+
+  const double KillAfter = effectiveKillAfter(Options);
+  SubprocessLimits Limits;
+  Limits.MemLimitMB = Options.MemLimitMB;
+  if (KillAfter > 0)
+    // CPU rlimit backstop above the supervisor's wall-clock killer: it only
+    // matters if the supervisor itself dies with a spinning worker behind.
+    Limits.CpuSeconds = static_cast<unsigned>(KillAfter) + 2;
+
+  std::vector<LiveWorker> Live;
+  size_t NextLaunch = 0;
+  size_t MergeCursor = 0;
+
+  // Completing a slot out of order is fine; only the longest complete
+  // prefix is journaled, so a SIGKILLed supervisor always leaves a valid
+  // resumable journal.
+  auto flushCursor = [&]() {
+    while (MergeCursor < Slots.size() && Slots[MergeCursor].Complete) {
+      Slot &S = Slots[MergeCursor];
+      if (S.Outcome.Skipped) {
+        ++Summary.SkippedResumed;
+      } else {
+        ++Summary.Scanned;
+        Summary.TotalSeconds += S.Outcome.Seconds;
+        Summary.TotalReports += S.Outcome.Result.Reports.size();
+        switch (S.Outcome.Status) {
+        case BatchStatus::Ok:
+          ++Summary.Ok;
+          break;
+        case BatchStatus::Degraded:
+          ++Summary.Degraded;
+          break;
+        case BatchStatus::Failed:
+          ++Summary.Failed;
+          break;
+        }
+        if (Journal.is_open()) {
+          // Healthy packages: the worker's bytes verbatim, so --jobs N and
+          // --jobs 1 journals are byte-identical where both succeed.
+          Journal << (S.Outcome.RawJournalLine.empty()
+                          ? BatchDriver::journalLine(S.Outcome)
+                          : S.Outcome.RawJournalLine)
+                  << '\n';
+          Journal.flush();
+        }
+      }
+      Summary.Outcomes.push_back(std::move(S.Outcome));
+      ++MergeCursor;
+    }
+  };
+
+  auto completeSlot = [&](size_t SlotIdx, BatchOutcome Out) {
+    Slots[SlotIdx].Outcome = std::move(Out);
+    Slots[SlotIdx].Complete = true;
+    Progress.completed(Slots[SlotIdx].Outcome.Status == BatchStatus::Failed);
+    flushCursor();
+  };
+
+  auto synthFailure = [&](const WorkItem &W, scanner::ScanErrorKind Kind,
+                          std::string Detail, double Seconds) {
+    BatchOutcome Out;
+    Out.Package = Inputs[W.InputIndex].Name;
+    Out.Status = BatchStatus::Failed;
+    Out.Seconds = Seconds;
+    Out.Result.Errors.push_back(
+        {scanner::ScanPhase::Driver, Kind, std::move(Detail), ""});
+    Out.RawJournalLine = BatchDriver::journalLine(Out);
+    return Out;
+  };
+
+  auto launch = [&](size_t PlanIdx, bool IsRetry) {
+    const WorkItem &W = Plan[PlanIdx];
+    const BatchInput &In = Inputs[W.InputIndex];
+    scanner::ScanOptions Scan = Batch.Scan;
+    Scan.Fault = IsRetry ? std::nullopt : W.Fault;
+    if (IsRetry && Scan.Deadline.WallSeconds > 0)
+      Scan.Deadline.WallSeconds /= 2; // Retry at reduced budget.
+    std::string LinePath =
+        TmpDir + "/" + std::to_string(PlanIdx) + ".jsonl";
+    bool EnableCounters = Batch.EnableCounters;
+    Subprocess P;
+    std::string Err;
+    bool OK = Subprocess::forkChild(
+        [&]() { return scanInWorker(In, Scan, EnableCounters, LinePath); },
+        P, &Err, Limits);
+    if (!OK) {
+      completeSlot(W.SlotIndex,
+                   synthFailure(W, scanner::ScanErrorKind::Crashed,
+                                "worker launch failed: " + Err, 0));
+      return;
+    }
+    obs::counters::WorkerSpawned.add();
+    LiveWorker L;
+    L.Proc = std::move(P);
+    L.WorkIdx = PlanIdx;
+    L.IsRetry = IsRetry;
+    L.LinePath = std::move(LinePath);
+    Live.push_back(std::move(L));
+  };
+
+  // Maps a reaped worker onto an outcome. Exit 0 + a parseable line is the
+  // worker's own verdict; anything else gets a supervisor verdict from the
+  // wait status and the kill ladder.
+  auto reap = [&](LiveWorker &L, const WaitStatus &WS) {
+    const WorkItem &W = Plan[L.WorkIdx];
+    double Seconds = L.Started.elapsedSeconds();
+    std::string Line = readWorkerLine(L.LinePath);
+    ::unlink(L.LinePath.c_str());
+
+    BatchOutcome Out;
+    bool WorkerDied = true;
+    if (WS.exitedWith(0) && !Line.empty() &&
+        BatchDriver::parseJournalLine(Line, Out)) {
+      Out.RawJournalLine = Line;
+      WorkerDied = false;
+    } else if (WS.exitedWith(WorkerOomExit)) {
+      obs::counters::WorkerOomKilled.add();
+      ++Summary.OomKilled;
+      Out = synthFailure(W, scanner::ScanErrorKind::KilledOom,
+                         "worker allocation failed under memory cap (" +
+                             WS.str() + ")",
+                         Seconds);
+    } else if (L.KillSent) {
+      obs::counters::WorkerDeadlineKilled.add();
+      ++Summary.DeadlineKilled;
+      Out = synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
+                         "supervisor killed worker after hard deadline (" +
+                             WS.str() + ")",
+                         Seconds);
+    } else if (WS.signaled() && WS.Signal == SIGXCPU) {
+      obs::counters::WorkerDeadlineKilled.add();
+      ++Summary.DeadlineKilled;
+      Out = synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
+                         "worker hit RLIMIT_CPU (" + WS.str() + ")",
+                         Seconds);
+    } else if (WS.signaled() && WS.Signal == SIGKILL) {
+      // We did not send it: the kernel OOM killer is the usual suspect.
+      obs::counters::WorkerOomKilled.add();
+      ++Summary.OomKilled;
+      Out = synthFailure(W, scanner::ScanErrorKind::KilledOom,
+                         "worker got an unexplained SIGKILL (kernel OOM "
+                         "killer?)",
+                         Seconds);
+    } else if (WS.signaled()) {
+      obs::counters::WorkerCrashed.add();
+      ++Summary.Crashed;
+      Out = synthFailure(W, scanner::ScanErrorKind::Crashed,
+                         "worker died on " + WS.str(), Seconds);
+    } else {
+      obs::counters::WorkerCrashed.add();
+      ++Summary.Crashed;
+      Out = synthFailure(W, scanner::ScanErrorKind::Crashed,
+                         "worker produced no result (" + WS.str() + ")",
+                         Seconds);
+    }
+
+    if (WorkerDied && Options.RetryCrashed && !L.IsRetry) {
+      obs::counters::WorkerRetried.add();
+      ++Summary.Retried;
+      launch(L.WorkIdx, /*IsRetry=*/true);
+      return;
+    }
+    completeSlot(W.SlotIndex, std::move(Out));
+  };
+
+  while (true) {
+    while (!PoolStopRequested && Live.size() < Options.Jobs &&
+           NextLaunch < Plan.size())
+      launch(NextLaunch++, /*IsRetry=*/false);
+
+    if (Live.empty() && (NextLaunch >= Plan.size() || PoolStopRequested))
+      break;
+
+    bool Reaped = false;
+    for (size_t I = 0; I < Live.size();) {
+      WaitStatus WS;
+      if (Live[I].Proc.poll(WS)) {
+        // reap() may relaunch (retry), appending to Live; erase by index
+        // stays valid.
+        LiveWorker L = std::move(Live[I]);
+        Live.erase(Live.begin() + static_cast<long>(I));
+        reap(L, WS);
+        Reaped = true;
+      } else {
+        if (KillAfter > 0 && !Live[I].KillSent &&
+            Live[I].Started.elapsedSeconds() > KillAfter) {
+          Live[I].Proc.kill(SIGKILL);
+          Live[I].KillSent = true;
+        }
+        ++I;
+      }
+    }
+    if (!Reaped)
+      ::usleep(5000);
+  }
+
+  flushCursor();
+  Progress.finish();
+  ::rmdir(TmpDir.c_str());
+  if (Batch.EnableCounters)
+    obs::setCountersEnabled(PrevCounters);
+  Summary.WallSeconds = Wall.elapsedSeconds();
+  return Summary;
+}

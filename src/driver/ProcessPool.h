@@ -1,0 +1,98 @@
+//===- driver/ProcessPool.h - Supervised multi-process batch scan *- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process batch scanner: a supervisor that forks one expendable
+/// worker process per package and reaps whatever happens to it. The
+/// in-process BatchDriver contains everything *cooperative* — exceptions,
+/// deadlines, work budgets — but a segfault in native code, an abort(), a
+/// kernel OOM kill, or an uninterruptible loop takes the whole process
+/// down, journal and all. At the paper's 20k-npm corpus scale (§5.6) that
+/// single-package blast radius is unacceptable; the pool reduces it to one
+/// worker.
+///
+/// Supervisor state machine, per package:
+///
+///   queued → running → reaped → journaled
+///                 \-> killed (deadline exceeded) -> reaped (Signaled)
+///
+///  - **Workers are fork()s, not execs**: the child inherits the scanner
+///    and input in memory, runs the scan, writes its journal line to a
+///    private file, and _exit()s. Zero serialization on the way in.
+///  - **Crash containment**: a worker that dies on a signal or exits
+///    without a result is journaled as Failed with ScanErrorKind::Crashed
+///    (or KilledOom / KilledDeadline, attributed from the wait status and
+///    the kill ladder) and the batch moves on.
+///  - **Kill ladder**: cooperative Deadline inside the worker, then
+///    RLIMIT_CPU (kernel SIGXCPU), then the supervisor's wall-clock
+///    kill-on-deadline (SIGKILL). RLIMIT_AS caps worker memory;
+///    WorkerOomExit attributes allocation failure deterministically.
+///  - **Deterministic journal**: per-worker lines merge into the main
+///    journal in *input order* regardless of completion order, and healthy
+///    packages' lines are the worker's bytes verbatim — `--jobs N` and
+///    `--jobs 1` journals are byte-identical for packages that succeed.
+///  - **Resume / graceful drain**: already-journaled packages are skipped;
+///    SIGINT/SIGTERM stops launching and drains in-flight workers, leaving
+///    a valid resumable journal prefix — as does SIGKILLing the supervisor
+///    itself (the merge cursor only writes completed prefixes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_DRIVER_PROCESSPOOL_H
+#define GJS_DRIVER_PROCESSPOOL_H
+
+#include "driver/BatchDriver.h"
+
+namespace gjs {
+namespace driver {
+
+struct PoolOptions {
+  /// The underlying batch options (scan settings, journal, resume,
+  /// MaxPackages, progress cadence). BatchOptions::Scan::Fault is ignored
+  /// here — the pool takes its (possibly multiple) faults via Faults.
+  BatchOptions Batch;
+  /// Concurrent worker processes. 1 still forks (containment without
+  /// parallelism); the CLI routes jobs<=1 without faults to BatchDriver.
+  unsigned Jobs = 2;
+  /// RLIMIT_AS per worker in MiB (0 = uncapped; ignored under ASan).
+  size_t MemLimitMB = 0;
+  /// Supervisor kill-on-deadline: SIGKILL a worker running longer than
+  /// this many wall-clock seconds. 0 derives a default from the scan
+  /// deadline (2*wall + 1s) when one is set, else disables the killer.
+  double KillAfterSeconds = 0;
+  /// Retry a crashed/oom/deadline-killed package once, without its
+  /// injected fault and at half the wall-clock budget (the transient-
+  /// failure model the one-shot FaultPlan semantics encode).
+  bool RetryCrashed = false;
+  /// Deterministic faults, each targeting the Nth *scanned* package of
+  /// the run (same sequence a single in-process Scanner would count).
+  /// Unlike BatchOptions::Scan::Fault this is a list: one run can crash
+  /// package 1 and hang package 3.
+  std::vector<scanner::FaultPlan> Faults;
+};
+
+/// The supervised worker pool. Same contract as BatchDriver::run — same
+/// inputs, same journal format, same summary — plus OS-level containment.
+class ProcessPool {
+public:
+  explicit ProcessPool(PoolOptions Options);
+
+  BatchSummary run(const std::vector<BatchInput> &Inputs);
+
+  const PoolOptions &options() const { return Options; }
+
+  /// The wall-clock seconds after which the supervisor SIGKILLs a worker
+  /// (resolving the KillAfterSeconds=0 default); 0 = killer disabled.
+  static double effectiveKillAfter(const PoolOptions &Options);
+
+private:
+  PoolOptions Options;
+};
+
+} // namespace driver
+} // namespace gjs
+
+#endif // GJS_DRIVER_PROCESSPOOL_H

@@ -37,10 +37,12 @@ struct HarnessOptions {
   static HarnessOptions defaults();
 };
 
-/// Runs Graph.js on every package.
+/// Runs Graph.js on every package. With Jobs > 1 the scans go through the
+/// supervised worker pool (driver::ProcessPool): one forked process per
+/// package, OS-level crash containment, same outcome shape.
 std::vector<PackageOutcome>
 runGraphJS(const std::vector<workload::Package> &Packages,
-           const scanner::ScanOptions &Options);
+           const scanner::ScanOptions &Options, unsigned Jobs = 1);
 
 /// Runs the ODGen baseline on every package.
 std::vector<PackageOutcome>

@@ -85,6 +85,11 @@ Counter CallGraphEdgesResolved("callgraph.edges_resolved");
 Counter CallGraphEdgesUnresolved("callgraph.edges_unresolved");
 Counter PruneQueriesSkipped("prune.queries_skipped");
 Counter PruneImportsSkipped("prune.imports_skipped");
+Counter WorkerSpawned("worker.spawned");
+Counter WorkerCrashed("worker.crashed");
+Counter WorkerOomKilled("worker.oom_killed");
+Counter WorkerDeadlineKilled("worker.deadline_killed");
+Counter WorkerRetried("worker.retried");
 } // namespace counters
 } // namespace obs
 } // namespace gjs

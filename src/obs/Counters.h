@@ -111,6 +111,11 @@ extern Counter CallGraphEdgesResolved;  ///< callgraph.edges_resolved.
 extern Counter CallGraphEdgesUnresolved; ///< callgraph.edges_unresolved.
 extern Counter PruneQueriesSkipped;     ///< prune.queries_skipped.
 extern Counter PruneImportsSkipped;     ///< prune.imports_skipped.
+extern Counter WorkerSpawned;        ///< worker.spawned — pool forks.
+extern Counter WorkerCrashed;        ///< worker.crashed — signal/bad exit.
+extern Counter WorkerOomKilled;      ///< worker.oom_killed — memory deaths.
+extern Counter WorkerDeadlineKilled; ///< worker.deadline_killed — kill ladder.
+extern Counter WorkerRetried;        ///< worker.retried — crashed-retry runs.
 } // namespace counters
 
 } // namespace obs

@@ -39,6 +39,17 @@ const char *queries::vulnTypeName(VulnType T) {
   return "unknown";
 }
 
+bool queries::vulnTypeFromName(const std::string &Name, VulnType &Out) {
+  for (VulnType T : {VulnType::CommandInjection, VulnType::CodeInjection,
+                     VulnType::PathTraversal, VulnType::PrototypePollution}) {
+    if (Name == vulnTypeName(T)) {
+      Out = T;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string VulnReport::str() const {
   std::string Out = std::string(cweOf(Type)) + " (" + vulnTypeName(Type) +
                     ") at line " + std::to_string(SinkLoc.Line);

@@ -36,6 +36,8 @@ constexpr int NumVulnTypes = 4;
 const char *cweOf(VulnType T);
 /// "command-injection" etc.
 const char *vulnTypeName(VulnType T);
+/// Parses vulnTypeName() back (journal-line parsing); false on unknown.
+bool vulnTypeFromName(const std::string &Name, VulnType &Out);
 
 /// One reported finding.
 struct VulnReport {

@@ -41,6 +41,12 @@ const char *scanner::scanErrorKindName(ScanErrorKind K) {
     return "schema";
   case ScanErrorKind::Internal:
     return "internal";
+  case ScanErrorKind::Crashed:
+    return "crashed";
+  case ScanErrorKind::KilledOom:
+    return "killed-oom";
+  case ScanErrorKind::KilledDeadline:
+    return "killed-deadline";
   }
   return "unknown";
 }
@@ -51,6 +57,21 @@ bool scanner::scanPhaseFromName(const std::string &Name, ScanPhase &Out) {
         ScanPhase::Import, ScanPhase::Query, ScanPhase::Driver}) {
     if (Name == scanPhaseName(P)) {
       Out = P;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool scanner::scanErrorKindFromName(const std::string &Name,
+                                    ScanErrorKind &Out) {
+  for (ScanErrorKind K :
+       {ScanErrorKind::ParseError, ScanErrorKind::Deadline,
+        ScanErrorKind::Budget, ScanErrorKind::InjectedFault,
+        ScanErrorKind::Schema, ScanErrorKind::Internal, ScanErrorKind::Crashed,
+        ScanErrorKind::KilledOom, ScanErrorKind::KilledDeadline}) {
+    if (Name == scanErrorKindName(K)) {
+      Out = K;
       return true;
     }
   }

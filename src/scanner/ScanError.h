@@ -31,22 +31,32 @@ namespace scanner {
 /// runner itself (package-level isolation: a scan that threw).
 enum class ScanPhase { Parse, Normalize, Build, Import, Query, Driver };
 
-/// What went wrong.
+/// What went wrong. The last three are OS-level verdicts only the
+/// multi-process supervisor (driver::ProcessPool) can issue: the failure
+/// killed the whole worker process, so no in-process handler saw it.
 enum class ScanErrorKind {
-  ParseError,    ///< Malformed input (per-file; the file is skipped).
-  Deadline,      ///< Wall-clock (or injected-stall) deadline expired.
-  Budget,        ///< An abstract work budget was exhausted.
-  InjectedFault, ///< A FaultPlan fired (deterministic fault injection).
-  Schema,        ///< A built-in query failed schema validation.
-  Internal,      ///< Unexpected failure (e.g. an exception the driver caught).
+  ParseError,     ///< Malformed input (per-file; the file is skipped).
+  Deadline,       ///< Wall-clock (or injected-stall) deadline expired.
+  Budget,         ///< An abstract work budget was exhausted.
+  InjectedFault,  ///< A FaultPlan fired (deterministic fault injection).
+  Schema,         ///< A built-in query failed schema validation.
+  Internal,       ///< Unexpected failure (e.g. an exception the driver caught).
+  Crashed,        ///< Worker died on a signal (SIGSEGV, SIGABRT, ...) or
+                  ///< exited without producing a result.
+  KilledOom,      ///< Worker ran out of memory: rlimit-attributed allocation
+                  ///< failure, or an unexplained SIGKILL (kernel OOM killer).
+  KilledDeadline, ///< Worker blew its hard deadline and the supervisor (or
+                  ///< the RLIMIT_CPU cap) killed it.
 };
 
 /// Stable lowercase names (used in journals and CLI flags).
 const char *scanPhaseName(ScanPhase P);
 const char *scanErrorKindName(ScanErrorKind K);
 
-/// Parses the names back (for FaultPlan specs); false on unknown.
+/// Parses the names back (for FaultPlan specs and journal-line parsing);
+/// false on unknown.
 bool scanPhaseFromName(const std::string &Name, ScanPhase &Out);
+bool scanErrorKindFromName(const std::string &Name, ScanErrorKind &Out);
 
 /// Maps a Deadline's expiry reason onto the taxonomy: a work-budget expiry
 /// is Budget, wall-clock and forced (stall) expiries are Deadline.

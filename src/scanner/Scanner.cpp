@@ -14,10 +14,12 @@
 #include "obs/Trace.h"
 #include "support/Deadline.h"
 #include "support/JSON.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <functional>
 
 using namespace gjs;
@@ -75,7 +77,7 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
   auto Fail = [&](const std::string &Msg) {
     if (Error)
       *Error = Msg + " in fault spec '" + Spec +
-               "' (expected <phase>:<fail|stall>[:<n>])";
+               "' (expected <phase>:<fail|stall|crash|hang|oom>[:<n>])";
     return false;
   };
   size_t C1 = Spec.find(':');
@@ -90,6 +92,12 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
     Out.Kind = Action::Fail;
   else if (Action == "stall")
     Out.Kind = Action::Stall;
+  else if (Action == "crash")
+    Out.Kind = Action::Crash;
+  else if (Action == "hang")
+    Out.Kind = Action::Hang;
+  else if (Action == "oom")
+    Out.Kind = Action::Oom;
   else
     return Fail("unknown action '" + Action + "'");
   Out.Package = 0;
@@ -193,6 +201,25 @@ topoOrder(const std::vector<std::unique_ptr<core::Program>> &Programs,
   return Order;
 }
 
+/// The Oom fault action: allocate-and-touch until the allocator dies. With
+/// a worker memory rlimit the failure arrives as WorkerOomExit (via the
+/// worker's new_handler) or std::bad_alloc long before the cap below; the
+/// cap bounds the storm on unlimited machines (and under ASan, where
+/// RLIMIT_AS cannot be applied) by self-reporting the OOM deterministically
+/// instead of actually exhausting the host.
+[[noreturn]] void allocationStorm() {
+  constexpr size_t ChunkBytes = 16u << 20;
+  constexpr int MaxChunks = 24; // 384 MiB ceiling before self-report.
+  std::vector<char *> Storm;
+  for (int I = 0; I < MaxChunks; ++I) {
+    char *P = new char[ChunkBytes];
+    for (size_t J = 0; J < ChunkBytes; J += 4096)
+      P[J] = static_cast<char>(J);
+    Storm.push_back(P);
+  }
+  std::_Exit(WorkerOomExit);
+}
+
 /// The first error diagnostic's message, or a generic fallback.
 std::string firstErrorMessage(const DiagnosticEngine &Diags) {
   for (const Diagnostic &D : Diags.diagnostics())
@@ -230,14 +257,27 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // Fires the configured fault at a phase boundary. A Fail fault kills the
   // phase outright (returns true: skip it); a Stall fault models a hang the
   // deadline has to kill, so it force-expires the deadline and lets the
-  // phase's own checkpoints abort it.
+  // phase's own checkpoints abort it. The process-fatal actions never
+  // return: Crash aborts, Hang spins uninterruptibly, Oom storms the
+  // allocator — containable only across a process boundary (the
+  // multi-process batch supervisor).
   auto inject = [&](ScanPhase P) -> bool {
     if (!FaultArmed || FaultSpent || !Cfg.Fault || Cfg.Fault->Phase != P)
       return false;
     FaultSpent = true;
-    if (Cfg.Fault->Kind == FaultPlan::Action::Stall) {
+    switch (Cfg.Fault->Kind) {
+    case FaultPlan::Action::Stall:
       D.expireNow(Deadline::Reason::Forced);
       return false;
+    case FaultPlan::Action::Crash:
+      std::abort();
+    case FaultPlan::Action::Hang:
+      for (volatile uint64_t Spin = 0;;)
+        ++Spin;
+    case FaultPlan::Action::Oom:
+      allocationStorm();
+    case FaultPlan::Action::Fail:
+      break;
     }
     Out.Errors.push_back({P, ScanErrorKind::InjectedFault,
                           "injected fault: phase failed", ""});

@@ -81,14 +81,31 @@ struct FaultPlan {
   enum class Action {
     Fail,  ///< The phase dies: recorded as an InjectedFault, phase skipped.
     Stall, ///< The phase hangs: the deadline is forced expired at its entry.
+    // Process-fatal actions: these take down the whole process at the
+    // phase boundary and are only containable by the multi-process
+    // supervisor (`graphjs batch --jobs N`). They make the OS-level kill
+    // ladder deterministically testable.
+    Crash, ///< abort(): models a segfault/assert in native code.
+    Hang,  ///< Uninterruptible spin: ignores the cooperative deadline; only
+           ///< RLIMIT_CPU or the supervisor's kill-on-deadline ends it.
+    Oom,   ///< Allocation storm: dies on the memory rlimit (WorkerOomExit)
+           ///< or self-reports OOM after a bounded number of allocations.
   };
   ScanPhase Phase = ScanPhase::Build;
   Action Kind = Action::Fail;
   /// 0-based index of the target package in this Scanner's scan sequence.
   unsigned Package = 0;
 
-  /// Parses "<phase>:<fail|stall>:<n>" (e.g. "build:fail:0",
-  /// "query:stall:2"); the ":<n>" suffix is optional and defaults to 0.
+  /// True for Crash/Hang/Oom — the actions an in-process driver cannot
+  /// contain.
+  bool processFatal() const {
+    return Kind == Action::Crash || Kind == Action::Hang ||
+           Kind == Action::Oom;
+  }
+
+  /// Parses "<phase>:<fail|stall|crash|hang|oom>:<n>" (e.g. "build:fail:0",
+  /// "query:stall:2", "build:crash:1"); the ":<n>" suffix is optional and
+  /// defaults to 0.
   static bool parse(const std::string &Spec, FaultPlan &Out,
                     std::string *Error = nullptr);
 };

@@ -1,0 +1,277 @@
+//===- support/Subprocess.cpp - POSIX child-process management -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace gjs;
+
+// RLIMIT_AS is incompatible with AddressSanitizer's shadow reservation:
+// applying it under an ASan build would kill every worker at startup.
+#if defined(__SANITIZE_ADDRESS__)
+#define GJS_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GJS_ASAN_BUILD 1
+#endif
+#endif
+#ifndef GJS_ASAN_BUILD
+#define GJS_ASAN_BUILD 0
+#endif
+
+const char *gjs::signalName(int Signal) {
+  switch (Signal) {
+  case SIGHUP:
+    return "SIGHUP";
+  case SIGINT:
+    return "SIGINT";
+  case SIGQUIT:
+    return "SIGQUIT";
+  case SIGILL:
+    return "SIGILL";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGKILL:
+    return "SIGKILL";
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGPIPE:
+    return "SIGPIPE";
+  case SIGTERM:
+    return "SIGTERM";
+  case SIGXCPU:
+    return "SIGXCPU";
+  case SIGXFSZ:
+    return "SIGXFSZ";
+  }
+  return "SIG?";
+}
+
+WaitStatus WaitStatus::decode(int RawStatus) {
+  WaitStatus S;
+  if (WIFEXITED(RawStatus)) {
+    S.K = Kind::Exited;
+    S.ExitCode = WEXITSTATUS(RawStatus);
+  } else if (WIFSIGNALED(RawStatus)) {
+    S.K = Kind::Signaled;
+    S.Signal = WTERMSIG(RawStatus);
+  }
+  return S;
+}
+
+std::string WaitStatus::str() const {
+  switch (K) {
+  case Kind::None:
+    return "running";
+  case Kind::Exited:
+    return "exit " + std::to_string(ExitCode);
+  case Kind::Signaled:
+    return "signal " + std::to_string(Signal) + " (" + signalName(Signal) +
+           ")";
+  }
+  return "unknown";
+}
+
+void gjs::installOomExitHandler() {
+  std::set_new_handler([] { _exit(WorkerOomExit); });
+}
+
+namespace {
+
+/// Applied in the child, post-fork: resource caps and default signal
+/// dispositions (the child must die on the signals the supervisor's kill
+/// ladder relies on, whatever handlers the parent had installed).
+void setupChild(const SubprocessLimits &Limits) {
+  for (int Sig : {SIGINT, SIGTERM, SIGXCPU, SIGPIPE})
+    std::signal(Sig, SIG_DFL);
+  if (Limits.MemLimitMB && !GJS_ASAN_BUILD) {
+    rlimit RL;
+    RL.rlim_cur = RL.rlim_max =
+        static_cast<rlim_t>(Limits.MemLimitMB) * 1024 * 1024;
+    setrlimit(RLIMIT_AS, &RL);
+  }
+  if (Limits.CpuSeconds) {
+    rlimit RL;
+    // Soft = the cap (SIGXCPU); hard one second later (SIGKILL backstop
+    // should the child catch/ignore SIGXCPU).
+    RL.rlim_cur = Limits.CpuSeconds;
+    RL.rlim_max = static_cast<rlim_t>(Limits.CpuSeconds) + 1;
+    setrlimit(RLIMIT_CPU, &RL);
+  }
+}
+
+bool forkFailed(std::string *Error) {
+  if (Error)
+    *Error = std::string("fork failed: ") + std::strerror(errno);
+  return false;
+}
+
+} // namespace
+
+Subprocess::Subprocess(Subprocess &&O) noexcept
+    : PID(O.PID), OutFD(O.OutFD), Status(O.Status) {
+  O.PID = -1;
+  O.OutFD = -1;
+}
+
+Subprocess &Subprocess::operator=(Subprocess &&O) noexcept {
+  if (this != &O) {
+    closeOut();
+    PID = O.PID;
+    OutFD = O.OutFD;
+    Status = O.Status;
+    O.PID = -1;
+    O.OutFD = -1;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { closeOut(); }
+
+void Subprocess::closeOut() {
+  if (OutFD >= 0) {
+    ::close(OutFD);
+    OutFD = -1;
+  }
+}
+
+bool Subprocess::spawn(const std::vector<std::string> &Argv, Subprocess &Out,
+                       std::string *Error, bool CaptureStdout,
+                       const SubprocessLimits &Limits) {
+  if (Argv.empty()) {
+    if (Error)
+      *Error = "spawn: empty argv";
+    return false;
+  }
+  int Pipe[2] = {-1, -1};
+  if (CaptureStdout && ::pipe(Pipe) != 0) {
+    if (Error)
+      *Error = std::string("pipe failed: ") + std::strerror(errno);
+    return false;
+  }
+
+  pid_t PID = ::fork();
+  if (PID < 0) {
+    if (CaptureStdout) {
+      ::close(Pipe[0]);
+      ::close(Pipe[1]);
+    }
+    return forkFailed(Error);
+  }
+
+  if (PID == 0) {
+    // Child: wire stdout into the pipe, apply caps, exec.
+    if (CaptureStdout) {
+      ::close(Pipe[0]);
+      ::dup2(Pipe[1], STDOUT_FILENO);
+      ::close(Pipe[1]);
+    }
+    setupChild(Limits);
+    std::vector<char *> CArgv;
+    CArgv.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      CArgv.push_back(const_cast<char *>(A.c_str()));
+    CArgv.push_back(nullptr);
+    ::execvp(CArgv[0], CArgv.data());
+    _exit(127); // exec failed; the classic shell convention.
+  }
+
+  Out = Subprocess();
+  Out.PID = PID;
+  if (CaptureStdout) {
+    ::close(Pipe[1]);
+    Out.OutFD = Pipe[0];
+  }
+  return true;
+}
+
+bool Subprocess::forkChild(const std::function<int()> &Fn, Subprocess &Out,
+                           std::string *Error,
+                           const SubprocessLimits &Limits) {
+  pid_t PID = ::fork();
+  if (PID < 0)
+    return forkFailed(Error);
+  if (PID == 0) {
+    setupChild(Limits);
+    int RC = 125;
+    try {
+      RC = Fn();
+    } catch (...) {
+      RC = 125; // An exception escaping the worker body is a worker bug.
+    }
+    _exit(RC);
+  }
+  Out = Subprocess();
+  Out.PID = PID;
+  return true;
+}
+
+bool Subprocess::poll(WaitStatus &Out) {
+  if (Status.K != WaitStatus::Kind::None) {
+    Out = Status;
+    return true;
+  }
+  if (PID <= 0)
+    return false;
+  int Raw = 0;
+  pid_t R = ::waitpid(PID, &Raw, WNOHANG);
+  if (R == PID) {
+    Status = WaitStatus::decode(Raw);
+    Out = Status;
+    return true;
+  }
+  return false;
+}
+
+WaitStatus Subprocess::wait() {
+  if (Status.K != WaitStatus::Kind::None || PID <= 0)
+    return Status;
+  int Raw = 0;
+  // Retry on EINTR: a SIGINT aimed at the supervisor must not lose the
+  // child's status.
+  while (::waitpid(PID, &Raw, 0) < 0 && errno == EINTR) {
+  }
+  Status = WaitStatus::decode(Raw);
+  return Status;
+}
+
+bool Subprocess::kill(int Signal) {
+  if (PID <= 0 || Status.K != WaitStatus::Kind::None)
+    return false;
+  return ::kill(PID, Signal) == 0;
+}
+
+std::string Subprocess::readAll() {
+  std::string Out;
+  if (OutFD < 0)
+    return Out;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(OutFD, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    break; // EOF or error.
+  }
+  closeOut();
+  return Out;
+}

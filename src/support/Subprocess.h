@@ -1,0 +1,154 @@
+//===- support/Subprocess.h - POSIX child-process management -----*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin, explicit wrapper over fork/exec/pipe/waitpid/kill — the OS-level
+/// crash-containment substrate the multi-process batch scanner is built on.
+/// The in-process fault ladder (support/Deadline.h, the degradation ladder)
+/// contains everything *cooperative*; a segfault, an abort(), an OOM kill,
+/// or a runaway native loop needs a process boundary. The paper's 20k-npm
+/// evaluation (§5.6) is exactly the workload where one pathological package
+/// must never take down the run, and the scale literature (Scalable Call
+/// Graph Constructor for Maven, arXiv:2103.15162) gets ecosystem-scale
+/// throughput from the same independent-worker shape.
+///
+/// Two ways to start a child:
+///  - spawn(argv): classic fork+exec with optional stdout capture (what
+///    tests use to drive the graphjs binary and what a future distributed
+///    runner would use);
+///  - forkChild(fn): fork *without* exec — the child runs \p fn with the
+///    parent's memory image and _exit()s with its return value. This is
+///    how the worker pool ships a package scan into an expendable process
+///    with zero serialization. Safe here because the codebase is
+///    single-threaded (fork in a threaded process only preserves the
+///    calling thread).
+///
+/// Children can run under setrlimit caps (address space, CPU seconds):
+/// the OS-enforced backstop behind the cooperative Deadline. An
+/// allocation that fails under RLIMIT_AS surfaces as the WorkerOomExit
+/// exit code when the child installs oomExitNewHandler(), giving the
+/// supervisor deterministic OOM attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_SUPPORT_SUBPROCESS_H
+#define GJS_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gjs {
+
+/// Decoded waitpid() status.
+struct WaitStatus {
+  enum class Kind {
+    None,     ///< Not reaped yet.
+    Exited,   ///< Normal termination; ExitCode holds the code.
+    Signaled, ///< Killed by a signal; Signal holds which.
+  };
+  Kind K = Kind::None;
+  int ExitCode = 0;
+  int Signal = 0;
+
+  bool exited() const { return K == Kind::Exited; }
+  bool exitedWith(int Code) const { return exited() && ExitCode == Code; }
+  bool signaled() const { return K == Kind::Signaled; }
+
+  /// "exit 0", "signal 11 (SIGSEGV)".
+  std::string str() const;
+
+  /// Decodes a raw waitpid status word.
+  static WaitStatus decode(int RawStatus);
+};
+
+/// "SIGSEGV" for 11, "SIG<n>" for unknown numbers.
+const char *signalName(int Signal);
+
+/// Exit code a worker uses to report "my allocator ran dry" (an
+/// out-of-memory condition contained before the kernel's OOM killer got
+/// involved). Chosen clear of shell conventions (126/127) and sanitizer
+/// defaults.
+constexpr int WorkerOomExit = 86;
+
+/// Installs a std::new_handler that _exit()s with WorkerOomExit, turning
+/// an allocation failure (e.g. under RLIMIT_AS) into a deterministic,
+/// attributable worker death instead of an exception unwind through
+/// arbitrary pipeline state. Call in the child, never the supervisor.
+void installOomExitHandler();
+
+/// Resource caps applied in the child between fork and exec/fn.
+struct SubprocessLimits {
+  /// RLIMIT_AS in MiB (0 = unlimited). Ignored under AddressSanitizer,
+  /// whose shadow mappings are incompatible with address-space caps.
+  size_t MemLimitMB = 0;
+  /// RLIMIT_CPU in seconds (0 = unlimited). The kernel sends SIGXCPU at
+  /// the soft limit — the uninterruptible-spin backstop.
+  unsigned CpuSeconds = 0;
+};
+
+/// One child process. Movable, not copyable; the destructor does NOT kill
+/// or reap (an abandoned handle leaks a zombie until the caller exits) —
+/// supervisors own the reaping policy explicitly.
+class Subprocess {
+public:
+  Subprocess() = default;
+  Subprocess(Subprocess &&O) noexcept;
+  Subprocess &operator=(Subprocess &&O) noexcept;
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+  ~Subprocess();
+
+  /// fork+execvp. With \p CaptureStdout the child's stdout is redirected
+  /// into a pipe readable via readAll()/stdoutFD(). Returns false (with
+  /// \p Error) when the pipe or fork fails; exec failure surfaces as the
+  /// child exiting 127.
+  static bool spawn(const std::vector<std::string> &Argv, Subprocess &Out,
+                    std::string *Error = nullptr, bool CaptureStdout = false,
+                    const SubprocessLimits &Limits = {});
+
+  /// fork without exec: the child applies \p Limits, runs \p Fn, and
+  /// _exit()s with its return value (exceptions escaping Fn become exit
+  /// 125). The child never returns into the caller's stack.
+  static bool forkChild(const std::function<int()> &Fn, Subprocess &Out,
+                        std::string *Error = nullptr,
+                        const SubprocessLimits &Limits = {});
+
+  bool valid() const { return PID > 0; }
+  int pid() const { return PID; }
+
+  /// Non-blocking reap (waitpid WNOHANG). Returns true once the child has
+  /// terminated; Status is then final and the handle is reaped.
+  bool poll(WaitStatus &Status);
+
+  /// Blocking reap.
+  WaitStatus wait();
+
+  /// Sends \p Signal (default SIGKILL). False when the child is already
+  /// reaped or the kill fails.
+  bool kill(int Signal = 9);
+
+  /// Drains the captured-stdout pipe to EOF (empty without capture).
+  std::string readAll();
+
+  /// The captured-stdout read end, -1 without capture.
+  int stdoutFD() const { return OutFD; }
+
+  /// The final status (Kind::None until poll()/wait() reaped the child).
+  const WaitStatus &status() const { return Status; }
+
+private:
+  int PID = -1;
+  int OutFD = -1;
+  WaitStatus Status;
+
+  void closeOut();
+};
+
+} // namespace gjs
+
+#endif // GJS_SUPPORT_SUBPROCESS_H

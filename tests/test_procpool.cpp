@@ -1,0 +1,639 @@
+//===- tests/test_procpool.cpp - Multi-process batch scanning tests --------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+// The OS-level containment surface: the Subprocess wrapper (fork/exec,
+// wait-status decoding, rlimits, kill), the process-fatal fault actions
+// (crash/hang/oom), the supervised worker pool (crash containment, the
+// kill ladder, deterministic journal merge, retry, resume), and the
+// `graphjs batch --jobs N` CLI round trips including resume across a
+// SIGKILLed supervisor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProcessPool.h"
+#include "support/JSON.h"
+#include "support/Subprocess.h"
+#include "workload/Packages.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace gjs;
+using scanner::FaultPlan;
+using scanner::ScanErrorKind;
+using scanner::ScanPhase;
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GJS_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GJS_TEST_ASAN 1
+#endif
+#endif
+#ifndef GJS_TEST_ASAN
+#define GJS_TEST_ASAN 0
+#endif
+
+namespace {
+
+/// A small package with one clear CWE-78: tainted exported parameter
+/// flowing into child_process.exec.
+const char *VulnSource =
+    "var cp = require('child_process');\n"
+    "function run(cmd, cb) {\n"
+    "  var prefixed = 'git ' + cmd;\n"
+    "  cp.exec(prefixed, cb);\n"
+    "}\n"
+    "module.exports = run;\n";
+
+driver::BatchInput makeInput(const std::string &Name, const char *Source) {
+  return {Name, {{Name + ".js", Source}}};
+}
+
+std::vector<driver::BatchInput> healthyInputs(size_t N) {
+  std::vector<driver::BatchInput> Inputs;
+  for (size_t I = 0; I < N; ++I)
+    Inputs.push_back(makeInput("pkg" + std::to_string(I), VulnSource));
+  return Inputs;
+}
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  return Lines;
+}
+
+/// The first driver-phase error kind of a Failed outcome.
+ScanErrorKind failureKind(const driver::BatchOutcome &O) {
+  EXPECT_FALSE(O.Result.Errors.empty()) << O.Package;
+  return O.Result.Errors.empty() ? ScanErrorKind::Internal
+                                 : O.Result.Errors.front().Kind;
+}
+
+FaultPlan makeFault(ScanPhase Phase, FaultPlan::Action Kind,
+                    unsigned Package) {
+  FaultPlan F;
+  F.Phase = Phase;
+  F.Kind = Kind;
+  F.Package = Package;
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Subprocess
+//===----------------------------------------------------------------------===//
+
+TEST(SubprocessTest, SpawnReportsExitCode) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::spawn({"/bin/sh", "-c", "exit 7"}, P, &Error))
+      << Error;
+  WaitStatus S = P.wait();
+  EXPECT_TRUE(S.exitedWith(7)) << S.str();
+  EXPECT_EQ(S.str(), "exit 7");
+}
+
+TEST(SubprocessTest, SpawnReportsFatalSignal) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(
+      Subprocess::spawn({"/bin/sh", "-c", "kill -SEGV $$"}, P, &Error))
+      << Error;
+  WaitStatus S = P.wait();
+  ASSERT_TRUE(S.signaled()) << S.str();
+  EXPECT_EQ(S.Signal, SIGSEGV);
+  EXPECT_EQ(S.str(), "signal 11 (SIGSEGV)");
+}
+
+TEST(SubprocessTest, CapturesStdoutToEOF) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::spawn({"/bin/echo", "hello pool"}, P, &Error,
+                                /*CaptureStdout=*/true))
+      << Error;
+  EXPECT_EQ(P.readAll(), "hello pool\n");
+  EXPECT_TRUE(P.wait().exitedWith(0));
+}
+
+TEST(SubprocessTest, KillTerminatesChild) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::spawn({"/bin/sleep", "30"}, P, &Error)) << Error;
+  WaitStatus S;
+  EXPECT_FALSE(P.poll(S)); // Still sleeping.
+  EXPECT_TRUE(P.kill(SIGKILL));
+  S = P.wait();
+  ASSERT_TRUE(S.signaled());
+  EXPECT_EQ(S.Signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ExecFailureExits127) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(
+      Subprocess::spawn({"/nonexistent/no-such-binary"}, P, &Error))
+      << Error;
+  EXPECT_TRUE(P.wait().exitedWith(127));
+}
+
+TEST(SubprocessTest, ForkChildPropagatesReturnCode) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::forkChild([] { return 42; }, P, &Error)) << Error;
+  EXPECT_TRUE(P.wait().exitedWith(42));
+}
+
+TEST(SubprocessTest, ForkChildExceptionExits125) {
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::forkChild(
+      []() -> int { throw std::runtime_error("worker bug"); }, P, &Error))
+      << Error;
+  EXPECT_TRUE(P.wait().exitedWith(125));
+}
+
+TEST(SubprocessTest, MemLimitTurnsAllocationIntoOomExit) {
+  if (GJS_TEST_ASAN)
+    GTEST_SKIP() << "RLIMIT_AS is skipped under AddressSanitizer";
+  Subprocess P;
+  std::string Error;
+  SubprocessLimits Limits;
+  Limits.MemLimitMB = 64;
+  ASSERT_TRUE(Subprocess::forkChild(
+      [] {
+        installOomExitHandler();
+        // Touch every page and keep every chunk live so the compiler
+        // cannot elide the allocations.
+        volatile char Sink = 0;
+        std::vector<char *> Keep;
+        for (int I = 0; I < 64; ++I) {
+          char *Chunk = new char[16u << 20];
+          for (size_t J = 0; J < (16u << 20); J += 4096)
+            Chunk[J] = 1;
+          Keep.push_back(Chunk);
+          Sink ^= Chunk[0];
+        }
+        return Sink ? 1 : 0;
+      },
+      P, &Error, Limits))
+      << Error;
+  EXPECT_TRUE(P.wait().exitedWith(WorkerOomExit)) << P.status().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Process-fatal fault plans and name round trips
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlanTest, ParsesProcessFatalActions) {
+  FaultPlan F;
+  ASSERT_TRUE(FaultPlan::parse("build:crash:1", F));
+  EXPECT_EQ(F.Kind, FaultPlan::Action::Crash);
+  EXPECT_EQ(F.Package, 1u);
+  EXPECT_TRUE(F.processFatal());
+  ASSERT_TRUE(FaultPlan::parse("query:hang", F));
+  EXPECT_EQ(F.Kind, FaultPlan::Action::Hang);
+  EXPECT_TRUE(F.processFatal());
+  ASSERT_TRUE(FaultPlan::parse("import:oom:2", F));
+  EXPECT_EQ(F.Kind, FaultPlan::Action::Oom);
+  EXPECT_TRUE(F.processFatal());
+  ASSERT_TRUE(FaultPlan::parse("build:fail:0", F));
+  EXPECT_FALSE(F.processFatal());
+  std::string Error;
+  EXPECT_FALSE(FaultPlan::parse("build:explode", F, &Error));
+  EXPECT_NE(Error.find("crash"), std::string::npos);
+}
+
+TEST(NamesTest, ScanErrorKindRoundTrips) {
+  for (ScanErrorKind K :
+       {ScanErrorKind::ParseError, ScanErrorKind::Deadline,
+        ScanErrorKind::Budget, ScanErrorKind::InjectedFault,
+        ScanErrorKind::Schema, ScanErrorKind::Internal,
+        ScanErrorKind::Crashed, ScanErrorKind::KilledOom,
+        ScanErrorKind::KilledDeadline}) {
+    ScanErrorKind Back;
+    ASSERT_TRUE(
+        scanner::scanErrorKindFromName(scanner::scanErrorKindName(K), Back));
+    EXPECT_EQ(Back, K);
+  }
+  ScanErrorKind K;
+  EXPECT_FALSE(scanner::scanErrorKindFromName("no-such-kind", K));
+}
+
+TEST(NamesTest, BatchStatusRoundTrips) {
+  for (driver::BatchStatus S :
+       {driver::BatchStatus::Ok, driver::BatchStatus::Degraded,
+        driver::BatchStatus::Failed}) {
+    driver::BatchStatus Back;
+    ASSERT_TRUE(
+        driver::batchStatusFromName(driver::batchStatusName(S), Back));
+    EXPECT_EQ(Back, S);
+  }
+  driver::BatchStatus S;
+  EXPECT_FALSE(driver::batchStatusFromName("exploded", S));
+}
+
+TEST(JournalTest, LineParsesBackToOutcome) {
+  driver::BatchOutcome Out;
+  Out.Package = "left-pad";
+  Out.Status = driver::BatchStatus::Degraded;
+  Out.Seconds = 1.25;
+  Out.Result.Degradation = 1;
+  Out.Result.Attempts = 2;
+  Out.Result.Retries = 1;
+  Out.Result.CumulativeTimes.GraphBuild = 0.5;
+  Out.Result.CumulativeTimes.Query = 0.25;
+  Out.Result.MDGNodes = 42;
+  Out.Result.MDGEdges = 99;
+  Out.Result.Errors.push_back({ScanPhase::Build, ScanErrorKind::Deadline,
+                               "wall clock expired", "index.js"});
+  queries::VulnReport R;
+  R.Type = queries::VulnType::CommandInjection;
+  R.SinkLoc.Line = 17;
+  R.SinkName = "exec";
+  Out.Result.Reports.push_back(R);
+
+  driver::BatchOutcome Back;
+  ASSERT_TRUE(driver::BatchDriver::parseJournalLine(
+      driver::BatchDriver::journalLine(Out), Back));
+  EXPECT_EQ(Back.Package, "left-pad");
+  EXPECT_EQ(Back.Status, driver::BatchStatus::Degraded);
+  EXPECT_DOUBLE_EQ(Back.Seconds, 1.25);
+  EXPECT_EQ(Back.Result.Degradation, 1u);
+  EXPECT_EQ(Back.Result.Retries, 1u);
+  EXPECT_DOUBLE_EQ(Back.Result.CumulativeTimes.Query, 0.25);
+  EXPECT_EQ(Back.Result.MDGNodes, 42u);
+  EXPECT_EQ(Back.Result.MDGEdges, 99u);
+  ASSERT_EQ(Back.Result.Errors.size(), 1u);
+  EXPECT_EQ(Back.Result.Errors[0].Kind, ScanErrorKind::Deadline);
+  EXPECT_EQ(Back.Result.Errors[0].Phase, ScanPhase::Build);
+  EXPECT_EQ(Back.Result.Errors[0].File, "index.js");
+  ASSERT_EQ(Back.Result.Reports.size(), 1u);
+  EXPECT_EQ(Back.Result.Reports[0], R);
+
+  EXPECT_FALSE(driver::BatchDriver::parseJournalLine("not json", Back));
+  EXPECT_FALSE(driver::BatchDriver::parseJournalLine("{\"x\":1}", Back));
+}
+
+TEST(StatsTest, BreakdownPrintsWallVsCpuAndWorkers) {
+  driver::BatchSummary S;
+  S.Scanned = 8;
+  S.TotalSeconds = 4.0; // Summed per-package CPU across workers.
+  S.WallSeconds = 2.0;  // End-to-end wall-clock.
+  S.Crashed = 1;
+  S.OomKilled = 2;
+  S.DeadlineKilled = 3;
+  S.Retried = 4;
+  std::string Text = driver::batchStatsText(S);
+  EXPECT_NE(Text.find("wall 2.000s"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("cpu 4.000s"), std::string::npos) << Text;
+  // Throughput is wall-clock based: 8 / 2.0.
+  EXPECT_NE(Text.find("4.00 packages/sec"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("workers: 1 crashed, 2 oom-killed, 3 deadline-killed, "
+                      "4 retried"),
+            std::string::npos)
+      << Text;
+
+  // Without worker deaths the breakdown line stays out of the way.
+  driver::BatchSummary Clean;
+  Clean.Scanned = 1;
+  Clean.TotalSeconds = 1;
+  EXPECT_EQ(driver::batchStatsText(Clean).find("workers:"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessPool (library)
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessPoolTest, HealthyBatchMatchesInProcessDriver) {
+  std::vector<driver::BatchInput> Inputs = healthyInputs(6);
+
+  driver::BatchOptions BO;
+  driver::BatchSummary InProc = driver::BatchDriver(BO).run(Inputs);
+
+  driver::PoolOptions PO;
+  PO.Jobs = 3;
+  driver::BatchSummary Pooled = driver::ProcessPool(PO).run(Inputs);
+
+  EXPECT_EQ(Pooled.Scanned, 6u);
+  EXPECT_EQ(Pooled.Ok, InProc.Ok);
+  EXPECT_EQ(Pooled.Failed, 0u);
+  EXPECT_EQ(Pooled.TotalReports, InProc.TotalReports);
+  ASSERT_EQ(Pooled.Outcomes.size(), InProc.Outcomes.size());
+  for (size_t I = 0; I < Pooled.Outcomes.size(); ++I) {
+    // Input order regardless of worker completion order, same verdicts,
+    // same report sets (journal-persisted fields: type, sink line, sink —
+    // the pool round-trips outcomes through the journal format).
+    EXPECT_EQ(Pooled.Outcomes[I].Package, Inputs[I].Name);
+    EXPECT_EQ(Pooled.Outcomes[I].Status, InProc.Outcomes[I].Status);
+    const auto &PR = Pooled.Outcomes[I].Result.Reports;
+    const auto &IR = InProc.Outcomes[I].Result.Reports;
+    ASSERT_EQ(PR.size(), IR.size()) << Inputs[I].Name;
+    for (size_t J = 0; J < PR.size(); ++J) {
+      EXPECT_EQ(PR[J].Type, IR[J].Type);
+      EXPECT_EQ(PR[J].SinkLoc.Line, IR[J].SinkLoc.Line);
+      EXPECT_EQ(PR[J].SinkName, IR[J].SinkName);
+    }
+  }
+}
+
+TEST(ProcessPoolTest, CrashIsContainedAndAttributed) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Crash, 1));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(4));
+
+  EXPECT_EQ(S.Scanned, 4u);
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.Ok, 3u);
+  EXPECT_EQ(S.Crashed, 1u);
+  ASSERT_EQ(S.Outcomes.size(), 4u);
+  EXPECT_EQ(S.Outcomes[1].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[1]), ScanErrorKind::Crashed);
+  // SIGABRT shows up in the detail string.
+  EXPECT_NE(S.Outcomes[1].Result.Errors[0].Detail.find("SIGABRT"),
+            std::string::npos)
+      << S.Outcomes[1].Result.Errors[0].Detail;
+}
+
+TEST(ProcessPoolTest, OomIsContainedAndAttributed) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.MemLimitMB = 128;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Oom, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.OomKilled, 1u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[0]), ScanErrorKind::KilledOom);
+  EXPECT_EQ(S.Ok, 2u);
+}
+
+TEST(ProcessPoolTest, HangIsKilledAtSupervisorDeadline) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.KillAfterSeconds = 1.0;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Hang, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.DeadlineKilled, 1u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[0]), ScanErrorKind::KilledDeadline);
+  // The healthy packages finished despite the spinning worker.
+  EXPECT_EQ(S.Ok, 2u);
+}
+
+TEST(ProcessPoolTest, RetryCrashedRecoversTransientFault) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.RetryCrashed = true;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Crash, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+
+  // The fault is dropped on retry (one-shot transient semantics), so the
+  // package recovers; the death is still on the books.
+  EXPECT_EQ(S.Retried, 1u);
+  EXPECT_EQ(S.Crashed, 1u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_EQ(S.Ok, 3u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Ok);
+}
+
+TEST(ProcessPoolTest, EffectiveKillAfterDerivesFromDeadline) {
+  driver::PoolOptions PO;
+  EXPECT_EQ(driver::ProcessPool::effectiveKillAfter(PO), 0.0);
+  PO.Batch.Scan.Deadline.WallSeconds = 2.0;
+  EXPECT_DOUBLE_EQ(driver::ProcessPool::effectiveKillAfter(PO), 5.0);
+  PO.KillAfterSeconds = 0.5;
+  EXPECT_DOUBLE_EQ(driver::ProcessPool::effectiveKillAfter(PO), 0.5);
+}
+
+TEST(ProcessPoolTest, JournalMergeIsInputOrderAndResumable) {
+  std::string Journal =
+      testing::TempDir() + "procpool_resume_" +
+      std::to_string(::getpid()) + ".jsonl";
+  std::remove(Journal.c_str());
+  std::vector<driver::BatchInput> Inputs = healthyInputs(6);
+
+  // Shard 1: scan the first three packages only.
+  driver::PoolOptions PO;
+  PO.Jobs = 3;
+  PO.Batch.JournalPath = Journal;
+  PO.Batch.MaxPackages = 3;
+  driver::BatchSummary First = driver::ProcessPool(PO).run(Inputs);
+  EXPECT_EQ(First.Scanned, 3u);
+
+  std::vector<std::string> Lines = readLines(Journal);
+  ASSERT_EQ(Lines.size(), 3u);
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Lines[I], O));
+    EXPECT_EQ(O.Package, Inputs[I].Name); // Input order, not finish order.
+  }
+
+  // Shard 2: resume scans only the unjournaled half.
+  PO.Batch.MaxPackages = 0;
+  PO.Batch.Resume = true;
+  driver::BatchSummary Second = driver::ProcessPool(PO).run(Inputs);
+  EXPECT_EQ(Second.SkippedResumed, 3u);
+  EXPECT_EQ(Second.Scanned, 3u);
+
+  std::set<std::string> Seen;
+  for (const std::string &Line : readLines(Journal)) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    EXPECT_TRUE(Seen.insert(O.Package).second)
+        << O.Package << " journaled twice";
+  }
+  EXPECT_EQ(Seen.size(), 6u);
+  std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// CLI round trips
+//===----------------------------------------------------------------------===//
+
+#if defined(GRAPHJS_BIN)
+
+namespace {
+
+/// Writes a corpus of generated single-file packages to a fresh temp dir.
+std::string writeCorpus(size_t N, size_t FillerLoC) {
+  std::string Dir = testing::TempDir() + "procpool_corpus_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(FillerLoC);
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  workload::PackageGenerator Gen(7);
+  for (size_t I = 0; I < N; ++I) {
+    workload::Package P =
+        I % 2 ? Gen.benign(FillerLoC)
+              : Gen.vulnerable(queries::VulnType::CommandInjection,
+                               workload::Complexity::Wrapped,
+                               workload::VariantKind::Plain, FillerLoC);
+    char Name[64];
+    std::snprintf(Name, sizeof(Name), "%s/pkg%03zu.js", Dir.c_str(), I);
+    std::ofstream Out(Name);
+    Out << P.Files[0].Contents;
+  }
+  return Dir;
+}
+
+/// Package name -> serialized "reports" array from a journal.
+std::map<std::string, std::string> reportsByPackage(const std::string &Path) {
+  std::map<std::string, std::string> Out;
+  for (const std::string &Line : readLines(Path)) {
+    json::Value V;
+    if (!json::parse(Line, V) || !V.isObject())
+      continue;
+    const json::Object &O = V.asObject();
+    if (!O.count("package") || !O.count("reports"))
+      continue;
+    Out[O.at("package").asString()] = O.at("reports").str();
+  }
+  return Out;
+}
+
+int runCLI(const std::string &Cmd) { return std::system(Cmd.c_str()); }
+
+} // namespace
+
+TEST(ProcessPoolCLITest, JobsFourContainsCrashAndHang) {
+  std::string Dir = writeCorpus(6, 0);
+  std::string J1 = Dir + "/j1.jsonl";
+  std::string J4 = Dir + "/j4.jsonl";
+  std::string Bin = GRAPHJS_BIN;
+
+  ASSERT_EQ(runCLI(Bin + " batch --quiet --journal " + J1 + " " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  // Crash package 1, hang package 3; the hang dies at the supervisor's
+  // kill deadline.
+  int RC = runCLI(Bin + " batch --quiet --jobs 4 --journal " + J4 +
+                  " --inject-fault build:crash:1"
+                  " --inject-fault build:hang:3"
+                  " --kill-after-ms 2000 " +
+                  Dir + " > /dev/null 2>&1");
+  EXPECT_NE(RC, 0); // Failures present -> nonzero exit.
+
+  std::vector<std::string> Lines = readLines(J4);
+  ASSERT_EQ(Lines.size(), 6u);
+  std::map<std::string, std::string> KindByPkg;
+  for (const std::string &Line : Lines) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    if (O.Status == driver::BatchStatus::Failed)
+      KindByPkg[O.Package] =
+          scanner::scanErrorKindName(O.Result.Errors.at(0).Kind);
+  }
+  ASSERT_EQ(KindByPkg.size(), 2u);
+  EXPECT_EQ(KindByPkg.count("pkg001.js"), 1u);
+  EXPECT_EQ(KindByPkg["pkg001.js"], "crashed");
+  EXPECT_EQ(KindByPkg.count("pkg003.js"), 1u);
+  EXPECT_EQ(KindByPkg["pkg003.js"], "killed-deadline");
+
+  // Healthy-package report sets identical between --jobs 1 and --jobs 4
+  // (timing fields differ run to run; the findings must not).
+  std::map<std::string, std::string> R1 = reportsByPackage(J1);
+  std::map<std::string, std::string> R4 = reportsByPackage(J4);
+  for (const auto &[Pkg, Reports] : R4)
+    if (!KindByPkg.count(Pkg)) {
+      ASSERT_EQ(R1.count(Pkg), 1u) << Pkg;
+      EXPECT_EQ(Reports, R1[Pkg]) << Pkg;
+    }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ProcessPoolCLITest, PoolOnlyFlagsRequireJobs) {
+  std::string Dir = writeCorpus(1, 0);
+  std::string Bin = GRAPHJS_BIN;
+  EXPECT_NE(runCLI(Bin + " batch --quiet --inject-fault build:crash:0 " +
+                   Dir + " > /dev/null 2>&1"),
+            0);
+  EXPECT_NE(runCLI(Bin + " batch --quiet --mem-limit-mb 64 " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  EXPECT_NE(runCLI(Bin + " batch --quiet --retry-crashed " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ProcessPoolCLITest, ResumeAfterSupervisorSigkill) {
+  // A corpus big enough that jobs=2 takes a while: SIGKILL the supervisor
+  // mid-run, then --resume must rescan only unjournaled packages.
+  std::string Dir = writeCorpus(40, 400);
+  std::string Journal = Dir + "/kill.jsonl";
+  std::string Bin = GRAPHJS_BIN;
+
+  Subprocess P;
+  std::string Error;
+  // `exec` so P.pid() IS the supervisor, not an sh wrapper around it.
+  ASSERT_TRUE(Subprocess::spawn(
+      {"/bin/sh", "-c",
+       "exec " + Bin + " batch --quiet --jobs 2 --journal " + Journal + " " +
+           Dir + " > /dev/null 2>&1"},
+      P, &Error))
+      << Error;
+
+  // Wait for a valid journal prefix, then SIGKILL the supervisor
+  // (orphaned workers finish their line files and _exit on their own).
+  WaitStatus WS;
+  bool SelfFinished = false;
+  for (int Spin = 0; Spin < 2000; ++Spin) {
+    if (P.poll(WS)) {
+      SelfFinished = true;
+      break;
+    }
+    if (readLines(Journal).size() >= 2)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!SelfFinished) {
+    ::kill(P.pid(), SIGKILL);
+    P.wait();
+    // Give any in-flight worker a moment to drain before resuming.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  size_t Journaled = readLines(Journal).size();
+  ASSERT_GE(Journaled, 1u);
+
+  ASSERT_EQ(runCLI(Bin + " batch --quiet --jobs 2 --resume --journal " +
+                   Journal + " " + Dir + " > /dev/null 2>&1"),
+            0);
+
+  // Every package exactly once across both runs.
+  std::set<std::string> Seen;
+  std::vector<std::string> Lines = readLines(Journal);
+  for (const std::string &Line : Lines) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    EXPECT_TRUE(Seen.insert(O.Package).second)
+        << O.Package << " journaled twice";
+  }
+  EXPECT_EQ(Seen.size(), 40u);
+  // The resume run appended, never rewrote, the first run's prefix.
+  EXPECT_EQ(Lines.size(), 40u);
+  std::filesystem::remove_all(Dir);
+}
+
+#endif // GRAPHJS_BIN

@@ -23,6 +23,16 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # exception unwinding in the driver).
 "$BUILD_DIR/tests/test_faults"
 
+# The multi-process fault suite: the fork-per-package worker pool under
+# injected crash/hang/oom faults, the kill ladder, journal merge, and
+# resume across a SIGKILLed supervisor. ASan caveats the suite is built
+# around: fork() from an ASan parent is supported (single-threaded
+# here), but RLIMIT_AS is incompatible with ASan's shadow reservation —
+# Subprocess skips the address-space cap under ASan, and the oom fault
+# still works because the allocation storm self-bounds and exits with
+# the OOM code on its own.
+"$BUILD_DIR/tests/test_procpool"
+
 # The observability suite next: span tracing, the counter registry
 # (relaxed atomics — TSan-adjacent patterns ASan/UBSan still vet), the
 # query profiler, and the --trace/--explain/--profile CLI round trips.

@@ -17,7 +17,16 @@
 //   --work <n>              per-package abstract work budget
 //   --max <n>               stop after scanning n packages (sharding)
 //   --max-degradation <n>   degradation-ladder depth (default 2)
-//   --inject-fault <spec>   deterministic fault: <phase>:<fail|stall>[:<n>]
+//   --inject-fault <spec>   deterministic fault (repeatable with --jobs):
+//                           <phase>:<fail|stall|crash|hang|oom>[:<n>]
+//   --jobs <n>              supervised worker pool: fork one process per
+//                           package, n at a time (OS-level containment)
+//   --mem-limit-mb <n>      per-worker RLIMIT_AS cap (needs --jobs)
+//   --kill-after-ms <n>     supervisor SIGKILLs workers past this wall
+//                           budget (needs --jobs; default 2*deadline+1s)
+//   --retry-crashed         retry a crashed/killed package once at half
+//                           budget (needs --jobs)
+//   --quiet                 suppress the stderr progress line
 //   --native / --summary / --sinks also apply
 //
 // Scan options:
@@ -49,6 +58,7 @@
 #include "cfg/CFG.h"
 #include "core/Normalizer.h"
 #include "driver/BatchDriver.h"
+#include "driver/ProcessPool.h"
 #include "frontend/Parser.h"
 #include "graphdb/QueryEngine.h"
 #include "graphdb/SchemaLint.h"
@@ -87,6 +97,8 @@ int usage() {
       "       graphjs batch [--journal out.jsonl] [--resume] [--stats]\n"
       "                     [--deadline-ms n] [--work n] [--max n]\n"
       "                     [--max-degradation n] [--inject-fault spec]\n"
+      "                     [--jobs n] [--mem-limit-mb n]\n"
+      "                     [--kill-after-ms n] [--retry-crashed] [--quiet]\n"
       "                     [--native] [--summary] [--no-prune]\n"
       "                     <dir|list.txt|file.js>...\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
@@ -508,8 +520,8 @@ bool collectBatchInputs(const std::string &Arg,
   return AddFilePackage(P);
 }
 
-int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
-             bool Summary, bool Stats) {
+int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
+             unsigned Jobs, bool Summary, bool Stats) {
   std::vector<driver::BatchInput> Inputs;
   for (const std::string &Arg : Args)
     if (!collectBatchInputs(Arg, Inputs))
@@ -519,8 +531,19 @@ int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
     return 1;
   }
 
-  driver::BatchDriver Driver(std::move(O));
-  driver::BatchSummary S = Driver.run(Inputs);
+  driver::BatchSummary S;
+  if (Jobs > 0) {
+    O.Jobs = Jobs;
+    driver::ProcessPool Pool(std::move(O));
+    S = Pool.run(Inputs);
+  } else {
+    // In-process driver: at most one (non-process-fatal) fault, carried in
+    // the scan options.
+    if (!O.Faults.empty())
+      O.Batch.Scan.Fault = O.Faults.front();
+    driver::BatchDriver Driver(std::move(O.Batch));
+    S = Driver.run(Inputs);
+  }
 
   if (Summary) {
     for (const driver::BatchOutcome &Outcome : S.Outcomes) {
@@ -545,7 +568,10 @@ int runBatch(const std::vector<std::string> &Args, driver::BatchOptions O,
   } else if (!Stats) {
     for (const driver::BatchOutcome &Outcome : S.Outcomes)
       if (!Outcome.Skipped)
-        std::printf("%s\n", driver::BatchDriver::journalLine(Outcome).c_str());
+        std::printf("%s\n", Outcome.RawJournalLine.empty()
+                                ? driver::BatchDriver::journalLine(Outcome)
+                                      .c_str()
+                                : Outcome.RawJournalLine.c_str());
   }
   if (Stats)
     std::printf("%s", driver::batchStatsText(S).c_str());
@@ -761,35 +787,46 @@ int main(int argc, char **argv) {
   }
 
   if (Mode == "batch") {
-    driver::BatchOptions O;
-    bool Summary = false, Stats = false;
+    driver::PoolOptions O;
+    unsigned Jobs = 0; // 0 = in-process BatchDriver; >=1 = worker pool.
+    bool Summary = false, Stats = false, Quiet = false;
     std::string SinksFile;
     std::vector<std::string> Inputs;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
       if (Arg == "--native")
-        O.Scan.Backend = scanner::QueryBackend::Native;
+        O.Batch.Scan.Backend = scanner::QueryBackend::Native;
       else if (Arg == "--no-prune")
-        O.Scan.Prune = false;
+        O.Batch.Scan.Prune = false;
       else if (Arg == "--summary")
         Summary = true;
       else if (Arg == "--stats")
         Stats = true;
+      else if (Arg == "--quiet")
+        Quiet = true;
       else if (Arg == "--resume")
-        O.Resume = true;
+        O.Batch.Resume = true;
+      else if (Arg == "--retry-crashed")
+        O.RetryCrashed = true;
       else if (Arg == "--journal" && I + 1 < argc)
-        O.JournalPath = argv[++I];
+        O.Batch.JournalPath = argv[++I];
       else if (Arg == "--sinks" && I + 1 < argc)
         SinksFile = argv[++I];
       else if (Arg == "--deadline-ms" && I + 1 < argc)
-        O.Scan.Deadline.WallSeconds = std::stod(argv[++I]) / 1000.0;
+        O.Batch.Scan.Deadline.WallSeconds = std::stod(argv[++I]) / 1000.0;
       else if (Arg == "--work" && I + 1 < argc)
-        O.Scan.Deadline.WorkUnits = std::stoull(argv[++I]);
+        O.Batch.Scan.Deadline.WorkUnits = std::stoull(argv[++I]);
       else if (Arg == "--max" && I + 1 < argc)
-        O.MaxPackages = std::stoul(argv[++I]);
+        O.Batch.MaxPackages = std::stoul(argv[++I]);
       else if (Arg == "--max-degradation" && I + 1 < argc)
-        O.Scan.MaxDegradation =
+        O.Batch.Scan.MaxDegradation =
             static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--jobs" && I + 1 < argc)
+        Jobs = static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--mem-limit-mb" && I + 1 < argc)
+        O.MemLimitMB = std::stoul(argv[++I]);
+      else if (Arg == "--kill-after-ms" && I + 1 < argc)
+        O.KillAfterSeconds = std::stod(argv[++I]) / 1000.0;
       else if (Arg == "--inject-fault" && I + 1 < argc) {
         scanner::FaultPlan Plan;
         std::string Error;
@@ -797,7 +834,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr, "error: %s\n", Error.c_str());
           return 2;
         }
-        O.Scan.Fault = Plan;
+        O.Faults.push_back(Plan);
       } else if (Arg.rfind("--", 0) == 0)
         return usage();
       else
@@ -805,6 +842,28 @@ int main(int argc, char **argv) {
     }
     if (Inputs.empty())
       return usage();
+    if (Jobs == 0) {
+      // Pool-only options and faults only the pool can contain.
+      const char *Needs = nullptr;
+      if (O.MemLimitMB)
+        Needs = "--mem-limit-mb";
+      else if (O.KillAfterSeconds > 0)
+        Needs = "--kill-after-ms";
+      else if (O.RetryCrashed)
+        Needs = "--retry-crashed";
+      else if (O.Faults.size() > 1)
+        Needs = "multiple --inject-fault";
+      else if (!O.Faults.empty() && O.Faults.front().processFatal())
+        Needs = "a crash/hang/oom fault";
+      if (Needs) {
+        std::fprintf(stderr, "error: %s requires --jobs N\n", Needs);
+        return 2;
+      }
+    }
+    if (!Quiet) {
+      O.Batch.ProgressEveryPackages = 25;
+      O.Batch.ProgressEverySeconds = 2.0;
+    }
     if (!SinksFile.empty()) {
       std::string Text;
       queries::SinkConfig Custom;
@@ -815,9 +874,9 @@ int main(int argc, char **argv) {
                      SinksFile.c_str(), Error.c_str());
         return 1;
       }
-      O.Scan.Sinks = Custom;
+      O.Batch.Scan.Sinks = Custom;
     }
-    return runBatch(Inputs, std::move(O), Summary, Stats);
+    return runBatch(Inputs, std::move(O), Jobs, Summary, Stats);
   }
 
   if (Mode != "scan")
