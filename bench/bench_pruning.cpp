@@ -10,10 +10,18 @@
 //      packages never route input to a sink), and
 //   C. synthetic deep-call-chain packages — a benign chain whose scan
 //      collapses to the summary stage, and a vulnerable twin paying the
-//      summary overhead on top of the full pipeline (the worst case).
+//      summary overhead on top of the full pipeline (the worst case),
+//
+// plus a cross-package section (docs/DEPENDENCIES.md): dependency trees
+// with the sink buried 1–4 levels below the scan root, scanned linked
+// (scanDependencyTree) vs isolated (root package only — what per-package
+// batch scanning sees). The detection delta is the payoff of the linker
+// and is asserted: the linked scan must find every buried sink, the
+// isolated scan must find none of them.
 //
 // Detection neutrality is asserted inline: any corpus where the pruned
-// and unpruned report multisets differ fails the binary.
+// and unpruned report multisets differ (including the linked tree scans)
+// fails the binary.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +30,7 @@
 #include "scanner/Scanner.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
+#include "workload/DepTrees.h"
 
 #include <filesystem>
 #include <fstream>
@@ -168,7 +177,92 @@ int main() {
                   std::to_string(With.SkippedImports)});
   }
   std::printf("%s\n", Table.str().c_str());
+
+  // Cross-package: linked dependency-tree scans vs the isolated baseline.
+  workload::DepTreeGenerator TreeGen(77);
+  std::vector<workload::DepTree> Trees;
+  for (unsigned Depth = 1; Depth <= 4; ++Depth) {
+    Trees.push_back(TreeGen.chain(queries::VulnType::CommandInjection, Depth,
+                                  /*Vulnerable=*/true));
+    Trees.push_back(TreeGen.chain(queries::VulnType::CodeInjection, Depth,
+                                  /*Vulnerable=*/false));
+  }
+  Trees.push_back(
+      TreeGen.cyclic(queries::VulnType::CommandInjection, /*Vulnerable=*/true));
+
+  TablePrinter XTable(
+      {"tree", "depth", "linked", "isolated", "linked hits", "isolated hits"});
+  std::vector<double> LinkedSecs, IsolatedSecs;
+  size_t LinkedHits = 0, IsolatedHits = 0, Buried = 0, Missed = 0;
+  bool DeltaOk = true;
+
+  for (const workload::DepTree &T : Trees) {
+    scanner::Scanner Linked{scanner::ScanOptions{}};
+    Timer TL;
+    scanner::ScanResult RL = Linked.scanDependencyTree(T.Graph);
+    LinkedSecs.push_back(TL.elapsedSeconds());
+
+    scanner::ScanOptions NP;
+    NP.Prune = false;
+    scanner::Scanner Unpruned(NP);
+    scanner::ScanResult RU = Unpruned.scanDependencyTree(T.Graph);
+    if (RL.Reports.size() != RU.Reports.size()) {
+      std::fprintf(stderr,
+                   "FAIL: linked tree scan: pruning changed the report "
+                   "count (%zu vs %zu)\n",
+                   RL.Reports.size(), RU.Reports.size());
+      Neutral = false;
+    }
+
+    std::vector<scanner::SourceFile> RootFiles;
+    for (const analysis::PackageFile &F :
+         T.Graph.packages()[T.Graph.rootIndex()].Files)
+      RootFiles.push_back({F.Path, F.Contents});
+    scanner::Scanner Isolated{scanner::ScanOptions{}};
+    Timer TI;
+    scanner::ScanResult RI = Isolated.scanPackage(RootFiles);
+    IsolatedSecs.push_back(TI.elapsedSeconds());
+
+    LinkedHits += RL.Reports.size();
+    IsolatedHits += RI.Reports.size();
+    if (T.Vulnerable) {
+      ++Buried;
+      if (RL.Reports.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: linked scan missed the depth-%u buried sink\n",
+                     T.Depth);
+        DeltaOk = false;
+      }
+      if (RI.Reports.empty())
+        ++Missed;
+      else {
+        std::fprintf(stderr,
+                     "FAIL: isolated root scan saw a sink %u levels deep\n",
+                     T.Depth);
+        DeltaOk = false;
+      }
+    }
+    XTable.addRow({(T.Cyclic ? "cyclic" : T.Vulnerable ? "vuln" : "benign"),
+                   std::to_string(T.Depth),
+                   TablePrinter::fmt(LinkedSecs.back() * 1000.0, 2) + "ms",
+                   TablePrinter::fmt(IsolatedSecs.back() * 1000.0, 2) + "ms",
+                   std::to_string(RL.Reports.size()),
+                   std::to_string(RI.Reports.size())});
+  }
+  std::printf("%s\n", XTable.str().c_str());
+  std::printf("cross-package detection delta: %zu/%zu buried sinks found "
+              "only by the linked scan\n\n",
+              Missed, Buried);
+
+  Rep.series("crosspkg.linked_seconds", LinkedSecs);
+  Rep.series("crosspkg.isolated_seconds", IsolatedSecs);
+  Rep.scalar("crosspkg.trees", double(Trees.size()));
+  Rep.scalar("crosspkg.linked_reports", double(LinkedHits));
+  Rep.scalar("crosspkg.isolated_reports", double(IsolatedHits));
+  Rep.scalar("crosspkg.detection_delta", double(LinkedHits - IsolatedHits));
+  Rep.scalar("crosspkg.delta_ok", DeltaOk ? 1 : 0);
+
   Rep.scalar("neutral", Neutral ? 1 : 0);
   Rep.write();
-  return Neutral ? 0 : 1;
+  return Neutral && DeltaOk ? 0 : 1;
 }

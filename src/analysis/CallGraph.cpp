@@ -78,8 +78,10 @@ class CallGraphBuilder {
 public:
   CallGraphBuilder(CallGraph &CG,
                    const std::vector<const Program *> &Modules,
-                   const std::vector<std::string> &Stems, bool Fallback)
-      : CG(CG), Modules(Modules), Stems(Stems), Fallback(Fallback) {}
+                   const std::vector<std::string> &Stems, bool Fallback,
+                   const ModuleLinkInfo *Link)
+      : CG(CG), Modules(Modules), Stems(Stems), Fallback(Fallback),
+        Link(Link && !Link->empty() ? Link : nullptr) {}
 
   void run() {
     registerFunctions();
@@ -93,6 +95,7 @@ private:
   const std::vector<const Program *> &Modules;
   const std::vector<std::string> &Stems;
   bool Fallback;
+  const ModuleLinkInfo *Link; ///< null for single-package builds
 
   /// Per-module flat binding environment (mirrors the builder's flat
   /// per-module store).
@@ -405,11 +408,39 @@ private:
     splitAlias(Alias, Module, Member);
     std::string Stem = moduleStem(Module);
     size_t Sibling = Modules.size();
-    for (size_t I = 0; I < Modules.size(); ++I)
-      if (I != M && I < Stems.size() && Stems[I] == Stem) {
-        Sibling = I;
-        break;
+    if (Link) {
+      // Dependency-tree build: the soundness valve first — a require of a
+      // missing/unparseable dependency (or of a file that failed to parse)
+      // is code that could do anything.
+      if (Link->ForceUnresolved.count(Module) ||
+          Link->ForceUnresolved.count(Stem)) {
+        Site.Kind = CalleeKind::Unresolved;
+        return;
       }
+      bool Relative = !Module.empty() && Module[0] == '.';
+      if (!Relative)
+        if (auto It = Link->MainModuleOf.find(Module);
+            It != Link->MainModuleOf.end() && It->second != M)
+          Sibling = It->second;
+      if (Sibling == Modules.size()) {
+        // Within the owning package: same sibling-stem rule, scoped so two
+        // packages' internal `lib.js` files cannot cross-link.
+        const std::string &Pkg =
+            M < Link->PkgOf.size() ? Link->PkgOf[M] : Stems[M];
+        for (size_t I = 0; I < Modules.size(); ++I)
+          if (I != M && I < Stems.size() && Stems[I] == Stem &&
+              (I >= Link->PkgOf.size() || Link->PkgOf[I] == Pkg)) {
+            Sibling = I;
+            break;
+          }
+      }
+    } else {
+      for (size_t I = 0; I < Modules.size(); ++I)
+        if (I != M && I < Stems.size() && Stems[I] == Stem) {
+          Sibling = I;
+          break;
+        }
+    }
     if (Sibling == Modules.size()) {
       Site.Kind = CalleeKind::External;
       return;
@@ -450,9 +481,10 @@ private:
 
 CallGraph CallGraph::build(const std::vector<const Program *> &Modules,
                            const std::vector<std::string> &Stems,
-                           bool FallbackAllFunctionsExported) {
+                           bool FallbackAllFunctionsExported,
+                           const ModuleLinkInfo *Link) {
   CallGraph CG;
-  CallGraphBuilder B(CG, Modules, Stems, FallbackAllFunctionsExported);
+  CallGraphBuilder B(CG, Modules, Stems, FallbackAllFunctionsExported, Link);
   B.run();
   return CG;
 }

@@ -54,6 +54,27 @@ enum class CalleeKind {
 
 const char *calleeKindName(CalleeKind K);
 
+/// Cross-package linking context for a flattened dependency-tree build
+/// (produced by PackageGraph::flatten; see docs/DEPENDENCIES.md). The
+/// vectors are parallel to the Modules/Stems build inputs. When absent,
+/// resolution falls back to the single-package sibling-stem rule.
+struct ModuleLinkInfo {
+  /// Owning package name per module ("" for unowned modules).
+  std::vector<std::string> PkgOf;
+  /// Package name -> index of that package's main module. Bare requires
+  /// of a package name resolve through this map.
+  std::map<std::string, size_t> MainModuleOf;
+  /// Require targets that must classify as Unresolved: dependencies that
+  /// are declared but missing, unparseable, or partially parsed. This is
+  /// the cross-package soundness valve — code we cannot see could do
+  /// anything, so no query touching it may be pruned.
+  std::set<std::string> ForceUnresolved;
+
+  bool empty() const {
+    return PkgOf.empty() && MainModuleOf.empty() && ForceUnresolved.empty();
+  }
+};
+
 /// One call statement, attributed to its enclosing function.
 struct CallSite {
   core::StmtIndex Index = 0;
@@ -90,10 +111,15 @@ public:
   /// Builds the call graph for a package. Modules and Stems are parallel
   /// (Stems as produced by the scanner: file stem per module). The
   /// fallback flag must match BuilderOptions::FallbackAllFunctionsExported
-  /// for the entry sets to agree.
+  /// for the entry sets to agree. With \p Link, inter-package `require`
+  /// edges resolve to the exporting package's functions: bare requires go
+  /// through Link->MainModuleOf, relative requires stay within the owning
+  /// package, and names in Link->ForceUnresolved classify as Unresolved
+  /// (the cross-package soundness valve).
   static CallGraph build(const std::vector<const core::Program *> &Modules,
                          const std::vector<std::string> &Stems,
-                         bool FallbackAllFunctionsExported = true);
+                         bool FallbackAllFunctionsExported = true,
+                         const ModuleLinkInfo *Link = nullptr);
 
   /// Single-module convenience overload.
   static CallGraph build(const core::Program &Prog,

@@ -6,6 +6,7 @@
 
 #include "analysis/MDGBuilder.h"
 
+#include "analysis/CallGraph.h"
 #include "obs/Counters.h"
 #include "support/Deadline.h"
 
@@ -27,9 +28,10 @@ BuildResult analysis::buildMDG(const core::Program &Program,
 }
 
 BuildResult analysis::buildPackageMDG(const std::vector<PackageModule> &Modules,
-                                      BuilderOptions O) {
+                                      BuilderOptions O,
+                                      const ModuleLinkInfo *Link) {
   MDGBuilder B(O);
-  return B.buildPackage(Modules);
+  return B.buildPackage(Modules, Link);
 }
 
 /// Normalizes a require target to a module stem: `./helpers`, `helpers.js`,
@@ -42,6 +44,19 @@ static std::string moduleStem(const std::string &Name) {
   if (S.size() > 3 && S.compare(S.size() - 3, 3, ".js") == 0)
     S = S.substr(0, S.size() - 3);
   return S;
+}
+
+/// ModuleExports key for a module of \p Pkg in a dependency-tree build.
+/// The separator cannot appear in file names, so `a/lib.js` and `b/lib.js`
+/// get distinct keys.
+static std::string exportKey(const std::string &Pkg, const std::string &Stem) {
+  return Pkg + "\x01" + Stem;
+}
+
+/// ModuleExports key for the *main* module of \p Pkg: what a bare
+/// `require('pkg')` from any other package resolves to.
+static std::string mainKey(const std::string &Pkg) {
+  return "\x02" + Pkg;
 }
 
 void MDGBuilder::finalize(BuildResult &R) {
@@ -78,12 +93,14 @@ BuildResult MDGBuilder::build(const core::Program &Program) {
   return R;
 }
 
-BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules) {
+BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules,
+                                     const ModuleLinkInfo *Link) {
   BuildResult R;
   Result = &R;
   G = &R.Graph;
   Work = 0;
   Aborted = false;
+  PkgLink = Link && !Link->empty() ? Link : nullptr;
 
   // Pass 1: every module's top level, each in a fresh store (top-level
   // variables are file-scoped), into the shared graph. After a module's
@@ -91,6 +108,7 @@ BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules) 
   std::vector<AbstractStore> ModuleStores(Modules.size());
   for (size_t I = 0; I < Modules.size() && !Aborted; ++I) {
     Prog = Modules[I].Program;
+    CurPkg = Modules[I].Pkg;
     Store = AbstractStore();
     analyzeBlock(Prog->TopLevel);
 
@@ -104,7 +122,14 @@ BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules) 
         G->addEdge(E, It->second, EdgeKind::Prop,
                    Result->Props.intern(Ex.ExportName));
     }
-    ModuleExports[moduleStem(Modules[I].Name)] = E;
+    std::string Stem = moduleStem(Modules[I].Name);
+    if (PkgLink) {
+      ModuleExports[exportKey(Modules[I].Pkg, Stem)] = E;
+      if (Modules[I].IsMain)
+        ModuleExports[mainKey(Modules[I].Pkg)] = E;
+    } else {
+      ModuleExports[Stem] = E;
+    }
     ModuleStores[I] = Store;
   }
 
@@ -112,6 +137,7 @@ BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules) 
   // (cycles, unsorted inputs) now link; allocators make this idempotent.
   for (size_t I = 0; I < Modules.size() && !Aborted; ++I) {
     Prog = Modules[I].Program;
+    CurPkg = Modules[I].Pkg;
     Store = ModuleStores[I];
     analyzeBlock(Prog->TopLevel);
     ModuleStores[I] = Store;
@@ -120,12 +146,38 @@ BuildResult MDGBuilder::buildPackage(const std::vector<PackageModule> &Modules) 
   // Pass 3: entry points, module by module, each under its own store.
   for (size_t I = 0; I < Modules.size() && !Aborted; ++I) {
     Prog = Modules[I].Program;
+    CurPkg = Modules[I].Pkg;
     Store = ModuleStores[I];
     markEntryPoints();
   }
 
+  PkgLink = nullptr;
+  CurPkg.clear();
   finalize(R);
   return R;
+}
+
+NodeId MDGBuilder::lookupModuleExports(const std::string &RequireModule) {
+  if (!PkgLink) {
+    auto It = ModuleExports.find(moduleStem(RequireModule));
+    return It == ModuleExports.end() ? InvalidNode : It->second;
+  }
+  std::string Stem = moduleStem(RequireModule);
+  // The soundness valve: a require of a missing/unparseable dependency must
+  // degrade to the fresh-object behavior so the query stage still sees an
+  // unknown value (never a falsely-precise exports object).
+  if (PkgLink->ForceUnresolved.count(RequireModule) ||
+      PkgLink->ForceUnresolved.count(Stem))
+    return InvalidNode;
+  bool Relative = !RequireModule.empty() && RequireModule[0] == '.';
+  if (!Relative)
+    if (auto It = ModuleExports.find(mainKey(RequireModule));
+        It != ModuleExports.end())
+      return It->second;
+  // Same-package sibling file (relative requires, or a bare name that is
+  // not a known package).
+  auto It = ModuleExports.find(exportKey(CurPkg, Stem));
+  return It == ModuleExports.end() ? InvalidNode : It->second;
 }
 
 void MDGBuilder::markEntryPoints() {
@@ -429,9 +481,9 @@ void MDGBuilder::analyzeStmt(const core::Stmt &S) {
   case StmtKind::NewObject: {
     // A linked local require binds the required module's exports object.
     if (!S.RequireModule.empty() && !ModuleExports.empty()) {
-      auto It = ModuleExports.find(moduleStem(S.RequireModule));
-      if (It != ModuleExports.end()) {
-        Store.set(S.Target, It->second);
+      NodeId E = lookupModuleExports(S.RequireModule);
+      if (E != InvalidNode) {
+        Store.set(S.Target, E);
         break;
       }
     }

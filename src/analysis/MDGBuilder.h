@@ -122,10 +122,17 @@ struct BuildResult {
   std::map<std::string, mdg::NodeId> FunctionNodes;
 };
 
+struct ModuleLinkInfo; // CallGraph.h
+
 /// One module of a multi-file package, for linked analysis.
 struct PackageModule {
   std::string Name; ///< File name, e.g. "helpers.js".
   const core::Program *Program = nullptr;
+  /// Owning package for dependency-tree scans ("" = the sole package).
+  std::string Pkg;
+  /// True for a package's main module: a bare `require('pkg')` from any
+  /// other package resolves to this module's exports object.
+  bool IsMain = false;
 };
 
 /// Builds the MDG of a normalized Core JavaScript program.
@@ -142,7 +149,15 @@ public:
   /// should be ordered dependencies-first (the scanner topo-sorts); an
   /// unresolved require degrades to the single-file fresh-object
   /// behavior. Entry points are the union of all modules' exports.
-  BuildResult buildPackage(const std::vector<PackageModule> &Modules);
+  ///
+  /// With \p Link (a flattened dependency tree, see PackageGraph), exports
+  /// objects are registered under package-qualified keys: a bare require
+  /// resolves to the named package's main module, a relative require stays
+  /// within the requiring module's own package, and names in
+  /// Link->ForceUnresolved keep the fresh-object degradation (the
+  /// cross-package soundness valve).
+  BuildResult buildPackage(const std::vector<PackageModule> &Modules,
+                           const ModuleLinkInfo *Link = nullptr);
 
 private:
   BuilderOptions Options;
@@ -181,7 +196,19 @@ private:
   /// Core function name -> its function-value node (export linking).
   std::map<std::string, mdg::NodeId> FuncNodeByName;
   /// Normalized module stem -> exports object node (package linking).
+  /// Dependency-tree builds use package-qualified keys instead (see
+  /// exportKey in MDGBuilder.cpp) so same-stem files in two packages
+  /// cannot cross-link.
   std::map<std::string, mdg::NodeId> ModuleExports;
+  /// Cross-package link context (null outside dependency-tree builds).
+  const ModuleLinkInfo *PkgLink = nullptr;
+  /// Package owning the module currently being analyzed.
+  std::string CurPkg;
+
+  /// Resolves a require target to a registered exports object, honoring
+  /// the package-qualified key scheme and the ForceUnresolved valve.
+  /// Returns mdg::InvalidNode when the require must stay unresolved.
+  mdg::NodeId lookupModuleExports(const std::string &RequireModule);
 
   /// Inline stack (function names) for recursion detection.
   std::vector<std::string> InlineStack;
@@ -258,7 +285,8 @@ private:
 
 /// Convenience: linked package analysis (see MDGBuilder::buildPackage).
 BuildResult buildPackageMDG(const std::vector<PackageModule> &Modules,
-                            BuilderOptions O = {});
+                            BuilderOptions O = {},
+                            const ModuleLinkInfo *Link = nullptr);
 
 /// Convenience: normalize + build in one call.
 BuildResult buildMDG(const core::Program &Program, BuilderOptions O = {});

@@ -1,0 +1,498 @@
+//===- analysis/PackageGraph.cpp - Dependency-tree discovery ---------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PackageGraph.h"
+
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace gjs;
+using namespace gjs::analysis;
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+size_t PackageGraph::addPackage(PackageInfo P) {
+  Finalized = false;
+  Pkgs.push_back(std::move(P));
+  return Pkgs.size() - 1;
+}
+
+size_t PackageGraph::indexOf(const std::string &Name) const {
+  for (size_t I = 0; I < Pkgs.size(); ++I)
+    if (Pkgs[I].Name == Name)
+      return I;
+  return Pkgs.size();
+}
+
+void PackageGraph::finalize() {
+  if (Finalized)
+    return;
+  // Resolve declared dependency names; unknown names become synthetic
+  // Missing packages so every declared edge has an endpoint (the lint
+  // pass and the soundness valve both key off these).
+  std::map<std::string, size_t> ByName;
+  for (size_t I = 0; I < Pkgs.size(); ++I)
+    ByName.emplace(Pkgs[I].Name, I);
+  for (size_t I = 0; I < Pkgs.size(); ++I)
+    for (const std::string &Dep : Pkgs[I].Deps)
+      if (!ByName.count(Dep)) {
+        PackageInfo M;
+        M.Name = Dep;
+        M.Missing = true;
+        ByName.emplace(Dep, Pkgs.size());
+        Pkgs.push_back(std::move(M));
+      }
+  Edges.assign(Pkgs.size(), {});
+  for (size_t I = 0; I < Pkgs.size(); ++I)
+    for (const std::string &Dep : Pkgs[I].Deps)
+      Edges[I].push_back(ByName.at(Dep));
+  computeOrder();
+  Finalized = true;
+}
+
+/// Iterative Tarjan over the package dependency relation. Components come
+/// out in reverse topological order of the condensation — dependencies
+/// before dependents — which is exactly the bottom-up summary link order.
+void PackageGraph::computeOrder() {
+  size_t N = Pkgs.size();
+  Order.clear();
+  std::vector<int> Index(N, -1), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<size_t> Stack;
+  int Next = 0;
+
+  struct Frame {
+    size_t V;
+    size_t Edge = 0;
+  };
+  for (size_t Start = 0; Start < N; ++Start) {
+    if (Index[Start] != -1)
+      continue;
+    std::vector<Frame> Frames{{Start}};
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      size_t V = F.V;
+      if (F.Edge == 0) {
+        Index[V] = Low[V] = Next++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      if (F.Edge < Edges[V].size()) {
+        size_t W = Edges[V][F.Edge++];
+        if (Index[W] == -1)
+          Frames.push_back({W});
+        else if (OnStack[W])
+          Low[V] = std::min(Low[V], Index[W]);
+        continue;
+      }
+      if (Low[V] == Index[V]) {
+        std::vector<size_t> SCC;
+        for (;;) {
+          size_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SCC.push_back(W);
+          if (W == V)
+            break;
+        }
+        Order.push_back(std::move(SCC));
+      }
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        Frame &P = Frames.back();
+        Low[P.V] = std::min(Low[P.V], Low[V]);
+      }
+    }
+  }
+}
+
+bool PackageGraph::hasCycles() const {
+  for (const auto &SCC : Order)
+    if (SCC.size() > 1)
+      return true;
+  for (size_t I = 0; I < Edges.size(); ++I)
+    for (size_t J : Edges[I])
+      if (J == I)
+        return true;
+  return false;
+}
+
+std::vector<std::vector<std::string>> PackageGraph::cycles() const {
+  std::vector<std::vector<std::string>> Out;
+  for (const auto &SCC : Order) {
+    if (SCC.size() <= 1)
+      continue;
+    std::vector<std::string> Names;
+    for (size_t I : SCC)
+      Names.push_back(Pkgs[I].Name);
+    std::sort(Names.begin(), Names.end());
+    Out.push_back(std::move(Names));
+  }
+  return Out;
+}
+
+bool PackageGraph::hasMissing() const {
+  for (const PackageInfo &P : Pkgs)
+    if (P.Missing || P.Unparseable)
+      return true;
+  return false;
+}
+
+std::vector<std::string> PackageGraph::missingNames() const {
+  std::vector<std::string> Out;
+  for (const PackageInfo &P : Pkgs)
+    if (P.Missing || P.Unparseable)
+      Out.push_back(P.Name);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Flattening
+//===----------------------------------------------------------------------===//
+
+/// Normalizes "./index.js" and "index.js" to the same form for main-module
+/// matching.
+static std::string normPath(const std::string &P) {
+  std::string S = P;
+  if (S.rfind("./", 0) == 0)
+    S = S.substr(2);
+  return S;
+}
+
+static std::string fileStem(const std::string &Name) {
+  std::string S = Name;
+  size_t Slash = S.find_last_of('/');
+  if (Slash != std::string::npos)
+    S = S.substr(Slash + 1);
+  if (S.size() > 3 && S.compare(S.size() - 3, 3, ".js") == 0)
+    S = S.substr(0, S.size() - 3);
+  return S;
+}
+
+PackageGraph::FlatPlan PackageGraph::flatten() const {
+  FlatPlan Plan;
+  for (const auto &SCC : Order) {
+    for (size_t PI : SCC) {
+      const PackageInfo &P = Pkgs[PI];
+      if (!P.analyzable()) {
+        // The soundness valve: every require of this name must stay an
+        // unresolved callee.
+        Plan.MissingDeps.insert(P.Name);
+        if (!P.Missing)
+          Plan.Warnings.push_back("package '" + P.Name +
+                                  "' is present but not analyzable; requires "
+                                  "of it stay unresolved");
+        continue;
+      }
+      std::string Main = normPath(P.Main);
+      bool SawMain = false;
+      std::set<std::string> Stems;
+      for (const PackageFile &F : P.Files) {
+        FlatModule M;
+        M.Path = P.Name + "/" + normPath(F.Path);
+        M.Pkg = P.Name;
+        M.Contents = &F.Contents;
+        M.IsMain = normPath(F.Path) == Main ||
+                   normPath(F.Path) == Main + ".js";
+        SawMain = SawMain || M.IsMain;
+        if (!Stems.insert(fileStem(F.Path)).second)
+          Plan.Warnings.push_back("package '" + P.Name +
+                                  "' has two files with module stem '" +
+                                  fileStem(F.Path) +
+                                  "'; relative requires of it are ambiguous");
+        Plan.Modules.push_back(std::move(M));
+      }
+      if (!SawMain) {
+        // No file matches the declared main: bare requires of this package
+        // would silently resolve to nothing, so force them unresolved.
+        Plan.MissingDeps.insert(P.Name);
+        Plan.Warnings.push_back("package '" + P.Name + "' declares main '" +
+                                P.Main + "' but ships no such file; bare "
+                                "requires of it stay unresolved");
+      }
+    }
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest loading (graphjs.deps.json)
+//===----------------------------------------------------------------------===//
+
+static bool readFileText(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+static std::string jsonStr(const json::Object &O, const char *Key,
+                           const std::string &Default = "") {
+  auto It = O.find(Key);
+  return It != O.end() && It->second.isString() ? It->second.asString()
+                                                : Default;
+}
+
+bool PackageGraph::fromManifest(const std::string &Text,
+                                const std::string &BaseDir, PackageGraph &Out,
+                                std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = "graphjs.deps.json: " + Msg;
+    return false;
+  };
+  json::Value V;
+  std::string PErr;
+  if (!json::parse(Text, V, &PErr))
+    return Fail("parse error: " + PErr);
+  if (!V.isObject())
+    return Fail("top level must be an object");
+  const json::Object &Top = V.asObject();
+  auto SchemaIt = Top.find("schema");
+  if (SchemaIt == Top.end() || !SchemaIt->second.isNumber() ||
+      static_cast<int>(SchemaIt->second.asNumber()) != 1)
+    return Fail("unsupported or missing schema (expected 1)");
+  auto PkgsIt = Top.find("packages");
+  if (PkgsIt == Top.end() || !PkgsIt->second.isArray())
+    return Fail("missing 'packages' array");
+
+  for (const json::Value &PV : PkgsIt->second.asArray()) {
+    if (!PV.isObject())
+      return Fail("package entries must be objects");
+    const json::Object &PO = PV.asObject();
+    PackageInfo P;
+    P.Name = jsonStr(PO, "name");
+    if (P.Name.empty())
+      return Fail("package entry without a name");
+    P.Version = jsonStr(PO, "version");
+    P.Main = jsonStr(PO, "main", "index.js");
+    std::string Dir = jsonStr(PO, "dir");
+    if (auto It = PO.find("missing");
+        It != PO.end() && It->second.isBool() && It->second.asBool())
+      P.Missing = true;
+    if (auto It = PO.find("deps"); It != PO.end() && It->second.isArray())
+      for (const json::Value &D : It->second.asArray())
+        if (D.isString())
+          P.Deps.push_back(D.asString());
+    if (auto It = PO.find("files"); It != PO.end() && It->second.isArray())
+      for (const json::Value &F : It->second.asArray()) {
+        if (!F.isString())
+          continue;
+        PackageFile PF;
+        PF.Path = F.asString();
+        fs::path Full = fs::path(BaseDir) / Dir / PF.Path;
+        if (!readFileText(Full, PF.Contents)) {
+          // A listed file we cannot read: the package becomes unanalyzable
+          // (soundness valve) instead of silently partial.
+          P.Unparseable = true;
+          continue;
+        }
+        P.Files.push_back(std::move(PF));
+      }
+    Out.addPackage(std::move(P));
+  }
+  std::string RootName = jsonStr(Top, "root");
+  if (!RootName.empty()) {
+    size_t R = Out.indexOf(RootName);
+    if (R == Out.packages().size())
+      return Fail("root '" + RootName + "' is not in the package list");
+    Out.setRoot(R);
+  }
+  Out.finalize();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk discovery (package.json + node_modules)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads one package directory: package.json (all fields optional; the
+/// directory name is the fallback package name) plus every .js file under
+/// it, skipping nested node_modules.
+PackageInfo readPackageDir(const fs::path &Dir) {
+  PackageInfo P;
+  P.Name = Dir.filename().string();
+  std::string Manifest;
+  if (readFileText(Dir / "package.json", Manifest)) {
+    json::Value V;
+    if (json::parse(Manifest, V) && V.isObject()) {
+      const json::Object &O = V.asObject();
+      std::string Name = jsonStr(O, "name");
+      if (!Name.empty())
+        P.Name = Name;
+      P.Version = jsonStr(O, "version");
+      P.Main = jsonStr(O, "main", "index.js");
+      if (auto It = O.find("dependencies");
+          It != O.end() && It->second.isObject())
+        for (const auto &[Dep, Ver] : It->second.asObject())
+          P.Deps.push_back(Dep);
+    } else {
+      P.Unparseable = true;
+    }
+  }
+  std::error_code EC;
+  for (fs::recursive_directory_iterator
+           It(Dir, fs::directory_options::skip_permission_denied, EC),
+       End;
+       It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (It->is_directory() && It->path().filename() == "node_modules") {
+      It.disable_recursion_pending();
+      continue;
+    }
+    if (!It->is_regular_file() || It->path().extension() != ".js")
+      continue;
+    PackageFile F;
+    F.Path = fs::relative(It->path(), Dir, EC).generic_string();
+    if (EC || !readFileText(It->path(), F.Contents)) {
+      P.Unparseable = true;
+      continue;
+    }
+    P.Files.push_back(std::move(F));
+  }
+  std::sort(P.Files.begin(), P.Files.end(),
+            [](const PackageFile &A, const PackageFile &B) {
+              return A.Path < B.Path;
+            });
+  return P;
+}
+
+} // namespace
+
+bool PackageGraph::discover(const std::string &RootDir, PackageGraph &Out,
+                            std::string *Error) {
+  fs::path Root(RootDir);
+  std::error_code EC;
+  if (!fs::is_directory(Root, EC)) {
+    if (Error)
+      *Error = "not a directory: " + RootDir;
+    return false;
+  }
+  std::string ManifestText;
+  if (readFileText(Root / "graphjs.deps.json", ManifestText))
+    return fromManifest(ManifestText, RootDir, Out, Error);
+
+  // npm layout: the root package plus its node_modules closure. A declared
+  // dependency resolves against the dependent's own node_modules first,
+  // then the scan root's (the hoisted layout); unresolved names become
+  // Missing packages in finalize().
+  std::vector<fs::path> DirOf; // parallel to Out's packages
+  std::map<std::string, size_t> Seen;
+  PackageInfo RootPkg = readPackageDir(Root);
+  Seen.emplace(RootPkg.Name, Out.addPackage(std::move(RootPkg)));
+  DirOf.push_back(Root);
+  Out.setRoot(0);
+
+  for (size_t I = 0; I < Out.packages().size(); ++I) {
+    if (I >= DirOf.size())
+      break; // synthetic entries have no directory
+    // Copy: addPackage below may reallocate the packages vector.
+    std::vector<std::string> Deps = Out.packages()[I].Deps;
+    for (const std::string &Dep : Deps) {
+      if (Seen.count(Dep))
+        continue;
+      fs::path Candidate = DirOf[I] / "node_modules" / Dep;
+      if (!fs::is_directory(Candidate, EC))
+        Candidate = Root / "node_modules" / Dep;
+      if (!fs::is_directory(Candidate, EC))
+        continue; // finalize() synthesizes the Missing entry
+      PackageInfo P = readPackageDir(Candidate);
+      // Index by the *declared* name: a mismatched package.json name would
+      // otherwise leave the dependency dangling.
+      P.Name = Dep;
+      Seen.emplace(Dep, Out.addPackage(std::move(P)));
+      DirOf.push_back(Candidate);
+    }
+  }
+  Out.finalize();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-package summary serialization
+//===----------------------------------------------------------------------===//
+
+std::string analysis::packageSummaryToJSON(const PackageSummaries &P) {
+  // Reuse the SummarySet serializer and wrap it with the package envelope.
+  json::Value Sums;
+  std::string Err;
+  if (!json::parse(summariesToJSON(P.Sums), Sums, &Err))
+    Sums = json::Value(json::Object{});
+  json::Object O;
+  O["schema"] = json::Value(P.Schema);
+  O["package"] = json::Value(P.Package);
+  O["version"] = json::Value(P.Version);
+  O["summaries"] = std::move(Sums);
+  return json::Value(std::move(O)).str(2);
+}
+
+bool analysis::packageSummaryFromJSON(const std::string &Text,
+                                      PackageSummaries &Out,
+                                      std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  json::Value V;
+  std::string PErr;
+  if (!json::parse(Text, V, &PErr))
+    return Fail("package summary parse error: " + PErr);
+  if (!V.isObject())
+    return Fail("package summary must be an object");
+  const json::Object &O = V.asObject();
+  auto SchemaIt = O.find("schema");
+  if (SchemaIt == O.end() || !SchemaIt->second.isNumber())
+    return Fail("package summary missing schema");
+  Out.Schema = static_cast<int>(SchemaIt->second.asNumber());
+  if (Out.Schema != PackageSummarySchemaVersion)
+    return Fail("package summary schema " + std::to_string(Out.Schema) +
+                " != supported " + std::to_string(PackageSummarySchemaVersion));
+  Out.Package = jsonStr(O, "package");
+  Out.Version = jsonStr(O, "version");
+  auto SumsIt = O.find("summaries");
+  if (SumsIt == O.end())
+    return Fail("package summary missing 'summaries'");
+  return summariesFromJSON(SumsIt->second.str(), Out.Sums, Error);
+}
+
+std::vector<PackageSummaries>
+analysis::slicePackageSummaries(const PackageGraph &G, const CallGraph &CG,
+                                const SummarySet &S,
+                                const ModuleLinkInfo &Link) {
+  std::map<std::string, size_t> SliceOf;
+  std::vector<PackageSummaries> Out;
+  const std::vector<CGFunction> &Funcs = CG.functions();
+  for (size_t I = 0; I < Funcs.size() && I < S.Summaries.size(); ++I) {
+    size_t M = Funcs[I].ModuleIndex;
+    std::string Pkg = M < Link.PkgOf.size() ? Link.PkgOf[M] : std::string();
+    auto [It, New] = SliceOf.emplace(Pkg, Out.size());
+    if (New) {
+      PackageSummaries PS;
+      PS.Package = Pkg;
+      size_t PI = G.indexOf(Pkg);
+      if (PI < G.packages().size())
+        PS.Version = G.packages()[PI].Version;
+      Out.push_back(std::move(PS));
+    }
+    Out[It->second].Sums.Summaries.push_back(S.Summaries[I]);
+  }
+  return Out;
+}

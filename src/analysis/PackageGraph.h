@@ -1,0 +1,187 @@
+//===- analysis/PackageGraph.h - Dependency-tree discovery ------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-package analysis support: discovery of a scan root's dependency
+/// tree, the package DAG with SCC collapse for cyclic dependency groups,
+/// and the flattening that lets the existing multi-module pipeline (MDG
+/// builder, call graph, taint summaries) analyze a whole tree as one
+/// linked unit. See docs/DEPENDENCIES.md.
+///
+/// Two discovery paths:
+///
+///  - A `graphjs.deps.json` manifest (the format the workload generator
+///    emits): an explicit package list with files, main modules, and
+///    declared dependency edges.
+///
+///  - The npm on-disk layout: `package.json` + `node_modules/` walked
+///    recursively from the scan root.
+///
+/// Either way, a dependency that is declared but cannot be located (or
+/// whose files cannot be read) becomes a *missing* package: its name is
+/// routed into ModuleLinkInfo::ForceUnresolved so every require of it
+/// stays an unresolved callee — the cross-package soundness valve that
+/// keeps `decidePruning` sound over code we cannot see.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_ANALYSIS_PACKAGEGRAPH_H
+#define GJS_ANALYSIS_PACKAGEGRAPH_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/TaintSummary.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace analysis {
+
+/// One source file of a package, path relative to the package root.
+struct PackageFile {
+  std::string Path;
+  std::string Contents;
+};
+
+/// One package of a dependency tree.
+struct PackageInfo {
+  std::string Name;
+  std::string Version;          ///< "" when unknown
+  std::string Main = "index.js"; ///< what a bare require resolves to
+  std::vector<PackageFile> Files;
+  std::vector<std::string> Deps; ///< declared dependency names
+  /// Declared by a dependent but not found on disk / in the manifest.
+  bool Missing = false;
+  /// Located but unreadable (bad package.json, unreadable files): treated
+  /// like Missing for linking purposes.
+  bool Unparseable = false;
+
+  bool analyzable() const { return !Missing && !Unparseable && !Files.empty(); }
+};
+
+/// The dependency tree of a scan root: packages, the dependency DAG, and
+/// its condensation (SCC collapse) in bottom-up link order.
+class PackageGraph {
+public:
+  /// Adds a package; returns its index. Call finalize() after the last one.
+  size_t addPackage(PackageInfo P);
+
+  /// Marks the scan root (defaults to index 0).
+  void setRoot(size_t Index) { Root = Index; }
+
+  /// Resolves declared dependency names to edges, synthesizing a Missing
+  /// package for every name that no added package carries, and computes
+  /// the SCC link order. Idempotent.
+  void finalize();
+
+  /// Parses a `graphjs.deps.json` manifest (see docs/DEPENDENCIES.md for
+  /// the format), reading file contents relative to \p BaseDir. A listed
+  /// file that cannot be read marks its package Unparseable (the valve)
+  /// rather than failing the whole load. Finalizes \p Out on success.
+  static bool fromManifest(const std::string &Text, const std::string &BaseDir,
+                           PackageGraph &Out, std::string *Error = nullptr);
+
+  /// Discovers a dependency tree on disk: prefers `RootDir/graphjs.deps.json`
+  /// when present, else reads `package.json` and walks `node_modules/`
+  /// recursively. Finalizes \p Out on success.
+  static bool discover(const std::string &RootDir, PackageGraph &Out,
+                       std::string *Error = nullptr);
+
+  const std::vector<PackageInfo> &packages() const { return Pkgs; }
+  size_t rootIndex() const { return Root; }
+
+  /// Index of the named package, or packages().size() when absent.
+  size_t indexOf(const std::string &Name) const;
+
+  /// depEdges()[i] = indices of the packages package i depends on.
+  const std::vector<std::vector<size_t>> &depEdges() const { return Edges; }
+
+  /// SCCs of the package dependency relation in bottom-up (dependencies
+  /// first) order: the summary linking order. Cyclic dependency groups
+  /// collapse into one component.
+  const std::vector<std::vector<size_t>> &linkOrder() const { return Order; }
+
+  /// True when any dependency cycle exists (an SCC with more than one
+  /// package, or a self-dependency).
+  bool hasCycles() const;
+
+  /// The cyclic dependency groups, as package-name lists (lint report).
+  std::vector<std::vector<std::string>> cycles() const;
+
+  /// True when any package is Missing or Unparseable.
+  bool hasMissing() const;
+
+  /// Names of all Missing/Unparseable packages.
+  std::vector<std::string> missingNames() const;
+
+  //===--------------------------------------------------------------------===//
+  // Flattening
+  //===--------------------------------------------------------------------===//
+
+  /// One module of the flattened tree. Contents points into this graph:
+  /// the graph must outlive the plan.
+  struct FlatModule {
+    std::string Path; ///< "<pkg>/<file>": unique, shows up in diagnostics
+    std::string Pkg;
+    const std::string *Contents = nullptr;
+    bool IsMain = false;
+  };
+
+  /// The flattened dependency tree: every analyzable package's files in
+  /// bottom-up link order, plus the names that must classify as
+  /// unresolved (ModuleLinkInfo::ForceUnresolved).
+  struct FlatPlan {
+    std::vector<FlatModule> Modules;
+    std::set<std::string> MissingDeps;
+    std::vector<std::string> Warnings;
+  };
+
+  FlatPlan flatten() const;
+
+private:
+  std::vector<PackageInfo> Pkgs;
+  size_t Root = 0;
+  bool Finalized = false;
+  std::vector<std::vector<size_t>> Edges;
+  std::vector<std::vector<size_t>> Order;
+
+  void computeOrder();
+};
+
+//===----------------------------------------------------------------------===//
+// Per-package summary serialization (linked scans <-> batch journal)
+//===----------------------------------------------------------------------===//
+
+/// Schema version of the per-package summary JSON. The pkggraph lint pass
+/// rejects mismatches: composing summaries produced by a different lattice
+/// is silently wrong, not gracefully degraded.
+constexpr int PackageSummarySchemaVersion = 1;
+
+/// One package's slice of a linked summary computation.
+struct PackageSummaries {
+  std::string Package;
+  std::string Version;
+  int Schema = PackageSummarySchemaVersion;
+  SummarySet Sums;
+};
+
+std::string packageSummaryToJSON(const PackageSummaries &P);
+bool packageSummaryFromJSON(const std::string &Text, PackageSummaries &Out,
+                            std::string *Error = nullptr);
+
+/// Slices a flattened build's summaries per package: function I belongs to
+/// the package owning its module (Link.PkgOf[CG.functions()[I].ModuleIndex]).
+/// \p CG and \p S must come from the same build \p Link was used for.
+std::vector<PackageSummaries>
+slicePackageSummaries(const PackageGraph &G, const CallGraph &CG,
+                      const SummarySet &S, const ModuleLinkInfo &Link);
+
+} // namespace analysis
+} // namespace gjs
+
+#endif // GJS_ANALYSIS_PACKAGEGRAPH_H

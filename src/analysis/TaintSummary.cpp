@@ -428,7 +428,8 @@ SummarySet computeSummaries(const CallGraph &CG,
   return Set;
 }
 
-PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S) {
+PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S,
+                            bool CodeMissing) {
   PruneDecision D;
   const std::vector<FunctionSummary> &Sums = S.Summaries;
   std::vector<bool> Reach = CG.reachableFromRoots();
@@ -492,6 +493,11 @@ PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S) {
     if (!TaintSources) {
       D.Prunable[C] = true;
       D.Reason[C] = "no-taint-sources";
+    } else if (CodeMissing && UnresolvedHazard) {
+      // Linked tree with invisible packages: live taint reaching an
+      // unresolved callee may enter code absent from this graph, and "no
+      // sink callsites *here*" proves nothing about it (see header doc).
+      D.Reason[C] = "unresolved-callee";
     } else if (!Pollution && !HasSite[C]) {
       D.Prunable[C] = true;
       D.Reason[C] = "no-sink-callsites";

@@ -126,7 +126,15 @@ struct PruneDecision {
   std::string str() const;
 };
 
-PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S);
+/// \p CodeMissing: the build is a linked dependency tree with packages
+/// that could not be located or parsed (ModuleLinkInfo::ForceUnresolved
+/// nonempty). Unresolved callees then stand for code absent from the
+/// graph, so the unresolved-callee valve takes precedence over the
+/// syntactic site checks — "no sink callsites here" proves nothing about
+/// code we cannot see. For self-contained builds every call target's
+/// sites are in the graph and the cheaper site checks stay first.
+PruneDecision decidePruning(const CallGraph &CG, const SummarySet &S,
+                            bool CodeMissing = false);
 
 /// Human-readable dump (graphjs callgraph --summaries).
 std::string dumpText(const SummarySet &S, const CallGraph &CG);

@@ -107,6 +107,14 @@ std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
     O["prune_reason"] = json::Value(Outcome.Result.PruneReason);
   if (Outcome.Result.PruneSkippedImport)
     O["prune_skipped_import"] = json::Value(true);
+  if (Outcome.Result.LinkedPackages)
+    O["linked_packages"] = json::Value(Outcome.Result.LinkedPackages);
+  if (!Outcome.Result.MissingDeps.empty()) {
+    json::Array Deps;
+    for (const std::string &Dep : Outcome.Result.MissingDeps)
+      Deps.push_back(json::Value(Dep));
+    O["missing_deps"] = json::Value(std::move(Deps));
+  }
 
   if (!Outcome.Result.AttemptLog.empty()) {
     json::Array Attempts;
@@ -214,6 +222,15 @@ bool BatchDriver::parseJournalLine(const std::string &Line, BatchOutcome &Out) {
     auto It = O.find("prune_skipped_import");
     if (It != O.end() && It->second.isBool())
       Out.Result.PruneSkippedImport = It->second.asBool();
+  }
+  if (Num("linked_packages", D))
+    Out.Result.LinkedPackages = static_cast<unsigned>(D);
+  {
+    auto It = O.find("missing_deps");
+    if (It != O.end() && It->second.isArray())
+      for (const json::Value &DV : It->second.asArray())
+        if (DV.isString())
+          Out.Result.MissingDeps.push_back(DV.asString());
   }
 
   {
@@ -399,12 +416,21 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
 std::string driver::batchStatsText(const BatchSummary &Summary) {
   std::string Out;
   char Buf[160];
+  // Every ratio below goes through safeDiv/safePct: an empty corpus, a
+  // resume-only run (everything skipped), or a zero-query scan must print
+  // zeros, never NaN or inf.
+  auto safeDiv = [](double Num, double Den) {
+    return Den > 0 ? Num / Den : 0.0;
+  };
+  auto safePct = [&safeDiv](double Num, double Den) {
+    return 100.0 * safeDiv(Num, Den);
+  };
   // Throughput is measured on wall-clock; TotalSeconds is the summed
   // per-package scan time (aggregate CPU under --jobs N, where it exceeds
   // the wall by up to the parallelism factor).
   double Wall =
       Summary.WallSeconds > 0 ? Summary.WallSeconds : Summary.TotalSeconds;
-  double Rate = Wall > 0 ? static_cast<double>(Summary.Scanned) / Wall : 0;
+  double Rate = safeDiv(static_cast<double>(Summary.Scanned), Wall);
   std::snprintf(Buf, sizeof(Buf),
                 "packages: %zu scanned, %zu resumed-skip (%zu ok, %zu "
                 "degraded, %zu failed)\n",
@@ -412,8 +438,11 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
                 Summary.Degraded, Summary.Failed);
   Out += Buf;
   std::snprintf(Buf, sizeof(Buf),
-                "throughput: %.2f packages/sec (wall %.3fs, cpu %.3fs)\n",
-                Rate, Wall, Summary.TotalSeconds);
+                "throughput: %.2f packages/sec (wall %.3fs, cpu %.3fs, avg "
+                "%.3fs/package)\n",
+                Rate, Wall, Summary.TotalSeconds,
+                safeDiv(Summary.TotalSeconds,
+                        static_cast<double>(Summary.Scanned)));
   Out += Buf;
   if (Summary.Crashed || Summary.OomKilled || Summary.DeadlineKilled ||
       Summary.Retried) {
@@ -434,15 +463,13 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
     if (O.Result.timedOut())
       ++TimedOut;
   }
-  double TimeoutRate =
-      Scanned.empty() ? 0
-                      : 100.0 * static_cast<double>(TimedOut) /
-                            static_cast<double>(Scanned.size());
   std::snprintf(Buf, sizeof(Buf), "timeouts: %zu (%.1f%%)\n", TimedOut,
-                TimeoutRate);
+                safePct(static_cast<double>(TimedOut),
+                        static_cast<double>(Scanned.size())));
   Out += Buf;
 
   size_t PrunedPackages = 0, PrunedQueries = 0, SkippedImports = 0;
+  size_t LinkedScans = 0, MissingDeps = 0;
   for (const BatchOutcome *O : Scanned) {
     if (O->Result.PrunedQueries) {
       ++PrunedPackages;
@@ -450,12 +477,24 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
     }
     if (O->Result.PruneSkippedImport)
       ++SkippedImports;
+    if (O->Result.LinkedPackages)
+      ++LinkedScans;
+    MissingDeps += O->Result.MissingDeps.size();
   }
   std::snprintf(Buf, sizeof(Buf),
-                "pruning: %zu packages, %zu queries skipped, %zu imports "
-                "skipped\n",
-                PrunedPackages, PrunedQueries, SkippedImports);
+                "pruning: %zu packages (%.1f%%), %zu queries skipped, %zu "
+                "imports skipped\n",
+                PrunedPackages,
+                safePct(static_cast<double>(PrunedPackages),
+                        static_cast<double>(Scanned.size())),
+                PrunedQueries, SkippedImports);
   Out += Buf;
+  if (LinkedScans || MissingDeps) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "linking: %zu dependency-tree scans, %zu missing deps\n",
+                  LinkedScans, MissingDeps);
+    Out += Buf;
+  }
 
   std::sort(Scanned.begin(), Scanned.end(),
             [](const BatchOutcome *A, const BatchOutcome *B) {

@@ -81,5 +81,6 @@ PassManager PassManager::standard() {
   PM.addPass(createMDGCheckPass());
   PM.addPass(createQuerySchemaPass());
   PM.addPass(createCallGraphPass());
+  PM.addPass(createPkgGraphPass());
   return PM;
 }

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The static validation subsystem (`graphjs lint`): a lightweight pass
-/// manager running check passes over the pipeline's artifacts. Four pass
+/// manager running check passes over the pipeline's artifacts. Five pass
 /// families ship by default:
 ///
 ///  - **ir-verify** — post-Normalizer Core IR invariants (temporaries
@@ -31,6 +31,11 @@
 ///    parameter bits, and the SCC order is a valid reverse-topological
 ///    cover (see docs/CALLGRAPH.md).
 ///
+///  - **pkggraph** — dependency-tree invariants for cross-package scans:
+///    dangling inter-package edges (declared dependencies that are missing
+///    or unanalyzable), dependency-cycle reports, and per-package summary
+///    schema/version mismatches (see docs/DEPENDENCIES.md).
+///
 /// Each pass reads what it needs from a LintContext and appends findings;
 /// passes never mutate artifacts and tolerate missing context (a pass with
 /// nothing to check is a no-op), so the same manager serves the CLI, the
@@ -45,6 +50,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gjs {
@@ -57,6 +63,7 @@ struct ModuleCFG;
 }
 namespace analysis {
 struct BuildResult;
+class PackageGraph;
 }
 namespace queries {
 class SinkConfig;
@@ -78,6 +85,11 @@ struct LintContext {
   /// the call-graph checker; when empty it falls back to Program alone.
   std::vector<const core::Program *> Programs;
   std::vector<std::string> Stems;
+  /// Dependency tree for the pkggraph checker (dependency-tree scans).
+  const analysis::PackageGraph *Packages = nullptr;
+  /// Per-package summary JSON blobs to validate against the current
+  /// schema/tree, as (origin label, JSON text) pairs.
+  std::vector<std::pair<std::string, std::string>> PackageSummaries;
 };
 
 /// One validation pass.
@@ -94,7 +106,8 @@ public:
   void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
   LintResult run(const LintContext &Ctx) const;
 
-  /// The standard pipeline: ir-verify, mdg-check, query-schema, callgraph.
+  /// The standard pipeline: ir-verify, mdg-check, query-schema, callgraph,
+  /// pkggraph.
   static PassManager standard();
 
 private:
@@ -108,6 +121,7 @@ std::unique_ptr<Pass> createIRVerifierPass();
 std::unique_ptr<Pass> createMDGCheckPass();
 std::unique_ptr<Pass> createQuerySchemaPass();
 std::unique_ptr<Pass> createCallGraphPass();
+std::unique_ptr<Pass> createPkgGraphPass();
 
 } // namespace lint
 } // namespace gjs

@@ -1,0 +1,125 @@
+//===- lint/PkgGraphPass.cpp - Dependency-tree validation pass -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the cross-package linking artifacts of a dependency-tree scan
+// (see docs/DEPENDENCIES.md):
+//
+//   pkggraph.dangling-dep    — a declared inter-package edge whose target is
+//                              missing or unanalyzable: every require of it
+//                              stays an unresolved callee, so detection
+//                              quality degrades (soundly) for that subtree
+//   pkggraph.dep-cycle       — a cyclic dependency group: linked as one SCC,
+//                              reported so tree authors see the collapse
+//   pkggraph.summary-version — a per-package summary JSON blob whose schema
+//                              version does not match the linker's, whose
+//                              package name is not in the tree, or whose
+//                              recorded version disagrees with the tree's
+//
+// The pass tolerates missing context: without a PackageGraph it only checks
+// the standalone summary blobs (and is a no-op when those are absent too).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PackageGraph.h"
+#include "lint/PassManager.h"
+
+#include <sstream>
+#include <string>
+
+using namespace gjs;
+using namespace gjs::lint;
+
+namespace {
+
+class PkgGraphPass : public Pass {
+public:
+  const char *name() const override { return "pkggraph"; }
+
+  void run(const LintContext &Ctx, LintResult &Out) override {
+    Result = &Out;
+    if (Ctx.Packages) {
+      checkDanglingDeps(*Ctx.Packages);
+      checkCycles(*Ctx.Packages);
+    }
+    checkSummaryBlobs(Ctx);
+    Result = nullptr;
+  }
+
+private:
+  LintResult *Result = nullptr;
+
+  void report(DiagSeverity Sev, const char *Check, std::string Message) {
+    Finding F;
+    F.Severity = Sev;
+    F.Pass = name();
+    F.Check = Check;
+    F.Message = std::move(Message);
+    Result->add(std::move(F));
+  }
+
+  void checkDanglingDeps(const analysis::PackageGraph &G) {
+    const auto &Pkgs = G.packages();
+    for (size_t I = 0; I < Pkgs.size(); ++I) {
+      for (size_t Dep : G.depEdges()[I]) {
+        const analysis::PackageInfo &Target = Pkgs[Dep];
+        if (Target.analyzable())
+          continue;
+        const char *Why = Target.Missing ? "missing"
+                          : Target.Unparseable
+                              ? "present but unreadable"
+                              : "present but ships no source files";
+        report(DiagSeverity::Warning, "dangling-dep",
+               "package '" + Pkgs[I].Name + "' depends on '" + Target.Name +
+                   "' which is " + Why +
+                   "; requires of it stay unresolved callees");
+      }
+    }
+  }
+
+  void checkCycles(const analysis::PackageGraph &G) {
+    for (const std::vector<std::string> &Cycle : G.cycles()) {
+      std::ostringstream OS;
+      OS << "dependency cycle of " << Cycle.size() << " packages linked as "
+         << "one group:";
+      for (const std::string &Name : Cycle)
+        OS << ' ' << Name;
+      report(DiagSeverity::Warning, "dep-cycle", OS.str());
+    }
+  }
+
+  void checkSummaryBlobs(const LintContext &Ctx) {
+    for (const auto &[Label, Text] : Ctx.PackageSummaries) {
+      analysis::PackageSummaries PS;
+      std::string Err;
+      if (!analysis::packageSummaryFromJSON(Text, PS, &Err)) {
+        report(DiagSeverity::Error, "summary-version",
+               Label + ": " + Err);
+        continue;
+      }
+      if (!Ctx.Packages)
+        continue;
+      size_t I = Ctx.Packages->indexOf(PS.Package);
+      if (I == Ctx.Packages->packages().size()) {
+        report(DiagSeverity::Error, "summary-version",
+               Label + ": summaries for package '" + PS.Package +
+                   "' which is not in the dependency tree");
+        continue;
+      }
+      const analysis::PackageInfo &P = Ctx.Packages->packages()[I];
+      if (!P.Version.empty() && !PS.Version.empty() &&
+          P.Version != PS.Version)
+        report(DiagSeverity::Error, "summary-version",
+               Label + ": summaries recorded for '" + PS.Package + "@" +
+                   PS.Version + "' but the tree has version " + P.Version);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lint::createPkgGraphPass() {
+  return std::make_unique<PkgGraphPass>();
+}

@@ -7,6 +7,7 @@
 #include "scanner/Scanner.h"
 
 #include "analysis/CallGraph.h"
+#include "analysis/PackageGraph.h"
 #include "analysis/TaintSummary.h"
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
@@ -122,15 +123,19 @@ std::vector<lint::Finding>
 runSelfCheck(const analysis::BuildResult &Build,
              const std::vector<const core::Program *> &Programs,
              const std::vector<std::string> &Stems,
-             const queries::SinkConfig &Sinks) {
+             const queries::SinkConfig &Sinks,
+             const analysis::PackageGraph *Packages = nullptr) {
   lint::PassManager PM;
   PM.addPass(lint::createMDGCheckPass());
   PM.addPass(lint::createCallGraphPass());
+  if (Packages)
+    PM.addPass(lint::createPkgGraphPass());
   lint::LintContext Ctx;
   Ctx.Build = &Build;
   Ctx.Programs = Programs;
   Ctx.Stems = Stems;
   Ctx.Sinks = &Sinks;
+  Ctx.Packages = Packages;
   if (Programs.size() == 1)
     Ctx.Program = Programs[0];
   return PM.run(Ctx).findings();
@@ -238,7 +243,7 @@ Scanner::Scanner(ScanOptions Options) : Options(std::move(Options)) {}
 
 ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
                                const ScanOptions &Cfg, bool FaultArmed,
-                               unsigned Level) {
+                               unsigned Level, const PackageLinkSpec *Link) {
   ScanResult Out;
   Timer Phase;
   obs::TraceRecorder *TR = Cfg.Trace;
@@ -342,15 +347,20 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
     obs::Span NormSpan(TR, "normalize");
     if (!inject(ScanPhase::Normalize) && !D.expired()) {
       core::StmtIndex NextIndex = 1;
-      bool SingleFile = Files.size() == 1;
+      bool SingleFile = Files.size() == 1 && !Link;
       for (size_t I = 0; I < Files.size(); ++I) {
         if (!ASTs[I])
           continue;
         if (D.expired())
           break;
         DiagnosticEngine Diags;
-        core::Normalizer Norm(Diags, SingleFile ? "" : Stems[I] + "$",
-                              NextIndex, &D);
+        // Dependency-tree scans qualify the prefix with the owning package:
+        // two packages both shipping a `lib.js` must not collide in the
+        // function-name namespace (it keys call-graph and allocation maps).
+        std::string Prefix = SingleFile ? ""
+                             : Link ? Link->PkgOf[I] + "$" + Stems[I] + "$"
+                                    : Stems[I] + "$";
+        core::Normalizer Norm(Diags, Prefix, NextIndex, &D);
         Programs[I] = Norm.normalize(*ASTs[I]);
         NextIndex = Programs[I]->NumIndices + 1;
         size_t Stmts = core::countStmts(Programs[I]->TopLevel);
@@ -376,8 +386,26 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // by the detection-neutrality test in tests/test_summaries.cpp.
   std::vector<const core::Program *> PruneMods;
   std::vector<std::string> PruneStems;
+  analysis::ModuleLinkInfo TreeLink;
+  if (Link) {
+    // The cross-package soundness valve: missing/unparseable dependencies,
+    // plus every file that failed to parse (or was skipped by the
+    // deadline) — its package name and stem must classify as unresolved.
+    TreeLink.ForceUnresolved = Link->MissingDeps;
+    for (size_t I = 0; I < Files.size(); ++I)
+      if (!Programs[I]) {
+        TreeLink.ForceUnresolved.insert(Link->PkgOf[I]);
+        TreeLink.ForceUnresolved.insert(Stems[I]);
+      }
+  }
   for (size_t I = 0; I < Programs.size(); ++I)
     if (Programs[I]) {
+      if (Link) {
+        TreeLink.PkgOf.push_back(Link->PkgOf[I]);
+        if (Link->IsMain[I] &&
+            !TreeLink.ForceUnresolved.count(Link->PkgOf[I]))
+          TreeLink.MainModuleOf.emplace(Link->PkgOf[I], PruneMods.size());
+      }
       PruneMods.push_back(Programs[I].get());
       PruneStems.push_back(Stems[I]);
     }
@@ -387,10 +415,12 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
     obs::Span PruneSpan(TR, "prune");
     if (!PruneMods.empty()) {
       analysis::CallGraph CG = analysis::CallGraph::build(
-          PruneMods, PruneStems, Cfg.Builder.FallbackAllFunctionsExported);
+          PruneMods, PruneStems, Cfg.Builder.FallbackAllFunctionsExported,
+          Link ? &TreeLink : nullptr);
       analysis::SummarySet Sums = analysis::computeSummaries(
           CG, PruneMods, queries::toSinkTable(Cfg.Sinks));
-      analysis::PruneDecision PD = analysis::decidePruning(CG, Sums);
+      analysis::PruneDecision PD = analysis::decidePruning(
+          CG, Sums, Link && !TreeLink.ForceUnresolved.empty());
       Out.PrunedQueries = PD.numPruned();
       Out.PruneReason = PD.str();
       for (int C = 0; C < queries::NumVulnTypes; ++C)
@@ -409,9 +439,19 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
   // Configured sanitizers become builder-level taint barriers (§6).
   Phase.reset();
   std::vector<analysis::PackageModule> Modules;
-  for (size_t I : topoOrder(Programs, Stems))
-    if (Programs[I])
-      Modules.push_back({Files[I].Name, Programs[I].get()});
+  if (Link) {
+    // A flattened dependency tree arrives in bottom-up link order already
+    // (PackageGraph::flatten); the builder's second pass closes any
+    // remaining (cyclic) links.
+    for (size_t I = 0; I < Programs.size(); ++I)
+      if (Programs[I])
+        Modules.push_back({Files[I].Name, Programs[I].get(), Link->PkgOf[I],
+                           static_cast<bool>(Link->IsMain[I])});
+  } else {
+    for (size_t I : topoOrder(Programs, Stems))
+      if (Programs[I])
+        Modules.push_back({Files[I].Name, Programs[I].get()});
+  }
 
   analysis::BuildResult Build;
   bool HaveGraph = false;
@@ -422,11 +462,11 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
       BO.ScanDeadline = &D;
       for (const std::string &Name : Cfg.Sinks.sanitizers())
         BO.Sanitizers.insert(Name);
-      if (Files.size() == 1) {
+      if (Files.size() == 1 && !Link) {
         Build = analysis::buildMDG(*Programs[0], BO);
       } else {
         analysis::MDGBuilder Builder(BO);
-        Build = Builder.buildPackage(Modules);
+        Build = Builder.buildPackage(Modules, Link ? &TreeLink : nullptr);
       }
       HaveGraph = true;
       Out.MDGNodes = Build.Graph.numNodes();
@@ -444,7 +484,8 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
                               ""});
       if (Cfg.SelfCheck)
         Out.SelfCheckFindings =
-            runSelfCheck(Build, PruneMods, PruneStems, Cfg.Sinks);
+            runSelfCheck(Build, PruneMods, PruneStems, Cfg.Sinks,
+                         Link ? Link->Packages : nullptr);
     }
   }
   noteDeadline(ScanPhase::Build);
@@ -528,6 +569,15 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
     }
   }
 
+  if (Link) {
+    std::set<std::string> LinkedPkgs;
+    for (size_t I = 0; I < Programs.size(); ++I)
+      if (Programs[I])
+        LinkedPkgs.insert(Link->PkgOf[I]);
+    Out.LinkedPackages = static_cast<unsigned>(LinkedPkgs.size());
+    Out.MissingDeps.assign(Link->MissingDeps.begin(),
+                           Link->MissingDeps.end());
+  }
   Out.DeadlineWork = D.workDone();
   obs::counters::DeadlineUnits.add(Out.DeadlineWork);
   return Out;
@@ -559,6 +609,30 @@ ScanOptions Scanner::degrade(const ScanOptions &Base, unsigned Level) {
 }
 
 ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
+  return scanWithLadder(Files, nullptr);
+}
+
+ScanResult Scanner::scanDependencyTree(const analysis::PackageGraph &G) {
+  analysis::PackageGraph::FlatPlan Plan = G.flatten();
+  std::vector<SourceFile> Files;
+  PackageLinkSpec Link;
+  Link.MissingDeps = Plan.MissingDeps;
+  Link.Packages = &G;
+  for (const analysis::PackageGraph::FlatModule &M : Plan.Modules) {
+    Files.push_back({M.Path, *M.Contents});
+    Link.PkgOf.push_back(M.Pkg);
+    Link.IsMain.push_back(M.IsMain);
+  }
+  ScanResult Out = scanWithLadder(Files, &Link);
+  // An empty tree (every package missing) never reaches runAttempt's
+  // accounting; report the missing names regardless.
+  if (Out.MissingDeps.empty() && !Plan.MissingDeps.empty())
+    Out.MissingDeps.assign(Plan.MissingDeps.begin(), Plan.MissingDeps.end());
+  return Out;
+}
+
+ScanResult Scanner::scanWithLadder(const std::vector<SourceFile> &Files,
+                                   const PackageLinkSpec *Link) {
   unsigned Seq = ScansDone++;
   auto Armed = [&] {
     return Options.Fault && !FaultSpent && Options.Fault->Package == Seq;
@@ -583,7 +657,7 @@ ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
     return Rec;
   };
 
-  ScanResult Out = runAttempt(Files, Options, Armed(), 0);
+  ScanResult Out = runAttempt(Files, Options, Armed(), 0, Link);
   Out.CumulativeTimes = Out.Times;
   Out.AttemptLog.push_back(recordOf(Out, 0));
 
@@ -596,7 +670,7 @@ ScanResult Scanner::scanPackage(const std::vector<SourceFile> &Files) {
     ++Level;
     obs::counters::ScanRetries.add();
     ScanResult Retry = runAttempt(Files, degrade(Options, Level), Armed(),
-                                  Level);
+                                  Level, Link);
     AttemptRecord Rec = recordOf(Retry, Level);
     Retry.Errors.insert(Retry.Errors.begin(), Out.Errors.begin(),
                         Out.Errors.end());

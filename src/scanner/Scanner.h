@@ -45,12 +45,19 @@
 #include "scanner/ScanError.h"
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace gjs {
 namespace obs {
 class TraceRecorder;
+}
+} // namespace gjs
+
+namespace gjs {
+namespace analysis {
+class PackageGraph;
 }
 } // namespace gjs
 
@@ -214,6 +221,12 @@ struct ScanResult {
   /// True when pruning removed all four classes under the GraphDB
   /// backend, so the database import itself was skipped.
   bool PruneSkippedImport = false;
+  /// Dependency-tree scans: how many packages were linked into the
+  /// flattened build (0 for single-package scans).
+  unsigned LinkedPackages = 0;
+  /// Dependency-tree scans: declared dependencies that could not be
+  /// analyzed — every require of them stayed an unresolved callee.
+  std::vector<std::string> MissingDeps;
 
   /// True when any file failed to parse (the file was skipped; the rest of
   /// the package was still scanned and linked).
@@ -237,6 +250,18 @@ struct SourceFile {
   std::string Contents;
 };
 
+/// Cross-package link request for a dependency-tree scan, parallel to the
+/// Files vector: which package owns each file, which files are package
+/// mains, and which package names must classify as unresolved callees
+/// (missing/unparseable dependencies — the soundness valve).
+struct PackageLinkSpec {
+  std::vector<std::string> PkgOf;
+  std::vector<bool> IsMain;
+  std::set<std::string> MissingDeps;
+  /// The discovered tree (non-owning), for the pkggraph self-check pass.
+  const analysis::PackageGraph *Packages = nullptr;
+};
+
 /// The Graph.js scanner.
 class Scanner {
 public:
@@ -250,6 +275,14 @@ public:
   /// skipped with a per-file ScanError; the rest of the package is still
   /// scanned and linked.
   ScanResult scanPackage(const std::vector<SourceFile> &Files);
+
+  /// Scans a whole dependency tree as one linked unit: the tree is
+  /// flattened bottom-up (PackageGraph::flatten), inter-package requires
+  /// resolve to the exporting package's code, and taint summaries compose
+  /// transitively across package boundaries — a sink buried N dependency
+  /// levels deep is reachable from the root's exported API. Missing or
+  /// unparseable dependencies force unresolved callees (never pruned).
+  ScanResult scanDependencyTree(const analysis::PackageGraph &G);
 
   const ScanOptions &options() const { return Options; }
 
@@ -265,10 +298,14 @@ private:
 
   /// One pipeline attempt under \p Cfg at ladder level \p Level.
   /// \p FaultArmed gates injection for this package; the attempt appends to
-  /// Out.Errors.
+  /// Out.Errors. \p Link is non-null for dependency-tree scans.
   ScanResult runAttempt(const std::vector<SourceFile> &Files,
                         const ScanOptions &Cfg, bool FaultArmed,
-                        unsigned Level);
+                        unsigned Level, const PackageLinkSpec *Link = nullptr);
+
+  /// Shared degradation-ladder driver for scanPackage/scanDependencyTree.
+  ScanResult scanWithLadder(const std::vector<SourceFile> &Files,
+                            const PackageLinkSpec *Link);
 
   /// True when the attempt's errors warrant a cheaper retry.
   static bool wantsDegradation(const ScanResult &R);

@@ -1,0 +1,361 @@
+//===- workload/DepTrees.cpp - Synthetic dependency trees ------------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/DepTrees.h"
+
+#include "support/JSON.h"
+#include "workload/CodeWriter.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace gjs;
+using namespace gjs::workload;
+using analysis::PackageFile;
+using analysis::PackageGraph;
+using analysis::PackageInfo;
+using queries::VulnType;
+
+namespace {
+
+/// Emits the sink package's `process` entry: tainted first parameter into
+/// the class's sink (vulnerable) or a constant-argument sink (benign).
+/// Returns the sink line for vulnerable emissions, 0 otherwise.
+uint32_t emitSinkModule(CodeWriter &W, VulnType Type, bool Vulnerable) {
+  uint32_t Sink = 0;
+  switch (Type) {
+  case VulnType::CommandInjection:
+    W.emit("var cp = require('child_process');");
+    W.emit("function process(x, cb) {");
+    if (Vulnerable) {
+      W.emit("  var full = 'run ' + x;");
+      Sink = W.emit("  cp.exec(full, cb);");
+    } else {
+      W.emit("  var n = x.length;");
+      W.emit("  cp.exec('ls -la', cb);");
+    }
+    W.emit("}");
+    break;
+  case VulnType::CodeInjection:
+    W.emit("function process(x, cb) {");
+    if (Vulnerable) {
+      W.emit("  var code = 'v = ' + x;");
+      Sink = W.emit("  return eval(code);");
+    } else {
+      W.emit("  var n = x.length;");
+      W.emit("  return eval('1 + 1');");
+    }
+    W.emit("}");
+    break;
+  case VulnType::PathTraversal:
+    W.emit("var fs = require('fs');");
+    W.emit("function process(x, cb) {");
+    if (Vulnerable) {
+      W.emit("  var p = './data/' + x;");
+      Sink = W.emit("  fs.readFile(p, cb);");
+    } else {
+      W.emit("  var n = x.length;");
+      W.emit("  fs.readFile('./data/fixed.txt', cb);");
+    }
+    W.emit("}");
+    break;
+  case VulnType::PrototypePollution:
+    // The two-level write shape (set-value CVE-2021-23440): t[s.key] can
+    // be Object.prototype when s.key is "__proto__".
+    W.emit("function process(t, s) {");
+    if (Vulnerable) {
+      W.emit("  var child = t[s.key];");
+      Sink = W.emit("  child[s.sub] = s.value;");
+    } else {
+      W.emit("  var child = t.fixed;");
+      W.emit("  child.safe = s.value;");
+    }
+    W.emit("  return t;");
+    W.emit("}");
+    break;
+  }
+  W.emit("exports.process = process;");
+  return Sink;
+}
+
+/// Emits a forwarding middle package: requires \p Next and passes its own
+/// parameters one level down (lightly transformed for the taint classes,
+/// so the flow is a real dataflow, not a syntactic alias).
+std::string forwardingModule(VulnType Type, const std::string &Next) {
+  CodeWriter W;
+  W.emit("var d = require('" + Next + "');");
+  if (Type == VulnType::PrototypePollution) {
+    W.emit("function process(t, s) {");
+    W.emit("  return d.process(t, s);");
+    W.emit("}");
+  } else {
+    W.emit("function process(x, cb) {");
+    W.emit("  var v = 'p' + x;");
+    W.emit("  return d.process(v, cb);");
+    W.emit("}");
+  }
+  W.emit("exports.process = process;");
+  return W.str();
+}
+
+/// Emits the scan root: the exported API whose parameters are the taint
+/// sources, forwarding straight into the first dependency.
+std::string rootModule(const std::string &FirstDep) {
+  CodeWriter W;
+  W.emit("var d = require('" + FirstDep + "');");
+  W.emit("function run(a, b) {");
+  W.emit("  return d.process(a, b);");
+  W.emit("}");
+  W.emit("module.exports = run;");
+  return W.str();
+}
+
+PackageInfo makePackage(const std::string &Name, const std::string &Version,
+                        std::string MainContents,
+                        std::vector<std::string> Deps) {
+  PackageInfo P;
+  P.Name = Name;
+  P.Version = Version;
+  P.Main = "index.js";
+  P.Files.push_back({"index.js", std::move(MainContents)});
+  P.Deps = std::move(Deps);
+  return P;
+}
+
+} // namespace
+
+DepTree DepTreeGenerator::chain(VulnType Type, unsigned Depth,
+                                bool Vulnerable) {
+  unsigned Id = NextId++;
+  if (Depth < 1)
+    Depth = 1;
+  std::string Ver = "1.0." + std::to_string(Id);
+  auto DepName = [&](unsigned Level) {
+    return "tree" + std::to_string(Id) + "-dep" + std::to_string(Level);
+  };
+
+  DepTree T;
+  T.Depth = Depth;
+  T.Vulnerable = Vulnerable;
+  std::string RootName = "tree" + std::to_string(Id) + "-root";
+  T.Graph.addPackage(
+      makePackage(RootName, Ver, rootModule(DepName(1)), {DepName(1)}));
+  for (unsigned L = 1; L < Depth; ++L)
+    T.Graph.addPackage(makePackage(DepName(L), Ver,
+                                   forwardingModule(Type, DepName(L + 1)),
+                                   {DepName(L + 1)}));
+  CodeWriter W;
+  uint32_t Sink = emitSinkModule(W, Type, Vulnerable);
+  T.Graph.addPackage(makePackage(DepName(Depth), Ver, W.str(), {}));
+  if (Vulnerable) {
+    T.SinkPackage = DepName(Depth);
+    T.Annotations.push_back({Type, Sink});
+  }
+  T.Graph.setRoot(0);
+  T.Graph.finalize();
+  return T;
+}
+
+DepTree DepTreeGenerator::cyclic(VulnType Type, bool Vulnerable) {
+  unsigned Id = NextId++;
+  std::string Ver = "1.0." + std::to_string(Id);
+  std::string RootName = "tree" + std::to_string(Id) + "-root";
+  std::string A = "tree" + std::to_string(Id) + "-cyca";
+  std::string B = "tree" + std::to_string(Id) + "-cycb";
+
+  DepTree T;
+  T.Depth = 2;
+  T.Cyclic = true;
+  T.Vulnerable = Vulnerable;
+  T.Graph.addPackage(makePackage(RootName, Ver, rootModule(A), {A}));
+
+  // A forwards into B, which calls back into A's second export — the taint
+  // crosses the package cycle before reaching the sink in A.
+  CodeWriter WA;
+  WA.emit("var b = require('" + B + "');");
+  uint32_t Sink = 0;
+  if (Type == VulnType::PrototypePollution) {
+    WA.emit("function process(t, s) {");
+    WA.emit("  return b.step(t, s);");
+    WA.emit("}");
+    WA.emit("function landing(t, s) {");
+    if (Vulnerable) {
+      WA.emit("  var child = t[s.key];");
+      Sink = WA.emit("  child[s.sub] = s.value;");
+    } else {
+      WA.emit("  var child = t.fixed;");
+      WA.emit("  child.safe = s.value;");
+    }
+    WA.emit("  return t;");
+    WA.emit("}");
+  } else {
+    WA.emit("function process(x, cb) {");
+    WA.emit("  return b.step('a' + x, cb);");
+    WA.emit("}");
+    WA.emit("function landing(y, cb) {");
+    switch (Type) {
+    case VulnType::CommandInjection:
+      WA.emit("  var cp = require('child_process');");
+      Sink = Vulnerable ? WA.emit("  cp.exec('run ' + y, cb);")
+                        : (WA.emit("  cp.exec('ls', cb);"), 0);
+      break;
+    case VulnType::CodeInjection:
+      Sink = Vulnerable ? WA.emit("  return eval(y);")
+                        : (WA.emit("  return eval('1 + 1');"), 0);
+      break;
+    case VulnType::PathTraversal:
+      WA.emit("  var fs = require('fs');");
+      Sink = Vulnerable ? WA.emit("  fs.readFile(y, cb);")
+                        : (WA.emit("  fs.readFile('./fixed', cb);"), 0);
+      break;
+    case VulnType::PrototypePollution:
+      break;
+    }
+    WA.emit("}");
+  }
+  WA.emit("exports.process = process;");
+  WA.emit("exports.landing = landing;");
+  T.Graph.addPackage(makePackage(A, Ver, WA.str(), {B}));
+
+  CodeWriter WB;
+  WB.emit("var a = require('" + A + "');");
+  if (Type == VulnType::PrototypePollution) {
+    WB.emit("function step(t, s) {");
+    WB.emit("  return a.landing(t, s);");
+    WB.emit("}");
+  } else {
+    WB.emit("function step(x, cb) {");
+    WB.emit("  return a.landing('b' + x, cb);");
+    WB.emit("}");
+  }
+  WB.emit("exports.step = step;");
+  T.Graph.addPackage(makePackage(B, Ver, WB.str(), {A}));
+
+  if (Vulnerable) {
+    T.SinkPackage = A;
+    T.Annotations.push_back({Type, Sink});
+  }
+  T.Graph.setRoot(0);
+  T.Graph.finalize();
+  return T;
+}
+
+DepTree DepTreeGenerator::missingDep(VulnType Type, unsigned Depth) {
+  // A vulnerable-shaped chain whose deepest level was never published:
+  // finalize() synthesizes the Missing package from the dangling name.
+  unsigned Id = NextId++;
+  if (Depth < 1)
+    Depth = 1;
+  std::string Ver = "1.0." + std::to_string(Id);
+  auto DepName = [&](unsigned Level) {
+    return "tree" + std::to_string(Id) + "-dep" + std::to_string(Level);
+  };
+
+  DepTree T;
+  T.Depth = Depth;
+  std::string RootName = "tree" + std::to_string(Id) + "-root";
+  T.Graph.addPackage(
+      makePackage(RootName, Ver, rootModule(DepName(1)), {DepName(1)}));
+  for (unsigned L = 1; L < Depth; ++L)
+    T.Graph.addPackage(makePackage(DepName(L), Ver,
+                                   forwardingModule(Type, DepName(L + 1)),
+                                   {DepName(L + 1)}));
+  T.Graph.setRoot(0);
+  T.Graph.finalize();
+  return T;
+}
+
+DepTree DepTreeGenerator::brokenDep(VulnType Type, unsigned Depth) {
+  // Same chain, but the deepest dependency exists and does not parse.
+  unsigned Id = NextId++;
+  if (Depth < 1)
+    Depth = 1;
+  std::string Ver = "1.0." + std::to_string(Id);
+  auto DepName = [&](unsigned Level) {
+    return "tree" + std::to_string(Id) + "-dep" + std::to_string(Level);
+  };
+
+  DepTree T;
+  T.Depth = Depth;
+  std::string RootName = "tree" + std::to_string(Id) + "-root";
+  T.Graph.addPackage(
+      makePackage(RootName, Ver, rootModule(DepName(1)), {DepName(1)}));
+  for (unsigned L = 1; L < Depth; ++L)
+    T.Graph.addPackage(makePackage(DepName(L), Ver,
+                                   forwardingModule(Type, DepName(L + 1)),
+                                   {DepName(L + 1)}));
+  T.Graph.addPackage(makePackage(DepName(Depth), Ver,
+                                 "function process( {{{ not javascript\n",
+                                 {}));
+  T.Graph.setRoot(0);
+  T.Graph.finalize();
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest serialization / on-disk materialization
+//===----------------------------------------------------------------------===//
+
+std::string workload::manifestJSON(const PackageGraph &G) {
+  json::Array Pkgs;
+  for (const PackageInfo &P : G.packages()) {
+    json::Object O;
+    O["name"] = json::Value(P.Name);
+    if (!P.Version.empty())
+      O["version"] = json::Value(P.Version);
+    if (P.Missing) {
+      O["missing"] = json::Value(true);
+    } else {
+      O["main"] = json::Value(P.Main);
+      O["dir"] = json::Value(P.Name);
+      json::Array Files;
+      for (const PackageFile &F : P.Files)
+        Files.push_back(json::Value(F.Path));
+      O["files"] = json::Value(std::move(Files));
+    }
+    json::Array Deps;
+    for (const std::string &D : P.Deps)
+      Deps.push_back(json::Value(D));
+    O["deps"] = json::Value(std::move(Deps));
+    Pkgs.push_back(json::Value(std::move(O)));
+  }
+  json::Object Top;
+  Top["schema"] = json::Value(1);
+  Top["root"] = json::Value(G.packages()[G.rootIndex()].Name);
+  Top["packages"] = json::Value(std::move(Pkgs));
+  return json::Value(std::move(Top)).str(2);
+}
+
+bool workload::materialize(const DepTree &Tree, const std::string &Dir,
+                           std::string *Error) {
+  namespace fs = std::filesystem;
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return Fail("cannot create " + Dir + ": " + EC.message());
+  for (const PackageInfo &P : Tree.Graph.packages()) {
+    if (P.Missing)
+      continue;
+    for (const PackageFile &F : P.Files) {
+      fs::path Full = fs::path(Dir) / P.Name / F.Path;
+      fs::create_directories(Full.parent_path(), EC);
+      std::ofstream Out(Full, std::ios::binary);
+      if (!Out)
+        return Fail("cannot write " + Full.string());
+      Out << F.Contents;
+    }
+  }
+  std::ofstream M(fs::path(Dir) / "graphjs.deps.json", std::ios::binary);
+  if (!M)
+    return Fail("cannot write manifest under " + Dir);
+  M << manifestJSON(Tree.Graph);
+  return true;
+}

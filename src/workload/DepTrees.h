@@ -1,0 +1,90 @@
+//===- workload/DepTrees.h - Synthetic dependency trees ----------*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependency-tree workload generation for the cross-package linker: trees
+/// whose sink lives 1–4 dependency levels below the scan root, reached
+/// only through a chain of inter-package requires. An isolated per-package
+/// scan of the root cannot see these flows (the require of another package
+/// is an external call); the linked scan (`graphjs scan --with-deps`)
+/// must. Benign variants keep the same chain shape with a constant-
+/// argument sink; cyclic variants make two dependencies require each
+/// other (one package SCC); missing/broken variants exercise the
+/// cross-package soundness valve.
+///
+/// Every vulnerable tree carries a ground-truth annotation: the sink line
+/// *within the sink package's file* (per-file line numbering survives
+/// flattening).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_WORKLOAD_DEPTREES_H
+#define GJS_WORKLOAD_DEPTREES_H
+
+#include "analysis/PackageGraph.h"
+#include "workload/Packages.h"
+
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace workload {
+
+/// One generated dependency tree.
+struct DepTree {
+  analysis::PackageGraph Graph;
+  /// Ground truth: sink lines within SinkPackage's main file.
+  std::vector<Annotation> Annotations;
+  std::string SinkPackage; ///< package holding the sink ("" when none)
+  unsigned Depth = 0;      ///< dependency levels below the root
+  bool Vulnerable = false;
+  bool Cyclic = false;
+};
+
+/// Generates dependency trees (deterministic per seed).
+class DepTreeGenerator {
+public:
+  explicit DepTreeGenerator(uint64_t Seed) : R(Seed) {}
+
+  /// A linear chain: root -> dep1 -> ... -> depN, with the sink in the
+  /// deepest package and the tainted value forwarded through every level.
+  /// \p Depth in [1, 4]. Benign trees use a constant-argument sink.
+  DepTree chain(queries::VulnType Type, unsigned Depth, bool Vulnerable);
+
+  /// Two mutually-requiring dependencies (one package SCC) below the
+  /// root; the taint crosses the cycle before reaching the sink.
+  DepTree cyclic(queries::VulnType Type, bool Vulnerable);
+
+  /// A chain whose deepest dependency is declared but entirely absent:
+  /// the forwarding call above it must classify as unresolved (the
+  /// soundness valve), so no query on this tree may be pruned.
+  DepTree missingDep(queries::VulnType Type, unsigned Depth = 2);
+
+  /// A chain whose deepest dependency ships a file that does not parse:
+  /// same valve, different failure path (parse error, not absence).
+  DepTree brokenDep(queries::VulnType Type, unsigned Depth = 2);
+
+  RNG &rng() { return R; }
+
+private:
+  RNG R;
+  unsigned NextId = 0;
+};
+
+/// Serializes a package graph as a `graphjs.deps.json` manifest (file
+/// contents are not embedded; pair with materialize()).
+std::string manifestJSON(const analysis::PackageGraph &G);
+
+/// Writes the tree to \p Dir: each package's files under `Dir/<name>/`
+/// plus the `graphjs.deps.json` manifest, so `graphjs scan --with-deps
+/// Dir` rediscovers exactly this tree.
+bool materialize(const DepTree &Tree, const std::string &Dir,
+                 std::string *Error = nullptr);
+
+} // namespace workload
+} // namespace gjs
+
+#endif // GJS_WORKLOAD_DEPTREES_H

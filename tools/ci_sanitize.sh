@@ -43,4 +43,10 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # both query backends.
 "$BUILD_DIR/tests/test_summaries"
 
+# The cross-package suite: package-graph discovery walks real directory
+# trees (filesystem error paths), the summary linker composes masks
+# across package boundaries, and the soundness-valve tests drive the
+# missing/unparseable-dependency recovery paths end to end.
+"$BUILD_DIR/tests/test_pkggraph"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

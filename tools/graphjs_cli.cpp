@@ -38,6 +38,12 @@
 //   --dot                   print the MDG as GraphViz dot
 //   --summary               human-readable output (default: JSON)
 //   --package               scan all inputs as one linked package
+//   --with-deps             treat the input as a dependency-tree root
+//                           directory: discover its package graph
+//                           (graphjs.deps.json or package.json +
+//                           node_modules/) and scan the whole tree linked
+//   --emit-summaries <dir>  with --with-deps: write per-package taint
+//                           summary JSON files into <dir>
 //   --self-check            run the MDG well-formedness checker too
 //   --no-prune              disable summary-based pre-query pruning
 //
@@ -45,6 +51,9 @@
 //   --dot                   GraphViz dot instead of text
 //   --summaries             also print per-function taint summaries and
 //                           the pruning decision
+//   --packages              treat the input as a dependency-tree root
+//                           directory and print the package DAG, link
+//                           order, and the cross-package call graph
 //
 // Lint options:
 //   --summary               human-readable output (default: JSON)
@@ -54,6 +63,7 @@
 
 #include "analysis/CallGraph.h"
 #include "analysis/MDGBuilder.h"
+#include "analysis/PackageGraph.h"
 #include "analysis/TaintSummary.h"
 #include "cfg/CFG.h"
 #include "core/Normalizer.h"
@@ -90,7 +100,9 @@ int usage() {
       "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
       "                    [--dump-core] [--dump-mdg] [--summary]\n"
       "                    [--self-check] [--no-prune] [--trace]\n"
-      "                    [--trace-out t.json] <file.js>...\n"
+      "                    [--trace-out t.json] [--package] <file.js>...\n"
+      "       graphjs scan --with-deps [--emit-summaries dir] [options]\n"
+      "                    <root-dir>\n"
       "       graphjs query [--explain] [--profile] [--builtin]\n"
       "                     ['<MATCH ... RETURN ...>'] <file.js>...\n"
       "       graphjs lint [--summary] [--query '<text>'] <file.js>...\n"
@@ -102,7 +114,7 @@ int usage() {
       "                     [--native] [--summary] [--no-prune]\n"
       "                     <dir|list.txt|file.js>...\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
-      "                         <file.js>...\n");
+      "                         <file.js>... | --packages <root-dir>\n");
   return 2;
 }
 
@@ -378,6 +390,249 @@ int runPackageScan(const std::vector<std::string> &Files, bool Native,
     std::printf("%s\n", scanner::reportsToJSON(R.Reports).c_str());
   }
   return R.Reports.empty() ? 0 : 3;
+}
+
+/// Parses and normalizes a flattened dependency tree with the same
+/// per-module `<pkg>$<stem>$` name prefixing the scanner uses, and builds
+/// the ModuleLinkInfo (main-module map + unresolved-name valve) for it.
+/// Modules that fail to parse route their package and stem into
+/// ForceUnresolved instead of aborting.
+struct LinkedTree {
+  analysis::PackageGraph::FlatPlan Plan;
+  std::vector<std::unique_ptr<core::Program>> Programs; ///< parsed only
+  std::vector<const core::Program *> Mods;
+  std::vector<std::string> Stems;
+  analysis::ModuleLinkInfo Link;
+};
+
+bool buildLinkedTree(const analysis::PackageGraph &G, LinkedTree &B) {
+  B.Plan = G.flatten();
+  for (const std::string &W : B.Plan.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  B.Link.ForceUnresolved = B.Plan.MissingDeps;
+
+  // Pass 1: parse + normalize; a failed module trips the valve for its
+  // whole package (its exports are unknowable).
+  std::vector<std::unique_ptr<core::Program>> Parsed(B.Plan.Modules.size());
+  std::vector<std::string> AllStems(B.Plan.Modules.size());
+  core::StmtIndex NextIndex = 1;
+  for (size_t I = 0; I < B.Plan.Modules.size(); ++I) {
+    const analysis::PackageGraph::FlatModule &M = B.Plan.Modules[I];
+    AllStems[I] = std::filesystem::path(M.Path).stem().string();
+    DiagnosticEngine Diags;
+    auto Module = parseJS(*M.Contents, Diags);
+    if (!Diags.hasErrors()) {
+      core::Normalizer Norm(Diags, M.Pkg + "$" + AllStems[I] + "$",
+                            NextIndex);
+      Parsed[I] = Norm.normalize(*Module);
+      NextIndex = Parsed[I]->NumIndices + 1;
+    }
+    if (Diags.hasErrors()) {
+      std::fprintf(stderr,
+                   "warning: %s: parse errors; package '%s' linked as "
+                   "unresolved\n",
+                   M.Path.c_str(), M.Pkg.c_str());
+      B.Link.ForceUnresolved.insert(M.Pkg);
+      B.Link.ForceUnresolved.insert(AllStems[I]);
+      Parsed[I] = nullptr;
+    }
+  }
+
+  // Pass 2: the link tables, indexed parallel to the surviving modules.
+  for (size_t I = 0; I < B.Plan.Modules.size(); ++I) {
+    if (!Parsed[I])
+      continue;
+    const analysis::PackageGraph::FlatModule &M = B.Plan.Modules[I];
+    B.Link.PkgOf.push_back(M.Pkg);
+    if (M.IsMain && !B.Link.ForceUnresolved.count(M.Pkg))
+      B.Link.MainModuleOf.emplace(M.Pkg, B.Mods.size());
+    B.Programs.push_back(std::move(Parsed[I]));
+    B.Mods.push_back(B.Programs.back().get());
+    B.Stems.push_back(AllStems[I]);
+  }
+  if (B.Mods.empty()) {
+    std::fprintf(stderr, "error: no analyzable modules in the tree\n");
+    return false;
+  }
+  return true;
+}
+
+/// `--with-deps --emit-summaries <dir>`: recomputes the linked call graph
+/// and taint summaries over the tree, slices them per package, and writes
+/// one `<pkg>.summary.json` per analyzable package.
+bool emitPackageSummaries(const analysis::PackageGraph &G,
+                          const queries::SinkConfig &Sinks,
+                          const std::string &Dir) {
+  LinkedTree B;
+  if (!buildLinkedTree(G, B))
+    return false;
+  analysis::CallGraph CG =
+      analysis::CallGraph::build(B.Mods, B.Stems, true, &B.Link);
+  analysis::SummarySet Sums =
+      analysis::computeSummaries(CG, B.Mods, queries::toSinkTable(Sinks));
+  std::vector<analysis::PackageSummaries> Slices =
+      analysis::slicePackageSummaries(G, CG, Sums, B.Link);
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  for (const analysis::PackageSummaries &PS : Slices) {
+    // Scoped names ("@scope/pkg") must not become subdirectories.
+    std::string Base = PS.Package;
+    std::replace(Base.begin(), Base.end(), '/', '_');
+    std::filesystem::path Out =
+        std::filesystem::path(Dir) / (Base + ".summary.json");
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write %s\n", Out.string().c_str());
+      return false;
+    }
+    OS << analysis::packageSummaryToJSON(PS) << '\n';
+  }
+  std::fprintf(stderr, "wrote %zu package summar%s to %s\n", Slices.size(),
+               Slices.size() == 1 ? "y" : "ies", Dir.c_str());
+  return true;
+}
+
+/// `graphjs scan --with-deps <root-dir>`: discovers the root's dependency
+/// tree and scans it as one linked unit — taint flows that cross package
+/// boundaries (a sink buried levels deep in node_modules) are visible,
+/// unlike an isolated per-package scan.
+int runDepsScan(const std::string &RootDir, bool Native, bool Summary,
+                bool SelfCheck, bool Prune, const std::string &SinksFile,
+                const std::string &EmitSummariesDir, obs::TraceRecorder *TR) {
+  analysis::PackageGraph G;
+  std::string Error;
+  if (!analysis::PackageGraph::discover(RootDir, G, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  scanner::ScanOptions O;
+  O.SelfCheck = SelfCheck;
+  O.Prune = Prune;
+  O.Trace = TR;
+  if (!SinksFile.empty()) {
+    std::string Text;
+    queries::SinkConfig Custom;
+    std::string SinkError;
+    if (!readFile(SinksFile, Text) ||
+        !queries::SinkConfig::fromJSON(Text, Custom, &SinkError)) {
+      std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                   SinksFile.c_str(), SinkError.c_str());
+      return 1;
+    }
+    O.Sinks = Custom;
+  }
+  if (Native)
+    O.Backend = scanner::QueryBackend::Native;
+
+  scanner::Scanner S(O);
+  scanner::ScanResult R = S.scanDependencyTree(G);
+  for (const scanner::ScanError &E : R.Errors)
+    std::fprintf(stderr, "warning: %s\n", E.str().c_str());
+  for (const lint::Finding &F : R.SelfCheckFindings)
+    std::fprintf(stderr, "self-check: %s\n", F.str().c_str());
+  if (!R.SchemaError.empty()) {
+    std::fprintf(stderr, "error: %s\n", R.SchemaError.c_str());
+    return 4;
+  }
+
+  if (!EmitSummariesDir.empty() &&
+      !emitPackageSummaries(G, O.Sinks, EmitSummariesDir))
+    return 1;
+
+  if (Summary) {
+    std::printf("dependency tree (%zu packages, %u linked): %zu finding(s)\n",
+                G.packages().size(), R.LinkedPackages, R.Reports.size());
+    if (!R.MissingDeps.empty()) {
+      std::printf("  unresolved dependencies:");
+      for (const std::string &Dep : R.MissingDeps)
+        std::printf(" %s", Dep.c_str());
+      std::printf("\n");
+    }
+    if (R.PrunedQueries)
+      std::printf("  pruned %u quer%s%s (%s)\n", R.PrunedQueries,
+                  R.PrunedQueries == 1 ? "y" : "ies",
+                  R.PruneSkippedImport ? " + import" : "",
+                  R.PruneReason.c_str());
+    for (const queries::VulnReport &Rep : R.Reports)
+      std::printf("  %s\n", Rep.str().c_str());
+  } else {
+    std::printf("%s\n", scanner::reportsToJSON(R.Reports).c_str());
+  }
+  return R.Reports.empty() ? 0 : 3;
+}
+
+/// `graphjs callgraph --packages <root-dir>`: the package DAG, the SCC
+/// link order, and the cross-package call graph of the linked tree.
+int runPackagesCallGraph(const std::string &RootDir, bool Dot, bool Summaries,
+                         const std::string &SinksFile) {
+  queries::SinkConfig Sinks = queries::SinkConfig::defaults();
+  if (!SinksFile.empty()) {
+    std::string Text;
+    queries::SinkConfig Custom;
+    std::string Error;
+    if (!readFile(SinksFile, Text) ||
+        !queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+      std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                   SinksFile.c_str(), Error.c_str());
+      return 1;
+    }
+    Sinks = Custom;
+  }
+
+  analysis::PackageGraph G;
+  std::string Error;
+  if (!analysis::PackageGraph::discover(RootDir, G, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (!Dot) {
+    std::printf("package graph (%zu packages, root %s):\n",
+                G.packages().size(),
+                G.packages()[G.rootIndex()].Name.c_str());
+    for (size_t I = 0; I < G.packages().size(); ++I) {
+      const analysis::PackageInfo &P = G.packages()[I];
+      std::printf("  %s%s%s ->", P.Name.c_str(),
+                  P.Version.empty() ? "" : "@",
+                  P.Version.c_str());
+      if (G.depEdges()[I].empty())
+        std::printf(" (leaf)");
+      for (size_t Dep : G.depEdges()[I])
+        std::printf(" %s", G.packages()[Dep].Name.c_str());
+      if (!P.analyzable())
+        std::printf("  [%s]", P.Missing ? "missing" : "unparseable");
+      std::printf("\n");
+    }
+    std::printf("link order (dependencies first):\n");
+    for (const std::vector<size_t> &SCC : G.linkOrder()) {
+      std::printf(" ");
+      for (size_t I : SCC)
+        std::printf(" %s", G.packages()[I].Name.c_str());
+      if (SCC.size() > 1)
+        std::printf("  [cycle: linked as one group]");
+      std::printf("\n");
+    }
+  }
+
+  LinkedTree B;
+  if (!buildLinkedTree(G, B))
+    return 1;
+  analysis::CallGraph CG =
+      analysis::CallGraph::build(B.Mods, B.Stems, true, &B.Link);
+
+  if (Dot)
+    std::printf("%s", CG.toDot().c_str());
+  else
+    std::printf("%s", CG.dumpText().c_str());
+
+  if (Summaries) {
+    analysis::SummarySet Sums =
+        analysis::computeSummaries(CG, B.Mods, queries::toSinkTable(Sinks));
+    std::printf("%s", analysis::dumpText(Sums, CG).c_str());
+  }
+  return 0;
 }
 
 /// `graphjs callgraph`: prints the static call graph (text or dot) and,
@@ -765,7 +1020,7 @@ int main(int argc, char **argv) {
   }
 
   if (Mode == "callgraph") {
-    bool Dot = false, Summaries = false;
+    bool Dot = false, Summaries = false, Packages = false;
     std::string SinksFile;
     std::vector<std::string> Files;
     for (int I = 2; I < argc; ++I) {
@@ -774,6 +1029,8 @@ int main(int argc, char **argv) {
         Dot = true;
       else if (Arg == "--summaries")
         Summaries = true;
+      else if (Arg == "--packages")
+        Packages = true;
       else if (Arg == "--sinks" && I + 1 < argc)
         SinksFile = argv[++I];
       else if (Arg.rfind("--", 0) == 0)
@@ -783,6 +1040,14 @@ int main(int argc, char **argv) {
     }
     if (Files.empty())
       return usage();
+    if (Packages) {
+      if (Files.size() != 1) {
+        std::fprintf(stderr,
+                     "error: --packages takes one root directory\n");
+        return usage();
+      }
+      return runPackagesCallGraph(Files[0], Dot, Summaries, SinksFile);
+    }
     return runCallGraph(Files, Dot, Summaries, SinksFile);
   }
 
@@ -884,8 +1149,8 @@ int main(int argc, char **argv) {
 
   bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
        DumpDot = false, Summary = false, AsPackage = false,
-       SelfCheck = false, Trace = false, Prune = true;
-  std::string SinksFile, TraceOut;
+       WithDeps = false, SelfCheck = false, Trace = false, Prune = true;
+  std::string SinksFile, TraceOut, EmitSummariesDir;
   std::vector<std::string> Files;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -903,6 +1168,10 @@ int main(int argc, char **argv) {
       Summary = true;
     else if (Arg == "--package")
       AsPackage = true;
+    else if (Arg == "--with-deps")
+      WithDeps = true;
+    else if (Arg == "--emit-summaries" && I + 1 < argc)
+      EmitSummariesDir = argv[++I];
     else if (Arg == "--self-check")
       SelfCheck = true;
     else if (Arg == "--no-prune")
@@ -929,11 +1198,21 @@ int main(int argc, char **argv) {
   if (TR)
     obs::setCountersEnabled(true);
 
-  int Code = AsPackage
-                 ? runPackageScan(Files, Native, Summary, SelfCheck, Prune,
-                                  SinksFile, TR)
-                 : runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot,
-                           Summary, SelfCheck, Prune, SinksFile, TR);
+  int Code;
+  if (WithDeps) {
+    if (Files.size() != 1) {
+      std::fprintf(stderr, "error: --with-deps takes one root directory\n");
+      return usage();
+    }
+    Code = runDepsScan(Files[0], Native, Summary, SelfCheck, Prune, SinksFile,
+                       EmitSummariesDir, TR);
+  } else if (AsPackage) {
+    Code = runPackageScan(Files, Native, Summary, SelfCheck, Prune, SinksFile,
+                          TR);
+  } else {
+    Code = runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot, Summary,
+                   SelfCheck, Prune, SinksFile, TR);
+  }
   if (TR) {
     if (Trace) {
       std::fprintf(stderr, "%s", Recorder.toText().c_str());
