@@ -5,14 +5,26 @@
 // Measures what the supervised worker pool (docs/ROBUSTNESS.md) buys and
 // costs: the same generated workload corpus scanned
 //
-//   - in-process (`graphjs batch`, jobs=1 — the baseline), and
-//   - through the fork-per-package pool at jobs=2 and jobs=4.
+//   - in-process (`graphjs batch`, jobs=1 — the baseline),
+//   - through the fork-per-package pool at jobs=1/2/4, and
+//   - through the persistent worker pool (--persistent) at jobs=1/2/4,
+//     where each worker drains a pipe-fed job queue and the fork cost is
+//     paid per worker, not per package.
 //
-// Reported per mode: wall-clock, summed per-package CPU, wall-clock
-// throughput, and speedup over in-process. Detection neutrality is
-// asserted inline: any mode whose per-package verdicts or report counts
-// differ from the in-process run fails the binary — process isolation
-// must be free in findings, only paid in fork/merge overhead.
+// Reported per mode: best-of-N wall-clock (N runs per mode; the minimum
+// is the least-disturbed run on a shared host), summed per-package CPU,
+// wall-clock throughput, speedup over in-process, and — for persistent
+// modes — speedup over the fork-per-package pool at the same job count,
+// which is the ratio the persistent design actually controls and the one
+// that holds regardless of host core count. Speedup over *in-process*
+// additionally needs real hardware parallelism: on a 1-core host every
+// multi-process mode is capped at ~1.0x by physics (same total CPU, plus
+// fork and IPC), so the JSON records host_cores alongside the numbers.
+//
+// Detection neutrality is asserted inline on every run: any mode whose
+// per-package verdicts or report counts differ from the in-process run
+// fails the binary — process isolation must be free in findings, only
+// paid in fork/merge overhead.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +34,10 @@
 #include "driver/ProcessPool.h"
 #include "support/TablePrinter.h"
 
+#include <map>
+
+#include <unistd.h>
+
 using namespace gjs;
 using namespace gjs::bench;
 
@@ -30,6 +46,7 @@ namespace {
 struct Mode {
   std::string Name;
   unsigned Jobs; // 0 = in-process BatchDriver.
+  bool Persistent = false;
 };
 
 struct Measured {
@@ -46,6 +63,7 @@ Measured runMode(const Mode &M, const std::vector<driver::BatchInput> &Inputs) {
     driver::PoolOptions PO;
     PO.Batch = BO;
     PO.Jobs = M.Jobs;
+    PO.Persistent = M.Persistent;
     Out.Summary = driver::ProcessPool(PO).run(Inputs);
   }
   for (const driver::BatchOutcome &O : Out.Summary.Outcomes)
@@ -59,72 +77,108 @@ int main() {
   printHeader("Multi-process batch scanning: pool overhead and speedup",
               "docs/ROBUSTNESS.md");
 
-  // A benign-heavy npm-like mix with enough filler that a package scan is
-  // work worth shipping to a worker process.
+  // A benign-heavy npm-like mix of *small* packages — the regime the
+  // persistent pool exists for: scans of a few milliseconds, where a
+  // per-package fork is a large fraction of the work it ships.
   std::vector<driver::BatchInput> Inputs;
   workload::PackageGenerator Gen(2024);
   for (size_t I = 0; I < scaled(32); ++I) {
     workload::Package P =
-        I % 4 ? Gen.benign(200)
+        I % 4 ? Gen.benign(40)
               : Gen.vulnerable(queries::VulnType::CommandInjection,
                                workload::Complexity::Wrapped,
-                               workload::VariantKind::Plain, 200);
+                               workload::VariantKind::Plain, 40);
     Inputs.push_back({"pkg" + std::to_string(I), std::move(P.Files)});
   }
 
   const std::vector<Mode> Modes = {
-      {"inproc_jobs1", 0}, {"pool_jobs2", 2}, {"pool_jobs4", 4}};
+      {"inproc_jobs1", 0},          {"pool_jobs1", 1},
+      {"pool_jobs2", 2},            {"pool_jobs4", 4},
+      {"persistent_jobs1", 1, true}, {"persistent_jobs2", 2, true},
+      {"persistent_jobs4", 4, true}};
 
   Report Rep("batch");
-  TablePrinter Table(
-      {"mode", "#pkg", "wall", "cpu", "pkg/s", "speedup", "reports"});
+  TablePrinter Table({"mode", "#pkg", "wall", "cpu", "pkg/s", "speedup",
+                      "vs_pool", "reports"});
   bool Neutral = true;
   double BaselineWall = 0;
   size_t BaselineReports = 0;
   std::vector<driver::BatchStatus> BaselineStatus;
+  // Fork-per-package wall at the same job count, for the persistent-mode
+  // "what did residency buy" ratio.
+  std::map<unsigned, double> PoolWallByJobs;
 
+  const int Repeats = 3;
   for (const Mode &M : Modes) {
-    Measured R = runMode(M, Inputs);
-    const driver::BatchSummary &S = R.Summary;
-    double Wall = S.WallSeconds > 0 ? S.WallSeconds : S.TotalSeconds;
+    Measured R;
+    double Wall = 0;
+    for (int It = 0; It < Repeats; ++It) {
+      Measured Run = runMode(M, Inputs);
+      const driver::BatchSummary &S = Run.Summary;
+      double W = S.WallSeconds > 0 ? S.WallSeconds : S.TotalSeconds;
 
-    if (M.Jobs == 0) {
-      BaselineWall = Wall;
-      BaselineReports = S.TotalReports;
-      for (const driver::BatchOutcome &O : S.Outcomes)
-        BaselineStatus.push_back(O.Status);
-    } else {
-      // Detection neutrality: same verdict per package, same report total.
-      if (S.TotalReports != BaselineReports) {
-        std::fprintf(stderr, "FAIL: %s: report total %zu vs in-process %zu\n",
-                     M.Name.c_str(), S.TotalReports, BaselineReports);
-        Neutral = false;
-      }
-      for (size_t I = 0; I < S.Outcomes.size(); ++I)
-        if (S.Outcomes[I].Status != BaselineStatus[I]) {
-          std::fprintf(stderr, "FAIL: %s: %s verdict differs\n",
-                       M.Name.c_str(), S.Outcomes[I].Package.c_str());
+      // Detection neutrality is checked on every run, not just the kept
+      // one: a verdict that flickers under load is exactly the bug the
+      // assertion exists to catch.
+      if (M.Jobs == 0 && It == 0) {
+        BaselineReports = S.TotalReports;
+        for (const driver::BatchOutcome &O : S.Outcomes)
+          BaselineStatus.push_back(O.Status);
+      } else {
+        if (S.TotalReports != BaselineReports) {
+          std::fprintf(stderr, "FAIL: %s: report total %zu vs in-process %zu\n",
+                       M.Name.c_str(), S.TotalReports, BaselineReports);
           Neutral = false;
         }
+        for (size_t I = 0; I < S.Outcomes.size(); ++I)
+          if (S.Outcomes[I].Status != BaselineStatus[I]) {
+            std::fprintf(stderr, "FAIL: %s: %s verdict differs\n",
+                         M.Name.c_str(), S.Outcomes[I].Package.c_str());
+            Neutral = false;
+          }
+      }
+
+      if (It == 0 || W < Wall) {
+        Wall = W;
+        R = std::move(Run);
+      }
     }
+    const driver::BatchSummary &S = R.Summary;
+
+    if (M.Jobs == 0)
+      BaselineWall = Wall;
+    else if (!M.Persistent)
+      PoolWallByJobs[M.Jobs] = Wall;
 
     double Speedup = Wall > 0 ? BaselineWall / Wall : 0;
+    double VsPool = 0;
+    if (M.Persistent && PoolWallByJobs.count(M.Jobs) && Wall > 0)
+      VsPool = PoolWallByJobs[M.Jobs] / Wall;
     Rep.series(M.Name + ".package_seconds", R.PerPackageSeconds);
     Rep.scalar(M.Name + ".wall_seconds", Wall);
     Rep.scalar(M.Name + ".cpu_seconds", S.TotalSeconds);
     Rep.scalar(M.Name + ".packages_per_second",
                Wall > 0 ? double(S.Scanned) / Wall : 0);
     Rep.scalar(M.Name + ".speedup", Speedup);
+    if (VsPool > 0)
+      Rep.scalar(M.Name + ".speedup_vs_pool", VsPool);
     Rep.scalar(M.Name + ".reports", double(S.TotalReports));
     Table.addRow({M.Name, std::to_string(S.Scanned),
                   TablePrinter::fmt(Wall * 1000.0, 2) + "ms",
                   TablePrinter::fmt(S.TotalSeconds * 1000.0, 2) + "ms",
                   TablePrinter::fmt(Wall > 0 ? double(S.Scanned) / Wall : 0, 2),
                   TablePrinter::fmtRatio(Speedup),
+                  VsPool > 0 ? TablePrinter::fmtRatio(VsPool) : "-",
                   std::to_string(S.TotalReports)});
   }
 
   std::printf("%s\n", Table.str().c_str());
+  long Cores = ::sysconf(_SC_NPROCESSORS_ONLN);
+  std::printf("host cores: %ld (speedup over in-process is capped near 1.0x "
+              "without hardware parallelism)\n\n",
+              Cores);
+  Rep.scalar("host_cores", double(Cores > 0 ? Cores : 1));
+  Rep.scalar("repeats", double(Repeats));
   Rep.scalar("neutral", Neutral ? 1 : 0);
   Rep.write();
   return Neutral ? 0 : 1;

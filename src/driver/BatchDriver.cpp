@@ -44,8 +44,9 @@ bool driver::batchStatusFromName(const std::string &Name, BatchStatus &Out) {
 BatchDriver::BatchDriver(BatchOptions Options) : Options(std::move(Options)) {}
 
 ProgressMeter::ProgressMeter(size_t Total, size_t EveryPackages,
-                             double EverySeconds)
-    : Total(Total), EveryPackages(EveryPackages), EverySeconds(EverySeconds) {}
+                             double EverySeconds, bool Quiet)
+    : Total(Total), EveryPackages(EveryPackages), EverySeconds(EverySeconds),
+      Quiet(Quiet) {}
 
 void ProgressMeter::completed(bool DidFail) {
   ++Done;
@@ -66,8 +67,15 @@ void ProgressMeter::finish() {
 }
 
 void ProgressMeter::emit() {
+  // Every ratio is guarded: a flush before any package has completed
+  // (Done == 0, possible when a resume run journals only skips) or a
+  // sub-microsecond first package (Now == 0) must print a zero rate and no
+  // ETA, never NaN/inf.
+  auto safeDiv = [](double Num, double Den) {
+    return Den > 0 ? Num / Den : 0.0;
+  };
   double Now = Clock.elapsedSeconds();
-  double Rate = Now > 0 ? static_cast<double>(Done) / Now : 0;
+  double Rate = safeDiv(static_cast<double>(Done), Now);
   char Buf[160];
   std::snprintf(Buf, sizeof(Buf),
                 "progress: %zu/%zu done, %zu failed, %.2f pkg/s", Done, Total,
@@ -75,7 +83,7 @@ void ProgressMeter::emit() {
   std::string Line = Buf;
   if (Rate > 0 && Total > Done) {
     std::snprintf(Buf, sizeof(Buf), ", eta %.1fs",
-                  static_cast<double>(Total - Done) / Rate);
+                  safeDiv(static_cast<double>(Total - Done), Rate));
     Line += Buf;
   }
   // Stderr, one line per emit: visible under `--journal`/piped stdout and
@@ -312,6 +320,31 @@ std::set<std::string> BatchDriver::journaledPackages(const std::string &Path) {
   return Done;
 }
 
+BatchOutcome driver::scanPackageIsolated(const BatchInput &Input,
+                                         const scanner::ScanOptions &Scan) {
+  BatchOutcome Out;
+  Out.Package = Input.Name;
+  Timer T;
+  try {
+    scanner::Scanner Scanner(Scan);
+    Out.Result = Scanner.scanPackage(Input.Files);
+    Out.Status = Out.Result.Errors.empty() ? BatchStatus::Ok
+                                           : BatchStatus::Degraded;
+  } catch (const std::exception &E) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 std::string("scan threw: ") + E.what(), ""});
+  } catch (...) {
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                 scanner::ScanErrorKind::Internal,
+                                 "scan threw a non-standard exception", ""});
+  }
+  Out.Seconds = T.elapsedSeconds();
+  return Out;
+}
+
 BatchOutcome BatchDriver::scanOne(scanner::Scanner &Scanner,
                                   const BatchInput &Input) {
   BatchOutcome Out;
@@ -364,7 +397,7 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     obs::setCountersEnabled(true);
 
   ProgressMeter Progress(Inputs.size(), Options.ProgressEveryPackages,
-                         Options.ProgressEverySeconds);
+                         Options.ProgressEverySeconds, Options.Quiet);
 
   for (const BatchInput &Input : Inputs) {
     if (Done.count(Input.Name)) {
@@ -445,12 +478,12 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
                         static_cast<double>(Summary.Scanned)));
   Out += Buf;
   if (Summary.Crashed || Summary.OomKilled || Summary.DeadlineKilled ||
-      Summary.Retried) {
+      Summary.Retried || Summary.Recycled) {
     std::snprintf(Buf, sizeof(Buf),
                   "workers: %zu crashed, %zu oom-killed, %zu "
-                  "deadline-killed, %zu retried\n",
+                  "deadline-killed, %zu retried, %zu recycled\n",
                   Summary.Crashed, Summary.OomKilled, Summary.DeadlineKilled,
-                  Summary.Retried);
+                  Summary.Retried, Summary.Recycled);
     Out += Buf;
   }
 

@@ -96,6 +96,11 @@ struct BatchOptions {
   /// turns it on unless `--quiet`.
   size_t ProgressEveryPackages = 0;
   double ProgressEverySeconds = 0;
+  /// Hard-suppresses the stderr progress line even when a cadence is set.
+  /// Cadences encode "how often"; Quiet encodes "the user said --quiet" —
+  /// keeping them separate means a caller that sets cadences
+  /// unconditionally cannot accidentally un-silence a quiet run.
+  bool Quiet = false;
 };
 
 /// Aggregate counters for a batch run.
@@ -119,7 +124,19 @@ struct BatchSummary {
   size_t OomKilled = 0;
   size_t DeadlineKilled = 0;
   size_t Retried = 0;
+  /// Planned persistent-worker replacements (recycle quota or memory
+  /// watermark) — worker hygiene, not failures.
+  size_t Recycled = 0;
 };
+
+/// One isolated package scan with a fresh Scanner: exceptions become a
+/// Failed outcome (ScanPhase::Driver, ScanErrorKind::Internal) instead of
+/// propagating. This is the worker-side scan body shared by the process
+/// pool and the scan service; BatchDriver itself keeps one Scanner for the
+/// whole batch (its scan sequence is what FaultPlan::Package targets) and
+/// wraps it with the same containment.
+BatchOutcome scanPackageIsolated(const BatchInput &Input,
+                                 const scanner::ScanOptions &Scan);
 
 /// Renders throughput stats for a finished batch (`graphjs batch --stats`):
 /// packages/sec on wall-clock, CPU vs wall split, timeout rate, worker
@@ -131,14 +148,17 @@ std::string batchStatsText(const BatchSummary &Summary);
 /// throttled to every N packages / T seconds.
 class ProgressMeter {
 public:
-  ProgressMeter(size_t Total, size_t EveryPackages, double EverySeconds);
+  ProgressMeter(size_t Total, size_t EveryPackages, double EverySeconds,
+                bool Quiet = false);
 
   /// Records one more completed package (failed or not) and emits a line
   /// when the cadence says so.
   void completed(bool DidFail);
   /// Emits a final line if anything was reported at all.
   void finish();
-  bool enabled() const { return EveryPackages > 0 || EverySeconds > 0; }
+  bool enabled() const {
+    return !Quiet && (EveryPackages > 0 || EverySeconds > 0);
+  }
 
 private:
   void emit();
@@ -146,6 +166,7 @@ private:
   size_t Total;
   size_t EveryPackages;
   double EverySeconds;
+  bool Quiet;
   size_t Done = 0;
   size_t Failed = 0;
   size_t LastEmitDone = 0;

@@ -6,19 +6,25 @@
 
 #include "driver/ProcessPool.h"
 
+#include "driver/WorkerProtocol.h"
 #include "obs/Counters.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <optional>
 #include <set>
+#include <utility>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
 using namespace gjs;
@@ -67,7 +73,7 @@ struct Slot {
   bool Complete = false;
 };
 
-/// One live worker process.
+/// One live fork-per-package worker process.
 struct LiveWorker {
   Subprocess Proc;
   size_t WorkIdx = 0;
@@ -77,9 +83,28 @@ struct LiveWorker {
   std::string LinePath;
 };
 
-/// The worker body, run on the child side of fork(): scan one package with
-/// the in-process catch-all, write the journal line to a private file, and
-/// report success purely through the exit code.
+/// One live persistent worker: a forked image draining job frames off its
+/// socketpair until crash, kill, or recycle.
+struct PersistentWorker {
+  Subprocess Proc;
+  FrameReader Reader;
+  /// A job is in flight; its verdict is either a response frame or, if the
+  /// worker dies first, a wait-status attribution — never both (per-job
+  /// exactly-once).
+  bool Busy = false;
+  /// The worker's next exit is planned (announced recycle, or a job that
+  /// completed after the kill ladder fired): don't assign it work and
+  /// don't count its death as a launch failure.
+  bool Retiring = false;
+  size_t WorkIdx = 0;
+  bool IsRetry = false;
+  uint64_t JobId = 0;
+  Timer JobStarted;
+  bool KillSent = false;
+};
+
+/// The fork-per-package worker body: scan one package, write the journal
+/// line to a private file, and report success purely through the exit code.
 int scanInWorker(const driver::BatchInput &Input,
                  const scanner::ScanOptions &Scan, bool EnableCounters,
                  const std::string &LinePath) {
@@ -88,32 +113,33 @@ int scanInWorker(const driver::BatchInput &Input,
     obs::setCountersEnabled(true);
     obs::resetCounters();
   }
-  BatchOutcome Out;
-  Out.Package = Input.Name;
-  Timer T;
-  try {
-    scanner::Scanner Scanner(Scan);
-    Out.Result = Scanner.scanPackage(Input.Files);
-    Out.Status = Out.Result.Errors.empty() ? BatchStatus::Ok
-                                           : BatchStatus::Degraded;
-  } catch (const std::exception &E) {
-    Out.Status = BatchStatus::Failed;
-    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
-                                 scanner::ScanErrorKind::Internal,
-                                 std::string("scan threw: ") + E.what(), ""});
-  } catch (...) {
-    Out.Status = BatchStatus::Failed;
-    Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
-                                 scanner::ScanErrorKind::Internal,
-                                 "scan threw a non-standard exception", ""});
-  }
-  Out.Seconds = T.elapsedSeconds();
+  BatchOutcome Out = scanPackageIsolated(Input, Scan);
   std::ofstream F(LinePath, std::ios::out | std::ios::trunc);
   if (!F)
     return 120; // No way to report a result; the supervisor sees Crashed.
   F << BatchDriver::journalLine(Out) << '\n';
   F.flush();
   return F.good() ? 0 : 120;
+}
+
+/// Sleeps until one of the workers' comm channels stirs — a response frame,
+/// or the EOF hang-up its death leaves behind — or \p TimeoutMs passes.
+/// Replaces timer polling: the supervisor contributes zero CPU while the
+/// workers scan (which matters on small hosts, where a spinning supervisor
+/// competes with its own workers for cores) and wakes the instant a result
+/// is ready instead of up to a tick later. The bounded timeout keeps the
+/// wall-clock kill ladder firing for workers that are alive but silent —
+/// a hang, by definition, writes nothing.
+void waitForWorkerActivity(const std::vector<int> &FDs, int TimeoutMs) {
+  std::vector<struct pollfd> PFDs;
+  PFDs.reserve(FDs.size());
+  for (int FD : FDs)
+    if (FD >= 0)
+      PFDs.push_back({FD, POLLIN, 0});
+  if (PFDs.empty())
+    ::usleep(static_cast<unsigned>(TimeoutMs) * 1000);
+  else
+    ::poll(PFDs.data(), PFDs.size(), TimeoutMs); // EINTR = a signal; fine.
 }
 
 /// Reads the single journal line a worker left behind ("" when the worker
@@ -124,6 +150,61 @@ std::string readWorkerLine(const std::string &Path) {
   if (In)
     std::getline(In, Line);
   return Line;
+}
+
+/// The persistent worker body: drain job frames until the supervisor says
+/// exit (or hangs up), answering each with the package's journal line.
+/// Exits WorkerRecycleExit after announcing a recycle in its final
+/// response; any other death is the supervisor's to attribute.
+int persistentWorkerMain(int FD, const std::vector<driver::BatchInput> &Inputs,
+                         const std::vector<WorkItem> &Plan,
+                         const scanner::ScanOptions &BaseScan,
+                         bool EnableCounters, unsigned RecycleAfter,
+                         size_t RecycleRssMB) {
+  installOomExitHandler();
+  if (EnableCounters) {
+    obs::setCountersEnabled(true);
+    obs::resetCounters();
+  }
+  unsigned Done = 0;
+  std::string Text;
+  while (readFrame(FD, Text)) {
+    WorkerRequest Req;
+    if (!WorkerRequest::decode(Text, Req))
+      return 121; // Protocol corruption: die visibly, never guess a job.
+    if (Req.Kind == WorkerRequest::Op::Exit)
+      return 0;
+    if (Req.Kind == WorkerRequest::Op::Ping) {
+      WorkerResponse Resp;
+      Resp.JobId = Req.JobId;
+      Resp.Pong = true;
+      if (!writeFrame(FD, Resp.encode()))
+        return 122;
+      continue;
+    }
+    if (!Req.HasPlanIndex || Req.PlanIndex >= Plan.size())
+      return 121;
+    const WorkItem &W = Plan[Req.PlanIndex];
+    scanner::ScanOptions Scan = BaseScan;
+    Scan.Fault = Req.IsRetry ? std::nullopt : W.Fault;
+    if (Req.IsRetry && Scan.Deadline.WallSeconds > 0)
+      Scan.Deadline.WallSeconds /= 2; // Retry at reduced budget.
+    WorkerResponse Resp;
+    Resp.JobId = Req.JobId;
+    Resp.Line = BatchDriver::journalLine(
+        scanPackageIsolated(Inputs[W.InputIndex], Scan));
+    ++Done;
+    // A recycle is announced in the response *before* exiting, so the
+    // supervisor never mistakes the planned death for a crash and never
+    // assigns this worker another job it would silently drop.
+    Resp.Recycle = (RecycleAfter && Done >= RecycleAfter) ||
+                   (RecycleRssMB && currentRssMB() > RecycleRssMB);
+    if (!writeFrame(FD, Resp.encode()))
+      return 122;
+    if (Resp.Recycle)
+      return WorkerRecycleExit;
+  }
+  return 0; // Supervisor hung up: orderly drain.
 }
 
 } // namespace
@@ -148,9 +229,9 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
   if (Batch.Resume && !Batch.JournalPath.empty())
     Done = BatchDriver::journaledPackages(Batch.JournalPath);
 
-  // Per-worker journal-line files live in a private temp dir; the merge
-  // deletes them as it goes. If we cannot get one, fall back to the
-  // in-process driver (containment lost, batch still runs).
+  // Per-worker journal-line files (fork-per-package mode) live in a private
+  // temp dir; the merge deletes them as it goes. If we cannot get one, fall
+  // back to the in-process driver (containment lost, batch still runs).
   std::string TmpDir;
   {
     const char *T = std::getenv("TMPDIR");
@@ -209,7 +290,7 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     obs::setCountersEnabled(true);
 
   ProgressMeter Progress(Inputs.size(), Batch.ProgressEveryPackages,
-                         Batch.ProgressEverySeconds);
+                         Batch.ProgressEverySeconds, Batch.Quiet);
   DrainSignalGuard Signals;
 
   const double KillAfter = effectiveKillAfter(Options);
@@ -220,8 +301,6 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     // matters if the supervisor itself dies with a spinning worker behind.
     Limits.CpuSeconds = static_cast<unsigned>(KillAfter) + 2;
 
-  std::vector<LiveWorker> Live;
-  size_t NextLaunch = 0;
   size_t MergeCursor = 0;
 
   // Completing a slot out of order is fine; only the longest complete
@@ -281,130 +360,403 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     return Out;
   };
 
-  auto launch = [&](size_t PlanIdx, bool IsRetry) {
-    const WorkItem &W = Plan[PlanIdx];
-    const BatchInput &In = Inputs[W.InputIndex];
-    scanner::ScanOptions Scan = Batch.Scan;
-    Scan.Fault = IsRetry ? std::nullopt : W.Fault;
-    if (IsRetry && Scan.Deadline.WallSeconds > 0)
-      Scan.Deadline.WallSeconds /= 2; // Retry at reduced budget.
-    std::string LinePath =
-        TmpDir + "/" + std::to_string(PlanIdx) + ".jsonl";
-    bool EnableCounters = Batch.EnableCounters;
-    Subprocess P;
-    std::string Err;
-    bool OK = Subprocess::forkChild(
-        [&]() { return scanInWorker(In, Scan, EnableCounters, LinePath); },
-        P, &Err, Limits);
-    if (!OK) {
-      completeSlot(W.SlotIndex,
-                   synthFailure(W, scanner::ScanErrorKind::Crashed,
-                                "worker launch failed: " + Err, 0));
-      return;
-    }
-    obs::counters::WorkerSpawned.add();
-    LiveWorker L;
-    L.Proc = std::move(P);
-    L.WorkIdx = PlanIdx;
-    L.IsRetry = IsRetry;
-    L.LinePath = std::move(LinePath);
-    Live.push_back(std::move(L));
-  };
-
-  // Maps a reaped worker onto an outcome. Exit 0 + a parseable line is the
-  // worker's own verdict; anything else gets a supervisor verdict from the
-  // wait status and the kill ladder.
-  auto reap = [&](LiveWorker &L, const WaitStatus &WS) {
-    const WorkItem &W = Plan[L.WorkIdx];
-    double Seconds = L.Started.elapsedSeconds();
-    std::string Line = readWorkerLine(L.LinePath);
-    ::unlink(L.LinePath.c_str());
-
-    BatchOutcome Out;
-    bool WorkerDied = true;
-    if (WS.exitedWith(0) && !Line.empty() &&
-        BatchDriver::parseJournalLine(Line, Out)) {
-      Out.RawJournalLine = Line;
-      WorkerDied = false;
-    } else if (WS.exitedWith(WorkerOomExit)) {
+  /// Maps a dead worker's wait status onto an outcome via the kill ladder:
+  /// OOM exit code, supervisor kill, RLIMIT_CPU, unexplained SIGKILL
+  /// (kernel OOM killer), any other signal, then "exited without a result".
+  /// Shared by both scheduling modes so attribution is identical.
+  auto ladderVerdict = [&](const WorkItem &W, const WaitStatus &WS,
+                           bool KillSent, double Seconds) {
+    if (WS.exitedWith(WorkerOomExit)) {
       obs::counters::WorkerOomKilled.add();
       ++Summary.OomKilled;
-      Out = synthFailure(W, scanner::ScanErrorKind::KilledOom,
-                         "worker allocation failed under memory cap (" +
-                             WS.str() + ")",
-                         Seconds);
-    } else if (L.KillSent) {
+      return synthFailure(W, scanner::ScanErrorKind::KilledOom,
+                          "worker allocation failed under memory cap (" +
+                              WS.str() + ")",
+                          Seconds);
+    }
+    if (KillSent) {
       obs::counters::WorkerDeadlineKilled.add();
       ++Summary.DeadlineKilled;
-      Out = synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
-                         "supervisor killed worker after hard deadline (" +
-                             WS.str() + ")",
-                         Seconds);
-    } else if (WS.signaled() && WS.Signal == SIGXCPU) {
+      return synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
+                          "supervisor killed worker after hard deadline (" +
+                              WS.str() + ")",
+                          Seconds);
+    }
+    if (WS.signaled() && WS.Signal == SIGXCPU) {
       obs::counters::WorkerDeadlineKilled.add();
       ++Summary.DeadlineKilled;
-      Out = synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
-                         "worker hit RLIMIT_CPU (" + WS.str() + ")",
-                         Seconds);
-    } else if (WS.signaled() && WS.Signal == SIGKILL) {
+      return synthFailure(W, scanner::ScanErrorKind::KilledDeadline,
+                          "worker hit RLIMIT_CPU (" + WS.str() + ")",
+                          Seconds);
+    }
+    if (WS.signaled() && WS.Signal == SIGKILL) {
       // We did not send it: the kernel OOM killer is the usual suspect.
       obs::counters::WorkerOomKilled.add();
       ++Summary.OomKilled;
-      Out = synthFailure(W, scanner::ScanErrorKind::KilledOom,
-                         "worker got an unexplained SIGKILL (kernel OOM "
-                         "killer?)",
-                         Seconds);
-    } else if (WS.signaled()) {
+      return synthFailure(W, scanner::ScanErrorKind::KilledOom,
+                          "worker got an unexplained SIGKILL (kernel OOM "
+                          "killer?)",
+                          Seconds);
+    }
+    if (WS.signaled()) {
       obs::counters::WorkerCrashed.add();
       ++Summary.Crashed;
-      Out = synthFailure(W, scanner::ScanErrorKind::Crashed,
-                         "worker died on " + WS.str(), Seconds);
-    } else {
-      obs::counters::WorkerCrashed.add();
-      ++Summary.Crashed;
-      Out = synthFailure(W, scanner::ScanErrorKind::Crashed,
-                         "worker produced no result (" + WS.str() + ")",
-                         Seconds);
+      return synthFailure(W, scanner::ScanErrorKind::Crashed,
+                          "worker died on " + WS.str(), Seconds);
     }
-
-    if (WorkerDied && Options.RetryCrashed && !L.IsRetry) {
-      obs::counters::WorkerRetried.add();
-      ++Summary.Retried;
-      launch(L.WorkIdx, /*IsRetry=*/true);
-      return;
-    }
-    completeSlot(W.SlotIndex, std::move(Out));
+    obs::counters::WorkerCrashed.add();
+    ++Summary.Crashed;
+    return synthFailure(W, scanner::ScanErrorKind::Crashed,
+                        "worker produced no result (" + WS.str() + ")",
+                        Seconds);
   };
 
-  while (true) {
-    while (!PoolStopRequested && Live.size() < Options.Jobs &&
-           NextLaunch < Plan.size())
-      launch(NextLaunch++, /*IsRetry=*/false);
+  if (!Options.Persistent) {
+    // ----- Fork-per-package scheduling (PR 5) -----
+    std::vector<LiveWorker> Live;
+    size_t NextLaunch = 0;
 
-    if (Live.empty() && (NextLaunch >= Plan.size() || PoolStopRequested))
-      break;
+    std::function<void(size_t, bool)> launch = [&](size_t PlanIdx,
+                                                   bool IsRetry) {
+      const WorkItem &W = Plan[PlanIdx];
+      const BatchInput &In = Inputs[W.InputIndex];
+      scanner::ScanOptions Scan = Batch.Scan;
+      Scan.Fault = IsRetry ? std::nullopt : W.Fault;
+      if (IsRetry && Scan.Deadline.WallSeconds > 0)
+        Scan.Deadline.WallSeconds /= 2; // Retry at reduced budget.
+      std::string LinePath =
+          TmpDir + "/" + std::to_string(PlanIdx) + ".jsonl";
+      bool EnableCounters = Batch.EnableCounters;
+      Subprocess P;
+      std::string Err;
+      // forkWorker (not forkChild) purely for the socketpair: the child
+      // never touches it, but its exit closes the peer end, so the
+      // supervisor can block in poll() on commFD() and wake the instant
+      // the worker dies instead of sleeping on a timer.
+      bool OK = Subprocess::forkWorker(
+          [&](int) { return scanInWorker(In, Scan, EnableCounters, LinePath); },
+          P, &Err, Limits);
+      if (!OK) {
+        completeSlot(W.SlotIndex,
+                     synthFailure(W, scanner::ScanErrorKind::Crashed,
+                                  "worker launch failed: " + Err, 0));
+        return;
+      }
+      obs::counters::WorkerSpawned.add();
+      LiveWorker L;
+      L.Proc = std::move(P);
+      L.WorkIdx = PlanIdx;
+      L.IsRetry = IsRetry;
+      L.LinePath = std::move(LinePath);
+      Live.push_back(std::move(L));
+    };
 
-    bool Reaped = false;
-    for (size_t I = 0; I < Live.size();) {
-      WaitStatus WS;
-      if (Live[I].Proc.poll(WS)) {
-        // reap() may relaunch (retry), appending to Live; erase by index
-        // stays valid.
-        LiveWorker L = std::move(Live[I]);
-        Live.erase(Live.begin() + static_cast<long>(I));
-        reap(L, WS);
-        Reaped = true;
+    // Maps a reaped worker onto an outcome. Exit 0 + a parseable line is
+    // the worker's own verdict; anything else gets a supervisor verdict
+    // from the wait status and the kill ladder.
+    auto reap = [&](LiveWorker &L, const WaitStatus &WS) {
+      const WorkItem &W = Plan[L.WorkIdx];
+      double Seconds = L.Started.elapsedSeconds();
+      std::string Line = readWorkerLine(L.LinePath);
+      ::unlink(L.LinePath.c_str());
+
+      BatchOutcome Out;
+      bool WorkerDied = true;
+      if (WS.exitedWith(0) && !Line.empty() &&
+          BatchDriver::parseJournalLine(Line, Out)) {
+        Out.RawJournalLine = Line;
+        WorkerDied = false;
       } else {
-        if (KillAfter > 0 && !Live[I].KillSent &&
-            Live[I].Started.elapsedSeconds() > KillAfter) {
-          Live[I].Proc.kill(SIGKILL);
-          Live[I].KillSent = true;
+        Out = ladderVerdict(W, WS, L.KillSent, Seconds);
+      }
+
+      if (WorkerDied && Options.RetryCrashed && !L.IsRetry) {
+        obs::counters::WorkerRetried.add();
+        ++Summary.Retried;
+        launch(L.WorkIdx, /*IsRetry=*/true);
+        return;
+      }
+      completeSlot(W.SlotIndex, std::move(Out));
+    };
+
+    while (true) {
+      while (!PoolStopRequested && Live.size() < Options.Jobs &&
+             NextLaunch < Plan.size())
+        launch(NextLaunch++, /*IsRetry=*/false);
+
+      if (Live.empty() && (NextLaunch >= Plan.size() || PoolStopRequested))
+        break;
+
+      bool Reaped = false;
+      for (size_t I = 0; I < Live.size();) {
+        WaitStatus WS;
+        if (Live[I].Proc.poll(WS)) {
+          // reap() may relaunch (retry), appending to Live; erase by index
+          // stays valid.
+          LiveWorker L = std::move(Live[I]);
+          Live.erase(Live.begin() + static_cast<long>(I));
+          reap(L, WS);
+          Reaped = true;
+        } else {
+          if (KillAfter > 0 && !Live[I].KillSent &&
+              Live[I].Started.elapsedSeconds() > KillAfter) {
+            Live[I].Proc.kill(SIGKILL);
+            Live[I].KillSent = true;
+          }
+          ++I;
+        }
+      }
+      if (!Reaped) {
+        std::vector<int> FDs;
+        FDs.reserve(Live.size());
+        for (const LiveWorker &L : Live)
+          FDs.push_back(L.Proc.commFD());
+        waitForWorkerActivity(FDs, 50);
+      }
+    }
+  } else {
+    // ----- Persistent-worker scheduling -----
+    // Supervisor writes to workers that may die at any moment: EPIPE must
+    // be an error return on the write, never a fatal SIGPIPE.
+    ScopedSigpipeIgnore NoSigpipe;
+
+    SubprocessLimits PLimits = Limits;
+    // RLIMIT_CPU counts the worker's whole lifetime, not one job. With a
+    // recycle quota the lifetime is bounded and the backstop scales with
+    // it; without one there is no meaningful per-process cap, and the
+    // supervisor's per-job wall-clock killer is the whole ladder.
+    if (KillAfter > 0 && Options.RecycleAfter > 0)
+      PLimits.CpuSeconds =
+          static_cast<unsigned>(KillAfter * Options.RecycleAfter) + 2;
+    else
+      PLimits.CpuSeconds = 0;
+
+    // {plan index, is-retry}; retries go to the front so a replacement
+    // worker re-attempts the afflicted package before draining the rest.
+    std::deque<std::pair<size_t, bool>> Queue;
+    for (size_t I = 0; I < Plan.size(); ++I)
+      Queue.emplace_back(I, false);
+
+    std::vector<PersistentWorker> Workers;
+    uint64_t NextJobId = 1;
+    // Consecutive worker deaths without a job in hand (e.g. dying before
+    // the first frame): backstop against a fork/requeue livelock when the
+    // environment is broken.
+    unsigned IdleDeaths = 0;
+
+    auto spawnWorker = [&]() -> bool {
+      Subprocess P;
+      std::string Err;
+      bool OK = Subprocess::forkWorker(
+          [&](int FD) {
+            return persistentWorkerMain(FD, Inputs, Plan, Batch.Scan,
+                                        Batch.EnableCounters,
+                                        Options.RecycleAfter,
+                                        Options.RecycleRssMB);
+          },
+          P, &Err, PLimits);
+      if (!OK)
+        return false;
+      // The supervisor multiplexes many workers; reads must never block.
+      ::fcntl(P.commFD(), F_SETFL, ::fcntl(P.commFD(), F_GETFL, 0) | O_NONBLOCK);
+      obs::counters::WorkerSpawned.add();
+      PersistentWorker W;
+      W.Proc = std::move(P);
+      Workers.push_back(std::move(W));
+      return true;
+    };
+
+    auto assignJob = [&](PersistentWorker &W) {
+      auto [PlanIdx, IsRetry] = Queue.front();
+      WorkerRequest Req;
+      Req.Kind = WorkerRequest::Op::Scan;
+      Req.JobId = NextJobId++;
+      Req.HasPlanIndex = true;
+      Req.PlanIndex = PlanIdx;
+      Req.IsRetry = IsRetry;
+      if (!writeFrame(W.Proc.commFD(), Req.encode())) {
+        // The worker died between jobs; the job never started and stays
+        // queued. Make the death certain and let the reap pass handle it.
+        W.Proc.kill(SIGKILL);
+        return;
+      }
+      Queue.pop_front();
+      W.Busy = true;
+      W.WorkIdx = PlanIdx;
+      W.IsRetry = IsRetry;
+      W.JobId = Req.JobId;
+      W.JobStarted = Timer();
+      W.KillSent = false;
+    };
+
+    auto handleFrame = [&](PersistentWorker &W, const std::string &Text) {
+      WorkerResponse Resp;
+      if (!WorkerResponse::decode(Text, Resp))
+        return; // Corrupt frame; the ladder attributes whatever follows.
+      if (Resp.Pong)
+        return;
+      if (!W.Busy || Resp.JobId != W.JobId)
+        return; // Stale or duplicate response: first verdict wins.
+      IdleDeaths = 0;
+      W.Busy = false;
+      // A response that raced the kill ladder still counts — the job DID
+      // complete — but the worker is dying; treat the exit as planned.
+      if (Resp.Recycle || W.KillSent)
+        W.Retiring = true;
+      const WorkItem &Wk = Plan[W.WorkIdx];
+      BatchOutcome Out;
+      if (!Resp.Line.empty() &&
+          BatchDriver::parseJournalLine(Resp.Line, Out)) {
+        Out.RawJournalLine = Resp.Line;
+        completeSlot(Wk.SlotIndex, std::move(Out));
+      } else {
+        obs::counters::WorkerCrashed.add();
+        ++Summary.Crashed;
+        completeSlot(Wk.SlotIndex,
+                     synthFailure(Wk, scanner::ScanErrorKind::Crashed,
+                                  "worker sent an unparseable result",
+                                  W.JobStarted.elapsedSeconds()));
+      }
+    };
+
+    auto reapWorker = [&](PersistentWorker &W, const WaitStatus &WS) {
+      // Drain frames the worker flushed before dying: a completed response
+      // beats a racing kill or crash (the scan finished; use its verdict).
+      W.Reader.pump(W.Proc.commFD());
+      std::string Text;
+      while (W.Reader.next(Text))
+        handleFrame(W, Text);
+
+      if (WS.exitedWith(WorkerRecycleExit)) {
+        obs::counters::WorkerRecycled.add();
+        ++Summary.Recycled;
+      }
+      if (!W.Busy) {
+        // No job in hand: nothing to attribute. An unplanned idle death
+        // still counts against the livelock backstop.
+        bool Planned =
+            WS.exitedWith(0) || WS.exitedWith(WorkerRecycleExit) || W.Retiring;
+        if (!Planned)
+          ++IdleDeaths;
+        return;
+      }
+      // Job in hand and no response: the wait status is the verdict.
+      const WorkItem &Wk = Plan[W.WorkIdx];
+      BatchOutcome Out =
+          ladderVerdict(Wk, WS, W.KillSent, W.JobStarted.elapsedSeconds());
+      if (Options.RetryCrashed && !W.IsRetry) {
+        obs::counters::WorkerRetried.add();
+        ++Summary.Retried;
+        Queue.emplace_front(W.WorkIdx, /*IsRetry=*/true);
+        return;
+      }
+      completeSlot(Wk.SlotIndex, std::move(Out));
+    };
+
+    while (true) {
+      size_t BusyCount = static_cast<size_t>(
+          std::count_if(Workers.begin(), Workers.end(),
+                        [](const PersistentWorker &W) { return W.Busy; }));
+
+      if (!PoolStopRequested) {
+        // Keep just enough workers alive for the outstanding work.
+        size_t Want = std::min<size_t>(std::max(1u, Options.Jobs),
+                                       Queue.size() + BusyCount);
+        while (Workers.size() < Want) {
+          if (spawnWorker())
+            continue;
+          if (Workers.empty()) {
+            // Nothing can run: fail the whole queue rather than spin.
+            while (!Queue.empty()) {
+              const WorkItem &Wk = Plan[Queue.front().first];
+              Queue.pop_front();
+              obs::counters::WorkerCrashed.add();
+              ++Summary.Crashed;
+              completeSlot(Wk.SlotIndex,
+                           synthFailure(Wk, scanner::ScanErrorKind::Crashed,
+                                        "worker launch failed", 0));
+            }
+          }
+          break;
+        }
+        if (IdleDeaths >= 3 && !Queue.empty()) {
+          // Workers keep dying before accepting work; fail one job per
+          // strike-out so the run always makes forward progress.
+          const WorkItem &Wk = Plan[Queue.front().first];
+          Queue.pop_front();
+          obs::counters::WorkerCrashed.add();
+          ++Summary.Crashed;
+          completeSlot(Wk.SlotIndex,
+                       synthFailure(Wk, scanner::ScanErrorKind::Crashed,
+                                    "worker died repeatedly before accepting "
+                                    "work",
+                                    0));
+          IdleDeaths = 0;
+        }
+        for (PersistentWorker &W : Workers) {
+          if (Queue.empty())
+            break;
+          if (!W.Busy && !W.Retiring && !W.Reader.dead())
+            assignJob(W);
+        }
+        BusyCount = static_cast<size_t>(
+            std::count_if(Workers.begin(), Workers.end(),
+                          [](const PersistentWorker &W) { return W.Busy; }));
+      }
+
+      if (BusyCount == 0 && (Queue.empty() || PoolStopRequested))
+        break;
+
+      bool Activity = false;
+      for (size_t I = 0; I < Workers.size();) {
+        PersistentWorker &W = Workers[I];
+        if (!W.Reader.dead()) {
+          W.Reader.pump(W.Proc.commFD());
+          std::string Text;
+          while (W.Reader.next(Text)) {
+            handleFrame(W, Text);
+            Activity = true;
+          }
+        }
+        WaitStatus WS;
+        if (W.Proc.poll(WS)) {
+          PersistentWorker Dead = std::move(W);
+          Workers.erase(Workers.begin() + static_cast<long>(I));
+          reapWorker(Dead, WS);
+          Activity = true;
+          continue;
+        }
+        if (W.Busy && !W.KillSent && KillAfter > 0 &&
+            W.JobStarted.elapsedSeconds() > KillAfter) {
+          W.Proc.kill(SIGKILL);
+          W.KillSent = true;
         }
         ++I;
       }
+      if (!Activity) {
+        std::vector<int> FDs;
+        FDs.reserve(Workers.size());
+        for (const PersistentWorker &W : Workers)
+          // A dead reader's fd may have pending bytes we will never read;
+          // polling it would spin hot. The kill ladder owns that worker.
+          FDs.push_back(W.Reader.dead() ? -1 : W.Proc.commFD());
+        waitForWorkerActivity(FDs, 50);
+      }
     }
-    if (!Reaped)
-      ::usleep(5000);
+
+    // Orderly drain: ask every surviving worker to exit, then reap them
+    // all (a worker blocked in readFrame gets the Exit frame; a recycle
+    // that raced the shutdown is still counted by reapWorker).
+    for (PersistentWorker &W : Workers) {
+      WaitStatus WS;
+      if (W.Proc.poll(WS))
+        continue;
+      WorkerRequest Req;
+      Req.Kind = WorkerRequest::Op::Exit;
+      writeFrame(W.Proc.commFD(), Req.encode());
+    }
+    for (PersistentWorker &W : Workers)
+      reapWorker(W, W.Proc.wait());
   }
 
   flushCursor();

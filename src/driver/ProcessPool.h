@@ -5,38 +5,43 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The multi-process batch scanner: a supervisor that forks one expendable
-/// worker process per package and reaps whatever happens to it. The
-/// in-process BatchDriver contains everything *cooperative* — exceptions,
-/// deadlines, work budgets — but a segfault in native code, an abort(), a
-/// kernel OOM kill, or an uninterruptible loop takes the whole process
-/// down, journal and all. At the paper's 20k-npm corpus scale (§5.6) that
-/// single-package blast radius is unacceptable; the pool reduces it to one
-/// worker.
+/// The multi-process batch scanner: a supervisor that forks worker
+/// processes and reaps whatever happens to them. The in-process BatchDriver
+/// contains everything *cooperative* — exceptions, deadlines, work budgets
+/// — but a segfault in native code, an abort(), a kernel OOM kill, or an
+/// uninterruptible loop takes the whole process down, journal and all. At
+/// the paper's 20k-npm corpus scale (§5.6) that single-package blast radius
+/// is unacceptable; the pool reduces it to one worker.
 ///
-/// Supervisor state machine, per package:
+/// Two scheduling modes share the same contract:
 ///
-///   queued → running → reaped → journaled
-///                 \-> killed (deadline exceeded) -> reaped (Signaled)
+///  - **Fork-per-package** (the PR 5 default): one expendable fork() per
+///    package. Maximum isolation, but the fork dominates sub-10ms scans —
+///    BENCH_batch measured ~0.84x vs in-process on small packages.
+///  - **Persistent workers** (PoolOptions::Persistent): each forked worker
+///    drains a pipe-fed queue of jobs (length-prefixed frames over a
+///    socketpair, driver/WorkerProtocol.h), amortizing the fork. A worker
+///    is re-forked only after a crash, a kill, or a *recycle* — a planned
+///    exit after RecycleAfter packages or when its resident set passes the
+///    RecycleRssMB watermark, bounding leak/fragmentation accumulation.
 ///
-///  - **Workers are fork()s, not execs**: the child inherits the scanner
-///    and input in memory, runs the scan, writes its journal line to a
-///    private file, and _exit()s. Zero serialization on the way in.
+/// Both modes preserve:
+///
 ///  - **Crash containment**: a worker that dies on a signal or exits
-///    without a result is journaled as Failed with ScanErrorKind::Crashed
-///    (or KilledOom / KilledDeadline, attributed from the wait status and
-///    the kill ladder) and the batch moves on.
-///  - **Kill ladder**: cooperative Deadline inside the worker, then
-///    RLIMIT_CPU (kernel SIGXCPU), then the supervisor's wall-clock
-///    kill-on-deadline (SIGKILL). RLIMIT_AS caps worker memory;
-///    WorkerOomExit attributes allocation failure deterministically.
+///    without a result fails only the package it was scanning (Crashed /
+///    KilledOom / KilledDeadline, attributed from the wait status and the
+///    kill ladder); in persistent mode the replacement worker drains the
+///    rest of the queue. Accounting is per *job*, not per process —
+///    exactly-once per package regardless of how many workers died.
+///  - **Kill ladder**: cooperative Deadline inside the worker, then the
+///    supervisor's per-job wall-clock kill (SIGKILL), then RLIMIT_CPU as
+///    the backstop (sized per worker lifetime in persistent mode).
 ///  - **Deterministic journal**: per-worker lines merge into the main
 ///    journal in *input order* regardless of completion order, and healthy
-///    packages' lines are the worker's bytes verbatim — `--jobs N` and
-///    `--jobs 1` journals are byte-identical for packages that succeed.
+///    packages' lines are the worker's bytes verbatim.
 ///  - **Resume / graceful drain**: already-journaled packages are skipped;
-///    SIGINT/SIGTERM stops launching and drains in-flight workers, leaving
-///    a valid resumable journal prefix — as does SIGKILLing the supervisor
+///    SIGINT/SIGTERM stops assigning and drains in-flight jobs, leaving a
+///    valid resumable journal prefix — as does SIGKILLing the supervisor
 ///    itself (the merge cursor only writes completed prefixes).
 ///
 //===----------------------------------------------------------------------===//
@@ -57,11 +62,24 @@ struct PoolOptions {
   /// Concurrent worker processes. 1 still forks (containment without
   /// parallelism); the CLI routes jobs<=1 without faults to BatchDriver.
   unsigned Jobs = 2;
+  /// Persistent workers: each worker drains a queue of jobs over a
+  /// socketpair instead of dying after one package, and is re-forked only
+  /// on crash, kill, or recycle. False = fork-per-package (PR 5).
+  bool Persistent = false;
+  /// Persistent mode: planned worker recycle after this many scanned
+  /// packages (0 = unlimited). The worker answers its last job, exits
+  /// WorkerRecycleExit, and the supervisor re-forks a fresh image.
+  unsigned RecycleAfter = 0;
+  /// Persistent mode: recycle a worker whose resident set exceeds this
+  /// many MiB after a job (0 = off; measured from /proc/self/statm, a
+  /// no-op on systems without it).
+  size_t RecycleRssMB = 0;
   /// RLIMIT_AS per worker in MiB (0 = uncapped; ignored under ASan).
   size_t MemLimitMB = 0;
-  /// Supervisor kill-on-deadline: SIGKILL a worker running longer than
-  /// this many wall-clock seconds. 0 derives a default from the scan
-  /// deadline (2*wall + 1s) when one is set, else disables the killer.
+  /// Supervisor kill-on-deadline: SIGKILL a worker whose *current job* has
+  /// run longer than this many wall-clock seconds. 0 derives a default
+  /// from the scan deadline (2*wall + 1s) when one is set, else disables
+  /// the killer.
   double KillAfterSeconds = 0;
   /// Retry a crashed/oom/deadline-killed package once, without its
   /// injected fault and at half the wall-clock budget (the transient-

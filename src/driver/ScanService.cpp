@@ -1,0 +1,764 @@
+//===- driver/ScanService.cpp - Long-lived graphjs scan daemon -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScanService.h"
+
+#include "driver/BatchDriver.h"
+#include "driver/WorkerProtocol.h"
+#include "obs/Counters.h"
+#include "support/JSON.h"
+#include "support/Subprocess.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gjs;
+using namespace gjs::driver;
+
+namespace {
+
+/// SIGINT/SIGTERM drain flag: the daemon stops admitting scans, finishes
+/// in-flight requests, flushes the journal, and exits.
+volatile std::sig_atomic_t ServeStopRequested = 0;
+
+void serveStopHandler(int) { ServeStopRequested = 1; }
+
+struct ServeSignalGuard {
+  struct sigaction OldInt {};
+  struct sigaction OldTerm {};
+  ServeSignalGuard() {
+    ServeStopRequested = 0;
+    struct sigaction SA {};
+    SA.sa_handler = serveStopHandler;
+    sigemptyset(&SA.sa_mask);
+    ::sigaction(SIGINT, &SA, &OldInt);
+    ::sigaction(SIGTERM, &SA, &OldTerm);
+  }
+  ~ServeSignalGuard() {
+    ::sigaction(SIGINT, &OldInt, nullptr);
+    ::sigaction(SIGTERM, &OldTerm, nullptr);
+  }
+};
+
+/// The serve-mode worker body: like the pool's persistent worker, but the
+/// package spec (name + file paths) rides in on each request — jobs arrive
+/// from the network after the worker was forked, so nothing can be
+/// inherited through the memory image.
+int serveWorkerMain(int FD, const scanner::ScanOptions &BaseScan,
+                    unsigned RecycleAfter, size_t RecycleRssMB) {
+  // Shed every inherited supervisor fd (listening socket, client
+  // connections, journal): a worker holding the listen socket would keep
+  // the address alive past daemon shutdown, and one holding a client fd
+  // would mask that client's EOF.
+  for (int I = 3; I < 1024; ++I)
+    if (I != FD)
+      ::close(I);
+  installOomExitHandler();
+  unsigned Done = 0;
+  std::string Text;
+  while (readFrame(FD, Text)) {
+    WorkerRequest Req;
+    if (!WorkerRequest::decode(Text, Req))
+      return 121; // Protocol corruption: die visibly, never guess a job.
+    if (Req.Kind == WorkerRequest::Op::Exit)
+      return 0;
+    if (Req.Kind == WorkerRequest::Op::Ping) {
+      WorkerResponse Resp;
+      Resp.JobId = Req.JobId;
+      Resp.Pong = true;
+      if (!writeFrame(FD, Resp.encode()))
+        return 122;
+      continue;
+    }
+
+    BatchInput In;
+    In.Name = Req.Name;
+    std::vector<std::string> Unreadable;
+    for (const std::string &Path : Req.Paths) {
+      std::ifstream F(Path, std::ios::binary);
+      if (!F) {
+        Unreadable.push_back(Path);
+        continue;
+      }
+      std::ostringstream SS;
+      SS << F.rdbuf();
+      In.Files.push_back({Path, SS.str()});
+    }
+
+    scanner::ScanOptions Scan = BaseScan;
+    if (Req.DeadlineSeconds > 0)
+      Scan.Deadline.WallSeconds = Req.DeadlineSeconds;
+    if (!Req.FaultSpec.empty()) {
+      scanner::FaultPlan Plan;
+      if (scanner::FaultPlan::parse(Req.FaultSpec, Plan)) {
+        Plan.Package = 0; // Each request is this worker's package 0.
+        Scan.Fault = Plan;
+      }
+    }
+
+    BatchOutcome Out = scanPackageIsolated(In, Scan);
+    for (const std::string &Path : Unreadable)
+      Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
+                                   scanner::ScanErrorKind::Internal,
+                                   "unreadable file: " + Path, Path});
+    if (!Unreadable.empty() && Out.Status == BatchStatus::Ok)
+      Out.Status = BatchStatus::Degraded;
+
+    WorkerResponse Resp;
+    Resp.JobId = Req.JobId;
+    Resp.Line = BatchDriver::journalLine(Out);
+    ++Done;
+    Resp.Recycle = (RecycleAfter && Done >= RecycleAfter) ||
+                   (RecycleRssMB && currentRssMB() > RecycleRssMB);
+    if (!writeFrame(FD, Resp.encode()))
+      return 122;
+    if (Resp.Recycle)
+      return WorkerRecycleExit;
+  }
+  return 0; // Supervisor hung up: orderly drain.
+}
+
+/// One admitted scan request waiting for (or on) a worker.
+struct PendingScan {
+  uint64_t Id = 0;
+  /// Where the response goes; -1 once the client disconnected (the scan
+  /// still runs and is journaled — the work was admitted).
+  int ClientFD = -1;
+  WorkerRequest Req;
+  /// Admission clock: a request that outwaits its own deadline in the
+  /// queue is rejected instead of scanned.
+  Timer Waited;
+};
+
+struct ServeWorker {
+  Subprocess Proc;
+  FrameReader Reader;
+  bool Busy = false;
+  bool Retiring = false;
+  bool KillSent = false;
+  double KillAfter = 0;
+  std::optional<PendingScan> Job;
+  Timer JobStarted;
+  Timer IdleSince;
+  bool PingSent = false;
+  Timer PingStarted;
+};
+
+std::string errorLine(const char *Err, const std::string &Detail = "") {
+  json::Object O;
+  O["ok"] = json::Value(false);
+  O["error"] = json::Value(Err);
+  if (!Detail.empty())
+    O["detail"] = json::Value(Detail);
+  return json::Value(std::move(O)).str();
+}
+
+/// Full EINTR-retried send of one response line; a vanished client drops
+/// the response (the daemon must outlive every client).
+void sendLine(int FD, const std::string &Line) {
+  if (FD < 0)
+    return;
+  std::string Out = Line;
+  Out.push_back('\n');
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(FD, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return;
+    Off += static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+ScanService::ScanService(ServiceOptions Options) : Options(std::move(Options)) {}
+
+int ScanService::run() {
+  sockaddr_un Addr{};
+  if (Options.SocketPath.empty() ||
+      Options.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "serve: bad socket path\n");
+    return 1;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Options.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::fprintf(stderr, "serve: socket failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::unlink(Options.SocketPath.c_str()); // Replace a stale socket file.
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Listen, 64) != 0) {
+    std::fprintf(stderr, "serve: bind/listen on %s failed: %s\n",
+                 Options.SocketPath.c_str(), std::strerror(errno));
+    ::close(Listen);
+    return 1;
+  }
+  ::fcntl(Listen, F_SETFL, ::fcntl(Listen, F_GETFL, 0) | O_NONBLOCK);
+
+  ScopedSigpipeIgnore NoSigpipe;
+  ServeSignalGuard Signals;
+  bool PrevCounters = obs::setCountersEnabled(true);
+
+  std::ofstream Journal;
+  if (!Options.JournalPath.empty())
+    // Append: a restarted daemon extends the history, never clobbers it.
+    Journal.open(Options.JournalPath, std::ios::out | std::ios::app);
+
+  auto log = [&](const std::string &Msg) {
+    if (!Options.Quiet) {
+      std::fprintf(stderr, "serve: %s\n", Msg.c_str());
+      std::fflush(stderr);
+    }
+  };
+
+  SubprocessLimits Limits;
+  Limits.MemLimitMB = Options.MemLimitMB;
+  // RLIMIT_CPU counts a worker's whole lifetime; only meaningful when the
+  // recycle quota bounds that lifetime (see ProcessPool persistent mode).
+  if (Options.KillAfterSeconds > 0 && Options.RecycleAfter > 0)
+    Limits.CpuSeconds = static_cast<unsigned>(Options.KillAfterSeconds *
+                                              Options.RecycleAfter) +
+                        2;
+
+  std::deque<PendingScan> Queue;
+  std::vector<ServeWorker> Workers;
+  std::map<int, std::string> Clients; // fd -> partial-line input buffer
+  uint64_t NextId = 1;
+  size_t Accepted = 0, Rejected = 0, Completed = 0, Recycled = 0;
+  bool Draining = false, ShuttingDown = false;
+  // Re-fork backoff: a worker dying before it ever accepts work must not
+  // turn the daemon into a fork bomb. Reset by any completed job.
+  unsigned ConsecutiveDeaths = 0;
+  Timer LastDeath;
+
+  auto killAfterFor = [&](const PendingScan &Job) {
+    if (Options.KillAfterSeconds > 0)
+      return Options.KillAfterSeconds;
+    double D = Job.Req.DeadlineSeconds > 0 ? Job.Req.DeadlineSeconds
+                                           : Options.Scan.Deadline.WallSeconds;
+    return D > 0 ? 2 * D + 1.0 : 0.0;
+  };
+
+  auto synthLine = [&](const PendingScan &Job, scanner::ScanErrorKind Kind,
+                       const std::string &Detail) {
+    BatchOutcome Out;
+    Out.Package = Job.Req.Name;
+    Out.Status = BatchStatus::Failed;
+    Out.Result.Errors.push_back(
+        {scanner::ScanPhase::Driver, Kind, Detail, ""});
+    return BatchDriver::journalLine(Out);
+  };
+
+  auto finishScan = [&](const PendingScan &Job, const std::string &Line) {
+    if (Journal.is_open()) {
+      Journal << Line << '\n';
+      Journal.flush();
+    }
+    ++Completed;
+    // The line is a compact JSON object; splice it in as the result.
+    sendLine(Job.ClientFD, "{\"ok\":true,\"result\":" + Line + "}");
+  };
+
+  auto spawnAllowed = [&]() {
+    if (ConsecutiveDeaths == 0)
+      return true;
+    double Delay = std::min(
+        5.0, 0.1 * static_cast<double>(
+                       1u << std::min(ConsecutiveDeaths - 1, 6u)));
+    return LastDeath.elapsedSeconds() >= Delay;
+  };
+
+  auto spawnWorker = [&]() -> bool {
+    Subprocess P;
+    std::string Err;
+    bool OK = Subprocess::forkWorker(
+        [&](int FD) {
+          return serveWorkerMain(FD, Options.Scan, Options.RecycleAfter,
+                                 Options.RecycleRssMB);
+        },
+        P, &Err, Limits);
+    if (!OK) {
+      log("worker fork failed: " + Err);
+      ++ConsecutiveDeaths;
+      LastDeath = Timer();
+      return false;
+    }
+    ::fcntl(P.commFD(), F_SETFL, ::fcntl(P.commFD(), F_GETFL, 0) | O_NONBLOCK);
+    obs::counters::WorkerSpawned.add();
+    ServeWorker W;
+    W.Proc = std::move(P);
+    Workers.push_back(std::move(W));
+    return true;
+  };
+
+  auto assignJob = [&](ServeWorker &W) {
+    PendingScan Job = std::move(Queue.front());
+    Queue.pop_front();
+    WorkerRequest Req = Job.Req;
+    Req.Kind = WorkerRequest::Op::Scan;
+    Req.JobId = Job.Id;
+    if (!writeFrame(W.Proc.commFD(), Req.encode())) {
+      // Worker died between jobs; the request never started and goes back
+      // to the head of the line. Make the death certain for the reaper.
+      W.Proc.kill(SIGKILL);
+      Queue.push_front(std::move(Job));
+      return;
+    }
+    obs::counters::ServeInflight.add();
+    W.Busy = true;
+    W.KillSent = false;
+    W.JobStarted = Timer();
+    W.KillAfter = killAfterFor(Job);
+    W.Job = std::move(Job);
+  };
+
+  auto handleWorkerFrame = [&](ServeWorker &W, const std::string &Text) {
+    WorkerResponse Resp;
+    if (!WorkerResponse::decode(Text, Resp))
+      return; // Corrupt frame; the reap path attributes what follows.
+    if (Resp.Pong) {
+      W.PingSent = false;
+      W.IdleSince = Timer();
+      return;
+    }
+    if (!W.Busy || !W.Job || Resp.JobId != W.Job->Id)
+      return; // Stale or duplicate: first verdict wins.
+    ConsecutiveDeaths = 0;
+    W.Busy = false;
+    if (Resp.Recycle || W.KillSent)
+      W.Retiring = true;
+    PendingScan Job = std::move(*W.Job);
+    W.Job.reset();
+    W.IdleSince = Timer();
+    BatchOutcome Parsed;
+    if (!Resp.Line.empty() &&
+        BatchDriver::parseJournalLine(Resp.Line, Parsed))
+      finishScan(Job, Resp.Line);
+    else
+      finishScan(Job, synthLine(Job, scanner::ScanErrorKind::Crashed,
+                                "worker sent an unparseable result"));
+  };
+
+  auto reapWorker = [&](ServeWorker &W, const WaitStatus &WS) {
+    // A worker may flush its response and die before we read it: pump the
+    // frames first so a completed scan keeps its own verdict.
+    W.Reader.pump(W.Proc.commFD());
+    std::string Text;
+    while (W.Reader.next(Text))
+      handleWorkerFrame(W, Text);
+
+    if (WS.exitedWith(WorkerRecycleExit)) {
+      obs::counters::WorkerRecycled.add();
+      ++Recycled;
+    }
+    bool Planned =
+        WS.exitedWith(0) || WS.exitedWith(WorkerRecycleExit) || W.Retiring;
+    if (W.Busy && W.Job) {
+      // The job died with the worker: wait-status attribution, same kill
+      // ladder as the batch pool.
+      scanner::ScanErrorKind Kind = scanner::ScanErrorKind::Crashed;
+      std::string Detail;
+      if (WS.exitedWith(WorkerOomExit)) {
+        Kind = scanner::ScanErrorKind::KilledOom;
+        Detail = "worker allocation failed under memory cap (" + WS.str() +
+                 ")";
+        obs::counters::WorkerOomKilled.add();
+      } else if (W.KillSent) {
+        Kind = scanner::ScanErrorKind::KilledDeadline;
+        Detail = "supervisor killed worker after hard deadline (" +
+                 WS.str() + ")";
+        obs::counters::WorkerDeadlineKilled.add();
+      } else if (WS.signaled() && WS.Signal == SIGXCPU) {
+        Kind = scanner::ScanErrorKind::KilledDeadline;
+        Detail = "worker hit RLIMIT_CPU (" + WS.str() + ")";
+        obs::counters::WorkerDeadlineKilled.add();
+      } else if (WS.signaled() && WS.Signal == SIGKILL) {
+        Kind = scanner::ScanErrorKind::KilledOom;
+        Detail = "worker got an unexplained SIGKILL (kernel OOM killer?)";
+        obs::counters::WorkerOomKilled.add();
+      } else if (WS.signaled()) {
+        Detail = "worker died on " + WS.str();
+        obs::counters::WorkerCrashed.add();
+      } else {
+        Detail = "worker produced no result (" + WS.str() + ")";
+        obs::counters::WorkerCrashed.add();
+      }
+      PendingScan Job = std::move(*W.Job);
+      W.Job.reset();
+      W.Busy = false;
+      finishScan(Job, synthLine(Job, Kind, Detail));
+      log("worker " + std::to_string(W.Proc.pid()) + " died mid-job (" +
+          WS.str() + "), job " + Job.Req.Name + " failed");
+    } else if (!Planned) {
+      ++ConsecutiveDeaths;
+      LastDeath = Timer();
+      log("idle worker died (" + WS.str() + "), backoff re-fork");
+    }
+  };
+
+  auto closeClient = [&](int FD) {
+    // Scrub every reference before the fd number can be reused: queued
+    // and in-flight jobs for this client keep running, answer nobody.
+    for (PendingScan &P : Queue)
+      if (P.ClientFD == FD)
+        P.ClientFD = -1;
+    for (ServeWorker &W : Workers)
+      if (W.Job && W.Job->ClientFD == FD)
+        W.Job->ClientFD = -1;
+    ::close(FD);
+    Clients.erase(FD);
+  };
+
+  auto statusLine = [&]() {
+    size_t BusyCount = static_cast<size_t>(
+        std::count_if(Workers.begin(), Workers.end(),
+                      [](const ServeWorker &W) { return W.Busy; }));
+    json::Object O;
+    O["ok"] = json::Value(true);
+    O["workers"] = json::Value(static_cast<unsigned long>(Workers.size()));
+    O["idle"] =
+        json::Value(static_cast<unsigned long>(Workers.size() - BusyCount));
+    O["inflight"] = json::Value(static_cast<unsigned long>(BusyCount));
+    O["queued"] = json::Value(static_cast<unsigned long>(Queue.size()));
+    O["accepted"] = json::Value(static_cast<unsigned long>(Accepted));
+    O["rejected"] = json::Value(static_cast<unsigned long>(Rejected));
+    O["completed"] = json::Value(static_cast<unsigned long>(Completed));
+    O["recycled"] = json::Value(static_cast<unsigned long>(Recycled));
+    O["draining"] = json::Value(Draining);
+    return json::Value(std::move(O)).str();
+  };
+
+  auto handleLine = [&](int FD, const std::string &Line) {
+    json::Value V;
+    if (!json::parse(Line, V) || !V.isObject()) {
+      sendLine(FD, errorLine("bad-request", "not a JSON object"));
+      return;
+    }
+    const json::Object &O = V.asObject();
+    auto It = O.find("op");
+    std::string Op =
+        It != O.end() && It->second.isString() ? It->second.asString() : "";
+    if (Op == "status") {
+      sendLine(FD, statusLine());
+      return;
+    }
+    if (Op == "drain") {
+      Draining = true;
+      sendLine(FD, "{\"draining\":true,\"ok\":true}");
+      log("drain requested");
+      return;
+    }
+    if (Op == "shutdown") {
+      Draining = ShuttingDown = true;
+      sendLine(FD, "{\"ok\":true,\"shutdown\":true}");
+      log("shutdown requested");
+      return;
+    }
+    if (Op != "scan") {
+      sendLine(FD, errorLine("bad-request", "unknown op"));
+      return;
+    }
+    WorkerRequest Req;
+    if (!WorkerRequest::decode(Line, Req) || Req.Name.empty() ||
+        Req.Paths.empty()) {
+      sendLine(FD, errorLine("bad-request", "scan needs name and files"));
+      return;
+    }
+    if (Draining) {
+      obs::counters::ServeRejected.add();
+      ++Rejected;
+      sendLine(FD, errorLine("draining"));
+      return;
+    }
+    if (Queue.size() >= Options.QueueMax) {
+      obs::counters::ServeRejected.add();
+      ++Rejected;
+      sendLine(FD, errorLine("overloaded",
+                             std::to_string(Queue.size()) +
+                                 " requests already queued"));
+      return;
+    }
+    obs::counters::ServeAccepted.add();
+    ++Accepted;
+    PendingScan P;
+    P.Id = NextId++;
+    P.ClientFD = FD;
+    P.Req = std::move(Req);
+    Queue.push_back(std::move(P));
+  };
+
+  log("listening on " + Options.SocketPath + ", " +
+      std::to_string(Options.Jobs) + " workers");
+
+  while (true) {
+    if (ServeStopRequested && !ShuttingDown) {
+      Draining = ShuttingDown = true;
+      log("signal received, draining");
+    }
+
+    // Expire queued requests that outwaited their own deadline.
+    for (auto It = Queue.begin(); It != Queue.end();) {
+      if (It->Req.DeadlineSeconds > 0 &&
+          It->Waited.elapsedSeconds() > It->Req.DeadlineSeconds) {
+        obs::counters::ServeRejected.add();
+        ++Rejected;
+        sendLine(It->ClientFD,
+                 errorLine("deadline", "request expired in queue"));
+        It = Queue.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+    // Maintain the warm pool (shrinking to the remaining work once
+    // shutting down), under the re-fork backoff.
+    size_t BusyCount = static_cast<size_t>(
+        std::count_if(Workers.begin(), Workers.end(),
+                      [](const ServeWorker &W) { return W.Busy; }));
+    size_t Want = std::max<size_t>(1, Options.Jobs);
+    if (ShuttingDown)
+      Want = std::min(Want, Queue.size() + BusyCount);
+    while (Workers.size() < Want && spawnAllowed()) {
+      if (!spawnWorker())
+        break;
+    }
+
+    for (ServeWorker &W : Workers) {
+      if (Queue.empty())
+        break;
+      if (!W.Busy && !W.Retiring && !W.Reader.dead())
+        assignJob(W);
+    }
+    BusyCount = static_cast<size_t>(
+        std::count_if(Workers.begin(), Workers.end(),
+                      [](const ServeWorker &W) { return W.Busy; }));
+
+    if (ShuttingDown && Queue.empty() && BusyCount == 0)
+      break;
+
+    // Sleep until something is readable (or 50ms, for the timers).
+    std::vector<pollfd> Fds;
+    Fds.push_back({Listen, POLLIN, 0});
+    for (const auto &[FD, Buf] : Clients)
+      Fds.push_back({FD, POLLIN, 0});
+    for (const ServeWorker &W : Workers)
+      Fds.push_back({W.Proc.commFD(), POLLIN, 0});
+    int PR = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()), 50);
+    if (PR < 0 && errno != EINTR && errno != EAGAIN)
+      break; // poll() itself failing is unrecoverable.
+
+    // Accept new connections (kept open across requests; reads below are
+    // non-blocking).
+    for (;;) {
+      int C = ::accept(Listen, nullptr, nullptr);
+      if (C < 0)
+        break;
+      Clients.emplace(C, std::string());
+    }
+
+    // Drain client input; a complete line is one request.
+    std::vector<int> ToClose;
+    for (auto &[FD, Buf] : Clients) {
+      for (;;) {
+        char Tmp[4096];
+        ssize_t N = ::recv(FD, Tmp, sizeof(Tmp), MSG_DONTWAIT);
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+          break;
+        if (N <= 0) {
+          ToClose.push_back(FD);
+          break;
+        }
+        Buf.append(Tmp, static_cast<size_t>(N));
+        if (Buf.size() > (1u << 20)) { // A request line is small; cap it.
+          ToClose.push_back(FD);
+          break;
+        }
+      }
+      size_t Pos;
+      while ((Pos = Buf.find('\n')) != std::string::npos) {
+        std::string Line = Buf.substr(0, Pos);
+        Buf.erase(0, Pos + 1);
+        if (!Line.empty())
+          handleLine(FD, Line);
+      }
+    }
+    for (int FD : ToClose)
+      closeClient(FD);
+
+    // Workers: frames, deaths, the kill ladder, idle heartbeats.
+    for (size_t I = 0; I < Workers.size();) {
+      ServeWorker &W = Workers[I];
+      if (!W.Reader.dead()) {
+        W.Reader.pump(W.Proc.commFD());
+        std::string Text;
+        while (W.Reader.next(Text))
+          handleWorkerFrame(W, Text);
+      }
+      WaitStatus WS;
+      if (W.Proc.poll(WS)) {
+        ServeWorker Dead = std::move(W);
+        Workers.erase(Workers.begin() + static_cast<long>(I));
+        reapWorker(Dead, WS);
+        continue;
+      }
+      if (W.Busy && !W.KillSent && W.KillAfter > 0 &&
+          W.JobStarted.elapsedSeconds() > W.KillAfter) {
+        W.Proc.kill(SIGKILL);
+        W.KillSent = true;
+      }
+      if (!W.Busy && !W.Retiring && Options.HeartbeatSeconds > 0) {
+        if (W.PingSent &&
+            W.PingStarted.elapsedSeconds() > Options.HeartbeatSeconds) {
+          // Wedged while idle: no pong within a whole heartbeat period.
+          W.Proc.kill(SIGKILL);
+        } else if (!W.PingSent &&
+                   W.IdleSince.elapsedSeconds() > Options.HeartbeatSeconds) {
+          WorkerRequest Ping;
+          Ping.Kind = WorkerRequest::Op::Ping;
+          Ping.JobId = NextId++;
+          if (writeFrame(W.Proc.commFD(), Ping.encode())) {
+            W.PingSent = true;
+            W.PingStarted = Timer();
+          } else {
+            W.Proc.kill(SIGKILL);
+          }
+        }
+      }
+      ++I;
+    }
+  }
+
+  // Drain the workers: ask politely, then reap (counting a recycle that
+  // raced the shutdown).
+  for (ServeWorker &W : Workers) {
+    WaitStatus WS;
+    if (W.Proc.poll(WS))
+      continue;
+    WorkerRequest Req;
+    Req.Kind = WorkerRequest::Op::Exit;
+    writeFrame(W.Proc.commFD(), Req.encode());
+  }
+  for (ServeWorker &W : Workers)
+    reapWorker(W, W.Proc.wait());
+  Workers.clear();
+
+  for (auto &[FD, Buf] : Clients)
+    ::close(FD);
+  Clients.clear();
+  ::close(Listen);
+  ::unlink(Options.SocketPath.c_str());
+  if (Journal.is_open())
+    Journal.flush();
+  obs::setCountersEnabled(PrevCounters);
+  log("drained, exiting (" + std::to_string(Completed) + " scans, " +
+      std::to_string(Rejected) + " rejected)");
+  return 0;
+}
+
+bool ScanService::request(const std::string &SocketPath,
+                          const std::string &RequestLine,
+                          std::string &Response, std::string *Error,
+                          double TimeoutSeconds) {
+  sockaddr_un Addr{};
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "bad socket path";
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+
+  Timer T;
+  int FD = -1;
+  // Retry the connect while the daemon is still coming up: the caller's
+  // timeout covers startup, not just the scan itself.
+  for (;;) {
+    FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (FD < 0) {
+      if (Error)
+        *Error = std::string("socket failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      break;
+    ::close(FD);
+    FD = -1;
+    if (T.elapsedSeconds() > TimeoutSeconds) {
+      if (Error)
+        *Error = "connect timed out";
+      return false;
+    }
+    ::usleep(50000);
+  }
+
+  std::string Out = RequestLine;
+  Out.push_back('\n');
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(FD, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      ::close(FD);
+      if (Error)
+        *Error = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  Response.clear();
+  char Buf[4096];
+  while (T.elapsedSeconds() <= TimeoutSeconds) {
+    pollfd P{FD, POLLIN, 0};
+    int R = ::poll(&P, 1, 100);
+    if (R < 0 && errno != EINTR)
+      break;
+    if (R <= 0)
+      continue;
+    ssize_t N = ::recv(FD, Buf, sizeof(Buf), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break; // Daemon closed the connection without a full line.
+    Response.append(Buf, static_cast<size_t>(N));
+    size_t Pos = Response.find('\n');
+    if (Pos != std::string::npos) {
+      Response.resize(Pos);
+      ::close(FD);
+      return true;
+    }
+  }
+  ::close(FD);
+  if (Error)
+    *Error = "no response before timeout";
+  return false;
+}

@@ -1,0 +1,246 @@
+//===- driver/WorkerProtocol.cpp - Supervisor<->worker framing -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/WorkerProtocol.h"
+
+#include "support/JSON.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace gjs;
+using namespace gjs::driver;
+
+namespace {
+
+/// EINTR-retried full write. send(MSG_NOSIGNAL) keeps a dead peer from
+/// raising SIGPIPE; falls back to write() for non-socket fds (tests run
+/// frames over plain pipes too), where the caller is expected to hold
+/// SIGPIPE ignored.
+bool fullWrite(int FD, const char *Data, size_t Len, std::string *Error) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(FD, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(FD, Data + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("write failed: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// EINTR-retried full read; false on EOF before \p Len bytes.
+bool fullRead(int FD, char *Data, size_t Len, std::string *Error) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(FD, Data + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("read failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      if (Error)
+        *Error = "peer closed";
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void putU32LE(char *Out, uint32_t V) {
+  Out[0] = static_cast<char>(V & 0xff);
+  Out[1] = static_cast<char>((V >> 8) & 0xff);
+  Out[2] = static_cast<char>((V >> 16) & 0xff);
+  Out[3] = static_cast<char>((V >> 24) & 0xff);
+}
+
+uint32_t getU32LE(const char *In) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(In[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[3])) << 24;
+}
+
+} // namespace
+
+bool driver::writeFrame(int FD, const std::string &Payload,
+                        std::string *Error) {
+  if (Payload.size() > MaxFrameBytes) {
+    if (Error)
+      *Error = "frame too large";
+    return false;
+  }
+  char Hdr[4];
+  putU32LE(Hdr, static_cast<uint32_t>(Payload.size()));
+  return fullWrite(FD, Hdr, sizeof(Hdr), Error) &&
+         fullWrite(FD, Payload.data(), Payload.size(), Error);
+}
+
+bool driver::readFrame(int FD, std::string &Out, std::string *Error) {
+  char Hdr[4];
+  if (!fullRead(FD, Hdr, sizeof(Hdr), Error))
+    return false;
+  uint32_t Len = getU32LE(Hdr);
+  if (Len > MaxFrameBytes) {
+    if (Error)
+      *Error = "frame too large";
+    return false;
+  }
+  Out.assign(Len, '\0');
+  return Len == 0 || fullRead(FD, Out.data(), Len, Error);
+}
+
+bool FrameReader::pump(int FD) {
+  if (Dead)
+    return false;
+  char Buf4k[4096];
+  for (;;) {
+    ssize_t N = ::read(FD, Buf4k, sizeof(Buf4k));
+    if (N > 0) {
+      Buf.append(Buf4k, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true; // Drained everything currently available.
+    Dead = true; // EOF or hard error.
+    return false;
+  }
+}
+
+bool FrameReader::next(std::string &Out) {
+  if (Buf.size() < 4)
+    return false;
+  uint32_t Len = getU32LE(Buf.data());
+  if (Len > MaxFrameBytes) {
+    Dead = true; // Corrupt stream: nothing after this is trustworthy.
+    return false;
+  }
+  if (Buf.size() < 4 + static_cast<size_t>(Len))
+    return false;
+  Out = Buf.substr(4, Len);
+  Buf.erase(0, 4 + static_cast<size_t>(Len));
+  return true;
+}
+
+std::string WorkerRequest::encode() const {
+  json::Object O;
+  switch (Kind) {
+  case Op::Scan:
+    O["op"] = json::Value("scan");
+    break;
+  case Op::Ping:
+    O["op"] = json::Value("ping");
+    break;
+  case Op::Exit:
+    O["op"] = json::Value("exit");
+    break;
+  }
+  O["job"] = json::Value(static_cast<unsigned long>(JobId));
+  if (HasPlanIndex)
+    O["plan"] = json::Value(static_cast<unsigned long>(PlanIndex));
+  if (IsRetry)
+    O["retry"] = json::Value(true);
+  if (!Name.empty())
+    O["name"] = json::Value(Name);
+  if (!Paths.empty()) {
+    json::Array A;
+    for (const std::string &P : Paths)
+      A.push_back(json::Value(P));
+    O["files"] = json::Value(std::move(A));
+  }
+  if (DeadlineSeconds > 0)
+    O["deadline_s"] = json::Value(DeadlineSeconds);
+  if (!FaultSpec.empty())
+    O["fault"] = json::Value(FaultSpec);
+  return json::Value(std::move(O)).str();
+}
+
+bool WorkerRequest::decode(const std::string &Text, WorkerRequest &Out) {
+  json::Value V;
+  if (!json::parse(Text, V) || !V.isObject())
+    return false;
+  const json::Object &O = V.asObject();
+  Out = WorkerRequest();
+
+  auto It = O.find("op");
+  if (It == O.end() || !It->second.isString())
+    return false;
+  const std::string &Op = It->second.asString();
+  if (Op == "scan")
+    Out.Kind = Op::Scan;
+  else if (Op == "ping")
+    Out.Kind = Op::Ping;
+  else if (Op == "exit")
+    Out.Kind = Op::Exit;
+  else
+    return false;
+
+  if ((It = O.find("job")) != O.end() && It->second.isNumber())
+    Out.JobId = static_cast<uint64_t>(It->second.asNumber());
+  if ((It = O.find("plan")) != O.end() && It->second.isNumber()) {
+    Out.HasPlanIndex = true;
+    Out.PlanIndex = static_cast<size_t>(It->second.asNumber());
+  }
+  if ((It = O.find("retry")) != O.end() && It->second.isBool())
+    Out.IsRetry = It->second.asBool();
+  if ((It = O.find("name")) != O.end() && It->second.isString())
+    Out.Name = It->second.asString();
+  if ((It = O.find("files")) != O.end() && It->second.isArray())
+    for (const json::Value &P : It->second.asArray())
+      if (P.isString())
+        Out.Paths.push_back(P.asString());
+  if ((It = O.find("deadline_s")) != O.end() && It->second.isNumber())
+    Out.DeadlineSeconds = It->second.asNumber();
+  if ((It = O.find("fault")) != O.end() && It->second.isString())
+    Out.FaultSpec = It->second.asString();
+  return true;
+}
+
+std::string WorkerResponse::encode() const {
+  json::Object O;
+  O["job"] = json::Value(static_cast<unsigned long>(JobId));
+  if (!Line.empty())
+    O["line"] = json::Value(Line);
+  if (Pong)
+    O["pong"] = json::Value(true);
+  if (Recycle)
+    O["recycle"] = json::Value(true);
+  return json::Value(std::move(O)).str();
+}
+
+bool WorkerResponse::decode(const std::string &Text, WorkerResponse &Out) {
+  json::Value V;
+  if (!json::parse(Text, V) || !V.isObject())
+    return false;
+  const json::Object &O = V.asObject();
+  Out = WorkerResponse();
+  auto It = O.find("job");
+  if (It == O.end() || !It->second.isNumber())
+    return false;
+  Out.JobId = static_cast<uint64_t>(It->second.asNumber());
+  if ((It = O.find("line")) != O.end() && It->second.isString())
+    Out.Line = It->second.asString();
+  if ((It = O.find("pong")) != O.end() && It->second.isBool())
+    Out.Pong = It->second.asBool();
+  if ((It = O.find("recycle")) != O.end() && It->second.isBool())
+    Out.Recycle = It->second.asBool();
+  return true;
+}

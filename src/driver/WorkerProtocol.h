@@ -1,0 +1,132 @@
+//===- driver/WorkerProtocol.h - Supervisor<->worker framing -----*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between a supervisor and its persistent workers: JSON
+/// request/response messages in length-prefixed frames over a socketpair.
+///
+/// Fork-per-package workers (PR 5) needed no protocol — the package rode in
+/// on the fork()ed memory image and the verdict rode out in a temp file plus
+/// an exit code. A *persistent* worker drains many jobs over its lifetime,
+/// so each job needs an explicit request (which package, retry or not,
+/// per-request deadline) and an explicit response (the journal line, plus
+/// whether the worker is about to recycle itself). The same messages serve
+/// two supervisors:
+///
+///  - driver::ProcessPool in persistent mode, where a request names an
+///    index into the in-memory work plan the worker inherited at fork; and
+///  - driver::ScanService (`graphjs serve`), where a request carries the
+///    package spec itself (name + file paths) because jobs arrive from the
+///    network after the worker was forked.
+///
+/// Framing is a 4-byte little-endian length prefix followed by that many
+/// payload bytes. All I/O here is EINTR-retried and SIGPIPE-free (writes
+/// use MSG_NOSIGNAL): a signal aimed at the supervisor mid-syscall must
+/// never corrupt a frame or misattribute a worker verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_DRIVER_WORKERPROTOCOL_H
+#define GJS_DRIVER_WORKERPROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gjs {
+namespace driver {
+
+/// Exit code a persistent worker uses for a *planned* death: it finished
+/// its recycle quota (or tripped the memory watermark), answered its last
+/// job, and exited so the supervisor re-forks a fresh image. Distinct from
+/// crash codes and from WorkerOomExit (86).
+constexpr int WorkerRecycleExit = 88;
+
+/// Frames larger than this are treated as protocol corruption (a journal
+/// line is a few KB; nothing legitimate approaches this).
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Writes one length-prefixed frame. EINTR-retried full write; SIGPIPE is
+/// suppressed (a dead peer surfaces as `false`, never a signal).
+bool writeFrame(int FD, const std::string &Payload,
+                std::string *Error = nullptr);
+
+/// Blocking read of one full frame (the worker side of the pipe). Returns
+/// false on EOF (supervisor gone) or a malformed length prefix.
+bool readFrame(int FD, std::string &Out, std::string *Error = nullptr);
+
+/// Supervisor-side incremental frame reassembly over a non-blocking fd.
+/// pump() slurps whatever bytes are available; next() pops complete frames.
+/// A closed or corrupt peer parks the reader in dead() — the supervisor
+/// then falls back to the wait-status verdict for anything in flight.
+class FrameReader {
+public:
+  /// Reads available bytes (non-blocking). Returns false once the peer is
+  /// dead (EOF, error, or an oversized frame); buffered complete frames
+  /// remain poppable via next().
+  bool pump(int FD);
+
+  /// Pops the next complete frame into \p Out. False when no full frame is
+  /// buffered yet.
+  bool next(std::string &Out);
+
+  bool dead() const { return Dead; }
+
+private:
+  std::string Buf;
+  bool Dead = false;
+};
+
+/// One job request, supervisor -> worker.
+struct WorkerRequest {
+  enum class Op {
+    Scan, ///< Scan one package and respond with its journal line.
+    Ping, ///< Liveness probe; the worker answers with Pong.
+    Exit, ///< Drain request: the worker exits 0 without answering.
+  };
+  Op Kind = Op::Scan;
+  /// Correlation id echoed back in the response.
+  uint64_t JobId = 0;
+  /// Pool mode: index into the work plan the worker inherited at fork.
+  /// Unset (HasPlanIndex=false) in serve mode.
+  bool HasPlanIndex = false;
+  size_t PlanIndex = 0;
+  /// Retry of a crashed/killed job: the worker drops the injected fault
+  /// and halves the wall-clock budget (the transient-failure model).
+  bool IsRetry = false;
+  /// Serve mode: the package spec itself.
+  std::string Name;
+  std::vector<std::string> Paths;
+  /// Per-request wall-clock budget override in seconds (0 = use the
+  /// worker's configured default).
+  double DeadlineSeconds = 0;
+  /// Deterministic fault injection ("<phase>:<action>[:n]", tests only).
+  std::string FaultSpec;
+
+  std::string encode() const;
+  static bool decode(const std::string &Text, WorkerRequest &Out);
+};
+
+/// One job response, worker -> supervisor.
+struct WorkerResponse {
+  uint64_t JobId = 0;
+  /// The completed package's JSONL journal line (empty for Pong).
+  std::string Line;
+  /// Answer to Op::Ping.
+  bool Pong = false;
+  /// The worker recycles (exits WorkerRecycleExit) right after this
+  /// response: the supervisor must not assign it further work.
+  bool Recycle = false;
+
+  std::string encode() const;
+  static bool decode(const std::string &Text, WorkerResponse &Out);
+};
+
+} // namespace driver
+} // namespace gjs
+
+#endif // GJS_DRIVER_WORKERPROTOCOL_H

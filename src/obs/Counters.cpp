@@ -90,6 +90,10 @@ Counter WorkerCrashed("worker.crashed");
 Counter WorkerOomKilled("worker.oom_killed");
 Counter WorkerDeadlineKilled("worker.deadline_killed");
 Counter WorkerRetried("worker.retried");
+Counter WorkerRecycled("worker.recycled");
+Counter ServeAccepted("serve.accepted");
+Counter ServeRejected("serve.rejected");
+Counter ServeInflight("serve.inflight");
 } // namespace counters
 } // namespace obs
 } // namespace gjs

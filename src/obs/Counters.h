@@ -116,6 +116,12 @@ extern Counter WorkerCrashed;        ///< worker.crashed — signal/bad exit.
 extern Counter WorkerOomKilled;      ///< worker.oom_killed — memory deaths.
 extern Counter WorkerDeadlineKilled; ///< worker.deadline_killed — kill ladder.
 extern Counter WorkerRetried;        ///< worker.retried — crashed-retry runs.
+extern Counter WorkerRecycled;       ///< worker.recycled — planned re-forks.
+extern Counter ServeAccepted;        ///< serve.accepted — requests admitted.
+extern Counter ServeRejected;        ///< serve.rejected — overloaded/expired.
+extern Counter ServeInflight;        ///< serve.inflight — jobs dispatched to
+                                     ///< a worker (add-only; "how much work
+                                     ///< entered a worker", not a gauge).
 } // namespace counters
 
 } // namespace obs

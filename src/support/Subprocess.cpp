@@ -10,9 +10,11 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <new>
 
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -88,8 +90,31 @@ std::string WaitStatus::str() const {
   return "unknown";
 }
 
+size_t gjs::currentRssMB() {
+  std::ifstream In("/proc/self/statm");
+  size_t SizePages = 0, RssPages = 0;
+  if (!(In >> SizePages >> RssPages))
+    return 0;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    return 0;
+  return RssPages * static_cast<size_t>(Page) / (1024 * 1024);
+}
+
 void gjs::installOomExitHandler() {
   std::set_new_handler([] { _exit(WorkerOomExit); });
+}
+
+ScopedSigpipeIgnore::ScopedSigpipeIgnore() : Old(new struct sigaction()) {
+  struct sigaction SA {};
+  SA.sa_handler = SIG_IGN;
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGPIPE, &SA, Old);
+}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore() {
+  ::sigaction(SIGPIPE, Old, nullptr);
+  delete Old;
 }
 
 namespace {
@@ -222,6 +247,39 @@ bool Subprocess::forkChild(const std::function<int()> &Fn, Subprocess &Out,
   return true;
 }
 
+bool Subprocess::forkWorker(const std::function<int(int)> &Fn,
+                            Subprocess &Out, std::string *Error,
+                            const SubprocessLimits &Limits) {
+  int SV[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, SV) != 0) {
+    if (Error)
+      *Error = std::string("socketpair failed: ") + std::strerror(errno);
+    return false;
+  }
+  pid_t PID = ::fork();
+  if (PID < 0) {
+    ::close(SV[0]);
+    ::close(SV[1]);
+    return forkFailed(Error);
+  }
+  if (PID == 0) {
+    ::close(SV[0]);
+    setupChild(Limits);
+    int RC = 125;
+    try {
+      RC = Fn(SV[1]);
+    } catch (...) {
+      RC = 125; // An exception escaping the worker body is a worker bug.
+    }
+    _exit(RC);
+  }
+  ::close(SV[1]);
+  Out = Subprocess();
+  Out.PID = PID;
+  Out.OutFD = SV[0];
+  return true;
+}
+
 bool Subprocess::poll(WaitStatus &Out) {
   if (Status.K != WaitStatus::Kind::None) {
     Out = Status;
@@ -230,7 +288,12 @@ bool Subprocess::poll(WaitStatus &Out) {
   if (PID <= 0)
     return false;
   int Raw = 0;
-  pid_t R = ::waitpid(PID, &Raw, WNOHANG);
+  // EINTR-retried even under WNOHANG: a signal landing mid-syscall must
+  // not make the supervisor misread "still running" out of an error
+  // return and later misattribute the worker's verdict.
+  pid_t R;
+  while ((R = ::waitpid(PID, &Raw, WNOHANG)) < 0 && errno == EINTR) {
+  }
   if (R == PID) {
     Status = WaitStatus::decode(Raw);
     Out = Status;

@@ -42,6 +42,10 @@
 #include <string>
 #include <vector>
 
+// The POSIX sigaction record, kept out of this header (it would drag in
+// <signal.h>); ScopedSigpipeIgnore stores one behind a pointer.
+struct sigaction;
+
 namespace gjs {
 
 /// Decoded waitpid() status.
@@ -75,11 +79,33 @@ const char *signalName(int Signal);
 /// defaults.
 constexpr int WorkerOomExit = 86;
 
+/// Resident-set size of the calling process in MiB, from /proc/self/statm
+/// (0 where that interface does not exist — callers treating it as a
+/// watermark then simply never trip, which degrades features, not
+/// correctness). Workers use this for memory-based self-recycling.
+size_t currentRssMB();
+
 /// Installs a std::new_handler that _exit()s with WorkerOomExit, turning
 /// an allocation failure (e.g. under RLIMIT_AS) into a deterministic,
 /// attributable worker death instead of an exception unwind through
 /// arbitrary pipeline state. Call in the child, never the supervisor.
 void installOomExitHandler();
+
+/// Ignores SIGPIPE for the lifetime of the guard, restoring the prior
+/// disposition on destruction. A supervisor holding long-lived pipes to
+/// workers must not die because a worker crashed mid-read: with SIGPIPE
+/// ignored, a write to the dead worker fails with EPIPE (an error the
+/// protocol layer attributes correctly) instead of killing the supervisor.
+class ScopedSigpipeIgnore {
+public:
+  ScopedSigpipeIgnore();
+  ~ScopedSigpipeIgnore();
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore &) = delete;
+  ScopedSigpipeIgnore &operator=(const ScopedSigpipeIgnore &) = delete;
+
+private:
+  struct sigaction *Old;
+};
 
 /// Resource caps applied in the child between fork and exec/fn.
 struct SubprocessLimits {
@@ -118,6 +144,14 @@ public:
                         std::string *Error = nullptr,
                         const SubprocessLimits &Limits = {});
 
+  /// fork without exec, connected by a socketpair: the child runs
+  /// \p Fn(childFD) with one end; the parent keeps the other, readable and
+  /// writable via commFD() (closed by the destructor). This is how a
+  /// persistent worker receives its job stream (driver/WorkerProtocol.h).
+  static bool forkWorker(const std::function<int(int)> &Fn, Subprocess &Out,
+                         std::string *Error = nullptr,
+                         const SubprocessLimits &Limits = {});
+
   bool valid() const { return PID > 0; }
   int pid() const { return PID; }
 
@@ -137,6 +171,10 @@ public:
 
   /// The captured-stdout read end, -1 without capture.
   int stdoutFD() const { return OutFD; }
+
+  /// The supervisor end of a forkWorker() socketpair, -1 otherwise.
+  /// (Shares storage with the capture pipe: a child has one comm channel.)
+  int commFD() const { return OutFD; }
 
   /// The final status (Kind::None until poll()/wait() reaped the child).
   const WaitStatus &status() const { return Status; }

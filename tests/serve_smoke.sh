@@ -1,0 +1,26 @@
+#!/bin/sh
+# Smoke test for `graphjs serve`: daemon up, one scan through the --client
+# one-shot path, a status check, then a graceful shutdown. Everything runs
+# through the real CLI and the real Unix socket.
+set -e
+
+BIN="$1"
+EXAMPLE="$2"
+SOCK="/tmp/gjs_serve_smoke_$$.sock"
+
+"$BIN" serve --socket "$SOCK" --jobs 1 --quiet &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+RESP=$("$BIN" serve --socket "$SOCK" --client \
+  "{\"op\":\"scan\",\"name\":\"smoke\",\"files\":[\"$EXAMPLE\"]}")
+echo "$RESP" | grep -q '"ok":true'
+echo "$RESP" | grep -q '"package":"smoke"'
+
+"$BIN" serve --socket "$SOCK" --client '{"op":"status"}' \
+  | grep -q '"completed":1'
+
+"$BIN" serve --socket "$SOCK" --client '{"op":"shutdown"}' \
+  | grep -q '"ok":true'
+
+wait "$PID"

@@ -468,6 +468,160 @@ TEST(ProcessPoolTest, JournalMergeIsInputOrderAndResumable) {
 }
 
 //===----------------------------------------------------------------------===//
+// ProcessPool persistent mode
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentPoolTest, HealthyBatchMatchesForkPerPackage) {
+  std::vector<driver::BatchInput> Inputs = healthyInputs(6);
+
+  driver::PoolOptions Fork;
+  Fork.Jobs = 3;
+  driver::BatchSummary PerFork = driver::ProcessPool(Fork).run(Inputs);
+
+  driver::PoolOptions Pers = Fork;
+  Pers.Persistent = true;
+  driver::BatchSummary P = driver::ProcessPool(Pers).run(Inputs);
+
+  EXPECT_EQ(P.Scanned, 6u);
+  EXPECT_EQ(P.Ok, PerFork.Ok);
+  EXPECT_EQ(P.Failed, 0u);
+  EXPECT_EQ(P.TotalReports, PerFork.TotalReports);
+  ASSERT_EQ(P.Outcomes.size(), PerFork.Outcomes.size());
+  for (size_t I = 0; I < P.Outcomes.size(); ++I) {
+    EXPECT_EQ(P.Outcomes[I].Package, Inputs[I].Name);
+    EXPECT_EQ(P.Outcomes[I].Status, PerFork.Outcomes[I].Status);
+    const auto &PR = P.Outcomes[I].Result.Reports;
+    const auto &FR = PerFork.Outcomes[I].Result.Reports;
+    ASSERT_EQ(PR.size(), FR.size()) << Inputs[I].Name;
+    for (size_t J = 0; J < PR.size(); ++J) {
+      EXPECT_EQ(PR[J].Type, FR[J].Type);
+      EXPECT_EQ(PR[J].SinkLoc.Line, FR[J].SinkLoc.Line);
+      EXPECT_EQ(PR[J].SinkName, FR[J].SinkName);
+    }
+  }
+}
+
+TEST(PersistentPoolTest, CrashMidQueueFailsOnlyItsPackage) {
+  // One worker draining a six-package queue; the crash on package 2 must
+  // fail exactly that package, and the re-forked replacement must drain
+  // everything after it.
+  driver::PoolOptions PO;
+  PO.Jobs = 1;
+  PO.Persistent = true;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Crash, 2));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(6));
+
+  EXPECT_EQ(S.Scanned, 6u);
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.Ok, 5u);
+  EXPECT_EQ(S.Crashed, 1u);
+  ASSERT_EQ(S.Outcomes.size(), 6u);
+  EXPECT_EQ(S.Outcomes[2].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[2]), ScanErrorKind::Crashed);
+  for (size_t I : {0u, 1u, 3u, 4u, 5u})
+    EXPECT_EQ(S.Outcomes[I].Status, driver::BatchStatus::Ok) << I;
+}
+
+TEST(PersistentPoolTest, RecycleQuotaRetiresAndReplacesWorkers) {
+  driver::PoolOptions PO;
+  PO.Jobs = 1;
+  PO.Persistent = true;
+  PO.RecycleAfter = 2;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(6));
+
+  EXPECT_EQ(S.Scanned, 6u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_EQ(S.Ok, 6u);
+  // 6 packages / quota 2 = 3 planned retirements, none of them failures.
+  EXPECT_EQ(S.Recycled, 3u);
+  EXPECT_EQ(S.Crashed, 0u);
+}
+
+TEST(PersistentPoolTest, HangIsKilledAndReplacementDrainsQueue) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Persistent = true;
+  PO.KillAfterSeconds = 1.0;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Hang, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(4));
+
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.DeadlineKilled, 1u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[0]), ScanErrorKind::KilledDeadline);
+  EXPECT_EQ(S.Ok, 3u);
+}
+
+TEST(PersistentPoolTest, OomIsContainedAndAttributed) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Persistent = true;
+  PO.MemLimitMB = 128;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Oom, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.OomKilled, 1u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Failed);
+  EXPECT_EQ(failureKind(S.Outcomes[0]), ScanErrorKind::KilledOom);
+  EXPECT_EQ(S.Ok, 2u);
+}
+
+TEST(PersistentPoolTest, RetryCrashedRecoversTransientFault) {
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Persistent = true;
+  PO.RetryCrashed = true;
+  PO.Faults.push_back(makeFault(ScanPhase::Build, FaultPlan::Action::Crash, 0));
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+
+  EXPECT_EQ(S.Retried, 1u);
+  EXPECT_EQ(S.Crashed, 1u);
+  EXPECT_EQ(S.Failed, 0u);
+  EXPECT_EQ(S.Ok, 3u);
+  EXPECT_EQ(S.Outcomes[0].Status, driver::BatchStatus::Ok);
+}
+
+TEST(PersistentPoolTest, JournalMergeIsInputOrderAndResumable) {
+  std::string Journal = testing::TempDir() + "persistent_resume_" +
+                        std::to_string(::getpid()) + ".jsonl";
+  std::remove(Journal.c_str());
+  std::vector<driver::BatchInput> Inputs = healthyInputs(6);
+
+  driver::PoolOptions PO;
+  PO.Jobs = 3;
+  PO.Persistent = true;
+  PO.Batch.JournalPath = Journal;
+  PO.Batch.MaxPackages = 3;
+  driver::BatchSummary First = driver::ProcessPool(PO).run(Inputs);
+  EXPECT_EQ(First.Scanned, 3u);
+
+  std::vector<std::string> Lines = readLines(Journal);
+  ASSERT_EQ(Lines.size(), 3u);
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Lines[I], O));
+    EXPECT_EQ(O.Package, Inputs[I].Name); // Input order, not finish order.
+  }
+
+  PO.Batch.MaxPackages = 0;
+  PO.Batch.Resume = true;
+  driver::BatchSummary Second = driver::ProcessPool(PO).run(Inputs);
+  EXPECT_EQ(Second.SkippedResumed, 3u);
+  EXPECT_EQ(Second.Scanned, 3u);
+
+  std::set<std::string> Seen;
+  for (const std::string &Line : readLines(Journal)) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    EXPECT_TRUE(Seen.insert(O.Package).second)
+        << O.Package << " journaled twice";
+  }
+  EXPECT_EQ(Seen.size(), 6u);
+  std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
 // CLI round trips
 //===----------------------------------------------------------------------===//
 
@@ -574,6 +728,111 @@ TEST(ProcessPoolCLITest, PoolOnlyFlagsRequireJobs) {
   EXPECT_NE(runCLI(Bin + " batch --quiet --retry-crashed " + Dir +
                    " > /dev/null 2>&1"),
             0);
+  // --persistent is a pool mode; recycling is a persistent-worker policy.
+  EXPECT_NE(runCLI(Bin + " batch --quiet --persistent " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  EXPECT_NE(runCLI(Bin + " batch --quiet --jobs 2 --recycle-after 1 " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  EXPECT_NE(runCLI(Bin + " batch --quiet --jobs 2 --recycle-mem-mb 64 " +
+                   Dir + " > /dev/null 2>&1"),
+            0);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ProcessPoolCLITest, PersistentContainsCrashAndMatchesReports) {
+  std::string Dir = writeCorpus(6, 0);
+  std::string J1 = Dir + "/j1.jsonl";
+  std::string JP = Dir + "/jp.jsonl";
+  std::string Bin = GRAPHJS_BIN;
+
+  ASSERT_EQ(runCLI(Bin + " batch --quiet --journal " + J1 + " " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+  int RC = runCLI(Bin + " batch --quiet --jobs 2 --persistent"
+                  " --recycle-after 2 --journal " + JP +
+                  " --inject-fault build:crash:1 " + Dir +
+                  " > /dev/null 2>&1");
+  EXPECT_NE(RC, 0); // The crashed package -> nonzero exit.
+
+  std::vector<std::string> Lines = readLines(JP);
+  ASSERT_EQ(Lines.size(), 6u);
+  std::set<std::string> FailedPkgs;
+  for (const std::string &Line : Lines) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    if (O.Status == driver::BatchStatus::Failed) {
+      FailedPkgs.insert(O.Package);
+      EXPECT_EQ(failureKind(O), ScanErrorKind::Crashed);
+    }
+  }
+  EXPECT_EQ(FailedPkgs, std::set<std::string>{"pkg001.js"});
+
+  // Healthy-package report sets identical between in-process and
+  // persistent-pool scans (detection neutrality across execution modes).
+  std::map<std::string, std::string> R1 = reportsByPackage(J1);
+  std::map<std::string, std::string> RP = reportsByPackage(JP);
+  for (const auto &[Pkg, Reports] : RP)
+    if (!FailedPkgs.count(Pkg)) {
+      ASSERT_EQ(R1.count(Pkg), 1u) << Pkg;
+      EXPECT_EQ(Reports, R1[Pkg]) << Pkg;
+    }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ProcessPoolCLITest, PersistentResumeAfterSupervisorSigkill) {
+  // The persistent-mode variant of the exactly-once guarantee: SIGKILL
+  // the supervisor mid-run (workers see EOF on their job pipe and exit),
+  // then --resume must rescan only unjournaled packages.
+  std::string Dir = writeCorpus(40, 401);
+  std::string Journal = Dir + "/kill.jsonl";
+  std::string Bin = GRAPHJS_BIN;
+
+  Subprocess P;
+  std::string Error;
+  ASSERT_TRUE(Subprocess::spawn(
+      {"/bin/sh", "-c",
+       "exec " + Bin + " batch --quiet --jobs 2 --persistent --journal " +
+           Journal + " " + Dir + " > /dev/null 2>&1"},
+      P, &Error))
+      << Error;
+
+  WaitStatus WS;
+  bool SelfFinished = false;
+  for (int Spin = 0; Spin < 2000; ++Spin) {
+    if (P.poll(WS)) {
+      SelfFinished = true;
+      break;
+    }
+    if (readLines(Journal).size() >= 2)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!SelfFinished) {
+    ::kill(P.pid(), SIGKILL);
+    P.wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  size_t Journaled = readLines(Journal).size();
+  ASSERT_GE(Journaled, 1u);
+
+  ASSERT_EQ(runCLI(Bin + " batch --quiet --jobs 2 --persistent --resume"
+                   " --journal " + Journal + " " + Dir +
+                   " > /dev/null 2>&1"),
+            0);
+
+  std::set<std::string> Seen;
+  std::vector<std::string> Lines = readLines(Journal);
+  for (const std::string &Line : Lines) {
+    driver::BatchOutcome O;
+    ASSERT_TRUE(driver::BatchDriver::parseJournalLine(Line, O));
+    EXPECT_TRUE(Seen.insert(O.Package).second)
+        << O.Package << " journaled twice";
+  }
+  EXPECT_EQ(Seen.size(), 40u);
+  EXPECT_EQ(Lines.size(), 40u);
   std::filesystem::remove_all(Dir);
 }
 

@@ -33,6 +33,12 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # the OOM code on its own.
 "$BUILD_DIR/tests/test_procpool"
 
+# The scan-service suite: the length-prefixed wire protocol (incremental
+# reassembly buffers are classic overflow territory), the `graphjs serve`
+# daemon's poll loop over live sockets, worker re-fork after induced
+# crashes, and the bounded admission queue's rejection paths.
+"$BUILD_DIR/tests/test_scanservice"
+
 # The observability suite next: span tracing, the counter registry
 # (relaxed atomics — TSan-adjacent patterns ASan/UBSan still vet), the
 # query profiler, and the --trace/--explain/--profile CLI round trips.

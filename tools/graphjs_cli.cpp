@@ -8,6 +8,7 @@
 //   graphjs query <query> <file.js>...       run a raw graph query
 //   graphjs lint  [options] <file.js>...     validate pipeline artifacts
 //   graphjs batch [options] <dir|list.txt>   resumable batch scan
+//   graphjs serve --socket p [options]       long-lived scan daemon
 //   graphjs callgraph [options] <file.js>... static call graph + summaries
 //
 // Batch options:
@@ -26,8 +27,30 @@
 //                           budget (needs --jobs; default 2*deadline+1s)
 //   --retry-crashed         retry a crashed/killed package once at half
 //                           budget (needs --jobs)
+//   --persistent            keep workers alive across packages (needs
+//                           --jobs): a pipe-fed job queue instead of one
+//                           fork per package — same kill ladder, same
+//                           journal bytes, amortized fork cost
+//   --recycle-after <n>     retire a persistent worker after n packages
+//                           (needs --persistent)
+//   --recycle-mem-mb <n>    retire a persistent worker whose RSS exceeds
+//                           n MiB after a job (needs --persistent)
 //   --quiet                 suppress the stderr progress line
 //   --native / --summary / --sinks also apply
+//
+// Serve options (graphjs serve):
+//   --socket <path>         Unix-domain socket to bind (required)
+//   --jobs <n>              warm persistent workers (default 2)
+//   --queue-max <n>         admission bound: scans beyond this many queued
+//                           are rejected "overloaded" (default 64)
+//   --journal <out.jsonl>   append-mode journal of completed scans
+//   --deadline-ms <n>       default per-scan budget (requests override)
+//   --kill-after-ms, --recycle-after, --recycle-mem-mb, --mem-limit-mb
+//                           same worker policy knobs as batch --persistent
+//   --heartbeat-ms <n>      idle-worker ping cadence (default 5000; 0 off)
+//   --client '<json>'       one-shot client: send one NDJSON request line
+//                           to the daemon, print the response, exit 0 iff
+//                           the response says ok
 //
 // Scan options:
 //   --sinks <config.json>   custom sink configuration (§4)
@@ -69,6 +92,7 @@
 #include "core/Normalizer.h"
 #include "driver/BatchDriver.h"
 #include "driver/ProcessPool.h"
+#include "driver/ScanService.h"
 #include "frontend/Parser.h"
 #include "graphdb/QueryEngine.h"
 #include "graphdb/SchemaLint.h"
@@ -109,10 +133,18 @@ int usage() {
       "       graphjs batch [--journal out.jsonl] [--resume] [--stats]\n"
       "                     [--deadline-ms n] [--work n] [--max n]\n"
       "                     [--max-degradation n] [--inject-fault spec]\n"
-      "                     [--jobs n] [--mem-limit-mb n]\n"
+      "                     [--jobs n] [--persistent] [--recycle-after n]\n"
+      "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
       "                     [--kill-after-ms n] [--retry-crashed] [--quiet]\n"
       "                     [--native] [--summary] [--no-prune]\n"
       "                     <dir|list.txt|file.js>...\n"
+      "       graphjs serve --socket path [--jobs n] [--queue-max n]\n"
+      "                     [--journal out.jsonl] [--deadline-ms n]\n"
+      "                     [--kill-after-ms n] [--recycle-after n]\n"
+      "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
+      "                     [--heartbeat-ms n] [--sinks cfg.json]\n"
+      "                     [--native] [--no-prune] [--quiet]\n"
+      "                     [--client '<json-request>']\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
       "                         <file.js>... | --packages <root-dir>\n");
   return 2;
@@ -1073,6 +1105,12 @@ int main(int argc, char **argv) {
         O.Batch.Resume = true;
       else if (Arg == "--retry-crashed")
         O.RetryCrashed = true;
+      else if (Arg == "--persistent")
+        O.Persistent = true;
+      else if (Arg == "--recycle-after" && I + 1 < argc)
+        O.RecycleAfter = static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--recycle-mem-mb" && I + 1 < argc)
+        O.RecycleRssMB = std::stoul(argv[++I]);
       else if (Arg == "--journal" && I + 1 < argc)
         O.Batch.JournalPath = argv[++I];
       else if (Arg == "--sinks" && I + 1 < argc)
@@ -1116,6 +1154,8 @@ int main(int argc, char **argv) {
         Needs = "--kill-after-ms";
       else if (O.RetryCrashed)
         Needs = "--retry-crashed";
+      else if (O.Persistent)
+        Needs = "--persistent";
       else if (O.Faults.size() > 1)
         Needs = "multiple --inject-fault";
       else if (!O.Faults.empty() && O.Faults.front().processFatal())
@@ -1125,10 +1165,17 @@ int main(int argc, char **argv) {
         return 2;
       }
     }
-    if (!Quiet) {
-      O.Batch.ProgressEveryPackages = 25;
-      O.Batch.ProgressEverySeconds = 2.0;
+    if (!O.Persistent && (O.RecycleAfter || O.RecycleRssMB)) {
+      std::fprintf(stderr, "error: %s requires --persistent\n",
+                   O.RecycleAfter ? "--recycle-after" : "--recycle-mem-mb");
+      return 2;
     }
+    // Cadences say how often progress prints; Quiet says the user asked
+    // for silence. Both are always set so --quiet suppresses structurally
+    // rather than by zeroing the cadence.
+    O.Batch.Quiet = Quiet;
+    O.Batch.ProgressEveryPackages = 25;
+    O.Batch.ProgressEverySeconds = 2.0;
     if (!SinksFile.empty()) {
       std::string Text;
       queries::SinkConfig Custom;
@@ -1142,6 +1189,77 @@ int main(int argc, char **argv) {
       O.Batch.Scan.Sinks = Custom;
     }
     return runBatch(Inputs, std::move(O), Jobs, Summary, Stats);
+  }
+
+  if (Mode == "serve") {
+    driver::ServiceOptions O;
+    std::string SinksFile, ClientLine;
+    bool Client = false;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--socket" && I + 1 < argc)
+        O.SocketPath = argv[++I];
+      else if (Arg == "--jobs" && I + 1 < argc)
+        O.Jobs = static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--queue-max" && I + 1 < argc)
+        O.QueueMax = std::stoul(argv[++I]);
+      else if (Arg == "--journal" && I + 1 < argc)
+        O.JournalPath = argv[++I];
+      else if (Arg == "--deadline-ms" && I + 1 < argc)
+        O.Scan.Deadline.WallSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--kill-after-ms" && I + 1 < argc)
+        O.KillAfterSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--recycle-after" && I + 1 < argc)
+        O.RecycleAfter = static_cast<unsigned>(std::stoul(argv[++I]));
+      else if (Arg == "--recycle-mem-mb" && I + 1 < argc)
+        O.RecycleRssMB = std::stoul(argv[++I]);
+      else if (Arg == "--mem-limit-mb" && I + 1 < argc)
+        O.MemLimitMB = std::stoul(argv[++I]);
+      else if (Arg == "--heartbeat-ms" && I + 1 < argc)
+        O.HeartbeatSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--native")
+        O.Scan.Backend = scanner::QueryBackend::Native;
+      else if (Arg == "--no-prune")
+        O.Scan.Prune = false;
+      else if (Arg == "--quiet")
+        O.Quiet = true;
+      else if (Arg == "--sinks" && I + 1 < argc)
+        SinksFile = argv[++I];
+      else if (Arg == "--client" && I + 1 < argc) {
+        Client = true;
+        ClientLine = argv[++I];
+      } else
+        return usage();
+    }
+    if (O.SocketPath.empty()) {
+      std::fprintf(stderr, "error: serve requires --socket <path>\n");
+      return 2;
+    }
+    if (Client) {
+      std::string Response, Error;
+      if (!driver::ScanService::request(O.SocketPath, ClientLine, Response,
+                                        &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", Response.c_str());
+      // Rejections and bad requests exit nonzero so shell pipelines can
+      // branch on admission without parsing JSON.
+      return Response.find("\"ok\":true") != std::string::npos ? 0 : 1;
+    }
+    if (!SinksFile.empty()) {
+      std::string Text;
+      queries::SinkConfig Custom;
+      std::string Error;
+      if (!readFile(SinksFile, Text) ||
+          !queries::SinkConfig::fromJSON(Text, Custom, &Error)) {
+        std::fprintf(stderr, "error: bad sink config %s: %s\n",
+                     SinksFile.c_str(), Error.c_str());
+        return 1;
+      }
+      O.Scan.Sinks = Custom;
+    }
+    return driver::ScanService(std::move(O)).run();
   }
 
   if (Mode != "scan")
