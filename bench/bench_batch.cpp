@@ -32,6 +32,7 @@
 
 #include "driver/BatchDriver.h"
 #include "driver/ProcessPool.h"
+#include "obs/Histogram.h"
 #include "support/TablePrinter.h"
 
 #include <map>
@@ -99,7 +100,7 @@ int main() {
 
   Report Rep("batch");
   TablePrinter Table({"mode", "#pkg", "wall", "cpu", "pkg/s", "speedup",
-                      "vs_pool", "reports"});
+                      "vs_pool", "p50", "p95", "p99", "reports"});
   bool Neutral = true;
   double BaselineWall = 0;
   size_t BaselineReports = 0;
@@ -112,6 +113,10 @@ int main() {
   for (const Mode &M : Modes) {
     Measured R;
     double Wall = 0;
+    // Per-package scan latency distribution over every repeat of this
+    // mode, from the scan.latency_us histogram — recorded in-process by
+    // the driver, merged from worker telemetry deltas by the pools.
+    obs::HistogramSnapshotMap HistBefore = obs::snapshotHistograms();
     for (int It = 0; It < Repeats; ++It) {
       Measured Run = runMode(M, Inputs);
       const driver::BatchSummary &S = Run.Summary;
@@ -145,6 +150,15 @@ int main() {
     }
     const driver::BatchSummary &S = R.Summary;
 
+    obs::HistogramSnapshotMap HistDelta =
+        obs::histogramDelta(HistBefore, obs::snapshotHistograms());
+    obs::HistogramSnapshot Lat;
+    if (HistDelta.count("scan.latency_us"))
+      Lat = HistDelta.at("scan.latency_us");
+    double P50Ms = Lat.percentile(0.50) / 1000.0;
+    double P95Ms = Lat.percentile(0.95) / 1000.0;
+    double P99Ms = Lat.percentile(0.99) / 1000.0;
+
     if (M.Jobs == 0)
       BaselineWall = Wall;
     else if (!M.Persistent)
@@ -162,6 +176,10 @@ int main() {
     Rep.scalar(M.Name + ".speedup", Speedup);
     if (VsPool > 0)
       Rep.scalar(M.Name + ".speedup_vs_pool", VsPool);
+    Rep.scalar(M.Name + ".scan_p50_ms", P50Ms);
+    Rep.scalar(M.Name + ".scan_p95_ms", P95Ms);
+    Rep.scalar(M.Name + ".scan_p99_ms", P99Ms);
+    Rep.scalar(M.Name + ".scan_hist_samples", double(Lat.count()));
     Rep.scalar(M.Name + ".reports", double(S.TotalReports));
     Table.addRow({M.Name, std::to_string(S.Scanned),
                   TablePrinter::fmt(Wall * 1000.0, 2) + "ms",
@@ -169,6 +187,9 @@ int main() {
                   TablePrinter::fmt(Wall > 0 ? double(S.Scanned) / Wall : 0, 2),
                   TablePrinter::fmtRatio(Speedup),
                   VsPool > 0 ? TablePrinter::fmtRatio(VsPool) : "-",
+                  TablePrinter::fmt(P50Ms, 2) + "ms",
+                  TablePrinter::fmt(P95Ms, 2) + "ms",
+                  TablePrinter::fmt(P99Ms, 2) + "ms",
                   std::to_string(S.TotalReports)});
   }
 

@@ -7,6 +7,8 @@
 #include "driver/BatchDriver.h"
 
 #include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Metrics.h"
 #include "support/JSON.h"
 #include "support/Timer.h"
 
@@ -342,6 +344,7 @@ BatchOutcome driver::scanPackageIsolated(const BatchInput &Input,
                                  "scan threw a non-standard exception", ""});
   }
   Out.Seconds = T.elapsedSeconds();
+  obs::hists::ScanLatency.recordSeconds(Out.Seconds);
   return Out;
 }
 
@@ -366,6 +369,7 @@ BatchOutcome BatchDriver::scanOne(scanner::Scanner &Scanner,
                                  "scan threw a non-standard exception", ""});
   }
   Out.Seconds = T.elapsedSeconds();
+  obs::hists::ScanLatency.recordSeconds(Out.Seconds);
   return Out;
 }
 
@@ -399,6 +403,10 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
   ProgressMeter Progress(Inputs.size(), Options.ProgressEveryPackages,
                          Options.ProgressEverySeconds, Options.Quiet);
 
+  // The live counter registry is reset per package (journal attribution),
+  // so metrics snapshots render these accumulated run totals instead.
+  obs::CounterSnapshot RunCounters;
+  Timer MetricsClock;
   for (const BatchInput &Input : Inputs) {
     if (Done.count(Input.Name)) {
       BatchOutcome Skip;
@@ -437,12 +445,28 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     }
     Progress.completed(Outcome.Status == BatchStatus::Failed);
     Summary.Outcomes.push_back(std::move(Outcome));
+
+    if (!Options.MetricsPath.empty()) {
+      for (const auto &[Name, Value] :
+           Summary.Outcomes.back().Result.Counters)
+        RunCounters[Name] += Value;
+      if (MetricsClock.elapsedSeconds() >= Options.MetricsEverySeconds) {
+        obs::writePrometheusFile(Options.MetricsPath, RunCounters,
+                                 obs::snapshotHistograms());
+        MetricsClock.reset();
+      }
+    }
   }
 
   Progress.finish();
   if (Options.EnableCounters)
     obs::setCountersEnabled(PrevCounters);
   Summary.WallSeconds = Wall.elapsedSeconds();
+  // Final snapshot regardless of cadence: a scraper (or the smoke test)
+  // always sees the completed run's totals.
+  if (!Options.MetricsPath.empty())
+    obs::writePrometheusFile(Options.MetricsPath, RunCounters,
+                             obs::snapshotHistograms());
   return Summary;
 }
 

@@ -101,6 +101,12 @@ struct BatchOptions {
   /// keeping them separate means a caller that sets cadences
   /// unconditionally cannot accidentally un-silence a quiet run.
   bool Quiet = false;
+  /// Prometheus text-format metrics snapshot path (`--metrics-out`): the
+  /// run rewrites this file every MetricsEverySeconds and once at the end,
+  /// so an external scraper sees live counters and latency percentiles.
+  /// Empty disables. Honored by the in-process driver and both pool modes.
+  std::string MetricsPath;
+  double MetricsEverySeconds = 5.0;
 };
 
 /// Aggregate counters for a batch run.

@@ -8,6 +8,8 @@
 
 #include "driver/WorkerProtocol.h"
 #include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Metrics.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 
@@ -81,6 +83,16 @@ struct LiveWorker {
   bool KillSent = false;
   bool IsRetry = false;
   std::string LinePath;
+  /// Telemetry frame reassembly off the (otherwise idle) socketpair. The
+  /// supervisor pumps this on *live* workers too: a worker blocked on a
+  /// full socket buffer mid-frame would otherwise never exit, while the
+  /// supervisor's poll() spins hot on the readable fd.
+  FrameReader Reader;
+  /// The worker's decoded telemetry frame, stashed until reap merges it.
+  WorkerResponse Telemetry;
+  bool HasTelemetry = false;
+  /// Supervisor-recorder timestamp at launch (scheduling span start).
+  double TraceStartUs = 0;
 };
 
 /// One live persistent worker: a forked image draining job frames off its
@@ -101,19 +113,43 @@ struct PersistentWorker {
   uint64_t JobId = 0;
   Timer JobStarted;
   bool KillSent = false;
+  /// Supervisor-recorder timestamp at assignment (scheduling span start).
+  double TraceStartUs = 0;
 };
 
 /// The fork-per-package worker body: scan one package, write the journal
 /// line to a private file, and report success purely through the exit code.
-int scanInWorker(const driver::BatchInput &Input,
-                 const scanner::ScanOptions &Scan, bool EnableCounters,
-                 const std::string &LinePath) {
+/// The socketpair (FD), unused for the verdict, carries one optional
+/// telemetry frame back: counter/histogram deltas and (on request) the
+/// job's span tree rebased onto the supervisor's trace epoch.
+int scanInWorker(const driver::BatchInput &Input, scanner::ScanOptions Scan,
+                 bool EnableCounters, const std::string &LinePath, int FD,
+                 bool WantTrace, uint64_t TraceEpochUs) {
   installOomExitHandler();
   if (EnableCounters) {
     obs::setCountersEnabled(true);
     obs::resetCounters();
   }
+  obs::CounterSnapshot CtrBefore = obs::snapshotCounters();
+  obs::HistogramSnapshotMap HistBefore = obs::snapshotHistograms();
+  obs::TraceRecorder Recorder;
+  if (WantTrace)
+    Scan.Trace = &Recorder;
   BatchOutcome Out = scanPackageIsolated(Input, Scan);
+  if (EnableCounters || WantTrace) {
+    WorkerResponse Telemetry;
+    if (EnableCounters) {
+      Telemetry.CounterDelta =
+          obs::counterDelta(CtrBefore, obs::snapshotCounters());
+      Telemetry.HistDelta =
+          obs::histogramDelta(HistBefore, obs::snapshotHistograms());
+    }
+    if (WantTrace)
+      Telemetry.Spans = rebasedSpans(Recorder, TraceEpochUs);
+    // Best-effort: a hung-up supervisor costs the telemetry, never the
+    // verdict (which travels via LinePath + exit code).
+    writeFrame(FD, Telemetry.encode());
+  }
   std::ofstream F(LinePath, std::ios::out | std::ios::trunc);
   if (!F)
     return 120; // No way to report a result; the supervisor sees Crashed.
@@ -189,10 +225,28 @@ int persistentWorkerMain(int FD, const std::vector<driver::BatchInput> &Inputs,
     Scan.Fault = Req.IsRetry ? std::nullopt : W.Fault;
     if (Req.IsRetry && Scan.Deadline.WallSeconds > 0)
       Scan.Deadline.WallSeconds /= 2; // Retry at reduced budget.
+    // Per-job telemetry: deltas bracket exactly this scan, so the
+    // supervisor can merge them without double-counting earlier jobs.
+    obs::CounterSnapshot CtrBefore;
+    obs::HistogramSnapshotMap HistBefore;
+    if (EnableCounters) {
+      CtrBefore = obs::snapshotCounters();
+      HistBefore = obs::snapshotHistograms();
+    }
+    obs::TraceRecorder Recorder;
+    if (Req.WantTrace)
+      Scan.Trace = &Recorder;
     WorkerResponse Resp;
     Resp.JobId = Req.JobId;
     Resp.Line = BatchDriver::journalLine(
         scanPackageIsolated(Inputs[W.InputIndex], Scan));
+    if (EnableCounters) {
+      Resp.CounterDelta = obs::counterDelta(CtrBefore, obs::snapshotCounters());
+      Resp.HistDelta =
+          obs::histogramDelta(HistBefore, obs::snapshotHistograms());
+    }
+    if (Req.WantTrace)
+      Resp.Spans = rebasedSpans(Recorder, Req.TraceEpochUs);
     ++Done;
     // A recycle is announced in the response *before* exiting, so the
     // supervisor never mistakes the planned death for a crash and never
@@ -292,6 +346,39 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
   ProgressMeter Progress(Inputs.size(), Batch.ProgressEveryPackages,
                          Batch.ProgressEverySeconds, Batch.Quiet);
   DrainSignalGuard Signals;
+
+  // Cross-process stitching: the supervisor claims its own pid lane and
+  // every job request carries the shared trace epoch, so worker spans come
+  // back pre-rebased onto one timeline.
+  const bool WantTrace = Options.Trace != nullptr;
+  const uint64_t TraceEpochUs = WantTrace ? Options.Trace->epochUs() : 0;
+  if (WantTrace) {
+    Options.Trace->setDefaultPid(::getpid());
+    Options.Trace->labelPid(::getpid(), "supervisor");
+  }
+
+  // Merges one worker's telemetry frame into the supervisor's registries:
+  // counter deltas (the undercount fix for `batch --stats` under --jobs N),
+  // histogram buckets, and the worker's span tree on its own pid lane.
+  auto mergeTelemetry = [&](const WorkerResponse &T, int Pid) {
+    if (!T.CounterDelta.empty())
+      obs::mergeCounters(T.CounterDelta);
+    if (!T.HistDelta.empty())
+      obs::mergeHistograms(T.HistDelta);
+    if (WantTrace && !T.Spans.empty()) {
+      Options.Trace->labelPid(Pid, "worker " + std::to_string(Pid));
+      Options.Trace->addForeignSpans(T.Spans, Pid);
+    }
+  };
+
+  Timer MetricsClock;
+  auto maybeWriteMetrics = [&]() {
+    if (Batch.MetricsPath.empty() ||
+        MetricsClock.elapsedSeconds() < Batch.MetricsEverySeconds)
+      return;
+    obs::writePrometheusFile(Batch.MetricsPath);
+    MetricsClock.reset();
+  };
 
   const double KillAfter = effectiveKillAfter(Options);
   SubprocessLimits Limits;
@@ -429,12 +516,18 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
       bool EnableCounters = Batch.EnableCounters;
       Subprocess P;
       std::string Err;
-      // forkWorker (not forkChild) purely for the socketpair: the child
-      // never touches it, but its exit closes the peer end, so the
-      // supervisor can block in poll() on commFD() and wake the instant
-      // the worker dies instead of sleeping on a timer.
+      // Stamp the scheduling-span start before the fork: the child can be
+      // scheduled (and open its own spans) before the parent resumes, and
+      // the job: span must enclose the worker's rebased spans.
+      double StartUs = WantTrace ? Options.Trace->nowUs() : 0;
+      // The socketpair pulls double duty: its EOF on worker death wakes
+      // the supervisor's poll(), and the worker sends one telemetry frame
+      // over it before writing its line file.
       bool OK = Subprocess::forkWorker(
-          [&](int) { return scanInWorker(In, Scan, EnableCounters, LinePath); },
+          [&](int FD) {
+            return scanInWorker(In, Scan, EnableCounters, LinePath, FD,
+                                WantTrace, TraceEpochUs);
+          },
           P, &Err, Limits);
       if (!OK) {
         completeSlot(W.SlotIndex,
@@ -442,13 +535,33 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
                                   "worker launch failed: " + Err, 0));
         return;
       }
+      // FrameReader::pump must never block the supervisor.
+      ::fcntl(P.commFD(), F_SETFL,
+              ::fcntl(P.commFD(), F_GETFL, 0) | O_NONBLOCK);
       obs::counters::WorkerSpawned.add();
       LiveWorker L;
       L.Proc = std::move(P);
       L.WorkIdx = PlanIdx;
       L.IsRetry = IsRetry;
       L.LinePath = std::move(LinePath);
+      L.TraceStartUs = StartUs;
       Live.push_back(std::move(L));
+    };
+
+    // Decodes and stashes whatever telemetry frames a worker has flushed
+    // so far (the last decodable frame wins; workers send exactly one).
+    auto pumpTelemetry = [&](LiveWorker &L) {
+      if (L.Reader.dead())
+        return;
+      L.Reader.pump(L.Proc.commFD());
+      std::string Text;
+      while (L.Reader.next(Text)) {
+        WorkerResponse T;
+        if (WorkerResponse::decode(Text, T) && T.hasTelemetry()) {
+          L.Telemetry = std::move(T);
+          L.HasTelemetry = true;
+        }
+      }
     };
 
     // Maps a reaped worker onto an outcome. Exit 0 + a parseable line is
@@ -457,6 +570,16 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     auto reap = [&](LiveWorker &L, const WaitStatus &WS) {
       const WorkItem &W = Plan[L.WorkIdx];
       double Seconds = L.Started.elapsedSeconds();
+      // Last telemetry drain: frames the worker flushed before dying are
+      // still in the socket buffer.
+      pumpTelemetry(L);
+      if (L.HasTelemetry)
+        mergeTelemetry(L.Telemetry, L.Proc.pid());
+      obs::hists::WorkerJob.recordSeconds(Seconds);
+      if (WantTrace)
+        Options.Trace->addCompletedSpan(
+            "job:" + Inputs[W.InputIndex].Name, L.TraceStartUs,
+            Options.Trace->nowUs() - L.TraceStartUs);
       std::string Line = readWorkerLine(L.LinePath);
       ::unlink(L.LinePath.c_str());
 
@@ -498,6 +621,10 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
           reap(L, WS);
           Reaped = true;
         } else {
+          // Pump live workers too: a telemetry frame bigger than the
+          // socket buffer would otherwise wedge the worker mid-write
+          // while the supervisor's poll() spins hot on the readable fd.
+          pumpTelemetry(Live[I]);
           if (KillAfter > 0 && !Live[I].KillSent &&
               Live[I].Started.elapsedSeconds() > KillAfter) {
             Live[I].Proc.kill(SIGKILL);
@@ -506,11 +633,14 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
           ++I;
         }
       }
+      maybeWriteMetrics();
       if (!Reaped) {
         std::vector<int> FDs;
         FDs.reserve(Live.size());
         for (const LiveWorker &L : Live)
-          FDs.push_back(L.Proc.commFD());
+          // A consumed EOF would report POLLIN forever; let Proc.poll()
+          // reap the death on the next sweep instead of spinning on it.
+          FDs.push_back(L.Reader.dead() ? -1 : L.Proc.commFD());
         waitForWorkerActivity(FDs, 50);
       }
     }
@@ -574,6 +704,12 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
       Req.HasPlanIndex = true;
       Req.PlanIndex = PlanIdx;
       Req.IsRetry = IsRetry;
+      Req.WantTrace = WantTrace;
+      Req.TraceEpochUs = TraceEpochUs;
+      // Stamped before the frame goes out: the worker may pick the job up
+      // before the parent returns from write().
+      if (WantTrace)
+        W.TraceStartUs = Options.Trace->nowUs();
       if (!writeFrame(W.Proc.commFD(), Req.encode())) {
         // The worker died between jobs; the job never started and stays
         // queued. Make the death certain and let the reap pass handle it.
@@ -603,7 +739,13 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
       // complete — but the worker is dying; treat the exit as planned.
       if (Resp.Recycle || W.KillSent)
         W.Retiring = true;
+      mergeTelemetry(Resp, W.Proc.pid());
+      obs::hists::WorkerJob.recordSeconds(W.JobStarted.elapsedSeconds());
       const WorkItem &Wk = Plan[W.WorkIdx];
+      if (WantTrace)
+        Options.Trace->addCompletedSpan(
+            "job:" + Inputs[Wk.InputIndex].Name, W.TraceStartUs,
+            Options.Trace->nowUs() - W.TraceStartUs);
       BatchOutcome Out;
       if (!Resp.Line.empty() &&
           BatchDriver::parseJournalLine(Resp.Line, Out)) {
@@ -733,6 +875,7 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
         }
         ++I;
       }
+      maybeWriteMetrics();
       if (!Activity) {
         std::vector<int> FDs;
         FDs.reserve(Workers.size());
@@ -762,6 +905,10 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
   flushCursor();
   Progress.finish();
   ::rmdir(TmpDir.c_str());
+  // Final snapshot regardless of cadence; the supervisor registries are
+  // cumulative here (workers reset their own, the supervisor never does).
+  if (!Batch.MetricsPath.empty())
+    obs::writePrometheusFile(Batch.MetricsPath);
   if (Batch.EnableCounters)
     obs::setCountersEnabled(PrevCounters);
   Summary.WallSeconds = Wall.elapsedSeconds();

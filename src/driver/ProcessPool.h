@@ -50,6 +50,7 @@
 #define GJS_DRIVER_PROCESSPOOL_H
 
 #include "driver/BatchDriver.h"
+#include "obs/Trace.h"
 
 namespace gjs {
 namespace driver {
@@ -90,6 +91,12 @@ struct PoolOptions {
   /// Unlike BatchOptions::Scan::Fault this is a list: one run can crash
   /// package 1 and hang package 3.
   std::vector<scanner::FaultPlan> Faults;
+  /// Cross-process trace stitching (`graphjs batch --trace-out`): when set,
+  /// every job request asks its worker for a span tree rebased onto this
+  /// recorder's epoch, and the supervisor splices worker spans (one Chrome
+  /// pid lane per worker process) next to its own retroactive scheduling
+  /// spans. Null disables worker-side tracing entirely.
+  obs::TraceRecorder *Trace = nullptr;
 };
 
 /// The supervised worker pool. Same contract as BatchDriver::run — same

@@ -9,6 +9,8 @@
 #include "driver/BatchDriver.h"
 #include "driver/WorkerProtocol.h"
 #include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Metrics.h"
 #include "support/JSON.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
@@ -74,6 +76,11 @@ int serveWorkerMain(int FD, const scanner::ScanOptions &BaseScan,
     if (I != FD)
       ::close(I);
   installOomExitHandler();
+  // Workers record their own scan telemetry; each response carries the
+  // job's deltas so the daemon's registries (and its `metrics` op) cover
+  // work done in worker processes, not just supervisor bookkeeping.
+  obs::setCountersEnabled(true);
+  obs::resetCounters();
   unsigned Done = 0;
   std::string Text;
   while (readFrame(FD, Text)) {
@@ -116,6 +123,11 @@ int serveWorkerMain(int FD, const scanner::ScanOptions &BaseScan,
       }
     }
 
+    obs::CounterSnapshot CtrBefore = obs::snapshotCounters();
+    obs::HistogramSnapshotMap HistBefore = obs::snapshotHistograms();
+    obs::TraceRecorder Recorder;
+    if (Req.WantTrace)
+      Scan.Trace = &Recorder;
     BatchOutcome Out = scanPackageIsolated(In, Scan);
     for (const std::string &Path : Unreadable)
       Out.Result.Errors.push_back({scanner::ScanPhase::Driver,
@@ -127,6 +139,11 @@ int serveWorkerMain(int FD, const scanner::ScanOptions &BaseScan,
     WorkerResponse Resp;
     Resp.JobId = Req.JobId;
     Resp.Line = BatchDriver::journalLine(Out);
+    Resp.CounterDelta = obs::counterDelta(CtrBefore, obs::snapshotCounters());
+    Resp.HistDelta =
+        obs::histogramDelta(HistBefore, obs::snapshotHistograms());
+    if (Req.WantTrace)
+      Resp.Spans = rebasedSpans(Recorder, Req.TraceEpochUs);
     ++Done;
     Resp.Recycle = (RecycleAfter && Done >= RecycleAfter) ||
                    (RecycleRssMB && currentRssMB() > RecycleRssMB);
@@ -251,6 +268,14 @@ int ScanService::run() {
   std::map<int, std::string> Clients; // fd -> partial-line input buffer
   uint64_t NextId = 1;
   size_t Accepted = 0, Rejected = 0, Completed = 0, Recycled = 0;
+  // Per-verdict completion splits (status/metrics surface): Completed is
+  // their sum, kept separate because it predates the split.
+  size_t CompletedOk = 0, CompletedDegraded = 0, CompletedFailed = 0;
+  // Total workers ever forked, including replacements after crashes and
+  // recycles — Workers.size() only says how many are alive *now*.
+  size_t Generations = 0;
+  Timer Uptime;
+  Timer MetricsClock;
   bool Draining = false, ShuttingDown = false;
   // Re-fork backoff: a worker dying before it ever accepts work must not
   // turn the daemon into a fork bomb. Reset by any completed job.
@@ -275,12 +300,24 @@ int ScanService::run() {
     return BatchDriver::journalLine(Out);
   };
 
-  auto finishScan = [&](const PendingScan &Job, const std::string &Line) {
+  auto finishScan = [&](const PendingScan &Job, const std::string &Line,
+                        BatchStatus Status) {
     if (Journal.is_open()) {
       Journal << Line << '\n';
       Journal.flush();
     }
     ++Completed;
+    switch (Status) {
+    case BatchStatus::Ok:
+      ++CompletedOk;
+      break;
+    case BatchStatus::Degraded:
+      ++CompletedDegraded;
+      break;
+    case BatchStatus::Failed:
+      ++CompletedFailed;
+      break;
+    }
     // The line is a compact JSON object; splice it in as the result.
     sendLine(Job.ClientFD, "{\"ok\":true,\"result\":" + Line + "}");
   };
@@ -311,6 +348,7 @@ int ScanService::run() {
     }
     ::fcntl(P.commFD(), F_SETFL, ::fcntl(P.commFD(), F_GETFL, 0) | O_NONBLOCK);
     obs::counters::WorkerSpawned.add();
+    ++Generations;
     ServeWorker W;
     W.Proc = std::move(P);
     Workers.push_back(std::move(W));
@@ -331,6 +369,7 @@ int ScanService::run() {
       return;
     }
     obs::counters::ServeInflight.add();
+    obs::hists::QueueWait.recordSeconds(Job.Waited.elapsedSeconds());
     W.Busy = true;
     W.KillSent = false;
     W.JobStarted = Timer();
@@ -353,16 +392,26 @@ int ScanService::run() {
     W.Busy = false;
     if (Resp.Recycle || W.KillSent)
       W.Retiring = true;
+    // Stitch the worker's scan telemetry into the daemon's registries:
+    // this is what makes the `metrics` op reflect scan-pipeline counters
+    // and latency percentiles, not just supervisor bookkeeping.
+    if (!Resp.CounterDelta.empty())
+      obs::mergeCounters(Resp.CounterDelta);
+    if (!Resp.HistDelta.empty())
+      obs::mergeHistograms(Resp.HistDelta);
+    obs::hists::WorkerJob.recordSeconds(W.JobStarted.elapsedSeconds());
     PendingScan Job = std::move(*W.Job);
     W.Job.reset();
     W.IdleSince = Timer();
     BatchOutcome Parsed;
     if (!Resp.Line.empty() &&
         BatchDriver::parseJournalLine(Resp.Line, Parsed))
-      finishScan(Job, Resp.Line);
+      finishScan(Job, Resp.Line, Parsed.Status);
     else
-      finishScan(Job, synthLine(Job, scanner::ScanErrorKind::Crashed,
-                                "worker sent an unparseable result"));
+      finishScan(Job,
+                 synthLine(Job, scanner::ScanErrorKind::Crashed,
+                           "worker sent an unparseable result"),
+                 BatchStatus::Failed);
   };
 
   auto reapWorker = [&](ServeWorker &W, const WaitStatus &WS) {
@@ -412,7 +461,7 @@ int ScanService::run() {
       PendingScan Job = std::move(*W.Job);
       W.Job.reset();
       W.Busy = false;
-      finishScan(Job, synthLine(Job, Kind, Detail));
+      finishScan(Job, synthLine(Job, Kind, Detail), BatchStatus::Failed);
       log("worker " + std::to_string(W.Proc.pid()) + " died mid-job (" +
           WS.str() + "), job " + Job.Req.Name + " failed");
     } else if (!Planned) {
@@ -449,8 +498,61 @@ int ScanService::run() {
     O["accepted"] = json::Value(static_cast<unsigned long>(Accepted));
     O["rejected"] = json::Value(static_cast<unsigned long>(Rejected));
     O["completed"] = json::Value(static_cast<unsigned long>(Completed));
+    O["completed_ok"] = json::Value(static_cast<unsigned long>(CompletedOk));
+    O["completed_degraded"] =
+        json::Value(static_cast<unsigned long>(CompletedDegraded));
+    O["completed_failed"] =
+        json::Value(static_cast<unsigned long>(CompletedFailed));
     O["recycled"] = json::Value(static_cast<unsigned long>(Recycled));
+    O["generations"] = json::Value(static_cast<unsigned long>(Generations));
+    O["uptime_s"] = json::Value(Uptime.elapsedSeconds());
     O["draining"] = json::Value(Draining);
+    return json::Value(std::move(O)).str();
+  };
+
+  auto gauges = [&]() {
+    size_t BusyCount = static_cast<size_t>(
+        std::count_if(Workers.begin(), Workers.end(),
+                      [](const ServeWorker &W) { return W.Busy; }));
+    return obs::GaugeList{
+        {"serve.uptime_s", Uptime.elapsedSeconds()},
+        {"serve.queue_depth", static_cast<double>(Queue.size())},
+        {"serve.workers", static_cast<double>(Workers.size())},
+        // "_now" keeps the gauge distinct from the cumulative
+        // serve.inflight counter — one Prometheus name, one type.
+        {"serve.inflight_now", static_cast<double>(BusyCount)},
+    };
+  };
+
+  // The `metrics` NDJSON op: counters, per-histogram percentiles, and the
+  // same gauges the Prometheus file carries — one line, machine-readable,
+  // no scraper required.
+  auto metricsLine = [&]() {
+    json::Object O;
+    O["ok"] = json::Value(true);
+    for (const auto &[Name, Value] : gauges())
+      O[Name] = json::Value(Value);
+    json::Object C;
+    for (const auto &[Name, Value] : obs::snapshotCounters())
+      if (Value)
+        C[Name] = json::Value(static_cast<unsigned long>(Value));
+    O["counters"] = json::Value(std::move(C));
+    json::Object H;
+    for (const auto &[Name, Snap] : obs::snapshotHistograms()) {
+      if (Snap.empty())
+        continue;
+      json::Object S;
+      S["unit"] = json::Value(Snap.Unit);
+      S["count"] = json::Value(static_cast<unsigned long>(Snap.count()));
+      S["sum"] = json::Value(static_cast<double>(Snap.Sum));
+      S["mean"] = json::Value(Snap.mean());
+      S["p50"] = json::Value(Snap.percentile(0.5));
+      S["p90"] = json::Value(Snap.percentile(0.9));
+      S["p95"] = json::Value(Snap.percentile(0.95));
+      S["p99"] = json::Value(Snap.percentile(0.99));
+      H[Name] = json::Value(std::move(S));
+    }
+    O["histograms"] = json::Value(std::move(H));
     return json::Value(std::move(O)).str();
   };
 
@@ -466,6 +568,10 @@ int ScanService::run() {
         It != O.end() && It->second.isString() ? It->second.asString() : "";
     if (Op == "status") {
       sendLine(FD, statusLine());
+      return;
+    }
+    if (Op == "metrics") {
+      sendLine(FD, metricsLine());
       return;
     }
     if (Op == "drain") {
@@ -654,6 +760,14 @@ int ScanService::run() {
       }
       ++I;
     }
+
+    // Periodic Prometheus snapshot, driven off the same 50ms poll tick as
+    // the other timers.
+    if (!Options.MetricsPath.empty() &&
+        MetricsClock.elapsedSeconds() >= Options.MetricsEverySeconds) {
+      obs::writePrometheusFile(Options.MetricsPath, gauges());
+      MetricsClock.reset();
+    }
   }
 
   // Drain the workers: ask politely, then reap (counting a recycle that
@@ -677,6 +791,9 @@ int ScanService::run() {
   ::unlink(Options.SocketPath.c_str());
   if (Journal.is_open())
     Journal.flush();
+  // Final snapshot at drain, regardless of cadence.
+  if (!Options.MetricsPath.empty())
+    obs::writePrometheusFile(Options.MetricsPath, gauges());
   obs::setCountersEnabled(PrevCounters);
   log("drained, exiting (" + std::to_string(Completed) + " scans, " +
       std::to_string(Rejected) + " rejected)");

@@ -75,6 +75,13 @@ struct ServiceOptions {
   double HeartbeatSeconds = 5.0;
   /// Suppress the per-event stderr log lines.
   bool Quiet = false;
+  /// Prometheus text-format snapshot path (`--metrics-out`): rewritten
+  /// every MetricsEverySeconds off the poll loop and once at drain, so an
+  /// external scraper sees live counters, latency percentiles, and
+  /// uptime/queue gauges without speaking the NDJSON protocol. Empty
+  /// disables.
+  std::string MetricsPath;
+  double MetricsEverySeconds = 5.0;
 };
 
 /// The scan daemon. Single-threaded: one poll() loop multiplexes the

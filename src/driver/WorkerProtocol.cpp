@@ -86,6 +86,10 @@ bool driver::writeFrame(int FD, const std::string &Payload,
       *Error = "frame too large";
     return false;
   }
+  // Each process records the frames it writes; the stitching merge folds
+  // worker-side recordings into the supervisor, so the supervisor's
+  // distribution covers both directions of every socketpair.
+  obs::hists::FrameBytes.record(Payload.size());
   char Hdr[4];
   putU32LE(Hdr, static_cast<uint32_t>(Payload.size()));
   return fullWrite(FD, Hdr, sizeof(Hdr), Error) &&
@@ -170,6 +174,10 @@ std::string WorkerRequest::encode() const {
     O["deadline_s"] = json::Value(DeadlineSeconds);
   if (!FaultSpec.empty())
     O["fault"] = json::Value(FaultSpec);
+  if (WantTrace)
+    O["trace"] = json::Value(true);
+  if (TraceEpochUs)
+    O["epoch_us"] = json::Value(static_cast<double>(TraceEpochUs));
   return json::Value(std::move(O)).str();
 }
 
@@ -211,7 +219,27 @@ bool WorkerRequest::decode(const std::string &Text, WorkerRequest &Out) {
     Out.DeadlineSeconds = It->second.asNumber();
   if ((It = O.find("fault")) != O.end() && It->second.isString())
     Out.FaultSpec = It->second.asString();
+  if ((It = O.find("trace")) != O.end() && It->second.isBool())
+    Out.WantTrace = It->second.asBool();
+  if ((It = O.find("epoch_us")) != O.end() && It->second.isNumber())
+    Out.TraceEpochUs = static_cast<uint64_t>(It->second.asNumber());
   return true;
+}
+
+std::vector<obs::SpanRecord>
+driver::rebasedSpans(const obs::TraceRecorder &Recorder,
+                     uint64_t SupervisorEpochUs) {
+  // Both epochs sit on the shared CLOCK_MONOTONIC timeline, so the offset
+  // between them is exact — no cross-process clock estimation needed.
+  double OffsetUs = static_cast<double>(Recorder.epochUs()) -
+                    static_cast<double>(SupervisorEpochUs);
+  std::vector<obs::SpanRecord> Out = Recorder.spans();
+  for (obs::SpanRecord &S : Out) {
+    S.StartUs += OffsetUs;
+    if (S.DurUs < 0)
+      S.DurUs = 0; // Open at serialization: close it at zero width.
+  }
+  return Out;
 }
 
 std::string WorkerResponse::encode() const {
@@ -223,6 +251,50 @@ std::string WorkerResponse::encode() const {
     O["pong"] = json::Value(true);
   if (Recycle)
     O["recycle"] = json::Value(true);
+  if (!CounterDelta.empty()) {
+    json::Object C;
+    for (const auto &[Name, Value] : CounterDelta)
+      C[Name] = json::Value(static_cast<unsigned long>(Value));
+    O["ctr"] = json::Value(std::move(C));
+  }
+  if (!HistDelta.empty()) {
+    json::Object H;
+    for (const auto &[Name, Snap] : HistDelta) {
+      json::Object S;
+      S["u"] = json::Value(Snap.Unit);
+      S["s"] = json::Value(static_cast<double>(Snap.Sum));
+      json::Array B;
+      for (const auto &[Bucket, Count] : Snap.Buckets) {
+        json::Array Pair;
+        Pair.push_back(json::Value(Bucket));
+        Pair.push_back(json::Value(static_cast<unsigned long>(Count)));
+        B.push_back(json::Value(std::move(Pair)));
+      }
+      S["b"] = json::Value(std::move(B));
+      H[Name] = json::Value(std::move(S));
+    }
+    O["hist"] = json::Value(std::move(H));
+  }
+  if (!Spans.empty()) {
+    json::Array A;
+    for (const obs::SpanRecord &S : Spans) {
+      json::Object SO;
+      SO["n"] = json::Value(S.Name);
+      SO["ts"] = json::Value(S.StartUs);
+      SO["dur"] = json::Value(S.DurUs < 0 ? 0.0 : S.DurUs);
+      SO["d"] = json::Value(S.Depth);
+      if (S.Parent != obs::SpanRecord::npos)
+        SO["p"] = json::Value(static_cast<unsigned long>(S.Parent));
+      if (!S.Args.empty()) {
+        json::Object AO;
+        for (const auto &[Key, Value] : S.Args)
+          AO[Key] = json::Value(Value);
+        SO["a"] = json::Value(std::move(AO));
+      }
+      A.push_back(json::Value(std::move(SO)));
+    }
+    O["spans"] = json::Value(std::move(A));
+  }
   return json::Value(std::move(O)).str();
 }
 
@@ -242,5 +314,66 @@ bool WorkerResponse::decode(const std::string &Text, WorkerResponse &Out) {
     Out.Pong = It->second.asBool();
   if ((It = O.find("recycle")) != O.end() && It->second.isBool())
     Out.Recycle = It->second.asBool();
+  if ((It = O.find("ctr")) != O.end() && It->second.isObject())
+    for (const auto &[Name, Value] : It->second.asObject())
+      if (Value.isNumber())
+        Out.CounterDelta[Name] = static_cast<uint64_t>(Value.asNumber());
+  if ((It = O.find("hist")) != O.end() && It->second.isObject()) {
+    for (const auto &[Name, HV] : It->second.asObject()) {
+      if (!HV.isObject())
+        continue;
+      const json::Object &HO = HV.asObject();
+      obs::HistogramSnapshot Snap;
+      auto UIt = HO.find("u");
+      if (UIt != HO.end() && UIt->second.isString())
+        Snap.Unit = UIt->second.asString();
+      auto SIt = HO.find("s");
+      if (SIt != HO.end() && SIt->second.isNumber())
+        Snap.Sum = static_cast<uint64_t>(SIt->second.asNumber());
+      auto BIt = HO.find("b");
+      if (BIt != HO.end() && BIt->second.isArray())
+        for (const json::Value &Pair : BIt->second.asArray()) {
+          if (!Pair.isArray() || Pair.asArray().size() != 2 ||
+              !Pair.asArray()[0].isNumber() || !Pair.asArray()[1].isNumber())
+            continue;
+          Snap.Buckets.emplace_back(
+              static_cast<unsigned>(Pair.asArray()[0].asNumber()),
+              static_cast<uint64_t>(Pair.asArray()[1].asNumber()));
+        }
+      if (!Snap.Buckets.empty())
+        Out.HistDelta[Name] = std::move(Snap);
+    }
+  }
+  if ((It = O.find("spans")) != O.end() && It->second.isArray()) {
+    for (const json::Value &SV : It->second.asArray()) {
+      if (!SV.isObject())
+        continue;
+      const json::Object &SO = SV.asObject();
+      obs::SpanRecord S;
+      auto NIt = SO.find("n");
+      if (NIt == SO.end() || !NIt->second.isString())
+        continue;
+      S.Name = NIt->second.asString();
+      auto TIt = SO.find("ts");
+      if (TIt != SO.end() && TIt->second.isNumber())
+        S.StartUs = TIt->second.asNumber();
+      auto DIt = SO.find("dur");
+      if (DIt != SO.end() && DIt->second.isNumber())
+        S.DurUs = DIt->second.asNumber();
+      auto DepIt = SO.find("d");
+      if (DepIt != SO.end() && DepIt->second.isNumber())
+        S.Depth = static_cast<unsigned>(DepIt->second.asNumber());
+      auto PIt = SO.find("p");
+      S.Parent = PIt != SO.end() && PIt->second.isNumber()
+                     ? static_cast<size_t>(PIt->second.asNumber())
+                     : obs::SpanRecord::npos;
+      auto AIt = SO.find("a");
+      if (AIt != SO.end() && AIt->second.isObject())
+        for (const auto &[Key, Value] : AIt->second.asObject())
+          if (Value.isString())
+            S.Args.emplace_back(Key, Value.asString());
+      Out.Spans.push_back(std::move(S));
+    }
+  }
   return true;
 }

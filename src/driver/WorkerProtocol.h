@@ -32,6 +32,10 @@
 #ifndef GJS_DRIVER_WORKERPROTOCOL_H
 #define GJS_DRIVER_WORKERPROTOCOL_H
 
+#include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -106,6 +110,13 @@ struct WorkerRequest {
   double DeadlineSeconds = 0;
   /// Deterministic fault injection ("<phase>:<action>[:n]", tests only).
   std::string FaultSpec;
+  /// Capture a span tree for this job and return it in the response.
+  bool WantTrace = false;
+  /// The supervisor recorder's epoch, microseconds on the shared
+  /// steady-clock (CLOCK_MONOTONIC) timeline. The worker rebases its span
+  /// timestamps onto it before responding, so stitched traces share one
+  /// clock instead of interleaving per-process origins.
+  uint64_t TraceEpochUs = 0;
 
   std::string encode() const;
   static bool decode(const std::string &Text, WorkerRequest &Out);
@@ -121,10 +132,30 @@ struct WorkerResponse {
   /// The worker recycles (exits WorkerRecycleExit) right after this
   /// response: the supervisor must not assign it further work.
   bool Recycle = false;
+  /// Worker-side telemetry for this job, merged by the supervisor into its
+  /// own registries (the cross-process stitching payload; all optional —
+  /// empty when the worker ran without counters/tracing):
+  /// counter deltas captured around the scan…
+  obs::CounterSnapshot CounterDelta;
+  /// …histogram bucket deltas captured around the scan…
+  obs::HistogramSnapshotMap HistDelta;
+  /// …and the job's span tree, timestamps already rebased onto the
+  /// supervisor epoch from the request.
+  std::vector<obs::SpanRecord> Spans;
+
+  bool hasTelemetry() const {
+    return !CounterDelta.empty() || !HistDelta.empty() || !Spans.empty();
+  }
 
   std::string encode() const;
   static bool decode(const std::string &Text, WorkerResponse &Out);
 };
+
+/// Extracts a worker recorder's spans rebased onto the supervisor's epoch
+/// (StartUs += own epoch - supervisor epoch), ready for
+/// WorkerResponse::Spans. Spans still open serialize with zero duration.
+std::vector<obs::SpanRecord>
+rebasedSpans(const obs::TraceRecorder &Recorder, uint64_t SupervisorEpochUs);
 
 } // namespace driver
 } // namespace gjs

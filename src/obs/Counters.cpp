@@ -57,6 +57,15 @@ void obs::resetCounters() {
     C->reset();
 }
 
+void obs::mergeCounters(const CounterSnapshot &Deltas) {
+  for (Counter *C = registryHead().load(std::memory_order_acquire); C;
+       C = C->next()) {
+    auto It = Deltas.find(C->name());
+    if (It != Deltas.end() && It->second)
+      C->merge(It->second);
+  }
+}
+
 namespace gjs {
 namespace obs {
 namespace counters {

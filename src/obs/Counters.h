@@ -58,6 +58,11 @@ public:
       V.fetch_add(N, std::memory_order_relaxed);
   }
 
+  /// Folds an externally-captured delta (a worker's) into this counter,
+  /// bypassing the gate — merging is an explicit supervisor action, not a
+  /// gated hot path.
+  void merge(uint64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+
   uint64_t value() const { return V.load(std::memory_order_relaxed); }
   void reset() { V.store(0, std::memory_order_relaxed); }
 
@@ -82,6 +87,12 @@ CounterSnapshot counterDelta(const CounterSnapshot &Before,
 
 /// Resets every registered counter to zero (e.g. between batch packages).
 void resetCounters();
+
+/// Merges worker counter deltas into the live registry by name — the
+/// cross-process stitching half of counterDelta: a supervisor folds each
+/// worker's per-job delta into its own registry so process-wide totals
+/// stop undercounting multi-process runs. Unknown names are ignored.
+void mergeCounters(const CounterSnapshot &Deltas);
 
 /// The wired-in counter catalog (see docs/OBSERVABILITY.md). Names follow
 /// "<phase>.<metric>" with the ScanPhase-style lowercase phase names.

@@ -41,6 +41,40 @@ void TraceRecorder::annotate(size_t Id, std::string Key, std::string Value) {
     Spans[Id].Args.emplace_back(std::move(Key), std::move(Value));
 }
 
+void TraceRecorder::labelPid(int Pid, std::string Label) {
+  for (auto &[P, L] : PidLabels)
+    if (P == Pid) {
+      L = std::move(Label);
+      return;
+    }
+  PidLabels.emplace_back(Pid, std::move(Label));
+}
+
+size_t TraceRecorder::addCompletedSpan(std::string Name, double StartUs,
+                                       double DurUs, int Pid) {
+  SpanRecord S;
+  S.Name = std::move(Name);
+  S.StartUs = StartUs;
+  S.DurUs = DurUs < 0 ? 0 : DurUs;
+  S.Pid = Pid;
+  Spans.push_back(std::move(S));
+  return Spans.size() - 1;
+}
+
+void TraceRecorder::addForeignSpans(const std::vector<SpanRecord> &Foreign,
+                                    int Pid) {
+  size_t Base = Spans.size();
+  Spans.reserve(Base + Foreign.size());
+  for (SpanRecord S : Foreign) {
+    if (S.Parent != SpanRecord::npos)
+      S.Parent += Base;
+    S.Pid = Pid;
+    if (S.DurUs < 0)
+      S.DurUs = 0; // A span open at serialization time closes at zero here.
+    Spans.push_back(std::move(S));
+  }
+}
+
 /// Minimal JSON string escaping (obs is dependency-free by design; the
 /// grammar needed for span names and annotation values is tiny).
 static std::string jsonEscape(const std::string &S) {
@@ -86,13 +120,27 @@ std::string TraceRecorder::toChromeJSON() const {
   double Now = nowUs();
   std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;
+  // Lane names first: one process_name metadata event per labeled pid, so
+  // a stitched trace shows "supervisor" and "worker <pid>" tracks instead
+  // of bare numbers.
+  for (const auto &[Pid, Label] : PidLabels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    int P = Pid ? Pid : (DefaultPid ? DefaultPid : 1);
+    Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(P) + ",\"args\":{\"name\":\"" + jsonEscape(Label) +
+           "\"}}";
+  }
   for (const SpanRecord &S : Spans) {
     if (!First)
       Out += ",";
     First = false;
     double Dur = S.open() ? Now - S.StartUs : S.DurUs;
+    int Pid = S.Pid ? S.Pid : (DefaultPid ? DefaultPid : 1);
     Out += "{\"name\":\"" + jsonEscape(S.Name) +
-           "\",\"cat\":\"scan\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" +
+           "\",\"cat\":\"scan\",\"ph\":\"X\",\"pid\":" + std::to_string(Pid) +
+           ",\"tid\":1,\"ts\":" +
            fmtDouble(S.StartUs) + ",\"dur\":" + fmtDouble(Dur);
     if (!S.Args.empty()) {
       Out += ",\"args\":{";

@@ -44,6 +44,10 @@ struct SpanRecord {
   unsigned Depth = 0;
   /// Index of the enclosing span, or npos for roots.
   size_t Parent = npos;
+  /// Process lane for Chrome export. 0 = this recorder's own lane (the
+  /// recorder's default pid); merged worker spans carry the worker's pid,
+  /// putting every process on its own track in the stitched trace.
+  int Pid = 0;
   /// Key/value annotations (phase metrics, file names, query names).
   std::vector<std::pair<std::string, std::string>> Args;
 
@@ -68,6 +72,48 @@ public:
 
   const std::vector<SpanRecord> &spans() const { return Spans; }
 
+  /// Current time in microseconds since this recorder's epoch (what a
+  /// supervisor stamps on its retroactive scheduling spans).
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
+        .count();
+  }
+
+  /// This recorder's epoch as microseconds since the steady-clock origin.
+  /// steady_clock is CLOCK_MONOTONIC — one system-wide timeline — so a
+  /// worker can rebase its spans onto the supervisor's epoch exactly:
+  /// supervisor-relative start = own start + (own epochUs - supervisor
+  /// epochUs). This is what rides in the job request frame.
+  uint64_t epochUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Epoch.time_since_epoch())
+            .count());
+  }
+
+  /// The Chrome-trace lane for this recorder's own spans (0 exports as
+  /// pid 1, the single-process default). A stitching supervisor sets its
+  /// real pid so its scheduling lane sits beside the worker lanes.
+  void setDefaultPid(int P) { DefaultPid = P; }
+  int defaultPid() const { return DefaultPid; }
+
+  /// Names a pid lane in the Chrome export ("supervisor", "worker 1234")
+  /// via process_name metadata events. Re-labeling a pid overwrites.
+  void labelPid(int Pid, std::string Label);
+
+  /// Appends one already-timed span as a closed root (supervisor
+  /// scheduling spans are recorded retroactively, at job completion).
+  /// Returns its id for annotate().
+  size_t addCompletedSpan(std::string Name, double StartUs, double DurUs,
+                          int Pid = 0);
+
+  /// Splices a worker's serialized span tree into this recorder: parent
+  /// links are rebased onto the appended range, every span is stamped with
+  /// \p Pid, and timestamps are taken as already epoch-normalized (the
+  /// worker rebased them before encoding). The open-span stack is
+  /// untouched — foreign spans are history, not context.
+  void addForeignSpans(const std::vector<SpanRecord> &Foreign, int Pid);
+
   /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
   /// Open spans are exported with their elapsed-so-far duration.
   std::string toChromeJSON() const;
@@ -78,14 +124,11 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
 
-  double nowUs() const {
-    return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
-        .count();
-  }
-
   Clock::time_point Epoch;
   std::vector<SpanRecord> Spans;
   std::vector<size_t> Open; ///< Indices of currently open spans.
+  int DefaultPid = 0;
+  std::vector<std::pair<int, std::string>> PidLabels;
 };
 
 /// RAII span handle. A null recorder makes every operation a no-op, so

@@ -12,6 +12,7 @@
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
 #include "lint/PassManager.h"
+#include "obs/Histogram.h"
 #include "obs/Trace.h"
 #include "support/Deadline.h"
 #include "support/JSON.h"
@@ -686,6 +687,12 @@ ScanResult Scanner::scanWithLadder(const std::vector<SourceFile> &Files,
 
   if (obs::countersEnabled())
     Out.Counters = obs::counterDelta(Before, obs::snapshotCounters());
+  // Phase latency distributions: cumulative across ladder attempts, so a
+  // degraded package attributes its full (retried) cost to each phase.
+  obs::hists::PhaseParse.recordSeconds(Out.CumulativeTimes.Parse);
+  obs::hists::PhaseBuild.recordSeconds(Out.CumulativeTimes.GraphBuild);
+  obs::hists::PhaseImport.recordSeconds(Out.CumulativeTimes.DbImport);
+  obs::hists::PhaseQuery.recordSeconds(Out.CumulativeTimes.Query);
   PackageSpan.arg("attempts", static_cast<uint64_t>(Out.Attempts));
   PackageSpan.arg("reports", static_cast<uint64_t>(Out.Reports.size()));
   return Out;

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Smoke test for the metrics surface: daemon up with --metrics-out, two
+# scans through the --client one-shot path, the `metrics` NDJSON op via
+# the `graphjs metrics` client, graceful shutdown, then the Prometheus
+# snapshot written at drain must be well-formed and non-empty.
+set -e
+
+BIN="$1"
+EXAMPLE="$2"
+SOCK="/tmp/gjs_metrics_smoke_$$.sock"
+PROM="/tmp/gjs_metrics_smoke_$$.prom"
+
+"$BIN" serve --socket "$SOCK" --jobs 1 --metrics-out "$PROM" --quiet &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -f "$SOCK" "$PROM"' EXIT
+
+# Two scans so the latency histogram has a distribution, not a point.
+for NAME in one two; do
+  "$BIN" serve --socket "$SOCK" --client \
+    "{\"op\":\"scan\",\"name\":\"$NAME\",\"files\":[\"$EXAMPLE\"]}" \
+    | grep -q '"ok":true'
+done
+
+# The one-shot metrics client: counters, percentiles, and gauges in one
+# JSON object.
+METRICS=$("$BIN" metrics --socket "$SOCK")
+echo "$METRICS" | grep -q '"ok":true'
+echo "$METRICS" | grep -q '"scan.latency_us"'
+echo "$METRICS" | grep -q '"p99"'
+echo "$METRICS" | grep -q '"serve.uptime_s"'
+
+"$BIN" serve --socket "$SOCK" --client '{"op":"shutdown"}' \
+  | grep -q '"ok":true'
+wait "$PID"
+
+# The drain-time Prometheus snapshot: typed counter and summary series
+# with the full quantile ladder.
+grep -q '^# TYPE graphjs_scan_attempts counter$' "$PROM"
+grep -q '^# TYPE graphjs_scan_latency_us summary$' "$PROM"
+grep -q 'graphjs_scan_latency_us{quantile="0.99"}' "$PROM"
+grep -q '^graphjs_scan_latency_us_count 2$' "$PROM"
+grep -q '^# TYPE graphjs_serve_uptime_s gauge$' "$PROM"

@@ -16,6 +16,8 @@
 #include "eval/Metrics.h"
 #include "graphdb/QueryEngine.h"
 #include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "queries/QueryRunner.h"
 #include "scanner/Scanner.h"
@@ -30,6 +32,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace gjs;
 using obs::Span;
@@ -267,6 +270,349 @@ TEST(CounterTest, DisabledAddsHaveNegligibleCost) {
   // fast in absolute terms (~1ns/add expected; allow 100x headroom).
   EXPECT_LT(DisabledMs, EnabledMs * 3 + 50.0);
   EXPECT_LT(DisabledMs, 200.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, BucketsAreContiguousMonotoneAndSelfConsistent) {
+  using obs::Histogram;
+  // Small values get exact unit buckets.
+  for (uint64_t V = 0; V < (1u << obs::HistogramSubBits); ++V) {
+    EXPECT_EQ(Histogram::bucketFor(V), V);
+    EXPECT_EQ(Histogram::bucketLo(V), V);
+    EXPECT_EQ(Histogram::bucketHi(V), V + 1);
+  }
+  // Every reachable bucket's bounds round-trip through bucketFor, and
+  // the buckets tile the value space without gaps or overlaps. Buckets
+  // past bucketFor(~0) are array padding no uint64 sample can land in.
+  const unsigned LastReachable = Histogram::bucketFor(~0ull);
+  ASSERT_LT(LastReachable, obs::HistogramBucketCount);
+  for (unsigned B = 0; B + 1 <= LastReachable; ++B) {
+    uint64_t Lo = Histogram::bucketLo(B);
+    uint64_t Hi = Histogram::bucketHi(B);
+    EXPECT_LT(Lo, Hi) << "bucket " << B;
+    EXPECT_EQ(Histogram::bucketFor(Lo), B) << "bucket " << B;
+    EXPECT_EQ(Histogram::bucketFor(Hi - 1), B) << "bucket " << B;
+    EXPECT_EQ(Histogram::bucketHi(B), Histogram::bucketLo(B + 1))
+        << "gap/overlap at bucket " << B;
+  }
+  // bucketFor is monotone across octave boundaries.
+  unsigned Prev = 0;
+  for (uint64_t V : {0ull, 1ull, 3ull, 4ull, 5ull, 7ull, 8ull, 100ull,
+                     1000ull, 1000000ull, (1ull << 40), ~0ull}) {
+    unsigned B = Histogram::bucketFor(V);
+    EXPECT_GE(B, Prev) << "value " << V;
+    EXPECT_LT(B, obs::HistogramBucketCount) << "value " << V;
+    Prev = B;
+  }
+  // Log-bucket relative error bound: lo and hi-1 of any bucket differ by
+  // at most a factor of (1 + 1/2^SubBits) — the advertised resolution.
+  for (unsigned B = 8; B + 1 <= LastReachable; ++B) {
+    double Lo = double(Histogram::bucketLo(B));
+    double Hi = double(Histogram::bucketHi(B));
+    if (Lo > 0 && Hi > Lo)
+      EXPECT_LE(Hi / Lo, 1.0 + 1.0 / (1u << obs::HistogramSubBits) + 1e-9)
+          << "bucket " << B;
+  }
+}
+
+TEST(HistogramTest, RecordSnapshotAndPercentiles) {
+  static obs::Histogram H("test.hist.record_us");
+  CounterGate Gate(true);
+  H.reset();
+  // 100 samples: 1..100us. p50 ~ 50, p99 ~ 99 (within one log bucket).
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V);
+  obs::HistogramSnapshot Snap = obs::snapshotHistograms().at("test.hist.record_us");
+  EXPECT_EQ(Snap.Unit, "us");
+  EXPECT_EQ(Snap.count(), 100u);
+  EXPECT_EQ(Snap.Sum, 5050u);
+  EXPECT_NEAR(Snap.mean(), 50.5, 1e-9);
+  // Log-bucket error is <= 25% at SubBits=2; allow one bucket of slack.
+  EXPECT_GE(Snap.percentile(0.5), 32.0);
+  EXPECT_LE(Snap.percentile(0.5), 72.0);
+  EXPECT_GE(Snap.percentile(0.99), 72.0);
+  EXPECT_LE(Snap.percentile(0.99), 128.0);
+  EXPECT_LE(Snap.percentile(0.5), Snap.percentile(0.95));
+  EXPECT_LE(Snap.percentile(0.95), Snap.percentile(0.99));
+  H.reset();
+  EXPECT_TRUE(obs::snapshotHistograms().at("test.hist.record_us").empty());
+}
+
+TEST(HistogramTest, TwoSamplesGiveNonDegeneratePercentiles) {
+  // The acceptance bar for the serve `metrics` op: after two scans of
+  // different cost, p50 and p99 must not collapse to the same sample.
+  static obs::Histogram H("test.hist.two_us");
+  CounterGate Gate(true);
+  H.reset();
+  H.record(100);
+  H.record(10000);
+  obs::HistogramSnapshot Snap = obs::snapshotHistograms().at("test.hist.two_us");
+  EXPECT_EQ(Snap.count(), 2u);
+  EXPECT_LT(Snap.percentile(0.5), 200.0);
+  EXPECT_GT(Snap.percentile(0.99), 5000.0);
+}
+
+TEST(HistogramTest, DisabledRecordsAreDropped) {
+  static obs::Histogram H("test.hist.gated_us");
+  CounterGate Gate(false);
+  H.reset();
+  H.record(42);
+  H.recordSeconds(1.0);
+  obs::HistogramSnapshot Snap = obs::snapshotHistograms().at("test.hist.gated_us");
+  EXPECT_TRUE(Snap.empty());
+  EXPECT_EQ(Snap.Sum, 0u);
+}
+
+TEST(HistogramTest, RecordSecondsConvertsAndClampsNegatives) {
+  static obs::Histogram H("test.hist.seconds_us");
+  CounterGate Gate(true);
+  H.reset();
+  H.recordSeconds(0.001); // 1000us
+  H.recordSeconds(-5.0);  // clamps to 0
+  obs::HistogramSnapshot Snap =
+      obs::snapshotHistograms().at("test.hist.seconds_us");
+  EXPECT_EQ(Snap.count(), 2u);
+  EXPECT_EQ(Snap.Sum, 1000u);
+}
+
+TEST(HistogramTest, DeltaSubtractsBaselineAndDropsEmpty) {
+  static obs::Histogram H("test.hist.delta_us");
+  CounterGate Gate(true);
+  H.reset();
+  H.record(7);
+  obs::HistogramSnapshotMap Before = obs::snapshotHistograms();
+  obs::HistogramSnapshotMap NoChange = obs::histogramDelta(Before, Before);
+  EXPECT_FALSE(NoChange.count("test.hist.delta_us"));
+  H.record(7);
+  H.record(9000);
+  obs::HistogramSnapshotMap Delta =
+      obs::histogramDelta(Before, obs::snapshotHistograms());
+  ASSERT_TRUE(Delta.count("test.hist.delta_us"));
+  EXPECT_EQ(Delta.at("test.hist.delta_us").count(), 2u);
+  EXPECT_EQ(Delta.at("test.hist.delta_us").Sum, 9007u);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndOrderIndependent) {
+  obs::HistogramSnapshot A, B, C;
+  A.Sum = 10;
+  A.Buckets = {{1, 2}, {5, 1}};
+  B.Sum = 100;
+  B.Buckets = {{5, 3}, {9, 4}};
+  C.Sum = 7;
+  C.Buckets = {{1, 1}};
+
+  obs::HistogramSnapshot AB = A;
+  AB.merge(B);
+  obs::HistogramSnapshot ABC1 = AB;
+  ABC1.merge(C);
+
+  obs::HistogramSnapshot BC = B;
+  BC.merge(C);
+  obs::HistogramSnapshot ABC2 = A;
+  ABC2.merge(BC);
+
+  EXPECT_EQ(ABC1.Sum, ABC2.Sum);
+  ASSERT_EQ(ABC1.Buckets.size(), ABC2.Buckets.size());
+  for (size_t I = 0; I < ABC1.Buckets.size(); ++I) {
+    EXPECT_EQ(ABC1.Buckets[I].first, ABC2.Buckets[I].first);
+    EXPECT_EQ(ABC1.Buckets[I].second, ABC2.Buckets[I].second);
+  }
+  EXPECT_EQ(ABC1.count(), A.count() + B.count() + C.count());
+}
+
+TEST(HistogramTest, MergeHistogramsFoldsWorkerDeltasIntoRegistry) {
+  static obs::Histogram H("test.hist.stitch_us");
+  CounterGate Gate(true);
+  H.reset();
+  H.record(50); // the supervisor's own sample
+  // A "worker delta" as it arrives off the wire.
+  obs::HistogramSnapshot WorkerDelta;
+  WorkerDelta.Unit = "us";
+  WorkerDelta.Sum = 300;
+  WorkerDelta.Buckets = {{obs::Histogram::bucketFor(100), 2},
+                         {obs::Histogram::bucketFor(100000), 1}};
+  obs::HistogramSnapshotMap Deltas;
+  Deltas["test.hist.stitch_us"] = WorkerDelta;
+  Deltas["no.such.histogram"] = WorkerDelta; // unknown names are ignored
+  obs::mergeHistograms(Deltas);
+  obs::HistogramSnapshot Snap =
+      obs::snapshotHistograms().at("test.hist.stitch_us");
+  EXPECT_EQ(Snap.count(), 4u);
+  EXPECT_EQ(Snap.Sum, 350u);
+  H.reset();
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  static obs::Histogram H("test.hist.mt_us");
+  CounterGate Gate(true);
+  H.reset();
+  constexpr int Threads = 4, PerThread = 50000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([T] {
+      for (int I = 0; I < PerThread; ++I)
+        H.record(uint64_t(T * PerThread + I) % 1000);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  obs::HistogramSnapshot Snap = obs::snapshotHistograms().at("test.hist.mt_us");
+  EXPECT_EQ(Snap.count(), uint64_t(Threads) * PerThread);
+  H.reset();
+}
+
+// Mirror of CounterTest.DisabledAddsHaveNegligibleCost: the histogram
+// record() gate shares the counters' zero-overhead-when-disabled contract.
+TEST(HistogramTest, DisabledRecordsHaveNegligibleCost) {
+  static obs::Histogram H("test.hist.bench_us");
+  constexpr int N = 2000000;
+  using Clock = std::chrono::steady_clock;
+
+  CounterGate Gate(false);
+  auto T0 = Clock::now();
+  for (int I = 0; I < N; ++I)
+    H.record(uint64_t(I));
+  double DisabledMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+
+  obs::setCountersEnabled(true);
+  T0 = Clock::now();
+  for (int I = 0; I < N; ++I)
+    H.record(uint64_t(I));
+  double EnabledMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  H.reset();
+
+  EXPECT_LT(DisabledMs, EnabledMs * 3 + 50.0);
+  EXPECT_LT(DisabledMs, 200.0);
+}
+
+TEST(HistogramTest, WiredCatalogIsRegistered) {
+  obs::HistogramSnapshotMap Snap = obs::snapshotHistograms();
+  for (const char *Name :
+       {"scan.latency_us", "phase.parse_us", "phase.build_us",
+        "phase.import_us", "phase.query_us", "queue.wait_us", "worker.job_us",
+        "proto.frame_bytes"})
+    EXPECT_TRUE(Snap.count(Name)) << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus rendering
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, RenderPrometheusEmitsCountersSummariesAndGauges) {
+  obs::CounterSnapshot Counters;
+  Counters["scan.attempts"] = 12;
+  Counters["query.rows"] = 0; // zero counters are dropped
+  obs::HistogramSnapshot H;
+  H.Unit = "us";
+  for (uint64_t V : {100ull, 200ull, 400ull, 10000ull}) {
+    H.Buckets.push_back({obs::Histogram::bucketFor(V), 1});
+    H.Sum += V;
+  }
+  std::sort(H.Buckets.begin(), H.Buckets.end());
+  obs::HistogramSnapshotMap Hists;
+  Hists["scan.latency_us"] = H;
+  Hists["phase.parse_us"] = {}; // empty histograms are dropped
+  obs::GaugeList Gauges = {{"serve.uptime_s", 3.5}, {"serve.queue_depth", 0}};
+
+  std::string Page = obs::renderPrometheus(Counters, Hists, Gauges);
+  EXPECT_NE(Page.find("# TYPE graphjs_scan_attempts counter"),
+            std::string::npos);
+  EXPECT_NE(Page.find("graphjs_scan_attempts 12"), std::string::npos);
+  EXPECT_EQ(Page.find("graphjs_query_rows"), std::string::npos)
+      << "zero counter must be dropped";
+  EXPECT_NE(Page.find("# TYPE graphjs_scan_latency_us summary"),
+            std::string::npos);
+  for (const char *Q : {"quantile=\"0.5\"", "quantile=\"0.9\"",
+                        "quantile=\"0.95\"", "quantile=\"0.99\""})
+    EXPECT_NE(Page.find(Q), std::string::npos) << Q;
+  EXPECT_NE(Page.find("graphjs_scan_latency_us_sum 10700"), std::string::npos);
+  EXPECT_NE(Page.find("graphjs_scan_latency_us_count 4"), std::string::npos);
+  EXPECT_EQ(Page.find("graphjs_phase_parse_us"), std::string::npos)
+      << "empty histogram must be dropped";
+  EXPECT_NE(Page.find("# TYPE graphjs_serve_uptime_s gauge"),
+            std::string::npos);
+  EXPECT_NE(Page.find("graphjs_serve_queue_depth 0"), std::string::npos);
+}
+
+TEST(MetricsTest, WritePrometheusFileIsAtomicAndReadable) {
+  std::string Path = ::testing::TempDir() + "gjs_metrics_test.prom";
+  std::remove(Path.c_str());
+  obs::CounterSnapshot Counters;
+  Counters["scan.attempts"] = 1;
+  ASSERT_TRUE(obs::writePrometheusFile(Path, Counters, {}, {}));
+  std::string Page = slurp(Path);
+  EXPECT_NE(Page.find("graphjs_scan_attempts 1"), std::string::npos);
+  EXPECT_EQ(slurp(Path + ".tmp"), "") << "temp file must not linger";
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-process trace stitching primitives
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStitchTest, ForeignSpansKeepTreeShapeAndGainPidLane) {
+  TraceRecorder Worker;
+  {
+    Span Root(&Worker, "package");
+    Span Child(&Worker, "parse");
+  }
+  TraceRecorder Sup;
+  { Span Own(&Sup, "supervisor-setup"); }
+  Sup.addForeignSpans(Worker.spans(), 4242);
+  ASSERT_EQ(Sup.spans().size(), 3u);
+  const SpanRecord &Pkg = Sup.spans()[1];
+  const SpanRecord &Parse = Sup.spans()[2];
+  EXPECT_EQ(Pkg.Name, "package");
+  EXPECT_EQ(Pkg.Pid, 4242);
+  EXPECT_EQ(Pkg.Parent, SpanRecord::npos);
+  EXPECT_EQ(Parse.Parent, 1u) << "parent index rebased past existing spans";
+  EXPECT_EQ(Sup.spans()[0].Pid, 0) << "own spans keep the default lane";
+}
+
+TEST(TraceStitchTest, CompletedSpansBackfillSchedulingWindows) {
+  TraceRecorder TR;
+  double Start = TR.nowUs();
+  TR.addCompletedSpan("job:left-pad", Start, 1500.0);
+  TR.addCompletedSpan("job:negative-dur", Start, -3.0);
+  ASSERT_EQ(TR.spans().size(), 2u);
+  EXPECT_EQ(TR.spans()[0].Name, "job:left-pad");
+  EXPECT_NEAR(TR.spans()[0].StartUs, Start, 1e-9);
+  EXPECT_NEAR(TR.spans()[0].DurUs, 1500.0, 1e-9);
+  EXPECT_EQ(TR.spans()[1].DurUs, 0.0) << "negative durations clamp";
+}
+
+TEST(TraceStitchTest, ChromeJSONLabelsPidLanes) {
+  TraceRecorder TR;
+  TR.setDefaultPid(1000);
+  TR.labelPid(1000, "supervisor");
+  TR.labelPid(2000, "worker 2000");
+  { Span Own(&TR, "schedule"); }
+  TraceRecorder Worker;
+  { Span Pkg(&Worker, "package"); }
+  TR.addForeignSpans(Worker.spans(), 2000);
+
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(TR.toChromeJSON(), V, &Error)) << Error;
+  const json::Array &Events = V.asObject().at("traceEvents").asArray();
+  std::set<int> Pids;
+  size_t Metadata = 0;
+  for (const json::Value &E : Events) {
+    const json::Object &O = E.asObject();
+    if (O.at("ph").asString() == "M") {
+      ++Metadata;
+      EXPECT_EQ(O.at("name").asString(), "process_name");
+      continue;
+    }
+    Pids.insert(int(O.at("pid").asNumber()));
+  }
+  EXPECT_EQ(Metadata, 2u) << "one process_name record per labelled lane";
+  EXPECT_TRUE(Pids.count(1000)) << "own spans on the default lane";
+  EXPECT_TRUE(Pids.count(2000)) << "foreign spans on the worker lane";
 }
 
 //===----------------------------------------------------------------------===//

@@ -12,6 +12,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/ProcessPool.h"
+#include "obs/Counters.h"
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "support/JSON.h"
 #include "support/Subprocess.h"
 #include "workload/Packages.h"
@@ -624,6 +627,165 @@ TEST(PersistentPoolTest, JournalMergeIsInputOrderAndResumable) {
 //===----------------------------------------------------------------------===//
 // CLI round trips
 //===----------------------------------------------------------------------===//
+
+//===----------------------------------------------------------------------===//
+// Cross-process telemetry: stitched traces and merged counters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forces the counter gate on for one test and restores it after (the
+/// supervisor-side worker.job_us clock and merge assertions need it).
+class CounterGate {
+public:
+  explicit CounterGate(bool On) : Prev(obs::setCountersEnabled(On)) {}
+  ~CounterGate() { obs::setCountersEnabled(Prev); }
+
+private:
+  bool Prev;
+};
+
+/// Shared assertions for a stitched pool trace: supervisor job: spans on
+/// the default lane, worker phase spans on per-pid lanes, and every
+/// worker package span nested inside some scheduling span.
+void checkStitchedTrace(const obs::TraceRecorder &TR, size_t Packages) {
+  std::vector<const obs::SpanRecord *> Jobs, Pkgs;
+  for (const obs::SpanRecord &S : TR.spans()) {
+    if (S.Name.rfind("job:", 0) == 0)
+      Jobs.push_back(&S);
+    else if (S.Name == "package")
+      Pkgs.push_back(&S);
+  }
+  EXPECT_EQ(Jobs.size(), Packages);
+  EXPECT_EQ(Pkgs.size(), Packages);
+  std::set<int> WorkerPids;
+  for (const obs::SpanRecord *J : Jobs)
+    EXPECT_EQ(J->Pid, 0) << "job: spans live on the supervisor lane";
+  for (const obs::SpanRecord *P : Pkgs) {
+    EXPECT_NE(P->Pid, 0) << "package spans live on worker lanes";
+    WorkerPids.insert(P->Pid);
+    EXPECT_GE(P->StartUs, 0.0);
+    EXPECT_GE(P->DurUs, 0.0);
+    bool Enclosed = false;
+    for (const obs::SpanRecord *J : Jobs)
+      Enclosed |= J->StartUs <= P->StartUs + 1e-6 &&
+                  P->StartUs + P->DurUs <= J->StartUs + J->DurUs + 1e-6;
+    EXPECT_TRUE(Enclosed) << "package span at " << P->StartUs
+                          << "us outside every job: scheduling span";
+  }
+  EXPECT_GE(WorkerPids.size(), 1u);
+}
+
+} // namespace
+
+TEST(ProcessPoolTest, TraceStitchesWorkerSpansOntoPidLanes) {
+  obs::TraceRecorder TR;
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Trace = &TR;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(4));
+  EXPECT_EQ(S.Ok, 4u);
+  checkStitchedTrace(TR, 4);
+  // The Chrome export carries one lane label per process.
+  std::string JSON = TR.toChromeJSON();
+  EXPECT_NE(JSON.find("process_name"), std::string::npos);
+  EXPECT_NE(JSON.find("supervisor"), std::string::npos);
+  EXPECT_NE(JSON.find("worker "), std::string::npos);
+}
+
+TEST(PersistentPoolTest, TraceStitchesWorkerSpansOntoPidLanes) {
+  obs::TraceRecorder TR;
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Persistent = true;
+  PO.Trace = &TR;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(4));
+  EXPECT_EQ(S.Ok, 4u);
+  checkStitchedTrace(TR, 4);
+}
+
+TEST(ProcessPoolTest, WorkerCounterDeltasMergeIntoSupervisor) {
+  // The undercount this fixes: before stitching, a --jobs N run left the
+  // supervisor's registry blind to all scan-pipeline work (it happened in
+  // children). Merged totals must now equal the per-outcome journal sums.
+  CounterGate Gate(true);
+  obs::resetCounters();
+  obs::resetHistograms();
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+  ASSERT_EQ(S.Ok, 3u);
+
+  uint64_t JournalTokens = 0;
+  for (const driver::BatchOutcome &O : S.Outcomes) {
+    auto It = O.Result.Counters.find("lex.tokens");
+    ASSERT_NE(It, O.Result.Counters.end()) << O.Package;
+    JournalTokens += It->second;
+  }
+  obs::CounterSnapshot Snap = obs::snapshotCounters();
+  EXPECT_GT(JournalTokens, 0u);
+  EXPECT_EQ(Snap.at("lex.tokens"), JournalTokens);
+  EXPECT_EQ(Snap.at("scan.attempts"), 3u);
+
+  // Histogram deltas rode the same frames: one scan-latency sample per
+  // package, plus the supervisor's own per-job turnaround clock.
+  obs::HistogramSnapshotMap Hists = obs::snapshotHistograms();
+  EXPECT_EQ(Hists.at("scan.latency_us").count(), 3u);
+  EXPECT_EQ(Hists.at("worker.job_us").count(), 3u);
+  EXPECT_GT(Hists.at("phase.parse_us").count(), 0u);
+  obs::resetCounters();
+  obs::resetHistograms();
+}
+
+TEST(PersistentPoolTest, WorkerCounterDeltasMergeIntoSupervisor) {
+  CounterGate Gate(true);
+  obs::resetCounters();
+  obs::resetHistograms();
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Persistent = true;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(4));
+  ASSERT_EQ(S.Ok, 4u);
+
+  uint64_t JournalNodes = 0;
+  for (const driver::BatchOutcome &O : S.Outcomes)
+    JournalNodes += O.Result.Counters.count("build.mdg_nodes")
+                        ? O.Result.Counters.at("build.mdg_nodes")
+                        : 0;
+  obs::CounterSnapshot Snap = obs::snapshotCounters();
+  EXPECT_GT(JournalNodes, 0u);
+  EXPECT_EQ(Snap.at("build.mdg_nodes"), JournalNodes);
+  EXPECT_EQ(obs::snapshotHistograms().at("scan.latency_us").count(), 4u);
+  obs::resetCounters();
+  obs::resetHistograms();
+}
+
+TEST(ProcessPoolTest, MetricsOutWritesPrometheusSnapshot) {
+  CounterGate Gate(true);
+  obs::resetCounters();
+  obs::resetHistograms();
+  std::string Prom = testing::TempDir() + "gjs_pool_metrics_" +
+                     std::to_string(::getpid()) + ".prom";
+  std::remove(Prom.c_str());
+  driver::PoolOptions PO;
+  PO.Jobs = 2;
+  PO.Batch.MetricsPath = Prom;
+  driver::BatchSummary S = driver::ProcessPool(PO).run(healthyInputs(3));
+  ASSERT_EQ(S.Ok, 3u);
+  std::ifstream In(Prom);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Page = SS.str();
+  EXPECT_NE(Page.find("# TYPE graphjs_scan_latency_us summary"),
+            std::string::npos)
+      << Page;
+  EXPECT_NE(Page.find("graphjs_scan_latency_us_count 3"), std::string::npos);
+  EXPECT_NE(Page.find("# TYPE graphjs_lex_tokens counter"), std::string::npos)
+      << "merged worker counters must reach the snapshot";
+  std::remove(Prom.c_str());
+  obs::resetCounters();
+  obs::resetHistograms();
+}
 
 #if defined(GRAPHJS_BIN)
 

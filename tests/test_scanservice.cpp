@@ -14,6 +14,8 @@
 #include "driver/BatchDriver.h"
 #include "driver/ScanService.h"
 #include "driver/WorkerProtocol.h"
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "support/JSON.h"
 #include "support/Subprocess.h"
 
@@ -375,6 +377,95 @@ TEST(WorkerProtocolTest, ResponseCodecRoundTrips) {
   EXPECT_FALSE(WorkerResponse::decode("{}", Back)); // A job id is required.
 }
 
+TEST(WorkerProtocolTest, TelemetryRidesTheResponseFrame) {
+  WorkerResponse Resp;
+  Resp.JobId = 21;
+  Resp.Line = "{\"package\":\"p\"}";
+  Resp.CounterDelta = {{"lex.tokens", 84}, {"query.rows", 6}};
+  obs::HistogramSnapshot H;
+  H.Unit = "us";
+  H.Sum = 1234;
+  H.Buckets = {{3, 2}, {17, 1}};
+  Resp.HistDelta["scan.latency_us"] = H;
+  obs::SpanRecord Root;
+  Root.Name = "package";
+  Root.StartUs = 100.5;
+  Root.DurUs = 900.25;
+  Root.Depth = 0;
+  Root.Parent = obs::SpanRecord::npos;
+  Root.Args = {{"files", "1"}};
+  obs::SpanRecord Child;
+  Child.Name = "parse";
+  Child.StartUs = 110.0;
+  Child.DurUs = 200.0;
+  Child.Depth = 1;
+  Child.Parent = 0;
+  Resp.Spans = {Root, Child};
+  ASSERT_TRUE(Resp.hasTelemetry());
+
+  WorkerResponse Back;
+  ASSERT_TRUE(WorkerResponse::decode(Resp.encode(), Back));
+  EXPECT_EQ(Back.Line, Resp.Line);
+  ASSERT_TRUE(Back.hasTelemetry());
+  EXPECT_EQ(Back.CounterDelta.at("lex.tokens"), 84u);
+  EXPECT_EQ(Back.CounterDelta.at("query.rows"), 6u);
+  ASSERT_TRUE(Back.HistDelta.count("scan.latency_us"));
+  const obs::HistogramSnapshot &HB = Back.HistDelta.at("scan.latency_us");
+  EXPECT_EQ(HB.Unit, "us");
+  EXPECT_EQ(HB.Sum, 1234u);
+  ASSERT_EQ(HB.Buckets.size(), 2u);
+  EXPECT_EQ(HB.Buckets[0], (std::pair<unsigned, uint64_t>{3, 2}));
+  EXPECT_EQ(HB.count(), 3u);
+  ASSERT_EQ(Back.Spans.size(), 2u);
+  EXPECT_EQ(Back.Spans[0].Name, "package");
+  EXPECT_DOUBLE_EQ(Back.Spans[0].StartUs, 100.5);
+  EXPECT_EQ(Back.Spans[0].Parent, obs::SpanRecord::npos);
+  ASSERT_EQ(Back.Spans[0].Args.size(), 1u);
+  EXPECT_EQ(Back.Spans[0].Args[0].first, "files");
+  EXPECT_EQ(Back.Spans[1].Parent, 0u);
+  EXPECT_EQ(Back.Spans[1].Depth, 1u);
+
+  // A plain response has no telemetry, and the codec stays tolerant of
+  // frames from workers that did not collect any.
+  WorkerResponse Plain;
+  Plain.JobId = 1;
+  Plain.Line = "x";
+  EXPECT_FALSE(Plain.hasTelemetry());
+  ASSERT_TRUE(WorkerResponse::decode(Plain.encode(), Back));
+  EXPECT_FALSE(Back.hasTelemetry());
+}
+
+TEST(WorkerProtocolTest, TraceRequestFlagsRoundTrip) {
+  WorkerRequest Req;
+  Req.Kind = WorkerRequest::Op::Scan;
+  Req.JobId = 3;
+  Req.Name = "pkg";
+  Req.WantTrace = true;
+  Req.TraceEpochUs = 123456789012ull;
+  WorkerRequest Back;
+  ASSERT_TRUE(WorkerRequest::decode(Req.encode(), Back));
+  EXPECT_TRUE(Back.WantTrace);
+  EXPECT_EQ(Back.TraceEpochUs, 123456789012ull);
+
+  Req.WantTrace = false;
+  ASSERT_TRUE(WorkerRequest::decode(Req.encode(), Back));
+  EXPECT_FALSE(Back.WantTrace);
+}
+
+TEST(WorkerProtocolTest, RebasedSpansShiftOntoTheSupervisorEpoch) {
+  obs::TraceRecorder Worker;
+  { obs::Span S(&Worker, "package"); }
+  // A supervisor whose epoch predates the worker's by construction order.
+  uint64_t SupEpoch = Worker.epochUs() > 5000 ? Worker.epochUs() - 5000 : 0;
+  std::vector<obs::SpanRecord> Out = driver::rebasedSpans(Worker, SupEpoch);
+  ASSERT_EQ(Out.size(), 1u);
+  double Expect = Worker.spans()[0].StartUs +
+                  (double(Worker.epochUs()) - double(SupEpoch));
+  EXPECT_NEAR(Out[0].StartUs, Expect, 1e-6);
+  EXPECT_GE(Out[0].StartUs, Worker.spans()[0].StartUs);
+  EXPECT_GE(Out[0].DurUs, 0.0);
+}
+
 //===----------------------------------------------------------------------===//
 // The daemon, end to end
 //===----------------------------------------------------------------------===//
@@ -620,4 +711,117 @@ TEST(ScanServiceTest, JournalAppendsAcrossRestarts) {
     Names.push_back(Out.Package);
   }
   EXPECT_EQ(Names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+//===----------------------------------------------------------------------===//
+// The metrics surface
+//===----------------------------------------------------------------------===//
+
+TEST(ScanServiceTest, StatusReportsVerdictCountsGenerationsAndUptime) {
+  Scratch S("statplus");
+  std::string JS = S.writeJS("pkg.js", VulnSource);
+  ServiceOptions O;
+  O.SocketPath = S.path("d.sock");
+  O.Jobs = 1;
+  O.Quiet = true;
+  ServiceHandle H = startService(O);
+
+  std::string Resp;
+  ASSERT_TRUE(ScanService::request(O.SocketPath, scanRequest("ok1", JS), Resp));
+  ASSERT_TRUE(ScanService::request(
+      O.SocketPath, scanRequest("boom", JS, 0, "build:crash"), Resp));
+
+  EXPECT_EQ(statusNumber(O.SocketPath, "completed"), 2);
+  EXPECT_EQ(statusNumber(O.SocketPath, "completed_ok"), 1);
+  EXPECT_EQ(statusNumber(O.SocketPath, "completed_failed"), 1);
+  EXPECT_EQ(statusNumber(O.SocketPath, "completed_degraded"), 0);
+  // One initial fork plus the re-fork after the crash.
+  EXPECT_GE(statusNumber(O.SocketPath, "generations"), 2);
+  EXPECT_GT(statusNumber(O.SocketPath, "uptime_s"), 0);
+
+  shutdownService(H);
+}
+
+TEST(ScanServiceTest, MetricsOpReportsMergedTelemetry) {
+  Scratch S("metrics");
+  std::string JS = S.writeJS("pkg.js", VulnSource);
+  ServiceOptions O;
+  O.SocketPath = S.path("d.sock");
+  O.Jobs = 1;
+  O.Quiet = true;
+  ServiceHandle H = startService(O);
+
+  std::string Resp;
+  ASSERT_TRUE(ScanService::request(O.SocketPath, scanRequest("a", JS), Resp));
+  ASSERT_TRUE(ScanService::request(O.SocketPath, scanRequest("b", JS), Resp));
+
+  ASSERT_TRUE(ScanService::request(O.SocketPath, "{\"op\":\"metrics\"}", Resp));
+  json::Object M = parseResponse(Resp);
+  EXPECT_TRUE(responseOk(M)) << Resp;
+
+  // Gauges.
+  ASSERT_TRUE(M.count("serve.uptime_s"));
+  EXPECT_GT(M.at("serve.uptime_s").asNumber(), 0);
+  ASSERT_TRUE(M.count("serve.queue_depth"));
+  EXPECT_EQ(M.at("serve.queue_depth").asNumber(), 0);
+  ASSERT_TRUE(M.count("serve.workers"));
+  EXPECT_EQ(M.at("serve.workers").asNumber(), 1);
+
+  // Counters merged up from worker processes: the scan pipeline ran in a
+  // child, so nonzero lex.tokens here proves cross-process stitching.
+  ASSERT_TRUE(M.count("counters") && M.at("counters").isObject()) << Resp;
+  const json::Object &C = M.at("counters").asObject();
+  ASSERT_TRUE(C.count("scan.attempts"));
+  EXPECT_GE(C.at("scan.attempts").asNumber(), 2);
+  ASSERT_TRUE(C.count("lex.tokens"));
+  EXPECT_GT(C.at("lex.tokens").asNumber(), 0);
+
+  // Histograms: scan latency has one sample per scan and non-degenerate
+  // percentile structure (the acceptance bar for the metrics surface).
+  ASSERT_TRUE(M.count("histograms") && M.at("histograms").isObject()) << Resp;
+  const json::Object &Hs = M.at("histograms").asObject();
+  ASSERT_TRUE(Hs.count("scan.latency_us")) << Resp;
+  const json::Object &Lat = Hs.at("scan.latency_us").asObject();
+  EXPECT_EQ(Lat.at("count").asNumber(), 2);
+  EXPECT_GT(Lat.at("p50").asNumber(), 0);
+  EXPECT_GT(Lat.at("p99").asNumber(), 0);
+  EXPECT_LE(Lat.at("p50").asNumber(), Lat.at("p99").asNumber());
+  EXPECT_GT(Lat.at("sum").asNumber(), 0);
+  // Worker-side phase histograms made it across the pipe too.
+  EXPECT_TRUE(Hs.count("phase.parse_us")) << Resp;
+  // Supervisor-side queue/turnaround clocks.
+  EXPECT_TRUE(Hs.count("queue.wait_us")) << Resp;
+  EXPECT_TRUE(Hs.count("worker.job_us")) << Resp;
+
+  shutdownService(H);
+}
+
+TEST(ScanServiceTest, MetricsOutWritesPrometheusSnapshotAtDrain) {
+  Scratch S("promout");
+  std::string JS = S.writeJS("pkg.js", VulnSource);
+  std::string Prom = S.path("m.prom");
+  ServiceOptions O;
+  O.SocketPath = S.path("d.sock");
+  O.Jobs = 1;
+  O.Quiet = true;
+  O.MetricsPath = Prom;
+  ServiceHandle H = startService(O);
+
+  std::string Resp;
+  ASSERT_TRUE(ScanService::request(O.SocketPath, scanRequest("a", JS), Resp));
+  shutdownService(H); // The drain path writes a final snapshot.
+
+  std::ifstream In(Prom);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Page = SS.str();
+  EXPECT_NE(Page.find("# TYPE graphjs_scan_attempts counter"),
+            std::string::npos)
+      << Page;
+  EXPECT_NE(Page.find("# TYPE graphjs_scan_latency_us summary"),
+            std::string::npos)
+      << Page;
+  EXPECT_NE(Page.find("graphjs_scan_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(Page.find("# TYPE graphjs_serve_uptime_s gauge"),
+            std::string::npos);
 }

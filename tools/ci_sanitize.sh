@@ -24,8 +24,10 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 "$BUILD_DIR/tests/test_faults"
 
 # The multi-process fault suite: the fork-per-package worker pool under
-# injected crash/hang/oom faults, the kill ladder, journal merge, and
-# resume across a SIGKILLed supervisor. ASan caveats the suite is built
+# injected crash/hang/oom faults, the kill ladder, journal merge, resume
+# across a SIGKILLed supervisor, and the cross-process telemetry merge
+# (worker counter/histogram deltas and span stitching decode frames the
+# supervisor received off a socket — prime sanitizer territory). ASan caveats the suite is built
 # around: fork() from an ASan parent is supported (single-threaded
 # here), but RLIMIT_AS is incompatible with ASan's shadow reservation —
 # Subprocess skips the address-space cap under ASan, and the oom fault
@@ -34,14 +36,18 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 "$BUILD_DIR/tests/test_procpool"
 
 # The scan-service suite: the length-prefixed wire protocol (incremental
-# reassembly buffers are classic overflow territory), the `graphjs serve`
-# daemon's poll loop over live sockets, worker re-fork after induced
-# crashes, and the bounded admission queue's rejection paths.
+# reassembly buffers are classic overflow territory), the telemetry
+# codec riding the response frames, the `graphjs serve` daemon's poll
+# loop over live sockets, the `metrics` op and --metrics-out snapshots,
+# worker re-fork after induced crashes, and the bounded admission
+# queue's rejection paths.
 "$BUILD_DIR/tests/test_scanservice"
 
-# The observability suite next: span tracing, the counter registry
-# (relaxed atomics — TSan-adjacent patterns ASan/UBSan still vet), the
-# query profiler, and the --trace/--explain/--profile CLI round trips.
+# The observability suite next: span tracing, the counter registry and
+# the log-bucket histograms (relaxed atomics, concurrent recording —
+# TSan-adjacent patterns ASan/UBSan still vet), Prometheus rendering,
+# the query profiler, and the --trace/--explain/--profile CLI round
+# trips.
 "$BUILD_DIR/tests/test_obs"
 
 # The pruning suite: call-graph + taint-summary bit manipulation (the

@@ -9,6 +9,7 @@
 //   graphjs lint  [options] <file.js>...     validate pipeline artifacts
 //   graphjs batch [options] <dir|list.txt>   resumable batch scan
 //   graphjs serve --socket p [options]       long-lived scan daemon
+//   graphjs metrics --socket p               one-shot daemon metrics client
 //   graphjs callgraph [options] <file.js>... static call graph + summaries
 //
 // Batch options:
@@ -36,6 +37,12 @@
 //   --recycle-mem-mb <n>    retire a persistent worker whose RSS exceeds
 //                           n MiB after a job (needs --persistent)
 //   --quiet                 suppress the stderr progress line
+//   --trace-out <t.json>    Chrome trace of the run; with --jobs the
+//                           supervisor stitches worker span trees onto
+//                           per-process pid lanes beside its own
+//                           scheduling spans
+//   --metrics-out <m.prom>  periodically rewritten Prometheus text
+//                           snapshot (counters + latency percentiles)
 //   --native / --summary / --sinks also apply
 //
 // Serve options (graphjs serve):
@@ -48,9 +55,12 @@
 //   --kill-after-ms, --recycle-after, --recycle-mem-mb, --mem-limit-mb
 //                           same worker policy knobs as batch --persistent
 //   --heartbeat-ms <n>      idle-worker ping cadence (default 5000; 0 off)
+//   --metrics-out <m.prom>  periodically rewritten Prometheus text
+//                           snapshot (counters, percentiles, gauges)
 //   --client '<json>'       one-shot client: send one NDJSON request line
 //                           to the daemon, print the response, exit 0 iff
-//                           the response says ok
+//                           the response says ok ('{"op":"metrics"}' has
+//                           the shorthand `graphjs metrics --socket p`)
 //
 // Scan options:
 //   --sinks <config.json>   custom sink configuration (§4)
@@ -136,6 +146,7 @@ int usage() {
       "                     [--jobs n] [--persistent] [--recycle-after n]\n"
       "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
       "                     [--kill-after-ms n] [--retry-crashed] [--quiet]\n"
+      "                     [--trace-out t.json] [--metrics-out m.prom]\n"
       "                     [--native] [--summary] [--no-prune]\n"
       "                     <dir|list.txt|file.js>...\n"
       "       graphjs serve --socket path [--jobs n] [--queue-max n]\n"
@@ -143,8 +154,9 @@ int usage() {
       "                     [--kill-after-ms n] [--recycle-after n]\n"
       "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
       "                     [--heartbeat-ms n] [--sinks cfg.json]\n"
-      "                     [--native] [--no-prune] [--quiet]\n"
-      "                     [--client '<json-request>']\n"
+      "                     [--metrics-out m.prom] [--native] [--no-prune]\n"
+      "                     [--quiet] [--client '<json-request>']\n"
+      "       graphjs metrics --socket path\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
       "                         <file.js>... | --packages <root-dir>\n");
   return 2;
@@ -808,7 +820,8 @@ bool collectBatchInputs(const std::string &Arg,
 }
 
 int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
-             unsigned Jobs, bool Summary, bool Stats) {
+             unsigned Jobs, bool Summary, bool Stats,
+             const std::string &TraceOut) {
   std::vector<driver::BatchInput> Inputs;
   for (const std::string &Arg : Args)
     if (!collectBatchInputs(Arg, Inputs))
@@ -818,9 +831,18 @@ int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
     return 1;
   }
 
+  // One recorder spans the whole run. Under --jobs it stitches: the pool
+  // hands its epoch to every worker and splices their span trees back on
+  // per-process pid lanes next to its own scheduling spans. In-process it
+  // simply rides along in the scan options, as in `graphjs scan`.
+  obs::TraceRecorder Recorder;
+  bool WantTrace = !TraceOut.empty();
+
   driver::BatchSummary S;
   if (Jobs > 0) {
     O.Jobs = Jobs;
+    if (WantTrace)
+      O.Trace = &Recorder;
     driver::ProcessPool Pool(std::move(O));
     S = Pool.run(Inputs);
   } else {
@@ -828,9 +850,13 @@ int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
     // the scan options.
     if (!O.Faults.empty())
       O.Batch.Scan.Fault = O.Faults.front();
+    if (WantTrace)
+      O.Batch.Scan.Trace = &Recorder;
     driver::BatchDriver Driver(std::move(O.Batch));
     S = Driver.run(Inputs);
   }
+  if (WantTrace && !writeTrace(Recorder, TraceOut))
+    return 1;
 
   if (Summary) {
     for (const driver::BatchOutcome &Outcome : S.Outcomes) {
@@ -1087,7 +1113,7 @@ int main(int argc, char **argv) {
     driver::PoolOptions O;
     unsigned Jobs = 0; // 0 = in-process BatchDriver; >=1 = worker pool.
     bool Summary = false, Stats = false, Quiet = false;
-    std::string SinksFile;
+    std::string SinksFile, TraceOut;
     std::vector<std::string> Inputs;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
@@ -1130,6 +1156,10 @@ int main(int argc, char **argv) {
         O.MemLimitMB = std::stoul(argv[++I]);
       else if (Arg == "--kill-after-ms" && I + 1 < argc)
         O.KillAfterSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--trace-out" && I + 1 < argc)
+        TraceOut = argv[++I];
+      else if (Arg == "--metrics-out" && I + 1 < argc)
+        O.Batch.MetricsPath = argv[++I];
       else if (Arg == "--inject-fault" && I + 1 < argc) {
         scanner::FaultPlan Plan;
         std::string Error;
@@ -1188,7 +1218,7 @@ int main(int argc, char **argv) {
       }
       O.Batch.Scan.Sinks = Custom;
     }
-    return runBatch(Inputs, std::move(O), Jobs, Summary, Stats);
+    return runBatch(Inputs, std::move(O), Jobs, Summary, Stats, TraceOut);
   }
 
   if (Mode == "serve") {
@@ -1217,6 +1247,8 @@ int main(int argc, char **argv) {
         O.MemLimitMB = std::stoul(argv[++I]);
       else if (Arg == "--heartbeat-ms" && I + 1 < argc)
         O.HeartbeatSeconds = std::stod(argv[++I]) / 1000.0;
+      else if (Arg == "--metrics-out" && I + 1 < argc)
+        O.MetricsPath = argv[++I];
       else if (Arg == "--native")
         O.Scan.Backend = scanner::QueryBackend::Native;
       else if (Arg == "--no-prune")
@@ -1260,6 +1292,31 @@ int main(int argc, char **argv) {
       O.Scan.Sinks = Custom;
     }
     return driver::ScanService(std::move(O)).run();
+  }
+
+  if (Mode == "metrics") {
+    // One-shot metrics client: ask a running daemon for its counters and
+    // latency percentiles. Sugar for serve --client '{"op":"metrics"}'.
+    std::string SocketPath;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--socket" && I + 1 < argc)
+        SocketPath = argv[++I];
+      else
+        return usage();
+    }
+    if (SocketPath.empty()) {
+      std::fprintf(stderr, "error: metrics requires --socket <path>\n");
+      return 2;
+    }
+    std::string Response, Error;
+    if (!driver::ScanService::request(SocketPath, "{\"op\":\"metrics\"}",
+                                      Response, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", Response.c_str());
+    return Response.find("\"ok\":true") != std::string::npos ? 0 : 1;
   }
 
   if (Mode != "scan")
