@@ -19,9 +19,14 @@
 // and is asserted: the linked scan must find every buried sink, the
 // isolated scan must find none of them.
 //
+// An async section (docs/ASYNC.md) does the same for the async lowering:
+// the promise-carried workload shapes scanned with lowering on vs off.
+// The asserted detection delta — every promise-carried sink found only
+// with lowering — plus async prune neutrality land in BENCH_pruning.json.
+//
 // Detection neutrality is asserted inline: any corpus where the pruned
-// and unpruned report multisets differ (including the linked tree scans)
-// fails the binary.
+// and unpruned report multisets differ (including the linked tree and
+// async scans) fails the binary.
 //
 //===----------------------------------------------------------------------===//
 
@@ -262,7 +267,89 @@ int main() {
   Rep.scalar("crosspkg.detection_delta", double(LinkedHits - IsolatedHits));
   Rep.scalar("crosspkg.delta_ok", DeltaOk ? 1 : 0);
 
+  // Async: the promise-carried workload shapes (taint crossing an await,
+  // a .then() chain, or a promise executor) scanned with the lowering on
+  // vs off. The detection delta is the lowering's payoff; pruning must
+  // stay neutral over the lowered corpus.
+  workload::PackageGenerator AsyncGen(4242);
+  const workload::AsyncForm AsyncForms[] = {workload::AsyncForm::Await,
+                                            workload::AsyncForm::ThenChain,
+                                            workload::AsyncForm::PromiseExecutor};
+  TablePrinter ATable({"form", "lowered", "no-lower", "lowered hits",
+                       "no-lower hits"});
+  std::vector<double> LoweredSecs, UnloweredSecs;
+  size_t LoweredHits = 0, UnloweredHits = 0;
+  bool AsyncOk = true;
+
+  for (workload::AsyncForm F : AsyncForms) {
+    workload::Package VP = AsyncGen.asyncVulnerable(F, 20);
+    workload::Package BP = AsyncGen.asyncBenign(F, 20);
+
+    scanner::Scanner Lowered{scanner::ScanOptions{}};
+    Timer TA;
+    scanner::ScanResult RV = Lowered.scanPackage(VP.Files);
+    scanner::ScanResult RB = Lowered.scanPackage(BP.Files);
+    LoweredSecs.push_back(TA.elapsedSeconds());
+
+    scanner::ScanOptions NoLower;
+    NoLower.AsyncLower = false;
+    scanner::Scanner Unlowered(NoLower);
+    Timer TU;
+    scanner::ScanResult UV = Unlowered.scanPackage(VP.Files);
+    scanner::ScanResult UB = Unlowered.scanPackage(BP.Files);
+    UnloweredSecs.push_back(TU.elapsedSeconds());
+
+    if (RV.Reports.empty()) {
+      std::fprintf(stderr, "FAIL: lowered scan missed the %s flow\n",
+                   workload::asyncFormName(F));
+      AsyncOk = false;
+    }
+    if (!UV.Reports.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: %s flow detected without lowering — the delta "
+                   "is not the lowering's doing\n",
+                   workload::asyncFormName(F));
+      AsyncOk = false;
+    }
+    if (!RB.Reports.empty() || !UB.Reports.empty()) {
+      std::fprintf(stderr, "FAIL: benign %s twin reported\n",
+                   workload::asyncFormName(F));
+      AsyncOk = false;
+    }
+
+    // Prune neutrality over the lowered async packages.
+    scanner::ScanOptions NP;
+    NP.Prune = false;
+    scanner::Scanner Unpruned(NP);
+    if (Unpruned.scanPackage(VP.Files).Reports.size() != RV.Reports.size() ||
+        Unpruned.scanPackage(BP.Files).Reports.size() != RB.Reports.size()) {
+      std::fprintf(stderr,
+                   "FAIL: pruning changed reports on the async %s corpus\n",
+                   workload::asyncFormName(F));
+      Neutral = false;
+    }
+
+    LoweredHits += RV.Reports.size();
+    UnloweredHits += UV.Reports.size();
+    ATable.addRow({workload::asyncFormName(F),
+                   TablePrinter::fmt(LoweredSecs.back() * 1000.0, 2) + "ms",
+                   TablePrinter::fmt(UnloweredSecs.back() * 1000.0, 2) + "ms",
+                   std::to_string(RV.Reports.size()),
+                   std::to_string(UV.Reports.size())});
+  }
+  std::printf("%s\n", ATable.str().c_str());
+  std::printf("async detection delta: %zu/%zu promise-carried sinks found "
+              "only with the lowering\n\n",
+              LoweredHits - UnloweredHits, size_t(3));
+
+  Rep.series("async.lowered_seconds", LoweredSecs);
+  Rep.series("async.unlowered_seconds", UnloweredSecs);
+  Rep.scalar("async.lowered_reports", double(LoweredHits));
+  Rep.scalar("async.unlowered_reports", double(UnloweredHits));
+  Rep.scalar("async.detection_delta", double(LoweredHits - UnloweredHits));
+  Rep.scalar("async.delta_ok", AsyncOk ? 1 : 0);
+
   Rep.scalar("neutral", Neutral ? 1 : 0);
   Rep.write();
-  return Neutral && DeltaOk ? 0 : 1;
+  return Neutral && DeltaOk && AsyncOk ? 0 : 1;
 }

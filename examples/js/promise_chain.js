@@ -1,0 +1,22 @@
+// An async command-injection flow for the async lowering (docs/ASYNC.md):
+// attacker input settles a promise inside `new Promise(executor)`, crosses
+// an `await` and a `.then()` reaction, and reaches the exec sink.
+// `graphjs scan` reports CWE-78 at the exec call only when the lowering
+// runs (compare `--no-async-lower`); `graphjs lint` validates the lowered
+// IR's suspend/resume and reaction shapes.
+var cp = require('child_process');
+
+function load(cmd) {
+  return new Promise(function (resolve, reject) {
+    resolve('git clone ' + cmd);
+  });
+}
+
+async function run(cmd, cb) {
+  var full = await load(cmd);
+  load(full).then(function (line) {
+    cp.exec(line, cb);
+  });
+}
+
+module.exports = run;

@@ -358,6 +358,7 @@ private:
     Site.Caller = Owner;
     Site.NumArgs = static_cast<unsigned>(S.Args.size());
     Site.IsNew = S.IsNew;
+    Site.IsReaction = S.Async == core::AsyncRole::ReactionCall;
 
     const Program &Prog = *Modules[M];
     std::string AliasTarget;
@@ -557,6 +558,21 @@ size_t CallGraph::numUnresolvedSites() const {
   return N;
 }
 
+size_t CallGraph::numReactionSites() const {
+  size_t N = 0;
+  for (const CallSite &S : Sites)
+    N += S.IsReaction;
+  return N;
+}
+
+size_t CallGraph::numUnresolvedCallbacks() const {
+  size_t N = 0;
+  for (const CallSite &S : Sites)
+    if (S.Kind != CalleeKind::Resolved)
+      N += S.CallbackArgs.size();
+  return N;
+}
+
 // Iterative Tarjan over the resolved + callback edges. Tarjan pops each
 // SCC only after every SCC it reaches has been popped, which is exactly
 // the reverse topological (callees-first) order the summary pass needs.
@@ -636,6 +652,9 @@ std::string CallGraph::dumpText() const {
      << " call sites (" << numResolvedEdges() << " resolved edges, "
      << numExternalSites() << " external, " << numUnresolvedSites()
      << " unresolved)\n";
+  if (size_t R = numReactionSites())
+    OS << "  async: " << R << " reaction sites, " << numUnresolvedCallbacks()
+       << " unresolved callbacks (soundness valve)\n";
   for (FuncId I = 0; I < Funcs.size(); ++I) {
     const CGFunction &F = Funcs[I];
     OS << "  " << F.Name;

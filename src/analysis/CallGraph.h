@@ -87,6 +87,11 @@ struct CallSite {
   FuncId Caller = InvalidFuncId;
   unsigned NumArgs = 0;
   bool IsNew = false;
+  /// A promise-reaction/executor invocation synthesized by the async
+  /// lowering (core/AsyncLower.h). Resolved reactions are registered
+  /// callbacks bound to a real callee; unresolved ones fall under the
+  /// UnresolvedCallback soundness valve (see numUnresolvedCallbacks).
+  bool IsReaction = false;
 };
 
 /// A call-graph node: a function definition or a per-module top level.
@@ -146,6 +151,13 @@ public:
   size_t numResolvedEdges() const;
   size_t numExternalSites() const;
   size_t numUnresolvedSites() const;
+  /// Reaction/executor sites from the async lowering (CallSite::IsReaction).
+  size_t numReactionSites() const;
+  /// The UnresolvedCallback soundness valve's population: function values
+  /// handed to call sites we could not resolve (callback registrations
+  /// whose invocation we cannot see). Each keeps its function reachable
+  /// and blocks pruning on paths through the site.
+  size_t numUnresolvedCallbacks() const;
 
   /// True if any function value escapes into the heap or a call
   /// argument (limits how confidently unresolved callees can be ruled

@@ -462,6 +462,16 @@ void MDGBuilder::analyzeStmt(const core::Stmt &S) {
   case StmtKind::BinOp: {
     std::set<NodeId> L1 = eval(S.LHS);
     std::set<NodeId> L2 = eval(S.RHS);
+    // The async lowering's `x := x promise-join %p` is an alias join, not
+    // a value computation: x may be the original promise object or the
+    // model object carrying the settled `%promise` property. A fresh node
+    // here would sever the property lookup the await/then suspension
+    // reads through.
+    if (S.Async == core::AsyncRole::PromiseJoin) {
+      L1.insert(L2.begin(), L2.end());
+      Store.set(S.Target, std::move(L1));
+      break;
+    }
     NodeId N = allocAtSite(S.Index, S.Loc, S.Target);
     for (NodeId L : L1)
       G->addEdge(L, N, EdgeKind::Dep);

@@ -1,0 +1,369 @@
+//===- core/AsyncLower.cpp - Promise/async lowering to Core JS -------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AsyncLower.h"
+
+#include <set>
+#include <utility>
+
+using namespace gjs;
+using namespace gjs::core;
+
+namespace {
+
+/// The synthetic property holding a promise's settled value. The '%'
+/// prefix keeps it out of the user-visible property namespace (same
+/// convention as the Normalizer's '%t' temporaries).
+const char *const PromiseProp = "%promise";
+
+class AsyncLowerer {
+public:
+  AsyncLowerer(Program &P, std::string Prefix, Deadline *D)
+      : P(P), Prefix(std::move(Prefix)), D(D), LastIndex(P.NumIndices) {}
+
+  AsyncLowerStats run() {
+    collectFuncVars(P.TopLevel);
+    for (const auto &[Name, Fn] : P.Functions)
+      collectFuncVars(Fn->Body);
+
+    lowerBlock(P.TopLevel);
+    // Snapshot first: lowering `new Promise(ex)` registers synthesized
+    // resolver functions in P.Functions while we iterate.
+    std::vector<std::shared_ptr<Function>> Fns;
+    Fns.reserve(P.Functions.size());
+    for (const auto &[Name, Fn] : P.Functions)
+      Fns.push_back(Fn);
+    for (const auto &Fn : Fns)
+      lowerBlock(Fn->Body);
+
+    P.NumIndices = LastIndex;
+    return Stats;
+  }
+
+private:
+  Program &P;
+  const std::string Prefix;
+  Deadline *D;
+  StmtIndex LastIndex;
+  unsigned NextTemp = 0;
+  AsyncLowerStats Stats;
+  /// Variables statically bound to a function value (FuncDef targets):
+  /// handlers outside this set stay with the UnresolvedCallback valve.
+  std::set<std::string> FuncVars;
+
+  bool expired() const { return D && D->expired(); }
+
+  std::string freshTemp() { return "%a" + std::to_string(++NextTemp); }
+
+  StmtPtr make(StmtKind K, const Stmt &Orig, AsyncRole Role) {
+    auto S = std::make_unique<Stmt>(K);
+    S->Index = ++LastIndex;
+    S->Loc = Orig.Loc;
+    S->Async = Role;
+    return S;
+  }
+
+  void collectFuncVars(const std::vector<StmtPtr> &Block) {
+    for (const StmtPtr &S : Block) {
+      if (S->K == StmtKind::FuncDef && !S->Target.empty())
+        FuncVars.insert(S->Target);
+      collectFuncVars(S->Then);
+      collectFuncVars(S->Else);
+      collectFuncVars(S->Body);
+    }
+  }
+
+  void noteHandler(const Operand &H) {
+    if (FuncVars.count(H.Name))
+      ++Stats.ReactionsLinked;
+    else
+      ++Stats.CallbacksUnresolved;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pattern predicates (over the Normalizer's output shapes)
+  //===--------------------------------------------------------------------===//
+
+  static bool isThenLike(const Stmt &S) {
+    return S.K == StmtKind::Call && !S.IsNew && S.Receiver.isVar() &&
+           S.Receiver.Name != "Promise" &&
+           (S.CalleeName == "then" || S.CalleeName == "catch" ||
+            S.CalleeName == "finally");
+  }
+
+  static bool isNewPromise(const Stmt &S) {
+    return S.K == StmtKind::Call && S.IsNew &&
+           (S.CalleeName == "Promise" ||
+            (S.Callee.isVar() && S.Callee.Name == "Promise")) &&
+           !S.Args.empty() && S.Args[0].isVar();
+  }
+
+  /// "resolve", "reject", "all", ... for Promise.<static> calls, else "".
+  static std::string promiseStaticKind(const Stmt &S) {
+    if (S.K != StmtKind::Call || S.IsNew)
+      return "";
+    if (S.CalleePath == "Promise.resolve" || S.CalleePath == "Promise.reject")
+      return S.CalleeName;
+    if (S.CalleePath == "Promise.all" || S.CalleePath == "Promise.allSettled" ||
+        S.CalleePath == "Promise.race" || S.CalleePath == "Promise.any")
+      return S.CalleeName;
+    return "";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rewrites
+  //===--------------------------------------------------------------------===//
+
+  /// Emits the suspend/resume sequence extracting Src's settled value into
+  /// a fresh variable (returned):
+  ///
+  ///   %r1 := Src.%promise       suspend — the stored settled value
+  ///   %r2 := %r1.%promise       suspend — one-level promise flattening
+  ///   %r3 := %r1 await %r2      resume — joins both read depths
+  ///
+  /// Flattening happens on the *read* side: a second settle write would
+  /// create a newer object version shadowing the first store (exactly the
+  /// overwrite pattern the UntaintedPath exclusion prunes), severing the
+  /// flow. Reading an extra `.%promise` level off the settled value is a
+  /// no-op for plain values (a fresh dead-end property node) and resolves
+  /// the inner settled value when a promise was settled with a promise.
+  std::string emitSettledValue(const Stmt &Orig, const std::string &Src,
+                               std::vector<StmtPtr> &Out) {
+    std::string Raw = freshTemp();
+    StmtPtr Susp = make(StmtKind::StaticLookup, Orig, AsyncRole::AwaitSuspend);
+    Susp->Target = Raw;
+    Susp->Obj = Operand::var(Src);
+    Susp->Prop = PromiseProp;
+    Out.push_back(std::move(Susp));
+
+    std::string Flat = freshTemp();
+    StmtPtr FL = make(StmtKind::StaticLookup, Orig, AsyncRole::AwaitSuspend);
+    FL->Target = Flat;
+    FL->Obj = Operand::var(Raw);
+    FL->Prop = PromiseProp;
+    Out.push_back(std::move(FL));
+
+    std::string Val = freshTemp();
+    StmtPtr Res = make(StmtKind::BinOp, Orig, AsyncRole::AwaitResume);
+    Res->Target = Val;
+    Res->LHS = Operand::var(Raw);
+    Res->Op = "await";
+    Res->RHS = Operand::var(Flat);
+    Out.push_back(std::move(Res));
+    return Val;
+  }
+
+  /// `%p.%promise := V`. Each promise is settled exactly once: a second
+  /// settle would shadow the first (see emitSettledValue); candidates are
+  /// merged with emitValueJoin before the single store.
+  void emitSettle(const Stmt &Orig, const std::string &PromiseVar,
+                  const Operand &V, std::vector<StmtPtr> &Out) {
+    StmtPtr U = make(StmtKind::StaticUpdate, Orig, AsyncRole::None);
+    U->Obj = Operand::var(PromiseVar);
+    U->Prop = PromiseProp;
+    U->Value = V;
+    Out.push_back(std::move(U));
+  }
+
+  /// `T := A promise-join B` into a fresh T (returned). The builder treats
+  /// the promise-join op as a store-level alias union — T may be either
+  /// operand's object — so properties (the settled `%promise`) stay
+  /// reachable through it, which a fresh dependency node would sever.
+  std::string emitValueJoin(const Stmt &Orig, const Operand &A,
+                            const Operand &B, std::vector<StmtPtr> &Out,
+                            StmtIndex JoinIndex = 0,
+                            const std::string &Target = "") {
+    StmtPtr J = make(StmtKind::BinOp, Orig, AsyncRole::PromiseJoin);
+    if (JoinIndex)
+      J->Index = JoinIndex;
+    J->Target = Target.empty() ? freshTemp() : Target;
+    J->LHS = A;
+    J->Op = "promise-join";
+    J->RHS = B;
+    std::string T = J->Target;
+    Out.push_back(std::move(J));
+    return T;
+  }
+
+  /// `T := T promise-join P` — folds the modeled promise into the original
+  /// call's result without dropping the unknown-call over-approximation.
+  void emitJoin(const Stmt &Orig, const std::string &PromiseVar,
+                std::vector<StmtPtr> &Out) {
+    if (Orig.Target.empty())
+      return;
+    emitValueJoin(Orig, Operand::var(Orig.Target), Operand::var(PromiseVar),
+                  Out, /*JoinIndex=*/0, /*Target=*/Orig.Target);
+  }
+
+  /// x := await e  →  suspend/resume reads plus an alias join with the
+  /// awaited operand itself (awaiting a plain value stays a passthrough).
+  void lowerAwait(const Stmt &Orig, std::vector<StmtPtr> &Out) {
+    ++Stats.AwaitsLowered;
+    if (!Orig.Value.isVar()) {
+      StmtPtr A = make(StmtKind::Assign, Orig, AsyncRole::None);
+      A->Index = Orig.Index;
+      A->Target = Orig.Target;
+      A->Value = Orig.Value;
+      Out.push_back(std::move(A));
+      return;
+    }
+    std::string Val = emitSettledValue(Orig, Orig.Value.Name, Out);
+    // Reuse the await's allocation site for the final value.
+    emitValueJoin(Orig, Orig.Value, Operand::var(Val), Out,
+                  /*JoinIndex=*/Orig.Index, /*Target=*/Orig.Target);
+  }
+
+  /// p.then/catch/finally(handlers): reaction registration. The original
+  /// call is kept (sound for plain objects with a user-defined `then`);
+  /// this appends the promise-semantics model.
+  void lowerThenLike(const Stmt &Orig, std::vector<StmtPtr> &Out) {
+    std::string Val = emitSettledValue(Orig, Orig.Receiver.Name, Out);
+    bool IsFinally = Orig.CalleeName == "finally";
+
+    std::vector<std::string> Results;
+    for (const Operand &H : Orig.Args) {
+      if (!H.isVar())
+        continue;
+      noteHandler(H);
+      StmtPtr RC = make(StmtKind::Call, Orig, AsyncRole::ReactionCall);
+      RC->Target = freshTemp();
+      RC->Callee = H;
+      RC->CalleeName = H.Name;
+      if (!IsFinally) // .finally callbacks receive no settled value.
+        RC->Args.push_back(Operand::var(Val));
+      Results.push_back(RC->Target);
+      Out.push_back(std::move(RC));
+    }
+
+    // The chained promise: settled once with the alias union of every
+    // handler's result and the source value (identity/rejection
+    // passthrough). Handler-returned promises flatten at the read side.
+    std::string Chained = freshTemp();
+    StmtPtr PA = make(StmtKind::NewObject, Orig, AsyncRole::PromiseAlloc);
+    PA->Target = Chained;
+    Out.push_back(std::move(PA));
+    std::string Settle = Val;
+    for (const std::string &R : Results)
+      Settle = emitValueJoin(Orig, Operand::var(Settle), Operand::var(R), Out);
+    emitSettle(Orig, Chained, Operand::var(Settle), Out);
+    emitJoin(Orig, Chained, Out);
+  }
+
+  /// Synthesizes `function(v) { %p.%promise := v; }`, registers it in the
+  /// program, and emits its FuncDef. Returns the variable bound to the
+  /// function value.
+  std::string synthesizeResolver(const Stmt &Orig, const std::string &PromiseVar,
+                                 const char *Base, std::vector<StmtPtr> &Out) {
+    auto Fn = std::make_shared<Function>();
+    StmtIndex FnIdx = ++LastIndex;
+    Fn->Name = Prefix + std::string(Base) + "#" + std::to_string(FnIdx);
+    Fn->OriginalName = Base;
+    Fn->Index = FnIdx;
+    Fn->Loc = Orig.Loc;
+    std::string Param = freshTemp();
+    Fn->Params.push_back(Param);
+    emitSettle(Orig, PromiseVar, Operand::var(Param), Fn->Body);
+    P.Functions[Fn->Name] = Fn;
+
+    StmtPtr FD = make(StmtKind::FuncDef, Orig, AsyncRole::ResolverDef);
+    FD->Target = freshTemp();
+    FD->Func = Fn;
+    std::string Var = FD->Target;
+    FuncVars.insert(Var);
+    Out.push_back(std::move(FD));
+    return Var;
+  }
+
+  /// new Promise(executor): resolve/reject parameter linking. The executor
+  /// is invoked directly with synthesized resolvers that settle the promise.
+  void lowerNewPromise(const Stmt &Orig, std::vector<StmtPtr> &Out) {
+    std::string PromiseVar = freshTemp();
+    StmtPtr PA = make(StmtKind::NewObject, Orig, AsyncRole::PromiseAlloc);
+    PA->Target = PromiseVar;
+    Out.push_back(std::move(PA));
+
+    std::string Res = synthesizeResolver(Orig, PromiseVar, "%resolve", Out);
+    std::string Rej = synthesizeResolver(Orig, PromiseVar, "%reject", Out);
+
+    noteHandler(Orig.Args[0]);
+    StmtPtr RC = make(StmtKind::Call, Orig, AsyncRole::ReactionCall);
+    RC->Target = freshTemp();
+    RC->Callee = Orig.Args[0];
+    RC->CalleeName = Orig.Args[0].Name;
+    RC->Args.push_back(Operand::var(Res));
+    RC->Args.push_back(Operand::var(Rej));
+    Out.push_back(std::move(RC));
+
+    emitJoin(Orig, PromiseVar, Out);
+  }
+
+  /// Promise.resolve/reject(v) and Promise.all/allSettled/race/any(arr).
+  void lowerPromiseStatic(const Stmt &Orig, const std::string &Kind,
+                          std::vector<StmtPtr> &Out) {
+    std::string PromiseVar = freshTemp();
+    StmtPtr PA = make(StmtKind::NewObject, Orig, AsyncRole::PromiseAlloc);
+    PA->Target = PromiseVar;
+    Out.push_back(std::move(PA));
+
+    if (Kind == "resolve" || Kind == "reject") {
+      if (!Orig.Args.empty())
+        emitSettle(Orig, PromiseVar, Orig.Args[0], Out);
+    } else if (!Orig.Args.empty() && Orig.Args[0].isVar()) {
+      // Combinators: an unknown element of the array, its settled value,
+      // and the array itself (Promise.all resolves with an array of
+      // values) all settle the result — merged into the single store.
+      std::string Elem = freshTemp();
+      StmtPtr EL = make(StmtKind::DynamicLookup, Orig, AsyncRole::None);
+      EL->Target = Elem;
+      EL->Obj = Orig.Args[0];
+      EL->PropOperand = Operand::undefined();
+      Out.push_back(std::move(EL));
+      std::string Val = emitSettledValue(Orig, Elem, Out);
+      std::string Settle =
+          emitValueJoin(Orig, Operand::var(Val), Orig.Args[0], Out);
+      emitSettle(Orig, PromiseVar, Operand::var(Settle), Out);
+    }
+    emitJoin(Orig, PromiseVar, Out);
+  }
+
+  void lowerBlock(std::vector<StmtPtr> &Block) {
+    std::vector<StmtPtr> Out;
+    Out.reserve(Block.size());
+    for (StmtPtr &SP : Block) {
+      Stmt &S = *SP;
+      if (expired() || S.Async != AsyncRole::None) {
+        Out.push_back(std::move(SP));
+        continue;
+      }
+      lowerBlock(S.Then);
+      lowerBlock(S.Else);
+      lowerBlock(S.Body);
+
+      if (S.K == StmtKind::UnOp && S.Op == "await") {
+        lowerAwait(S, Out); // Replaces the passthrough UnOp.
+        continue;
+      }
+      bool ThenLike = isThenLike(S);
+      bool NewPromise = isNewPromise(S);
+      std::string StaticKind = promiseStaticKind(S);
+      Out.push_back(std::move(SP)); // Keep the original call (soundness).
+      if (ThenLike)
+        lowerThenLike(S, Out);
+      else if (NewPromise)
+        lowerNewPromise(S, Out);
+      else if (!StaticKind.empty())
+        lowerPromiseStatic(S, StaticKind, Out);
+    }
+    Block = std::move(Out);
+  }
+};
+
+} // namespace
+
+AsyncLowerStats core::lowerAsync(Program &P, const std::string &ModulePrefix,
+                                 Deadline *D) {
+  return AsyncLowerer(P, ModulePrefix, D).run();
+}

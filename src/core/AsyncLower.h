@@ -1,0 +1,96 @@
+//===- core/AsyncLower.h - Promise/async lowering to Core JS -----*- C++ -*-==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The async lowering pass: desugars JavaScript's promise and async/await
+/// forms into the call/return structure the MDG builder already tracks, so
+/// taint flows that cross an `await`, a `.then()` chain, or a promise
+/// executor appear in the graph without any new graph machinery.
+///
+/// The settled value of a promise is modeled as a synthetic `%promise`
+/// property on the promise object (allocation-site abstraction makes the
+/// property read/write pair line up across function boundaries):
+///
+///  - `x := await p` becomes a suspend/resume sequence plus an alias join:
+///        %a1 := p.%promise         [suspend — stored settled value]
+///        %a2 := %a1.%promise       [suspend — one-level flattening]
+///        %a3 := %a1 await %a2      [resume]
+///        x   := p promise-join %a3 [join — alias union with p itself]
+///    Flattening is read-side (a second settle *write* would create a newer
+///    object version shadowing the first store — the very overwrite pattern
+///    the UntaintedPath exclusion prunes); the final join keeps the
+///    pre-pass passthrough behavior (awaiting a plain tainted value still
+///    flows) while adding the unwrap. The builder interprets `promise-join`
+///    as a store-level alias union, not a fresh value node, so the settled
+///    `%promise` property stays reachable through x.
+///
+///  - `x := p.then(cb)` (and .catch/.finally) keeps the original call (the
+///    receiver may be a plain object with a user-defined `then`) and
+///    registers the reaction: the settled value is extracted with the
+///    suspend/resume sequence, each function-valued handler is invoked
+///    directly with it [reaction], and a fresh chained promise [promise] is
+///    settled exactly once with the alias union of the handlers' results
+///    and the source value (rejection/identity passthrough). The chained
+///    promise joins into x.
+///
+///  - `x := new Promise(ex)` synthesizes resolve/reject functions
+///    [resolver] — each a single `%promise` store of its parameter — then
+///    invokes the executor with them [reaction]: resolve/reject parameter
+///    linking.
+///
+///  - `Promise.resolve/reject(v)` settle a fresh promise with v;
+///    `Promise.all/allSettled/race/any(a)` settle with the alias union of
+///    an unknown element's settled value and the array itself.
+///
+/// Handlers that are not statically function values stay as ordinary calls
+/// of an unknown callee — the call graph classifies those sites as
+/// Unresolved (the `UnresolvedCallback` soundness valve), which blocks
+/// pruning on any path through them.
+///
+/// The pass runs per module, immediately after normalization, and extends
+/// the program's statement-index space (Program::NumIndices) — callers that
+/// thread disjoint index ranges across modules must run it before reading
+/// NumIndices for the next module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GJS_CORE_ASYNCLOWER_H
+#define GJS_CORE_ASYNCLOWER_H
+
+#include "core/CoreIR.h"
+#include "support/Deadline.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gjs {
+namespace core {
+
+/// What the pass did — feeds the async.* observability counters.
+struct AsyncLowerStats {
+  uint64_t AwaitsLowered = 0;       ///< await sites rewritten.
+  uint64_t ReactionsLinked = 0;     ///< handlers resolved to a known function.
+  uint64_t CallbacksUnresolved = 0; ///< handlers left to the soundness valve.
+
+  AsyncLowerStats &operator+=(const AsyncLowerStats &O) {
+    AwaitsLowered += O.AwaitsLowered;
+    ReactionsLinked += O.ReactionsLinked;
+    CallbacksUnresolved += O.CallbacksUnresolved;
+    return *this;
+  }
+};
+
+/// Rewrites every async form in P in place. ModulePrefix qualifies the
+/// synthesized resolver function names (same prefix the Normalizer was
+/// given, so multi-module scans keep unique function names). A Deadline,
+/// when given, aborts the walk cooperatively.
+AsyncLowerStats lowerAsync(Program &P, const std::string &ModulePrefix = "",
+                           Deadline *D = nullptr);
+
+} // namespace core
+} // namespace gjs
+
+#endif // GJS_CORE_ASYNCLOWER_H

@@ -131,6 +131,8 @@ void dumpStmt(const Stmt &S, std::ostringstream &OS, int Depth) {
     OS << "nop";
     break;
   }
+  if (S.Async != AsyncRole::None)
+    OS << " /* async:" << asyncRoleName(S.Async) << " */";
   OS << '\n';
 }
 
@@ -148,6 +150,26 @@ size_t countBlock(const std::vector<StmtPtr> &Block) {
 }
 
 } // namespace
+
+const char *core::asyncRoleName(AsyncRole R) {
+  switch (R) {
+  case AsyncRole::None:
+    return "none";
+  case AsyncRole::AwaitSuspend:
+    return "suspend";
+  case AsyncRole::AwaitResume:
+    return "resume";
+  case AsyncRole::ReactionCall:
+    return "reaction";
+  case AsyncRole::PromiseAlloc:
+    return "promise";
+  case AsyncRole::ResolverDef:
+    return "resolver";
+  case AsyncRole::PromiseJoin:
+    return "join";
+  }
+  return "?";
+}
 
 std::string core::dump(const std::vector<StmtPtr> &Block, int Depth) {
   std::ostringstream OS;

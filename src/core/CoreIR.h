@@ -134,12 +134,32 @@ enum class StmtKind {
   Nop,
 };
 
+/// Provenance tag for statements produced (or consumed) by the async
+/// lowering pass (core/AsyncLower.h). Ordinary statements stay None. The
+/// tags let the `async` lint pass check the lowering's well-formedness
+/// (every suspend has a matching resume, reactions call real values, no
+/// orphan promise allocations) without re-deriving the rewrite.
+enum class AsyncRole : uint8_t {
+  None,
+  AwaitSuspend,  ///< `%a := p.%promise` — read the settled value.
+  AwaitResume,   ///< `x := p await %a` — join promise and settled value.
+  ReactionCall,  ///< Direct call of a registered reaction/executor.
+  PromiseAlloc,  ///< Allocation of a (chained) promise object.
+  ResolverDef,   ///< Synthesized resolve/reject function definition.
+  PromiseJoin,   ///< `x := x promise-join %p` — deliberate reassignment
+                 ///< folding the modeled promise into the original result.
+};
+
+/// Stable lowercase tag names for IR dumps and lint messages.
+const char *asyncRoleName(AsyncRole R);
+
 /// One Core JavaScript statement. Field usage depends on K; unused fields
 /// stay empty. Blocks are vectors of statements (the paper's `s1; s2`).
 struct Stmt {
   StmtKind K = StmtKind::Nop;
   StmtIndex Index = 0;      // Unique id for allocation-site abstraction.
   SourceLocation Loc;       // Position in the original JS source.
+  AsyncRole Async = AsyncRole::None; // Async-lowering provenance.
 
   std::string Target;       // `x` for statements that bind a variable.
   Operand Obj;              // e / e1 (object being read or written).

@@ -1,0 +1,172 @@
+//===- lint/AsyncPass.cpp - Async lowering well-formedness pass ------------==//
+//
+// Part of graphjs-cpp (PLDI 2024 MDG reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the async lowering's output shape (core/AsyncLower.h). The MDG
+// builder consumes the suspend/resume pairs and reaction calls purely
+// structurally, so a malformed rewrite would silently drop async flows
+// rather than crash — these checks catch it at the IR boundary:
+//
+//   async.orphan-suspend   — an await suspend (`%a := p.%promise`) with no
+//                            matching resume join later in the same block
+//   async.orphan-resume    — a resume join whose settled-value operand was
+//                            never produced by a suspend in this block
+//   async.reaction-callee  — a reaction call whose callee is not a variable
+//                            (nothing the call graph could ever resolve)
+//   async.reaction-unresolved — (note) a reaction whose callee is not
+//                            statically a function value: left to the call
+//                            graph's UnresolvedCallback soundness valve
+//   async.orphan-promise   — a promise allocation no later statement in the
+//                            block references (settles into nothing)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoreIR.h"
+#include "lint/PassManager.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace gjs;
+using namespace gjs::lint;
+using namespace gjs::core;
+
+namespace {
+
+class AsyncPass : public Pass {
+public:
+  const char *name() const override { return "async"; }
+
+  void run(const LintContext &Ctx, LintResult &Out) override {
+    Result = &Out;
+    std::vector<const Program *> Programs = Ctx.Programs;
+    if (Programs.empty() && Ctx.Program)
+      Programs.push_back(Ctx.Program);
+    for (const Program *P : Programs) {
+      if (!P)
+        continue;
+      FuncVars.clear();
+      collectFuncVars(P->TopLevel);
+      for (const auto &[Name, Fn] : P->Functions)
+        if (Fn)
+          collectFuncVars(Fn->Body);
+      checkBlock(P->TopLevel);
+      for (const auto &[Name, Fn] : P->Functions)
+        if (Fn)
+          checkBlock(Fn->Body);
+    }
+    Result = nullptr;
+  }
+
+private:
+  LintResult *Result = nullptr;
+  std::set<std::string> FuncVars;
+
+  void report(DiagSeverity Sev, const char *Check, SourceLocation Loc,
+              std::string Message) {
+    Finding F;
+    F.Severity = Sev;
+    F.Pass = name();
+    F.Check = Check;
+    F.Loc = Loc;
+    F.Message = std::move(Message);
+    Result->add(std::move(F));
+  }
+
+  void collectFuncVars(const std::vector<StmtPtr> &Block) {
+    for (const StmtPtr &S : Block) {
+      if (S->K == StmtKind::FuncDef && !S->Target.empty())
+        FuncVars.insert(S->Target);
+      collectFuncVars(S->Then);
+      collectFuncVars(S->Else);
+      collectFuncVars(S->Body);
+    }
+  }
+
+  /// Does any statement in Block (recursively) at position >= From mention
+  /// Var as an operand or receiver?
+  static bool mentions(const Stmt &S, const std::string &Var) {
+    for (const Operand *O : {&S.Obj, &S.PropOperand, &S.Value, &S.LHS, &S.RHS,
+                             &S.Callee, &S.Receiver, &S.Cond})
+      if (O->isVar() && O->Name == Var)
+        return true;
+    for (const Operand &A : S.Args)
+      if (A.isVar() && A.Name == Var)
+        return true;
+    for (const auto *Sub : {&S.Then, &S.Else, &S.Body})
+      for (const StmtPtr &N : *Sub)
+        if (mentions(*N, Var))
+          return true;
+    return false;
+  }
+
+  void checkBlock(const std::vector<StmtPtr> &Block) {
+    // Suspend targets awaiting their resume join, in this block.
+    std::set<std::string> OpenSuspends;
+    for (size_t I = 0; I < Block.size(); ++I) {
+      const Stmt &S = *Block[I];
+      checkBlock(S.Then);
+      checkBlock(S.Else);
+      checkBlock(S.Body);
+
+      switch (S.Async) {
+      case AsyncRole::AwaitSuspend:
+        if (!S.Target.empty())
+          OpenSuspends.insert(S.Target);
+        break;
+      case AsyncRole::AwaitResume: {
+        // A resume joins the raw and the flattened suspend reads: both of
+        // its operands must have been produced by suspends in this block.
+        bool ClosedAny = false;
+        for (const Operand *O : {&S.LHS, &S.RHS})
+          if (O->isVar())
+            ClosedAny |= OpenSuspends.erase(O->Name) != 0;
+        if (!ClosedAny)
+          report(DiagSeverity::Error, "async.orphan-resume", S.Loc,
+                 "await resume joins no value produced by a suspend in "
+                 "this block");
+        break;
+      }
+      case AsyncRole::ReactionCall: {
+        if (!S.Callee.isVar()) {
+          report(DiagSeverity::Error, "async.reaction-callee", S.Loc,
+                 "reaction call's callee is not a variable — the call graph "
+                 "can never resolve it");
+          break;
+        }
+        if (!FuncVars.count(S.Callee.Name))
+          report(DiagSeverity::Note, "async.reaction-unresolved", S.Loc,
+                 "reaction handler '" + S.Callee.Name +
+                     "' is not statically a function value (left to the "
+                     "UnresolvedCallback soundness valve)");
+        break;
+      }
+      case AsyncRole::PromiseAlloc: {
+        bool Used = false;
+        for (size_t J = I + 1; J < Block.size() && !Used; ++J)
+          Used = mentions(*Block[J], S.Target);
+        if (!Used)
+          report(DiagSeverity::Error, "async.orphan-promise", S.Loc,
+                 "promise allocation '" + S.Target +
+                     "' is never settled or consumed in its block");
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    for (const std::string &T : OpenSuspends)
+      report(DiagSeverity::Error, "async.orphan-suspend", {},
+             "await suspend '" + T +
+                 "' has no matching resume join in its block");
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lint::createAsyncPass() {
+  return std::make_unique<AsyncPass>();
+}

@@ -247,6 +247,10 @@ private:
             Counts[Name] += C;
       } else if (S.K == StmtKind::While) {
         countDefs(S.Body, Counts, Locs);
+      } else if (S.Async == AsyncRole::PromiseJoin) {
+        // The async lowering's promise-join deliberately reassigns the
+        // original call's target (x := x promise-join %p) — not a
+        // normalizer bug.
       } else if (!S.Target.empty() && isTemp(S.Target)) {
         if (++Counts[S.Target] == 1)
           Locs.emplace(S.Target, S.Loc);

@@ -78,6 +78,7 @@ LintResult PassManager::run(const LintContext &Ctx) const {
 PassManager PassManager::standard() {
   PassManager PM;
   PM.addPass(createIRVerifierPass());
+  PM.addPass(createAsyncPass());
   PM.addPass(createMDGCheckPass());
   PM.addPass(createQuerySchemaPass());
   PM.addPass(createCallGraphPass());

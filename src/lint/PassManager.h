@@ -6,13 +6,19 @@
 ///
 /// \file
 /// The static validation subsystem (`graphjs lint`): a lightweight pass
-/// manager running check passes over the pipeline's artifacts. Five pass
+/// manager running check passes over the pipeline's artifacts. Six pass
 /// families ship by default:
 ///
 ///  - **ir-verify** — post-Normalizer Core IR invariants (temporaries
 ///    defined before use, single-assignment temporaries, well-formed
 ///    function/export registries, unique allocation-site indices) plus
 ///    orphaned-CFG-block detection.
+///
+///  - **async** — async-lowering well-formedness (core/AsyncLower.h):
+///    every await suspend has a matching resume join, reaction calls
+///    target variables (with a note for handlers left to the call graph's
+///    UnresolvedCallback soundness valve), and no promise allocation is
+///    orphaned (see docs/ASYNC.md).
 ///
 ///  - **mdg-check** — MDG well-formedness over any built graph: edge
 ///    endpoints in range, adjacency-list/edge-set consistency, property
@@ -106,8 +112,8 @@ public:
   void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
   LintResult run(const LintContext &Ctx) const;
 
-  /// The standard pipeline: ir-verify, mdg-check, query-schema, callgraph,
-  /// pkggraph.
+  /// The standard pipeline: ir-verify, async, mdg-check, query-schema,
+  /// callgraph, pkggraph.
   static PassManager standard();
 
 private:
@@ -118,6 +124,7 @@ private:
 /// constructible for targeted checking, e.g. the scanner's SelfCheck mode
 /// runs only the MDG checker).
 std::unique_ptr<Pass> createIRVerifierPass();
+std::unique_ptr<Pass> createAsyncPass();
 std::unique_ptr<Pass> createMDGCheckPass();
 std::unique_ptr<Pass> createQuerySchemaPass();
 std::unique_ptr<Pass> createCallGraphPass();

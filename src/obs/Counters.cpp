@@ -89,6 +89,9 @@ Counter QueryRows("query.rows");
 Counter DeadlineUnits("deadline.units");
 Counter ScanAttempts("scan.attempts");
 Counter ScanRetries("scan.retries");
+Counter AsyncAwaitsLowered("async.awaits_lowered");
+Counter AsyncReactionsLinked("async.reactions_linked");
+Counter AsyncCallbacksUnresolved("async.callbacks_unresolved");
 Counter SummariesComputed("summaries.computed");
 Counter CallGraphEdgesResolved("callgraph.edges_resolved");
 Counter CallGraphEdgesUnresolved("callgraph.edges_unresolved");

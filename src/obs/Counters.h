@@ -117,6 +117,13 @@ extern Counter QueryRows;       ///< query.rows — result rows emitted.
 extern Counter DeadlineUnits;   ///< deadline.units — checkpointed work.
 extern Counter ScanAttempts;    ///< scan.attempts — pipeline attempts run.
 extern Counter ScanRetries;     ///< scan.retries — degradation retries.
+extern Counter AsyncAwaitsLowered;      ///< async.awaits_lowered — await
+                                        ///< sites rewritten to suspend/resume.
+extern Counter AsyncReactionsLinked;    ///< async.reactions_linked — promise
+                                        ///< reactions bound to a known fn.
+extern Counter AsyncCallbacksUnresolved; ///< async.callbacks_unresolved —
+                                        ///< handlers left to the soundness
+                                        ///< valve (dynamic callee).
 extern Counter SummariesComputed;       ///< summaries.computed — fn summaries.
 extern Counter CallGraphEdgesResolved;  ///< callgraph.edges_resolved.
 extern Counter CallGraphEdgesUnresolved; ///< callgraph.edges_unresolved.

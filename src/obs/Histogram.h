@@ -171,6 +171,7 @@ void resetHistograms();
 namespace hists {
 extern Histogram ScanLatency; ///< scan.latency_us — per-package scan wall.
 extern Histogram PhaseParse;  ///< phase.parse_us — parse+normalize (CFG) time.
+extern Histogram PhaseLower;  ///< phase.lower_us — async lowering time.
 extern Histogram PhaseBuild;  ///< phase.build_us — MDG construction time.
 extern Histogram PhaseImport; ///< phase.import_us — graphdb import time.
 extern Histogram PhaseQuery;  ///< phase.query_us — query matching time.

@@ -87,6 +87,10 @@ std::string ScanError::str() const {
     S += File;
     S += "]";
   }
+  if (Loc.isValid()) {
+    S += ":";
+    S += Loc.str();
+  }
   if (!Detail.empty()) {
     S += ": ";
     S += Detail;

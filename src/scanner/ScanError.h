@@ -21,6 +21,7 @@
 #define GJS_SCANNER_SCANERROR_H
 
 #include "support/Deadline.h"
+#include "support/SourceLocation.h"
 
 #include <string>
 
@@ -73,8 +74,12 @@ struct ScanError {
   /// Per-file attribution (parse errors, per-file deadline hits); empty when
   /// the error concerns the whole package.
   std::string File;
+  /// The offending token's position (parse errors): structured line/column
+  /// for corpus triage, so consumers need not re-parse Detail. Invalid
+  /// (0:0) when the error has no single source position.
+  SourceLocation Loc;
 
-  /// "build: budget: work budget exhausted (work=2000001)".
+  /// "parse: parse-error [a.js]:3:7: expected '(' ...".
   std::string str() const;
 
   bool isTimeout() const {

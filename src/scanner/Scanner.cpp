@@ -9,6 +9,7 @@
 #include "analysis/CallGraph.h"
 #include "analysis/PackageGraph.h"
 #include "analysis/TaintSummary.h"
+#include "core/AsyncLower.h"
 #include "core/Normalizer.h"
 #include "frontend/Parser.h"
 #include "lint/PassManager.h"
@@ -128,6 +129,7 @@ runSelfCheck(const analysis::BuildResult &Build,
              const analysis::PackageGraph *Packages = nullptr) {
   lint::PassManager PM;
   PM.addPass(lint::createMDGCheckPass());
+  PM.addPass(lint::createAsyncPass());
   PM.addPass(lint::createCallGraphPass());
   if (Packages)
     PM.addPass(lint::createPkgGraphPass());
@@ -234,6 +236,15 @@ std::string firstErrorMessage(const DiagnosticEngine &Diags) {
   return "parse failed";
 }
 
+/// The first error diagnostic's source position (the offending token), so
+/// ScanError carries structured line/column for corpus triage.
+SourceLocation firstErrorLoc(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Error)
+      return D.Loc;
+  return SourceLocation();
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -324,7 +335,8 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
         auto Module = parseJS(Files[I].Contents, Diags, &D, TR);
         if (Diags.hasErrors()) {
           Out.Errors.push_back({ScanPhase::Parse, ScanErrorKind::ParseError,
-                                firstErrorMessage(Diags), Files[I].Name});
+                                firstErrorMessage(Diags), Files[I].Name,
+                                firstErrorLoc(Diags)});
           FileSpan.arg("error", "parse failed");
           continue;
         }
@@ -363,6 +375,20 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
                                     : Stems[I] + "$";
         core::Normalizer Norm(Diags, Prefix, NextIndex, &D);
         Programs[I] = Norm.normalize(*ASTs[I]);
+        // Async lowering extends this module's statement-index range, so it
+        // must run before the next module's range is carved out.
+        if (Cfg.AsyncLower) {
+          obs::Span LowerSpan(TR, "lower");
+          Timer LowerTimer;
+          core::AsyncLowerStats AS = core::lowerAsync(*Programs[I], Prefix, &D);
+          Out.Times.Lower += LowerTimer.elapsedSeconds();
+          obs::counters::AsyncAwaitsLowered.add(AS.AwaitsLowered);
+          obs::counters::AsyncReactionsLinked.add(AS.ReactionsLinked);
+          obs::counters::AsyncCallbacksUnresolved.add(AS.CallbacksUnresolved);
+          LowerSpan.arg("awaits_lowered", AS.AwaitsLowered);
+          LowerSpan.arg("reactions_linked", AS.ReactionsLinked);
+          LowerSpan.arg("callbacks_unresolved", AS.CallbacksUnresolved);
+        }
         NextIndex = Programs[I]->NumIndices + 1;
         size_t Stmts = core::countStmts(Programs[I]->TopLevel);
         for (const auto &[Name, Fn] : Programs[I]->Functions)
@@ -374,7 +400,7 @@ ScanResult Scanner::runAttempt(const std::vector<SourceFile> &Files,
     NormSpan.arg("core_stmts", static_cast<uint64_t>(Out.CoreStmts));
   }
   noteDeadline(ScanPhase::Normalize);
-  Out.Times.Parse = Phase.elapsedSeconds();
+  Out.Times.Parse = Phase.elapsedSeconds() - Out.Times.Lower;
 
   // Pre-query pruning (summary stage): a static call graph plus
   // bottom-up per-function taint summaries over the normalized Core IR
@@ -690,6 +716,7 @@ ScanResult Scanner::scanWithLadder(const std::vector<SourceFile> &Files,
   // Phase latency distributions: cumulative across ladder attempts, so a
   // degraded package attributes its full (retried) cost to each phase.
   obs::hists::PhaseParse.recordSeconds(Out.CumulativeTimes.Parse);
+  obs::hists::PhaseLower.recordSeconds(Out.CumulativeTimes.Lower);
   obs::hists::PhaseBuild.recordSeconds(Out.CumulativeTimes.GraphBuild);
   obs::hists::PhaseImport.recordSeconds(Out.CumulativeTimes.DbImport);
   obs::hists::PhaseQuery.recordSeconds(Out.CumulativeTimes.Query);

@@ -136,6 +136,12 @@ struct ScanOptions {
   /// construction: any unresolved callee on a relevant path falls back to
   /// the full pipeline. `graphjs scan --no-prune` clears this.
   bool Prune = true;
+  /// Async lowering (core/AsyncLower.h): desugar await, promise reactions
+  /// (`.then/.catch/.finally`), `new Promise(executor)`, and the Promise.*
+  /// statics into Core JS call/return structure right after normalization,
+  /// so taint crossing async boundaries appears in the MDG. `graphjs scan
+  /// --no-async-lower` clears this (corpus A/B runs, lowering triage).
+  bool AsyncLower = true;
   /// Degradation-ladder depth: how many times a package whose scan hit a
   /// containable failure (injected fault, deadline, work budget) is retried
   /// with cheaper settings. 0 disables retries (single attempt, partial
@@ -151,12 +157,16 @@ struct ScanOptions {
 /// Per-phase timing (seconds) — the Table 6 breakdown.
 struct PhaseTimes {
   double Parse = 0;
+  double Lower = 0; ///< Async lowering (a sub-phase between parse and build).
   double GraphBuild = 0;
   double DbImport = 0;
   double Query = 0;
-  double total() const { return Parse + GraphBuild + DbImport + Query; }
+  double total() const {
+    return Parse + Lower + GraphBuild + DbImport + Query;
+  }
   void accumulate(const PhaseTimes &O) {
     Parse += O.Parse;
+    Lower += O.Lower;
     GraphBuild += O.GraphBuild;
     DbImport += O.DbImport;
     Query += O.Query;

@@ -618,6 +618,153 @@ Package PackageGenerator::benignWithSafeSinks(size_t FillerLoC) {
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Async flows (docs/ASYNC.md)
+//===----------------------------------------------------------------------===//
+
+const char *workload::asyncFormName(AsyncForm F) {
+  switch (F) {
+  case AsyncForm::Await:
+    return "await";
+  case AsyncForm::ThenChain:
+    return "then-chain";
+  case AsyncForm::PromiseExecutor:
+    return "promise-executor";
+  case AsyncForm::ErrorFirstCallback:
+    return "error-first-callback";
+  }
+  return "?";
+}
+
+Package PackageGenerator::asyncVulnerable(AsyncForm F, size_t FillerLoC) {
+  Package P;
+  CodeWriter W;
+  W.emit("var cp = require('child_process');");
+  uint32_t Sink = 0;
+  switch (F) {
+  case AsyncForm::Await:
+    // The tainted command only exists as the executor's resolve argument:
+    // without the lowering's settlement model it dead-ends there and the
+    // awaited value stays clean.
+    W.emit("function load(cmd) {");
+    W.emit("  return new Promise(function(res, rej) {");
+    W.emit("    res('git ' + cmd);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("async function run(cmd, cb) {");
+    W.emit("  var full = await load(cmd);");
+    Sink = W.emit("  cp.exec(full, cb);");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::ThenChain:
+    W.emit("function load(cmd) {");
+    W.emit("  return new Promise(function(res, rej) {");
+    W.emit("    res('tar ' + cmd);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("function run(cmd, cb) {");
+    W.emit("  load(cmd).then(function(full) {");
+    Sink = W.emit("    cp.exec(full, cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::PromiseExecutor:
+    // Two-stage chain: the first handler's return value settles the
+    // chained promise the second handler consumes.
+    W.emit("function run(cmd, cb) {");
+    W.emit("  var p = new Promise(function(res, rej) {");
+    W.emit("    res(cmd);");
+    W.emit("  });");
+    W.emit("  p.then(function(c) {");
+    W.emit("    return 'zip ' + c;");
+    W.emit("  }).then(function(full) {");
+    Sink = W.emit("    cp.exec(full, cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::ErrorFirstCallback:
+    W.emit("var fs = require('fs');");
+    W.emit("function run(path, cb) {");
+    W.emit("  fs.readFile(path, function(err, data) {");
+    Sink = W.emit("    cp.exec('cat ' + data, cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  }
+  P.Annotations.push_back({VulnType::CommandInjection, Sink});
+  emitFiller(W, FillerLoC);
+  P.Name = std::string("async-") + asyncFormName(F) + "-" +
+           std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
+Package PackageGenerator::asyncBenign(AsyncForm F, size_t FillerLoC) {
+  Package P;
+  CodeWriter W;
+  W.emit("var cp = require('child_process');");
+  switch (F) {
+  case AsyncForm::Await:
+    W.emit("function load() {");
+    W.emit("  return new Promise(function(res, rej) {");
+    W.emit("    res('git status');");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("async function run(cb) {");
+    W.emit("  var full = await load();");
+    W.emit("  cp.exec(full, cb);");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::ThenChain:
+    W.emit("function load() {");
+    W.emit("  return new Promise(function(res, rej) {");
+    W.emit("    res('tar --list');");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("function run(cb) {");
+    W.emit("  load().then(function(full) {");
+    W.emit("    cp.exec(full, cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::PromiseExecutor:
+    W.emit("function run(cb) {");
+    W.emit("  var p = new Promise(function(res, rej) {");
+    W.emit("    res('zip');");
+    W.emit("  });");
+    W.emit("  p.then(function(c) {");
+    W.emit("    return c + ' -r';");
+    W.emit("  }).then(function(full) {");
+    W.emit("    cp.exec(full, cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  case AsyncForm::ErrorFirstCallback:
+    W.emit("var fs = require('fs');");
+    W.emit("function run(cb) {");
+    W.emit("  fs.readFile('./VERSION', function(err, data) {");
+    W.emit("    cp.exec('git describe', cb);");
+    W.emit("  });");
+    W.emit("}");
+    W.emit("module.exports = run;");
+    break;
+  }
+  emitFiller(W, FillerLoC);
+  P.Name = std::string("async-safe-") + asyncFormName(F) + "-" +
+           std::to_string(NextId++);
+  P.LoC = W.loc();
+  P.Files.push_back({"index.js", W.str()});
+  return P;
+}
+
 Package PackageGenerator::dynamicRequire(size_t FillerLoC) {
   Package P;
   CodeWriter W;

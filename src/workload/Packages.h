@@ -70,6 +70,23 @@ enum class VariantKind {
                    ///< tests the UntaintedPath exclusion.
 };
 
+/// Which async construct carries the main flow of an async package (see
+/// docs/ASYNC.md). The first three route the taint through the promise
+/// settlement model that only exists after the async lowering
+/// (core/AsyncLower.h): without `--no-async-lower` disabled lowering the
+/// value dead-ends inside `resolve(x)` and the sink is missed. The
+/// error-first callback form needs no lowering — the builder's
+/// unknown-call callback rule already carries it — and pins down that the
+/// lowering does not regress it.
+enum class AsyncForm {
+  Await,              ///< `await` on an executor-settled promise
+  ThenChain,          ///< executor promise consumed via `.then(handler)`
+  PromiseExecutor,    ///< `new Promise(executor)` + a two-stage then chain
+  ErrorFirstCallback, ///< node-style `cb(err, data)` — no promises at all
+};
+
+const char *asyncFormName(AsyncForm F);
+
 /// One generated package.
 struct Package {
   std::string Name;
@@ -107,6 +124,16 @@ public:
   /// A plugin-loader package with a dynamic `require` — Graph.js reports
   /// it as CWE-94 but it is rarely exploitable (the §5.3 FP driver).
   Package dynamicRequire(size_t FillerLoC = 0);
+
+  /// A command-injection package whose main flow crosses the given async
+  /// construct. Annotated like `vulnerable`; the promise-backed forms are
+  /// only detectable with the async lowering enabled.
+  Package asyncVulnerable(AsyncForm F, size_t FillerLoC = 0);
+
+  /// The benign twin: identical async structure, but the promise settles
+  /// with a constant, so nothing attacker-controlled reaches the sink.
+  /// Any report here is a lowering-induced false positive.
+  Package asyncBenign(AsyncForm F, size_t FillerLoC = 0);
 
   RNG &rng() { return R; }
 

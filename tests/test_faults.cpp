@@ -510,10 +510,10 @@ TEST(BatchCLITest, InjectedFaultBatchCompletesRemainingPackages) {
   EXPECT_EQ(std::system(Cmd.c_str()), 0)
       << "a contained fault must not fail the batch";
 
-  // All three example packages are journaled; the first (alphabetically
+  // All four example packages are journaled; the first (alphabetically
   // clean_utils.js) carries the injected-fault error, the rest are clean.
   std::vector<std::string> Lines = readLines(Journal);
-  ASSERT_EQ(Lines.size(), 3u);
+  ASSERT_EQ(Lines.size(), 4u);
   json::Object First = parseLine(Lines[0]);
   EXPECT_EQ(First.at("package").asString(), "clean_utils.js");
   EXPECT_EQ(First.at("status").asString(), "degraded");
@@ -541,17 +541,17 @@ TEST(BatchCLITest, ResumeAfterKillRescansOnlyUnjournaled) {
             0);
   EXPECT_EQ(driver::BatchDriver::journaledPackages(Journal).size(), 1u);
 
-  // Resume: the journal ends up covering all three packages exactly once —
-  // three lines total proves the journaled package was not re-scanned.
+  // Resume: the journal ends up covering all four packages exactly once —
+  // four lines total proves the journaled package was not re-scanned.
   EXPECT_EQ(std::system((Base + "--resume " + Dir + " > /dev/null 2>&1")
                             .c_str()),
             0);
   std::vector<std::string> Lines = readLines(Journal);
-  ASSERT_EQ(Lines.size(), 3u);
+  ASSERT_EQ(Lines.size(), 4u);
   std::set<std::string> Names;
   for (const std::string &L : Lines)
     Names.insert(parseLine(L).at("package").asString());
-  EXPECT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names.size(), 4u);
 }
 
 #endif // GRAPHJS_BIN && GJS_EXAMPLES_JS_DIR

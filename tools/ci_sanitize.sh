@@ -61,4 +61,10 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # missing/unparseable-dependency recovery paths end to end.
 "$BUILD_DIR/tests/test_pkggraph"
 
+# The async suite: the lowering pass rewrites statement blocks in place
+# (move-heavy vector splicing ASan vets), the detection matrix re-runs
+# the full pipeline with lowering on/off across both backends, and the
+# lint-pass tests feed hand-built malformed IR through the checkers.
+"$BUILD_DIR/tests/test_async"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

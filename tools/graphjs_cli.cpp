@@ -99,6 +99,7 @@
 #include "analysis/PackageGraph.h"
 #include "analysis/TaintSummary.h"
 #include "cfg/CFG.h"
+#include "core/AsyncLower.h"
 #include "core/Normalizer.h"
 #include "driver/BatchDriver.h"
 #include "driver/ProcessPool.h"
@@ -108,11 +109,13 @@
 #include "graphdb/SchemaLint.h"
 #include "lint/PassManager.h"
 #include "obs/Counters.h"
+#include "obs/Histogram.h"
 #include "obs/Trace.h"
 #include "queries/QueryRunner.h"
 #include "scanner/Scanner.h"
 #include "scanner/WitnessReplay.h"
 #include "support/JSON.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <array>
@@ -133,8 +136,9 @@ int usage() {
       stderr,
       "usage: graphjs scan [--sinks cfg.json] [--native] [--confirm]\n"
       "                    [--dump-core] [--dump-mdg] [--summary]\n"
-      "                    [--self-check] [--no-prune] [--trace]\n"
-      "                    [--trace-out t.json] [--package] <file.js>...\n"
+      "                    [--self-check] [--no-prune] [--no-async-lower]\n"
+      "                    [--trace] [--trace-out t.json] [--package]\n"
+      "                    <file.js>...\n"
       "       graphjs scan --with-deps [--emit-summaries dir] [options]\n"
       "                    <root-dir>\n"
       "       graphjs query [--explain] [--profile] [--builtin]\n"
@@ -148,14 +152,15 @@ int usage() {
       "                     [--kill-after-ms n] [--retry-crashed] [--quiet]\n"
       "                     [--trace-out t.json] [--metrics-out m.prom]\n"
       "                     [--native] [--summary] [--no-prune]\n"
-      "                     <dir|list.txt|file.js>...\n"
+      "                     [--no-async-lower] <dir|list.txt|file.js>...\n"
       "       graphjs serve --socket path [--jobs n] [--queue-max n]\n"
       "                     [--journal out.jsonl] [--deadline-ms n]\n"
       "                     [--kill-after-ms n] [--recycle-after n]\n"
       "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
       "                     [--heartbeat-ms n] [--sinks cfg.json]\n"
       "                     [--metrics-out m.prom] [--native] [--no-prune]\n"
-      "                     [--quiet] [--client '<json-request>']\n"
+      "                     [--no-async-lower] [--quiet]\n"
+      "                     [--client '<json-request>']\n"
       "       graphjs metrics --socket path\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
       "                         <file.js>... | --packages <root-dir>\n");
@@ -195,8 +200,8 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
             bool DumpCore, bool DumpMDG, bool DumpDot, bool Summary,
-            bool SelfCheck, bool Prune, const std::string &SinksFile,
-            obs::TraceRecorder *TR) {
+            bool SelfCheck, bool Prune, bool AsyncLower,
+            const std::string &SinksFile, obs::TraceRecorder *TR) {
   queries::SinkConfig Sinks = queries::SinkConfig::defaults();
   if (!SinksFile.empty()) {
     std::string Text;
@@ -257,6 +262,18 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
                    Diags.str().c_str());
       ExitCode = 1;
       continue;
+    }
+    if (AsyncLower) {
+      obs::Span LowerSpan(TR, "lower");
+      Timer LowerTimer;
+      core::AsyncLowerStats AS = core::lowerAsync(*Program);
+      obs::hists::PhaseLower.recordSeconds(LowerTimer.elapsedSeconds());
+      obs::counters::AsyncAwaitsLowered.add(AS.AwaitsLowered);
+      obs::counters::AsyncReactionsLinked.add(AS.ReactionsLinked);
+      obs::counters::AsyncCallbacksUnresolved.add(AS.CallbacksUnresolved);
+      LowerSpan.arg("awaits_lowered", AS.AwaitsLowered);
+      LowerSpan.arg("reactions_linked", AS.ReactionsLinked);
+      LowerSpan.arg("callbacks_unresolved", AS.CallbacksUnresolved);
     }
     if (DumpCore)
       std::printf("== %s: Core JavaScript ==\n%s\n", Path.c_str(),
@@ -380,11 +397,12 @@ int runScan(const std::vector<std::string> &Files, bool Native, bool Confirm,
 /// Linked multi-file scan: one MDG for all inputs (local requires
 /// resolve across files).
 int runPackageScan(const std::vector<std::string> &Files, bool Native,
-                   bool Summary, bool SelfCheck, bool Prune,
+                   bool Summary, bool SelfCheck, bool Prune, bool AsyncLower,
                    const std::string &SinksFile, obs::TraceRecorder *TR) {
   scanner::ScanOptions O;
   O.SelfCheck = SelfCheck;
   O.Prune = Prune;
+  O.AsyncLower = AsyncLower;
   O.Trace = TR;
   if (!SinksFile.empty()) {
     std::string Text;
@@ -469,6 +487,7 @@ bool buildLinkedTree(const analysis::PackageGraph &G, LinkedTree &B) {
       core::Normalizer Norm(Diags, M.Pkg + "$" + AllStems[I] + "$",
                             NextIndex);
       Parsed[I] = Norm.normalize(*Module);
+      core::lowerAsync(*Parsed[I], M.Pkg + "$" + AllStems[I] + "$");
       NextIndex = Parsed[I]->NumIndices + 1;
     }
     if (Diags.hasErrors()) {
@@ -542,7 +561,8 @@ bool emitPackageSummaries(const analysis::PackageGraph &G,
 /// boundaries (a sink buried levels deep in node_modules) are visible,
 /// unlike an isolated per-package scan.
 int runDepsScan(const std::string &RootDir, bool Native, bool Summary,
-                bool SelfCheck, bool Prune, const std::string &SinksFile,
+                bool SelfCheck, bool Prune, bool AsyncLower,
+                const std::string &SinksFile,
                 const std::string &EmitSummariesDir, obs::TraceRecorder *TR) {
   analysis::PackageGraph G;
   std::string Error;
@@ -554,6 +574,7 @@ int runDepsScan(const std::string &RootDir, bool Native, bool Summary,
   scanner::ScanOptions O;
   O.SelfCheck = SelfCheck;
   O.Prune = Prune;
+  O.AsyncLower = AsyncLower;
   O.Trace = TR;
   if (!SinksFile.empty()) {
     std::string Text;
@@ -718,8 +739,10 @@ int runCallGraph(const std::vector<std::string> &Files, bool Dot,
       return 1;
     }
     std::string Stem = std::filesystem::path(Path).stem().string();
-    core::Normalizer Norm(Diags, SingleFile ? "" : Stem + "$", NextIndex);
+    std::string Prefix = SingleFile ? "" : Stem + "$";
+    core::Normalizer Norm(Diags, Prefix, NextIndex);
     Programs.push_back(Norm.normalize(*Module));
+    core::lowerAsync(*Programs.back(), Prefix);
     NextIndex = Programs.back()->NumIndices + 1;
     Stems.push_back(std::move(Stem));
   }
@@ -914,6 +937,7 @@ int runLint(const std::vector<std::string> &Files, bool Summary,
     cfg::ModuleCFG CFG = cfg::buildCFG(*Module);
     core::Normalizer Norm(Diags);
     auto Program = Norm.normalize(*Module);
+    core::lowerAsync(*Program);
     analysis::BuildResult Build = analysis::buildMDG(*Program);
 
     lint::LintContext Ctx;
@@ -1121,6 +1145,8 @@ int main(int argc, char **argv) {
         O.Batch.Scan.Backend = scanner::QueryBackend::Native;
       else if (Arg == "--no-prune")
         O.Batch.Scan.Prune = false;
+      else if (Arg == "--no-async-lower")
+        O.Batch.Scan.AsyncLower = false;
       else if (Arg == "--summary")
         Summary = true;
       else if (Arg == "--stats")
@@ -1253,6 +1279,8 @@ int main(int argc, char **argv) {
         O.Scan.Backend = scanner::QueryBackend::Native;
       else if (Arg == "--no-prune")
         O.Scan.Prune = false;
+      else if (Arg == "--no-async-lower")
+        O.Scan.AsyncLower = false;
       else if (Arg == "--quiet")
         O.Quiet = true;
       else if (Arg == "--sinks" && I + 1 < argc)
@@ -1324,7 +1352,8 @@ int main(int argc, char **argv) {
 
   bool Native = false, Confirm = false, DumpCore = false, DumpMDG = false,
        DumpDot = false, Summary = false, AsPackage = false,
-       WithDeps = false, SelfCheck = false, Trace = false, Prune = true;
+       WithDeps = false, SelfCheck = false, Trace = false, Prune = true,
+       AsyncLower = true;
   std::string SinksFile, TraceOut, EmitSummariesDir;
   std::vector<std::string> Files;
   for (int I = 2; I < argc; ++I) {
@@ -1351,6 +1380,8 @@ int main(int argc, char **argv) {
       SelfCheck = true;
     else if (Arg == "--no-prune")
       Prune = false;
+    else if (Arg == "--no-async-lower")
+      AsyncLower = false;
     else if (Arg == "--trace")
       Trace = true;
     else if (Arg == "--trace-out" && I + 1 < argc)
@@ -1379,14 +1410,14 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: --with-deps takes one root directory\n");
       return usage();
     }
-    Code = runDepsScan(Files[0], Native, Summary, SelfCheck, Prune, SinksFile,
-                       EmitSummariesDir, TR);
+    Code = runDepsScan(Files[0], Native, Summary, SelfCheck, Prune, AsyncLower,
+                       SinksFile, EmitSummariesDir, TR);
   } else if (AsPackage) {
-    Code = runPackageScan(Files, Native, Summary, SelfCheck, Prune, SinksFile,
-                          TR);
+    Code = runPackageScan(Files, Native, Summary, SelfCheck, Prune, AsyncLower,
+                          SinksFile, TR);
   } else {
     Code = runScan(Files, Native, Confirm, DumpCore, DumpMDG, DumpDot, Summary,
-                   SelfCheck, Prune, SinksFile, TR);
+                   SelfCheck, Prune, AsyncLower, SinksFile, TR);
   }
   if (TR) {
     if (Trace) {
