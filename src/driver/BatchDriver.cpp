@@ -13,6 +13,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -28,13 +29,15 @@ const char *driver::batchStatusName(BatchStatus S) {
     return "degraded";
   case BatchStatus::Failed:
     return "failed";
+  case BatchStatus::Quarantined:
+    return "quarantined";
   }
   return "unknown";
 }
 
 bool driver::batchStatusFromName(const std::string &Name, BatchStatus &Out) {
-  for (BatchStatus S :
-       {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::Failed}) {
+  for (BatchStatus S : {BatchStatus::Ok, BatchStatus::Degraded,
+                        BatchStatus::Failed, BatchStatus::Quarantined}) {
     if (Name == batchStatusName(S)) {
       Out = S;
       return true;
@@ -44,6 +47,81 @@ bool driver::batchStatusFromName(const std::string &Name, BatchStatus &Out) {
 }
 
 BatchDriver::BatchDriver(BatchOptions Options) : Options(std::move(Options)) {}
+
+//===----------------------------------------------------------------------===//
+// CRC32 + length framing
+//===----------------------------------------------------------------------===//
+
+uint32_t driver::journalCrc32(const std::string &Data) {
+  // IEEE 802.3 / zlib polynomial, table built on first use. Journal lines
+  // are short; a 256-entry byte-at-a-time table is plenty.
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  for (unsigned char B : Data)
+    C = Table[(C ^ B) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+std::string driver::frameJournalLine(const std::string &Payload) {
+  char Head[32];
+  std::snprintf(Head, sizeof(Head), "@%zu:%08x:", Payload.size(),
+                journalCrc32(Payload));
+  return Head + Payload;
+}
+
+bool driver::unframeJournalLine(const std::string &Line, std::string &Payload,
+                                bool *WasFramed) {
+  if (Line.empty() || Line[0] != '@') {
+    // Bare line: pass through. Callers that need JSON still validate it.
+    Payload = Line;
+    if (WasFramed)
+      *WasFramed = false;
+    return true;
+  }
+  if (WasFramed)
+    *WasFramed = true;
+  size_t LenEnd = Line.find(':', 1);
+  if (LenEnd == std::string::npos || LenEnd == 1)
+    return false;
+  size_t Len = 0;
+  for (size_t I = 1; I < LenEnd; ++I) {
+    if (Line[I] < '0' || Line[I] > '9')
+      return false;
+    Len = Len * 10 + static_cast<size_t>(Line[I] - '0');
+  }
+  // 8 hex CRC digits + the second ':' separator.
+  size_t CrcEnd = LenEnd + 9;
+  if (CrcEnd >= Line.size() || Line[CrcEnd] != ':')
+    return false;
+  uint32_t Crc = 0;
+  for (size_t I = LenEnd + 1; I < CrcEnd; ++I) {
+    char C = Line[I];
+    uint32_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = static_cast<uint32_t>(C - 'a') + 10;
+    else
+      return false;
+    Crc = (Crc << 4) | Nibble;
+  }
+  // A SIGKILL mid-write leaves a short payload; anything but an exact
+  // length + CRC match is a torn/corrupt record.
+  std::string Body = Line.substr(CrcEnd + 1);
+  if (Body.size() != Len || journalCrc32(Body) != Crc)
+    return false;
+  Payload = std::move(Body);
+  return true;
+}
 
 ProgressMeter::ProgressMeter(size_t Total, size_t EveryPackages,
                              double EverySeconds, bool Quiet)
@@ -179,8 +257,13 @@ std::string BatchDriver::journalLine(const BatchOutcome &Outcome) {
 }
 
 bool BatchDriver::parseJournalLine(const std::string &Line, BatchOutcome &Out) {
+  // Accept both framed (`@len:crc:payload`, the shared-ledger format) and
+  // bare journal lines; a framed line with a bad length/CRC is malformed.
+  std::string Payload;
+  if (!unframeJournalLine(Line, Payload))
+    return false;
   json::Value V;
-  if (!json::parse(Line, V) || !V.isObject())
+  if (!json::parse(Payload, V) || !V.isObject())
     return false;
   const json::Object &O = V.asObject();
 
@@ -300,25 +383,45 @@ bool BatchDriver::parseJournalLine(const std::string &Line, BatchOutcome &Out) {
   return true;
 }
 
-std::set<std::string> BatchDriver::journaledPackages(const std::string &Path) {
+std::set<std::string> BatchDriver::journaledPackages(const std::string &Path,
+                                                     size_t *DroppedLines) {
   std::set<std::string> Done;
+  size_t Dropped = 0;
   std::ifstream In(Path);
-  if (!In)
+  if (!In) {
+    if (DroppedLines)
+      *DroppedLines = 0;
     return Done;
+  }
   std::string Line;
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
+    // A killed run can leave a truncated final line (or, framed, a CRC
+    // mismatch); skip-and-count anything unparseable rather than poisoning
+    // the resume set or failing the whole resume.
+    std::string Payload;
     json::Value V;
-    // A killed run can leave a truncated final line; skip anything
-    // unparseable rather than poisoning the resume set.
-    if (!json::parse(Line, V) || !V.isObject())
+    if (!unframeJournalLine(Line, Payload) || !json::parse(Payload, V) ||
+        !V.isObject()) {
+      ++Dropped;
       continue;
+    }
     const json::Object &O = V.asObject();
     auto It = O.find("package");
     if (It != O.end() && It->second.isString())
       Done.insert(It->second.asString());
   }
+  if (Dropped) {
+    // merge(), not add(): dropped resume lines must be visible in metrics
+    // even before the run flips the counter gate on.
+    obs::counters::JournalDroppedLines.merge(Dropped);
+    std::fprintf(stderr,
+                 "batch: journal %s: skipped %zu torn/corrupt line(s)\n",
+                 Path.c_str(), Dropped);
+  }
+  if (DroppedLines)
+    *DroppedLines = Dropped;
   return Done;
 }
 
@@ -408,7 +511,7 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
   obs::CounterSnapshot RunCounters;
   Timer MetricsClock;
   for (const BatchInput &Input : Inputs) {
-    if (Done.count(Input.Name)) {
+    if (Done.count(Input.Name) || Options.AlreadyDone.count(Input.Name)) {
       BatchOutcome Skip;
       Skip.Package = Input.Name;
       Skip.Skipped = true;
@@ -418,9 +521,13 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     }
     if (Options.MaxPackages && Summary.Scanned >= Options.MaxPackages)
       break;
+    if (Options.OnTick && !Options.OnTick())
+      break;
 
     if (Options.EnableCounters)
       obs::resetCounters();
+    if (Options.OnPackageStart)
+      Options.OnPackageStart(Input.Name);
     BatchOutcome Outcome = scanOne(Scanner, Input);
     ++Summary.Scanned;
     Summary.TotalSeconds += Outcome.Seconds;
@@ -434,13 +541,22 @@ BatchSummary BatchDriver::run(const std::vector<BatchInput> &Inputs) {
     case BatchStatus::Failed:
       ++Summary.Failed;
       break;
+    case BatchStatus::Quarantined:
+      // The in-process scanner never issues this verdict itself (the
+      // shared-ledger driver journals quarantined packages before the scan
+      // loop), but the accounting stays total over the enum.
+      ++Summary.Quarantined;
+      break;
     }
     Summary.TotalReports += Outcome.Result.Reports.size();
 
     // Journal incrementally: the line is flushed before the next package
     // starts, so a kill at any point leaves a valid resumable prefix.
     if (Journal.is_open()) {
-      Journal << journalLine(Outcome) << '\n';
+      std::string Line = journalLine(Outcome);
+      if (Options.FramedJournal)
+        Line = frameJournalLine(Line);
+      Journal << Line << '\n';
       Journal.flush();
     }
     Progress.completed(Outcome.Status == BatchStatus::Failed);
@@ -494,6 +610,15 @@ std::string driver::batchStatsText(const BatchSummary &Summary) {
                 Summary.Scanned, Summary.SkippedResumed, Summary.Ok,
                 Summary.Degraded, Summary.Failed);
   Out += Buf;
+  if (Summary.Quarantined || Summary.LedgerClaims || Summary.LedgerSteals ||
+      Summary.LedgerExpired) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "ledger: %zu claims, %zu steals, %zu expired leases, %zu "
+                  "quarantined\n",
+                  Summary.LedgerClaims, Summary.LedgerSteals,
+                  Summary.LedgerExpired, Summary.Quarantined);
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf),
                 "throughput: %.2f packages/sec (wall %.3fs, cpu %.3fs, avg "
                 "%.3fs/package)\n",

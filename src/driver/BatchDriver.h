@@ -34,6 +34,8 @@
 #include "scanner/Scanner.h"
 #include "support/Timer.h"
 
+#include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -54,12 +56,33 @@ enum class BatchStatus {
   Degraded, ///< Finished with recorded errors (timeouts, skipped files,
             ///< injected faults, ladder retries); partial results stand.
   Failed,   ///< The scan itself died (driver-level isolation caught it).
+  Quarantined, ///< Poison package: the shared-ledger circuit breaker gave
+               ///< up after N kill-class failures across any supervisor.
+               ///< Never scanned again; the journal line carries the strike
+               ///< history instead of results.
 };
 
-/// Stable lowercase names ("ok", "degraded", "failed") for journal lines.
+/// Stable lowercase names ("ok", "degraded", "failed", "quarantined") for
+/// journal lines.
 const char *batchStatusName(BatchStatus S);
 /// Parses the names back (journal-line parsing); false on unknown.
 bool batchStatusFromName(const std::string &Name, BatchStatus &Out);
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG one) over \p Data. Used to
+/// frame ledger/journal records so a SIGKILL-torn tail is detected instead
+/// of silently resuming from a corrupt line.
+uint32_t journalCrc32(const std::string &Data);
+
+/// Wraps one journal/ledger record payload in CRC32 + length framing:
+/// `@<len>:<crc32-hex8>:<payload>`. The payload must not contain a newline.
+std::string frameJournalLine(const std::string &Payload);
+
+/// Unframes one journal line. Framed lines (leading '@') are verified:
+/// returns false on a short/torn payload or a CRC mismatch. Bare lines pass
+/// through unchanged (every reader accepts both formats), with *WasFramed
+/// set to false when the caller cares.
+bool unframeJournalLine(const std::string &Line, std::string &Payload,
+                        bool *WasFramed = nullptr);
 
 /// One journaled package outcome.
 struct BatchOutcome {
@@ -107,6 +130,25 @@ struct BatchOptions {
   /// Empty disables. Honored by the in-process driver and both pool modes.
   std::string MetricsPath;
   double MetricsEverySeconds = 5.0;
+  /// Write journal lines CRC32+length framed (`@<len>:<crc8>:<payload>`).
+  /// The shared-ledger shard journals turn this on; the default stays bare
+  /// JSONL so existing journal consumers keep parsing lines directly.
+  /// Readers (resume, parseJournalLine) accept both formats either way.
+  bool FramedJournal = false;
+  /// Extra resume set beyond the journal at JournalPath: packages another
+  /// supervisor already journaled (a stolen shard's prior-token journals).
+  /// Skipped exactly like resumed packages.
+  std::set<std::string> AlreadyDone;
+  /// Called immediately before each package scan is dispatched (after
+  /// resume/AlreadyDone skips). The shared-ledger driver appends a framed
+  /// start record here, so a supervisor SIGKILLed mid-scan leaves a
+  /// start-without-terminal strike for the quarantine circuit breaker.
+  std::function<void(const std::string &Package)> OnPackageStart;
+  /// Called between packages (and each pool scheduler iteration). Return
+  /// false to stop assigning new work and drain — the shared-ledger driver
+  /// heartbeats its lease here and bails out when it has been fenced by a
+  /// higher token.
+  std::function<bool()> OnTick;
 };
 
 /// Aggregate counters for a batch run.
@@ -133,6 +175,12 @@ struct BatchSummary {
   /// Planned persistent-worker replacements (recycle quota or memory
   /// watermark) — worker hygiene, not failures.
   size_t Recycled = 0;
+  /// Shared-ledger mode: packages the quarantine circuit breaker wrote off
+  /// this run, and the lease traffic this supervisor generated.
+  size_t Quarantined = 0;
+  size_t LedgerClaims = 0;
+  size_t LedgerSteals = 0;
+  size_t LedgerExpired = 0;
 };
 
 /// One isolated package scan with a fresh Scanner: exceptions become a
@@ -191,9 +239,12 @@ public:
 
   const BatchOptions &options() const { return Options; }
 
-  /// Package names already journaled at \p Path (tolerates a trailing
-  /// partial line from a killed run).
-  static std::set<std::string> journaledPackages(const std::string &Path);
+  /// Package names already journaled at \p Path. Torn or corrupt lines
+  /// (truncated tail from a killed run, CRC mismatch on a framed line) are
+  /// skipped and logged — counted in the journal.dropped_lines obs counter
+  /// and in *DroppedLines when given — instead of failing the resume.
+  static std::set<std::string>
+  journaledPackages(const std::string &Path, size_t *DroppedLines = nullptr);
 
   /// Renders one outcome as a single JSONL journal line (no newline).
   static std::string journalLine(const BatchOutcome &Outcome);

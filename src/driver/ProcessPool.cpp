@@ -306,7 +306,7 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
   std::vector<WorkItem> Plan;
   unsigned Seq = 0;
   for (size_t I = 0; I < Inputs.size(); ++I) {
-    if (Done.count(Inputs[I].Name)) {
+    if (Done.count(Inputs[I].Name) || Batch.AlreadyDone.count(Inputs[I].Name)) {
       Slot S;
       S.Outcome.Package = Inputs[I].Name;
       S.Outcome.Skipped = true;
@@ -323,9 +323,14 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     W.InputIndex = I;
     W.SlotIndex = Slots.size() - 1;
     for (const scanner::FaultPlan &F : Options.Faults) {
-      if (F.Package == Seq) {
+      // A name-targeted fault (`...@pkg`) follows its package wherever it
+      // lands in a shard; an index fault targets the scan sequence.
+      bool Match = F.PackageName.empty() ? F.Package == Seq
+                                         : F.PackageName == Inputs[I].Name;
+      if (Match) {
         W.Fault = F;
-        W.Fault->Package = 0;
+        W.Fault->Package = 0; // Worker scans exactly one package.
+        W.Fault->PackageName.clear();
         break;
       }
     }
@@ -412,14 +417,21 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
         case BatchStatus::Failed:
           ++Summary.Failed;
           break;
+        case BatchStatus::Quarantined:
+          ++Summary.Quarantined;
+          break;
         }
         if (Journal.is_open()) {
           // Healthy packages: the worker's bytes verbatim, so --jobs N and
-          // --jobs 1 journals are byte-identical where both succeed.
-          Journal << (S.Outcome.RawJournalLine.empty()
-                          ? BatchDriver::journalLine(S.Outcome)
-                          : S.Outcome.RawJournalLine)
-                  << '\n';
+          // --jobs 1 journals are byte-identical where both succeed. The
+          // shared ledger frames every line it persists (workers always
+          // emit bare lines).
+          std::string Line = S.Outcome.RawJournalLine.empty()
+                                 ? BatchDriver::journalLine(S.Outcome)
+                                 : S.Outcome.RawJournalLine;
+          if (Options.Batch.FramedJournal)
+            Line = frameJournalLine(Line);
+          Journal << Line << '\n';
           Journal.flush();
         }
       }
@@ -507,6 +519,11 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
                                                    bool IsRetry) {
       const WorkItem &W = Plan[PlanIdx];
       const BatchInput &In = Inputs[W.InputIndex];
+      // Every dispatch attempt (retries included) is announced before the
+      // fork: the shared ledger's start record must hit disk before any
+      // work that could kill the supervisor begins.
+      if (Batch.OnPackageStart)
+        Batch.OnPackageStart(In.Name);
       scanner::ScanOptions Scan = Batch.Scan;
       Scan.Fault = IsRetry ? std::nullopt : W.Fault;
       if (IsRetry && Scan.Deadline.WallSeconds > 0)
@@ -603,6 +620,11 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     };
 
     while (true) {
+      // The tick hook (lease heartbeat in shared-ledger mode) demotes a
+      // fenced supervisor to the same drain path as SIGINT: finish what is
+      // in flight, assign nothing new.
+      if (Batch.OnTick && !Batch.OnTick())
+        PoolStopRequested = 1;
       while (!PoolStopRequested && Live.size() < Options.Jobs &&
              NextLaunch < Plan.size())
         launch(NextLaunch++, /*IsRetry=*/false);
@@ -698,6 +720,8 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
 
     auto assignJob = [&](PersistentWorker &W) {
       auto [PlanIdx, IsRetry] = Queue.front();
+      if (Batch.OnPackageStart)
+        Batch.OnPackageStart(Inputs[Plan[PlanIdx].InputIndex].Name);
       WorkerRequest Req;
       Req.Kind = WorkerRequest::Op::Scan;
       Req.JobId = NextJobId++;
@@ -796,6 +820,8 @@ BatchSummary ProcessPool::run(const std::vector<BatchInput> &Inputs) {
     };
 
     while (true) {
+      if (Batch.OnTick && !Batch.OnTick())
+        PoolStopRequested = 1;
       size_t BusyCount = static_cast<size_t>(
           std::count_if(Workers.begin(), Workers.end(),
                         [](const PersistentWorker &W) { return W.Busy; }));

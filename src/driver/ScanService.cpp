@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -315,6 +316,8 @@ int ScanService::run() {
       ++CompletedDegraded;
       break;
     case BatchStatus::Failed:
+    case BatchStatus::Quarantined: // not issued by the service; counted as
+                                   // a failure if a journal replays one.
       ++CompletedFailed;
       break;
     }
@@ -878,4 +881,43 @@ bool ScanService::request(const std::string &SocketPath,
   if (Error)
     *Error = "no response before timeout";
   return false;
+}
+
+bool ScanService::requestWithRetry(const std::string &SocketPath,
+                                   const std::string &RequestLine,
+                                   std::string &Response, std::string *Error,
+                                   double RetryBudgetMs, size_t *Retries,
+                                   double TimeoutSeconds) {
+  Timer Budget;
+  size_t Attempt = 0;
+  // Deterministic-enough jitter: a xorshift stream seeded per call so two
+  // clients rejected in the same admission burst don't re-collide on every
+  // subsequent retry.
+  uint64_t Rng = static_cast<uint64_t>(::getpid()) * 2654435761u + 1;
+  for (;;) {
+    bool Ok = request(SocketPath, RequestLine, Response, Error, TimeoutSeconds);
+    // Only admission rejections are retryable: transport errors and every
+    // other error class (bad request, deadline, shutdown) are final.
+    if (!Ok || Response.find("\"error\":\"overloaded\"") == std::string::npos) {
+      if (Retries)
+        *Retries = Attempt;
+      return Ok;
+    }
+    double SpentMs = Budget.elapsedSeconds() * 1000.0;
+    if (SpentMs >= RetryBudgetMs) {
+      if (Retries)
+        *Retries = Attempt;
+      return true; // Budget exhausted: surface the overloaded response.
+    }
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    double BaseMs = std::min(25.0 * static_cast<double>(1u << std::min<size_t>(Attempt, 5)), 1000.0);
+    double SleepMs = BaseMs / 2 + static_cast<double>(Rng % 1000) / 1000.0 * BaseMs / 2;
+    SleepMs = std::min(SleepMs, RetryBudgetMs - SpentMs);
+    if (SleepMs > 0)
+      ::usleep(static_cast<useconds_t>(SleepMs * 1000.0));
+    ++Attempt;
+    obs::counters::ServeClientRetries.merge(1);
+  }
 }

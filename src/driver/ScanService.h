@@ -105,6 +105,21 @@ public:
                       std::string *Error = nullptr,
                       double TimeoutSeconds = 30.0);
 
+  /// Like request(), but retries `overloaded` admission rejections with
+  /// exponential backoff plus jitter (25ms, 50ms, 100ms, ... capped at 1s
+  /// per sleep) until the response is anything else or \p RetryBudgetMs of
+  /// wall time is spent. A zero budget degenerates to a single request().
+  /// Each retry bumps the serve.client_retries counter; *Retries, when
+  /// given, receives the count for this call. The transport behind
+  /// `graphjs serve --client --retry-budget-ms` and `graphjs metrics`.
+  static bool requestWithRetry(const std::string &SocketPath,
+                               const std::string &RequestLine,
+                               std::string &Response,
+                               std::string *Error = nullptr,
+                               double RetryBudgetMs = 0,
+                               size_t *Retries = nullptr,
+                               double TimeoutSeconds = 30.0);
+
 private:
   ServiceOptions Options;
 };

@@ -106,6 +106,12 @@ Counter WorkerRecycled("worker.recycled");
 Counter ServeAccepted("serve.accepted");
 Counter ServeRejected("serve.rejected");
 Counter ServeInflight("serve.inflight");
+Counter ServeClientRetries("serve.client_retries");
+Counter JournalDroppedLines("journal.dropped_lines");
+Counter LedgerClaims("ledger.claims");
+Counter LedgerSteals("ledger.steals");
+Counter LedgerExpired("ledger.expired");
+Counter QuarantinePackages("quarantine.packages");
 } // namespace counters
 } // namespace obs
 } // namespace gjs

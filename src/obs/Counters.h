@@ -140,6 +140,17 @@ extern Counter ServeRejected;        ///< serve.rejected — overloaded/expired.
 extern Counter ServeInflight;        ///< serve.inflight — jobs dispatched to
                                      ///< a worker (add-only; "how much work
                                      ///< entered a worker", not a gauge).
+extern Counter ServeClientRetries;   ///< serve.client_retries — client-side
+                                     ///< backoff retries after "overloaded".
+extern Counter JournalDroppedLines;  ///< journal.dropped_lines — torn or
+                                     ///< CRC-corrupt journal lines skipped
+                                     ///< during resume/merge.
+extern Counter LedgerClaims;   ///< ledger.claims — fresh shard leases taken.
+extern Counter LedgerSteals;   ///< ledger.steals — stale leases stolen.
+extern Counter LedgerExpired;  ///< ledger.expired — leases observed past
+                               ///< their heartbeat expiry.
+extern Counter QuarantinePackages; ///< quarantine.packages — poison packages
+                                   ///< the circuit breaker wrote off.
 } // namespace counters
 
 } // namespace obs

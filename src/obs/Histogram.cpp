@@ -178,6 +178,7 @@ Histogram PhaseQuery("phase.query_us", "us");
 Histogram QueueWait("queue.wait_us", "us");
 Histogram WorkerJob("worker.job_us", "us");
 Histogram FrameBytes("proto.frame_bytes", "bytes");
+Histogram LeaseWait("ledger.lease_wait_us", "us");
 } // namespace hists
 } // namespace obs
 } // namespace gjs

@@ -178,6 +178,8 @@ extern Histogram PhaseQuery;  ///< phase.query_us — query matching time.
 extern Histogram QueueWait;   ///< queue.wait_us — serve admission-to-dispatch.
 extern Histogram WorkerJob;   ///< worker.job_us — dispatch-to-verdict turnaround.
 extern Histogram FrameBytes;  ///< proto.frame_bytes — protocol frame sizes.
+extern Histogram LeaseWait;   ///< ledger.lease_wait_us — wanting work to
+                              ///< holding a shard lease (claim or steal).
 } // namespace hists
 
 } // namespace obs

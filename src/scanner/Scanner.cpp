@@ -80,7 +80,7 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
   auto Fail = [&](const std::string &Msg) {
     if (Error)
       *Error = Msg + " in fault spec '" + Spec +
-               "' (expected <phase>:<fail|stall|crash|hang|oom>[:<n>])";
+               "' (expected <phase>:<fail|stall|crash|hang|oom>[:<n>|@<name>])";
     return false;
   };
   size_t C1 = Spec.find(':');
@@ -88,7 +88,8 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
     return Fail("missing ':'");
   if (!scanPhaseFromName(Spec.substr(0, C1), Out.Phase))
     return Fail("unknown phase '" + Spec.substr(0, C1) + "'");
-  size_t C2 = Spec.find(':', C1 + 1);
+  // The action ends at the next ':' (index target) or '@' (name target).
+  size_t C2 = Spec.find_first_of(":@", C1 + 1);
   std::string Action = Spec.substr(
       C1 + 1, C2 == std::string::npos ? std::string::npos : C2 - C1 - 1);
   if (Action == "fail")
@@ -104,8 +105,15 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
   else
     return Fail("unknown action '" + Action + "'");
   Out.Package = 0;
+  Out.PackageName.clear();
   if (C2 != std::string::npos) {
     std::string N = Spec.substr(C2 + 1);
+    if (Spec[C2] == '@') {
+      if (N.empty())
+        return Fail("empty package name");
+      Out.PackageName = N;
+      return true;
+    }
     if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos)
       return Fail("bad package index '" + N + "'");
     Out.Package = static_cast<unsigned>(std::stoul(N));

@@ -102,6 +102,12 @@ struct FaultPlan {
   Action Kind = Action::Fail;
   /// 0-based index of the target package in this Scanner's scan sequence.
   unsigned Package = 0;
+  /// Name-targeted fault (`<phase>:<action>@<name>`): the drivers (pool
+  /// plan, shared ledger) match this against BatchInput::Name and rebase
+  /// Package before the Scanner sees the plan — the Scanner itself only
+  /// ever matches on the sequence index. A corpus-global poison package
+  /// stays poisoned no matter which shard or supervisor picks it up.
+  std::string PackageName;
 
   /// True for Crash/Hang/Oom — the actions an in-process driver cannot
   /// contain.
@@ -110,9 +116,9 @@ struct FaultPlan {
            Kind == Action::Oom;
   }
 
-  /// Parses "<phase>:<fail|stall|crash|hang|oom>:<n>" (e.g. "build:fail:0",
-  /// "query:stall:2", "build:crash:1"); the ":<n>" suffix is optional and
-  /// defaults to 0.
+  /// Parses "<phase>:<fail|stall|crash|hang|oom>[:<n>|@<name>]" (e.g.
+  /// "build:fail:0", "query:stall:2", "build:crash@left-pad"); the target
+  /// suffix is optional and defaults to package index 0.
   static bool parse(const std::string &Spec, FaultPlan &Out,
                     std::string *Error = nullptr);
 };

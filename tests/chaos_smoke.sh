@@ -1,0 +1,45 @@
+#!/bin/sh
+# Smoke test for crash-safe distributed draining: two `graphjs batch
+# --shared` supervisors share one on-disk ledger over the examples corpus;
+# the first SIGKILLs itself mid-drain (--chaos-kill-after), the second
+# steals the orphaned lease and converges. The merged corpus journal must
+# carry exactly one terminal record per package.
+set -e
+
+BIN="$1"
+CORPUS="$2"
+LEDGER="/tmp/gjs_chaos_smoke_$$"
+rm -rf "$LEDGER"
+trap 'rm -rf "$LEDGER"' EXIT
+
+# Supervisor 1 dies by its own hand right after its second start record:
+# a SIGKILL exit (137) is the expected outcome, not a failure.
+set +e
+"$BIN" batch --quiet --shared "$LEDGER" --shard-size 1 \
+  --lease-expiry-ms 300 --chaos-kill-after 1 --supervisor-id victim \
+  "$CORPUS" > /dev/null 2>&1
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || { echo "chaos supervisor was not killed"; exit 1; }
+[ ! -f "$LEDGER/corpus.jsonl" ] || { echo "premature merge"; exit 1; }
+
+# Supervisor 2 steals the expired lease and drains the rest.
+"$BIN" batch --quiet --shared "$LEDGER" --shard-size 1 \
+  --lease-expiry-ms 300 --supervisor-id medic --stats "$CORPUS" \
+  | grep -q "^ledger:"
+
+# Exactly one terminal per package: line count matches the corpus, and
+# every package name appears exactly once.
+N_PKGS=$(ls "$CORPUS"/*.js | wc -l)
+N_LINES=$(wc -l < "$LEDGER/corpus.jsonl")
+[ "$N_LINES" -eq "$N_PKGS" ] || {
+  echo "corpus.jsonl has $N_LINES lines, want $N_PKGS"; exit 1; }
+for f in "$CORPUS"/*.js; do
+  name=$(basename "$f")
+  n=$(grep -c "\"package\":\"$name\"" "$LEDGER/corpus.jsonl")
+  [ "$n" -eq 1 ] || { echo "$name has $n terminal records"; exit 1; }
+done
+
+# The steal is visible in the ledger: some shard reached fencing token 2.
+ls "$LEDGER"/shards/*.tok.2 > /dev/null 2>&1 || {
+  echo "no lease was stolen"; exit 1; }

@@ -35,6 +35,14 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # the OOM code on its own.
 "$BUILD_DIR/tests/test_procpool"
 
+# The distributed-draining chaos suite: CRC framing over torn byte
+# prefixes, the O_EXCL lease ratchet and steal/fence races, quarantine
+# marker IO, the merge's cross-journal dedup, and `graphjs batch
+# --shared` supervisors SIGKILLed mid-drain — crash-recovery paths that
+# re-read half-written state are exactly where use-after-free and
+# uninitialized reads hide.
+"$BUILD_DIR/tests/test_distributed"
+
 # The scan-service suite: the length-prefixed wire protocol (incremental
 # reassembly buffers are classic overflow territory), the telemetry
 # codec riding the response frames, the `graphjs serve` daemon's poll

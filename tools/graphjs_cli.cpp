@@ -43,6 +43,18 @@
 //                           scheduling spans
 //   --metrics-out <m.prom>  periodically rewritten Prometheus text
 //                           snapshot (counters + latency percentiles)
+//   --shared <dir>          crash-safe distributed draining: coordinate
+//                           with any number of concurrent supervisors
+//                           through an on-disk work ledger (lease-based
+//                           work stealing, CRC-framed shard journals,
+//                           poison-package quarantine; docs/ROBUSTNESS.md)
+//   --shard-size <n>        packages per lease granule (default 4)
+//   --lease-expiry-ms <n>   steal leases idle past this (default 10000)
+//   --quarantine-after <n>  kill-class strikes before a package is
+//                           quarantined corpus-wide (default 3)
+//   --supervisor-id <id>    stable id in lease records (default pid-hex)
+//   --chaos-kill-after <n>  test harness: SIGKILL this supervisor right
+//                           after its (n+1)-th start record
 //   --native / --summary / --sinks also apply
 //
 // Serve options (graphjs serve):
@@ -61,6 +73,10 @@
 //                           to the daemon, print the response, exit 0 iff
 //                           the response says ok ('{"op":"metrics"}' has
 //                           the shorthand `graphjs metrics --socket p`)
+//   --retry-budget-ms <n>   client paths only: retry "overloaded"
+//                           rejections with exponential backoff + jitter
+//                           until this much wall time is spent (default 0,
+//                           one attempt; also on `graphjs metrics`)
 //
 // Scan options:
 //   --sinks <config.json>   custom sink configuration (§4)
@@ -104,6 +120,7 @@
 #include "driver/BatchDriver.h"
 #include "driver/ProcessPool.h"
 #include "driver/ScanService.h"
+#include "driver/WorkLedger.h"
 #include "frontend/Parser.h"
 #include "graphdb/QueryEngine.h"
 #include "graphdb/SchemaLint.h"
@@ -151,6 +168,9 @@ int usage() {
       "                     [--recycle-mem-mb n] [--mem-limit-mb n]\n"
       "                     [--kill-after-ms n] [--retry-crashed] [--quiet]\n"
       "                     [--trace-out t.json] [--metrics-out m.prom]\n"
+      "                     [--shared dir] [--shard-size n]\n"
+      "                     [--lease-expiry-ms n] [--quarantine-after n]\n"
+      "                     [--supervisor-id id] [--chaos-kill-after n]\n"
       "                     [--native] [--summary] [--no-prune]\n"
       "                     [--no-async-lower] <dir|list.txt|file.js>...\n"
       "       graphjs serve --socket path [--jobs n] [--queue-max n]\n"
@@ -161,7 +181,8 @@ int usage() {
       "                     [--metrics-out m.prom] [--native] [--no-prune]\n"
       "                     [--no-async-lower] [--quiet]\n"
       "                     [--client '<json-request>']\n"
-      "       graphjs metrics --socket path\n"
+      "                     [--retry-budget-ms n]\n"
+      "       graphjs metrics --socket path [--retry-budget-ms n]\n"
       "       graphjs callgraph [--dot] [--summaries] [--sinks cfg.json]\n"
       "                         <file.js>... | --packages <root-dir>\n");
   return 2;
@@ -844,7 +865,8 @@ bool collectBatchInputs(const std::string &Arg,
 
 int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
              unsigned Jobs, bool Summary, bool Stats,
-             const std::string &TraceOut) {
+             const std::string &TraceOut,
+             driver::SharedBatchOptions *Shared = nullptr) {
   std::vector<driver::BatchInput> Inputs;
   for (const std::string &Arg : Args)
     if (!collectBatchInputs(Arg, Inputs))
@@ -862,7 +884,30 @@ int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
   bool WantTrace = !TraceOut.empty();
 
   driver::BatchSummary S;
-  if (Jobs > 0) {
+  bool SharedMerged = false;
+  std::string SharedJournal;
+  size_t SharedDrained = 0;
+  if (Shared) {
+    // Distributed drain: the ledger under Shared->Ledger.Dir coordinates
+    // this supervisor with any concurrent ones; scan/pool settings carry
+    // over per shard.
+    Shared->Batch = O.Batch;
+    Shared->Jobs = Jobs;
+    Shared->Persistent = O.Persistent;
+    Shared->RecycleAfter = O.RecycleAfter;
+    Shared->RecycleRssMB = O.RecycleRssMB;
+    Shared->MemLimitMB = O.MemLimitMB;
+    Shared->KillAfterSeconds = O.KillAfterSeconds;
+    Shared->RetryCrashed = O.RetryCrashed;
+    Shared->Faults = O.Faults;
+    if (WantTrace)
+      Shared->Trace = &Recorder;
+    driver::SharedBatchResult R = driver::runSharedBatch(*Shared, Inputs);
+    S = std::move(R.Summary);
+    SharedMerged = R.Merged;
+    SharedJournal = R.MergedJournal;
+    SharedDrained = R.ShardsDrained;
+  } else if (Jobs > 0) {
     O.Jobs = Jobs;
     if (WantTrace)
       O.Trace = &Recorder;
@@ -901,6 +946,10 @@ int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
                 "%zu resumed, %zu report(s)\n",
                 S.Scanned, S.Ok, S.Degraded, S.Failed, S.SkippedResumed,
                 S.TotalReports);
+    if (Shared)
+      std::printf("shared: %zu shard(s) drained by this supervisor%s%s\n",
+                  SharedDrained, SharedMerged ? ", corpus merged: " : "",
+                  SharedMerged ? SharedJournal.c_str() : "");
   } else if (!Stats) {
     for (const driver::BatchOutcome &Outcome : S.Outcomes)
       if (!Outcome.Skipped)
@@ -909,8 +958,13 @@ int runBatch(const std::vector<std::string> &Args, driver::PoolOptions O,
                                       .c_str()
                                 : Outcome.RawJournalLine.c_str());
   }
-  if (Stats)
+  if (Stats) {
     std::printf("%s", driver::batchStatsText(S).c_str());
+    if (Shared)
+      std::printf("shared: %zu shard(s) drained by this supervisor%s%s\n",
+                  SharedDrained, SharedMerged ? ", corpus merged: " : "",
+                  SharedMerged ? SharedJournal.c_str() : "");
+  }
   return S.Failed ? 1 : 0;
 }
 
@@ -1138,6 +1192,8 @@ int main(int argc, char **argv) {
     unsigned Jobs = 0; // 0 = in-process BatchDriver; >=1 = worker pool.
     bool Summary = false, Stats = false, Quiet = false;
     std::string SinksFile, TraceOut;
+    driver::SharedBatchOptions Shared; // Live iff Shared.Ledger.Dir set.
+    const char *SharedOnlyFlag = nullptr;
     std::vector<std::string> Inputs;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
@@ -1186,7 +1242,25 @@ int main(int argc, char **argv) {
         TraceOut = argv[++I];
       else if (Arg == "--metrics-out" && I + 1 < argc)
         O.Batch.MetricsPath = argv[++I];
-      else if (Arg == "--inject-fault" && I + 1 < argc) {
+      else if (Arg == "--shared" && I + 1 < argc)
+        Shared.Ledger.Dir = argv[++I];
+      else if (Arg == "--shard-size" && I + 1 < argc) {
+        Shared.Ledger.ShardSize = std::stoul(argv[++I]);
+        SharedOnlyFlag = "--shard-size";
+      } else if (Arg == "--lease-expiry-ms" && I + 1 < argc) {
+        Shared.Ledger.LeaseExpirySeconds = std::stod(argv[++I]) / 1000.0;
+        SharedOnlyFlag = "--lease-expiry-ms";
+      } else if (Arg == "--quarantine-after" && I + 1 < argc) {
+        Shared.Ledger.QuarantineAfter =
+            static_cast<unsigned>(std::stoul(argv[++I]));
+        SharedOnlyFlag = "--quarantine-after";
+      } else if (Arg == "--supervisor-id" && I + 1 < argc) {
+        Shared.Ledger.SupervisorId = argv[++I];
+        SharedOnlyFlag = "--supervisor-id";
+      } else if (Arg == "--chaos-kill-after" && I + 1 < argc) {
+        Shared.ChaosKillAfter = static_cast<unsigned>(std::stoul(argv[++I]));
+        SharedOnlyFlag = "--chaos-kill-after";
+      } else if (Arg == "--inject-fault" && I + 1 < argc) {
         scanner::FaultPlan Plan;
         std::string Error;
         if (!scanner::FaultPlan::parse(argv[++I], Plan, &Error)) {
@@ -1201,8 +1275,18 @@ int main(int argc, char **argv) {
     }
     if (Inputs.empty())
       return usage();
+    bool IsShared = !Shared.Ledger.Dir.empty();
+    if (!IsShared && SharedOnlyFlag) {
+      std::fprintf(stderr, "error: %s requires --shared <dir>\n",
+                   SharedOnlyFlag);
+      return 2;
+    }
     if (Jobs == 0) {
-      // Pool-only options and faults only the pool can contain.
+      // Pool-only options and faults only the pool can contain. Under
+      // --shared the fault restrictions lift: process-fatal faults kill
+      // this *supervisor*, which is exactly what the ledger's lease
+      // stealing and quarantine breaker exist to absorb, and multiple
+      // faults rebase onto different shards.
       const char *Needs = nullptr;
       if (O.MemLimitMB)
         Needs = "--mem-limit-mb";
@@ -1212,9 +1296,10 @@ int main(int argc, char **argv) {
         Needs = "--retry-crashed";
       else if (O.Persistent)
         Needs = "--persistent";
-      else if (O.Faults.size() > 1)
+      else if (!IsShared && O.Faults.size() > 1)
         Needs = "multiple --inject-fault";
-      else if (!O.Faults.empty() && O.Faults.front().processFatal())
+      else if (!IsShared && !O.Faults.empty() &&
+               O.Faults.front().processFatal())
         Needs = "a crash/hang/oom fault";
       if (Needs) {
         std::fprintf(stderr, "error: %s requires --jobs N\n", Needs);
@@ -1244,13 +1329,15 @@ int main(int argc, char **argv) {
       }
       O.Batch.Scan.Sinks = Custom;
     }
-    return runBatch(Inputs, std::move(O), Jobs, Summary, Stats, TraceOut);
+    return runBatch(Inputs, std::move(O), Jobs, Summary, Stats, TraceOut,
+                    !Shared.Ledger.Dir.empty() ? &Shared : nullptr);
   }
 
   if (Mode == "serve") {
     driver::ServiceOptions O;
     std::string SinksFile, ClientLine;
     bool Client = false;
+    double RetryBudgetMs = 0;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
       if (Arg == "--socket" && I + 1 < argc)
@@ -1288,7 +1375,9 @@ int main(int argc, char **argv) {
       else if (Arg == "--client" && I + 1 < argc) {
         Client = true;
         ClientLine = argv[++I];
-      } else
+      } else if (Arg == "--retry-budget-ms" && I + 1 < argc)
+        RetryBudgetMs = std::stod(argv[++I]);
+      else
         return usage();
     }
     if (O.SocketPath.empty()) {
@@ -1297,8 +1386,9 @@ int main(int argc, char **argv) {
     }
     if (Client) {
       std::string Response, Error;
-      if (!driver::ScanService::request(O.SocketPath, ClientLine, Response,
-                                        &Error)) {
+      if (!driver::ScanService::requestWithRetry(O.SocketPath, ClientLine,
+                                                 Response, &Error,
+                                                 RetryBudgetMs)) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
         return 1;
       }
@@ -1306,6 +1396,10 @@ int main(int argc, char **argv) {
       // Rejections and bad requests exit nonzero so shell pipelines can
       // branch on admission without parsing JSON.
       return Response.find("\"ok\":true") != std::string::npos ? 0 : 1;
+    }
+    if (RetryBudgetMs > 0) {
+      std::fprintf(stderr, "error: --retry-budget-ms requires --client\n");
+      return 2;
     }
     if (!SinksFile.empty()) {
       std::string Text;
@@ -1326,10 +1420,13 @@ int main(int argc, char **argv) {
     // One-shot metrics client: ask a running daemon for its counters and
     // latency percentiles. Sugar for serve --client '{"op":"metrics"}'.
     std::string SocketPath;
+    double RetryBudgetMs = 0;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
       if (Arg == "--socket" && I + 1 < argc)
         SocketPath = argv[++I];
+      else if (Arg == "--retry-budget-ms" && I + 1 < argc)
+        RetryBudgetMs = std::stod(argv[++I]);
       else
         return usage();
     }
@@ -1338,8 +1435,10 @@ int main(int argc, char **argv) {
       return 2;
     }
     std::string Response, Error;
-    if (!driver::ScanService::request(SocketPath, "{\"op\":\"metrics\"}",
-                                      Response, &Error)) {
+    if (!driver::ScanService::requestWithRetry(SocketPath,
+                                               "{\"op\":\"metrics\"}",
+                                               Response, &Error,
+                                               RetryBudgetMs)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
